@@ -1,0 +1,88 @@
+//! Per-sample overhead of the extension layers: sensor-stream change
+//! detectors and the context-dependent mitigator.
+//!
+//! These sit on the same 5-minute control cycle as the monitors of
+//! `monitor_overhead`, so the target is the same: negligible against
+//! the cycle budget (they all land in the nanosecond range, orders of
+//! magnitude below even the cheapest monitor).
+
+use aps_core::context::ContextVector;
+use aps_core::hms::{ContextMitigator, ContextMitigatorConfig};
+use aps_detect::{
+    CgmGuard, ChangeDetector, Cusum, CusumConfig, Ewma, EwmaConfig, GuardConfig, Sprt,
+    SprtConfig,
+};
+use aps_types::{Hazard, MgDl, UnitsPerHour};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector_update");
+    // A residual stream that never alarms, so steady-state cost is
+    // measured rather than the post-trip early return.
+    let stream: Vec<f64> = (0..256).map(|i| if i % 2 == 0 { 0.3 } else { -0.3 }).collect();
+
+    group.bench_function("sprt", |b| {
+        let mut d = Sprt::new(SprtConfig::default());
+        let mut i = 0;
+        b.iter(|| {
+            let v = stream[i % stream.len()];
+            i += 1;
+            black_box(d.update(black_box(v)))
+        });
+    });
+    group.bench_function("cusum", |b| {
+        let mut d = Cusum::new(CusumConfig::default());
+        let mut i = 0;
+        b.iter(|| {
+            let v = stream[i % stream.len()];
+            i += 1;
+            black_box(d.update(black_box(v)))
+        });
+    });
+    group.bench_function("ewma", |b| {
+        let mut d = Ewma::new(EwmaConfig::default());
+        let mut i = 0;
+        b.iter(|| {
+            let v = stream[i % stream.len()];
+            i += 1;
+            black_box(d.update(black_box(v)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_guard(c: &mut Criterion) {
+    c.bench_function("cgm_guard_observe", |b| {
+        let mut g =
+            CgmGuard::new(Cusum::new(CusumConfig::default()), GuardConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            // A gentle sinusoid: realistic, never alarming.
+            let bg = 140.0 + 30.0 * ((i as f64) / 24.0).sin();
+            i += 1;
+            black_box(g.observe(black_box(MgDl(bg.round()))))
+        });
+    });
+}
+
+fn bench_context_mitigator(c: &mut Criterion) {
+    c.bench_function("context_mitigate", |b| {
+        let m = ContextMitigator::new(ContextMitigatorConfig::for_run(
+            MgDl(110.0),
+            UnitsPerHour(1.0),
+            UnitsPerHour(6.0),
+        ));
+        let ctx = ContextVector { bg: 250.0, dbg: 3.0, iob: 1.2, diob: 0.001 };
+        b.iter(|| {
+            black_box(m.mitigate(
+                black_box(Some(Hazard::H2)),
+                black_box(&ctx),
+                black_box(UnitsPerHour(0.5)),
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_detectors, bench_guard, bench_context_mitigator);
+criterion_main!(benches);

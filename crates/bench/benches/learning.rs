@@ -1,0 +1,61 @@
+//! Threshold-learning throughput: the TMEE + L-BFGS-B fit that turns a
+//! CAWOT rule set into a patient-specific CAWT monitor.
+
+use aps_core::learning::{learn_thresholds, LearnConfig};
+use aps_core::scs::Scs;
+use aps_optim::{lbfgsb, Bounds, Loss, Tmee};
+use aps_sim::campaign::{run_campaign, CampaignSpec};
+use aps_sim::platform::Platform;
+use aps_types::{MgDl, UnitsPerHour};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_lbfgsb(c: &mut Criterion) {
+    c.bench_function("lbfgsb_tmee_scalar_fit", |b| {
+        let samples: Vec<f64> = (0..200).map(|i| 1.0 + (i as f64) * 0.01).collect();
+        b.iter(|| {
+            let sol = lbfgsb::minimize(
+                |x, g| {
+                    let beta = x[0];
+                    let rs: Vec<f64> = samples.iter().map(|m| beta - m).collect();
+                    g[0] = Tmee.mean_grad(&rs);
+                    Tmee.mean(&rs)
+                },
+                &[0.0],
+                &Bounds::uniform(1, -5.0, 10.0),
+                &lbfgsb::Options::default(),
+            )
+            .unwrap();
+            black_box(sol.x[0])
+        });
+    });
+}
+
+fn bench_threshold_learning(c: &mut Criterion) {
+    // One small campaign's worth of traces, fitted repeatedly.
+    let platform = Platform::GlucosymOref0;
+    let spec = CampaignSpec {
+        patient_indices: vec![0],
+        initial_bgs: vec![120.0, 180.0],
+        ..CampaignSpec::quick(platform)
+    };
+    let traces = run_campaign(&spec, None);
+    let scs = Scs::with_default_thresholds(MgDl(110.0));
+    let mut group = c.benchmark_group("threshold_learning");
+    group.sample_size(10);
+    group.bench_function("learn_all_rules_62_traces", |b| {
+        b.iter(|| {
+            let (refined, fits) = learn_thresholds(
+                &scs,
+                &traces,
+                UnitsPerHour(1.0),
+                &LearnConfig::default(),
+            );
+            black_box((refined.rules.len(), fits.len()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lbfgsb, bench_threshold_learning);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! §V-E6 — per-cycle time overhead of each safety monitor.
+//!
+//! The paper reports average per-cycle overheads of 252.7 µs (CAWT),
+//! 664.1 µs (Guideline), 123.9 ms (MPC), 1.3 ms (DT), 30.7 ms (MLP),
+//! 32.6 ms (LSTM) on their Python/TensorFlow stack. The *ordering* —
+//! rule checks ≪ tree ≪ model-predictive rollout ≈ neural inference —
+//! is the reproduction target; absolute numbers are native-Rust fast.
+
+use aps_core::monitors::{
+    CawMonitor, GuidelineMonitor, HazardMonitor, LstmMonitor, MlMonitor, MonitorInput,
+    MpcMonitor, StlCawMonitor,
+};
+use aps_core::scs::Scs;
+use aps_ml::data::{Dataset, StandardScaler};
+use aps_ml::lstm::{Lstm, LstmConfig, SeqDataset};
+use aps_ml::mlp::{Mlp, MlpConfig};
+use aps_ml::tree::{DecisionTree, TreeConfig};
+use aps_types::{MgDl, Step, UnitsPerHour};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn toy_flat_dataset() -> Dataset {
+    // Shape-compatible with MlFeatures::DIM = 6.
+    let x: Vec<Vec<f64>> = (0..200)
+        .map(|i| {
+            let v = i as f64;
+            vec![100.0 + v, v % 7.0 - 3.0, v % 3.0, 0.001 * v, 1.0 + v % 2.0, 1.0 + v % 4.0]
+        })
+        .collect();
+    let y: Vec<usize> = (0..200).map(|i| usize::from(i % 5 == 0)).collect();
+    Dataset::new(x, y)
+}
+
+fn toy_seq_dataset(window: usize) -> SeqDataset {
+    let flat = toy_flat_dataset();
+    let x: Vec<Vec<Vec<f64>>> = flat
+        .x
+        .windows(window)
+        .map(|w| w.to_vec())
+        .collect();
+    let y: Vec<usize> = flat.y[window - 1..].to_vec();
+    SeqDataset::new(x, y)
+}
+
+fn drive(monitor: &mut dyn HazardMonitor, cycles: usize) {
+    // A small deterministic scenario exercising the check path.
+    for i in 0..cycles {
+        let bg = 110.0 + 40.0 * ((i as f64) * 0.21).sin();
+        let commanded = 1.0 + ((i % 5) as f64) * 0.4;
+        let v = monitor.check(&MonitorInput {
+            step: Step(i as u32),
+            bg: MgDl(bg),
+            commanded: UnitsPerHour(commanded),
+            previous_rate: UnitsPerHour(1.0),
+        });
+        black_box(v);
+        monitor.observe_delivery(UnitsPerHour(commanded));
+    }
+}
+
+fn bench_monitors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_check_per_cycle");
+    let basal = UnitsPerHour(1.0);
+    let target = MgDl(110.0);
+    let scaler = StandardScaler::fit(&toy_flat_dataset());
+
+    group.bench_function("cawt", |b| {
+        let mut m = CawMonitor::new("cawt", Scs::with_default_thresholds(target), basal);
+        b.iter(|| drive(&mut m, 10));
+    });
+    group.bench_function("cawt_stl_synthesized", |b| {
+        // The same SCS executed as online STL formulas instead of
+        // native checks — the cost of interpreting the specification.
+        let mut m =
+            StlCawMonitor::new("cawt-stl", Scs::with_default_thresholds(target), basal);
+        b.iter(|| drive(&mut m, 10));
+    });
+    group.bench_function("guideline", |b| {
+        let mut m = GuidelineMonitor::default();
+        b.iter(|| drive(&mut m, 10));
+    });
+    group.bench_function("mpc", |b| {
+        let mut m = MpcMonitor::population();
+        b.iter(|| drive(&mut m, 10));
+    });
+    group.bench_function("dt", |b| {
+        let tree = DecisionTree::fit(&toy_flat_dataset(), &TreeConfig::default());
+        let mut m = MlMonitor::binary("dt", Box::new(tree), scaler.clone(), basal, target);
+        b.iter(|| drive(&mut m, 10));
+    });
+    group.bench_function("mlp_256_128", |b| {
+        // Paper-size architecture for a fair overhead comparison.
+        let cfg = MlpConfig {
+            hidden: vec![256, 128],
+            max_epochs: 1,
+            ..MlpConfig::default()
+        };
+        let mlp = Mlp::fit(&toy_flat_dataset(), &cfg);
+        let mut m = MlMonitor::binary("mlp", Box::new(mlp), scaler.clone(), basal, target);
+        b.iter(|| drive(&mut m, 10));
+    });
+    group.bench_function("lstm_128_64", |b| {
+        let cfg = LstmConfig {
+            hidden: vec![128, 64],
+            max_epochs: 1,
+            ..LstmConfig::default()
+        };
+        let lstm = Lstm::fit(&toy_seq_dataset(6), &cfg);
+        let mut m =
+            LstmMonitor::binary("lstm", Box::new(lstm), scaler.clone(), basal, target, 6);
+        b.iter(|| drive(&mut m, 10));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_monitors
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Closed-loop simulation throughput: one 5-minute control cycle and a
+//! full 12-hour run for each patient model.
+
+use aps_glucose::bergman::{BergmanParams, BergmanPatient};
+use aps_glucose::dalla_man::{DallaManParams, DallaManPatient};
+use aps_glucose::PatientSim;
+use aps_sim::closed_loop::{run, LoopConfig};
+use aps_sim::platform::Platform;
+use aps_types::{MgDl, UnitsPerHour};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_patient_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("patient_step_5min");
+    group.bench_function("bergman", |b| {
+        let mut p = BergmanPatient::new(BergmanParams::population_average());
+        p.reset(MgDl(120.0));
+        b.iter(|| {
+            p.step(UnitsPerHour(1.0), 5.0);
+            black_box(p.bg())
+        });
+    });
+    group.bench_function("dalla_man", |b| {
+        let mut p = DallaManPatient::new(DallaManParams::average_adult());
+        p.reset(MgDl(120.0));
+        b.iter(|| {
+            p.step(UnitsPerHour(1.0), 5.0);
+            black_box(p.bg())
+        });
+    });
+    group.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closed_loop_12h");
+    group.sample_size(20);
+    for platform in Platform::ALL {
+        group.bench_function(platform.name(), |b| {
+            b.iter(|| {
+                let mut patient = platform.patients().remove(0);
+                let mut controller = platform.controller_for(patient.as_ref());
+                let trace = run(
+                    patient.as_mut(),
+                    controller.as_mut(),
+                    None,
+                    None,
+                    &LoopConfig::default(),
+                );
+                black_box(trace.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_patient_models, bench_full_run);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p aps-bench --bin repro -- <experiment> [flags]
+//!
+//! experiments:
+//!   fig3                  loss-function shapes
+//!   fig7                  hazard coverage per patient + TTH distribution
+//!   fig8                  hazard coverage by fault type x initial BG
+//!   fig9                  reaction time per monitor
+//!   table5                CAWT vs Guideline/MPC/CAWOT (both platforms)
+//!   table6                CAWT vs DT/MLP/LSTM (sample + simulation level)
+//!   table7                mitigation: recovery rate / new hazards / risk
+//!   table8                patient-specific vs population thresholds
+//!   ablation-adversarial  faulty vs fault-free threshold training
+//!   ablation-multiclass   binary vs 3-class ML monitors
+//!   ablation-faultfree    monitors on fault-free data
+//!   ablation-hms          Eq.2 deadlines + context-dependent mitigation
+//!   ablation-noise        CAWT accuracy under CGM sensor error
+//!   summary               digest of all recorded results
+//!   all                   everything above, in order
+//!
+//! flags (workload scaling):
+//!   --quick | --full      presets (default: reduced single-core scale)
+//!   --patients 0,1,2      cohort indices
+//!   --bgs 100,140,180     initial glucose values
+//!   --starts 20,60        fault start steps
+//!   --durations 12,30     fault durations (steps)
+//!   --folds N             cross-validation folds
+//!   --steps N             cycles per simulation (150 = 12 h)
+//!   --epochs N            max training epochs for MLP/LSTM
+//!   --out DIR | --no-out  JSON result directory (default: results/)
+//! ```
+
+use aps_bench::experiments::{
+    ablations, accuracy, fig3, hms, mitigation, patient_specific, resilience,
+};
+use aps_bench::opts::ExpOpts;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(which) = args.first().cloned() else {
+        eprintln!("usage: repro <experiment> [flags]   (see --help)");
+        std::process::exit(2);
+    };
+    if which == "--help" || which == "-h" || which == "help" {
+        print!("{}", HELP);
+        return;
+    }
+    let opts = match ExpOpts::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let start = Instant::now();
+    let run_one = |name: &str| match name {
+        "fig3" => fig3::run(&opts),
+        "fig7" => resilience::fig7(&opts),
+        "fig8" => resilience::fig8(&opts),
+        "fig9" => accuracy::fig9(&opts),
+        "table5" => accuracy::table5(&opts),
+        "table6" => accuracy::table6(&opts),
+        "table7" => mitigation::table7(&opts),
+        "table8" => patient_specific::table8(&opts),
+        "ablation-adversarial" => ablations::adversarial(&opts),
+        "ablation-multiclass" => ablations::multiclass(&opts),
+        "ablation-faultfree" => ablations::fault_free_eval(&opts),
+        "ablation-hms" => hms::hms_mitigation(&opts),
+        "ablation-noise" => ablations::sensor_noise(&opts),
+        "summary" => {
+            let dir = opts.out_dir.clone().unwrap_or_else(|| "results".to_owned());
+            aps_bench::summary::print_summary(std::path::Path::new(&dir));
+        }
+        other => {
+            eprintln!("unknown experiment `{other}` (see --help)");
+            std::process::exit(2);
+        }
+    };
+
+    if which == "all" {
+        for name in [
+            "fig3",
+            "fig7",
+            "fig8",
+            "table5",
+            "table6",
+            "fig9",
+            "table7",
+            "table8",
+            "ablation-adversarial",
+            "ablation-multiclass",
+            "ablation-faultfree",
+            "ablation-hms",
+            "ablation-noise",
+        ] {
+            println!("\n{}\n## {}\n{}", "=".repeat(72), name, "=".repeat(72));
+            run_one(name);
+        }
+    } else {
+        run_one(&which);
+    }
+    eprintln!("\n[{} finished in {:.1?}]", which, start.elapsed());
+}
+
+const HELP: &str = r#"repro — regenerate the paper's tables and figures
+
+usage: repro <experiment> [flags]
+
+experiments:
+  fig3, fig7, fig8, fig9, table5, table6, table7, table8,
+  ablation-adversarial, ablation-multiclass, ablation-faultfree,
+  ablation-hms, ablation-noise, summary, all
+
+flags:
+  --quick | --full           workload presets
+  --patients 0,1,2           cohort indices (default 0..4)
+  --bgs 100,140,180          initial glucose values
+  --starts 20,60             fault start steps
+  --durations 12,30          fault durations in steps
+  --folds N                  cross-validation folds (default 4)
+  --steps N                  cycles per simulation (default 150)
+  --epochs N                 max MLP/LSTM training epochs
+  --out DIR | --no-out       JSON result directory (default results/)
+"#;

@@ -1,0 +1,158 @@
+//! Fig. 7 (hazard coverage per patient, TTH distribution) and Fig. 8
+//! (coverage by fault kind × initial BG) — resilience of the bare
+//! controller under fault injection.
+
+use crate::opts::ExpOpts;
+use crate::report::{write_json, Table};
+use aps_metrics::outcome::hazard_coverage;
+use aps_metrics::timing::{time_to_hazard, TimingStats};
+use aps_sim::campaign::run_campaign;
+use aps_sim::platform::Platform;
+use aps_types::SimTrace;
+use serde_json::json;
+use std::collections::BTreeMap;
+
+fn group_by<F: Fn(&SimTrace) -> Option<String>>(
+    traces: &[SimTrace],
+    key: F,
+) -> BTreeMap<String, Vec<&SimTrace>> {
+    let mut out: BTreeMap<String, Vec<&SimTrace>> = BTreeMap::new();
+    for t in traces {
+        if let Some(k) = key(t) {
+            out.entry(k).or_default().push(t);
+        }
+    }
+    out
+}
+
+/// Fig. 7: per-patient hazard coverage and the TTH distribution.
+pub fn fig7(opts: &ExpOpts) {
+    let platform = Platform::GlucosymOref0;
+    println!("Fig. 7 — resilience of the bare {} loop\n", platform.name());
+    let traces = run_campaign(&opts.campaign(platform), None);
+    let overall = hazard_coverage(&traces);
+    println!(
+        "{} simulations, overall hazard coverage {:.1}% (paper: 33.9%)\n",
+        traces.len(),
+        overall * 100.0
+    );
+
+    // (a) per-patient coverage.
+    let mut table = Table::new(&["patient", "coverage", ""]);
+    let per_patient = group_by(&traces, |t| Some(t.meta.patient.clone()));
+    let mut coverages = Vec::new();
+    for (patient, ts) in &per_patient {
+        let cov = hazard_coverage(ts.iter().copied());
+        coverages.push(json!({"patient": patient, "coverage": cov}));
+        table.row(&[
+            patient.clone(),
+            format!("{:>5.1}%", cov * 100.0),
+            "#".repeat((cov * 40.0) as usize),
+        ]);
+    }
+    println!("{}", table.render());
+    let values: Vec<f64> = per_patient
+        .values()
+        .map(|ts| hazard_coverage(ts.iter().copied()))
+        .collect();
+    let (lo, hi) = (
+        values.iter().cloned().fold(f64::INFINITY, f64::min),
+        values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    println!(
+        "per-patient spread {:.1}%..{:.1}% (paper: 6.7%..92.4% — motivates patient-specific thresholds)\n",
+        lo * 100.0,
+        hi * 100.0
+    );
+
+    // (b) TTH distribution.
+    let tths: Vec<f64> = traces.iter().filter_map(time_to_hazard).collect();
+    let stats = TimingStats::from_values(&tths);
+    let negative = tths.iter().filter(|&&t| t < 0.0).count();
+    println!(
+        "TTH: n={} mean={:.0} min (paper: ~180 min) sd={:.0} range=[{:.0},{:.0}]",
+        stats.n, stats.mean, stats.sd, stats.min, stats.max
+    );
+    println!(
+        "TTH < 0 in {:.1}% of hazardous runs (paper: 7.1% — hazards pre-dating the fault)\n",
+        if stats.n == 0 { 0.0 } else { 100.0 * negative as f64 / stats.n as f64 }
+    );
+    let mut hist = Table::new(&["TTH bucket", "count", ""]);
+    let buckets: [(&str, f64, f64); 6] = [
+        ("< 0", f64::NEG_INFINITY, 0.0),
+        ("0-1 h", 0.0, 60.0),
+        ("1-2 h", 60.0, 120.0),
+        ("2-4 h", 120.0, 240.0),
+        ("4-8 h", 240.0, 480.0),
+        ("> 8 h", 480.0, f64::INFINITY),
+    ];
+    for (label, lo, hi) in buckets {
+        let n = tths.iter().filter(|&&t| t >= lo && t < hi).count();
+        hist.row(&[label.to_owned(), n.to_string(), "#".repeat(n.min(60))]);
+    }
+    println!("{}", hist.render());
+
+    write_json(
+        &opts.out_dir,
+        "fig7",
+        &json!({
+            "overall_coverage": overall,
+            "per_patient": coverages,
+            "tth_mean_min": stats.mean,
+            "tth_sd_min": stats.sd,
+            "tth_negative_fraction":
+                if stats.n == 0 { 0.0 } else { negative as f64 / stats.n as f64 },
+        }),
+    );
+}
+
+/// Fig. 8: coverage by fault kind and by initial BG.
+pub fn fig8(opts: &ExpOpts) {
+    let platform = Platform::GlucosymOref0;
+    println!("Fig. 8 — hazard coverage by fault type and initial BG ({})\n", platform.name());
+    let traces = run_campaign(&opts.campaign(platform), None);
+
+    let kind_of = |t: &SimTrace| -> Option<String> {
+        let name = &t.meta.fault_name;
+        if name.is_empty() {
+            None
+        } else {
+            name.split('@').next().map(|s| s.to_owned())
+        }
+    };
+
+    // Rows: fault kind; columns: initial BG.
+    let mut header: Vec<String> = vec!["fault".to_owned()];
+    header.extend(opts.initial_bgs.iter().map(|b| format!("bg0={b:.0}")));
+    header.push("all".to_owned());
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+
+    let kinds = group_by(&traces, kind_of);
+    let mut results = Vec::new();
+    for (kind, ts) in &kinds {
+        let mut row = vec![kind.clone()];
+        let mut cells = Vec::new();
+        for bg0 in &opts.initial_bgs {
+            let sub: Vec<&SimTrace> = ts
+                .iter()
+                .copied()
+                .filter(|t| (t.meta.initial_bg - bg0).abs() < 1e-9)
+                .collect();
+            let cov = hazard_coverage(sub);
+            cells.push(cov);
+            row.push(format!("{:>5.1}%", cov * 100.0));
+        }
+        let all = hazard_coverage(ts.iter().copied());
+        row.push(format!("{:>5.1}%", all * 100.0));
+        results.push(json!({"fault": kind, "by_bg": cells, "overall": all}));
+        table.row(&row);
+    }
+    println!("{}", table.render());
+    println!(
+        "paper shape: max-rate / max-glucose faults dominate; bitflip faults are mild;\n\
+         coverage tends to grow with the initial BG for about half the fault kinds."
+    );
+
+    write_json(&opts.out_dir, "fig8", &json!({ "rows": results }));
+}

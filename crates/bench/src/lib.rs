@@ -1,0 +1,21 @@
+//! Experiment harness reproducing every table and figure of the
+//! paper's evaluation (§V) plus the discussion ablations (§VI).
+//!
+//! The `repro` binary exposes one subcommand per experiment; this
+//! library holds the shared machinery:
+//!
+//! * [`opts::ExpOpts`] — workload scaling (patients, initial BGs,
+//!   fault grid, folds) with `--full` for paper-scale runs;
+//! * [`zoo`] — construction and training of every monitor the paper
+//!   compares (Guideline, MPC, CAWOT, CAWT, DT, MLP, LSTM);
+//! * [`experiments`] — one module per table/figure;
+//! * [`report`] — aligned text tables and JSON result dumps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod opts;
+pub mod report;
+pub mod summary;
+pub mod zoo;

@@ -1,0 +1,121 @@
+//! Text-table rendering and JSON result persistence.
+
+use serde_json::Value;
+use std::fs;
+use std::path::Path;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (missing cells become empty).
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len().max(
+            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
+        );
+        let mut widths = vec![0usize; ncols];
+        let all = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_owned()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio as the paper prints them (`<0.01` below 1%).
+pub fn rate(v: f64) -> String {
+    if v > 0.0 && v < 0.01 {
+        "<0.01".to_owned()
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Writes a JSON result document under `out_dir` (created on demand).
+/// No-op when `out_dir` is `None`.
+pub fn write_json(out_dir: &Option<String>, name: &str, value: &Value) {
+    let Some(dir) = out_dir else { return };
+    let path = Path::new(dir);
+    if let Err(e) = fs::create_dir_all(path) {
+        eprintln!("warning: cannot create {dir}: {e}");
+        return;
+    }
+    let file = path.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&file, s) {
+                eprintln!("warning: cannot write {}: {e}", file.display());
+            } else {
+                println!("  [results written to {}]", file.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["monitor", "F1"]);
+        t.row(&["guideline".to_owned(), "0.73".to_owned()]);
+        t.row(&["cawt".to_owned(), "0.97".to_owned()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("monitor"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].starts_with("guideline"));
+        // Columns aligned: "F1" starts at the same offset everywhere.
+        let col = lines[0].find("F1").unwrap();
+        assert_eq!(&lines[2][col..col + 4], "0.73");
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(rate(0.005), "<0.01");
+        assert_eq!(rate(0.0), "0.00");
+        assert_eq!(rate(0.25), "0.25");
+    }
+
+    #[test]
+    fn write_json_none_is_noop() {
+        write_json(&None, "x", &serde_json::json!({"a": 1}));
+    }
+}

@@ -1,0 +1,193 @@
+//! `repro summary` — one-page digest of everything in `results/`.
+//!
+//! Each experiment subcommand writes a JSON record; this module reads
+//! whatever subset exists and prints a single table of headline
+//! numbers, so the state of a reproduction run can be reviewed without
+//! re-executing anything.
+
+use crate::report::Table;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Known experiment files (basename → human title), in report order.
+pub const KNOWN: &[(&str, &str)] = &[
+    ("fig7", "Fig. 7 — controller resilience"),
+    ("table5", "Table V — CAWT vs non-ML monitors"),
+    ("table6", "Table VI — CAWT vs ML monitors"),
+    ("fig9", "Fig. 9 — reaction time"),
+    ("table7", "Table VII — mitigation"),
+    ("table8", "Table VIII — patient-specific thresholds"),
+    ("ablation_adversarial", "Ablation — adversarial training"),
+    ("ablation_multiclass", "Ablation — multi-class ML"),
+    ("ablation_faultfree", "Ablation — fault-free overfitting"),
+    ("ablation_hms", "Extension — HMS / Eq. 2"),
+    ("ablation_noise", "Extension — CGM sensor error"),
+];
+
+/// Loads every known result file that exists under `dir`.
+pub fn load_results(dir: &Path) -> BTreeMap<String, Value> {
+    let mut out = BTreeMap::new();
+    for (name, _) in KNOWN {
+        let path = dir.join(format!("{name}.json"));
+        let Ok(text) = std::fs::read_to_string(&path) else { continue };
+        if let Ok(value) = serde_json::from_str::<Value>(&text) {
+            out.insert((*name).to_owned(), value);
+        }
+    }
+    out
+}
+
+/// Extracts the headline line for one experiment's JSON, if possible.
+pub fn headline(name: &str, value: &Value) -> Option<String> {
+    let rows = value.get("rows").and_then(Value::as_array);
+    let pick = |key: &str, row: &Value| row.get(key).and_then(Value::as_f64);
+    let find_row = |field: &str, want: &str| -> Option<Value> {
+        rows?.iter()
+            .find(|r| {
+                r.get(field).and_then(Value::as_str).is_some_and(|s| {
+                    s.to_ascii_lowercase().contains(&want.to_ascii_lowercase())
+                })
+            })
+            .cloned()
+    };
+    match name {
+        "fig7" => {
+            let coverage = value.get("overall_coverage").and_then(Value::as_f64)?;
+            let tth = value.get("tth_mean_min").and_then(Value::as_f64);
+            Some(match tth {
+                Some(t) => {
+                    format!("hazard coverage {:.1}%, mean TTH {t:.0} min", coverage * 100.0)
+                }
+                None => format!("hazard coverage {:.1}%", coverage * 100.0),
+            })
+        }
+        "table5" | "table6" => {
+            let cawt = find_row("monitor", "cawt")?;
+            // Table VI nests sample-level metrics one level down.
+            let metrics = cawt.get("sample").cloned().unwrap_or_else(|| cawt.clone());
+            Some(format!(
+                "CAWT F1 {:.2}, FPR {:.2}, FNR {:.2}",
+                pick("f1", &metrics)?,
+                pick("fpr", &metrics)?,
+                pick("fnr", &metrics)?,
+            ))
+        }
+        "fig9" => {
+            let cawt = find_row("monitor", "cawt")?;
+            Some(format!(
+                "CAWT mean reaction {:.0} min, EDR {:.0}%",
+                pick("mean_min", &cawt)?,
+                pick("edr", &cawt)? * 100.0,
+            ))
+        }
+        "table7" => {
+            let cawt = find_row("monitor", "cawt")?;
+            Some(format!(
+                "CAWT recovery {:.1}%, {} new hazards, risk {:.2}",
+                pick("recovery_rate", &cawt)? * 100.0,
+                cawt.get("new_hazards").and_then(Value::as_u64)?,
+                pick("avg_risk", &cawt)?,
+            ))
+        }
+        "ablation_hms" => {
+            let ctx = find_row("policy", "context")?;
+            Some(format!(
+                "context-aware recovery {:.1}%, TIR {:.1}%",
+                pick("recovery_rate", &ctx)? * 100.0,
+                pick("tir", &ctx)? * 100.0,
+            ))
+        }
+        "ablation_noise" => {
+            let worst = find_row("condition", "degraded")?;
+            Some(format!(
+                "degraded-sensor F1 {:.2} (MARD {:.1}%)",
+                pick("f1", &worst)?,
+                pick("mard", &worst)? * 100.0,
+            ))
+        }
+        _ => {
+            let n = rows.map(|r| r.len()).unwrap_or(0);
+            (n > 0).then(|| format!("{n} result rows recorded"))
+        }
+    }
+}
+
+/// Prints the digest for `dir`; returns how many experiments were
+/// found.
+pub fn print_summary(dir: &Path) -> usize {
+    let results = load_results(dir);
+    println!("reproduction summary — {} of {} experiments recorded in {}\n",
+        results.len(), KNOWN.len(), dir.display());
+    let mut table = Table::new(&["experiment", "headline"]);
+    for (name, title) in KNOWN {
+        let line = match results.get(*name) {
+            Some(v) => {
+                headline(name, v).unwrap_or_else(|| "recorded (no headline)".into())
+            }
+            None => "— not run".into(),
+        };
+        table.row(&[(*title).to_owned(), line]);
+    }
+    println!("{}", table.render());
+    results.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn headline_for_mitigation_table() {
+        let v = json!({"rows": [
+            {"monitor": "cawt", "recovery_rate": 0.54, "new_hazards": 8, "avg_risk": 0.02},
+            {"monitor": "dt", "recovery_rate": 0.40, "new_hazards": 227, "avg_risk": 0.76},
+        ]});
+        let h = headline("table7", &v).unwrap();
+        assert!(h.contains("54.0%") && h.contains("8 new hazards"), "{h}");
+    }
+
+    #[test]
+    fn headline_for_hms_extension() {
+        let v = json!({"rows": [
+            {"policy": "fixed (Algorithm 1)", "recovery_rate": 0.78, "tir": 0.989},
+            {"policy": "context-aware f(rho,u)", "recovery_rate": 0.785, "tir": 0.989},
+        ]});
+        let h = headline("ablation_hms", &v).unwrap();
+        assert!(h.contains("78.5%"), "{h}");
+    }
+
+    #[test]
+    fn headline_tolerates_missing_fields() {
+        assert_eq!(headline("table7", &json!({"rows": []})), None);
+        assert_eq!(headline("table5", &json!({})), None);
+        let generic = headline("ablation_multiclass", &json!({"rows": [{}, {}]}));
+        assert_eq!(generic.as_deref(), Some("2 result rows recorded"));
+    }
+
+    #[test]
+    fn load_results_skips_missing_and_malformed() {
+        let dir = std::env::temp_dir().join("aps_summary_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("table7.json"), r#"{"rows": []}"#).unwrap();
+        std::fs::write(dir.join("fig9.json"), "not json").unwrap();
+        let results = load_results(&dir);
+        assert!(results.contains_key("table7"));
+        assert!(!results.contains_key("fig9"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn print_summary_counts_found_experiments() {
+        let dir = std::env::temp_dir().join("aps_summary_count_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("ablation_noise.json"),
+            r#"{"rows": [{"condition": "degraded sensor", "f1": 0.67, "mard": 0.086}]}"#,
+        )
+        .unwrap();
+        assert_eq!(print_summary(&dir), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,399 @@
+//! The monitor zoo: construction and training of every monitor the
+//! paper compares.
+
+use crate::opts::ExpOpts;
+use aps_core::learning::{learn_thresholds, traces_for_patient, LearnConfig};
+use aps_core::monitors::{
+    CawMonitor, GuidelineConfig, GuidelineMonitor, HazardMonitor, LstmMonitor, MlMonitor,
+    MpcMonitor,
+};
+use aps_core::scs::Scs;
+use aps_ml::data::{Dataset, StandardScaler};
+use aps_ml::lstm::{Lstm, LstmConfig, SeqDataset};
+use aps_ml::mlp::{Mlp, MlpConfig};
+use aps_ml::tree::{DecisionTree, TreeConfig};
+use aps_sim::dataset::{balance, build_dataset, build_seq_dataset, LabelMode};
+use aps_sim::platform::Platform;
+use aps_types::{SimTrace, UnitsPerHour};
+use std::collections::HashMap;
+
+/// The monitors of Tables V–VII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MonitorKind {
+    /// Medical-guidelines baseline (Table III).
+    Guideline,
+    /// Model-predictive-control baseline (Eq. 6).
+    Mpc,
+    /// Context-aware, guideline-default thresholds.
+    Cawot,
+    /// Context-aware with learned patient-specific thresholds.
+    Cawt,
+    /// Context-aware with population-based thresholds (Table VIII).
+    CawtPopulation,
+    /// Decision-tree baseline (binary).
+    Dt,
+    /// MLP baseline (binary).
+    Mlp,
+    /// LSTM baseline (binary, 30-minute window).
+    Lstm,
+    /// Decision tree retrained as 3-class (§VI ablation).
+    DtMulti,
+    /// MLP retrained as 3-class (§VI ablation).
+    MlpMulti,
+}
+
+impl MonitorKind {
+    /// Display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MonitorKind::Guideline => "Guideline",
+            MonitorKind::Mpc => "MPC",
+            MonitorKind::Cawot => "CAWOT",
+            MonitorKind::Cawt => "CAWT",
+            MonitorKind::CawtPopulation => "CAWT-pop",
+            MonitorKind::Dt => "DT",
+            MonitorKind::Mlp => "MLP",
+            MonitorKind::Lstm => "LSTM",
+            MonitorKind::DtMulti => "DT-3c",
+            MonitorKind::MlpMulti => "MLP-3c",
+        }
+    }
+
+    /// `true` for monitors needing trained artifacts.
+    pub fn needs_training(&self) -> bool {
+        !matches!(self, MonitorKind::Guideline | MonitorKind::Mpc | MonitorKind::Cawot)
+    }
+}
+
+/// The LSTM monitor's sliding-window length (30 minutes).
+pub const LSTM_WINDOW: usize = 6;
+
+/// Trained artifacts for one platform, built from one training set.
+pub struct Zoo {
+    platform: Platform,
+    basal_by_patient: HashMap<String, UnitsPerHour>,
+    cawot: Scs,
+    cawt_by_patient: HashMap<String, Scs>,
+    cawt_population: Scs,
+    ml: Option<MlArtifacts>,
+}
+
+/// Trained ML baselines (scaler + models), built on demand.
+pub struct MlArtifacts {
+    scaler: StandardScaler,
+    dt: DecisionTree,
+    dt_multi: DecisionTree,
+    mlp: Mlp,
+    mlp_multi: Mlp,
+    lstm: Lstm,
+}
+
+/// Deterministically caps a flat dataset at `cap` samples (stride
+/// subsampling; 0 disables).
+fn cap_dataset(ds: Dataset, cap: usize) -> Dataset {
+    if cap == 0 || ds.len() <= cap {
+        return ds;
+    }
+    let stride = ds.len().div_ceil(cap);
+    let idx: Vec<usize> = (0..ds.len()).step_by(stride).collect();
+    ds.subset(&idx)
+}
+
+fn cap_seq(ds: SeqDataset, cap: usize) -> SeqDataset {
+    if cap == 0 || ds.len() <= cap {
+        return ds;
+    }
+    let stride = ds.len().div_ceil(cap);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for i in (0..ds.len()).step_by(stride) {
+        x.push(ds.x[i].clone());
+        y.push(ds.y[i]);
+    }
+    SeqDataset::new(x, y)
+}
+
+/// Groups traces by patient and builds a flat dataset with the right
+/// per-patient basal for context reconstruction.
+fn dataset_across_patients(
+    traces: &[SimTrace],
+    basal_by_patient: &HashMap<String, UnitsPerHour>,
+    mode: LabelMode,
+) -> Dataset {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    let mut by_patient: HashMap<&str, Vec<SimTrace>> = HashMap::new();
+    for t in traces {
+        by_patient.entry(t.meta.patient.as_str()).or_default().push(t.clone());
+    }
+    let mut keys: Vec<&str> = by_patient.keys().copied().collect();
+    keys.sort_unstable();
+    for patient in keys {
+        let basal = basal_by_patient
+            .get(patient)
+            .copied()
+            .unwrap_or(UnitsPerHour(1.0));
+        let ds = build_dataset(&by_patient[patient], basal, mode);
+        x.extend(ds.x);
+        y.extend(ds.y);
+    }
+    Dataset::new(x, y)
+}
+
+fn seq_dataset_across_patients(
+    traces: &[SimTrace],
+    basal_by_patient: &HashMap<String, UnitsPerHour>,
+    mode: LabelMode,
+) -> SeqDataset {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    let mut by_patient: HashMap<&str, Vec<SimTrace>> = HashMap::new();
+    for t in traces {
+        by_patient.entry(t.meta.patient.as_str()).or_default().push(t.clone());
+    }
+    let mut keys: Vec<&str> = by_patient.keys().copied().collect();
+    keys.sort_unstable();
+    for patient in keys {
+        let basal = basal_by_patient
+            .get(patient)
+            .copied()
+            .unwrap_or(UnitsPerHour(1.0));
+        let ds = build_seq_dataset(&by_patient[patient], basal, mode, LSTM_WINDOW);
+        x.extend(ds.x);
+        y.extend(ds.y);
+    }
+    SeqDataset::new(x, y)
+}
+
+impl Zoo {
+    /// Trains only the threshold-learning artifacts (CAWT); cheap.
+    pub fn train(platform: Platform, opts: &ExpOpts, train_traces: &[SimTrace]) -> Zoo {
+        Zoo::train_inner(platform, opts, train_traces, false)
+    }
+
+    /// Trains thresholds *and* the ML baselines (DT/MLP/LSTM).
+    pub fn train_full(platform: Platform, opts: &ExpOpts, train_traces: &[SimTrace]) -> Zoo {
+        Zoo::train_inner(platform, opts, train_traces, true)
+    }
+
+    fn train_inner(
+        platform: Platform,
+        opts: &ExpOpts,
+        train_traces: &[SimTrace],
+        with_ml: bool,
+    ) -> Zoo {
+        let basal_by_patient: HashMap<String, UnitsPerHour> = platform
+            .patients()
+            .iter()
+            .map(|p| (p.name().to_owned(), platform.basal_for(p.as_ref())))
+            .collect();
+        let cawot = Scs::with_default_thresholds(platform.target());
+
+        // Threshold learning: patient-specific and population.
+        let learn_cfg = LearnConfig::default();
+        let mut cawt_by_patient = HashMap::new();
+        for (patient, basal) in &basal_by_patient {
+            let subset = traces_for_patient(train_traces, patient);
+            let (scs, _fits) = learn_thresholds(&cawot, &subset, *basal, &learn_cfg);
+            cawt_by_patient.insert(patient.clone(), scs);
+        }
+        let mean_basal = UnitsPerHour(
+            basal_by_patient.values().map(|b| b.value()).sum::<f64>()
+                / basal_by_patient.len().max(1) as f64,
+        );
+        let (cawt_population, _) =
+            learn_thresholds(&cawot, train_traces, mean_basal, &learn_cfg);
+
+        let ml = with_ml.then(|| {
+            // ML datasets (balanced, capped, standardized).
+            let flat =
+                dataset_across_patients(train_traces, &basal_by_patient, LabelMode::Binary);
+            let flat = cap_dataset(balance(&flat, 3), opts.train_cap);
+            let scaler = StandardScaler::fit(&flat);
+            let flat_scaled = scaler.transform_dataset(&flat);
+
+            let flat3 = dataset_across_patients(
+                train_traces,
+                &basal_by_patient,
+                LabelMode::MultiClass,
+            );
+            let flat3 = cap_dataset(balance(&flat3, 3), opts.train_cap);
+            let flat3_scaled = scaler.transform_dataset(&flat3);
+
+            let seq = seq_dataset_across_patients(
+                train_traces,
+                &basal_by_patient,
+                LabelMode::Binary,
+            );
+            let seq = cap_seq(seq, opts.seq_train_cap);
+            let seq_scaled = SeqDataset::new(
+                seq.x
+                    .iter()
+                    .map(|s| s.iter().map(|f| scaler.transform(f)).collect())
+                    .collect(),
+                seq.y.clone(),
+            );
+
+            let tree_cfg = TreeConfig::default();
+            let dt = DecisionTree::fit(&flat_scaled, &tree_cfg);
+            let dt_multi = DecisionTree::fit(&flat3_scaled, &tree_cfg);
+
+            let mlp_cfg = MlpConfig {
+                hidden: opts.mlp_hidden.clone(),
+                max_epochs: opts.max_epochs,
+                ..MlpConfig::default()
+            };
+            let mlp = Mlp::fit(&flat_scaled, &mlp_cfg);
+            let mlp_multi = Mlp::fit(&flat3_scaled, &mlp_cfg);
+
+            let lstm_cfg = LstmConfig {
+                hidden: opts.lstm_hidden.clone(),
+                max_epochs: opts.max_epochs.min(30),
+                ..LstmConfig::default()
+            };
+            let lstm = Lstm::fit(&seq_scaled, &lstm_cfg);
+            MlArtifacts { scaler, dt, dt_multi, mlp, mlp_multi, lstm }
+        });
+
+        Zoo {
+            platform,
+            basal_by_patient,
+            cawot,
+            cawt_by_patient,
+            cawt_population,
+            ml,
+        }
+    }
+
+    /// The platform the zoo was trained for.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// The learned patient-specific SCS for one patient.
+    pub fn cawt_scs(&self, patient: &str) -> &Scs {
+        self.cawt_by_patient.get(patient).unwrap_or(&self.cawt_population)
+    }
+
+    /// The learned population SCS.
+    pub fn population_scs(&self) -> &Scs {
+        &self.cawt_population
+    }
+
+    /// Basal rate for a patient (monitor context reference).
+    pub fn basal(&self, patient: &str) -> UnitsPerHour {
+        self.basal_by_patient.get(patient).copied().unwrap_or(UnitsPerHour(1.0))
+    }
+
+    /// Builds a fresh monitor of `kind` for a trace's patient.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an ML monitor is requested from a zoo trained with
+    /// [`Zoo::train`] (thresholds only) instead of
+    /// [`Zoo::train_full`].
+    pub fn make(&self, kind: MonitorKind, patient: &str) -> Box<dyn HazardMonitor> {
+        let basal = self.basal(patient);
+        let target = self.platform.target();
+        let ml = || self.ml.as_ref().expect("zoo was trained without ML artifacts");
+        match kind {
+            MonitorKind::Guideline => {
+                Box::new(GuidelineMonitor::new(GuidelineConfig::default()))
+            }
+            MonitorKind::Mpc => Box::new(MpcMonitor::population()),
+            MonitorKind::Cawot => {
+                Box::new(CawMonitor::new("cawot", self.cawot.clone(), basal))
+            }
+            MonitorKind::Cawt => Box::new(CawMonitor::new(
+                "cawt",
+                self.cawt_scs(patient).clone(),
+                basal,
+            )),
+            MonitorKind::CawtPopulation => Box::new(CawMonitor::new(
+                "cawt-pop",
+                self.cawt_population.clone(),
+                basal,
+            )),
+            MonitorKind::Dt => Box::new(MlMonitor::binary(
+                "dt",
+                Box::new(ml().dt.clone()),
+                ml().scaler.clone(),
+                basal,
+                target,
+            )),
+            MonitorKind::DtMulti => Box::new(MlMonitor::multiclass(
+                "dt-3c",
+                Box::new(ml().dt_multi.clone()),
+                ml().scaler.clone(),
+                basal,
+                target,
+            )),
+            MonitorKind::Mlp => Box::new(MlMonitor::binary(
+                "mlp",
+                Box::new(ml().mlp.clone()),
+                ml().scaler.clone(),
+                basal,
+                target,
+            )),
+            MonitorKind::MlpMulti => Box::new(MlMonitor::multiclass(
+                "mlp-3c",
+                Box::new(ml().mlp_multi.clone()),
+                ml().scaler.clone(),
+                basal,
+                target,
+            )),
+            MonitorKind::Lstm => Box::new(LstmMonitor::binary(
+                "lstm",
+                Box::new(ml().lstm.clone()),
+                ml().scaler.clone(),
+                basal,
+                target,
+                LSTM_WINDOW,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_sim::campaign::{run_campaign, CampaignSpec};
+
+    #[test]
+    fn zoo_trains_and_builds_every_monitor() {
+        let platform = Platform::GlucosymOref0;
+        let spec = CampaignSpec {
+            patient_indices: vec![0],
+            initial_bgs: vec![140.0],
+            ..CampaignSpec::quick(platform)
+        };
+        let traces = run_campaign(&spec, None);
+        let opts = ExpOpts::quick();
+        let zoo = Zoo::train_full(platform, &opts, &traces);
+        let kinds = [
+            MonitorKind::Guideline,
+            MonitorKind::Mpc,
+            MonitorKind::Cawot,
+            MonitorKind::Cawt,
+            MonitorKind::CawtPopulation,
+            MonitorKind::Dt,
+            MonitorKind::Mlp,
+            MonitorKind::Lstm,
+            MonitorKind::DtMulti,
+            MonitorKind::MlpMulti,
+        ];
+        for kind in kinds {
+            let mut m = zoo.make(kind, "glucosym/patientA");
+            // A monitor must at least survive a few checks.
+            let replayed = aps_sim::replay::replay_monitor(&traces[1], m.as_mut());
+            assert_eq!(replayed.len(), traces[1].len(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn cap_helpers_respect_limits() {
+        let ds = Dataset::new((0..100).map(|i| vec![i as f64]).collect(), vec![0; 100]);
+        assert_eq!(cap_dataset(ds.clone(), 0).len(), 100);
+        assert!(cap_dataset(ds, 25).len() <= 25);
+    }
+}

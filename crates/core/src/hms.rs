@@ -1,0 +1,748 @@
+//! Hazard Mitigation Specification (HMS) — the paper's Eq. 2.
+//!
+//! The SCS framework has two halves. The UCA Specification (Table I,
+//! [`scs`](crate::scs)) tells the monitor which control actions are
+//! unsafe in which contexts; the **Hazard Mitigation Specification**
+//! pairs each unsafe context `ρ(µ(x))` with the set of safe corrective
+//! actions `u_ρ` and a deadline `t_s` — "the latest possible time a
+//! mitigation action should be initiated after a potential UCA is
+//! detected to prevent hazards":
+//!
+//! ```text
+//! G[t0,te]( (F[0,ts] u_c)  S  (φ1(µ1(x)) ∧ … ∧ φm(µm(x))) )     (Eq. 2)
+//! ```
+//!
+//! The paper leaves learning `t_s` and the context-dependent selection
+//! function `f(ρ(µ(x)), u_t)` as future work and evaluates with the
+//! fixed Algorithm-1 policy. This module implements that extension:
+//!
+//! * [`Hms`] — the specification itself, derived from an [`Scs`] rule
+//!   set (safe actions per hazard side) with per-rule deadlines;
+//! * [`Hms::learn_ts`] — data-driven refinement of `t_s` from the
+//!   Time-to-Hazard distribution of fault-injection traces (the paper
+//!   notes TTH "can provide an upper bound for specifying this time
+//!   requirement");
+//! * [`Hms::to_stl`] / [`Hms::response_stl`] — the Eq. 2 formula and
+//!   its trace-checkable response-pattern variant;
+//! * [`HmsReport`] / [`Hms::check_trace`] — post-hoc verification that
+//!   a mitigated run actually honored every deadline;
+//! * [`ContextMitigator`] — a context-dependent `f(ρ(µ(x)), u_t)` that
+//!   replaces Algorithm 1's fixed maximum-insulin correction with a
+//!   proportional dose discounted by the insulin already on board.
+
+use crate::context::{ContextBuilder, ContextVector};
+use crate::scs::{Scs, UcaRule};
+use aps_stl::{CmpOp, Formula};
+use aps_types::{
+    ControlAction, Hazard, MgDl, SimTrace, Step, UnitsPerHour, CONTROL_CYCLE_MINUTES,
+};
+use serde::{Deserialize, Serialize};
+
+/// Default mitigation deadline when no data is available: 30 minutes
+/// (6 control cycles) — well inside the ≈3 h mean TTH the paper
+/// measures, leaving the slow glucose dynamics time to respond.
+pub const DEFAULT_TS_STEPS: usize = 6;
+
+/// One mitigation rule: in the context of UCA rule `uca_id`, one of
+/// `safe_actions` must be initiated within `ts_steps` control cycles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HmsRule {
+    /// Table I row whose context triggers this rule.
+    pub uca_id: u8,
+    /// The hazard being mitigated (inherited from the UCA rule).
+    pub hazard: Hazard,
+    /// Safe corrective actions `u_ρ` for the context.
+    pub safe_actions: Vec<ControlAction>,
+    /// Deadline `t_s` in control cycles (1 cycle = 5 min).
+    pub ts_steps: usize,
+}
+
+impl HmsRule {
+    /// Deadline in minutes.
+    pub fn ts_minutes(&self) -> f64 {
+        self.ts_steps as f64 * CONTROL_CYCLE_MINUTES
+    }
+}
+
+/// The full mitigation specification: one [`HmsRule`] per UCA context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hms {
+    /// Regulation target (shared with the SCS).
+    pub target: MgDl,
+    /// Mitigation rules, in Table I order.
+    pub rules: Vec<HmsRule>,
+}
+
+impl Hms {
+    /// Derives the HMS from an SCS rule set (§III-B2 step 2: "for each
+    /// context in UCAS, find all control actions `u_c` such that
+    /// `(ρ(µ(x)), u_c) ↦ X*`").
+    ///
+    /// For the APS action alphabet the safe sets follow from the hazard
+    /// direction: an H2 context (too little insulin) is corrected by
+    /// `increase_insulin`; an H1 context (too much) by `stop_insulin`,
+    /// with `decrease_insulin` also acceptable for the non-mandatory H1
+    /// rules. Deadlines start at [`DEFAULT_TS_STEPS`] and are refined
+    /// by [`learn_ts`](Self::learn_ts).
+    pub fn for_scs(scs: &Scs) -> Hms {
+        let rules = scs
+            .rules
+            .iter()
+            .map(|r| HmsRule {
+                uca_id: r.id,
+                hazard: r.hazard,
+                safe_actions: match r.hazard {
+                    Hazard::H1 => {
+                        if r.id == 10 {
+                            // Rule 10 already *requires* a stop.
+                            vec![ControlAction::StopInsulin]
+                        } else {
+                            vec![ControlAction::StopInsulin, ControlAction::DecreaseInsulin]
+                        }
+                    }
+                    Hazard::H2 => vec![ControlAction::IncreaseInsulin],
+                },
+                ts_steps: DEFAULT_TS_STEPS,
+            })
+            .collect();
+        Hms { target: scs.target, rules }
+    }
+
+    /// Looks up the mitigation rule for a UCA rule id.
+    pub fn rule_for(&self, uca_id: u8) -> Option<&HmsRule> {
+        self.rules.iter().find(|r| r.uca_id == uca_id)
+    }
+
+    /// Learns the per-rule deadlines `t_s` from the Time-to-Hazard
+    /// distribution of hazardous fault-injection traces.
+    ///
+    /// For each hazard type, the deadline is set to
+    /// `safety_fraction × quantile(TTH)` — a low quantile of the
+    /// observed fault-to-hazard delay, further shrunk by a safety
+    /// factor, so that even the fastest-developing hazards of that type
+    /// leave the actuation time to take effect. Returns the number of
+    /// rules whose deadline was updated; rules of a hazard type with no
+    /// observed TTH keep their current deadline.
+    pub fn learn_ts(&mut self, traces: &[SimTrace], config: &TsLearnConfig) -> usize {
+        let mut updated = 0;
+        for hazard in [Hazard::H1, Hazard::H2] {
+            let mut tth_steps: Vec<f64> = traces
+                .iter()
+                .filter(|t| t.meta.hazard_type == Some(hazard))
+                .filter_map(|t| {
+                    let tf = t.meta.fault_start?;
+                    let th = t.hazard_onset()?;
+                    (th.0 >= tf.0).then(|| (th.0 - tf.0) as f64)
+                })
+                .collect();
+            if tth_steps.is_empty() {
+                continue;
+            }
+            tth_steps.sort_by(|a, b| a.partial_cmp(b).expect("TTH is finite"));
+            let q = config.quantile.clamp(0.0, 1.0);
+            let idx = ((tth_steps.len() - 1) as f64 * q).round() as usize;
+            let ts = (tth_steps[idx] * config.safety_fraction)
+                .floor()
+                .max(config.min_steps as f64)
+                .min(config.max_steps as f64) as usize;
+            for rule in self.rules.iter_mut().filter(|r| r.hazard == hazard) {
+                if rule.ts_steps != ts {
+                    rule.ts_steps = ts;
+                    updated += 1;
+                }
+            }
+        }
+        updated
+    }
+
+    /// The Eq. 2 formula for one rule:
+    /// `G[0,te]( (F[0,ts] safe) S context )`, over the signals
+    /// `bg, bg', iob, iob', u`.
+    ///
+    /// Note Eq. 2's outer `S` makes the formula unsatisfiable before
+    /// the context has held at least once; it is the paper's *shape*
+    /// and is exposed for specification export. For checking recorded
+    /// traces use [`response_stl`](Self::response_stl) or
+    /// [`check_trace`](Self::check_trace).
+    pub fn to_stl(&self, scs: &Scs, te: usize) -> Vec<Formula> {
+        self.zip_rules(scs)
+            .map(|(h, u)| {
+                Formula::Since(
+                    Box::new(h.safe_action_stl().eventually(0, h.ts_steps)),
+                    Box::new(u.context_stl(self.target)),
+                )
+                .globally(0, te)
+            })
+            .collect()
+    }
+
+    /// The trace-checkable response-pattern variant of Eq. 2:
+    /// `G[0,te]( context ⇒ F[0,ts] safe )` — "whenever the unsafe
+    /// context holds, a safe corrective action is initiated within
+    /// `t_s`". Equivalent intent, well-defined on finite traces.
+    pub fn response_stl(&self, scs: &Scs, te: usize) -> Vec<Formula> {
+        self.zip_rules(scs)
+            .map(|(h, u)| {
+                u.context_stl(self.target)
+                    .implies(h.safe_action_stl().eventually(0, h.ts_steps))
+                    .globally(0, te)
+            })
+            .collect()
+    }
+
+    fn zip_rules<'a>(
+        &'a self,
+        scs: &'a Scs,
+    ) -> impl Iterator<Item = (&'a HmsRule, &'a UcaRule)> + 'a {
+        self.rules.iter().filter_map(move |h| Some((h, scs.rule(h.uca_id)?)))
+    }
+
+    /// Post-hoc verification of a recorded (mitigated) run: for every
+    /// onset of a UCA (the rule's context holds *and* the issued action
+    /// violates it — the moment the paper's deadline clock starts), was
+    /// a safe corrective action initiated within `t_s`?
+    ///
+    /// The context is reconstructed from the trace's recorded
+    /// BG/IOB series (see [`context_series`]); deadline windows
+    /// truncated by the end of the trace are not counted as violations
+    /// (the run ended before the deadline expired).
+    pub fn check_trace(&self, scs: &Scs, trace: &SimTrace) -> HmsReport {
+        let contexts = context_series(trace);
+        let mut report = HmsReport::default();
+        for (hms_rule, uca_rule) in self.zip_rules(scs) {
+            let matches: Vec<bool> = contexts
+                .iter()
+                .zip(trace.iter())
+                .map(|(c, rec)| uca_rule.violated_by(c, rec.action, self.target))
+                .collect();
+            for t in 0..matches.len() {
+                let entered = matches[t] && (t == 0 || !matches[t - 1]);
+                if !entered {
+                    continue;
+                }
+                report.entries += 1;
+                let deadline = t + hms_rule.ts_steps;
+                if deadline >= trace.len() {
+                    report.truncated += 1;
+                    continue;
+                }
+                let honored = trace.records[t..=deadline]
+                    .iter()
+                    .any(|r| hms_rule.safe_actions.contains(&r.action));
+                if honored {
+                    report.honored += 1;
+                } else {
+                    report.violations.push(HmsViolation {
+                        rule_id: hms_rule.uca_id,
+                        entered_at: Step(t as u32),
+                        deadline: Step(deadline as u32),
+                    });
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Configuration for [`Hms::learn_ts`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TsLearnConfig {
+    /// Which quantile of the TTH distribution to anchor on (low =
+    /// conservative; default 0.1 ≈ the fastest decile of hazards).
+    pub quantile: f64,
+    /// Fraction of that TTH quantile to allow before mitigation must
+    /// start (default 0.5).
+    pub safety_fraction: f64,
+    /// Deadline floor in control cycles.
+    pub min_steps: usize,
+    /// Deadline ceiling in control cycles.
+    pub max_steps: usize,
+}
+
+impl Default for TsLearnConfig {
+    fn default() -> TsLearnConfig {
+        TsLearnConfig { quantile: 0.1, safety_fraction: 0.5, min_steps: 1, max_steps: 24 }
+    }
+}
+
+impl HmsRule {
+    /// `u = uc1 ∨ u = uc2 ∨ …` over the action signal.
+    fn safe_action_stl(&self) -> Formula {
+        let preds: Vec<Formula> = self
+            .safe_actions
+            .iter()
+            .map(|a| Formula::pred("u", CmpOp::Eq, a.paper_index() as f64))
+            .collect();
+        if preds.len() == 1 {
+            preds.into_iter().next().expect("non-empty")
+        } else {
+            Formula::Or(preds)
+        }
+    }
+}
+
+/// One missed mitigation deadline found by [`Hms::check_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HmsViolation {
+    /// Table I rule whose context was entered.
+    pub rule_id: u8,
+    /// Step at which the unsafe context was entered.
+    pub entered_at: Step,
+    /// Step by which a safe action was due.
+    pub deadline: Step,
+}
+
+/// Outcome of checking one trace against the HMS.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HmsReport {
+    /// UCA onsets observed across all rules.
+    pub entries: usize,
+    /// Entries whose deadline was honored.
+    pub honored: usize,
+    /// Entries whose deadline fell past the end of the trace.
+    pub truncated: usize,
+    /// Missed deadlines.
+    pub violations: Vec<HmsViolation>,
+}
+
+impl HmsReport {
+    /// `true` when no deadline was missed.
+    pub fn is_satisfied(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Reconstructs the context vector series `µ(x_t)` from a recorded
+/// trace's BG and IOB columns (finite differences for the rates, the
+/// same shape the monitor's [`ContextBuilder`] produces online).
+pub fn context_series(trace: &SimTrace) -> Vec<ContextVector> {
+    let mut out = Vec::with_capacity(trace.len());
+    let mut prev_bg: Option<f64> = None;
+    let mut prev_iob: Option<f64> = None;
+    for rec in trace.iter() {
+        let bg = rec.bg.value();
+        let iob = rec.iob.value();
+        out.push(ContextVector {
+            bg,
+            dbg: prev_bg.map(|p| bg - p).unwrap_or(0.0),
+            iob,
+            diob: prev_iob.map(|p| (iob - p) / CONTROL_CYCLE_MINUTES).unwrap_or(0.0),
+        });
+        prev_bg = Some(bg);
+        prev_iob = Some(iob);
+    }
+    out
+}
+
+/// Configuration for the context-dependent mitigation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContextMitigatorConfig {
+    /// Regulation target the correction steers toward.
+    pub target: MgDl,
+    /// Patient basal rate (floor of any H2 correction).
+    pub basal: UnitsPerHour,
+    /// Hard ceiling on any corrective rate.
+    pub max_rate: UnitsPerHour,
+    /// Corrective insulin per mg/dL of BG excess above target (U/h per
+    /// mg/dL).
+    pub bg_gain: f64,
+    /// Correction withheld per unit of positive net IOB (U/h per U).
+    pub iob_discount: f64,
+}
+
+impl ContextMitigatorConfig {
+    /// Sensible defaults for a run: gain sized so a 150 mg/dL excess
+    /// maps to ≈3 U/h above basal, a full unit of pending IOB cancels
+    /// 1 U/h of correction.
+    pub fn for_run(
+        target: MgDl,
+        basal: UnitsPerHour,
+        max_rate: UnitsPerHour,
+    ) -> ContextMitigatorConfig {
+        ContextMitigatorConfig { target, basal, max_rate, bg_gain: 0.02, iob_discount: 1.0 }
+    }
+}
+
+/// Context-dependent mitigation — the `f(ρ(µ(x)), u_t)` of Algorithm 1
+/// that the paper stubs out with a fixed maximum rate.
+///
+/// On a predicted H2 the corrective rate is proportional to the BG
+/// excess over target and *discounted by the insulin already on
+/// board*, so mitigation of a false alarm with plenty of IOB pending
+/// injects far less than the fixed-maximum policy would. On a
+/// predicted H1 delivery is suspended (as in Algorithm 1 — there is no
+/// way to remove insulin with a pump).
+///
+/// The mitigator keeps its own [`ContextBuilder`] over the same
+/// sensor/actuator interface the monitor sees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextMitigator {
+    config: ContextMitigatorConfig,
+    builder: ContextBuilder,
+}
+
+impl ContextMitigator {
+    /// Creates the mitigator; its IOB estimate is relative to the
+    /// configured basal.
+    pub fn new(config: ContextMitigatorConfig) -> ContextMitigator {
+        ContextMitigator { config, builder: ContextBuilder::new(config.basal) }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ContextMitigatorConfig {
+        &self.config
+    }
+
+    /// Advances the mitigator's context with this cycle's CGM reading.
+    /// Call once per cycle, before [`mitigate`](Self::mitigate).
+    pub fn observe_bg(&mut self, bg: MgDl) -> ContextVector {
+        self.builder.observe_bg(bg)
+    }
+
+    /// Applies the context-dependent policy: corrects `commanded` if a
+    /// hazard is predicted, otherwise passes it through.
+    pub fn mitigate(
+        &self,
+        predicted: Option<Hazard>,
+        ctx: &ContextVector,
+        commanded: UnitsPerHour,
+    ) -> UnitsPerHour {
+        match predicted {
+            None => commanded,
+            Some(Hazard::H1) => UnitsPerHour(0.0),
+            Some(Hazard::H2) => {
+                let excess = (ctx.bg - self.config.target.value()).max(0.0);
+                let pending = ctx.iob.max(0.0);
+                let correction =
+                    self.config.bg_gain * excess - self.config.iob_discount * pending;
+                let rate = (self.config.basal.value() + correction.max(0.0))
+                    .clamp(self.config.basal.value(), self.config.max_rate.value());
+                UnitsPerHour(rate)
+            }
+        }
+    }
+
+    /// Records what actually reached the pump this cycle.
+    pub fn observe_delivery(&mut self, delivered: UnitsPerHour) {
+        self.builder.observe_delivery(delivered);
+    }
+
+    /// Resets for a fresh run.
+    pub fn reset(&mut self) {
+        self.builder.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_types::{StepRecord, TraceMeta, Units};
+
+    fn scs() -> Scs {
+        Scs::with_default_thresholds(MgDl(110.0))
+    }
+
+    #[test]
+    fn hms_covers_every_uca_rule() {
+        let s = scs();
+        let hms = Hms::for_scs(&s);
+        assert_eq!(hms.rules.len(), s.rules.len());
+        for r in &s.rules {
+            let h = hms.rule_for(r.id).expect("rule missing from HMS");
+            assert_eq!(h.hazard, r.hazard);
+            assert!(!h.safe_actions.is_empty());
+        }
+    }
+
+    #[test]
+    fn h2_contexts_demand_more_insulin_h1_less() {
+        let hms = Hms::for_scs(&scs());
+        for rule in &hms.rules {
+            match rule.hazard {
+                Hazard::H2 => {
+                    assert_eq!(rule.safe_actions, vec![ControlAction::IncreaseInsulin])
+                }
+                Hazard::H1 => {
+                    assert!(rule.safe_actions.contains(&ControlAction::StopInsulin));
+                    assert!(!rule.safe_actions.contains(&ControlAction::IncreaseInsulin));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rule10_safe_set_is_exactly_stop() {
+        let hms = Hms::for_scs(&scs());
+        assert_eq!(
+            hms.rule_for(10).unwrap().safe_actions,
+            vec![ControlAction::StopInsulin]
+        );
+    }
+
+    #[test]
+    fn default_deadline_is_thirty_minutes() {
+        let hms = Hms::for_scs(&scs());
+        for r in &hms.rules {
+            assert_eq!(r.ts_steps, DEFAULT_TS_STEPS);
+            assert!((r.ts_minutes() - 30.0).abs() < 1e-12);
+        }
+    }
+
+    /// Builds a minimal hazardous trace: fault at step `tf`, hazard
+    /// onset at step `th`.
+    fn hazard_trace(tf: u32, th: u32, hazard: Hazard, len: u32) -> SimTrace {
+        let meta = TraceMeta {
+            patient: "test/p0".into(),
+            initial_bg: 120.0,
+            fault_name: "max_rate".into(),
+            fault_start: Some(Step(tf)),
+            hazard_onset: Some(Step(th)),
+            hazard_type: Some(hazard),
+        };
+        let mut trace = SimTrace::new(meta);
+        for s in 0..len {
+            let mut rec = StepRecord::blank(Step(s));
+            rec.hazard = (s >= th).then_some(hazard);
+            trace.records.push(rec);
+        }
+        trace
+    }
+
+    #[test]
+    fn ts_learning_tracks_the_tth_quantile() {
+        let mut hms = Hms::for_scs(&scs());
+        // H1 hazards with TTH of 20, 30, 40 steps.
+        let traces = vec![
+            hazard_trace(10, 30, Hazard::H1, 150),
+            hazard_trace(10, 40, Hazard::H1, 150),
+            hazard_trace(10, 50, Hazard::H1, 150),
+        ];
+        let updated = hms.learn_ts(&traces, &TsLearnConfig::default());
+        assert!(updated > 0);
+        // quantile 0.1 over {20,30,40} -> 20; x0.5 -> 10 steps.
+        for r in hms.rules.iter().filter(|r| r.hazard == Hazard::H1) {
+            assert_eq!(r.ts_steps, 10, "rule {}", r.uca_id);
+        }
+        // H2 rules saw no data and keep the default.
+        for r in hms.rules.iter().filter(|r| r.hazard == Hazard::H2) {
+            assert_eq!(r.ts_steps, DEFAULT_TS_STEPS);
+        }
+    }
+
+    #[test]
+    fn ts_learning_respects_bounds() {
+        let mut hms = Hms::for_scs(&scs());
+        let traces = vec![hazard_trace(10, 11, Hazard::H2, 150)]; // TTH = 1 step
+        hms.learn_ts(&traces, &TsLearnConfig::default());
+        for r in hms.rules.iter().filter(|r| r.hazard == Hazard::H2) {
+            assert_eq!(r.ts_steps, 1, "floor applies");
+        }
+        let traces = vec![hazard_trace(0, 140, Hazard::H2, 150)]; // TTH = 140
+        hms.learn_ts(&traces, &TsLearnConfig::default());
+        for r in hms.rules.iter().filter(|r| r.hazard == Hazard::H2) {
+            assert_eq!(r.ts_steps, 24, "ceiling applies");
+        }
+    }
+
+    #[test]
+    fn ts_learning_ignores_negative_tth() {
+        // Hazard before the fault (the paper's 7.1% cases) must not
+        // drive the deadline.
+        let mut hms = Hms::for_scs(&scs());
+        let traces = vec![hazard_trace(50, 20, Hazard::H1, 150)];
+        let updated = hms.learn_ts(&traces, &TsLearnConfig::default());
+        assert_eq!(updated, 0);
+    }
+
+    #[test]
+    fn eq2_formula_has_since_shape() {
+        let s = scs();
+        let hms = Hms::for_scs(&s);
+        let formulas = hms.to_stl(&s, 149);
+        assert_eq!(formulas.len(), 12);
+        for f in &formulas {
+            match f {
+                Formula::Globally(_, inner) => {
+                    assert!(
+                        matches!(**inner, Formula::Since(_, _)),
+                        "Eq. 2 body must be a Since"
+                    );
+                }
+                other => panic!("Eq. 2 must be G-rooted, got {other:?}"),
+            }
+            let signals = f.signals();
+            assert!(signals.contains(&"u".to_string()));
+            assert!(signals.contains(&"bg".to_string()));
+        }
+    }
+
+    #[test]
+    fn response_variant_is_satisfied_by_prompt_mitigation() {
+        use aps_stl::Trace;
+        let s = scs();
+        let hms = Hms::for_scs(&s);
+        // A trace that never enters any unsafe context trivially
+        // satisfies the response pattern.
+        let n = 20;
+        let mut trace = Trace::new(CONTROL_CYCLE_MINUTES);
+        trace.push_signal("bg", vec![110.0; n]);
+        trace.push_signal("bg'", vec![0.0; n]);
+        trace.push_signal("iob", vec![0.0; n]);
+        trace.push_signal("iob'", vec![0.0; n]);
+        trace.push_signal("u", vec![4.0; n]);
+        for f in hms.response_stl(&s, n - 1) {
+            assert!(f.sat(&trace, 0), "vacuous satisfaction failed: {f:?}");
+        }
+    }
+
+    /// Trace that enters rule 10's context (BG below the 70 mg/dL
+    /// floor) at step 5 and either stops insulin at step 7 or never.
+    fn low_bg_trace(stops: bool) -> SimTrace {
+        let mut trace = SimTrace::new(TraceMeta::default());
+        for s in 0..20u32 {
+            let mut rec = StepRecord::blank(Step(s));
+            rec.bg = MgDl(if s >= 5 { 60.0 } else { 120.0 });
+            rec.iob = Units(0.0);
+            rec.action = if stops && s >= 7 {
+                ControlAction::StopInsulin
+            } else {
+                ControlAction::KeepInsulin
+            };
+            trace.records.push(rec);
+        }
+        trace
+    }
+
+    #[test]
+    fn check_trace_honors_prompt_stop() {
+        let s = scs();
+        let hms = Hms::for_scs(&s);
+        let report = hms.check_trace(&s, &low_bg_trace(true));
+        assert!(report.entries >= 1);
+        assert!(report.is_satisfied(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn check_trace_flags_missed_deadline() {
+        let s = scs();
+        let hms = Hms::for_scs(&s);
+        let report = hms.check_trace(&s, &low_bg_trace(false));
+        assert!(!report.is_satisfied());
+        let v = &report.violations[0];
+        assert_eq!(v.rule_id, 10);
+        assert_eq!(v.entered_at, Step(5));
+        assert_eq!(v.deadline, Step(5 + DEFAULT_TS_STEPS as u32));
+    }
+
+    #[test]
+    fn check_trace_does_not_count_truncated_windows() {
+        let s = scs();
+        let hms = Hms::for_scs(&s);
+        // Context entered 2 steps before the end: deadline falls past
+        // the trace, so it is neither honored nor violated.
+        let mut trace = SimTrace::new(TraceMeta::default());
+        for s in 0..20u32 {
+            let mut rec = StepRecord::blank(Step(s));
+            rec.bg = MgDl(if s >= 18 { 60.0 } else { 120.0 });
+            rec.action = ControlAction::KeepInsulin;
+            trace.records.push(rec);
+        }
+        let report = hms.check_trace(&s, &trace);
+        assert!(report.is_satisfied());
+        assert_eq!(report.truncated, 1);
+    }
+
+    #[test]
+    fn context_series_matches_finite_differences() {
+        let mut trace = SimTrace::new(TraceMeta::default());
+        for (i, (bg, iob)) in [(120.0, 0.0), (130.0, 0.5), (125.0, 0.4)].iter().enumerate()
+        {
+            let mut rec = StepRecord::blank(Step(i as u32));
+            rec.bg = MgDl(*bg);
+            rec.iob = Units(*iob);
+            trace.records.push(rec);
+        }
+        let ctx = context_series(&trace);
+        assert_eq!(ctx.len(), 3);
+        assert_eq!(ctx[0].dbg, 0.0);
+        assert_eq!(ctx[1].dbg, 10.0);
+        assert_eq!(ctx[2].dbg, -5.0);
+        assert!((ctx[1].diob - 0.5 / CONTROL_CYCLE_MINUTES).abs() < 1e-12);
+    }
+
+    fn mitigator() -> ContextMitigator {
+        ContextMitigator::new(ContextMitigatorConfig::for_run(
+            MgDl(110.0),
+            UnitsPerHour(1.0),
+            UnitsPerHour(6.0),
+        ))
+    }
+
+    fn ctx(bg: f64, iob: f64) -> ContextVector {
+        ContextVector { bg, dbg: 0.0, iob, diob: 0.0 }
+    }
+
+    #[test]
+    fn context_mitigation_passes_through_without_alert() {
+        let m = mitigator();
+        assert_eq!(
+            m.mitigate(None, &ctx(250.0, 0.0), UnitsPerHour(1.3)),
+            UnitsPerHour(1.3)
+        );
+    }
+
+    #[test]
+    fn context_mitigation_suspends_on_h1() {
+        let m = mitigator();
+        assert_eq!(
+            m.mitigate(Some(Hazard::H1), &ctx(60.0, 3.0), UnitsPerHour(2.0)),
+            UnitsPerHour(0.0)
+        );
+    }
+
+    #[test]
+    fn h2_correction_scales_with_bg_excess() {
+        let m = mitigator();
+        let mild = m.mitigate(Some(Hazard::H2), &ctx(160.0, 0.0), UnitsPerHour(0.0));
+        let severe = m.mitigate(Some(Hazard::H2), &ctx(300.0, 0.0), UnitsPerHour(0.0));
+        assert!(severe > mild, "severe {severe:?} vs mild {mild:?}");
+        // 0.02 U/h per mg/dL over 110: 160 -> 1 + 1.0 = 2.0 U/h.
+        assert!((mild.value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn h2_correction_is_discounted_by_iob() {
+        let m = mitigator();
+        let no_iob = m.mitigate(Some(Hazard::H2), &ctx(300.0, 0.0), UnitsPerHour(0.0));
+        let with_iob = m.mitigate(Some(Hazard::H2), &ctx(300.0, 2.0), UnitsPerHour(0.0));
+        assert!(with_iob < no_iob);
+        // Enough IOB pending: correction collapses to basal, unlike the
+        // fixed-maximum policy.
+        let flooded = m.mitigate(Some(Hazard::H2), &ctx(130.0, 5.0), UnitsPerHour(0.0));
+        assert_eq!(flooded, UnitsPerHour(1.0));
+    }
+
+    #[test]
+    fn h2_correction_respects_ceiling_and_floor() {
+        let m = mitigator();
+        let huge = m.mitigate(Some(Hazard::H2), &ctx(600.0, 0.0), UnitsPerHour(0.0));
+        assert_eq!(huge, UnitsPerHour(6.0));
+        // BG below target but H2 predicted (context edge): floor at basal.
+        let below = m.mitigate(Some(Hazard::H2), &ctx(100.0, 0.0), UnitsPerHour(0.0));
+        assert_eq!(below, UnitsPerHour(1.0));
+    }
+
+    #[test]
+    fn mitigator_context_tracks_deliveries() {
+        let mut m = mitigator();
+        m.observe_bg(MgDl(200.0));
+        for _ in 0..6 {
+            m.observe_delivery(UnitsPerHour(5.0));
+        }
+        let c = m.observe_bg(MgDl(200.0));
+        assert!(c.iob > 0.2, "iob {}", c.iob);
+        m.reset();
+        let c = m.observe_bg(MgDl(200.0));
+        assert!(c.iob < 0.05);
+    }
+}

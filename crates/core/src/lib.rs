@@ -1,0 +1,51 @@
+//! Context-aware safety monitors for artificial pancreas systems — the
+//! paper's primary contribution.
+//!
+//! The crate implements the full pipeline of Zhou et al. (DSN 2021):
+//!
+//! 1. **Safety Context Specification** ([`scs`]) — the twelve unsafe
+//!    control action rules of Table I over the context transformation
+//!    `µ(x) = (BG, BG′, IOB, IOB′)`, with conversion to STL formulas;
+//! 2. **Context inference** ([`context`]) — the monitor-side estimate
+//!    of the context vector from the sensor/actuator interface only;
+//! 3. **Data-driven refinement** ([`learning`]) — patient-specific (or
+//!    population) learning of the rule thresholds βᵢ from hazardous
+//!    traces with the TMEE loss and L-BFGS-B;
+//! 4. **Run-time monitors** ([`monitors`]) — the proposed CAWT monitor,
+//!    the CAWOT ablation, and the Guideline / MPC / ML baselines;
+//! 5. **Hazard mitigation** ([`mitigation`]) — Algorithm 1;
+//! 6. **Mitigation specification** ([`hms`]) — the Eq. 2 HMS with
+//!    data-driven deadline learning and a context-dependent
+//!    mitigation policy (the paper's declared future work).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use aps_core::context::ContextBuilder;
+//! use aps_core::monitors::{CawMonitor, HazardMonitor, MonitorInput};
+//! use aps_core::scs::Scs;
+//! use aps_types::{MgDl, Step, UnitsPerHour};
+//!
+//! // A context-aware monitor with guideline-default thresholds (CAWOT).
+//! let scs = Scs::with_default_thresholds(MgDl(110.0));
+//! let mut monitor = CawMonitor::new("cawot", scs, UnitsPerHour(1.0));
+//! let verdict = monitor.check(&MonitorInput {
+//!     step: Step(0),
+//!     bg: MgDl(60.0),
+//!     commanded: UnitsPerHour(1.0),
+//!     previous_rate: UnitsPerHour(1.0),
+//! });
+//! // Keeping insulin running below the 70 mg/dL floor predicts H1
+//! // (Table I rule 10: insulin must stop).
+//! assert!(verdict.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod hms;
+pub mod learning;
+pub mod mitigation;
+pub mod monitors;
+pub mod scs;

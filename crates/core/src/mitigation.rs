@@ -1,0 +1,77 @@
+//! Hazard mitigation (Algorithm 1).
+//!
+//! When the monitor predicts a hazard, the mitigator replaces the
+//! controller's command before it reaches the pump: a predicted H1 (too
+//! much insulin) suspends delivery; a predicted H2 (too little) forces
+//! a fixed corrective rate. The paper deliberately uses this fixed,
+//! non-context-dependent policy so that mitigation comparisons across
+//! monitors are fair; context-dependent `f(ρ(µ(x)), u)` selection is
+//! future work there and here.
+
+use aps_types::{Hazard, UnitsPerHour};
+use serde::{Deserialize, Serialize};
+
+/// The fixed mitigation policy of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mitigator {
+    /// Rate commanded on a predicted H1 (default: suspend, 0 U/h).
+    pub h1_rate: UnitsPerHour,
+    /// Rate commanded on a predicted H2 (default: a fixed maximum
+    /// corrective rate).
+    pub h2_rate: UnitsPerHour,
+}
+
+impl Mitigator {
+    /// The paper's configuration: suspend on H1, maximum insulin on H2.
+    pub fn paper_default(max_rate: UnitsPerHour) -> Mitigator {
+        Mitigator { h1_rate: UnitsPerHour(0.0), h2_rate: max_rate }
+    }
+
+    /// Applies Algorithm 1: corrects `commanded` if a hazard is
+    /// predicted, otherwise passes it through.
+    pub fn mitigate(&self, predicted: Option<Hazard>, commanded: UnitsPerHour) -> UnitsPerHour {
+        match predicted {
+            Some(Hazard::H1) => self.h1_rate,
+            Some(Hazard::H2) => self.h2_rate,
+            None => commanded,
+        }
+    }
+}
+
+impl Default for Mitigator {
+    fn default() -> Mitigator {
+        Mitigator::paper_default(UnitsPerHour(4.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h1_suspends() {
+        let m = Mitigator::default();
+        assert_eq!(m.mitigate(Some(Hazard::H1), UnitsPerHour(3.0)), UnitsPerHour(0.0));
+    }
+
+    #[test]
+    fn h2_forces_max() {
+        let m = Mitigator::paper_default(UnitsPerHour(6.0));
+        assert_eq!(m.mitigate(Some(Hazard::H2), UnitsPerHour(0.0)), UnitsPerHour(6.0));
+    }
+
+    #[test]
+    fn no_alert_passes_through() {
+        let m = Mitigator::default();
+        assert_eq!(m.mitigate(None, UnitsPerHour(1.3)), UnitsPerHour(1.3));
+    }
+
+    #[test]
+    fn correction_applies_even_in_range_commands() {
+        // The paper corrects a UCA "regardless of its value being
+        // out-of-the-range or not".
+        let m = Mitigator::default();
+        let corrected = m.mitigate(Some(Hazard::H2), UnitsPerHour(1.0));
+        assert_eq!(corrected, UnitsPerHour(4.0));
+    }
+}

@@ -1,0 +1,140 @@
+//! Two-sided CUSUM control chart.
+//!
+//! The cumulative-sum chart of Page, cited by the paper (§II, via
+//! Cárdenas et al.) as the standard change-detection defense for
+//! process-control sensor streams. Each side accumulates evidence of a
+//! mean shift beyond an allowance (`drift`) and alarms when the sum
+//! exceeds `threshold`.
+
+use crate::{ChangeDetector, Decision};
+use serde::{Deserialize, Serialize};
+
+/// CUSUM parameters, in units of the monitored residual.
+///
+/// With residuals standardized to unit variance, the classic tuning is
+/// `drift = δ/2` (half the shift to detect, in sigmas) and
+/// `threshold ≈ 4–5` for an in-control average run length of a few
+/// hundred samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CusumConfig {
+    /// Allowance `k` subtracted from each deviation before summing.
+    pub drift: f64,
+    /// Decision threshold `h`.
+    pub threshold: f64,
+}
+
+impl Default for CusumConfig {
+    fn default() -> CusumConfig {
+        CusumConfig { drift: 0.5, threshold: 5.0 }
+    }
+}
+
+/// Two-sided CUSUM over a residual stream with in-control mean zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cusum {
+    config: CusumConfig,
+    s_hi: f64,
+    s_lo: f64,
+    tripped: bool,
+}
+
+impl Cusum {
+    /// Creates the chart from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drift` is negative or `threshold` is not positive.
+    pub fn new(config: CusumConfig) -> Cusum {
+        assert!(config.drift >= 0.0, "drift must be non-negative");
+        assert!(config.threshold > 0.0, "threshold must be positive");
+        Cusum { config, s_hi: 0.0, s_lo: 0.0, tripped: false }
+    }
+
+    /// Current upper/lower cumulative sums.
+    pub fn sums(&self) -> (f64, f64) {
+        (self.s_hi, self.s_lo)
+    }
+}
+
+impl ChangeDetector for Cusum {
+    fn name(&self) -> &str {
+        "cusum"
+    }
+
+    fn update(&mut self, value: f64) -> Decision {
+        if self.tripped {
+            return Decision::Anomalous;
+        }
+        self.s_hi = (self.s_hi + value - self.config.drift).max(0.0);
+        self.s_lo = (self.s_lo - value - self.config.drift).max(0.0);
+        if self.s_hi > self.config.threshold || self.s_lo > self.config.threshold {
+            self.tripped = true;
+            Decision::Anomalous
+        } else {
+            Decision::Normal
+        }
+    }
+
+    fn reset(&mut self) {
+        self.s_hi = 0.0;
+        self.s_lo = 0.0;
+        self.tripped = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_stay_at_zero_for_sub_drift_noise() {
+        let mut c = Cusum::new(CusumConfig::default());
+        for i in 0..500 {
+            let v = if i % 2 == 0 { 0.4 } else { -0.4 };
+            c.update(v);
+        }
+        assert_eq!(c.sums(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn detection_delay_shrinks_with_shift_size() {
+        let delay = |shift: f64| -> usize {
+            let mut c = Cusum::new(CusumConfig::default());
+            let mut n = 0;
+            while !c.update(shift).is_anomalous() {
+                n += 1;
+                assert!(n < 1000);
+            }
+            n
+        };
+        assert!(delay(4.0) < delay(1.0), "bigger shifts must be caught sooner");
+    }
+
+    #[test]
+    fn downward_shifts_are_caught_by_the_low_side() {
+        let mut c = Cusum::new(CusumConfig::default());
+        let mut fired = false;
+        for _ in 0..20 {
+            fired |= c.update(-2.0).is_anomalous();
+        }
+        assert!(fired);
+        assert!(c.sums().1 > c.sums().0);
+    }
+
+    #[test]
+    fn one_outlier_does_not_trip_a_well_tuned_chart() {
+        let mut c = Cusum::new(CusumConfig::default());
+        for _ in 0..100 {
+            c.update(0.0);
+        }
+        assert!(!c.update(4.0).is_anomalous(), "single 4-sigma spike tripped");
+        // ... but the evidence is retained:
+        assert!(c.sums().0 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_is_rejected() {
+        Cusum::new(CusumConfig { threshold: 0.0, ..CusumConfig::default() });
+    }
+}

@@ -1,0 +1,146 @@
+//! EWMA control chart.
+//!
+//! The exponentially-weighted moving-average chart smooths the residual
+//! stream with factor `lambda` and alarms when the smoothed statistic
+//! leaves its `±L·sigma_z` control limits (with the standard
+//! steady-state variance `sigma² · λ/(2−λ)`). A light-weight
+//! complement to CUSUM that reacts to small sustained drifts.
+
+use crate::{ChangeDetector, Decision};
+use serde::{Deserialize, Serialize};
+
+/// EWMA parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EwmaConfig {
+    /// Smoothing factor λ ∈ (0, 1]; small = long memory.
+    pub lambda: f64,
+    /// Control-limit width in steady-state sigmas.
+    pub limit: f64,
+    /// Residual standard deviation.
+    pub sigma: f64,
+}
+
+impl Default for EwmaConfig {
+    fn default() -> EwmaConfig {
+        EwmaConfig { lambda: 0.2, limit: 4.0, sigma: 1.0 }
+    }
+}
+
+/// EWMA chart over a residual stream with in-control mean zero.
+///
+/// ```
+/// use aps_detect::{ChangeDetector, Ewma, EwmaConfig};
+///
+/// let mut chart = Ewma::new(EwmaConfig::default());
+/// for _ in 0..20 {
+///     assert!(!chart.update(0.1).is_anomalous());
+/// }
+/// let fired = (0..30).any(|_| chart.update(2.0).is_anomalous());
+/// assert!(fired); // a sustained 2-sigma drift leaves the control band
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    config: EwmaConfig,
+    z: f64,
+    tripped: bool,
+}
+
+impl Ewma {
+    /// Creates the chart from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is outside `(0, 1]` or `sigma`/`limit` are
+    /// not positive.
+    pub fn new(config: EwmaConfig) -> Ewma {
+        assert!(
+            config.lambda > 0.0 && config.lambda <= 1.0,
+            "lambda must be in (0, 1]"
+        );
+        assert!(config.sigma > 0.0, "sigma must be positive");
+        assert!(config.limit > 0.0, "limit must be positive");
+        Ewma { config, z: 0.0, tripped: false }
+    }
+
+    /// Current smoothed statistic.
+    pub fn statistic(&self) -> f64 {
+        self.z
+    }
+
+    /// Steady-state control limit (absolute value).
+    pub fn control_limit(&self) -> f64 {
+        let c = self.config;
+        c.limit * c.sigma * (c.lambda / (2.0 - c.lambda)).sqrt()
+    }
+}
+
+impl ChangeDetector for Ewma {
+    fn name(&self) -> &str {
+        "ewma"
+    }
+
+    fn update(&mut self, value: f64) -> Decision {
+        if self.tripped {
+            return Decision::Anomalous;
+        }
+        let l = self.config.lambda;
+        self.z = l * value + (1.0 - l) * self.z;
+        if self.z.abs() > self.control_limit() {
+            self.tripped = true;
+            Decision::Anomalous
+        } else {
+            Decision::Normal
+        }
+    }
+
+    fn reset(&mut self) {
+        self.z = 0.0;
+        self.tripped = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistic_converges_to_the_stream_mean() {
+        let mut e = Ewma::new(EwmaConfig { limit: 100.0, ..EwmaConfig::default() });
+        for _ in 0..200 {
+            e.update(1.0);
+        }
+        assert!((e.statistic() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn small_sustained_drift_is_eventually_caught() {
+        let mut e = Ewma::new(EwmaConfig::default());
+        let mut fired = false;
+        for _ in 0..100 {
+            fired |= e.update(2.0).is_anomalous();
+        }
+        assert!(fired, "EWMA missed a 2-sigma sustained drift");
+    }
+
+    #[test]
+    fn control_limit_formula() {
+        let e = Ewma::new(EwmaConfig { lambda: 0.2, limit: 3.0, sigma: 2.0 });
+        let expected = 3.0 * 2.0 * (0.2f64 / 1.8).sqrt();
+        assert!((e.control_limit() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_one_degenerates_to_shewhart() {
+        // With lambda = 1 the statistic is the raw observation, so a
+        // single sample past L·sigma alarms.
+        let mut e = Ewma::new(EwmaConfig { lambda: 1.0, limit: 3.0, sigma: 1.0 });
+        assert!(!e.update(2.9).is_anomalous());
+        assert!(e.update(3.1).is_anomalous());
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be in (0, 1]")]
+    fn zero_lambda_is_rejected() {
+        Ewma::new(EwmaConfig { lambda: 0.0, ..EwmaConfig::default() });
+    }
+}

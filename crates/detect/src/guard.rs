@@ -1,0 +1,217 @@
+//! CGM sensor guard: adapts a change detector to a glucose stream.
+//!
+//! Raw BG values drift physiologically, so feeding them straight into
+//! a control chart would alarm on every meal. The guard instead
+//! monitors the *innovation* — the difference between the reading and
+//! a linear trend extrapolation of the previous two readings — which
+//! is small and zero-mean for genuine glucose dynamics (the body is a
+//! slow system; 5-minute curvature is tiny) but jumps on step,
+//! offset, and runaway sensor faults. A run-length check catches
+//! stuck-at (DoS/hold) faults that the innovation cannot see.
+
+use crate::{ChangeDetector, Decision};
+use aps_types::MgDl;
+use serde::{Deserialize, Serialize};
+
+/// Guard parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// Innovation standard deviation used to standardize residuals
+    /// before the detector (mg/dL; CGM noise plus model error).
+    pub sigma: f64,
+    /// Consecutive *identical* readings before declaring a stuck
+    /// sensor. CGMs quantize to 1 mg/dL, so short runs are normal;
+    /// the default (12 = one hour) is far beyond physiological
+    /// flatness under closed-loop control.
+    pub stuck_limit: usize,
+}
+
+impl Default for GuardConfig {
+    fn default() -> GuardConfig {
+        GuardConfig { sigma: 3.0, stuck_limit: 12 }
+    }
+}
+
+/// Sensor-path anomaly guard wrapping any [`ChangeDetector`].
+///
+/// Feed it each CGM reading; it standardizes the trend innovation,
+/// drives the inner detector, and additionally tracks stuck-at runs.
+///
+/// # Example
+///
+/// ```
+/// use aps_detect::{CgmGuard, Cusum, CusumConfig, GuardConfig};
+/// use aps_types::MgDl;
+///
+/// let mut guard = CgmGuard::new(Cusum::new(CusumConfig::default()), GuardConfig::default());
+/// // A plausible rising trace: no alarms.
+/// for i in 0..20 {
+///     assert!(!guard.observe(MgDl(120.0 + i as f64)).is_anomalous());
+/// }
+/// // A 60 mg/dL spoofed step: caught.
+/// let mut fired = false;
+/// for _ in 0..5 {
+///     fired |= guard.observe(MgDl(200.0)).is_anomalous();
+/// }
+/// assert!(fired);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CgmGuard<D> {
+    detector: D,
+    config: GuardConfig,
+    prev: Option<f64>,
+    prev2: Option<f64>,
+    flat_run: usize,
+}
+
+impl<D: ChangeDetector> CgmGuard<D> {
+    /// Wraps `detector` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not positive or `stuck_limit` is zero.
+    pub fn new(detector: D, config: GuardConfig) -> CgmGuard<D> {
+        assert!(config.sigma > 0.0, "sigma must be positive");
+        assert!(config.stuck_limit > 0, "stuck_limit must be positive");
+        CgmGuard { detector, config, prev: None, prev2: None, flat_run: 0 }
+    }
+
+    /// The wrapped detector.
+    pub fn detector(&self) -> &D {
+        &self.detector
+    }
+
+    /// Consumes one CGM reading and returns the verdict.
+    pub fn observe(&mut self, reading: MgDl) -> Decision {
+        let x = reading.value();
+        let predicted = match (self.prev, self.prev2) {
+            (Some(p), Some(pp)) => 2.0 * p - pp, // linear extrapolation
+            (Some(p), None) => p,
+            _ => x,
+        };
+        let innovation = (x - predicted) / self.config.sigma;
+
+        if self.prev == Some(x) {
+            self.flat_run += 1;
+        } else {
+            self.flat_run = 0;
+        }
+        self.prev2 = self.prev;
+        self.prev = Some(x);
+
+        let chart = self.detector.update(innovation);
+        if chart.is_anomalous() || self.flat_run >= self.config.stuck_limit {
+            Decision::Anomalous
+        } else {
+            Decision::Normal
+        }
+    }
+
+    /// Resets the guard and its inner detector.
+    pub fn reset(&mut self) {
+        self.detector.reset();
+        self.prev = None;
+        self.prev2 = None;
+        self.flat_run = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cusum, CusumConfig, Ewma, EwmaConfig, Sprt, SprtConfig};
+
+    fn guard() -> CgmGuard<Cusum> {
+        CgmGuard::new(Cusum::new(CusumConfig::default()), GuardConfig::default())
+    }
+
+    /// A smooth post-meal-like excursion: rise then fall, ±3 mg/dL per
+    /// cycle of curvature at most.
+    fn physiological(n: usize) -> Vec<MgDl> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                MgDl((140.0 + 40.0 * (t / 20.0).sin()).round())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn physiological_excursions_do_not_alarm() {
+        let mut g = guard();
+        for r in physiological(100) {
+            assert!(!g.observe(r).is_anomalous(), "alarm at {r:?}");
+        }
+    }
+
+    #[test]
+    fn spoofed_step_is_caught() {
+        let mut g = guard();
+        for r in physiological(30) {
+            g.observe(r);
+        }
+        let mut fired = false;
+        for _ in 0..5 {
+            fired |= g.observe(MgDl(400.0)).is_anomalous();
+        }
+        assert!(fired);
+    }
+
+    #[test]
+    fn stuck_sensor_is_caught_by_run_length() {
+        // Hold the reading perfectly constant: innovations are zero, so
+        // only the run-length check can see it.
+        let mut g = guard();
+        let mut fired = false;
+        for _ in 0..20 {
+            fired |= g.observe(MgDl(120.0)).is_anomalous();
+        }
+        assert!(fired, "stuck-at fault missed");
+    }
+
+    #[test]
+    fn slow_quantized_drift_does_not_look_stuck() {
+        let mut g = guard();
+        // One mg/dL step every 4 cycles: flat runs of 3, never 12.
+        for i in 0..100 {
+            let r = MgDl(120.0 + (i / 4) as f64);
+            assert!(!g.observe(r).is_anomalous(), "false stuck alarm at {i}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_history_and_runs() {
+        let mut g = guard();
+        for _ in 0..11 {
+            g.observe(MgDl(120.0));
+        }
+        g.reset();
+        for _ in 0..11 {
+            assert!(!g.observe(MgDl(120.0)).is_anomalous());
+        }
+    }
+
+    #[test]
+    fn works_with_every_detector_kind() {
+        let traces = physiological(50);
+        let spoof = MgDl(500.0);
+        // CUSUM
+        let mut g = CgmGuard::new(Cusum::new(CusumConfig::default()), GuardConfig::default());
+        traces.iter().for_each(|r| {
+            g.observe(*r);
+        });
+        assert!((0..5).any(|_| g.observe(spoof).is_anomalous()));
+        // EWMA
+        let mut g = CgmGuard::new(Ewma::new(EwmaConfig::default()), GuardConfig::default());
+        traces.iter().for_each(|r| {
+            g.observe(*r);
+        });
+        assert!((0..5).any(|_| g.observe(spoof).is_anomalous()));
+        // SPRT
+        let mut g = CgmGuard::new(Sprt::new(SprtConfig::default()), GuardConfig::default());
+        traces.iter().for_each(|r| {
+            g.observe(*r);
+        });
+        assert!((0..5).any(|_| g.observe(spoof).is_anomalous()));
+    }
+}

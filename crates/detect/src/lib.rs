@@ -1,0 +1,145 @@
+//! Sensor-stream anomaly detectors for APS sensor data.
+//!
+//! The paper's threat model assumes "the sensor data received by the
+//! controller and the monitor are fault-free or protected using
+//! existing methods" — naming Wald's Sequential Probability Ratio Test
+//! and CUSUM change detection as those methods (§II). This crate
+//! implements that protection layer so the full defense-in-depth stack
+//! can be exercised in one workspace:
+//!
+//! * [`Sprt`] — Wald's SPRT deciding between an in-control and an
+//!   out-of-control Gaussian hypothesis on a residual stream;
+//! * [`Cusum`] — two-sided cumulative-sum control chart;
+//! * [`Ewma`] — exponentially-weighted moving-average control chart;
+//! * [`CgmGuard`] — adapts any [`ChangeDetector`] to a CGM stream by
+//!   monitoring the *innovation* (reading minus a trend-extrapolated
+//!   prediction), so physiological drift does not alarm but step,
+//!   stuck-at, and runaway sensor faults do.
+//!
+//! These detectors guard the *sensor path*; the context-aware monitor
+//! of `aps-core` guards the *controller*. [`CgmGuard`] composes with it
+//! in the closed loop (see the `sensor_attack` example).
+//!
+//! # Example
+//!
+//! ```
+//! use aps_detect::{ChangeDetector, Cusum, CusumConfig};
+//!
+//! let mut det = Cusum::new(CusumConfig { drift: 0.5, threshold: 5.0 });
+//! for _ in 0..50 {
+//!     assert!(!det.update(0.1).is_anomalous()); // in control
+//! }
+//! let mut fired = false;
+//! for _ in 0..10 {
+//!     fired |= det.update(4.0).is_anomalous(); // mean shift
+//! }
+//! assert!(fired);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cusum;
+mod ewma;
+mod guard;
+mod sprt;
+
+pub use cusum::{Cusum, CusumConfig};
+pub use ewma::{Ewma, EwmaConfig};
+pub use guard::{CgmGuard, GuardConfig};
+pub use sprt::{Sprt, SprtConfig};
+
+use serde::{Deserialize, Serialize};
+
+/// Verdict of a detector after one observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Decision {
+    /// The stream looks in-control so far.
+    Normal,
+    /// A change/anomaly has been detected at this observation.
+    Anomalous,
+}
+
+impl Decision {
+    /// `true` for [`Decision::Anomalous`].
+    pub fn is_anomalous(self) -> bool {
+        self == Decision::Anomalous
+    }
+}
+
+/// An online change detector over a scalar stream.
+///
+/// Implementations are fed one residual per control cycle and answer
+/// whether the stream has left its in-control behavior. After an
+/// anomalous decision the detector keeps alarming until [`reset`];
+/// callers decide whether to latch, reset, or escalate.
+///
+/// [`reset`]: ChangeDetector::reset
+pub trait ChangeDetector: Send {
+    /// Detector identifier (e.g. `"cusum"`).
+    fn name(&self) -> &str;
+
+    /// Consumes one observation and returns the current verdict.
+    fn update(&mut self, value: f64) -> Decision;
+
+    /// Returns the detector to its initial (in-control) state.
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All three detectors, identically parameterized where possible,
+    /// must stay quiet on a zero stream and fire on a large shift.
+    fn zoo() -> Vec<Box<dyn ChangeDetector>> {
+        vec![
+            Box::new(Sprt::new(SprtConfig::default())),
+            Box::new(Cusum::new(CusumConfig::default())),
+            Box::new(Ewma::new(EwmaConfig::default())),
+        ]
+    }
+
+    #[test]
+    fn detectors_are_quiet_in_control() {
+        for mut d in zoo() {
+            for i in 0..200 {
+                let v = if i % 2 == 0 { 0.3 } else { -0.3 };
+                assert!(
+                    !d.update(v).is_anomalous(),
+                    "{} fired on an in-control stream at {i}",
+                    d.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detectors_fire_on_large_shift() {
+        for mut d in zoo() {
+            for _ in 0..50 {
+                d.update(0.0);
+            }
+            let mut fired = false;
+            for _ in 0..20 {
+                fired |= d.update(8.0).is_anomalous();
+            }
+            assert!(fired, "{} missed an 8-sigma shift", d.name());
+        }
+    }
+
+    #[test]
+    fn reset_restores_quiet_state() {
+        for mut d in zoo() {
+            for _ in 0..50 {
+                d.update(10.0);
+            }
+            d.reset();
+            assert!(
+                !d.update(0.0).is_anomalous(),
+                "{} still alarming after reset",
+                d.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Wald's Sequential Probability Ratio Test.
+//!
+//! The classic sequential hypothesis test (§II cites "classic
+//! Sequential Probability Ratio Test (SPRT) of Wald" as a sensor-fault
+//! defense): observations are assumed Gaussian with known variance;
+//! the test accumulates the log-likelihood ratio between an
+//! out-of-control mean `mu1` and an in-control mean `mu0` and decides
+//! as soon as the ratio leaves the `(B, A)` band derived from the
+//! target error rates.
+
+use crate::{ChangeDetector, Decision};
+use serde::{Deserialize, Serialize};
+
+/// SPRT parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SprtConfig {
+    /// In-control mean of the residual stream.
+    pub mu0: f64,
+    /// Out-of-control mean to test against (the smallest shift worth
+    /// detecting). The test is run two-sided: a mirrored `−mu1` branch
+    /// covers downward shifts.
+    pub mu1: f64,
+    /// Residual standard deviation.
+    pub sigma: f64,
+    /// Target false-alarm probability α.
+    pub alpha: f64,
+    /// Target missed-detection probability β.
+    pub beta: f64,
+}
+
+impl Default for SprtConfig {
+    fn default() -> SprtConfig {
+        SprtConfig { mu0: 0.0, mu1: 3.0, sigma: 1.0, alpha: 0.01, beta: 0.01 }
+    }
+}
+
+/// Two-sided Wald SPRT over a Gaussian residual stream.
+///
+/// When either one-sided log-likelihood ratio crosses the upper
+/// boundary `ln((1−β)/α)` the detector reports [`Decision::Anomalous`]
+/// and stays there until reset; crossing the lower boundary
+/// `ln(β/(1−α))` accepts the in-control hypothesis and restarts that
+/// branch (the standard "resetting SPRT" used for monitoring).
+///
+/// ```
+/// use aps_detect::{ChangeDetector, Sprt, SprtConfig};
+///
+/// let mut test = Sprt::new(SprtConfig::default());
+/// assert!(!test.update(0.2).is_anomalous()); // in control
+/// let fired = (0..10).any(|_| test.update(3.5).is_anomalous());
+/// assert!(fired); // a mu1-sized shift is decided within a few samples
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sprt {
+    config: SprtConfig,
+    llr_up: f64,
+    llr_down: f64,
+    tripped: bool,
+}
+
+impl Sprt {
+    /// Creates the test from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma`, `alpha`, or `beta` are not positive, if
+    /// `alpha + beta >= 1`, or if `mu1 == mu0` (no shift to test).
+    pub fn new(config: SprtConfig) -> Sprt {
+        assert!(config.sigma > 0.0, "sigma must be positive");
+        assert!(config.alpha > 0.0 && config.beta > 0.0, "error rates must be positive");
+        assert!(config.alpha + config.beta < 1.0, "alpha + beta must be < 1");
+        assert!(config.mu1 != config.mu0, "mu1 must differ from mu0");
+        Sprt { config, llr_up: 0.0, llr_down: 0.0, tripped: false }
+    }
+
+    /// Upper decision boundary `ln((1−β)/α)`.
+    pub fn boundary_a(&self) -> f64 {
+        ((1.0 - self.config.beta) / self.config.alpha).ln()
+    }
+
+    /// Lower decision boundary `ln(β/(1−α))`.
+    pub fn boundary_b(&self) -> f64 {
+        (self.config.beta / (1.0 - self.config.alpha)).ln()
+    }
+
+    /// Current log-likelihood ratios (upward, downward branches).
+    pub fn llr(&self) -> (f64, f64) {
+        (self.llr_up, self.llr_down)
+    }
+
+    fn step_branch(llr: &mut f64, x: f64, mu0: f64, mu1: f64, sigma: f64, a: f64, b: f64) -> bool {
+        // Gaussian LLR increment: ((mu1-mu0)/sigma^2) * (x - (mu0+mu1)/2).
+        *llr += (mu1 - mu0) / (sigma * sigma) * (x - 0.5 * (mu0 + mu1));
+        if *llr >= a {
+            return true;
+        }
+        if *llr <= b {
+            *llr = 0.0; // accept H0, restart the branch
+        }
+        false
+    }
+}
+
+impl ChangeDetector for Sprt {
+    fn name(&self) -> &str {
+        "sprt"
+    }
+
+    fn update(&mut self, value: f64) -> Decision {
+        if self.tripped {
+            return Decision::Anomalous;
+        }
+        let c = self.config;
+        let (a, b) = (self.boundary_a(), self.boundary_b());
+        let up = Self::step_branch(&mut self.llr_up, value, c.mu0, c.mu1, c.sigma, a, b);
+        let down = Self::step_branch(
+            &mut self.llr_down,
+            value,
+            c.mu0,
+            2.0 * c.mu0 - c.mu1, // mirrored shift
+            c.sigma,
+            a,
+            b,
+        );
+        if up || down {
+            self.tripped = true;
+            Decision::Anomalous
+        } else {
+            Decision::Normal
+        }
+    }
+
+    fn reset(&mut self) {
+        self.llr_up = 0.0;
+        self.llr_down = 0.0;
+        self.tripped = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_have_expected_signs() {
+        let s = Sprt::new(SprtConfig::default());
+        assert!(s.boundary_a() > 0.0);
+        assert!(s.boundary_b() < 0.0);
+    }
+
+    #[test]
+    fn sustained_positive_shift_trips_quickly() {
+        let mut s = Sprt::new(SprtConfig::default());
+        let mut n = 0;
+        while !s.update(3.0).is_anomalous() {
+            n += 1;
+            assert!(n < 20, "took too long to detect a mu1-sized shift");
+        }
+        // Detection in a handful of samples for a shift at exactly mu1.
+        assert!(n <= 10, "n = {n}");
+    }
+
+    #[test]
+    fn sustained_negative_shift_also_trips() {
+        let mut s = Sprt::new(SprtConfig::default());
+        let mut fired = false;
+        for _ in 0..20 {
+            fired |= s.update(-3.0).is_anomalous();
+        }
+        assert!(fired, "two-sided test missed a downward shift");
+    }
+
+    #[test]
+    fn branch_restarts_keep_llr_bounded_in_control() {
+        let mut s = Sprt::new(SprtConfig::default());
+        for i in 0..1000 {
+            let v = if i % 2 == 0 { 0.5 } else { -0.5 };
+            s.update(v);
+            let (up, down) = s.llr();
+            assert!(up < s.boundary_a() && down < s.boundary_a());
+            assert!(up >= s.boundary_b() - 5.0 && down >= s.boundary_b() - 5.0);
+        }
+    }
+
+    #[test]
+    fn alarm_latches_until_reset() {
+        let mut s = Sprt::new(SprtConfig::default());
+        for _ in 0..30 {
+            s.update(5.0);
+        }
+        assert!(s.update(0.0).is_anomalous(), "alarm must latch");
+        s.reset();
+        assert!(!s.update(0.0).is_anomalous());
+    }
+
+    #[test]
+    fn tighter_error_rates_widen_the_band() {
+        let loose = Sprt::new(SprtConfig::default());
+        let tight = Sprt::new(SprtConfig {
+            alpha: 0.0001,
+            beta: 0.0001,
+            ..SprtConfig::default()
+        });
+        assert!(tight.boundary_a() > loose.boundary_a());
+        assert!(tight.boundary_b() < loose.boundary_b());
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn zero_sigma_is_rejected() {
+        Sprt::new(SprtConfig { sigma: 0.0, ..SprtConfig::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "mu1 must differ")]
+    fn degenerate_hypotheses_are_rejected() {
+        Sprt::new(SprtConfig { mu1: 0.0, mu0: 0.0, ..SprtConfig::default() });
+    }
+}

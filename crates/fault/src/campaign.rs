@@ -1,0 +1,141 @@
+//! Fault-injection campaign grids.
+//!
+//! The paper sweeps fault kind × target variable × injected value ×
+//! (9 start-time/duration combinations), yielding 882 scenarios per
+//! patient configuration. [`campaign_grid`] generates the analogous
+//! deterministic grid for our controllers; [`CampaignConfig`] scales it
+//! down for single-core runs (`--full` restores paper scale).
+
+use crate::{FaultKind, FaultScenario};
+use aps_types::Step;
+use serde::{Deserialize, Serialize};
+
+/// A variable that scenarios may target, with its legitimate range and
+/// a characteristic offset magnitude for `Add`/`Sub` faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InjectionTarget {
+    /// Controller state-variable name.
+    pub name: String,
+    /// Offset magnitudes used for `Add`/`Sub` scenarios.
+    pub offsets: Vec<f64>,
+    /// Mantissa/exponent bits used for `BitFlip` scenarios.
+    pub bits: Vec<u8>,
+}
+
+impl InjectionTarget {
+    /// A target with sensible default offsets scaled to `span`
+    /// (the width of the variable's legitimate range).
+    pub fn with_span(name: &str, span: f64) -> InjectionTarget {
+        InjectionTarget {
+            name: name.to_owned(),
+            offsets: vec![span * 0.25, span * 0.5],
+            bits: vec![51, 62],
+        }
+    }
+}
+
+/// Scale controls for a campaign grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Fault activation start steps.
+    pub starts: Vec<u32>,
+    /// Fault durations in steps.
+    pub durations: Vec<u32>,
+}
+
+impl CampaignConfig {
+    /// The paper-scale grid: 9 start/duration combinations (3 starts ×
+    /// 3 durations across the 150-step run).
+    pub fn paper() -> CampaignConfig {
+        CampaignConfig { starts: vec![20, 50, 90], durations: vec![6, 18, 36] }
+    }
+
+    /// A reduced grid for quick single-core experiments.
+    pub fn quick() -> CampaignConfig {
+        CampaignConfig { starts: vec![30], durations: vec![24] }
+    }
+}
+
+/// Generates the full deterministic scenario grid for the given
+/// injection targets.
+pub fn campaign_grid(targets: &[InjectionTarget], config: &CampaignConfig) -> Vec<FaultScenario> {
+    let mut out = Vec::new();
+    for target in targets {
+        let mut kinds = vec![
+            FaultKind::Truncate,
+            FaultKind::Hold,
+            FaultKind::Max,
+            FaultKind::Min,
+        ];
+        for &d in &target.offsets {
+            kinds.push(FaultKind::Add(d));
+            kinds.push(FaultKind::Sub(d));
+        }
+        for &b in &target.bits {
+            kinds.push(FaultKind::BitFlip(b));
+        }
+        for kind in kinds {
+            for &start in &config.starts {
+                for &duration in &config.durations {
+                    out.push(FaultScenario::new(
+                        &target.name,
+                        kind,
+                        Step(start),
+                        duration,
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets() -> Vec<InjectionTarget> {
+        vec![
+            InjectionTarget::with_span("glucose", 360.0),
+            InjectionTarget::with_span("rate", 4.0),
+            InjectionTarget::with_span("iob", 7.0),
+        ]
+    }
+
+    #[test]
+    fn grid_size_is_product_of_dimensions() {
+        let grid = campaign_grid(&targets(), &CampaignConfig::paper());
+        // Per target: 4 base kinds + 2*2 add/sub + 2 bitflips = 10 kinds;
+        // 10 kinds * 9 time combos * 3 targets = 270.
+        assert_eq!(grid.len(), 270);
+    }
+
+    #[test]
+    fn quick_grid_is_small() {
+        let grid = campaign_grid(&targets(), &CampaignConfig::quick());
+        assert_eq!(grid.len(), 30);
+    }
+
+    #[test]
+    fn scenario_names_are_unique() {
+        let grid = campaign_grid(&targets(), &CampaignConfig::paper());
+        let names: std::collections::HashSet<String> =
+            grid.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), grid.len());
+    }
+
+    #[test]
+    fn grid_is_deterministic() {
+        let a = campaign_grid(&targets(), &CampaignConfig::paper());
+        let b = campaign_grid(&targets(), &CampaignConfig::paper());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_scenarios_activate_within_run() {
+        for s in campaign_grid(&targets(), &CampaignConfig::paper()) {
+            assert!(s.start.0 < 150, "{}", s.name());
+            assert!(s.duration > 0);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Run-time fault injector.
+
+use crate::{FaultKind, FaultScenario};
+use aps_types::Step;
+use serde::{Deserialize, Serialize};
+
+/// Applies one [`FaultScenario`] to a named controller variable during
+/// a closed-loop run.
+///
+/// The harness calls [`perturb`](FaultInjector::perturb) once per cycle
+/// for the variable the scenario targets; the injector handles the
+/// activation window and the `Hold` capture semantics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjector {
+    scenario: FaultScenario,
+    held: Option<f64>,
+    activations: u32,
+}
+
+impl FaultInjector {
+    /// Creates an injector for a scenario.
+    pub fn new(scenario: FaultScenario) -> FaultInjector {
+        FaultInjector { scenario, held: None, activations: 0 }
+    }
+
+    /// The scenario being injected.
+    pub fn scenario(&self) -> &FaultScenario {
+        &self.scenario
+    }
+
+    /// `true` while the fault is perturbing the system at `step`.
+    pub fn is_active(&self, step: Step) -> bool {
+        self.scenario.is_active(step)
+    }
+
+    /// Number of cycles the fault has actually perturbed so far.
+    pub fn activations(&self) -> u32 {
+        self.activations
+    }
+
+    /// Perturbs `value` of variable `var` at `step` if the scenario
+    /// targets it and is active; otherwise returns `value` unchanged.
+    /// `min`/`max` give the variable's legitimate range.
+    pub fn perturb(&mut self, step: Step, var: &str, value: f64, min: f64, max: f64) -> f64 {
+        if var != self.scenario.target || !self.scenario.is_active(step) {
+            // Track the last clean value for a future Hold activation.
+            if var == self.scenario.target && !self.scenario.is_active(step) {
+                if step < self.scenario.start {
+                    self.held = Some(value);
+                } else {
+                    // Fault window over: stop holding.
+                    self.held = None;
+                }
+            }
+            return value;
+        }
+        self.activations += 1;
+        let held = match self.scenario.kind {
+            FaultKind::Hold => *self.held.get_or_insert(value),
+            _ => value,
+        };
+        self.scenario.kind.apply(value, min, max, held)
+    }
+
+    /// Resets activation bookkeeping for a fresh run.
+    pub fn reset(&mut self) {
+        self.held = None;
+        self.activations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector(kind: FaultKind) -> FaultInjector {
+        FaultInjector::new(FaultScenario::new("rate", kind, Step(5), 3))
+    }
+
+    #[test]
+    fn inactive_outside_window() {
+        let mut inj = injector(FaultKind::Max);
+        assert_eq!(inj.perturb(Step(4), "rate", 1.0, 0.0, 4.0), 1.0);
+        assert_eq!(inj.perturb(Step(8), "rate", 1.0, 0.0, 4.0), 1.0);
+        assert_eq!(inj.activations(), 0);
+    }
+
+    #[test]
+    fn wrong_variable_untouched() {
+        let mut inj = injector(FaultKind::Max);
+        assert_eq!(inj.perturb(Step(6), "glucose", 120.0, 40.0, 400.0), 120.0);
+    }
+
+    #[test]
+    fn max_fault_inside_window() {
+        let mut inj = injector(FaultKind::Max);
+        assert_eq!(inj.perturb(Step(5), "rate", 1.0, 0.0, 4.0), 4.0);
+        assert_eq!(inj.perturb(Step(7), "rate", 1.0, 0.0, 4.0), 4.0);
+        assert_eq!(inj.activations(), 2);
+    }
+
+    #[test]
+    fn hold_freezes_pre_fault_value() {
+        let mut inj = injector(FaultKind::Hold);
+        // Clean cycles record the latest value.
+        inj.perturb(Step(3), "rate", 2.5, 0.0, 4.0);
+        inj.perturb(Step(4), "rate", 3.0, 0.0, 4.0);
+        // Fault window: stays at the last clean value.
+        assert_eq!(inj.perturb(Step(5), "rate", 0.5, 0.0, 4.0), 3.0);
+        assert_eq!(inj.perturb(Step(6), "rate", 0.1, 0.0, 4.0), 3.0);
+    }
+
+    #[test]
+    fn hold_without_history_freezes_first_faulty_value() {
+        let mut inj = injector(FaultKind::Hold);
+        assert_eq!(inj.perturb(Step(5), "rate", 1.7, 0.0, 4.0), 1.7);
+        assert_eq!(inj.perturb(Step(6), "rate", 0.2, 0.0, 4.0), 1.7);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut inj = injector(FaultKind::Hold);
+        inj.perturb(Step(5), "rate", 2.0, 0.0, 4.0);
+        assert_eq!(inj.activations(), 1);
+        inj.reset();
+        assert_eq!(inj.activations(), 0);
+        assert_eq!(inj.perturb(Step(5), "rate", 0.9, 0.0, 4.0), 0.9);
+    }
+}

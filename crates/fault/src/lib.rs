@@ -1,0 +1,28 @@
+//! Software fault-injection engine.
+//!
+//! Reproduces the paper's source-level FI (Table II): faults and
+//! attacks manifest as perturbations of the controller's input, output,
+//! and internal state variables, activated by a trigger (start step)
+//! and lasting a bounded duration. Scenario kinds:
+//!
+//! | Kind       | Simulates                                   |
+//! |------------|---------------------------------------------|
+//! | `Truncate` | availability attack — value forced to zero  |
+//! | `Hold`     | DoS — variable stops refreshing              |
+//! | `Max`/`Min`| integrity attack — forced to range extreme   |
+//! | `Add`/`Sub`| memory fault — offset by a constant          |
+//! | `BitFlip`  | transient hardware fault in an f64 register  |
+//!
+//! Faults are transient: one activation per simulation, per the
+//! paper's threat model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod injector;
+mod scenario;
+
+pub use campaign::{campaign_grid, CampaignConfig, InjectionTarget};
+pub use injector::FaultInjector;
+pub use scenario::{FaultKind, FaultScenario};

@@ -1,0 +1,185 @@
+//! Fault scenario description.
+
+use aps_types::Step;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The perturbation a fault applies to a variable while active.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Force the variable to zero (availability attack).
+    Truncate,
+    /// Freeze the variable at its value when the fault activated (DoS).
+    Hold,
+    /// Force the variable to its maximum legitimate value.
+    Max,
+    /// Force the variable to its minimum legitimate value.
+    Min,
+    /// Add a constant offset.
+    Add(f64),
+    /// Subtract a constant offset.
+    Sub(f64),
+    /// Flip one bit of the IEEE-754 representation (result clamped to
+    /// the variable's legitimate range).
+    BitFlip(u8),
+}
+
+impl FaultKind {
+    /// Short, stable name used in scenario identifiers and reports.
+    pub fn label(&self) -> String {
+        match self {
+            FaultKind::Truncate => "truncate".to_owned(),
+            FaultKind::Hold => "hold".to_owned(),
+            FaultKind::Max => "max".to_owned(),
+            FaultKind::Min => "min".to_owned(),
+            FaultKind::Add(d) => format!("add{d:+.0}"),
+            FaultKind::Sub(d) => format!("sub{d:+.0}"),
+            FaultKind::BitFlip(b) => format!("bitflip{b}"),
+        }
+    }
+
+    /// Applies the perturbation to `value`, given the variable's
+    /// legitimate `[min, max]` range and the value captured at fault
+    /// activation (`held`, used by [`FaultKind::Hold`]).
+    pub fn apply(&self, value: f64, min: f64, max: f64, held: f64) -> f64 {
+        let out = match *self {
+            FaultKind::Truncate => 0.0,
+            FaultKind::Hold => held,
+            FaultKind::Max => max,
+            FaultKind::Min => min,
+            FaultKind::Add(d) => value + d,
+            FaultKind::Sub(d) => value - d,
+            FaultKind::BitFlip(bit) => {
+                let bits = value.to_bits() ^ (1u64 << (bit % 64));
+                let flipped = f64::from_bits(bits);
+                if flipped.is_finite() {
+                    flipped
+                } else {
+                    max
+                }
+            }
+        };
+        // All faults manifest within the acceptable variable range per
+        // the paper's threat model ("perturbs the values ... within the
+        // acceptable range"), except Truncate which forces a hard zero.
+        if matches!(self, FaultKind::Truncate) {
+            out
+        } else {
+            out.clamp(min, max)
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// One injectable fault scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultScenario {
+    /// Name of the targeted controller state variable.
+    pub target: String,
+    /// Perturbation kind.
+    pub kind: FaultKind,
+    /// First control cycle at which the fault is active.
+    pub start: Step,
+    /// Number of consecutive cycles the fault stays active.
+    pub duration: u32,
+}
+
+impl FaultScenario {
+    /// Creates a scenario.
+    pub fn new(target: &str, kind: FaultKind, start: Step, duration: u32) -> FaultScenario {
+        FaultScenario { target: target.to_owned(), kind, start, duration }
+    }
+
+    /// `true` while the fault perturbs the system at `step`.
+    pub fn is_active(&self, step: Step) -> bool {
+        step >= self.start && step.saturating_since(self.start) < self.duration
+    }
+
+    /// Stable scenario identifier, e.g. `"max_rate@t30x12"`.
+    pub fn name(&self) -> String {
+        format!("{}_{}@t{}x{}", self.kind.label(), self.target, self.start.0, self.duration)
+    }
+}
+
+impl fmt::Display for FaultScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_window() {
+        let s = FaultScenario::new("rate", FaultKind::Max, Step(10), 3);
+        assert!(!s.is_active(Step(9)));
+        assert!(s.is_active(Step(10)));
+        assert!(s.is_active(Step(12)));
+        assert!(!s.is_active(Step(13)));
+    }
+
+    #[test]
+    fn zero_duration_never_active() {
+        let s = FaultScenario::new("rate", FaultKind::Max, Step(5), 0);
+        for t in 0..20 {
+            assert!(!s.is_active(Step(t)));
+        }
+    }
+
+    #[test]
+    fn kinds_apply_correctly() {
+        assert_eq!(FaultKind::Truncate.apply(3.0, 0.0, 10.0, 9.9), 0.0);
+        assert_eq!(FaultKind::Hold.apply(3.0, 0.0, 10.0, 7.0), 7.0);
+        assert_eq!(FaultKind::Max.apply(3.0, 0.0, 10.0, 0.0), 10.0);
+        assert_eq!(FaultKind::Min.apply(3.0, 0.0, 10.0, 0.0), 0.0);
+        assert_eq!(FaultKind::Add(4.0).apply(3.0, 0.0, 10.0, 0.0), 7.0);
+        assert_eq!(FaultKind::Sub(4.0).apply(3.0, 0.0, 10.0, 0.0), 0.0); // clamped
+    }
+
+    #[test]
+    fn add_clamps_to_range() {
+        assert_eq!(FaultKind::Add(100.0).apply(3.0, 0.0, 10.0, 0.0), 10.0);
+    }
+
+    #[test]
+    fn bitflip_stays_in_range_and_changes_value() {
+        let v = 120.0;
+        for bit in [51u8, 52, 55, 60, 62] {
+            let out = FaultKind::BitFlip(bit).apply(v, 40.0, 400.0, 0.0);
+            assert!((40.0..=400.0).contains(&out), "bit {bit} -> {out}");
+        }
+        // A mantissa-flip actually changes the value.
+        let out = FaultKind::BitFlip(51).apply(v, 40.0, 400.0, 0.0);
+        assert_ne!(out, v);
+    }
+
+    #[test]
+    fn bitflip_nan_falls_back_to_max() {
+        // Flipping an exponent bit of a large number can produce inf.
+        let v = f64::MAX / 2.0;
+        let out = FaultKind::BitFlip(62).apply(v, 0.0, 10.0, 0.0);
+        assert!((0.0..=10.0).contains(&out));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let s = FaultScenario::new("glucose", FaultKind::Add(50.0), Step(30), 12);
+        assert_eq!(s.name(), "add+50_glucose@t30x12");
+        assert_eq!(s.to_string(), s.name());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = FaultScenario::new("iob", FaultKind::BitFlip(52), Step(3), 6);
+        let j = serde_json::to_string(&s).unwrap();
+        let back: FaultScenario = serde_json::from_str(&j).unwrap();
+        assert_eq!(s, back);
+    }
+}

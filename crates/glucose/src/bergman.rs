@@ -1,0 +1,388 @@
+//! Bergman minimal model / Kanderian GIM patient — the Glucosym
+//! substitute.
+//!
+//! Glucosym implements the glucose–insulin metabolism (GIM) model that
+//! Kanderian et al. identified from data of ten adults with Type-1
+//! diabetes. The equations (with the paper's Eq. 6 as the glucose
+//! subsystem) are:
+//!
+//! ```text
+//! dIsc/dt  = ID(t)/(τ₁·CI) − Isc/τ₁          subcutaneous insulin (µU/mL)
+//! dIp/dt   = (Isc − Ip)/τ₂                   plasma insulin (µU/mL)
+//! dIeff/dt = −p₂·Ieff + p₂·SI·Ip             insulin effect (1/min)
+//! dBG/dt   = −(GEZI + Ieff)·BG + EGP + RA(t) glucose (mg/dL)
+//! ```
+//!
+//! `ID(t)` is the insulin delivery rate in µU/min, `RA(t)` the meal
+//! glucose appearance (mg/dL/min, two-compartment gut model here).
+//!
+//! At steady state `BG_ss = EGP / (GEZI + SI·ID/CI)`, which gives each
+//! virtual patient a closed-form equilibrium basal rate — handy both
+//! for controller initialization and for validating the integrator.
+
+use crate::ode::integrate;
+use crate::PatientSim;
+use aps_types::{MgDl, UnitsPerHour};
+use serde::{Deserialize, Serialize};
+
+/// Identified parameters of one GIM/Bergman patient.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BergmanParams {
+    /// Patient identifier.
+    pub name: String,
+    /// Glucose effectiveness at zero insulin (1/min).
+    pub gezi: f64,
+    /// Endogenous glucose production (mg/dL/min).
+    pub egp: f64,
+    /// Insulin sensitivity (1/min per µU/mL).
+    pub si: f64,
+    /// Insulin-effect time constant p₂ (1/min).
+    pub p2: f64,
+    /// Subcutaneous insulin absorption time constant τ₁ (min).
+    pub tau1: f64,
+    /// Plasma insulin time constant τ₂ (min).
+    pub tau2: f64,
+    /// Insulin clearance (mL/min).
+    pub ci: f64,
+    /// Carb-to-glucose appearance gain (mg/dL per gram of carbs).
+    pub carb_gain: f64,
+    /// Gut absorption time constant for meals (min).
+    pub tau_meal: f64,
+}
+
+impl BergmanParams {
+    /// The Kanderian population-average adult, used as the cohort
+    /// template and by the MPC baseline monitor.
+    pub fn population_average() -> BergmanParams {
+        BergmanParams {
+            name: "glucosym/average".to_owned(),
+            gezi: 2.2e-3,
+            egp: 1.33,
+            si: 7.0e-4,
+            p2: 0.011,
+            tau1: 55.0,
+            tau2: 50.0,
+            ci: 1200.0,
+            carb_gain: 3.5,
+            tau_meal: 40.0,
+        }
+    }
+
+    /// Closed-form steady-state glucose under a constant infusion rate.
+    pub fn steady_state_bg(&self, rate: UnitsPerHour) -> MgDl {
+        let id_uu_per_min = rate.value() * 1e6 / 60.0; // U/h -> µU/min
+        let ip = id_uu_per_min / self.ci; // µU/mL at steady state
+        let ieff = self.si * ip;
+        MgDl(self.egp / (self.gezi + ieff))
+    }
+
+    /// Closed-form equilibrium basal rate for a steady-state target.
+    ///
+    /// Inverts `BG_ss = EGP/(GEZI + SI·ID/CI)`; clamped at zero when the
+    /// target exceeds the zero-insulin equilibrium `EGP/GEZI`.
+    pub fn equilibrium_basal(&self, target: MgDl) -> UnitsPerHour {
+        let needed_ieff = self.egp / target.value() - self.gezi;
+        if needed_ieff <= 0.0 {
+            return UnitsPerHour(0.0);
+        }
+        let ip = needed_ieff / self.si;
+        let id_uu_per_min = ip * self.ci;
+        UnitsPerHour(id_uu_per_min * 60.0 / 1e6)
+    }
+}
+
+/// State indices in the ODE vector.
+const ISC: usize = 0;
+const IP: usize = 1;
+const IEFF: usize = 2;
+const BG: usize = 3;
+const QGUT1: usize = 4;
+const QGUT2: usize = 5;
+const NSTATE: usize = 6;
+
+/// Multiplier applied to GEZI per unit of exercise intensity: brisk
+/// exercise (intensity 1) raises insulin-independent glucose uptake to
+/// 1 + this factor times its resting value, the dominant acute effect
+/// of aerobic exercise in T1D.
+pub const EXERCISE_GEZI_GAIN: f64 = 4.0;
+
+/// A simulated GIM/Bergman patient.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BergmanPatient {
+    params: BergmanParams,
+    state: [f64; NSTATE],
+    t_minutes: f64,
+    #[serde(default)]
+    exercise_minutes_left: f64,
+    #[serde(default)]
+    exercise_intensity: f64,
+}
+
+impl BergmanPatient {
+    /// Creates a patient initialized at 120 mg/dL basal equilibrium.
+    pub fn new(params: BergmanParams) -> BergmanPatient {
+        let mut p = BergmanPatient {
+            params,
+            state: [0.0; NSTATE],
+            t_minutes: 0.0,
+            exercise_minutes_left: 0.0,
+            exercise_intensity: 0.0,
+        };
+        p.reset(MgDl(120.0));
+        p
+    }
+
+    /// The patient's parameters.
+    pub fn params(&self) -> &BergmanParams {
+        &self.params
+    }
+
+    /// Elapsed physiological time in minutes.
+    pub fn elapsed_minutes(&self) -> f64 {
+        self.t_minutes
+    }
+
+    /// Current insulin-effect state (1/min) — exposed for tests and for
+    /// the MPC baseline's state estimate.
+    pub fn insulin_effect(&self) -> f64 {
+        self.state[IEFF]
+    }
+
+    /// Current plasma insulin (µU/mL).
+    pub fn plasma_insulin(&self) -> f64 {
+        self.state[IP]
+    }
+}
+
+impl PatientSim for BergmanPatient {
+    fn name(&self) -> &str {
+        &self.params.name
+    }
+
+    fn bg(&self) -> MgDl {
+        MgDl(self.state[BG]).clamp_physiological()
+    }
+
+    fn step(&mut self, rate: UnitsPerHour, minutes: f64) {
+        let rate = rate.max_zero();
+        let id_uu_per_min = rate.value() * 1e6 / 60.0;
+        let p = self.params.clone();
+        // Exercise elevates insulin-independent uptake for the active
+        // part of the step (5-minute resolution).
+        let active = self.exercise_minutes_left.min(minutes);
+        let intensity = if active > 0.0 { self.exercise_intensity } else { 0.0 };
+        let gezi = p.gezi * (1.0 + EXERCISE_GEZI_GAIN * intensity * (active / minutes));
+        self.exercise_minutes_left = (self.exercise_minutes_left - minutes).max(0.0);
+        let dynamics = move |_t: f64, x: &[f64], d: &mut [f64]| {
+            let ra = p.carb_gain * x[QGUT2] / p.tau_meal;
+            d[ISC] = id_uu_per_min / (p.tau1 * p.ci) - x[ISC] / p.tau1;
+            d[IP] = (x[ISC] - x[IP]) / p.tau2;
+            d[IEFF] = -p.p2 * x[IEFF] + p.p2 * p.si * x[IP];
+            d[BG] = -(gezi + x[IEFF]) * x[BG] + p.egp + ra;
+            d[QGUT1] = -x[QGUT1] / p.tau_meal;
+            d[QGUT2] = (x[QGUT1] - x[QGUT2]) / p.tau_meal;
+        };
+        integrate(&dynamics, self.t_minutes, &mut self.state, minutes, 1.0);
+        // Glucose cannot go negative; extreme insulin faults can push
+        // the linear model below zero where the physiology saturates.
+        self.state[BG] = self.state[BG].max(10.0);
+        self.t_minutes += minutes;
+    }
+
+    fn reset(&mut self, bg0: MgDl) {
+        // Insulin pools at the steady state of the 120 mg/dL basal rate;
+        // glucose at the requested starting point.
+        let basal = self.params.equilibrium_basal(MgDl(120.0));
+        let id_uu_per_min = basal.value() * 1e6 / 60.0;
+        let ip = id_uu_per_min / self.params.ci;
+        self.state = [0.0; NSTATE];
+        self.state[ISC] = ip;
+        self.state[IP] = ip;
+        self.state[IEFF] = self.params.si * ip;
+        self.state[BG] = bg0.value();
+        self.t_minutes = 0.0;
+        self.exercise_minutes_left = 0.0;
+        self.exercise_intensity = 0.0;
+    }
+
+    fn ingest(&mut self, carbs_g: f64) {
+        self.state[QGUT1] += carbs_g.max(0.0);
+    }
+
+    fn exert(&mut self, intensity: f64, duration_min: f64) {
+        self.exercise_intensity = intensity.clamp(0.0, 1.0);
+        self.exercise_minutes_left = duration_min.max(0.0);
+    }
+
+    fn equilibrium_basal(&self, target: MgDl) -> UnitsPerHour {
+        self.params.equilibrium_basal(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn avg_patient() -> BergmanPatient {
+        BergmanPatient::new(BergmanParams::population_average())
+    }
+
+    #[test]
+    fn steady_state_formula_consistency() {
+        let p = BergmanParams::population_average();
+        let basal = p.equilibrium_basal(MgDl(120.0));
+        assert!(basal.value() > 0.1 && basal.value() < 5.0, "basal = {basal:?}");
+        let ss = p.steady_state_bg(basal);
+        assert!((ss.value() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn holds_equilibrium_under_basal() {
+        let mut pt = avg_patient();
+        pt.reset(MgDl(120.0));
+        let basal = pt.equilibrium_basal(MgDl(120.0));
+        for _ in 0..144 {
+            pt.step(basal, 5.0); // 12 hours
+        }
+        assert!(
+            (pt.bg().value() - 120.0).abs() < 2.0,
+            "drifted to {} mg/dL",
+            pt.bg().value()
+        );
+    }
+
+    #[test]
+    fn no_insulin_raises_bg_toward_zero_insulin_equilibrium() {
+        let mut pt = avg_patient();
+        pt.reset(MgDl(120.0));
+        for _ in 0..144 {
+            pt.step(UnitsPerHour(0.0), 5.0);
+        }
+        let p = pt.params().clone();
+        let max_bg = p.egp / p.gezi;
+        assert!(pt.bg().value() > 250.0, "BG only reached {}", pt.bg().value());
+        assert!(pt.bg().value() <= max_bg + 1.0);
+    }
+
+    #[test]
+    fn insulin_overdose_causes_hypoglycemia() {
+        let mut pt = avg_patient();
+        pt.reset(MgDl(120.0));
+        let basal = pt.equilibrium_basal(MgDl(120.0));
+        for _ in 0..72 {
+            pt.step(basal * 8.0, 5.0); // 6 hours of 8x basal
+        }
+        assert!(pt.bg().value() < 70.0, "BG still {}", pt.bg().value());
+    }
+
+    #[test]
+    fn exercise_lowers_bg() {
+        let basal = avg_patient().equilibrium_basal(MgDl(120.0));
+        let run = |intensity: f64| -> f64 {
+            let mut pt = avg_patient();
+            pt.reset(MgDl(120.0));
+            pt.exert(intensity, 60.0);
+            for _ in 0..12 {
+                pt.step(basal, 5.0);
+            }
+            pt.bg().value()
+        };
+        let rest = run(0.0);
+        let moderate = run(0.5);
+        let brisk = run(1.0);
+        assert!(moderate < rest - 3.0, "moderate exercise barely moved BG ({rest} -> {moderate})");
+        assert!(brisk < moderate, "effect not monotone in intensity");
+    }
+
+    #[test]
+    fn exercise_effect_expires() {
+        let basal = avg_patient().equilibrium_basal(MgDl(120.0));
+        let mut pt = avg_patient();
+        pt.reset(MgDl(120.0));
+        pt.exert(1.0, 30.0);
+        for _ in 0..6 {
+            pt.step(basal, 5.0); // the bout
+        }
+        let after_bout = pt.bg().value();
+        for _ in 0..72 {
+            pt.step(basal, 5.0); // 6 h of recovery
+        }
+        // Glucose recovers toward the basal equilibrium once the bout ends.
+        assert!(pt.bg().value() > after_bout, "no recovery after exercise");
+    }
+
+    #[test]
+    fn reset_cancels_exercise() {
+        let mut pt = avg_patient();
+        pt.exert(1.0, 120.0);
+        pt.reset(MgDl(120.0));
+        let basal = pt.equilibrium_basal(MgDl(120.0));
+        for _ in 0..12 {
+            pt.step(basal, 5.0);
+        }
+        assert!((pt.bg().value() - 120.0).abs() < 2.0, "reset left exercise active");
+    }
+
+    #[test]
+    fn meal_raises_bg() {
+        let mut pt = avg_patient();
+        pt.reset(MgDl(120.0));
+        let basal = pt.equilibrium_basal(MgDl(120.0));
+        pt.ingest(60.0);
+        let mut peak: f64 = 0.0;
+        for _ in 0..36 {
+            pt.step(basal, 5.0);
+            peak = peak.max(pt.bg().value());
+        }
+        assert!(peak > 150.0, "meal peak only {peak}");
+    }
+
+    #[test]
+    fn negative_rate_treated_as_zero() {
+        let mut a = avg_patient();
+        let mut b = avg_patient();
+        a.reset(MgDl(120.0));
+        b.reset(MgDl(120.0));
+        a.step(UnitsPerHour(-5.0), 5.0);
+        b.step(UnitsPerHour(0.0), 5.0);
+        assert!((a.bg().value() - b.bg().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bg_never_below_physiological_floor() {
+        let mut pt = avg_patient();
+        pt.reset(MgDl(80.0));
+        for _ in 0..288 {
+            pt.step(UnitsPerHour(30.0), 5.0); // absurd overdose, 24 h
+        }
+        assert!(pt.bg().value() >= 10.0);
+    }
+
+    #[test]
+    fn reset_restores_time_and_state() {
+        let mut pt = avg_patient();
+        pt.step(UnitsPerHour(1.0), 5.0);
+        assert!(pt.elapsed_minutes() > 0.0);
+        pt.reset(MgDl(150.0));
+        assert_eq!(pt.elapsed_minutes(), 0.0);
+        assert!((pt.bg().value() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equilibrium_basal_clamps_at_zero_for_high_targets() {
+        let p = BergmanParams::population_average();
+        let max_bg = p.egp / p.gezi;
+        assert_eq!(p.equilibrium_basal(MgDl(max_bg + 50.0)), UnitsPerHour(0.0));
+    }
+
+    #[test]
+    fn higher_sensitivity_needs_less_insulin() {
+        let mut hi = BergmanParams::population_average();
+        hi.si *= 2.0;
+        let lo = BergmanParams::population_average();
+        assert!(
+            hi.equilibrium_basal(MgDl(120.0)).value()
+                < lo.equilibrium_basal(MgDl(120.0)).value()
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! Insulin-on-board (IOB) estimation from delivery history.
+//!
+//! Both the OpenAPS-style controller and the paper's context-aware
+//! monitor estimate IOB "based on previous insulin deliveries". The
+//! estimator here keeps a sliding window of past micro-deliveries (one
+//! per control cycle) and sums the *remaining fraction* of each
+//! according to an insulin activity curve.
+
+use aps_types::{Units, UnitsPerHour};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// An insulin activity curve: what fraction of a dose is still active
+/// `age` minutes after delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum IobCurve {
+    /// Linear decay over the duration of insulin action (DIA): simple,
+    /// transparent, oref0's historical default shape.
+    Linear {
+        /// Duration of insulin action in minutes.
+        dia_minutes: f64,
+    },
+    /// Bi-exponential decay, the smooth two-compartment absorption
+    /// model used by modern oref0 "exponential" curves.
+    BiExponential {
+        /// Fast compartment time constant (min).
+        tau1: f64,
+        /// Slow compartment time constant (min).
+        tau2: f64,
+    },
+}
+
+impl IobCurve {
+    /// The default curve: bi-exponential with τ₁ = 55, τ₂ = 70 minutes
+    /// (≈ 5 h effective DIA).
+    pub fn default_exponential() -> IobCurve {
+        IobCurve::BiExponential { tau1: 55.0, tau2: 70.0 }
+    }
+
+    /// Fraction of a dose still active `age_minutes` after delivery,
+    /// in `[0, 1]`, monotonically non-increasing in age.
+    pub fn remaining(&self, age_minutes: f64) -> f64 {
+        let t = age_minutes.max(0.0);
+        match *self {
+            IobCurve::Linear { dia_minutes } => (1.0 - t / dia_minutes).max(0.0),
+            IobCurve::BiExponential { tau1, tau2 } => {
+                if (tau1 - tau2).abs() < 1e-9 {
+                    // Degenerate to Erlang-2 remaining fraction.
+                    let x = t / tau1;
+                    ((1.0 + x) * (-x).exp()).clamp(0.0, 1.0)
+                } else {
+                    let r = (tau1 * (-t / tau1).exp() - tau2 * (-t / tau2).exp())
+                        / (tau1 - tau2);
+                    r.clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+
+    /// Horizon beyond which remaining activity is negligible (<0.5%).
+    pub fn horizon_minutes(&self) -> f64 {
+        match *self {
+            IobCurve::Linear { dia_minutes } => dia_minutes,
+            IobCurve::BiExponential { tau1, tau2 } => 7.0 * tau1.max(tau2),
+        }
+    }
+}
+
+/// Sliding-window IOB estimator.
+///
+/// Feed one delivery per control cycle with
+/// [`record`](IobEstimator::record); read the current estimate with
+/// [`iob`](IobEstimator::iob) and its rate of change with
+/// [`diob_per_min`](IobEstimator::diob_per_min).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IobEstimator {
+    curve: IobCurve,
+    /// (age_minutes, amount) pairs, newest last.
+    deliveries: VecDeque<(f64, f64)>,
+    /// Basal-equilibrium IOB subtracted so that "IOB" means insulin
+    /// *above* the steady basal background (0 disables).
+    baseline: f64,
+    last_iob: Option<f64>,
+    last_diob: f64,
+    cycle_minutes: f64,
+}
+
+impl IobEstimator {
+    /// Creates an estimator with the given activity curve and control
+    /// cycle length.
+    pub fn new(curve: IobCurve, cycle_minutes: f64) -> IobEstimator {
+        assert!(cycle_minutes > 0.0, "cycle length must be positive");
+        IobEstimator {
+            curve,
+            deliveries: VecDeque::new(),
+            baseline: 0.0,
+            last_iob: None,
+            last_diob: 0.0,
+            cycle_minutes,
+        }
+    }
+
+    /// Sets the basal-equilibrium baseline to subtract: the IOB that a
+    /// constant `basal` infusion sustains forever.
+    pub fn set_basal_baseline(&mut self, basal: UnitsPerHour) {
+        // Steady-state IOB of a constant rate = rate * integral of the
+        // remaining fraction; integrate numerically at 1-min resolution.
+        let per_min = basal.value() / 60.0;
+        let horizon = self.curve.horizon_minutes();
+        let mut sum = 0.0;
+        let mut t = 0.0;
+        while t < horizon {
+            sum += self.curve.remaining(t);
+            t += 1.0;
+        }
+        self.baseline = per_min * sum;
+    }
+
+    /// Records one control cycle's delivery and ages the window.
+    pub fn record(&mut self, delivered: UnitsPerHour) {
+        let amount = delivered.max_zero().over_minutes(self.cycle_minutes).value();
+        for entry in &mut self.deliveries {
+            entry.0 += self.cycle_minutes;
+        }
+        self.deliveries.push_back((0.0, amount));
+        let horizon = self.curve.horizon_minutes();
+        while let Some(&(age, _)) = self.deliveries.front() {
+            if age > horizon {
+                self.deliveries.pop_front();
+            } else {
+                break;
+            }
+        }
+        let iob = self.raw_iob();
+        if let Some(prev) = self.last_iob {
+            self.last_diob = (iob - prev) / self.cycle_minutes;
+        }
+        self.last_iob = Some(iob);
+    }
+
+    fn raw_iob(&self) -> f64 {
+        let total: f64 = self
+            .deliveries
+            .iter()
+            .map(|&(age, amount)| amount * self.curve.remaining(age))
+            .sum();
+        total - self.baseline
+    }
+
+    /// Current IOB estimate (U), net of the basal baseline. Negative
+    /// values mean the patient is running *below* basal insulinization
+    /// (matching oref0's net-IOB convention, where suspending insulin
+    /// drives IOB negative).
+    pub fn iob(&self) -> Units {
+        Units(self.last_iob.map(|_| self.raw_iob()).unwrap_or(0.0))
+    }
+
+    /// Rate of change of IOB between the last two cycles (U/min).
+    pub fn diob_per_min(&self) -> f64 {
+        self.last_diob
+    }
+
+    /// Forgets all history (new simulation).
+    pub fn reset(&mut self) {
+        self.deliveries.clear();
+        self.last_iob = None;
+        self.last_diob = 0.0;
+    }
+
+    /// Pre-fills the window as if `basal` had been running forever, so
+    /// a simulation starts at basal equilibrium instead of zero IOB.
+    pub fn prefill_basal(&mut self, basal: UnitsPerHour) {
+        self.reset();
+        let horizon = self.curve.horizon_minutes();
+        let steps = (horizon / self.cycle_minutes).ceil() as usize;
+        let amount = basal.max_zero().over_minutes(self.cycle_minutes).value();
+        for k in (1..=steps).rev() {
+            self.deliveries.push_back((k as f64 * self.cycle_minutes, amount));
+        }
+        self.last_iob = Some(self.raw_iob());
+        self.last_diob = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_start_at_one_and_decay() {
+        for curve in [
+            IobCurve::Linear { dia_minutes: 180.0 },
+            IobCurve::default_exponential(),
+            IobCurve::BiExponential { tau1: 60.0, tau2: 60.0 },
+        ] {
+            assert!((curve.remaining(0.0) - 1.0).abs() < 1e-9, "{curve:?}");
+            let mut prev = 1.0;
+            let mut t = 0.0;
+            while t < curve.horizon_minutes() {
+                let r = curve.remaining(t);
+                assert!(r <= prev + 1e-12, "{curve:?} not monotone at {t}");
+                assert!((0.0..=1.0).contains(&r));
+                prev = r;
+                t += 5.0;
+            }
+            assert!(curve.remaining(curve.horizon_minutes()) < 0.01);
+        }
+    }
+
+    #[test]
+    fn bolus_iob_decays_to_zero() {
+        let mut est = IobEstimator::new(IobCurve::Linear { dia_minutes: 60.0 }, 5.0);
+        est.record(UnitsPerHour(12.0)); // 1 U in 5 min
+        assert!((est.iob().value() - 1.0).abs() < 1e-9);
+        for _ in 0..13 {
+            est.record(UnitsPerHour(0.0));
+        }
+        assert!(est.iob().value() < 1e-9, "iob = {:?}", est.iob());
+    }
+
+    #[test]
+    fn diob_sign_tracks_delivery_changes() {
+        let mut est = IobEstimator::new(IobCurve::default_exponential(), 5.0);
+        est.prefill_basal(UnitsPerHour(1.0));
+        // Step the rate up: IOB rises.
+        est.record(UnitsPerHour(4.0));
+        est.record(UnitsPerHour(4.0));
+        assert!(est.diob_per_min() > 0.0);
+        // Suspend: IOB falls.
+        for _ in 0..3 {
+            est.record(UnitsPerHour(0.0));
+        }
+        assert!(est.diob_per_min() < 0.0);
+    }
+
+    #[test]
+    fn prefill_reaches_steady_state() {
+        let mut est = IobEstimator::new(IobCurve::default_exponential(), 5.0);
+        est.prefill_basal(UnitsPerHour(1.0));
+        let before = est.iob().value();
+        est.record(UnitsPerHour(1.0));
+        let after = est.iob().value();
+        assert!(
+            (before - after).abs() < 0.02,
+            "steady basal should hold IOB: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn baseline_subtraction_zeroes_basal_iob() {
+        let mut est = IobEstimator::new(IobCurve::default_exponential(), 5.0);
+        est.set_basal_baseline(UnitsPerHour(1.0));
+        est.prefill_basal(UnitsPerHour(1.0));
+        assert!(est.iob().value() < 0.05, "net IOB at basal = {:?}", est.iob());
+        // Extra insulin shows up as positive net IOB.
+        for _ in 0..6 {
+            est.record(UnitsPerHour(3.0));
+        }
+        assert!(est.iob().value() > 0.5);
+    }
+
+    #[test]
+    fn negative_rates_ignored() {
+        let mut est = IobEstimator::new(IobCurve::default_exponential(), 5.0);
+        est.record(UnitsPerHour(-5.0));
+        assert_eq!(est.iob(), Units(0.0));
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut est = IobEstimator::new(IobCurve::default_exponential(), 5.0);
+        est.record(UnitsPerHour(6.0));
+        assert!(est.iob().value() > 0.0);
+        est.reset();
+        assert_eq!(est.iob(), Units(0.0));
+        assert_eq!(est.diob_per_min(), 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Patient glucose simulators for closed-loop APS evaluation.
+//!
+//! The paper evaluates on two simulation platforms:
+//!
+//! * **Glucosym** — patient models identified from 10 real adults with
+//!   Type-1 diabetes, implementing the Kanderian *glucose–insulin
+//!   metabolism* (GIM) / Bergman minimal-model equations. Reproduced by
+//!   [`bergman::BergmanPatient`].
+//! * **UVA-Padova T1DS2013** — the FDA-accepted simulator built on the
+//!   Dalla Man meal-simulation model. Reproduced in simplified form by
+//!   [`dalla_man::DallaManPatient`].
+//!
+//! Both implement the common [`PatientSim`] trait, are integrated with
+//! the fixed-step RK4 integrator in [`ode`], and come with deterministic
+//! cohorts of ten virtual patients each ([`patients`]). CGM sampling and
+//! pump actuation models live in [`sensor`] and [`pump`].
+//!
+//! # Example
+//!
+//! ```
+//! use aps_glucose::{patients, PatientSim};
+//! use aps_types::{MgDl, UnitsPerHour};
+//!
+//! let mut patient = patients::glucosym_cohort().remove(0);
+//! patient.reset(MgDl(140.0));
+//! let basal = patient.equilibrium_basal(MgDl(120.0));
+//! for _ in 0..12 {
+//!     patient.step(basal, 5.0); // one hour of closed-loop time
+//! }
+//! assert!(patient.bg().value() > 60.0 && patient.bg().value() < 250.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bergman;
+pub mod dalla_man;
+pub mod iob;
+pub mod ode;
+pub mod patients;
+pub mod pump;
+pub mod sensor;
+pub mod sensor_error;
+
+use aps_types::{MgDl, UnitsPerHour};
+
+/// A virtual Type-1 diabetes patient that the closed loop can drive.
+///
+/// One `step` advances physiological time by `minutes` under a constant
+/// insulin infusion rate; the APS control loop calls it once per
+/// 5-minute control cycle.
+pub trait PatientSim: Send {
+    /// Patient identifier (e.g. `"glucosym/patientA"`).
+    fn name(&self) -> &str;
+
+    /// Current blood glucose as observable by a CGM.
+    fn bg(&self) -> MgDl;
+
+    /// Advances the model by `minutes` with insulin infused at `rate`.
+    fn step(&mut self, rate: UnitsPerHour, minutes: f64);
+
+    /// Re-initializes the model at the given starting glucose, with
+    /// insulin pools at their basal steady state.
+    fn reset(&mut self, bg0: MgDl);
+
+    /// Adds a meal of `carbs_g` grams of carbohydrate to the gut
+    /// absorption model (no-op for models without a meal subsystem).
+    fn ingest(&mut self, carbs_g: f64);
+
+    /// Starts an exercise bout: for the next `duration_min` minutes,
+    /// insulin-independent glucose uptake is elevated in proportion to
+    /// `intensity` (0 = rest, 1 = brisk aerobic exercise). Overlapping
+    /// bouts replace any bout in progress. No-op for models without an
+    /// exercise subsystem.
+    fn exert(&mut self, intensity: f64, duration_min: f64) {
+        let _ = (intensity, duration_min);
+    }
+
+    /// The constant infusion rate that holds the patient at `target`
+    /// in steady state (found numerically; used to initialize
+    /// controllers and to parameterize the paper's MPC baseline).
+    fn equilibrium_basal(&self, target: MgDl) -> UnitsPerHour;
+}
+
+/// Boxed patient, the form the simulation harness passes around.
+pub type BoxedPatient = Box<dyn PatientSim>;

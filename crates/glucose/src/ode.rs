@@ -1,0 +1,122 @@
+//! Fixed-step Runge–Kutta integration for the patient ODE models.
+
+/// Continuous-time dynamics `dx/dt = f(t, x)` over a fixed-size state.
+pub trait Dynamics {
+    /// Writes the derivative of `x` at time `t` (minutes) into `dxdt`.
+    fn derivative(&self, t: f64, x: &[f64], dxdt: &mut [f64]);
+}
+
+impl<F> Dynamics for F
+where
+    F: Fn(f64, &[f64], &mut [f64]),
+{
+    fn derivative(&self, t: f64, x: &[f64], dxdt: &mut [f64]) {
+        self(t, x, dxdt)
+    }
+}
+
+/// Advances `x` from `t` by `dt` with one classical RK4 step.
+pub fn rk4_step<D: Dynamics + ?Sized>(dyn_: &D, t: f64, x: &mut [f64], dt: f64) {
+    let n = x.len();
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+
+    dyn_.derivative(t, x, &mut k1);
+    for i in 0..n {
+        tmp[i] = x[i] + 0.5 * dt * k1[i];
+    }
+    dyn_.derivative(t + 0.5 * dt, &tmp, &mut k2);
+    for i in 0..n {
+        tmp[i] = x[i] + 0.5 * dt * k2[i];
+    }
+    dyn_.derivative(t + 0.5 * dt, &tmp, &mut k3);
+    for i in 0..n {
+        tmp[i] = x[i] + dt * k3[i];
+    }
+    dyn_.derivative(t + dt, &tmp, &mut k4);
+    for i in 0..n {
+        x[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+}
+
+/// Integrates from `t0` over `duration` using steps of at most
+/// `max_dt`, mutating `x` in place.
+///
+/// # Panics
+///
+/// Panics if `max_dt` or `duration` is non-positive.
+pub fn integrate<D: Dynamics + ?Sized>(
+    dyn_: &D,
+    t0: f64,
+    x: &mut [f64],
+    duration: f64,
+    max_dt: f64,
+) {
+    assert!(max_dt > 0.0, "max_dt must be positive");
+    assert!(duration > 0.0, "duration must be positive");
+    let steps = (duration / max_dt).ceil() as usize;
+    let dt = duration / steps as f64;
+    let mut t = t0;
+    for _ in 0..steps {
+        rk4_step(dyn_, t, x, dt);
+        t += dt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_decay_matches_closed_form() {
+        // dx/dt = -k x  =>  x(t) = x0 e^{-k t}
+        let k = 0.3;
+        let f = move |_t: f64, x: &[f64], d: &mut [f64]| d[0] = -k * x[0];
+        let mut x = [1.0];
+        integrate(&f, 0.0, &mut x, 10.0, 0.1);
+        let exact = (-k * 10.0f64).exp();
+        assert!((x[0] - exact).abs() < 1e-8, "{} vs {}", x[0], exact);
+    }
+
+    #[test]
+    fn harmonic_oscillator_energy_preserved() {
+        // x'' = -x as a 2-state system; RK4 should conserve energy well.
+        let f = |_t: f64, x: &[f64], d: &mut [f64]| {
+            d[0] = x[1];
+            d[1] = -x[0];
+        };
+        let mut x = [1.0, 0.0];
+        integrate(&f, 0.0, &mut x, 2.0 * std::f64::consts::PI, 0.01);
+        assert!((x[0] - 1.0).abs() < 1e-6);
+        assert!(x[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn time_dependent_rhs() {
+        // dx/dt = t  =>  x(T) = T^2 / 2
+        let f = |t: f64, _x: &[f64], d: &mut [f64]| d[0] = t;
+        let mut x = [0.0];
+        integrate(&f, 0.0, &mut x, 4.0, 0.5);
+        assert!((x[0] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uneven_duration_is_subdivided() {
+        let f = |_t: f64, x: &[f64], d: &mut [f64]| d[0] = -x[0];
+        let mut x = [1.0];
+        // 5 minutes with max_dt 0.4 -> 13 steps of 5/13.
+        integrate(&f, 0.0, &mut x, 5.0, 0.4);
+        assert!((x[0] - (-5.0f64).exp()).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_dt")]
+    fn zero_dt_panics() {
+        let f = |_t: f64, _x: &[f64], _d: &mut [f64]| {};
+        let mut x = [0.0];
+        integrate(&f, 0.0, &mut x, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Confusion-matrix counts and derived rates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// TP/FP/FN/TN counts with the derived rates the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfusionCounts {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// False negatives.
+    pub fn_: u64,
+    /// True negatives.
+    pub tn: u64,
+}
+
+impl ConfusionCounts {
+    /// All-zero counts.
+    pub fn new() -> ConfusionCounts {
+        ConfusionCounts::default()
+    }
+
+    /// Total number of classified items.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// False-positive rate `FP / (FP + TN)` (0 when undefined).
+    pub fn fpr(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// False-negative rate `FN / (FN + TP)` (0 when undefined).
+    pub fn fnr(&self) -> f64 {
+        ratio(self.fn_, self.fn_ + self.tp)
+    }
+
+    /// Accuracy `(TP + TN) / total` (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Precision `TP / (TP + FP)` (0 when undefined).
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall / sensitivity `TP / (TP + FN)` (0 when undefined).
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// F1 score `2TP / (2TP + FP + FN)` (0 when undefined).
+    pub fn f1(&self) -> f64 {
+        ratio(2 * self.tp, 2 * self.tp + self.fp + self.fn_)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl Add for ConfusionCounts {
+    type Output = ConfusionCounts;
+    fn add(self, rhs: ConfusionCounts) -> ConfusionCounts {
+        ConfusionCounts {
+            tp: self.tp + rhs.tp,
+            fp: self.fp + rhs.fp,
+            fn_: self.fn_ + rhs.fn_,
+            tn: self.tn + rhs.tn,
+        }
+    }
+}
+
+impl AddAssign for ConfusionCounts {
+    fn add_assign(&mut self, rhs: ConfusionCounts) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for ConfusionCounts {
+    fn sum<I: Iterator<Item = ConfusionCounts>>(iter: I) -> ConfusionCounts {
+        iter.fold(ConfusionCounts::new(), |a, b| a + b)
+    }
+}
+
+impl fmt::Display for ConfusionCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TP={} FP={} FN={} TN={} | FPR={:.3} FNR={:.3} ACC={:.3} F1={:.3}",
+            self.tp,
+            self.fp,
+            self.fn_,
+            self.tn,
+            self.fpr(),
+            self.fnr(),
+            self.accuracy(),
+            self.f1()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_on_known_counts() {
+        let c = ConfusionCounts { tp: 8, fp: 2, fn_: 1, tn: 9 };
+        assert!((c.fpr() - 2.0 / 11.0).abs() < 1e-12);
+        assert!((c.fnr() - 1.0 / 9.0).abs() < 1e-12);
+        assert!((c.accuracy() - 17.0 / 20.0).abs() < 1e-12);
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.recall() - 8.0 / 9.0).abs() < 1e-12);
+        assert!((c.f1() - 16.0 / 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counts_define_zero_rates() {
+        let c = ConfusionCounts::new();
+        assert_eq!(c.fpr(), 0.0);
+        assert_eq!(c.fnr(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn sum_and_add() {
+        let a = ConfusionCounts { tp: 1, fp: 2, fn_: 3, tn: 4 };
+        let b = ConfusionCounts { tp: 10, fp: 20, fn_: 30, tn: 40 };
+        let s: ConfusionCounts = vec![a, b].into_iter().sum();
+        assert_eq!(s, ConfusionCounts { tp: 11, fp: 22, fn_: 33, tn: 44 });
+        assert_eq!(s.total(), 110);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!ConfusionCounts::new().to_string().is_empty());
+    }
+}

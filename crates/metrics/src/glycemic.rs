@@ -1,0 +1,160 @@
+//! Consensus glycemic outcome metrics (time-in-range and friends).
+//!
+//! The paper evaluates monitors with detection metrics plus the
+//! Kovatchev risk index; clinical APS studies additionally report the
+//! international-consensus CGM metrics (Battelino et al. 2019): time
+//! in the 70–180 mg/dL target range, time below/above range at two
+//! severity levels, glycemic variability (CV), and the Glucose
+//! Management Indicator. These summarize *patient outcome* of a run
+//! independent of any monitor, so mitigation strategies can be
+//! compared on the endpoints clinicians actually use.
+
+use aps_types::SimTrace;
+use serde::{Deserialize, Serialize};
+
+/// Consensus CGM thresholds (mg/dL).
+pub mod thresholds {
+    /// Lower bound of the target range.
+    pub const TARGET_LO: f64 = 70.0;
+    /// Upper bound of the target range.
+    pub const TARGET_HI: f64 = 180.0;
+    /// Level-2 (clinically significant) hypoglycemia bound.
+    pub const VERY_LOW: f64 = 54.0;
+    /// Level-2 hyperglycemia bound.
+    pub const VERY_HIGH: f64 = 250.0;
+}
+
+/// Consensus glycemic summary of one or more BG series.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GlycemicSummary {
+    /// Samples contributing.
+    pub n: usize,
+    /// Fraction of time in 70–180 mg/dL (TIR).
+    pub tir: f64,
+    /// Fraction below 70 mg/dL (TBR, level 1 + 2).
+    pub tbr: f64,
+    /// Fraction below 54 mg/dL (TBR level 2).
+    pub tbr_level2: f64,
+    /// Fraction above 180 mg/dL (TAR, level 1 + 2).
+    pub tar: f64,
+    /// Fraction above 250 mg/dL (TAR level 2).
+    pub tar_level2: f64,
+    /// Mean glucose (mg/dL).
+    pub mean: f64,
+    /// Coefficient of variation (SD / mean); consensus target < 0.36.
+    pub cv: f64,
+    /// Glucose Management Indicator (an HbA1c estimate, %):
+    /// `3.31 + 0.02392 × mean`.
+    pub gmi: f64,
+}
+
+impl GlycemicSummary {
+    /// Computes the summary over a BG series (mg/dL). Returns the
+    /// all-zero default for an empty series.
+    pub fn from_series(bg: &[f64]) -> GlycemicSummary {
+        let n = bg.len();
+        if n == 0 {
+            return GlycemicSummary::default();
+        }
+        let frac = |pred: &dyn Fn(f64) -> bool| -> f64 {
+            bg.iter().filter(|&&v| pred(v)).count() as f64 / n as f64
+        };
+        use thresholds::*;
+        let mean = bg.iter().sum::<f64>() / n as f64;
+        let var = bg.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        GlycemicSummary {
+            n,
+            tir: frac(&|v| (TARGET_LO..=TARGET_HI).contains(&v)),
+            tbr: frac(&|v| v < TARGET_LO),
+            tbr_level2: frac(&|v| v < VERY_LOW),
+            tar: frac(&|v| v > TARGET_HI),
+            tar_level2: frac(&|v| v > VERY_HIGH),
+            mean,
+            cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+            gmi: 3.31 + 0.02392 * mean,
+        }
+    }
+
+    /// Computes the summary over the *true* glucose of a recorded run.
+    pub fn from_trace(trace: &SimTrace) -> GlycemicSummary {
+        GlycemicSummary::from_series(&trace.bg_true_series())
+    }
+
+    /// Pools the true-glucose samples of many runs into one summary.
+    pub fn from_traces<'a, I>(traces: I) -> GlycemicSummary
+    where
+        I: IntoIterator<Item = &'a SimTrace>,
+    {
+        let all: Vec<f64> =
+            traces.into_iter().flat_map(|t| t.bg_true_series()).collect();
+        GlycemicSummary::from_series(&all)
+    }
+
+    /// `true` when the consensus adult-T1D targets are met: TIR > 70%,
+    /// TBR < 4%, TBR level 2 < 1%, TAR < 25%, CV ≤ 0.36.
+    pub fn meets_consensus_targets(&self) -> bool {
+        self.tir > 0.70
+            && self.tbr < 0.04
+            && self.tbr_level2 < 0.01
+            && self.tar < 0.25
+            && self.cv <= 0.36
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_is_all_zero() {
+        assert_eq!(GlycemicSummary::from_series(&[]), GlycemicSummary::default());
+    }
+
+    #[test]
+    fn fractions_partition_the_series() {
+        let bg = vec![50.0, 60.0, 100.0, 150.0, 200.0, 300.0];
+        let s = GlycemicSummary::from_series(&bg);
+        assert!((s.tir + s.tbr + s.tar - 1.0).abs() < 1e-12);
+        assert!((s.tir - 2.0 / 6.0).abs() < 1e-12);
+        assert!((s.tbr - 2.0 / 6.0).abs() < 1e-12);
+        assert!((s.tbr_level2 - 1.0 / 6.0).abs() < 1e-12);
+        assert!((s.tar_level2 - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundaries_are_inclusive_of_the_target_range() {
+        let s = GlycemicSummary::from_series(&[70.0, 180.0]);
+        assert_eq!(s.tir, 1.0);
+        assert_eq!(s.tbr, 0.0);
+        assert_eq!(s.tar, 0.0);
+    }
+
+    #[test]
+    fn gmi_matches_published_anchor() {
+        // A mean glucose of 154 mg/dL corresponds to GMI ≈ 7.0%.
+        let s = GlycemicSummary::from_series(&[154.0; 10]);
+        assert!((s.gmi - 7.0).abs() < 0.02, "gmi = {}", s.gmi);
+        assert_eq!(s.cv, 0.0);
+    }
+
+    #[test]
+    fn cv_is_scale_free() {
+        let a = GlycemicSummary::from_series(&[100.0, 120.0, 140.0]);
+        let b = GlycemicSummary::from_series(&[200.0, 240.0, 280.0]);
+        assert!((a.cv - b.cv).abs() < 1e-12);
+        assert!(a.cv > 0.0);
+    }
+
+    #[test]
+    fn consensus_targets() {
+        // A tight in-range day passes.
+        let good: Vec<f64> = (0..288).map(|i| 110.0 + 20.0 * ((i as f64) / 30.0).sin()).collect();
+        assert!(GlycemicSummary::from_series(&good).meets_consensus_targets());
+        // A day with 10% of time at 55 mg/dL fails on TBR.
+        let mut bad = good.clone();
+        for v in bad.iter_mut().take(29) {
+            *v = 55.0;
+        }
+        assert!(!GlycemicSummary::from_series(&bad).meets_consensus_targets());
+    }
+}

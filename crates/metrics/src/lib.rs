@@ -1,0 +1,22 @@
+//! Evaluation metrics for real-time hazard prediction (paper §V-D).
+//!
+//! * [`confusion::ConfusionCounts`] — the 2×2 counts with derived
+//!   FPR/FNR/ACC/F1;
+//! * [`tolerance`] — sample-level classification with a tolerance
+//!   window δ before hazard onset (paper Table IV / Fig. 6);
+//! * [`simulation`] — simulation-level classification with the
+//!   two-region split at fault-activation time;
+//! * [`timing`] — Time-to-Hazard, reaction time, early-detection rate;
+//! * [`outcome`] — hazard coverage, recovery rate, average risk (Eq. 9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod confusion;
+pub mod glycemic;
+pub mod outcome;
+pub mod simulation;
+pub mod timing;
+pub mod tolerance;
+
+pub use confusion::ConfusionCounts;

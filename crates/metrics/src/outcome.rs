@@ -1,0 +1,162 @@
+//! Campaign-level outcome metrics: hazard coverage, recovery rate,
+//! average risk (Eq. 9).
+
+use aps_types::SimTrace;
+use serde::{Deserialize, Serialize};
+
+/// Hazard coverage: of the runs where a fault actually activated, the
+/// fraction that ended in a hazard (paper §V-D).
+pub fn hazard_coverage<'a, I>(traces: I) -> f64
+where
+    I: IntoIterator<Item = &'a SimTrace>,
+{
+    let mut faulted = 0usize;
+    let mut hazardous = 0usize;
+    for t in traces {
+        if t.meta.fault_start.is_some() {
+            faulted += 1;
+            if t.is_hazardous() {
+                hazardous += 1;
+            }
+        }
+    }
+    if faulted == 0 {
+        0.0
+    } else {
+        hazardous as f64 / faulted as f64
+    }
+}
+
+/// Recovery rate: of the scenarios that were hazardous *without*
+/// mitigation, the fraction that are hazard-free *with* mitigation.
+///
+/// `pairs` yields `(unmitigated, mitigated)` traces of the same
+/// scenario.
+pub fn recovery_rate<'a, I>(pairs: I) -> f64
+where
+    I: IntoIterator<Item = (&'a SimTrace, &'a SimTrace)>,
+{
+    let mut baseline_hazards = 0usize;
+    let mut prevented = 0usize;
+    for (unmitigated, mitigated) in pairs {
+        if unmitigated.is_hazardous() {
+            baseline_hazards += 1;
+            if !mitigated.is_hazardous() {
+                prevented += 1;
+            }
+        }
+    }
+    if baseline_hazards == 0 {
+        0.0
+    } else {
+        prevented as f64 / baseline_hazards as f64
+    }
+}
+
+/// New hazards introduced by mitigation: scenarios that were safe
+/// without mitigation but hazardous with it (the cost of false alarms).
+pub fn new_hazards<'a, I>(pairs: I) -> usize
+where
+    I: IntoIterator<Item = (&'a SimTrace, &'a SimTrace)>,
+{
+    pairs
+        .into_iter()
+        .filter(|(unmitigated, mitigated)| !unmitigated.is_hazardous() && mitigated.is_hazardous())
+        .count()
+}
+
+/// Per-simulation contribution to the average-risk metric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RiskContribution {
+    /// Mean BG risk index of the simulation (`R̄I(i)` in Eq. 9).
+    pub mean_risk_index: f64,
+    /// The simulation was a false negative (hazard, no warning).
+    pub is_false_negative: bool,
+    /// The simulation became hazardous only because of mitigation of a
+    /// false alarm.
+    pub is_new_hazard: bool,
+}
+
+/// Average risk (Eq. 9): mean over all N simulations of the risk
+/// indices of FN cases and mitigation-induced new hazards.
+pub fn average_risk(contributions: &[RiskContribution]) -> f64 {
+    if contributions.is_empty() {
+        return 0.0;
+    }
+    let harm: f64 = contributions
+        .iter()
+        .filter(|c| c.is_false_negative || c.is_new_hazard)
+        .map(|c| c.mean_risk_index)
+        .sum();
+    harm / contributions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_types::{Hazard, Step, StepRecord, TraceMeta};
+
+    fn trace(faulted: bool, hazardous: bool) -> SimTrace {
+        let meta = TraceMeta {
+            fault_start: faulted.then_some(Step(10)),
+            ..TraceMeta::default()
+        };
+        let mut t = SimTrace::new(meta);
+        for i in 0..50u32 {
+            let mut r = StepRecord::blank(Step(i));
+            if hazardous && i >= 30 {
+                r.hazard = Some(Hazard::H1);
+            }
+            t.push(r);
+        }
+        t.refresh_meta();
+        t
+    }
+
+    #[test]
+    fn coverage_over_faulted_runs_only() {
+        let traces = vec![
+            trace(true, true),
+            trace(true, false),
+            trace(true, false),
+            trace(false, false), // fault-free: excluded from denominator
+        ];
+        assert!((hazard_coverage(&traces) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_zero_without_faults() {
+        let traces = vec![trace(false, false)];
+        assert_eq!(hazard_coverage(&traces), 0.0);
+    }
+
+    #[test]
+    fn recovery_and_new_hazards() {
+        let base_h = trace(true, true);
+        let base_s = trace(true, false);
+        let mit_h = trace(true, true);
+        let mit_s = trace(true, false);
+        // scenario 1: hazard prevented; scenario 2: hazard persists;
+        // scenario 3: safe stays safe; scenario 4: mitigation hurt.
+        let pairs = vec![
+            (&base_h, &mit_s),
+            (&base_h, &mit_h),
+            (&base_s, &mit_s),
+            (&base_s, &mit_h),
+        ];
+        assert!((recovery_rate(pairs.clone()) - 0.5).abs() < 1e-12);
+        assert_eq!(new_hazards(pairs), 1);
+    }
+
+    #[test]
+    fn average_risk_only_counts_fn_and_new_hazards() {
+        let contributions = vec![
+            RiskContribution { mean_risk_index: 10.0, is_false_negative: true, is_new_hazard: false },
+            RiskContribution { mean_risk_index: 6.0, is_false_negative: false, is_new_hazard: true },
+            RiskContribution { mean_risk_index: 100.0, is_false_negative: false, is_new_hazard: false },
+            RiskContribution { mean_risk_index: 100.0, is_false_negative: false, is_new_hazard: false },
+        ];
+        assert!((average_risk(&contributions) - 4.0).abs() < 1e-12);
+        assert_eq!(average_risk(&[]), 0.0);
+    }
+}

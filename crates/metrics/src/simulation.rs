@@ -1,0 +1,150 @@
+//! Simulation-level classification with the two-region split.
+//!
+//! Treating a whole trace as one case, an alert anywhere in a hazardous
+//! trace is a TP regardless of timing — too generous on its own. The
+//! paper therefore splits each faulty trace at the fault-activation
+//! time `tf`: the pre-fault region `[0, tf)` must be alert-free, and
+//! the post-fault region `[tf, te]` is judged as one case.
+
+use crate::ConfusionCounts;
+use aps_types::SimTrace;
+
+/// Classifies one region: `alerted` vs `hazardous`.
+fn classify(alerted: bool, hazardous: bool, c: &mut ConfusionCounts) {
+    match (alerted, hazardous) {
+        (true, true) => c.tp += 1,
+        (true, false) => c.fp += 1,
+        (false, true) => c.fn_ += 1,
+        (false, false) => c.tn += 1,
+    }
+}
+
+/// Simulation-level counts for one trace, split at the fault start
+/// (fault-free traces contribute a single region).
+pub fn simulation_counts(trace: &SimTrace) -> ConfusionCounts {
+    let mut c = ConfusionCounts::new();
+    match trace.meta.fault_start {
+        Some(tf) => {
+            let split = tf.index().min(trace.len());
+            let pre = &trace.records[..split];
+            let post = &trace.records[split..];
+            classify(
+                pre.iter().any(|r| r.alert.is_some()),
+                pre.iter().any(|r| r.hazard.is_some()),
+                &mut c,
+            );
+            classify(
+                post.iter().any(|r| r.alert.is_some()),
+                post.iter().any(|r| r.hazard.is_some()),
+                &mut c,
+            );
+        }
+        None => {
+            classify(
+                trace.records.iter().any(|r| r.alert.is_some()),
+                trace.is_hazardous(),
+                &mut c,
+            );
+        }
+    }
+    c
+}
+
+/// Aggregated simulation-level counts for a campaign of traces.
+pub fn campaign_simulation_counts<'a, I>(traces: I) -> ConfusionCounts
+where
+    I: IntoIterator<Item = &'a SimTrace>,
+{
+    traces.into_iter().map(simulation_counts).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_types::{Hazard, Step, StepRecord, TraceMeta};
+
+    fn trace(
+        len: u32,
+        fault_start: Option<u32>,
+        hazard_at: Option<u32>,
+        alert_at: Option<u32>,
+    ) -> SimTrace {
+        let meta =
+            TraceMeta { fault_start: fault_start.map(Step), ..TraceMeta::default() };
+        let mut t = SimTrace::new(meta);
+        for i in 0..len {
+            let mut r = StepRecord::blank(Step(i));
+            if Some(i) == hazard_at || hazard_at.map(|h| i >= h).unwrap_or(false) {
+                r.hazard = Some(Hazard::H1);
+            }
+            if Some(i) == alert_at {
+                r.alert = Some(Hazard::H1);
+            }
+            t.push(r);
+        }
+        t.refresh_meta();
+        t
+    }
+
+    #[test]
+    fn detected_hazard_after_fault_is_tp() {
+        let t = trace(100, Some(30), Some(60), Some(50));
+        let c = simulation_counts(&t);
+        assert_eq!(c.tp, 1);
+        assert_eq!(c.tn, 1); // clean pre-fault region
+        assert_eq!(c.fp, 0);
+        assert_eq!(c.fn_, 0);
+    }
+
+    #[test]
+    fn missed_hazard_is_fn() {
+        let t = trace(100, Some(30), Some(60), None);
+        let c = simulation_counts(&t);
+        assert_eq!(c.fn_, 1);
+        assert_eq!(c.tn, 1);
+    }
+
+    #[test]
+    fn pre_fault_alert_is_fp() {
+        let t = trace(100, Some(30), Some(60), Some(10));
+        let c = simulation_counts(&t);
+        assert_eq!(c.fp, 1, "{c}");
+        // Post-fault region has the hazard but no alert -> FN.
+        assert_eq!(c.fn_, 1);
+    }
+
+    #[test]
+    fn clean_faulty_run_is_two_tns() {
+        let t = trace(100, Some(30), None, None);
+        let c = simulation_counts(&t);
+        assert_eq!(c.tn, 2);
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn fault_free_run_is_single_region() {
+        let t = trace(100, None, None, None);
+        let c = simulation_counts(&t);
+        assert_eq!(c.tn, 1);
+        assert_eq!(c.total(), 1);
+        let t = trace(100, None, None, Some(10));
+        assert_eq!(simulation_counts(&t).fp, 1);
+    }
+
+    #[test]
+    fn hazard_before_fault_counted_in_pre_region() {
+        // TTH < 0 case of the paper: hazard precedes fault activation.
+        let t = trace(100, Some(60), Some(20), None);
+        let c = simulation_counts(&t);
+        assert_eq!(c.fn_, 2, "{c}"); // hazardous in both regions (persists)
+    }
+
+    #[test]
+    fn campaign_aggregation_sums() {
+        let traces =
+            vec![trace(50, Some(10), Some(20), Some(15)), trace(50, Some(10), None, None)];
+        let c = campaign_simulation_counts(&traces);
+        assert_eq!(c.tp, 1);
+        assert_eq!(c.tn, 3);
+    }
+}

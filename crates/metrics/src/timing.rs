@@ -1,0 +1,160 @@
+//! Timing metrics: Time-to-Hazard, reaction time, early-detection rate.
+
+use aps_types::{SimTrace, CONTROL_CYCLE_MINUTES};
+use serde::{Deserialize, Serialize};
+
+/// Time-to-Hazard in minutes: hazard onset minus fault activation.
+/// Negative values mean the hazard pre-dated the fault (the paper's
+/// 7.1% "controller inadequacy" cases). `None` when the trace has no
+/// fault or no hazard.
+pub fn time_to_hazard(trace: &SimTrace) -> Option<f64> {
+    let tf = trace.meta.fault_start?;
+    let th = trace.hazard_onset()?;
+    Some((th - tf) as f64 * CONTROL_CYCLE_MINUTES)
+}
+
+/// Reaction time in minutes: hazard onset minus first alert. Positive
+/// means the monitor alerted *before* the hazard (early detection).
+/// `None` when the trace has no hazard or no alert.
+pub fn reaction_time(trace: &SimTrace) -> Option<f64> {
+    let th = trace.hazard_onset()?;
+    let td = trace.first_alert()?;
+    Some((th - td) as f64 * CONTROL_CYCLE_MINUTES)
+}
+
+/// Summary statistics over a set of timing values.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimingStats {
+    /// Number of contributing values.
+    pub n: usize,
+    /// Mean (minutes).
+    pub mean: f64,
+    /// Standard deviation (minutes).
+    pub sd: f64,
+    /// Minimum (minutes).
+    pub min: f64,
+    /// Maximum (minutes).
+    pub max: f64,
+}
+
+impl TimingStats {
+    /// Computes stats from values; all-zero when empty.
+    pub fn from_values(values: &[f64]) -> TimingStats {
+        let n = values.len();
+        if n == 0 {
+            return TimingStats::default();
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        TimingStats { n, mean, sd: var.sqrt(), min, max }
+    }
+}
+
+/// Early-detection rate: among hazardous traces, the fraction where the
+/// first alert strictly precedes hazard onset.
+pub fn early_detection_rate<'a, I>(traces: I) -> f64
+where
+    I: IntoIterator<Item = &'a SimTrace>,
+{
+    let mut hazardous = 0usize;
+    let mut early = 0usize;
+    for t in traces {
+        if let Some(th) = t.hazard_onset() {
+            hazardous += 1;
+            if let Some(td) = t.first_alert() {
+                if td < th {
+                    early += 1;
+                }
+            }
+        }
+    }
+    if hazardous == 0 {
+        0.0
+    } else {
+        early as f64 / hazardous as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_types::{Hazard, Step, StepRecord, TraceMeta};
+
+    fn trace(fault: Option<u32>, hazard: Option<u32>, alert: Option<u32>) -> SimTrace {
+        let meta = TraceMeta { fault_start: fault.map(Step), ..TraceMeta::default() };
+        let mut t = SimTrace::new(meta);
+        for i in 0..120u32 {
+            let mut r = StepRecord::blank(Step(i));
+            if hazard.map(|h| i >= h).unwrap_or(false) {
+                r.hazard = Some(Hazard::H2);
+            }
+            if Some(i) == alert {
+                r.alert = Some(Hazard::H2);
+            }
+            t.push(r);
+        }
+        t.refresh_meta();
+        t
+    }
+
+    #[test]
+    fn tth_in_minutes() {
+        let t = trace(Some(20), Some(56), None);
+        assert_eq!(time_to_hazard(&t), Some(180.0)); // 36 steps * 5 min
+    }
+
+    #[test]
+    fn tth_negative_when_hazard_precedes_fault() {
+        let t = trace(Some(50), Some(20), None);
+        assert_eq!(time_to_hazard(&t), Some(-150.0));
+    }
+
+    #[test]
+    fn tth_none_without_fault_or_hazard() {
+        assert_eq!(time_to_hazard(&trace(None, Some(10), None)), None);
+        assert_eq!(time_to_hazard(&trace(Some(10), None, None)), None);
+    }
+
+    #[test]
+    fn reaction_time_positive_for_early_alert() {
+        let t = trace(Some(20), Some(60), Some(36));
+        assert_eq!(reaction_time(&t), Some(120.0));
+    }
+
+    #[test]
+    fn reaction_time_negative_for_late_alert() {
+        let t = trace(Some(20), Some(40), Some(50));
+        assert_eq!(reaction_time(&t), Some(-50.0));
+    }
+
+    #[test]
+    fn stats_basics() {
+        let s = TimingStats::from_values(&[10.0, 20.0, 30.0]);
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 20.0).abs() < 1e-12);
+        assert!((s.sd - (200.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 30.0);
+        assert_eq!(TimingStats::from_values(&[]), TimingStats::default());
+    }
+
+    #[test]
+    fn edr_counts_only_strictly_early() {
+        let traces = vec![
+            trace(Some(10), Some(50), Some(30)), // early
+            trace(Some(10), Some(50), Some(50)), // exactly at onset: not early
+            trace(Some(10), Some(50), None),     // missed
+            trace(Some(10), None, Some(30)),     // no hazard: excluded
+        ];
+        let edr = early_detection_rate(&traces);
+        assert!((edr - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edr_zero_when_no_hazards() {
+        let traces = vec![trace(Some(10), None, None)];
+        assert_eq!(early_detection_rate(&traces), 0.0);
+    }
+}

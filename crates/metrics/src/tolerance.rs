@@ -1,0 +1,147 @@
+//! Sample-level classification with a tolerance window (Table IV,
+//! Fig. 6).
+//!
+//! A hazard *predictor* should alert **before** the hazard; point-wise
+//! metrics would punish exactly the early alerts we want. Following the
+//! paper's modified confusion matrix, each sample `t` is classified by
+//! looking δ samples ahead for ground truth and δ samples back for
+//! predictions:
+//!
+//! * hazard within `[t, t+δ]` and an alert within `[t−δ, t]` → **TP**;
+//! * hazard within `[t, t+δ]` and no alert in `[t−δ, t]` → **FN**;
+//! * no hazard within `[t, t+δ]` and an alert at `t` → **FP**;
+//! * no hazard within `[t, t+δ]` and no alert at `t` → **TN**.
+
+use crate::ConfusionCounts;
+use aps_types::SimTrace;
+
+/// Default tolerance window: 36 samples = 3 hours — the campaign's
+/// mean Time-to-Hazard, i.e. the natural horizon over which a control
+/// action can still cause a hazard. Alerts earlier than the window
+/// ahead of onset count as false positives, so δ must match the
+/// system's causal lead time (the paper's Fig. 7b shows the same
+/// ~3-hour TTH scale).
+pub const DEFAULT_TOLERANCE: usize = 36;
+
+/// Classifies one trace of `predictions` against `ground` truth with
+/// tolerance `delta`, returning the counts.
+///
+/// # Panics
+///
+/// Panics if the two series differ in length.
+pub fn tolerance_counts(predictions: &[bool], ground: &[bool], delta: usize) -> ConfusionCounts {
+    assert_eq!(predictions.len(), ground.len(), "series length mismatch");
+    let n = ground.len();
+    let mut c = ConfusionCounts::new();
+    for t in 0..n {
+        let ahead_hi = (t + delta).min(n.saturating_sub(1));
+        let hazard_ahead = ground[t..=ahead_hi].iter().any(|&g| g);
+        if hazard_ahead {
+            let back_lo = t.saturating_sub(delta);
+            let alerted = predictions[back_lo..=t].iter().any(|&p| p);
+            if alerted {
+                c.tp += 1;
+            } else {
+                c.fn_ += 1;
+            }
+        } else if predictions[t] {
+            c.fp += 1;
+        } else {
+            c.tn += 1;
+        }
+    }
+    c
+}
+
+/// Extracts prediction/ground series from a [`SimTrace`] and classifies
+/// with tolerance `delta`.
+pub fn trace_tolerance_counts(trace: &SimTrace, delta: usize) -> ConfusionCounts {
+    let predictions: Vec<bool> = trace.records.iter().map(|r| r.alert.is_some()).collect();
+    let ground: Vec<bool> = trace.records.iter().map(|r| r.hazard.is_some()).collect();
+    tolerance_counts(&predictions, &ground, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn early_alert_is_tp_not_fp() {
+        // Alert at t=2, hazard at t=5, delta=5.
+        let mut pred = vec![false; 10];
+        pred[2] = true;
+        let mut gt = vec![false; 10];
+        gt[5] = true;
+        let c = tolerance_counts(&pred, &gt, 5);
+        assert_eq!(c.fp, 0, "{c}");
+        assert!(c.tp >= 1, "{c}");
+    }
+
+    #[test]
+    fn late_alert_within_window_still_counts() {
+        // Hazard at 3, alert at 5, delta 3: at t=3 the lookback [0,3]
+        // has no alert yet -> FN accrues at t in [0,3]; at t=5 hazard is
+        // not ahead anymore... ground truth only at 3, so t=2..3 are the
+        // hazard-ahead samples.
+        let mut pred = vec![false; 8];
+        pred[5] = true;
+        let mut gt = vec![false; 8];
+        gt[3] = true;
+        let c = tolerance_counts(&pred, &gt, 3);
+        assert!(c.fn_ >= 1);
+        // The alert itself lands after the hazard and outside any
+        // hazard-ahead window -> counted as FP.
+        assert_eq!(c.fp, 1);
+    }
+
+    #[test]
+    fn point_wise_reduces_to_classic_at_delta_zero() {
+        let pred = vec![true, false, true, false];
+        let gt = vec![true, false, false, true];
+        let c = tolerance_counts(&pred, &gt, 0);
+        assert_eq!(c.tp, 1);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.fn_, 1);
+        assert_eq!(c.tn, 1);
+    }
+
+    #[test]
+    fn all_negative_series() {
+        let c = tolerance_counts(&[false; 20], &[false; 20], 12);
+        assert_eq!(c.tn, 20);
+        assert_eq!(c.total(), 20);
+    }
+
+    #[test]
+    fn counts_partition_every_sample() {
+        let pred = vec![false, true, true, false, false, true, false];
+        let gt = vec![false, false, true, true, false, false, false];
+        let c = tolerance_counts(&pred, &gt, 2);
+        assert_eq!(c.total(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = tolerance_counts(&[true], &[true, false], 1);
+    }
+
+    #[test]
+    fn trace_extraction_matches_manual() {
+        use aps_types::{Hazard, Step, StepRecord, TraceMeta};
+        let mut trace = SimTrace::new(TraceMeta::default());
+        for i in 0..10u32 {
+            let mut r = StepRecord::blank(Step(i));
+            if i == 2 {
+                r.alert = Some(Hazard::H1);
+            }
+            if i >= 5 {
+                r.hazard = Some(Hazard::H1);
+            }
+            trace.push(r);
+        }
+        let c = trace_tolerance_counts(&trace, 5);
+        assert_eq!(c.fp, 0);
+        assert!(c.tp > 0);
+    }
+}

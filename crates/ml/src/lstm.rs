@@ -1,0 +1,633 @@
+//! Stacked LSTM sequence classifier with full BPTT.
+//!
+//! Mirrors the paper's LSTM monitor: a two-layer stacked LSTM (128 and
+//! 64 units) over a sliding window of k = 6 samples (30 minutes),
+//! followed by a dense softmax head; trained with Adam and sparse
+//! categorical cross-entropy, with gradient clipping for stability.
+//!
+//! Gate layout: for each cell, one weight matrix `W: (D+H) × 4H` maps
+//! the concatenated `[x_t, h_{t−1}]` to the `i, f, o, g` pre-activations.
+
+use crate::adam::Adam;
+use crate::matrix::Matrix;
+use crate::SequenceClassifier;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// LSTM hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmConfig {
+    /// Hidden sizes of the stacked layers (paper: `[128, 64]`).
+    pub hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Maximum training epochs.
+    pub max_epochs: usize,
+    /// Early-stopping patience.
+    pub patience: usize,
+    /// Validation fraction.
+    pub val_fraction: f64,
+    /// Global gradient-norm clip.
+    pub clip_norm: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LstmConfig {
+    fn default() -> LstmConfig {
+        LstmConfig {
+            hidden: vec![128, 64],
+            learning_rate: 1e-3,
+            batch_size: 32,
+            max_epochs: 40,
+            patience: 4,
+            val_fraction: 0.15,
+            clip_norm: 5.0,
+            seed: 42,
+        }
+    }
+}
+
+/// A supervised sequence dataset: each sample is `[T][D]` with a label.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SeqDataset {
+    /// Sequences (equal length, equal feature dimension).
+    pub x: Vec<Vec<Vec<f64>>>,
+    /// Labels.
+    pub y: Vec<usize>,
+}
+
+impl SeqDataset {
+    /// Creates a sequence dataset, validating shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or ragged sequences.
+    pub fn new(x: Vec<Vec<Vec<f64>>>, y: Vec<usize>) -> SeqDataset {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        if let Some(first) = x.first() {
+            let t = first.len();
+            let d = first.first().map(|v| v.len()).unwrap_or(0);
+            for s in &x {
+                assert_eq!(s.len(), t, "ragged sequence lengths");
+                assert!(s.iter().all(|f| f.len() == d), "ragged feature dims");
+            }
+        }
+        SeqDataset { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.y.iter().max().map(|&m| m + 1).unwrap_or(0)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Cell {
+    /// (input_dim + hidden) × 4*hidden, gate order [i | f | o | g].
+    w: Matrix,
+    b: Vec<f64>,
+    hidden: usize,
+    input_dim: usize,
+}
+
+#[derive(Debug, Clone)]
+struct CellCache {
+    /// Per t: concatenated input [x_t, h_{t-1}].
+    zs: Vec<Vec<f64>>,
+    /// Per t: gate activations i, f, o, g.
+    gates: Vec<[Vec<f64>; 4]>,
+    /// Per t: cell state c_t.
+    cs: Vec<Vec<f64>>,
+    /// Per t: hidden output h_t.
+    hs: Vec<Vec<f64>>,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Cell {
+    fn new(input_dim: usize, hidden: usize, rng: &mut ChaCha8Rng) -> Cell {
+        let mut cell = Cell {
+            w: Matrix::xavier_init(input_dim + hidden, 4 * hidden, rng),
+            b: vec![0.0; 4 * hidden],
+            hidden,
+            input_dim,
+        };
+        // Forget-gate bias of 1.0: standard trick to ease gradient flow.
+        for j in hidden..2 * hidden {
+            cell.b[j] = 1.0;
+        }
+        cell
+    }
+
+    /// Runs the cell over a sequence, returning hidden outputs + cache.
+    fn forward(&self, xs: &[Vec<f64>]) -> CellCache {
+        let h = self.hidden;
+        let t_len = xs.len();
+        let mut cache = CellCache {
+            zs: Vec::with_capacity(t_len),
+            gates: Vec::with_capacity(t_len),
+            cs: Vec::with_capacity(t_len),
+            hs: Vec::with_capacity(t_len),
+        };
+        let mut h_prev = vec![0.0; h];
+        let mut c_prev = vec![0.0; h];
+        for x in xs {
+            let mut z = Vec::with_capacity(self.input_dim + h);
+            z.extend_from_slice(x);
+            z.extend_from_slice(&h_prev);
+            // Pre-activations: z · W + b.
+            let mut pre = self.b.clone();
+            for (k, &zv) in z.iter().enumerate() {
+                if zv == 0.0 {
+                    continue;
+                }
+                let row = self.w.row(k);
+                for (p, &wv) in pre.iter_mut().zip(row) {
+                    *p += zv * wv;
+                }
+            }
+            let i: Vec<f64> = pre[0..h].iter().map(|&v| sigmoid(v)).collect();
+            let f: Vec<f64> = pre[h..2 * h].iter().map(|&v| sigmoid(v)).collect();
+            let o: Vec<f64> = pre[2 * h..3 * h].iter().map(|&v| sigmoid(v)).collect();
+            let g: Vec<f64> = pre[3 * h..4 * h].iter().map(|&v| v.tanh()).collect();
+            let c: Vec<f64> = (0..h).map(|j| f[j] * c_prev[j] + i[j] * g[j]).collect();
+            let h_new: Vec<f64> = (0..h).map(|j| o[j] * c[j].tanh()).collect();
+            cache.zs.push(z);
+            cache.gates.push([i, f, o, g]);
+            cache.cs.push(c.clone());
+            cache.hs.push(h_new.clone());
+            h_prev = h_new;
+            c_prev = c;
+        }
+        cache
+    }
+
+    /// BPTT through the cell. `dhs` holds the gradient w.r.t. each
+    /// hidden output; returns the gradient w.r.t. each input x_t and
+    /// accumulates into `dw`/`db`.
+    fn backward(
+        &self,
+        cache: &CellCache,
+        dhs: &[Vec<f64>],
+        dw: &mut Matrix,
+        db: &mut [f64],
+    ) -> Vec<Vec<f64>> {
+        let h = self.hidden;
+        let t_len = cache.hs.len();
+        let mut dxs = vec![vec![0.0; self.input_dim]; t_len];
+        let mut dh_next = vec![0.0; h];
+        let mut dc_next = vec![0.0; h];
+        for t in (0..t_len).rev() {
+            let [i, f, o, g] = &cache.gates[t];
+            let c = &cache.cs[t];
+            let c_prev: Vec<f64> =
+                if t == 0 { vec![0.0; h] } else { cache.cs[t - 1].clone() };
+            let dh: Vec<f64> =
+                (0..h).map(|j| dhs[t][j] + dh_next[j]).collect();
+
+            let mut dpre = vec![0.0; 4 * h];
+            let mut dc = vec![0.0; h];
+            for j in 0..h {
+                let tc = c[j].tanh();
+                let do_ = dh[j] * tc;
+                let dcj = dh[j] * o[j] * (1.0 - tc * tc) + dc_next[j];
+                dc[j] = dcj;
+                let di = dcj * g[j];
+                let df = dcj * c_prev[j];
+                let dg = dcj * i[j];
+                dpre[j] = di * i[j] * (1.0 - i[j]);
+                dpre[h + j] = df * f[j] * (1.0 - f[j]);
+                dpre[2 * h + j] = do_ * o[j] * (1.0 - o[j]);
+                dpre[3 * h + j] = dg * (1.0 - g[j] * g[j]);
+            }
+            // Parameter gradients: dW += z^T dpre; db += dpre.
+            let z = &cache.zs[t];
+            for (k, &zv) in z.iter().enumerate() {
+                if zv == 0.0 {
+                    continue;
+                }
+                let row_start = k * 4 * h;
+                let dw_data = dw.data_mut();
+                for (j, &dp) in dpre.iter().enumerate() {
+                    dw_data[row_start + j] += zv * dp;
+                }
+            }
+            for (dbv, &dp) in db.iter_mut().zip(&dpre) {
+                *dbv += dp;
+            }
+            // Input-side gradients: dz = dpre · W^T split into dx, dh_prev.
+            let mut dz = vec![0.0; self.input_dim + h];
+            for (k, dzv) in dz.iter_mut().enumerate() {
+                let row = self.w.row(k);
+                *dzv = dpre.iter().zip(row).map(|(a, b)| a * b).sum();
+            }
+            dxs[t].copy_from_slice(&dz[..self.input_dim]);
+            dh_next.copy_from_slice(&dz[self.input_dim..]);
+            // dc propagates through the forget gate.
+            for j in 0..h {
+                dc_next[j] = dc[j] * f[j];
+            }
+        }
+        dxs
+    }
+}
+
+/// A trained stacked-LSTM classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lstm {
+    cells: Vec<Cell>,
+    /// Dense head: hidden_last × n_classes.
+    head_w: Matrix,
+    head_b: Vec<f64>,
+    n_classes: usize,
+    epochs_trained: usize,
+}
+
+fn softmax(mut v: Vec<f64>) -> Vec<f64> {
+    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for x in &mut v {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in &mut v {
+        *x /= sum;
+    }
+    v
+}
+
+impl Lstm {
+    /// Trains the stacked LSTM on a sequence dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset or empty sequences.
+    pub fn fit(data: &SeqDataset, config: &LstmConfig) -> Lstm {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let dim = data.x[0][0].len();
+        assert!(dim > 0 && !data.x[0].is_empty(), "sequences must be non-empty");
+        let n_classes = data.n_classes().max(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+        let mut cells = Vec::new();
+        let mut in_dim = dim;
+        for &h in &config.hidden {
+            cells.push(Cell::new(in_dim, h, &mut rng));
+            in_dim = h;
+        }
+        let head_w = Matrix::xavier_init(in_dim, n_classes, &mut rng);
+        let head_b = vec![0.0; n_classes];
+        let mut model = Lstm { cells, head_w, head_b, n_classes, epochs_trained: 0 };
+
+        // Validation split.
+        let mut idx: Vec<usize> = (0..data.len()).collect();
+        for i in (1..idx.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        let n_val = ((data.len() as f64) * config.val_fraction).round() as usize;
+        let (val_idx, train_idx) = idx.split_at(n_val.min(data.len()));
+        let train_idx: Vec<usize> =
+            if train_idx.is_empty() { idx.clone() } else { train_idx.to_vec() };
+
+        let mut adam_w: Vec<Adam> = model
+            .cells
+            .iter()
+            .map(|c| Adam::new(c.w.data().len(), config.learning_rate))
+            .collect();
+        let mut adam_b: Vec<Adam> = model
+            .cells
+            .iter()
+            .map(|c| Adam::new(c.b.len(), config.learning_rate))
+            .collect();
+        let mut adam_hw = Adam::new(model.head_w.data().len(), config.learning_rate);
+        let mut adam_hb = Adam::new(model.head_b.len(), config.learning_rate);
+
+        let mut best = (f64::INFINITY, model.clone());
+        let mut since_best = 0usize;
+        let mut order = train_idx.clone();
+        for _epoch in 0..config.max_epochs {
+            model.epochs_trained += 1;
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for chunk in order.chunks(config.batch_size.max(1)) {
+                model.train_batch(data, chunk, config, &mut adam_w, &mut adam_b, &mut adam_hw, &mut adam_hb);
+            }
+            let vset = if val_idx.is_empty() { &train_idx[..] } else { val_idx };
+            let vloss = model.mean_ce(data, vset);
+            if vloss < best.0 - 1e-6 {
+                let epochs = model.epochs_trained;
+                best = (vloss, model.clone());
+                best.1.epochs_trained = epochs;
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if since_best > config.patience {
+                    break;
+                }
+            }
+        }
+        best.1
+    }
+
+    /// Epochs actually run before early stopping.
+    pub fn epochs_trained(&self) -> usize {
+        self.epochs_trained
+    }
+
+    fn forward_caches(&self, xs: &[Vec<f64>]) -> (Vec<CellCache>, Vec<f64>) {
+        let mut caches = Vec::with_capacity(self.cells.len());
+        let mut seq: Vec<Vec<f64>> = xs.to_vec();
+        for cell in &self.cells {
+            let cache = cell.forward(&seq);
+            seq = cache.hs.clone();
+            caches.push(cache);
+        }
+        let last_h = seq.last().cloned().unwrap_or_default();
+        let mut logits = self.head_b.clone();
+        for (k, &hv) in last_h.iter().enumerate() {
+            let row = self.head_w.row(k);
+            for (l, &wv) in logits.iter_mut().zip(row) {
+                *l += hv * wv;
+            }
+        }
+        (caches, softmax(logits))
+    }
+
+    fn mean_ce(&self, data: &SeqDataset, idx: &[usize]) -> f64 {
+        if idx.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for &i in idx {
+            let (_, p) = self.forward_caches(&data.x[i]);
+            total -= p[data.y[i].min(p.len() - 1)].max(1e-12).ln();
+        }
+        total / idx.len() as f64
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn train_batch(
+        &mut self,
+        data: &SeqDataset,
+        idx: &[usize],
+        config: &LstmConfig,
+        adam_w: &mut [Adam],
+        adam_b: &mut [Adam],
+        adam_hw: &mut Adam,
+        adam_hb: &mut Adam,
+    ) {
+        let n_layers = self.cells.len();
+        let mut dw: Vec<Matrix> =
+            self.cells.iter().map(|c| Matrix::zeros(c.w.rows(), c.w.cols())).collect();
+        let mut db: Vec<Vec<f64>> = self.cells.iter().map(|c| vec![0.0; c.b.len()]).collect();
+        let mut dhw = Matrix::zeros(self.head_w.rows(), self.head_w.cols());
+        let mut dhb = vec![0.0; self.head_b.len()];
+        let scale = 1.0 / idx.len().max(1) as f64;
+
+        for &i in idx {
+            let xs = &data.x[i];
+            let (caches, proba) = self.forward_caches(xs);
+            let t_len = xs.len();
+            // dLogits = p - onehot.
+            let mut dlogits = proba;
+            dlogits[data.y[i]] -= 1.0;
+            for v in &mut dlogits {
+                *v *= scale;
+            }
+            // Head gradients.
+            let last_h = &caches[n_layers - 1].hs[t_len - 1];
+            for (k, &hv) in last_h.iter().enumerate() {
+                let row_start = k * dhw.cols();
+                let data_mut = dhw.data_mut();
+                for (j, &dl) in dlogits.iter().enumerate() {
+                    data_mut[row_start + j] += hv * dl;
+                }
+            }
+            for (b, &dl) in dhb.iter_mut().zip(&dlogits) {
+                *b += dl;
+            }
+            // dh of the top layer's last step.
+            let top_h = self.cells[n_layers - 1].hidden;
+            let mut dhs = vec![vec![0.0; top_h]; t_len];
+            for (j, dv) in dhs[t_len - 1].iter_mut().enumerate() {
+                let row = self.head_w.row(j);
+                *dv = dlogits.iter().zip(row).map(|(a, b)| a * b).sum();
+            }
+            // BPTT down the stack.
+            for li in (0..n_layers).rev() {
+                let dxs =
+                    self.cells[li].backward(&caches[li], &dhs, &mut dw[li], &mut db[li]);
+                if li > 0 {
+                    dhs = dxs;
+                }
+            }
+        }
+
+        // Global-norm clipping.
+        let mut norm_sq = 0.0;
+        for g in &dw {
+            norm_sq += g.data().iter().map(|v| v * v).sum::<f64>();
+        }
+        for g in &db {
+            norm_sq += g.iter().map(|v| v * v).sum::<f64>();
+        }
+        norm_sq += dhw.data().iter().map(|v| v * v).sum::<f64>();
+        norm_sq += dhb.iter().map(|v| v * v).sum::<f64>();
+        let norm = norm_sq.sqrt();
+        let clip = if norm > config.clip_norm { config.clip_norm / norm } else { 1.0 };
+        if clip < 1.0 {
+            for g in &mut dw {
+                for v in g.data_mut() {
+                    *v *= clip;
+                }
+            }
+            for g in &mut db {
+                for v in g.iter_mut() {
+                    *v *= clip;
+                }
+            }
+            for v in dhw.data_mut() {
+                *v *= clip;
+            }
+            for v in &mut dhb {
+                *v *= clip;
+            }
+        }
+
+        for li in 0..n_layers {
+            adam_w[li].step(self.cells[li].w.data_mut(), dw[li].data());
+            adam_b[li].step(&mut self.cells[li].b, &db[li]);
+        }
+        adam_hw.step(self.head_w.data_mut(), dhw.data());
+        adam_hb.step(&mut self.head_b, &dhb);
+    }
+}
+
+impl SequenceClassifier for Lstm {
+    fn predict_proba_seq(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        self.forward_caches(xs).1
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Task requiring memory: the label is the sign of the FIRST
+    /// element; later elements are noise.
+    fn first_sign_task(n: usize, t: usize, seed: u64) -> SeqDataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let cls = rng.gen_range(0..2usize);
+            let first = if cls == 1 { 1.0 } else { -1.0 };
+            let mut seq = vec![vec![first]];
+            for _ in 1..t {
+                seq.push(vec![rng.gen_range(-0.3..0.3)]);
+            }
+            x.push(seq);
+            y.push(cls);
+        }
+        SeqDataset::new(x, y)
+    }
+
+    fn small_config() -> LstmConfig {
+        LstmConfig {
+            hidden: vec![12, 8],
+            max_epochs: 60,
+            batch_size: 16,
+            patience: 10,
+            ..LstmConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_task_requiring_memory() {
+        let data = first_sign_task(120, 6, 5);
+        let model = Lstm::fit(&data, &small_config());
+        let correct = data
+            .x
+            .iter()
+            .zip(&data.y)
+            .filter(|(x, &y)| model.predict_seq(x) == y)
+            .count();
+        let acc = correct as f64 / data.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn proba_normalized() {
+        let data = first_sign_task(40, 4, 6);
+        let model = Lstm::fit(
+            &data,
+            &LstmConfig { hidden: vec![6], max_epochs: 5, ..small_config() },
+        );
+        let p = model.predict_proba_seq(&data.x[0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = first_sign_task(40, 4, 6);
+        let cfg = LstmConfig { hidden: vec![6], max_epochs: 3, ..small_config() };
+        let a = Lstm::fit(&data, &cfg);
+        let b = Lstm::fit(&data, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged sequence")]
+    fn ragged_sequences_rejected() {
+        let _ = SeqDataset::new(
+            vec![vec![vec![1.0]], vec![vec![1.0], vec![2.0]]],
+            vec![0, 1],
+        );
+    }
+
+    #[test]
+    fn gradient_check_single_cell() {
+        // Numerical gradient check of the full model loss w.r.t. a few
+        // cell weights, via central differences.
+        let data = first_sign_task(4, 3, 9);
+        let cfg = LstmConfig { hidden: vec![4], max_epochs: 0, ..small_config() };
+        let model = Lstm::fit(&data, &cfg);
+        let idx: Vec<usize> = (0..data.len()).collect();
+
+        // Analytic gradient via one batch accumulation.
+        let m = model.clone();
+        let mut dw: Vec<Matrix> =
+            m.cells.iter().map(|c| Matrix::zeros(c.w.rows(), c.w.cols())).collect();
+        let mut db: Vec<Vec<f64>> = m.cells.iter().map(|c| vec![0.0; c.b.len()]).collect();
+        let mut dhw = Matrix::zeros(m.head_w.rows(), m.head_w.cols());
+        let mut dhb = vec![0.0; m.head_b.len()];
+        let scale = 1.0 / idx.len() as f64;
+        for &i in &idx {
+            let xs = &data.x[i];
+            let (caches, proba) = m.forward_caches(xs);
+            let t_len = xs.len();
+            let mut dlogits = proba;
+            dlogits[data.y[i]] -= 1.0;
+            for v in &mut dlogits {
+                *v *= scale;
+            }
+            let last_h = &caches[0].hs[t_len - 1];
+            for (k, &hv) in last_h.iter().enumerate() {
+                let row_start = k * dhw.cols();
+                for (j, &dl) in dlogits.iter().enumerate() {
+                    dhw.data_mut()[row_start + j] += hv * dl;
+                }
+            }
+            for (b, &dl) in dhb.iter_mut().zip(&dlogits) {
+                *b += dl;
+            }
+            let top_h = m.cells[0].hidden;
+            let mut dhs = vec![vec![0.0; top_h]; t_len];
+            for (j, dv) in dhs[t_len - 1].iter_mut().enumerate() {
+                let row = m.head_w.row(j);
+                *dv = dlogits.iter().zip(row).map(|(a, b)| a * b).sum();
+            }
+            m.cells[0].backward(&caches[0], &dhs, &mut dw[0], &mut db[0]);
+        }
+
+        // Numerical check on a handful of weights.
+        let h = 1e-5;
+        for &flat in &[0usize, 3, 7, 11] {
+            let mut plus = model.clone();
+            plus.cells[0].w.data_mut()[flat] += h;
+            let mut minus = model.clone();
+            minus.cells[0].w.data_mut()[flat] -= h;
+            let num =
+                (plus.mean_ce(&data, &idx) - minus.mean_ce(&data, &idx)) / (2.0 * h);
+            let ana = dw[0].data()[flat];
+            assert!(
+                (num - ana).abs() < 1e-4,
+                "weight {flat}: numerical {num} vs analytic {ana}"
+            );
+        }
+    }
+}

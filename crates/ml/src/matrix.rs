@@ -1,0 +1,212 @@
+//! Minimal dense row-major matrix.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// He-scaled Gaussian initialization (for ReLU layers).
+    pub fn he_init(rows: usize, cols: usize, rng: &mut ChaCha8Rng) -> Matrix {
+        let scale = (2.0 / rows as f64).sqrt();
+        let mut m = Matrix::zeros(rows, cols);
+        for v in &mut m.data {
+            // Box-Muller standard normal.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            *v = z * scale;
+        }
+        m
+    }
+
+    /// Xavier-scaled uniform initialization (for tanh/sigmoid gates).
+    pub fn xavier_init(rows: usize, cols: usize, rng: &mut ChaCha8Rng) -> Matrix {
+        let bound = (6.0 / (rows + cols) as f64).sqrt();
+        let mut m = Matrix::zeros(rows, cols);
+        for v in &mut m.data {
+            *v = rng.gen_range(-bound..bound);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the flat data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the flat data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let lhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(lhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise map.
+    pub fn map<F: Fn(f64) -> f64>(&self, f: F) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Adds a row vector to every row (broadcast), in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != cols`.
+    pub fn add_row_broadcast(&mut self, bias: &[f64]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for r in 0..self.rows {
+            for (v, b) in self.data[r * self.cols..(r + 1) * self.cols]
+                .iter_mut()
+                .zip(bias)
+            {
+                *v += b;
+            }
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn broadcast_and_map() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_row_broadcast(&[1.0, 2.0]);
+        assert_eq!(a.data(), &[1.0, 2.0, 1.0, 2.0]);
+        let b = a.map(|v| v * 10.0);
+        assert_eq!(b.data(), &[10.0, 20.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn init_is_seeded_and_scaled() {
+        let mut rng1 = ChaCha8Rng::seed_from_u64(1);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(1);
+        let a = Matrix::he_init(64, 32, &mut rng1);
+        let b = Matrix::he_init(64, 32, &mut rng2);
+        assert_eq!(a, b);
+        let var: f64 =
+            a.data().iter().map(|v| v * v).sum::<f64>() / a.data().len() as f64;
+        assert!((var - 2.0 / 64.0).abs() < 0.01, "he variance {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn bad_matmul_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn indexing() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(1, 0)] = 5.0;
+        assert_eq!(a[(1, 0)], 5.0);
+        assert_eq!(a.row(1), &[5.0, 0.0]);
+    }
+}

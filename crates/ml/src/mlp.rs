@@ -1,0 +1,372 @@
+//! Multi-layer perceptron with Adam, dropout, and early stopping.
+//!
+//! Mirrors the paper's MLP monitor: two fully-connected ReLU layers of
+//! 256 and 128 units, a softmax output, Adam at learning rate 0.001
+//! with sparse categorical cross-entropy, dropout regularization, and
+//! early stopping on a held-out validation split.
+
+use crate::adam::Adam;
+use crate::data::Dataset;
+use crate::matrix::Matrix;
+use crate::Classifier;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// MLP hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Hidden layer widths (paper: `[256, 128]`).
+    pub hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Dropout probability on hidden activations (0 disables).
+    pub dropout: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Maximum training epochs.
+    pub max_epochs: usize,
+    /// Early-stopping patience (epochs without validation improvement).
+    pub patience: usize,
+    /// Fraction of the training set held out for validation.
+    pub val_fraction: f64,
+    /// RNG seed (initialization, shuffling, dropout).
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> MlpConfig {
+        MlpConfig {
+            hidden: vec![256, 128],
+            learning_rate: 1e-3,
+            dropout: 0.2,
+            batch_size: 64,
+            max_epochs: 60,
+            patience: 5,
+            val_fraction: 0.15,
+            seed: 42,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Layer {
+    w: Matrix, // in x out
+    b: Vec<f64>,
+}
+
+/// A trained MLP classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    n_classes: usize,
+    epochs_trained: usize,
+}
+
+fn softmax_rows(m: &mut Matrix) {
+    let cols = m.cols();
+    for r in 0..m.rows() {
+        let row = &mut m.data_mut()[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+impl Mlp {
+    /// Trains an MLP on `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset, config: &MlpConfig) -> Mlp {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let n_classes = data.n_classes().max(2);
+        let dim = data.dim();
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+        // Architecture: dim -> hidden... -> n_classes.
+        let mut sizes = vec![dim];
+        sizes.extend(&config.hidden);
+        sizes.push(n_classes);
+        let mut layers: Vec<Layer> = sizes
+            .windows(2)
+            .map(|w| Layer {
+                w: Matrix::he_init(w[0], w[1], &mut rng),
+                b: vec![0.0; w[1]],
+            })
+            .collect();
+
+        let (train, val) = data.split(config.val_fraction, config.seed);
+        let train = if train.is_empty() { data.clone() } else { train };
+
+        let mut adam_w: Vec<Adam> = layers
+            .iter()
+            .map(|l| Adam::new(l.w.data().len(), config.learning_rate))
+            .collect();
+        let mut adam_b: Vec<Adam> =
+            layers.iter().map(|l| Adam::new(l.b.len(), config.learning_rate)).collect();
+
+        let mut best_val = f64::INFINITY;
+        let mut best_layers = layers.clone();
+        let mut since_best = 0usize;
+        let mut epochs_trained = 0usize;
+
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for _epoch in 0..config.max_epochs {
+            epochs_trained += 1;
+            // Shuffle minibatches.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for chunk in order.chunks(config.batch_size.max(1)) {
+                train_batch(&mut layers, &train, chunk, config, &mut rng, &mut adam_w, &mut adam_b);
+            }
+
+            // Early stopping on validation cross-entropy.
+            let val_set = if val.is_empty() { &train } else { &val };
+            let vloss = cross_entropy(&layers, val_set);
+            if vloss < best_val - 1e-6 {
+                best_val = vloss;
+                best_layers = layers.clone();
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if since_best > config.patience {
+                    break;
+                }
+            }
+        }
+
+        Mlp { layers: best_layers, n_classes, epochs_trained }
+    }
+
+    /// Epochs actually run before early stopping.
+    pub fn epochs_trained(&self) -> usize {
+        self.epochs_trained
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut a = Matrix::from_vec(1, x.len(), x.to_vec());
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut z = a.matmul(&layer.w);
+            z.add_row_broadcast(&layer.b);
+            a = if i < last { z.map(|v| v.max(0.0)) } else { z };
+        }
+        softmax_rows(&mut a);
+        a.data().to_vec()
+    }
+}
+
+/// Mean cross-entropy of the (deterministic, no-dropout) network.
+fn cross_entropy(layers: &[Layer], data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (x, &y) in data.x.iter().zip(&data.y) {
+        let mut a = Matrix::from_vec(1, x.len(), x.clone());
+        let last = layers.len() - 1;
+        for (i, layer) in layers.iter().enumerate() {
+            let mut z = a.matmul(&layer.w);
+            z.add_row_broadcast(&layer.b);
+            a = if i < last { z.map(|v| v.max(0.0)) } else { z };
+        }
+        softmax_rows(&mut a);
+        total -= a.data()[y.min(a.cols() - 1)].max(1e-12).ln();
+    }
+    total / data.len() as f64
+}
+
+#[allow(clippy::too_many_arguments)]
+fn train_batch(
+    layers: &mut [Layer],
+    data: &Dataset,
+    idx: &[usize],
+    config: &MlpConfig,
+    rng: &mut ChaCha8Rng,
+    adam_w: &mut [Adam],
+    adam_b: &mut [Adam],
+) {
+    let b = idx.len();
+    let dim = data.dim();
+    let n_layers = layers.len();
+
+    // Forward with caches.
+    let mut x = Matrix::zeros(b, dim);
+    for (r, &i) in idx.iter().enumerate() {
+        for (c, v) in data.x[i].iter().enumerate() {
+            x[(r, c)] = *v;
+        }
+    }
+    let mut activations: Vec<Matrix> = vec![x];
+    let mut masks: Vec<Option<Vec<f64>>> = Vec::with_capacity(n_layers);
+    for (li, layer) in layers.iter().enumerate() {
+        let mut z = activations[li].matmul(&layer.w);
+        z.add_row_broadcast(&layer.b);
+        if li < n_layers - 1 {
+            let mut a = z.map(|v| v.max(0.0));
+            // Inverted dropout.
+            if config.dropout > 0.0 {
+                let keep = 1.0 - config.dropout;
+                let mask: Vec<f64> = (0..a.data().len())
+                    .map(|_| if rng.gen_range(0.0..1.0) < keep { 1.0 / keep } else { 0.0 })
+                    .collect();
+                for (v, m) in a.data_mut().iter_mut().zip(&mask) {
+                    *v *= m;
+                }
+                masks.push(Some(mask));
+            } else {
+                masks.push(None);
+            }
+            activations.push(a);
+        } else {
+            let mut p = z;
+            softmax_rows(&mut p);
+            masks.push(None);
+            activations.push(p);
+        }
+    }
+
+    // Backward: dZ for the softmax+CE head is (P - onehot)/B.
+    let mut dz = activations[n_layers].clone();
+    for (r, &i) in idx.iter().enumerate() {
+        let y = data.y[i];
+        dz[(r, y)] -= 1.0;
+    }
+    let scale = 1.0 / b as f64;
+    for v in dz.data_mut() {
+        *v *= scale;
+    }
+
+    for li in (0..n_layers).rev() {
+        let a_prev = &activations[li];
+        let dw = a_prev.transpose().matmul(&dz);
+        let mut db = vec![0.0; layers[li].b.len()];
+        for r in 0..dz.rows() {
+            for (c, dbv) in db.iter_mut().enumerate() {
+                *dbv += dz[(r, c)];
+            }
+        }
+        let da_prev = if li > 0 { Some(dz.matmul(&layers[li].w.transpose())) } else { None };
+
+        adam_w[li].step(layers[li].w.data_mut(), dw.data());
+        adam_b[li].step(&mut layers[li].b, &db);
+
+        if let Some(mut da) = da_prev {
+            // ReLU' gate and the dropout mask of layer li-1's output.
+            let a = &activations[li];
+            for (v, &act) in da.data_mut().iter_mut().zip(a.data()) {
+                if act <= 0.0 {
+                    *v = 0.0;
+                }
+            }
+            if let Some(mask) = &masks[li - 1] {
+                for (v, m) in da.data_mut().iter_mut().zip(mask) {
+                    *v *= m;
+                }
+            }
+            dz = da;
+        }
+    }
+}
+
+impl Classifier for Mlp {
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        self.forward(x)
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        // Two well-separated Gaussians.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..150 {
+            let cls = rng.gen_range(0..2usize);
+            let cx = if cls == 0 { -2.0 } else { 2.0 };
+            x.push(vec![cx + rng.gen_range(-0.8..0.8), rng.gen_range(-1.0..1.0)]);
+            y.push(cls);
+        }
+        Dataset::new(x, y)
+    }
+
+    fn small_config() -> MlpConfig {
+        MlpConfig {
+            hidden: vec![16, 8],
+            max_epochs: 40,
+            batch_size: 16,
+            dropout: 0.1,
+            ..MlpConfig::default()
+        }
+    }
+
+    #[test]
+    fn separable_blobs_reach_high_accuracy() {
+        let data = blobs();
+        let mlp = Mlp::fit(&data, &small_config());
+        let correct = data
+            .x
+            .iter()
+            .zip(&data.y)
+            .filter(|(x, &y)| mlp.predict(x) == y)
+            .count();
+        let acc = correct as f64 / data.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let data = blobs();
+        let mlp = Mlp::fit(&data, &small_config());
+        let p = mlp.predict_proba(&[0.0, 0.0]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let data = blobs();
+        let a = Mlp::fit(&data, &small_config());
+        let b = Mlp::fit(&data, &small_config());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn early_stopping_caps_epochs() {
+        let data = blobs();
+        let cfg = MlpConfig { max_epochs: 100, patience: 2, ..small_config() };
+        let mlp = Mlp::fit(&data, &cfg);
+        assert!(mlp.epochs_trained() <= 100);
+    }
+
+    #[test]
+    fn three_class_output_shape() {
+        let data = Dataset::new(
+            (0..60).map(|i| vec![i as f64 / 10.0]).collect(),
+            (0..60).map(|i| i / 20).collect(),
+        );
+        let cfg = MlpConfig { hidden: vec![16], dropout: 0.0, ..small_config() };
+        let mlp = Mlp::fit(&data, &cfg);
+        assert_eq!(mlp.n_classes(), 3);
+        assert_eq!(mlp.predict_proba(&[0.1]).len(), 3);
+    }
+}

@@ -1,0 +1,267 @@
+//! CART decision tree with Gini impurity (the paper's DT monitor).
+
+use crate::data::Dataset;
+use crate::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// Decision-tree hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> TreeConfig {
+        TreeConfig { max_depth: 12, min_samples_split: 8 }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        /// Class-probability distribution at the leaf.
+        proba: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A trained CART classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    n_classes: usize,
+    depth: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset, config: &TreeConfig) -> DecisionTree {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let n_classes = data.n_classes().max(2);
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let (root, depth) = build(data, &idx, n_classes, config, 0);
+        DecisionTree { root, n_classes, depth }
+    }
+
+    /// Depth actually reached during fitting.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+}
+
+fn class_counts(data: &Dataset, idx: &[usize], n_classes: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; n_classes];
+    for &i in idx {
+        counts[data.y[i]] += 1;
+    }
+    counts
+}
+
+fn gini(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>()
+}
+
+fn leaf(data: &Dataset, idx: &[usize], n_classes: usize) -> Node {
+    let counts = class_counts(data, idx, n_classes);
+    let total: usize = counts.iter().sum::<usize>().max(1);
+    Node::Leaf { proba: counts.iter().map(|&c| c as f64 / total as f64).collect() }
+}
+
+fn build(
+    data: &Dataset,
+    idx: &[usize],
+    n_classes: usize,
+    config: &TreeConfig,
+    depth: usize,
+) -> (Node, usize) {
+    let counts = class_counts(data, idx, n_classes);
+    let node_gini = gini(&counts);
+    if depth >= config.max_depth
+        || idx.len() < config.min_samples_split
+        || node_gini == 0.0
+    {
+        return (leaf(data, idx, n_classes), depth);
+    }
+
+    // Exhaustive best split over features and midpoints.
+    let dim = data.dim();
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, impurity)
+    for feature in 0..dim {
+        let mut values: Vec<f64> = idx.iter().map(|&i| data.x[i][feature]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        // Candidate thresholds: midpoints, subsampled for wide value sets.
+        let stride = (values.len() / 32).max(1);
+        for w in values.windows(2).step_by(stride) {
+            let threshold = 0.5 * (w[0] + w[1]);
+            let mut left = vec![0usize; n_classes];
+            let mut right = vec![0usize; n_classes];
+            for &i in idx {
+                if data.x[i][feature] <= threshold {
+                    left[data.y[i]] += 1;
+                } else {
+                    right[data.y[i]] += 1;
+                }
+            }
+            let nl: usize = left.iter().sum();
+            let nr: usize = right.iter().sum();
+            if nl == 0 || nr == 0 {
+                continue;
+            }
+            let weighted = (nl as f64 * gini(&left) + nr as f64 * gini(&right))
+                / idx.len() as f64;
+            if best.map(|(_, _, g)| weighted < g - 1e-12).unwrap_or(true) {
+                best = Some((feature, threshold, weighted));
+            }
+        }
+    }
+
+    match best {
+        Some((feature, threshold, impurity)) if impurity < node_gini - 1e-12 => {
+            let (l_idx, r_idx): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| data.x[i][feature] <= threshold);
+            let (l, dl) = build(data, &l_idx, n_classes, config, depth + 1);
+            let (r, dr) = build(data, &r_idx, n_classes, config, depth + 1);
+            (
+                Node::Split { feature, threshold, left: Box::new(l), right: Box::new(r) },
+                dl.max(dr),
+            )
+        }
+        _ => (leaf(data, idx, n_classes), depth),
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { proba } => return proba.clone(),
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_dataset() -> Dataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let a = i as f64 / 10.0;
+                let b = j as f64 / 10.0;
+                x.push(vec![a, b]);
+                y.push(usize::from((a > 0.5) != (b > 0.5)));
+            }
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn learns_xor_exactly() {
+        let data = xor_dataset();
+        let tree = DecisionTree::fit(&data, &TreeConfig::default());
+        let correct = data
+            .x
+            .iter()
+            .zip(&data.y)
+            .filter(|(x, &y)| tree.predict(x) == y)
+            .count();
+        assert_eq!(correct, data.len(), "tree should fit XOR perfectly");
+        assert!(tree.depth() >= 2);
+        assert!(tree.n_leaves() >= 4);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let data = xor_dataset();
+        let tree =
+            DecisionTree::fit(&data, &TreeConfig { max_depth: 1, min_samples_split: 2 });
+        assert!(tree.depth() <= 1);
+        assert!(tree.n_leaves() <= 2);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let data = Dataset::new(vec![vec![0.0], vec![1.0], vec![2.0]], vec![1, 1, 1]);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default());
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.predict(&[5.0]), 1);
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let data = xor_dataset();
+        let tree =
+            DecisionTree::fit(&data, &TreeConfig { max_depth: 3, min_samples_split: 30 });
+        for x in &data.x {
+            let p = tree.predict_proba(x);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[10, 0]), 0.0);
+        assert!((gini(&[5, 5]) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+    }
+
+    #[test]
+    fn three_class_problem() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let v = i as f64;
+            x.push(vec![v]);
+            y.push(if v < 10.0 { 0 } else if v < 20.0 { 1 } else { 2 });
+        }
+        let data = Dataset::new(x, y);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default());
+        assert_eq!(tree.n_classes(), 3);
+        assert_eq!(tree.predict(&[5.0]), 0);
+        assert_eq!(tree.predict(&[15.0]), 1);
+        assert_eq!(tree.predict(&[25.0]), 2);
+    }
+}

@@ -1,0 +1,475 @@
+//! Box-constrained limited-memory BFGS (the practical projected variant
+//! of L-BFGS-B).
+//!
+//! The paper uses L-BFGS-B with two-loop recursion to estimate the
+//! inverse Hessian; we implement the same limited-memory machinery with
+//! gradient projection onto the box and a projected-Armijo backtracking
+//! line search. For the paper's workload — a handful of scalar STL
+//! thresholds, each with simple bounds — this variant converges to the
+//! same solutions as the full Byrd–Lu–Nocedal–Zhu algorithm.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Box constraints `lo[i] <= x[i] <= hi[i]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bounds {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Bounds {
+    /// Per-coordinate bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any `lo[i] > hi[i]`.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Bounds {
+        assert_eq!(lo.len(), hi.len(), "bounds length mismatch");
+        for (i, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+            assert!(l <= h, "bounds inverted at coordinate {i}: {l} > {h}");
+        }
+        Bounds { lo, hi }
+    }
+
+    /// The same `[lo, hi]` interval for all `n` coordinates.
+    pub fn uniform(n: usize, lo: f64, hi: f64) -> Bounds {
+        Bounds::new(vec![lo; n], vec![hi; n])
+    }
+
+    /// Unbounded in all `n` coordinates.
+    pub fn unbounded(n: usize) -> Bounds {
+        Bounds::uniform(n, f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    /// Number of coordinates.
+    pub fn len(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// `true` if zero-dimensional.
+    pub fn is_empty(&self) -> bool {
+        self.lo.is_empty()
+    }
+
+    /// Projects `x` onto the box, in place.
+    pub fn project(&self, x: &mut [f64]) {
+        for ((xi, &l), &h) in x.iter_mut().zip(&self.lo).zip(&self.hi) {
+            *xi = xi.clamp(l, h);
+        }
+    }
+
+    /// Lower bounds.
+    pub fn lower(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper bounds.
+    pub fn upper(&self) -> &[f64] {
+        &self.hi
+    }
+}
+
+/// Tunable knobs for [`minimize`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Options {
+    /// History size for the two-loop recursion (default 10).
+    pub memory: usize,
+    /// Maximum outer iterations (default 200).
+    pub max_iters: usize,
+    /// Convergence tolerance on the infinity norm of the projected
+    /// gradient (default 1e-8).
+    pub tol: f64,
+    /// Armijo sufficient-decrease constant (default 1e-4).
+    pub armijo_c: f64,
+    /// Backtracking shrink factor (default 0.5).
+    pub backtrack: f64,
+    /// Maximum line-search trials per iteration (default 40).
+    pub max_ls: usize,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            memory: 10,
+            max_iters: 200,
+            tol: 1e-8,
+            armijo_c: 1e-4,
+            backtrack: 0.5,
+            max_ls: 40,
+        }
+    }
+}
+
+/// Why the optimizer stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// Projected-gradient norm fell below tolerance.
+    Converged,
+    /// Iteration budget exhausted.
+    MaxIterations,
+    /// Line search could not find a decreasing step (flat or
+    /// non-descent direction); the best iterate so far is returned.
+    LineSearchFailed,
+}
+
+/// Result of a successful [`minimize`] call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Final iterate (always feasible).
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Infinity norm of the projected gradient at `x`.
+    pub grad_norm: f64,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// Objective/gradient evaluations performed.
+    pub evaluations: usize,
+    /// Why iteration stopped.
+    pub stop: StopReason,
+}
+
+/// Error for invalid [`minimize`] inputs or non-finite objectives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MinimizeError {
+    /// `x0` length differs from the bounds' dimension.
+    DimensionMismatch {
+        /// Length of the starting point.
+        x0: usize,
+        /// Dimension of the bounds.
+        bounds: usize,
+    },
+    /// The objective returned NaN at the (projected) starting point.
+    NonFiniteStart,
+}
+
+impl fmt::Display for MinimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MinimizeError::DimensionMismatch { x0, bounds } => {
+                write!(f, "starting point has {x0} coordinates but bounds have {bounds}")
+            }
+            MinimizeError::NonFiniteStart => {
+                f.write_str("objective is NaN at the starting point")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MinimizeError {}
+
+/// Minimizes `f` subject to box constraints, starting from `x0`.
+///
+/// `f(x, grad)` must write the gradient into `grad` and return the
+/// objective value.
+///
+/// # Errors
+///
+/// Returns [`MinimizeError`] if dimensions are inconsistent or the
+/// objective is NaN at the starting point.
+pub fn minimize<F>(
+    mut f: F,
+    x0: &[f64],
+    bounds: &Bounds,
+    opts: &Options,
+) -> Result<Solution, MinimizeError>
+where
+    F: FnMut(&[f64], &mut [f64]) -> f64,
+{
+    let n = x0.len();
+    if n != bounds.len() {
+        return Err(MinimizeError::DimensionMismatch { x0: n, bounds: bounds.len() });
+    }
+
+    let mut x = x0.to_vec();
+    bounds.project(&mut x);
+    let mut g = vec![0.0; n];
+    let mut fx = f(&x, &mut g);
+    let mut evals = 1;
+    if fx.is_nan() {
+        return Err(MinimizeError::NonFiniteStart);
+    }
+
+    // (s, y, rho) history, newest at the back.
+    let mut history: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::new();
+    let mut stop = StopReason::MaxIterations;
+    let mut iter = 0;
+
+    while iter < opts.max_iters {
+        let pg = projected_gradient_norm(&x, &g, bounds);
+        if pg < opts.tol {
+            stop = StopReason::Converged;
+            break;
+        }
+        iter += 1;
+
+        // Two-loop recursion for d = -H g.
+        let mut d = two_loop(&g, &history);
+        for v in &mut d {
+            *v = -*v;
+        }
+        // Fall back to steepest descent if not a descent direction.
+        let descent: f64 = d.iter().zip(&g).map(|(di, gi)| di * gi).sum();
+        if !descent.is_finite() || descent >= 0.0 {
+            for (di, gi) in d.iter_mut().zip(&g) {
+                *di = -*gi;
+            }
+        }
+        let descent: f64 = d.iter().zip(&g).map(|(di, gi)| di * gi).sum();
+
+        // Projected-Armijo backtracking.
+        let mut alpha = 1.0;
+        let mut accepted = false;
+        let mut x_new = vec![0.0; n];
+        let mut g_new = vec![0.0; n];
+        let mut f_new = fx;
+        for _ in 0..opts.max_ls {
+            for i in 0..n {
+                x_new[i] = x[i] + alpha * d[i];
+            }
+            bounds.project(&mut x_new);
+            // Measure actual displacement after projection.
+            let disp_dot_g: f64 =
+                x_new.iter().zip(&x).zip(&g).map(|((xn, xo), gi)| (xn - xo) * gi).sum();
+            f_new = f(&x_new, &mut g_new);
+            evals += 1;
+            let sufficient = if disp_dot_g < 0.0 {
+                fx + opts.armijo_c * disp_dot_g
+            } else {
+                fx + opts.armijo_c * alpha * descent
+            };
+            if f_new.is_finite() && f_new <= sufficient {
+                accepted = true;
+                break;
+            }
+            alpha *= opts.backtrack;
+        }
+        if !accepted {
+            stop = StopReason::LineSearchFailed;
+            break;
+        }
+
+        // Curvature update.
+        let s: Vec<f64> = x_new.iter().zip(&x).map(|(a, b)| a - b).collect();
+        let y: Vec<f64> = g_new.iter().zip(&g).map(|(a, b)| a - b).collect();
+        let sy: f64 = s.iter().zip(&y).map(|(a, b)| a * b).sum();
+        if sy > 1e-12 {
+            if history.len() == opts.memory {
+                history.pop_front();
+            }
+            history.push_back((s, y, 1.0 / sy));
+        }
+
+        x = x_new;
+        g = g_new;
+        fx = f_new;
+    }
+
+    let grad_norm = projected_gradient_norm(&x, &g, bounds);
+    if grad_norm < opts.tol {
+        stop = StopReason::Converged;
+    }
+    Ok(Solution { x, value: fx, grad_norm, iterations: iter, evaluations: evals, stop })
+}
+
+/// Infinity norm of `P(x − g) − x`, the standard first-order optimality
+/// measure for box-constrained problems.
+fn projected_gradient_norm(x: &[f64], g: &[f64], bounds: &Bounds) -> f64 {
+    let mut norm: f64 = 0.0;
+    for i in 0..x.len() {
+        let stepped = (x[i] - g[i]).clamp(bounds.lower()[i], bounds.upper()[i]);
+        norm = norm.max((stepped - x[i]).abs());
+    }
+    norm
+}
+
+/// Two-loop recursion computing `H g` with the limited-memory inverse
+/// Hessian approximation (Nocedal & Wright, Alg. 7.4).
+fn two_loop(g: &[f64], history: &VecDeque<(Vec<f64>, Vec<f64>, f64)>) -> Vec<f64> {
+    let mut q = g.to_vec();
+    let mut alphas = Vec::with_capacity(history.len());
+    for (s, y, rho) in history.iter().rev() {
+        let alpha = rho * s.iter().zip(&q).map(|(a, b)| a * b).sum::<f64>();
+        for (qi, yi) in q.iter_mut().zip(y) {
+            *qi -= alpha * yi;
+        }
+        alphas.push(alpha);
+    }
+    // Initial Hessian scaling gamma = s'y / y'y of the newest pair.
+    if let Some((s, y, _)) = history.back() {
+        let sy: f64 = s.iter().zip(y).map(|(a, b)| a * b).sum();
+        let yy: f64 = y.iter().map(|v| v * v).sum();
+        if yy > 0.0 {
+            let gamma = sy / yy;
+            for qi in &mut q {
+                *qi *= gamma;
+            }
+        }
+    }
+    for ((s, y, rho), alpha) in history.iter().zip(alphas.into_iter().rev()) {
+        let beta = rho * y.iter().zip(&q).map(|(a, b)| a * b).sum::<f64>();
+        for (qi, si) in q.iter_mut().zip(s) {
+            *qi += (alpha - beta) * si;
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_quadratic() {
+        let sol = minimize(
+            |x, g| {
+                g[0] = 2.0 * (x[0] - 1.0);
+                g[1] = 2.0 * (x[1] + 2.0);
+                (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2)
+            },
+            &[10.0, -10.0],
+            &Bounds::unbounded(2),
+            &Options::default(),
+        )
+        .unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-6, "{sol:?}");
+        assert!((sol.x[1] + 2.0).abs() < 1e-6, "{sol:?}");
+        assert_eq!(sol.stop, StopReason::Converged);
+    }
+
+    #[test]
+    fn active_bound_is_respected() {
+        // Minimum at x=3 but box is [0,2] -> solution x=2.
+        let sol = minimize(
+            |x, g| {
+                g[0] = 2.0 * (x[0] - 3.0);
+                (x[0] - 3.0).powi(2)
+            },
+            &[0.1],
+            &Bounds::uniform(1, 0.0, 2.0),
+            &Options::default(),
+        )
+        .unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-8, "{sol:?}");
+    }
+
+    #[test]
+    fn rosenbrock_with_bounds() {
+        let rosen = |x: &[f64], g: &mut [f64]| {
+            let (a, b) = (x[0], x[1]);
+            g[0] = -400.0 * a * (b - a * a) - 2.0 * (1.0 - a);
+            g[1] = 200.0 * (b - a * a);
+            (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+        };
+        let sol = minimize(
+            rosen,
+            &[-1.2, 1.0],
+            &Bounds::uniform(2, -5.0, 5.0),
+            &Options { max_iters: 2000, ..Options::default() },
+        )
+        .unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-4, "{sol:?}");
+        assert!((sol.x[1] - 1.0).abs() < 1e-4, "{sol:?}");
+    }
+
+    #[test]
+    fn starting_point_is_projected() {
+        let sol = minimize(
+            |x, g| {
+                g[0] = 2.0 * x[0];
+                x[0] * x[0]
+            },
+            &[100.0],
+            &Bounds::uniform(1, -1.0, 1.0),
+            &Options::default(),
+        )
+        .unwrap();
+        assert!(sol.x[0].abs() < 1e-7);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let err = minimize(
+            |_x, _g| 0.0,
+            &[0.0, 0.0],
+            &Bounds::uniform(1, 0.0, 1.0),
+            &Options::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MinimizeError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn nan_start_rejected() {
+        let err = minimize(
+            |_x, g| {
+                g[0] = 0.0;
+                f64::NAN
+            },
+            &[0.0],
+            &Bounds::uniform(1, -1.0, 1.0),
+            &Options::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, MinimizeError::NonFiniteStart);
+    }
+
+    #[test]
+    fn tmee_threshold_fitting_converges_tightly() {
+        // Learn beta so that residuals (mu - beta) of hazardous samples
+        // are tight: samples at [2.2, 2.5, 3.0] -> beta just below 2.2.
+        use crate::{Loss, Tmee};
+        let samples = [2.2, 2.5, 3.0];
+        let sol = minimize(
+            |x, g| {
+                let beta = x[0];
+                let rs: Vec<f64> = samples.iter().map(|m| m - beta).collect();
+                // dr/dbeta = -1.
+                g[0] = -Tmee.mean_grad(&rs);
+                Tmee.mean(&rs)
+            },
+            &[0.0],
+            &Bounds::uniform(1, 0.0, 10.0),
+            &Options::default(),
+        )
+        .unwrap();
+        let beta = sol.x[0];
+        // Tight: within ~0.7 below the smallest hazardous sample but not above it.
+        assert!(beta <= 2.2 + 1e-6, "beta = {beta}");
+        assert!(beta > 1.2, "beta = {beta} too loose");
+    }
+
+    #[test]
+    fn converges_in_reported_iterations() {
+        let sol = minimize(
+            |x, g| {
+                g[0] = 2.0 * x[0];
+                x[0] * x[0]
+            },
+            &[5.0],
+            &Bounds::unbounded(1),
+            &Options::default(),
+        )
+        .unwrap();
+        assert!(sol.iterations <= 10);
+        assert!(sol.evaluations >= sol.iterations);
+    }
+
+    #[test]
+    fn bounds_constructors() {
+        let b = Bounds::uniform(3, -1.0, 1.0);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        let mut x = vec![-5.0, 0.5, 5.0];
+        b.project(&mut x);
+        assert_eq!(x, vec![-1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn inverted_bounds_panic() {
+        let _ = Bounds::new(vec![1.0], vec![0.0]);
+    }
+}

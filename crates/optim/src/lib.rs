@@ -1,0 +1,40 @@
+//! Box-constrained quasi-Newton optimization and STL-tightness losses.
+//!
+//! The paper learns unknown STL thresholds βᵢ by minimizing a *Tight
+//! Mean Exponential Error* (TMEE) loss of the robustness residual
+//! `r = µᵢ(d(t)) − βᵢ` with the L-BFGS-B algorithm. This crate provides:
+//!
+//! * the [`Loss`] trait with the paper's [`Tmee`] loss (Eq. 4), the
+//!   [`Telex`] tightness loss it compares against, and the classic
+//!   [`Mse`]/[`Mae`] references of Fig. 3a;
+//! * [`lbfgsb::minimize`] — a limited-memory BFGS with box constraints
+//!   (two-loop recursion, gradient projection, Armijo backtracking);
+//! * [`numgrad::central_difference`] for validating analytic gradients.
+//!
+//! # Example
+//!
+//! ```
+//! use aps_optim::{lbfgsb, Bounds};
+//!
+//! // Minimize (x-3)^2 subject to x in [0, 2].
+//! let sol = lbfgsb::minimize(
+//!     |x, g| {
+//!         g[0] = 2.0 * (x[0] - 3.0);
+//!         (x[0] - 3.0).powi(2)
+//!     },
+//!     &[0.5],
+//!     &Bounds::uniform(1, 0.0, 2.0),
+//!     &lbfgsb::Options::default(),
+//! ).unwrap();
+//! assert!((sol.x[0] - 2.0).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lbfgsb;
+mod loss;
+pub mod numgrad;
+
+pub use lbfgsb::{Bounds, Options, Solution};
+pub use loss::{Loss, LossKind, Mae, Mse, Telex, Tmee};

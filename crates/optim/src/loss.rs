@@ -1,0 +1,305 @@
+//! Loss functions over the robustness residual `r = µ(d(t)) − β`.
+//!
+//! The design goal (paper §III-C2, Fig. 3) is a loss whose minimizer
+//! leaves `r` *slightly positive*: the learned threshold β should sit
+//! tight against the hazardous data while never being violated by it.
+//! Symmetric losses (MSE/MAE) are minimized at `r = 0` and routinely
+//! overshoot into small negative robustness; the TeLEx tightness loss
+//! is safe but too flat near its minimum (thresholds come out loose);
+//! TMEE adds an exponential wall on the violation side with near-linear
+//! growth on the slack side.
+//!
+//! # TMEE transcription note
+//!
+//! Eq. 4 of the paper typesets as `E[e^{−r} + r − 1 / (1 + e^{−2r})]`.
+//! We read it as `e^{−r} + (r − 1)/(1 + e^{−2r})`, which produces
+//! exactly the curve of Fig. 3b: an exponential barrier for `r < 0`, a
+//! unique minimum at small positive `r` (≈ 0.6), and asymptotically
+//! linear growth `≈ r − 1` for large `r`. The alternative grouping
+//! `(e^{−r} + r − 1)/(1 + e^{−2r})` vanishes as `r → −∞`, i.e. it would
+//! *reward* violations, contradicting the paper's stated intent.
+
+use serde::{Deserialize, Serialize};
+
+/// A differentiable scalar loss over a robustness residual.
+pub trait Loss {
+    /// Loss value at residual `r`.
+    fn value(&self, r: f64) -> f64;
+
+    /// Derivative `d loss / d r`.
+    fn grad(&self, r: f64) -> f64;
+
+    /// Mean loss over a batch of residuals.
+    fn mean(&self, rs: &[f64]) -> f64 {
+        if rs.is_empty() {
+            return 0.0;
+        }
+        rs.iter().map(|&r| self.value(r)).sum::<f64>() / rs.len() as f64
+    }
+
+    /// Mean gradient over a batch of residuals.
+    fn mean_grad(&self, rs: &[f64]) -> f64 {
+        if rs.is_empty() {
+            return 0.0;
+        }
+        rs.iter().map(|&r| self.grad(r)).sum::<f64>() / rs.len() as f64
+    }
+}
+
+/// Mean squared error `r²` (Fig. 3a reference).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mse;
+
+impl Loss for Mse {
+    fn value(&self, r: f64) -> f64 {
+        r * r
+    }
+    fn grad(&self, r: f64) -> f64 {
+        2.0 * r
+    }
+}
+
+/// Mean absolute error `|r|` (Fig. 3a reference).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mae;
+
+impl Loss for Mae {
+    fn value(&self, r: f64) -> f64 {
+        r.abs()
+    }
+    fn grad(&self, r: f64) -> f64 {
+        if r > 0.0 {
+            1.0
+        } else if r < 0.0 {
+            -1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The TeLEx tightness loss (Jha et al.), in softplus form:
+/// `loss(r) = −r + (2/σ)·ln(1 + e^{σ r}) − (2/σ)·ln 2`.
+///
+/// A smooth surrogate of `|r|` whose curvature near the minimum is
+/// controlled by `sigma`; the paper observes that thresholds learned
+/// with it "are not tight enough without manual adjusting", which this
+/// flat valley reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Telex {
+    /// Sharpness parameter σ > 0 (default 1).
+    pub sigma: f64,
+}
+
+impl Default for Telex {
+    fn default() -> Telex {
+        Telex { sigma: 1.0 }
+    }
+}
+
+impl Loss for Telex {
+    fn value(&self, r: f64) -> f64 {
+        let s = self.sigma;
+        // Numerically stable softplus: ln(1+e^x) = max(x,0) + ln(1+e^-|x|).
+        let x = s * r;
+        let softplus = x.max(0.0) + (-x.abs()).exp().ln_1p();
+        -r + (2.0 / s) * softplus - (2.0 / s) * std::f64::consts::LN_2
+    }
+
+    fn grad(&self, r: f64) -> f64 {
+        let x = self.sigma * r;
+        -1.0 + 2.0 / (1.0 + (-x).exp())
+    }
+}
+
+/// The paper's Tight Mean Exponential Error (Eq. 4):
+/// `loss(r) = e^{−r} + (r − 1)/(1 + e^{−2r})`.
+///
+/// Exponential barrier on the violation side (`r < 0`), unique minimum
+/// at a small positive residual, asymptotically `r − 1` on the slack
+/// side — learned thresholds are tight but never violated by the
+/// hazardous training traces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tmee;
+
+impl Loss for Tmee {
+    fn value(&self, r: f64) -> f64 {
+        // Guard the exponential against overflow for very negative r:
+        // beyond r = -700, e^{-r} is inf and the optimizer's line search
+        // will back off anyway; clamp to f64::MAX.
+        let e = (-r).exp();
+        if !e.is_finite() {
+            return f64::MAX;
+        }
+        let denom = 1.0 + (-2.0 * r).exp();
+        if !denom.is_finite() {
+            // r very negative: (r-1)/denom → 0.
+            return e;
+        }
+        e + (r - 1.0) / denom
+    }
+
+    fn grad(&self, r: f64) -> f64 {
+        let e = (-r).exp();
+        if !e.is_finite() {
+            return -f64::MAX;
+        }
+        let q = (-2.0 * r).exp();
+        if !q.is_finite() {
+            return -e;
+        }
+        let denom = 1.0 + q;
+        -e + (denom + (r - 1.0) * 2.0 * q) / (denom * denom)
+    }
+}
+
+/// Enumeration of the available losses, for configuration and CLI use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LossKind {
+    /// [`Mse`]
+    Mse,
+    /// [`Mae`]
+    Mae,
+    /// [`Telex`] with default σ
+    Telex,
+    /// [`Tmee`]
+    Tmee,
+}
+
+impl LossKind {
+    /// All loss kinds, in Fig. 3 order.
+    pub const ALL: [LossKind; 4] = [LossKind::Mse, LossKind::Mae, LossKind::Telex, LossKind::Tmee];
+
+    /// Loss value for a residual (dynamic dispatch convenience).
+    pub fn value(self, r: f64) -> f64 {
+        match self {
+            LossKind::Mse => Mse.value(r),
+            LossKind::Mae => Mae.value(r),
+            LossKind::Telex => Telex::default().value(r),
+            LossKind::Tmee => Tmee.value(r),
+        }
+    }
+
+    /// Gradient for a residual.
+    pub fn grad(self, r: f64) -> f64 {
+        match self {
+            LossKind::Mse => Mse.grad(r),
+            LossKind::Mae => Mae.grad(r),
+            LossKind::Telex => Telex::default().grad(r),
+            LossKind::Tmee => Tmee.grad(r),
+        }
+    }
+
+    /// Short lowercase name (CLI / report labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            LossKind::Mse => "mse",
+            LossKind::Mae => "mae",
+            LossKind::Telex => "telex",
+            LossKind::Tmee => "tmee",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numgrad::central_difference;
+
+    #[test]
+    fn mse_mae_basics() {
+        assert_eq!(Mse.value(2.0), 4.0);
+        assert_eq!(Mse.grad(-1.5), -3.0);
+        assert_eq!(Mae.value(-2.0), 2.0);
+        assert_eq!(Mae.grad(-2.0), -1.0);
+        assert_eq!(Mae.grad(0.0), 0.0);
+    }
+
+    #[test]
+    fn tmee_has_exponential_wall_on_violation_side() {
+        // Violations must cost far more than equal-magnitude slack.
+        for r in [0.5, 1.0, 2.0, 3.0] {
+            assert!(
+                Tmee.value(-r) > 2.0 * Tmee.value(r),
+                "TMEE(-{r}) = {} vs TMEE({r}) = {}",
+                Tmee.value(-r),
+                Tmee.value(r)
+            );
+        }
+    }
+
+    #[test]
+    fn tmee_minimum_is_at_small_positive_r() {
+        let mut best_r = f64::NAN;
+        let mut best_v = f64::INFINITY;
+        let mut r = -2.0;
+        while r <= 3.0 {
+            let v = Tmee.value(r);
+            if v < best_v {
+                best_v = v;
+                best_r = r;
+            }
+            r += 1e-3;
+        }
+        assert!(best_r > 0.0 && best_r < 1.0, "minimum at r = {best_r}");
+    }
+
+    #[test]
+    fn tmee_asymptotically_linear_for_large_r() {
+        let v = Tmee.value(50.0);
+        assert!((v - 49.0).abs() < 1e-6, "TMEE(50) = {v}");
+    }
+
+    #[test]
+    fn telex_minimum_at_zero_and_flatter_than_tmee() {
+        let t = Telex::default();
+        assert!(t.value(0.0).abs() < 1e-12);
+        assert!(t.value(0.5) > 0.0 && t.value(-0.5) > 0.0);
+        // TeLEx is symmetric-ish and flat: near the minimum its barrier
+        // against violation is much weaker than TMEE's.
+        assert!(Tmee.value(-1.0) > 4.0 * t.value(-1.0));
+    }
+
+    #[test]
+    fn analytic_gradients_match_numerical() {
+        let kinds = [LossKind::Mse, LossKind::Telex, LossKind::Tmee];
+        for kind in kinds {
+            for r in [-2.0, -0.7, -0.1, 0.1, 0.9, 2.5] {
+                let num = central_difference(|x| kind.value(x[0]), &[r], 0, 1e-6);
+                let ana = kind.grad(r);
+                assert!(
+                    (num - ana).abs() < 1e-5,
+                    "{}: r={r} numerical {num} vs analytic {ana}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_mean_and_grad() {
+        let rs = [1.0, -1.0, 2.0];
+        let m = Mse.mean(&rs);
+        assert!((m - 2.0).abs() < 1e-12);
+        let g = Mse.mean_grad(&rs);
+        assert!((g - (2.0 - 2.0 + 4.0) / 3.0).abs() < 1e-12);
+        assert_eq!(Mse.mean(&[]), 0.0);
+        assert_eq!(Mse.mean_grad(&[]), 0.0);
+    }
+
+    #[test]
+    fn tmee_handles_extreme_residuals() {
+        assert!(Tmee.value(-1000.0).is_finite());
+        assert!(Tmee.value(1000.0).is_finite());
+        assert!(Tmee.grad(-1000.0).is_finite());
+        assert!(Tmee.grad(1000.0).is_finite());
+    }
+
+    #[test]
+    fn loss_kind_roundtrip() {
+        for k in LossKind::ALL {
+            assert!(!k.name().is_empty());
+            assert!(k.value(0.5).is_finite());
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Numerical differentiation helpers for gradient checking.
+
+/// Central-difference partial derivative of `f` with respect to
+/// coordinate `i` at point `x`, with half-step `h`.
+///
+/// ```
+/// use aps_optim::numgrad::central_difference;
+/// let d = central_difference(|x| x[0] * x[0], &[3.0], 0, 1e-6);
+/// assert!((d - 6.0).abs() < 1e-5);
+/// ```
+pub fn central_difference<F: Fn(&[f64]) -> f64>(f: F, x: &[f64], i: usize, h: f64) -> f64 {
+    assert!(i < x.len(), "coordinate index out of range");
+    assert!(h > 0.0, "step must be positive");
+    let mut xp = x.to_vec();
+    let mut xm = x.to_vec();
+    xp[i] += h;
+    xm[i] -= h;
+    (f(&xp) - f(&xm)) / (2.0 * h)
+}
+
+/// Full numerical gradient via central differences.
+pub fn gradient<F: Fn(&[f64]) -> f64>(f: F, x: &[f64], h: f64) -> Vec<f64> {
+    (0..x.len()).map(|i| central_difference(&f, x, i, h)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_gradient() {
+        let f = |x: &[f64]| x[0] * x[0] + 3.0 * x[1];
+        let g = gradient(f, &[2.0, 5.0], 1e-6);
+        assert!((g[0] - 4.0).abs() < 1e-5);
+        assert!((g[1] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let _ = central_difference(|x| x[0], &[1.0], 3, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn bad_step_panics() {
+        let _ = central_difference(|x| x[0], &[1.0], 0, 0.0);
+    }
+}

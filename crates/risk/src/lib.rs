@@ -1,0 +1,272 @@
+//! Kovatchev blood-glucose risk index and hazard labeling.
+//!
+//! The paper labels simulation samples as hazardous using the BG Risk
+//! Index (Eq. 5):
+//!
+//! ```text
+//! risk(BG) = 10 · (1.509 · (ln(BG)^1.084 − 5.381))²
+//! ```
+//!
+//! The symmetrizing transform is zero at BG ≈ 112.5 mg/dL; its left
+//! branch (BG below the zero point) accumulates into the Low BG Index
+//! (LBGI) and the right branch into the High BG Index (HBGI) over a
+//! window of readings. A window is hazardous when LBGI crosses 5 (H1,
+//! hypoglycemia risk) or HBGI crosses 9 (H2) **and keeps increasing**.
+//!
+//! # Example
+//!
+//! ```
+//! use aps_risk::{risk_bg, lbgi, hbgi};
+//! assert!(risk_bg(112.5) < 0.01);          // zero point
+//! assert!(lbgi(&[50.0; 12]) > 5.0);        // severe lows
+//! assert!(hbgi(&[320.0; 12]) > 9.0);       // severe highs
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use aps_types::{Hazard, SimTrace};
+use serde::{Deserialize, Serialize};
+
+/// LBGI threshold above which hypoglycemia risk is "high" (Kovatchev).
+pub const LBGI_HIGH_RISK: f64 = 5.0;
+/// HBGI threshold above which hyperglycemia risk is "high".
+pub const HBGI_HIGH_RISK: f64 = 9.0;
+/// Default labeling window: one hour of 5-minute readings.
+pub const DEFAULT_WINDOW: usize = 12;
+
+/// The symmetrizing transform `f(BG) = 1.509·(ln(BG)^1.084 − 5.381)`,
+/// negative below ≈112.5 mg/dL and positive above.
+pub fn bg_transform(bg: f64) -> f64 {
+    let bg = bg.max(1.0);
+    1.509 * (bg.ln().powf(1.084) - 5.381)
+}
+
+/// The BG risk function of Eq. 5 (always non-negative, 0 at ≈112.5).
+pub fn risk_bg(bg: f64) -> f64 {
+    let f = bg_transform(bg);
+    10.0 * f * f
+}
+
+/// Risk attributed to lows: `rl(BG) = risk(BG)` when the transform is
+/// negative, else 0.
+pub fn risk_low(bg: f64) -> f64 {
+    if bg_transform(bg) < 0.0 {
+        risk_bg(bg)
+    } else {
+        0.0
+    }
+}
+
+/// Risk attributed to highs: `rh(BG) = risk(BG)` when the transform is
+/// positive, else 0.
+pub fn risk_high(bg: f64) -> f64 {
+    if bg_transform(bg) > 0.0 {
+        risk_bg(bg)
+    } else {
+        0.0
+    }
+}
+
+/// Low Blood Glucose Index: mean low-side risk over a window.
+pub fn lbgi(window: &[f64]) -> f64 {
+    if window.is_empty() {
+        return 0.0;
+    }
+    window.iter().map(|&bg| risk_low(bg)).sum::<f64>() / window.len() as f64
+}
+
+/// High Blood Glucose Index: mean high-side risk over a window.
+pub fn hbgi(window: &[f64]) -> f64 {
+    if window.is_empty() {
+        return 0.0;
+    }
+    window.iter().map(|&bg| risk_high(bg)).sum::<f64>() / window.len() as f64
+}
+
+/// Mean total risk index of a whole BG series (the `R̄I` of the
+/// average-risk metric, Eq. 9).
+pub fn mean_risk_index(series: &[f64]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    series.iter().map(|&bg| risk_bg(bg)).sum::<f64>() / series.len() as f64
+}
+
+/// Labeler configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelConfig {
+    /// Trailing window length in samples.
+    pub window: usize,
+    /// LBGI threshold for H1.
+    pub lbgi_threshold: f64,
+    /// HBGI threshold for H2.
+    pub hbgi_threshold: f64,
+}
+
+impl Default for LabelConfig {
+    fn default() -> LabelConfig {
+        LabelConfig {
+            window: DEFAULT_WINDOW,
+            lbgi_threshold: LBGI_HIGH_RISK,
+            hbgi_threshold: HBGI_HIGH_RISK,
+        }
+    }
+}
+
+/// Labels a BG series: when the trailing-window LBGI crosses its
+/// threshold while still increasing, the **whole window** of readings
+/// is marked `Some(H1)` (the paper "marked a window of BG readings as
+/// hazardous"); likewise HBGI and `Some(H2)`. H1 wins overlaps
+/// (hypoglycemia is the more acutely dangerous hazard).
+pub fn label_series(series: &[f64], config: &LabelConfig) -> Vec<Option<Hazard>> {
+    let n = series.len();
+    let mut labels: Vec<Option<Hazard>> = vec![None; n];
+    if n == 0 {
+        return labels;
+    }
+    // Seed the "kept increasing" comparison from the first reading so
+    // that a simulation *started* in a high-risk state is not labeled
+    // hazardous until its risk actually grows (the initial condition is
+    // the scenario's premise, not a controller-caused hazard).
+    let mut prev_lbgi = lbgi(&series[0..1]);
+    let mut prev_hbgi = hbgi(&series[0..1]);
+    for t in 1..n {
+        let lo = t.saturating_sub(config.window.saturating_sub(1));
+        let w = &series[lo..=t];
+        let l = lbgi(w);
+        let h = hbgi(w);
+        let rising_l = l > prev_lbgi + 1e-12;
+        let rising_h = h > prev_hbgi + 1e-12;
+        if l > config.lbgi_threshold && rising_l {
+            for label in labels[lo..=t].iter_mut() {
+                *label = Some(Hazard::H1);
+            }
+        } else if h > config.hbgi_threshold && rising_h {
+            for label in labels[lo..=t].iter_mut() {
+                // Don't overwrite an H1 mark from an overlapping window.
+                if *label != Some(Hazard::H1) {
+                    *label = Some(Hazard::H2);
+                }
+            }
+        }
+        prev_lbgi = l;
+        prev_hbgi = h;
+    }
+    labels
+}
+
+/// Labels a [`SimTrace`] in place from its ground-truth BG series and
+/// refreshes the trace metadata.
+pub fn label_trace(trace: &mut SimTrace, config: &LabelConfig) {
+    let series = trace.bg_true_series();
+    let labels = label_series(&series, config);
+    for (rec, label) in trace.records.iter_mut().zip(labels) {
+        rec.hazard = label;
+    }
+    trace.refresh_meta();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_types::{MgDl, Step, StepRecord, TraceMeta};
+
+    #[test]
+    fn zero_point_near_112_5() {
+        assert!(risk_bg(112.5) < 0.01);
+        assert!(bg_transform(112.0) < 0.0);
+        assert!(bg_transform(113.0) > 0.0);
+    }
+
+    #[test]
+    fn risk_is_asymmetric_like_kovatchev() {
+        // 50 mg/dL and 400 mg/dL should both be severe; lows steeper.
+        assert!(risk_low(50.0) > 20.0);
+        assert!(risk_high(400.0) > 20.0);
+        // Equidistant in mg/dL from the zero point, the low side risks more.
+        assert!(risk_bg(62.5) > risk_bg(162.5));
+    }
+
+    #[test]
+    fn branches_are_exclusive() {
+        for bg in [40.0, 80.0, 112.5, 150.0, 300.0] {
+            let low = risk_low(bg);
+            let high = risk_high(bg);
+            assert!(low == 0.0 || high == 0.0, "bg={bg}");
+            assert!((low + high - risk_bg(bg)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn indices_on_flat_series() {
+        assert!(lbgi(&[110.0; 12]) < 0.1);
+        assert!(hbgi(&[110.0; 12]) < 0.1);
+        assert_eq!(lbgi(&[]), 0.0);
+        assert_eq!(hbgi(&[]), 0.0);
+        assert_eq!(mean_risk_index(&[]), 0.0);
+    }
+
+    fn falling_series() -> Vec<f64> {
+        // 120 down to 40 over 40 steps, then flat at 40.
+        let mut s: Vec<f64> = (0..40).map(|i| 120.0 - 2.0 * i as f64).collect();
+        s.extend(std::iter::repeat_n(40.0, 20));
+        s
+    }
+
+    #[test]
+    fn labeler_flags_hypoglycemia_descent_as_h1() {
+        let labels = label_series(&falling_series(), &LabelConfig::default());
+        let first = labels.iter().position(|l| l.is_some());
+        assert!(first.is_some(), "no hazard found");
+        assert_eq!(labels[first.unwrap()], Some(Hazard::H1));
+    }
+
+    #[test]
+    fn labeler_flags_hyperglycemia_ascent_as_h2() {
+        let series: Vec<f64> = (0..60).map(|i| 140.0 + 4.0 * i as f64).collect();
+        let labels = label_series(&series, &LabelConfig::default());
+        let kinds: Vec<Hazard> = labels.iter().flatten().copied().collect();
+        assert!(!kinds.is_empty());
+        assert!(kinds.iter().all(|&h| h == Hazard::H2));
+    }
+
+    #[test]
+    fn stable_high_risk_is_not_flagged_when_plateaued() {
+        // Once the series plateaus at 40, the index stops rising and the
+        // "kept increasing" condition clears the label.
+        let labels = label_series(&falling_series(), &LabelConfig::default());
+        assert_eq!(labels[59], None, "plateau should not keep the label");
+    }
+
+    #[test]
+    fn normal_series_is_unlabeled() {
+        let series: Vec<f64> = (0..150)
+            .map(|i| 110.0 + 15.0 * ((i as f64) * 0.1).sin())
+            .collect();
+        let labels = label_series(&series, &LabelConfig::default());
+        assert!(labels.iter().all(|l| l.is_none()));
+    }
+
+    #[test]
+    fn label_trace_updates_meta() {
+        let mut trace = SimTrace::new(TraceMeta::default());
+        for (i, bg) in falling_series().into_iter().enumerate() {
+            let mut r = StepRecord::blank(Step(i as u32));
+            r.bg_true = MgDl(bg);
+            r.bg = MgDl(bg);
+            trace.push(r);
+        }
+        label_trace(&mut trace, &LabelConfig::default());
+        assert!(trace.is_hazardous());
+        assert_eq!(trace.meta.hazard_type, Some(Hazard::H1));
+        assert!(trace.meta.hazard_onset.is_some());
+    }
+
+    #[test]
+    fn mean_risk_index_orders_scenarios() {
+        let safe = vec![110.0; 50];
+        let risky: Vec<f64> = (0..50).map(|i| 110.0 - i as f64).collect();
+        assert!(mean_risk_index(&risky) > mean_risk_index(&safe));
+    }
+}

@@ -1,0 +1,273 @@
+//! Fault-injection campaign runner.
+//!
+//! Expands a [`CampaignSpec`] into the grid of (patient × initial BG ×
+//! fault scenario) runs — plus optional fault-free runs — and executes
+//! them, optionally in parallel with scoped worker threads. Monitors
+//! are created per run through a [`MonitorFactory`], since a
+//! patient-specific monitor needs the run's basal/target context.
+
+use crate::closed_loop::{run, LoopConfig};
+use crate::platform::Platform;
+use aps_core::hms::ContextMitigatorConfig;
+use aps_core::mitigation::Mitigator;
+use aps_core::monitors::HazardMonitor;
+use aps_fault::{campaign_grid, CampaignConfig, FaultInjector, FaultScenario};
+use aps_glucose::sensor::CgmConfig;
+use aps_types::{MgDl, SimTrace, UnitsPerHour};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Context handed to the monitor factory for each run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioCtx {
+    /// Qualified patient name.
+    pub patient: String,
+    /// Controller basal rate for this patient.
+    pub basal: UnitsPerHour,
+    /// Controller regulation target.
+    pub target: MgDl,
+    /// Maximum mitigation rate for this patient.
+    pub max_rate: UnitsPerHour,
+}
+
+/// Creates a fresh monitor for one run (monitors are stateful).
+pub type MonitorFactory<'a> = dyn Fn(&ScenarioCtx) -> Box<dyn HazardMonitor> + Sync + 'a;
+
+/// What to simulate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Which simulator/controller pairing.
+    pub platform: Platform,
+    /// Cohort indices to include (0..10).
+    pub patient_indices: Vec<usize>,
+    /// Initial glucose values (paper: seven values in 80–200).
+    pub initial_bgs: Vec<f64>,
+    /// Fault grid timing parameters.
+    pub faults: CampaignConfig,
+    /// Restrict injection to these variables (empty = the platform's
+    /// primary input/state/output targets).
+    pub fault_targets: Vec<String>,
+    /// Also run one fault-free simulation per (patient, initial BG).
+    pub include_fault_free: bool,
+    /// Steps per simulation.
+    pub steps: u32,
+    /// Apply mitigation on monitor alerts.
+    pub mitigate: bool,
+    /// Use the context-dependent mitigation policy instead of the
+    /// fixed Algorithm-1 rates (only meaningful with `mitigate`).
+    #[serde(default)]
+    pub context_mitigate: bool,
+    /// CGM model for every run (default: clean, the paper's
+    /// assumption; used by the sensor-noise robustness ablation).
+    #[serde(default)]
+    pub cgm: CgmConfig,
+}
+
+impl CampaignSpec {
+    /// A small smoke-test campaign: 2 patients, 1 initial BG, the
+    /// quick fault grid.
+    pub fn quick(platform: Platform) -> CampaignSpec {
+        CampaignSpec {
+            platform,
+            patient_indices: vec![0, 1],
+            initial_bgs: vec![120.0],
+            faults: CampaignConfig::quick(),
+            fault_targets: Vec::new(),
+            include_fault_free: true,
+            steps: 150,
+            mitigate: false,
+            context_mitigate: false,
+            cgm: CgmConfig::default(),
+        }
+    }
+
+    /// The paper-scale campaign: all 10 patients, 7 initial BG values,
+    /// the full 9-combination fault grid over all injectable variables.
+    pub fn paper(platform: Platform) -> CampaignSpec {
+        CampaignSpec {
+            platform,
+            patient_indices: (0..10).collect(),
+            initial_bgs: aps_glucose::patients::initial_bg_values().to_vec(),
+            faults: CampaignConfig::paper(),
+            fault_targets: Vec::new(),
+            include_fault_free: true,
+            steps: 150,
+            mitigate: false,
+            context_mitigate: false,
+            cgm: CgmConfig::default(),
+        }
+    }
+}
+
+/// One expanded unit of work.
+#[derive(Debug, Clone)]
+struct Job {
+    patient_idx: usize,
+    initial_bg: f64,
+    scenario: Option<FaultScenario>,
+}
+
+/// Expands the spec into its job list (fault-free first, then faults).
+fn expand(spec: &CampaignSpec) -> Vec<Job> {
+    let platform = spec.platform;
+    let probe = platform.patients().remove(0);
+    let mut targets = platform.primary_targets(probe.as_ref());
+    if !spec.fault_targets.is_empty() {
+        targets = platform
+            .injection_targets(probe.as_ref())
+            .into_iter()
+            .filter(|t| spec.fault_targets.iter().any(|n| n == &t.name))
+            .collect();
+    }
+    let scenarios = campaign_grid(&targets, &spec.faults);
+    let mut jobs = Vec::new();
+    for &pi in &spec.patient_indices {
+        for &bg0 in &spec.initial_bgs {
+            if spec.include_fault_free {
+                jobs.push(Job { patient_idx: pi, initial_bg: bg0, scenario: None });
+            }
+            for s in &scenarios {
+                jobs.push(Job {
+                    patient_idx: pi,
+                    initial_bg: bg0,
+                    scenario: Some(s.clone()),
+                });
+            }
+        }
+    }
+    jobs
+}
+
+/// Number of runs the spec will execute.
+pub fn campaign_size(spec: &CampaignSpec) -> usize {
+    expand(spec).len()
+}
+
+fn run_job(
+    spec: &CampaignSpec,
+    job: &Job,
+    monitor_factory: Option<&MonitorFactory<'_>>,
+) -> SimTrace {
+    let platform = spec.platform;
+    let mut patient = platform.patients().remove(job.patient_idx);
+    let mut controller = platform.controller_for(patient.as_ref());
+    let ctx = ScenarioCtx {
+        patient: patient.name().to_owned(),
+        basal: platform.basal_for(patient.as_ref()),
+        target: platform.target(),
+        max_rate: platform.max_mitigation_rate(patient.as_ref()),
+    };
+    let mut monitor = monitor_factory.map(|f| f(&ctx));
+    let mut injector = job.scenario.clone().map(FaultInjector::new);
+    let config = LoopConfig {
+        steps: spec.steps,
+        initial_bg: job.initial_bg,
+        mitigator: (spec.mitigate && !spec.context_mitigate)
+            .then(|| Mitigator::paper_default(ctx.max_rate)),
+        context_mitigation: (spec.mitigate && spec.context_mitigate).then(|| {
+            ContextMitigatorConfig::for_run(ctx.target, ctx.basal, ctx.max_rate)
+        }),
+        cgm: spec.cgm.clone(),
+        ..LoopConfig::default()
+    };
+    let trace = run(
+        patient.as_mut(),
+        controller.as_mut(),
+        monitor.as_deref_mut(),
+        injector.as_mut(),
+        &config,
+    );
+    trace
+}
+
+/// Runs the whole campaign, parallelized over the available cores.
+/// Results are returned in job order (deterministic).
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    monitor_factory: Option<&MonitorFactory<'_>>,
+) -> Vec<SimTrace> {
+    let jobs = expand(spec);
+    let n = jobs.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 {
+        return jobs.iter().map(|j| run_job(spec, j, monitor_factory)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<SimTrace>>> = Mutex::new(vec![None; n]);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let trace = run_job(spec, &jobs[i], monitor_factory);
+                results.lock()[i] = Some(trace);
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|t| t.expect("job not executed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_core::monitors::NullMonitor;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            patient_indices: vec![0],
+            initial_bgs: vec![120.0],
+            ..CampaignSpec::quick(Platform::GlucosymOref0)
+        }
+    }
+
+    #[test]
+    fn campaign_size_matches_expansion() {
+        let spec = tiny_spec();
+        // 3 primary targets x 10 kinds x 1 start x 1 duration + 1 fault-free.
+        assert_eq!(campaign_size(&spec), 31);
+    }
+
+    #[test]
+    fn campaign_produces_ordered_labeled_traces() {
+        let spec = tiny_spec();
+        let traces = run_campaign(&spec, None);
+        assert_eq!(traces.len(), campaign_size(&spec));
+        // First job is the fault-free run.
+        assert!(traces[0].meta.fault_start.is_none());
+        assert!(traces[1..].iter().all(|t| t.meta.fault_start.is_some()));
+        // Some fault in this grid should produce at least one hazard.
+        assert!(
+            traces.iter().any(|t| t.is_hazardous()),
+            "no scenario in the quick grid was hazardous"
+        );
+    }
+
+    #[test]
+    fn monitor_factory_is_used() {
+        let spec = tiny_spec();
+        let factory: Box<MonitorFactory<'_>> =
+            Box::new(|_ctx| Box::new(NullMonitor) as Box<dyn HazardMonitor>);
+        let traces = run_campaign(&spec, Some(factory.as_ref()));
+        assert!(traces.iter().all(|t| t.first_alert().is_none()));
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let spec = CampaignSpec { steps: 40, ..tiny_spec() };
+        let a = run_campaign(&spec, None);
+        let b = run_campaign(&spec, None);
+        assert_eq!(a, b);
+    }
+}

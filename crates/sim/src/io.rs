@@ -1,0 +1,195 @@
+//! Trace persistence: CSV for analysis tools, JSONL for lossless
+//! round-trips.
+//!
+//! Campaigns produce thousands of [`SimTrace`]s; this module writes
+//! them out so plots and post-hoc analyses (pandas, gnuplot, another
+//! run of this harness) do not need to re-simulate. CSV is one row per
+//! control cycle with the trace identity repeated per row (tidy/long
+//! format); JSONL is one serde-serialized trace per line and reads
+//! back losslessly.
+
+use aps_types::SimTrace;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// The CSV header written by [`write_csv`].
+pub const CSV_HEADER: &str = "patient,fault,initial_bg,step,bg,bg_true,iob,\
+commanded,delivered,action,fault_active,hazard,alert";
+
+/// Serializes traces to tidy CSV (one row per control cycle).
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+pub fn write_csv<W: Write>(traces: &[SimTrace], writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{CSV_HEADER}")?;
+    for trace in traces {
+        let meta = &trace.meta;
+        for rec in trace.iter() {
+            let mut line = String::with_capacity(96);
+            let _ = write!(
+                line,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                meta.patient,
+                if meta.fault_name.is_empty() { "none" } else { &meta.fault_name },
+                meta.initial_bg,
+                rec.step.0,
+                rec.bg.value(),
+                rec.bg_true.value(),
+                rec.iob.value(),
+                rec.commanded.value(),
+                rec.delivered.value(),
+                rec.action,
+                rec.fault_active,
+                rec.hazard.map(|h| h.to_string()).unwrap_or_default(),
+                rec.alert.map(|h| h.to_string()).unwrap_or_default(),
+            );
+            writeln!(w, "{line}")?;
+        }
+    }
+    w.flush()
+}
+
+/// Writes traces as JSON Lines (one trace per line, lossless).
+///
+/// # Errors
+///
+/// Returns I/O errors from the writer; serialization of a `SimTrace`
+/// itself cannot fail.
+pub fn write_jsonl<W: Write>(traces: &[SimTrace], writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for trace in traces {
+        let line = serde_json::to_string(trace)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        writeln!(w, "{line}")?;
+    }
+    w.flush()
+}
+
+/// Reads traces back from JSON Lines produced by [`write_jsonl`].
+///
+/// Blank lines are skipped, so files remain `cat`-concatenable.
+///
+/// # Errors
+///
+/// Returns an error for unreadable input or a line that does not
+/// deserialize to a `SimTrace` (the message names the line number).
+pub fn read_jsonl<R: Read>(reader: R) -> io::Result<Vec<SimTrace>> {
+    let mut out = Vec::new();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let trace: SimTrace = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", i + 1))
+        })?;
+        out.push(trace);
+    }
+    Ok(out)
+}
+
+/// Convenience: writes traces to a JSONL file at `path`.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn save_jsonl<P: AsRef<Path>>(traces: &[SimTrace], path: P) -> io::Result<()> {
+    write_jsonl(traces, std::fs::File::create(path)?)
+}
+
+/// Convenience: loads traces from a JSONL file at `path`.
+///
+/// # Errors
+///
+/// Propagates file-open and parse errors.
+pub fn load_jsonl<P: AsRef<Path>>(path: P) -> io::Result<Vec<SimTrace>> {
+    read_jsonl(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignSpec};
+    use crate::platform::Platform;
+
+    fn small_traces() -> Vec<SimTrace> {
+        let spec = CampaignSpec {
+            patient_indices: vec![0],
+            initial_bgs: vec![120.0],
+            steps: 30,
+            ..CampaignSpec::quick(Platform::GlucosymOref0)
+        };
+        run_campaign(&spec, None).into_iter().take(3).collect()
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_lossless() {
+        let traces = small_traces();
+        let mut buf = Vec::new();
+        write_jsonl(&traces, &mut buf).unwrap();
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(traces, back);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let traces = small_traces();
+        let mut buf = Vec::new();
+        write_jsonl(&traces, &mut buf).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let mut doubled = buf.clone();
+        doubled.extend_from_slice(&buf);
+        let back = read_jsonl(doubled.as_slice()).unwrap();
+        assert_eq!(back.len(), traces.len() * 2);
+    }
+
+    #[test]
+    fn jsonl_reports_bad_line_number() {
+        let err = read_jsonl("{\"not\": \"a trace\"}\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_cycle() {
+        let traces = small_traces();
+        let mut buf = Vec::new();
+        write_csv(&traces, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some(CSV_HEADER));
+        let rows = lines.count();
+        let cycles: usize = traces.iter().map(|t| t.len()).sum();
+        assert_eq!(rows, cycles);
+    }
+
+    #[test]
+    fn csv_fields_are_column_aligned() {
+        let traces = small_traces();
+        let mut buf = Vec::new();
+        write_csv(&traces, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let columns = CSV_HEADER.split(',').count();
+        for (i, line) in text.lines().enumerate() {
+            assert_eq!(
+                line.split(',').count(),
+                columns,
+                "row {i} has the wrong arity: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_helpers_roundtrip() {
+        let traces = small_traces();
+        let dir = std::env::temp_dir().join("aps_sim_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traces.jsonl");
+        save_jsonl(&traces, &path).unwrap();
+        let back = load_jsonl(&path).unwrap();
+        assert_eq!(traces, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,26 @@
+//! Closed-loop APS simulation harness.
+//!
+//! Wires together a patient simulator, a controller, an optional fault
+//! injector, and an optional safety monitor with mitigation — the
+//! experimental setup of the paper's Fig. 5a:
+//!
+//! * [`closed_loop::run`] — one 150-step (12-hour) simulation producing
+//!   a labeled [`SimTrace`](aps_types::SimTrace);
+//! * [`platform::Platform`] — the two evaluation platforms (OpenAPS +
+//!   Glucosym-style, Basal-Bolus + UVA-Padova-style);
+//! * [`campaign`] — the fault-injection campaign runner (grid of
+//!   patients × initial BG × scenarios, multi-threaded);
+//! * [`dataset`] — supervised dataset extraction for the ML baselines
+//!   and threshold learning;
+//! * [`io`] — CSV / JSON-Lines persistence of traces for external
+//!   analysis tooling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod closed_loop;
+pub mod dataset;
+pub mod io;
+pub mod platform;
+pub mod replay;

@@ -1,0 +1,124 @@
+//! Offline monitor replay.
+//!
+//! A monitor that only *observes* (no mitigation) does not perturb the
+//! closed loop, so its alert sequence on a recorded trace is identical
+//! to what it would have produced live. Replaying lets one fault
+//! campaign be evaluated against any number of monitors — the paper's
+//! Table V/VI/Fig. 9 comparisons — at a fraction of the cost of
+//! re-simulating.
+
+use aps_core::monitors::{HazardMonitor, MonitorInput};
+use aps_types::{SimTrace, UnitsPerHour};
+
+/// Replays `trace` through `monitor`, returning a copy with the
+/// `alert` column rewritten to the monitor's verdicts.
+///
+/// The monitor sees exactly what it would have seen live: the clean
+/// CGM reading, the commanded rate, the previously *delivered* rate —
+/// and is told the recorded delivery each cycle.
+pub fn replay_monitor(trace: &SimTrace, monitor: &mut dyn HazardMonitor) -> SimTrace {
+    monitor.reset();
+    let mut out = trace.clone();
+    let mut prev_delivered =
+        UnitsPerHour(trace.records.first().map(|r| r.delivered.value()).unwrap_or(0.0));
+    // The live loop seeds previous_rate with the controller's basal;
+    // the first record's delivered rate is the closest recorded proxy.
+    for rec in &mut out.records {
+        let alert = monitor.check(&MonitorInput {
+            step: rec.step,
+            bg: rec.bg,
+            commanded: rec.commanded,
+            previous_rate: prev_delivered,
+        });
+        monitor.observe_delivery(rec.delivered);
+        rec.alert = alert;
+        prev_delivered = rec.delivered;
+    }
+    out
+}
+
+/// Replays a whole campaign through monitors produced per trace by
+/// `factory` (monitors are stateful and patient-specific, so each
+/// trace gets a fresh one).
+pub fn replay_campaign<F>(traces: &[SimTrace], mut factory: F) -> Vec<SimTrace>
+where
+    F: FnMut(&SimTrace) -> Box<dyn HazardMonitor>,
+{
+    traces
+        .iter()
+        .map(|t| {
+            let mut monitor = factory(t);
+            replay_monitor(t, monitor.as_mut())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignSpec};
+    use crate::platform::Platform;
+    use aps_core::monitors::CawMonitor;
+    use aps_core::scs::Scs;
+
+    /// The gold test: replaying a monitor over a recorded trace must
+    /// produce the same alerts as running it live in the loop.
+    #[test]
+    fn replay_matches_live_alerts() {
+        let platform = Platform::GlucosymOref0;
+        let spec = CampaignSpec {
+            patient_indices: vec![0],
+            initial_bgs: vec![140.0],
+            ..CampaignSpec::quick(platform)
+        };
+        let scs = Scs::with_default_thresholds(platform.target());
+        let mk = |basal| Box::new(CawMonitor::new("cawot", scs.clone(), basal));
+
+        // Live: monitor inside the loop (no mitigation).
+        let scs_live = scs.clone();
+        let factory = move |ctx: &crate::campaign::ScenarioCtx| {
+            Box::new(CawMonitor::new("cawot", scs_live.clone(), ctx.basal))
+                as Box<dyn HazardMonitor>
+        };
+        let live = run_campaign(&spec, Some(&factory));
+
+        // Replay: same campaign recorded without a monitor.
+        let recorded = run_campaign(&spec, None);
+        let probe = platform.patients().remove(0);
+        let basal = platform.basal_for(probe.as_ref());
+        for (live_t, rec_t) in live.iter().zip(&recorded) {
+            let mut monitor = mk(basal);
+            let replayed = replay_monitor(rec_t, monitor.as_mut());
+            let live_alerts: Vec<_> = live_t.records.iter().map(|r| r.alert).collect();
+            let replay_alerts: Vec<_> =
+                replayed.records.iter().map(|r| r.alert).collect();
+            assert_eq!(
+                live_alerts, replay_alerts,
+                "divergence on {}",
+                rec_t.meta.fault_name
+            );
+        }
+    }
+
+    #[test]
+    fn replay_campaign_preserves_everything_but_alerts() {
+        let platform = Platform::GlucosymOref0;
+        let spec = CampaignSpec {
+            patient_indices: vec![1],
+            initial_bgs: vec![120.0],
+            ..CampaignSpec::quick(platform)
+        };
+        let recorded = run_campaign(&spec, None);
+        let scs = Scs::with_default_thresholds(platform.target());
+        let probe = platform.patients().remove(1);
+        let basal = platform.basal_for(probe.as_ref());
+        let replayed = replay_campaign(&recorded, |_t| {
+            Box::new(CawMonitor::new("cawot", scs.clone(), basal))
+        });
+        assert_eq!(replayed.len(), recorded.len());
+        for (a, b) in recorded.iter().zip(&replayed) {
+            assert_eq!(a.bg_true_series(), b.bg_true_series());
+            assert_eq!(a.meta, b.meta);
+        }
+    }
+}

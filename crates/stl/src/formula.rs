@@ -1,0 +1,357 @@
+//! STL formula AST.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operator of an atomic predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `signal < threshold`
+    Lt,
+    /// `signal <= threshold`
+    Le,
+    /// `signal > threshold`
+    Gt,
+    /// `signal >= threshold`
+    Ge,
+    /// `|signal - threshold| <= tol` — discrete equality; robustness is
+    /// `tol - |signal - threshold|`. The tolerance lives in
+    /// [`Predicate::tolerance`].
+    Eq,
+}
+
+impl CmpOp {
+    /// The operator's textual form (parser syntax).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+        }
+    }
+}
+
+/// An atomic predicate `signal op threshold`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Name of the signal the predicate reads.
+    pub signal: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Threshold constant (the learnable β of the paper's SCS rules).
+    pub threshold: f64,
+    /// Equality tolerance (used only by [`CmpOp::Eq`]); default 0.5 to
+    /// match discrete/enum signals encoded as integers.
+    pub tolerance: f64,
+}
+
+impl Predicate {
+    /// Builds a predicate with the default equality tolerance.
+    pub fn new(signal: &str, op: CmpOp, threshold: f64) -> Predicate {
+        Predicate { signal: signal.to_owned(), op, threshold, tolerance: 0.5 }
+    }
+
+    /// Quantitative robustness of the predicate for a signal value `v`:
+    /// positive iff satisfied, with magnitude = distance to the boundary.
+    #[inline]
+    pub fn robustness_of(&self, v: f64) -> f64 {
+        match self.op {
+            CmpOp::Lt | CmpOp::Le => self.threshold - v,
+            CmpOp::Gt | CmpOp::Ge => v - self.threshold,
+            CmpOp::Eq => self.tolerance - (v - self.threshold).abs(),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.signal, self.op.symbol(), self.threshold)
+    }
+}
+
+/// A discrete time interval `[lo, hi]` in samples (both inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Lower bound (samples).
+    pub lo: usize,
+    /// Upper bound (samples), `usize::MAX` = unbounded.
+    pub hi: usize,
+}
+
+impl Interval {
+    /// `[lo, hi]`, validating `lo <= hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: usize, hi: usize) -> Interval {
+        assert!(lo <= hi, "interval lower bound exceeds upper bound");
+        Interval { lo, hi }
+    }
+
+    /// The unbounded-future interval `[0, ∞)`.
+    pub fn unbounded() -> Interval {
+        Interval { lo: 0, hi: usize::MAX }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hi == usize::MAX {
+            write!(f, "[{},inf]", self.lo)
+        } else {
+            write!(f, "[{},{}]", self.lo, self.hi)
+        }
+    }
+}
+
+/// A bounded-time STL formula over named signals.
+///
+/// Future-time operators ([`Globally`], [`Eventually`], [`Until`]) are
+/// evaluated over a finite trace with the convention that windows
+/// truncated by the end of the trace quantify over the available
+/// samples only, and windows entirely beyond the trace are vacuous.
+/// [`Since`] is the past-time operator used by the paper's mitigation
+/// specification (Eq. 2).
+///
+/// [`Globally`]: Formula::Globally
+/// [`Eventually`]: Formula::Eventually
+/// [`Until`]: Formula::Until
+/// [`Since`]: Formula::Since
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Formula {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// Atomic predicate.
+    Pred(Predicate),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction.
+    And(Vec<Formula>),
+    /// N-ary disjunction.
+    Or(Vec<Formula>),
+    /// Implication `lhs ⇒ rhs`.
+    Implies(Box<Formula>, Box<Formula>),
+    /// `G[i] φ` — φ holds at every sample in the window.
+    Globally(Interval, Box<Formula>),
+    /// `F[i] φ` — φ holds at some sample in the window.
+    Eventually(Interval, Box<Formula>),
+    /// `φ U[i] ψ` — ψ occurs within the window and φ holds until then.
+    Until(Interval, Box<Formula>, Box<Formula>),
+    /// `φ S ψ` — ψ held at some past sample and φ has held since
+    /// (unbounded past-time since, inclusive of the present).
+    Since(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// Convenience: predicate formula.
+    pub fn pred(signal: &str, op: CmpOp, threshold: f64) -> Formula {
+        Formula::Pred(Predicate::new(signal, op, threshold))
+    }
+
+    /// Convenience: negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Convenience: `self ∧ rhs` (flattens nested conjunctions).
+    pub fn and(self, rhs: Formula) -> Formula {
+        match self {
+            Formula::And(mut v) => {
+                v.push(rhs);
+                Formula::And(v)
+            }
+            other => Formula::And(vec![other, rhs]),
+        }
+    }
+
+    /// Convenience: `self ∨ rhs` (flattens nested disjunctions).
+    pub fn or(self, rhs: Formula) -> Formula {
+        match self {
+            Formula::Or(mut v) => {
+                v.push(rhs);
+                Formula::Or(v)
+            }
+            other => Formula::Or(vec![other, rhs]),
+        }
+    }
+
+    /// Convenience: `self ⇒ rhs`.
+    pub fn implies(self, rhs: Formula) -> Formula {
+        Formula::Implies(Box::new(self), Box::new(rhs))
+    }
+
+    /// Convenience: `G[lo,hi] self`.
+    pub fn globally(self, lo: usize, hi: usize) -> Formula {
+        Formula::Globally(Interval::new(lo, hi), Box::new(self))
+    }
+
+    /// Convenience: `F[lo,hi] self`.
+    pub fn eventually(self, lo: usize, hi: usize) -> Formula {
+        Formula::Eventually(Interval::new(lo, hi), Box::new(self))
+    }
+
+    /// Names of all signals referenced by the formula, deduplicated.
+    pub fn signals(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_signals(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_signals(&self, out: &mut Vec<String>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Pred(p) => out.push(p.signal.clone()),
+            Formula::Not(f) => f.collect_signals(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_signals(out);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Since(a, b) => {
+                a.collect_signals(out);
+                b.collect_signals(out);
+            }
+            Formula::Globally(_, f) | Formula::Eventually(_, f) => f.collect_signals(out),
+            Formula::Until(_, a, b) => {
+                a.collect_signals(out);
+                b.collect_signals(out);
+            }
+        }
+    }
+
+    /// Returns mutable references to every predicate threshold, in
+    /// left-to-right AST order. Used by the threshold learner to write
+    /// optimized β values back into a formula template.
+    pub fn thresholds_mut(&mut self) -> Vec<&mut f64> {
+        let mut out = Vec::new();
+        self.collect_thresholds(&mut out);
+        out
+    }
+
+    fn collect_thresholds<'a>(&'a mut self, out: &mut Vec<&'a mut f64>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Pred(p) => out.push(&mut p.threshold),
+            Formula::Not(f) => f.collect_thresholds(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_thresholds(out);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Since(a, b) => {
+                a.collect_thresholds(out);
+                b.collect_thresholds(out);
+            }
+            Formula::Globally(_, f) | Formula::Eventually(_, f) => f.collect_thresholds(out),
+            Formula::Until(_, a, b) => {
+                a.collect_thresholds(out);
+                b.collect_thresholds(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => f.write_str("true"),
+            Formula::False => f.write_str("false"),
+            Formula::Pred(p) => write!(f, "({p})"),
+            Formula::Not(x) => write!(f, "not {x}"),
+            Formula::And(fs) => {
+                let parts: Vec<String> = fs.iter().map(|x| x.to_string()).collect();
+                write!(f, "({})", parts.join(" and "))
+            }
+            Formula::Or(fs) => {
+                let parts: Vec<String> = fs.iter().map(|x| x.to_string()).collect();
+                write!(f, "({})", parts.join(" or "))
+            }
+            Formula::Implies(a, b) => write!(f, "({a} implies {b})"),
+            Formula::Globally(i, x) => write!(f, "G{i} {x}"),
+            Formula::Eventually(i, x) => write!(f, "F{i} {x}"),
+            Formula::Until(i, a, b) => write!(f, "({a} U{i} {b})"),
+            Formula::Since(a, b) => write!(f, "({a} since {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_flatten() {
+        let f = Formula::pred("a", CmpOp::Gt, 1.0)
+            .and(Formula::pred("b", CmpOp::Lt, 2.0))
+            .and(Formula::pred("c", CmpOp::Ge, 3.0));
+        match &f {
+            Formula::And(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signals_deduplicated_sorted() {
+        let f = Formula::pred("iob", CmpOp::Gt, 1.0)
+            .and(Formula::pred("bg", CmpOp::Lt, 70.0))
+            .or(Formula::pred("bg", CmpOp::Gt, 180.0));
+        assert_eq!(f.signals(), vec!["bg".to_owned(), "iob".to_owned()]);
+    }
+
+    #[test]
+    fn thresholds_mut_visits_all_predicates() {
+        let mut f = Formula::pred("a", CmpOp::Gt, 1.0)
+            .and(Formula::pred("b", CmpOp::Lt, 2.0))
+            .implies(Formula::pred("c", CmpOp::Ge, 3.0).not());
+        {
+            let ts = f.thresholds_mut();
+            assert_eq!(ts.len(), 3);
+            for t in ts {
+                *t += 10.0;
+            }
+        }
+        let vals: Vec<f64> = {
+            let mut f2 = f.clone();
+            f2.thresholds_mut().iter().map(|t| **t).collect()
+        };
+        assert_eq!(vals, vec![11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn predicate_robustness_signs() {
+        let ge = Predicate::new("x", CmpOp::Ge, 5.0);
+        assert!(ge.robustness_of(6.0) > 0.0);
+        assert!(ge.robustness_of(4.0) < 0.0);
+        let lt = Predicate::new("x", CmpOp::Lt, 5.0);
+        assert!(lt.robustness_of(4.0) > 0.0);
+        assert!(lt.robustness_of(6.0) < 0.0);
+        let eq = Predicate { tolerance: 0.5, ..Predicate::new("x", CmpOp::Eq, 2.0) };
+        assert!(eq.robustness_of(2.2) > 0.0);
+        assert!(eq.robustness_of(3.0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn bad_interval_panics() {
+        let _ = Interval::new(3, 2);
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let f = Formula::pred("bg", CmpOp::Gt, 180.0)
+            .and(Formula::pred("iob", CmpOp::Lt, 2.0))
+            .implies(Formula::pred("u", CmpOp::Eq, 1.0).not())
+            .globally(0, 10);
+        let text = f.to_string();
+        let reparsed = crate::parser::parse(&text).expect("display should be parseable");
+        assert_eq!(f, reparsed);
+    }
+}

@@ -1,0 +1,47 @@
+//! Bounded-time Signal Temporal Logic (STL) for run-time safety
+//! monitoring.
+//!
+//! The paper formalizes its Safety Context Specifications (SCS) as
+//! bounded-time STL formulas of the shape
+//! `G[t0,te](φ1(µ1(x)) ∧ … ∧ φm(µm(x)) ⇒ ¬u)` (Eq. 1) and hazard
+//! mitigation specifications with past-time `Since` and bounded
+//! `Eventually` (Eq. 2). This crate provides:
+//!
+//! * a formula AST ([`Formula`], [`Predicate`], [`Interval`]);
+//! * discrete-time, multi-signal traces ([`Trace`]);
+//! * boolean satisfaction and quantitative *robustness* semantics
+//!   ([`Formula::sat`], [`Formula::robustness`]);
+//! * an incremental [`online::OnlineMonitor`] for the past-time fragment
+//!   used by run-time monitors;
+//! * a small recursive-descent [`parse`](parser::parse) for a textual
+//!   syntax used in tests, docs, and examples.
+//!
+//! # Example
+//!
+//! ```
+//! use aps_stl::{parser::parse, Trace};
+//!
+//! let phi = parse("G[0,3]((bg > 180.0) implies (iob >= 1.0))").unwrap();
+//! let mut trace = Trace::new(5.0);
+//! trace.push_signal("bg", vec![190.0, 200.0, 150.0, 120.0]);
+//! trace.push_signal("iob", vec![2.0, 1.5, 0.2, 0.1]);
+//! assert!(phi.sat(&trace, 0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod formula;
+pub mod online;
+pub mod parser;
+mod semantics;
+mod signal;
+
+pub use formula::{CmpOp, Formula, Interval, Predicate};
+pub use signal::Trace;
+
+/// Robustness value treated as "vacuously true" (window entirely beyond
+/// the end of a finite trace).
+pub const TOP: f64 = f64::INFINITY;
+/// Robustness value treated as "vacuously false".
+pub const BOTTOM: f64 = f64::NEG_INFINITY;

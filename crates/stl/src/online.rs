@@ -1,0 +1,252 @@
+//! Incremental (online) evaluation of past-time STL.
+//!
+//! A run-time safety monitor cannot look into the future: the paper's
+//! per-cycle checks use the *past-time* fragment — boolean combinations
+//! of predicates over the current sample plus `Since`. This module
+//! evaluates that fragment in O(|φ|) time and O(|φ|) memory per sample
+//! using the classic recursive update
+//! `⟦a S b⟧(t) = ⟦b⟧(t) ∨ (⟦a⟧(t) ∧ ⟦a S b⟧(t−1))`
+//! (and its min/max robustness analogue).
+
+use crate::{Formula, BOTTOM, TOP};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error returned when a formula contains future-time operators and can
+/// therefore not be monitored online.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotPastTimeError {
+    operator: &'static str,
+}
+
+impl fmt::Display for NotPastTimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "formula contains future-time operator `{}` and cannot be monitored online",
+            self.operator
+        )
+    }
+}
+
+impl std::error::Error for NotPastTimeError {}
+
+/// Incremental evaluator for past-time STL formulas.
+///
+/// Feed one sample per control cycle with [`step`](OnlineMonitor::step);
+/// it returns the robustness of the formula at that cycle. Positive
+/// robustness means satisfied.
+///
+/// ```
+/// use aps_stl::{online::OnlineMonitor, parser::parse};
+/// use std::collections::HashMap;
+///
+/// let phi = parse("(bg > 180.0) since (iob < 1.0)").unwrap();
+/// let mut mon = OnlineMonitor::new(phi).unwrap();
+/// let mut sample = HashMap::new();
+/// sample.insert("bg".to_owned(), 200.0);
+/// sample.insert("iob".to_owned(), 0.5);
+/// assert!(mon.step(&sample) > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineMonitor {
+    formula: Formula,
+    /// Robustness of each `Since` node at the previous sample, indexed
+    /// by the node's preorder position among `Since` nodes.
+    since_state: Vec<f64>,
+    samples_seen: usize,
+}
+
+impl OnlineMonitor {
+    /// Builds a monitor for `formula`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPastTimeError`] if the formula contains `G`, `F`, or
+    /// `U` (future-time operators).
+    pub fn new(formula: Formula) -> Result<OnlineMonitor, NotPastTimeError> {
+        let n = Self::validate(&formula)?;
+        Ok(OnlineMonitor { formula, since_state: vec![BOTTOM; n], samples_seen: 0 })
+    }
+
+    fn validate(f: &Formula) -> Result<usize, NotPastTimeError> {
+        match f {
+            Formula::True | Formula::False | Formula::Pred(_) => Ok(0),
+            Formula::Not(x) => Self::validate(x),
+            Formula::And(fs) | Formula::Or(fs) => {
+                let mut n = 0;
+                for x in fs {
+                    n += Self::validate(x)?;
+                }
+                Ok(n)
+            }
+            Formula::Implies(a, b) => Ok(Self::validate(a)? + Self::validate(b)?),
+            Formula::Since(a, b) => Ok(1 + Self::validate(a)? + Self::validate(b)?),
+            Formula::Globally(_, _) => Err(NotPastTimeError { operator: "G" }),
+            Formula::Eventually(_, _) => Err(NotPastTimeError { operator: "F" }),
+            Formula::Until(_, _, _) => Err(NotPastTimeError { operator: "U" }),
+        }
+    }
+
+    /// The formula being monitored.
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+
+    /// Number of samples consumed so far.
+    pub fn samples_seen(&self) -> usize {
+        self.samples_seen
+    }
+
+    /// Resets the monitor to its initial state.
+    pub fn reset(&mut self) {
+        for s in &mut self.since_state {
+            *s = BOTTOM;
+        }
+        self.samples_seen = 0;
+    }
+
+    /// Consumes one sample (signal name → value) and returns the
+    /// robustness of the formula at this cycle. Missing signals make
+    /// their predicates evaluate to `-∞` (violated).
+    pub fn step(&mut self, sample: &HashMap<String, f64>) -> f64 {
+        let mut idx = 0;
+        // Work on a copy of the previous state so that sibling `Since`
+        // nodes all read the t-1 values.
+        let prev = self.since_state.clone();
+        let rob = eval(&self.formula, sample, &prev, &mut self.since_state, &mut idx);
+        self.samples_seen += 1;
+        rob
+    }
+
+    /// Like [`step`](Self::step) but returns the boolean verdict.
+    pub fn step_bool(&mut self, sample: &HashMap<String, f64>) -> bool {
+        self.step(sample) > 0.0
+    }
+}
+
+fn eval(
+    f: &Formula,
+    sample: &HashMap<String, f64>,
+    prev: &[f64],
+    next: &mut [f64],
+    idx: &mut usize,
+) -> f64 {
+    match f {
+        Formula::True => TOP,
+        Formula::False => BOTTOM,
+        Formula::Pred(p) => match sample.get(&p.signal) {
+            Some(v) => p.robustness_of(*v),
+            None => BOTTOM,
+        },
+        Formula::Not(x) => -eval(x, sample, prev, next, idx),
+        Formula::And(fs) => fs
+            .iter()
+            .map(|x| eval(x, sample, prev, next, idx))
+            .fold(TOP, f64::min),
+        Formula::Or(fs) => fs
+            .iter()
+            .map(|x| eval(x, sample, prev, next, idx))
+            .fold(BOTTOM, f64::max),
+        Formula::Implies(a, b) => {
+            let ra = eval(a, sample, prev, next, idx);
+            let rb = eval(b, sample, prev, next, idx);
+            (-ra).max(rb)
+        }
+        Formula::Since(a, b) => {
+            let my = *idx;
+            *idx += 1;
+            let ra = eval(a, sample, prev, next, idx);
+            let rb = eval(b, sample, prev, next, idx);
+            let rob = rb.max(ra.min(prev[my]));
+            next[my] = rob;
+            rob
+        }
+        // Unreachable: rejected at construction.
+        Formula::Globally(_, _) | Formula::Eventually(_, _) | Formula::Until(_, _, _) => {
+            unreachable!("future operators rejected by OnlineMonitor::new")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parser::parse, Trace};
+
+    fn sample(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+        pairs.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect()
+    }
+
+    #[test]
+    fn rejects_future_operators() {
+        for text in ["G[0,3] x > 0", "F[0,3] x > 0"] {
+            let f = parse(text).unwrap();
+            assert!(OnlineMonitor::new(f).is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn instantaneous_formula_tracks_sample() {
+        let f = parse("bg > 180.0 and iob < 2.0").unwrap();
+        let mut mon = OnlineMonitor::new(f).unwrap();
+        assert!(mon.step_bool(&sample(&[("bg", 200.0), ("iob", 1.0)])));
+        assert!(!mon.step_bool(&sample(&[("bg", 150.0), ("iob", 1.0)])));
+        assert_eq!(mon.samples_seen(), 2);
+    }
+
+    #[test]
+    fn since_latches_until_lhs_breaks() {
+        let f = parse("(a > 0.5) since (b > 0.5)").unwrap();
+        let mut mon = OnlineMonitor::new(f).unwrap();
+        // b never true yet.
+        assert!(!mon.step_bool(&sample(&[("a", 1.0), ("b", 0.0)])));
+        // b fires.
+        assert!(mon.step_bool(&sample(&[("a", 0.0), ("b", 1.0)])));
+        // a holds since -> still true.
+        assert!(mon.step_bool(&sample(&[("a", 1.0), ("b", 0.0)])));
+        assert!(mon.step_bool(&sample(&[("a", 1.0), ("b", 0.0)])));
+        // a breaks -> false.
+        assert!(!mon.step_bool(&sample(&[("a", 0.0), ("b", 0.0)])));
+        // and stays false until b fires again.
+        assert!(!mon.step_bool(&sample(&[("a", 1.0), ("b", 0.0)])));
+    }
+
+    #[test]
+    fn online_matches_offline_semantics() {
+        let f = parse("((x > 0.5) since (y > 0.5)) or (z > 2.0)").unwrap();
+        let xs = [0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 0.0];
+        let ys = [0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0];
+        let zs = [3.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+
+        let mut trace = Trace::new(5.0);
+        trace.push_signal("x", xs.to_vec());
+        trace.push_signal("y", ys.to_vec());
+        trace.push_signal("z", zs.to_vec());
+
+        let mut mon = OnlineMonitor::new(f.clone()).unwrap();
+        for t in 0..xs.len() {
+            let s = sample(&[("x", xs[t]), ("y", ys[t]), ("z", zs[t])]);
+            let online = mon.step_bool(&s);
+            let offline = f.sat(&trace, t);
+            assert_eq!(online, offline, "divergence at t={t}");
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let f = parse("(a > 0.5) since (b > 0.5)").unwrap();
+        let mut mon = OnlineMonitor::new(f).unwrap();
+        assert!(mon.step_bool(&sample(&[("a", 0.0), ("b", 1.0)])));
+        mon.reset();
+        assert_eq!(mon.samples_seen(), 0);
+        assert!(!mon.step_bool(&sample(&[("a", 1.0), ("b", 0.0)])));
+    }
+
+    #[test]
+    fn missing_signal_violates_predicate() {
+        let f = parse("bg > 0.0").unwrap();
+        let mut mon = OnlineMonitor::new(f).unwrap();
+        assert!(!mon.step_bool(&sample(&[("iob", 1.0)])));
+    }
+}

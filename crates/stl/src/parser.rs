@@ -1,0 +1,535 @@
+//! A small textual syntax for STL formulas.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! formula  := implies
+//! implies  := or ("implies" or)*                (right-associative)
+//! or       := and ("or" and)*
+//! and      := since ("and" since)*
+//! since    := unary (("since" unary) | ("U" "[" n "," n "]" unary))*
+//!                                               (left-associative)
+//! unary    := "not" unary
+//!           | "G" "[" n "," n "]" unary
+//!           | "F" "[" n "," n "]" unary
+//!           | "(" formula ")"
+//!           | "true" | "false"
+//!           | pred
+//! pred     := ident ("<" | "<=" | ">" | ">=" | "==") number
+//! ```
+//!
+//! Interval bounds are sample counts; `inf` is accepted as the upper
+//! bound of an unbounded interval.
+
+use crate::{CmpOp, Formula, Interval, Predicate};
+use std::fmt;
+
+/// Error produced when parsing fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStlError {
+    message: String,
+    position: usize,
+}
+
+impl ParseStlError {
+    fn new(message: impl Into<String>, position: usize) -> ParseStlError {
+        ParseStlError { message: message.into(), position }
+    }
+
+    /// Byte offset in the input at which the error was detected.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for ParseStlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseStlError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Op(CmpOp),
+    G,
+    F,
+    Not,
+    And,
+    Or,
+    Implies,
+    Since,
+    U,
+    True,
+    False,
+    Inf,
+}
+
+fn tokenize(input: &str) -> Result<Vec<(Tok, usize)>, ParseStlError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, i));
+                i += 1;
+            }
+            '[' => {
+                out.push((Tok::LBracket, i));
+                i += 1;
+            }
+            ']' => {
+                out.push((Tok::RBracket, i));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, i));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Op(CmpOp::Le), i));
+                    i += 2;
+                } else {
+                    out.push((Tok::Op(CmpOp::Lt), i));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Op(CmpOp::Ge), i));
+                    i += 2;
+                } else {
+                    out.push((Tok::Op(CmpOp::Gt), i));
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Op(CmpOp::Eq), i));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push((Tok::Implies, i));
+                    i += 2;
+                } else {
+                    return Err(ParseStlError::new("expected `==` or `=>`", i));
+                }
+            }
+            '-' | '0'..='9' | '.' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, '0'..='9' | '.' | 'e' | 'E' | '-' | '+')
+                {
+                    // Only allow '-'/'+' right after an exponent marker.
+                    let ch = bytes[i] as char;
+                    if (ch == '-' || ch == '+')
+                        && !matches!(bytes[i - 1] as char, 'e' | 'E')
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| ParseStlError::new(format!("bad number `{text}`"), start))?;
+                out.push((Tok::Number(v), start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'\'')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let tok = match word {
+                    "G" => Tok::G,
+                    "F" => Tok::F,
+                    "U" => Tok::U,
+                    "not" => Tok::Not,
+                    "and" => Tok::And,
+                    "or" => Tok::Or,
+                    "implies" => Tok::Implies,
+                    "since" => Tok::Since,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "inf" => Tok::Inf,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                out.push((tok, start));
+            }
+            other => {
+                return Err(ParseStlError::new(format!("unexpected character `{other}`"), i))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map(|(_, p)| *p).unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseStlError> {
+        let pos = self.here();
+        match self.bump() {
+            Some(t) if t == tok => Ok(()),
+            _ => Err(ParseStlError::new(format!("expected {what}"), pos)),
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseStlError> {
+        self.implies()
+    }
+
+    fn implies(&mut self) -> Result<Formula, ParseStlError> {
+        let lhs = self.or()?;
+        if matches!(self.peek(), Some(Tok::Implies)) {
+            self.bump();
+            let rhs = self.implies()?; // right-associative
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseStlError> {
+        let mut lhs = self.and()?;
+        while matches!(self.peek(), Some(Tok::Or)) {
+            self.bump();
+            let rhs = self.and()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseStlError> {
+        let mut lhs = self.since()?;
+        while matches!(self.peek(), Some(Tok::And)) {
+            self.bump();
+            let rhs = self.since()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn since(&mut self) -> Result<Formula, ParseStlError> {
+        let mut lhs = self.unary()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Since) => {
+                    self.bump();
+                    let rhs = self.unary()?;
+                    lhs = Formula::Since(Box::new(lhs), Box::new(rhs));
+                }
+                Some(Tok::U) => {
+                    self.bump();
+                    let interval = self.interval()?;
+                    let rhs = self.unary()?;
+                    lhs = Formula::Until(interval, Box::new(lhs), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn interval(&mut self) -> Result<Interval, ParseStlError> {
+        self.expect(Tok::LBracket, "`[`")?;
+        let pos = self.here();
+        let lo = match self.bump() {
+            Some(Tok::Number(n)) if n >= 0.0 && n.fract() == 0.0 => n as usize,
+            _ => return Err(ParseStlError::new("expected non-negative integer", pos)),
+        };
+        self.expect(Tok::Comma, "`,`")?;
+        let pos = self.here();
+        let hi = match self.bump() {
+            Some(Tok::Number(n)) if n >= 0.0 && n.fract() == 0.0 => n as usize,
+            Some(Tok::Inf) => usize::MAX,
+            _ => return Err(ParseStlError::new("expected integer or `inf`", pos)),
+        };
+        self.expect(Tok::RBracket, "`]`")?;
+        if lo > hi {
+            return Err(ParseStlError::new("interval lower bound exceeds upper", pos));
+        }
+        Ok(Interval { lo, hi })
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseStlError> {
+        let pos = self.here();
+        match self.peek().cloned() {
+            Some(Tok::Not) => {
+                self.bump();
+                Ok(self.unary()?.not())
+            }
+            Some(Tok::G) => {
+                self.bump();
+                let i = self.interval()?;
+                let inner = self.unary()?;
+                Ok(Formula::Globally(i, Box::new(inner)))
+            }
+            Some(Tok::F) => {
+                self.bump();
+                let i = self.interval()?;
+                let inner = self.unary()?;
+                Ok(Formula::Eventually(i, Box::new(inner)))
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let inner = self.formula()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Some(Tok::True) => {
+                self.bump();
+                Ok(Formula::True)
+            }
+            Some(Tok::False) => {
+                self.bump();
+                Ok(Formula::False)
+            }
+            Some(Tok::Ident(name)) => {
+                self.bump();
+                let pos_op = self.here();
+                let op = match self.bump() {
+                    Some(Tok::Op(op)) => op,
+                    _ => {
+                        return Err(ParseStlError::new(
+                            "expected comparison operator after signal name",
+                            pos_op,
+                        ))
+                    }
+                };
+                let pos_num = self.here();
+                let threshold = match self.bump() {
+                    Some(Tok::Number(n)) => n,
+                    _ => return Err(ParseStlError::new("expected number", pos_num)),
+                };
+                Ok(Formula::Pred(Predicate::new(&name, op, threshold)))
+            }
+            _ => Err(ParseStlError::new("expected formula", pos)),
+        }
+    }
+}
+
+/// Parses a formula from its textual syntax.
+///
+/// # Errors
+///
+/// Returns [`ParseStlError`] with a byte position when the input is not
+/// a well-formed formula.
+///
+/// ```
+/// use aps_stl::parser::parse;
+/// let f = parse("G[0,150]((bg > 180.0 and iob < 2.5) implies not u == 1)").unwrap();
+/// assert_eq!(f.signals(), vec!["bg".to_owned(), "iob".to_owned(), "u".to_owned()]);
+/// ```
+pub fn parse(input: &str) -> Result<Formula, ParseStlError> {
+    let toks = tokenize(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let f = p.formula()?;
+    if p.pos != p.toks.len() {
+        return Err(ParseStlError::new("trailing input", p.here()));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+
+    #[test]
+    fn parses_predicates_and_ops() {
+        for (text, op) in [
+            ("x < 1", CmpOp::Lt),
+            ("x <= 1", CmpOp::Le),
+            ("x > 1", CmpOp::Gt),
+            ("x >= 1", CmpOp::Ge),
+            ("x == 1", CmpOp::Eq),
+        ] {
+            match parse(text).unwrap() {
+                Formula::Pred(p) => {
+                    assert_eq!(p.op, op);
+                    assert_eq!(p.threshold, 1.0);
+                }
+                other => panic!("expected predicate, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let f = parse("a > 0 or b > 0 and c > 0").unwrap();
+        match f {
+            Formula::Or(v) => {
+                assert_eq!(v.len(), 2);
+                assert!(matches!(v[1], Formula::And(_)));
+            }
+            other => panic!("expected Or at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implies_is_right_associative_and_loosest() {
+        let f = parse("a > 0 implies b > 0 implies c > 0").unwrap();
+        match f {
+            Formula::Implies(_, rhs) => assert!(matches!(*rhs, Formula::Implies(_, _))),
+            other => panic!("expected Implies, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn temporal_with_inf_bound() {
+        let f = parse("F[0,inf] x > 3").unwrap();
+        match f {
+            Formula::Eventually(i, _) => assert_eq!(i.hi, usize::MAX),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arrow_alias_for_implies() {
+        let a = parse("a > 0 => b > 0").unwrap();
+        let b = parse("a > 0 implies b > 0").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn since_parses_and_evaluates() {
+        let f = parse("(a > 0.5) since (b > 0.5)").unwrap();
+        let mut tr = Trace::new(5.0);
+        tr.push_signal("a", vec![0.0, 1.0, 1.0]);
+        tr.push_signal("b", vec![1.0, 0.0, 0.0]);
+        assert!(f.sat(&tr, 2));
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        match parse("x > -2.5e-1").unwrap() {
+            Formula::Pred(p) => assert!((p.threshold + 0.25).abs() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("x >").unwrap_err();
+        assert!(err.to_string().contains("expected number"), "{err}");
+        let err = parse("x ? 3").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"), "{err}");
+        let err = parse("(x > 1").unwrap_err();
+        assert!(err.to_string().contains("expected `)`"), "{err}");
+        let err = parse("x > 1 )").unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn bad_interval_rejected() {
+        assert!(parse("G[3,1] x > 0").is_err());
+        assert!(parse("G[0.5,1] x > 0").is_err());
+    }
+
+    #[test]
+    fn until_parses_and_roundtrips() {
+        let f = parse("x > 1 U[0,5] y < 2").unwrap();
+        match &f {
+            Formula::Until(i, a, b) => {
+                assert_eq!((i.lo, i.hi), (0, 5));
+                assert!(matches!(**a, Formula::Pred(_)));
+                assert!(matches!(**b, Formula::Pred(_)));
+            }
+            other => panic!("expected Until, got {other:?}"),
+        }
+        let reparsed = parse(&f.to_string()).unwrap();
+        assert_eq!(f, reparsed);
+    }
+
+    #[test]
+    fn until_is_left_associative_and_chains() {
+        let f = parse("a > 0 U[0,2] b > 0 U[1,3] c > 0").unwrap();
+        match f {
+            Formula::Until(outer, inner, _) => {
+                assert_eq!((outer.lo, outer.hi), (1, 3));
+                assert!(matches!(*inner, Formula::Until(_, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn until_accepts_unbounded_interval() {
+        let f = parse("x > 0 U[2,inf] y > 0").unwrap();
+        match f {
+            Formula::Until(i, _, _) => assert_eq!((i.lo, i.hi), (2, usize::MAX)),
+            other => panic!("{other:?}"),
+        }
+        // Display of an unbounded interval re-parses.
+        let f2 = parse(&parse("x > 0 U[2,inf] y > 0").unwrap().to_string()).unwrap();
+        assert!(matches!(f2, Formula::Until(_, _, _)));
+    }
+
+    #[test]
+    fn until_requires_an_interval() {
+        assert!(parse("x > 0 U y > 0").is_err());
+    }
+
+    #[test]
+    fn eq2_shape_parses() {
+        // The HMS Eq. 2 shape: (F[0,ts] u == 2) since (context).
+        let f = parse("G[0,150]((F[0,6] u == 2) since (bg > 120 and iob < 0.5))").unwrap();
+        match f {
+            Formula::Globally(_, inner) => {
+                assert!(matches!(*inner, Formula::Since(_, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_rule_shape_parses() {
+        // Rule 1 of Table I with BGT=120 and a placeholder beta.
+        let f = parse(
+            "G[0,150]((bg > 120.0 and bg' > 0.0) and (iob' < 0.0 and iob < 2.2) \
+             implies not u == 1)",
+        )
+        .unwrap();
+        assert!(f.signals().contains(&"bg'".to_owned()));
+        assert!(f.signals().contains(&"iob'".to_owned()));
+    }
+}

@@ -1,0 +1,249 @@
+//! Boolean and quantitative (robustness) semantics over finite traces.
+//!
+//! Conventions for finite traces:
+//!
+//! * A future window `[t+lo, t+hi]` is truncated at the last sample.
+//! * If the truncated window is empty, `G` is vacuously true and `F`
+//!   vacuously false (standard finite-trace STL convention).
+//! * `Since` is unbounded past-time and inclusive of the present.
+
+use crate::{Formula, Trace, BOTTOM, TOP};
+
+impl Formula {
+    /// Boolean satisfaction of the formula at sample `t`.
+    ///
+    /// Missing signals evaluate the predicate to *false* (robustness
+    /// `-∞`); this surfaces wiring bugs in tests without panicking in
+    /// release monitors.
+    pub fn sat(&self, trace: &Trace, t: usize) -> bool {
+        self.robustness(trace, t) > 0.0
+    }
+
+    /// Quantitative robustness of the formula at sample `t`.
+    ///
+    /// Positive iff the formula is satisfied; the magnitude measures the
+    /// distance to violation, which is what the paper's threshold
+    /// learner minimizes (`r = µi(d(t)) − βi`).
+    pub fn robustness(&self, trace: &Trace, t: usize) -> f64 {
+        match self {
+            Formula::True => TOP,
+            Formula::False => BOTTOM,
+            Formula::Pred(p) => match trace.value(&p.signal, t) {
+                Some(v) => p.robustness_of(v),
+                None => BOTTOM,
+            },
+            Formula::Not(f) => -f.robustness(trace, t),
+            Formula::And(fs) => fs
+                .iter()
+                .map(|f| f.robustness(trace, t))
+                .fold(TOP, f64::min),
+            Formula::Or(fs) => fs
+                .iter()
+                .map(|f| f.robustness(trace, t))
+                .fold(BOTTOM, f64::max),
+            Formula::Implies(a, b) => {
+                (-a.robustness(trace, t)).max(b.robustness(trace, t))
+            }
+            Formula::Globally(i, f) => {
+                let (lo, hi) = clamp_window(t, i.lo, i.hi, trace.len());
+                let mut rob = TOP;
+                for u in lo..=hi {
+                    rob = rob.min(f.robustness(trace, u));
+                }
+                rob
+            }
+            Formula::Eventually(i, f) => {
+                let (lo, hi) = clamp_window(t, i.lo, i.hi, trace.len());
+                let mut rob = BOTTOM;
+                for u in lo..=hi {
+                    rob = rob.max(f.robustness(trace, u));
+                }
+                rob
+            }
+            Formula::Until(i, a, b) => {
+                let (lo, hi) = clamp_window(t, i.lo, i.hi, trace.len());
+                let mut best = BOTTOM;
+                for u in lo..=hi {
+                    let mut v = b.robustness(trace, u);
+                    for w in t..u {
+                        v = v.min(a.robustness(trace, w));
+                    }
+                    best = best.max(v);
+                }
+                best
+            }
+            Formula::Since(a, b) => {
+                let mut best = BOTTOM;
+                for u in (0..=t.min(trace.len().saturating_sub(1))).rev() {
+                    let mut v = b.robustness(trace, u);
+                    for w in (u + 1)..=t {
+                        v = v.min(a.robustness(trace, w));
+                    }
+                    best = best.max(v);
+                }
+                best
+            }
+        }
+    }
+}
+
+/// Clamps the window `[t+lo, t+hi]` to `[0, len-1]`.
+///
+/// Returns `(1, 0)` (an empty `lo..=hi` is impossible with usize ranges,
+/// so we signal emptiness by `lo > hi`) when the window lies entirely
+/// beyond the trace; callers rely on `lo..=hi` iterating zero times.
+fn clamp_window(t: usize, lo: usize, hi: usize, len: usize) -> (usize, usize) {
+    if len == 0 {
+        return (1, 0);
+    }
+    let start = t.saturating_add(lo);
+    let end = if hi == usize::MAX { len - 1 } else { t.saturating_add(hi).min(len - 1) };
+    if start > end {
+        (1, 0)
+    } else {
+        (start, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, Interval};
+
+    fn bg_trace(values: &[f64]) -> Trace {
+        let mut t = Trace::new(5.0);
+        t.push_signal("bg", values.to_vec());
+        t
+    }
+
+    #[test]
+    fn predicate_sat_and_robustness() {
+        let tr = bg_trace(&[100.0, 200.0]);
+        let p = Formula::pred("bg", CmpOp::Gt, 180.0);
+        assert!(!p.sat(&tr, 0));
+        assert!(p.sat(&tr, 1));
+        assert!((p.robustness(&tr, 1) - 20.0).abs() < 1e-12);
+        assert!((p.robustness(&tr, 0) + 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_signal_is_false() {
+        let tr = bg_trace(&[100.0]);
+        let p = Formula::pred("iob", CmpOp::Gt, 0.0);
+        assert!(!p.sat(&tr, 0));
+    }
+
+    #[test]
+    fn globally_holds_over_window() {
+        let tr = bg_trace(&[100.0, 110.0, 120.0, 300.0]);
+        let g = Formula::pred("bg", CmpOp::Lt, 200.0).globally(0, 2);
+        assert!(g.sat(&tr, 0));
+        assert!(!g.sat(&tr, 1)); // window reaches index 3 (300)
+    }
+
+    #[test]
+    fn eventually_finds_witness() {
+        let tr = bg_trace(&[100.0, 110.0, 250.0]);
+        let f = Formula::pred("bg", CmpOp::Gt, 200.0).eventually(0, 2);
+        assert!(f.sat(&tr, 0));
+        let f_short = Formula::pred("bg", CmpOp::Gt, 200.0).eventually(0, 1);
+        assert!(!f_short.sat(&tr, 0));
+    }
+
+    #[test]
+    fn window_beyond_trace_is_vacuous() {
+        let tr = bg_trace(&[100.0]);
+        let g = Formula::pred("bg", CmpOp::Gt, 1e9).globally(5, 10);
+        assert!(g.sat(&tr, 0), "G over empty window is vacuously true");
+        let f = Formula::pred("bg", CmpOp::Lt, 1e9).eventually(5, 10);
+        assert!(!f.sat(&tr, 0), "F over empty window is vacuously false");
+    }
+
+    #[test]
+    fn globally_truncates_at_trace_end() {
+        let tr = bg_trace(&[100.0, 100.0]);
+        let g = Formula::pred("bg", CmpOp::Lt, 200.0).globally(0, 100);
+        assert!(g.sat(&tr, 0));
+    }
+
+    #[test]
+    fn not_and_or_implies() {
+        let tr = bg_trace(&[100.0]);
+        let low = Formula::pred("bg", CmpOp::Lt, 150.0);
+        let high = Formula::pred("bg", CmpOp::Gt, 150.0);
+        assert!(low.clone().sat(&tr, 0));
+        assert!(!low.clone().not().sat(&tr, 0));
+        assert!(low.clone().or(high.clone()).sat(&tr, 0));
+        assert!(!low.clone().and(high.clone()).sat(&tr, 0));
+        assert!(high.clone().implies(Formula::False).sat(&tr, 0));
+        assert!(!low.implies(Formula::False).sat(&tr, 0));
+    }
+
+    #[test]
+    fn until_semantics() {
+        // a holds until b at index 2.
+        let mut tr = Trace::new(5.0);
+        tr.push_signal("a", vec![1.0, 1.0, 0.0, 0.0]);
+        tr.push_signal("b", vec![0.0, 0.0, 1.0, 0.0]);
+        let a = Formula::pred("a", CmpOp::Gt, 0.5);
+        let b = Formula::pred("b", CmpOp::Gt, 0.5);
+        let until = Formula::Until(
+            Interval::new(0, 3),
+            Box::new(a.clone()),
+            Box::new(b.clone()),
+        );
+        assert!(until.sat(&tr, 0));
+        // Tight window that excludes the witness.
+        let until_short =
+            Formula::Until(Interval::new(0, 1), Box::new(a), Box::new(b));
+        assert!(!until_short.sat(&tr, 0));
+    }
+
+    #[test]
+    fn since_semantics() {
+        // b fired at index 1, a has held from 2..=3 → a S b true at 3.
+        let mut tr = Trace::new(5.0);
+        tr.push_signal("a", vec![0.0, 0.0, 1.0, 1.0]);
+        tr.push_signal("b", vec![0.0, 1.0, 0.0, 0.0]);
+        let a = Formula::pred("a", CmpOp::Gt, 0.5);
+        let b = Formula::pred("b", CmpOp::Gt, 0.5);
+        let since = Formula::Since(Box::new(a.clone()), Box::new(b.clone()));
+        assert!(since.sat(&tr, 3));
+        assert!(since.sat(&tr, 1), "since holds at the instant b holds");
+        assert!(!since.sat(&tr, 0));
+        // Break the 'a holds since' chain.
+        let mut tr2 = Trace::new(5.0);
+        tr2.push_signal("a", vec![0.0, 0.0, 0.0, 1.0]);
+        tr2.push_signal("b", vec![0.0, 1.0, 0.0, 0.0]);
+        let since2 = Formula::Since(Box::new(a), Box::new(b));
+        assert!(!since2.sat(&tr2, 3));
+    }
+
+    #[test]
+    fn robustness_agrees_with_sat_sign() {
+        let tr = bg_trace(&[60.0, 70.0, 90.0, 200.0, 400.0]);
+        let formulas = vec![
+            Formula::pred("bg", CmpOp::Gt, 180.0),
+            Formula::pred("bg", CmpOp::Lt, 70.0),
+            Formula::pred("bg", CmpOp::Ge, 70.0)
+                .and(Formula::pred("bg", CmpOp::Le, 180.0)),
+            Formula::pred("bg", CmpOp::Gt, 100.0).eventually(0, 2),
+            Formula::pred("bg", CmpOp::Lt, 500.0).globally(0, 4),
+        ];
+        for f in formulas {
+            for t in 0..5 {
+                let rob = f.robustness(&tr, t);
+                if rob != 0.0 {
+                    assert_eq!(f.sat(&tr, t), rob > 0.0, "formula {f} at t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_vacuous() {
+        let tr = Trace::new(5.0);
+        let g = Formula::pred("bg", CmpOp::Gt, 0.0).globally(0, 10);
+        assert!(g.sat(&tr, 0));
+    }
+}

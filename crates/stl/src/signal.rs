@@ -1,0 +1,146 @@
+//! Discrete-time multi-signal traces.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A finite, uniformly-sampled, multi-signal trace.
+///
+/// Signals are named `f64` series sharing a common sampling period.
+/// STL interval bounds are interpreted in *samples* by the semantics in
+/// this crate; [`Trace::steps_for_minutes`] converts wall-clock bounds.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    dt_minutes: f64,
+    signals: BTreeMap<String, Vec<f64>>,
+    len: usize,
+}
+
+impl Trace {
+    /// Creates an empty trace with sampling period `dt_minutes`.
+    pub fn new(dt_minutes: f64) -> Trace {
+        assert!(dt_minutes > 0.0, "sampling period must be positive");
+        Trace { dt_minutes, signals: BTreeMap::new(), len: 0 }
+    }
+
+    /// Sampling period in minutes.
+    pub fn dt_minutes(&self) -> f64 {
+        self.dt_minutes
+    }
+
+    /// Number of samples (all signals share it).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no samples are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds (or replaces) a named signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previously added signal has a different length.
+    pub fn push_signal(&mut self, name: &str, values: Vec<f64>) {
+        if !self.signals.is_empty() {
+            assert_eq!(values.len(), self.len, "signal `{name}` length mismatch");
+        } else {
+            self.len = values.len();
+        }
+        self.signals.insert(name.to_owned(), values);
+    }
+
+    /// Appends one sample to every signal; `sample` must name every
+    /// existing signal exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` does not cover the existing signal set.
+    pub fn append_sample(&mut self, sample: &[(&str, f64)]) {
+        if self.signals.is_empty() {
+            for (name, v) in sample {
+                self.signals.insert((*name).to_owned(), vec![*v]);
+            }
+            self.len = 1;
+            return;
+        }
+        assert_eq!(sample.len(), self.signals.len(), "sample arity mismatch");
+        for (name, v) in sample {
+            let series = self
+                .signals
+                .get_mut(*name)
+                .unwrap_or_else(|| panic!("unknown signal `{name}`"));
+            series.push(*v);
+        }
+        self.len += 1;
+    }
+
+    /// The series for `name`, if present.
+    pub fn signal(&self, name: &str) -> Option<&[f64]> {
+        self.signals.get(name).map(|v| v.as_slice())
+    }
+
+    /// Value of `name` at sample `t`.
+    pub fn value(&self, name: &str, t: usize) -> Option<f64> {
+        self.signals.get(name).and_then(|v| v.get(t)).copied()
+    }
+
+    /// Names of all signals (sorted).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.signals.keys().map(|s| s.as_str())
+    }
+
+    /// Converts a wall-clock duration to a (floored) number of samples.
+    pub fn steps_for_minutes(&self, minutes: f64) -> usize {
+        (minutes / self.dt_minutes).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read() {
+        let mut t = Trace::new(5.0);
+        t.push_signal("bg", vec![100.0, 110.0]);
+        t.push_signal("iob", vec![1.0, 2.0]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value("bg", 1), Some(110.0));
+        assert_eq!(t.value("iob", 0), Some(1.0));
+        assert_eq!(t.value("nope", 0), None);
+        assert_eq!(t.value("bg", 2), None);
+        assert_eq!(t.names().collect::<Vec<_>>(), vec!["bg", "iob"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_length_panics() {
+        let mut t = Trace::new(5.0);
+        t.push_signal("a", vec![1.0]);
+        t.push_signal("b", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn append_sample_grows_all() {
+        let mut t = Trace::new(5.0);
+        t.append_sample(&[("bg", 100.0), ("iob", 0.5)]);
+        t.append_sample(&[("bg", 105.0), ("iob", 0.6)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.signal("bg"), Some(&[100.0, 105.0][..]));
+    }
+
+    #[test]
+    fn minutes_to_steps() {
+        let t = Trace::new(5.0);
+        assert_eq!(t.steps_for_minutes(30.0), 6);
+        assert_eq!(t.steps_for_minutes(4.9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling period")]
+    fn zero_dt_rejected() {
+        let _ = Trace::new(0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The controller's abstract action alphabet.
+//!
+//! The paper abstracts concrete insulin commands into four actions
+//! `u1..u4` (`decrease_insulin`, `increase_insulin`, `stop_insulin`,
+//! `keep_insulin`) by comparing the commanded rate with the previously
+//! commanded rate. The safety-context rules of Table I are phrased over
+//! this alphabet.
+
+use crate::UnitsPerHour;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Tolerance (U/h) below which two rates are considered equal when
+/// classifying an action. CGM-driven controllers jitter by tiny amounts
+/// every cycle; treating those as "keep" matches the paper's intent.
+pub const RATE_EPSILON: f64 = 1e-3;
+
+/// Abstract control action, the paper's `u1..u4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControlAction {
+    /// `u1`: commanded insulin rate is lower than the previous one.
+    DecreaseInsulin,
+    /// `u2`: commanded insulin rate is higher than the previous one.
+    IncreaseInsulin,
+    /// `u3`: insulin delivery is stopped (rate commanded to zero).
+    StopInsulin,
+    /// `u4`: commanded rate equals the previous one.
+    KeepInsulin,
+}
+
+impl ControlAction {
+    /// Classifies a concrete rate command into the abstract alphabet by
+    /// comparing with the previously commanded rate.
+    ///
+    /// A command of (approximately) zero is [`StopInsulin`] regardless
+    /// of the previous rate, mirroring the paper's `u3`; otherwise the
+    /// sign of the change decides between decrease / increase / keep.
+    ///
+    /// ```
+    /// use aps_types::{ControlAction, UnitsPerHour};
+    /// let prev = UnitsPerHour(1.0);
+    /// assert_eq!(ControlAction::classify(UnitsPerHour(0.0), prev), ControlAction::StopInsulin);
+    /// assert_eq!(ControlAction::classify(UnitsPerHour(0.5), prev), ControlAction::DecreaseInsulin);
+    /// assert_eq!(ControlAction::classify(UnitsPerHour(1.5), prev), ControlAction::IncreaseInsulin);
+    /// assert_eq!(ControlAction::classify(UnitsPerHour(1.0), prev), ControlAction::KeepInsulin);
+    /// ```
+    ///
+    /// [`StopInsulin`]: ControlAction::StopInsulin
+    pub fn classify(commanded: UnitsPerHour, previous: UnitsPerHour) -> ControlAction {
+        let c = commanded.value();
+        let p = previous.value();
+        if c.abs() <= RATE_EPSILON {
+            ControlAction::StopInsulin
+        } else if c < p - RATE_EPSILON {
+            ControlAction::DecreaseInsulin
+        } else if c > p + RATE_EPSILON {
+            ControlAction::IncreaseInsulin
+        } else {
+            ControlAction::KeepInsulin
+        }
+    }
+
+    /// All four actions, in `u1..u4` order.
+    pub const ALL: [ControlAction; 4] = [
+        ControlAction::DecreaseInsulin,
+        ControlAction::IncreaseInsulin,
+        ControlAction::StopInsulin,
+        ControlAction::KeepInsulin,
+    ];
+
+    /// The paper's index (1-based: `u1` → 1, …, `u4` → 4).
+    pub fn paper_index(self) -> u8 {
+        match self {
+            ControlAction::DecreaseInsulin => 1,
+            ControlAction::IncreaseInsulin => 2,
+            ControlAction::StopInsulin => 3,
+            ControlAction::KeepInsulin => 4,
+        }
+    }
+}
+
+impl fmt::Display for ControlAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ControlAction::DecreaseInsulin => "decrease_insulin",
+            ControlAction::IncreaseInsulin => "increase_insulin",
+            ControlAction::StopInsulin => "stop_insulin",
+            ControlAction::KeepInsulin => "keep_insulin",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_takes_priority_over_decrease() {
+        // Going from 1 U/h to 0 U/h is a stop, not merely a decrease.
+        let a = ControlAction::classify(UnitsPerHour(0.0), UnitsPerHour(1.0));
+        assert_eq!(a, ControlAction::StopInsulin);
+    }
+
+    #[test]
+    fn stop_from_zero_is_still_stop() {
+        let a = ControlAction::classify(UnitsPerHour(0.0), UnitsPerHour(0.0));
+        assert_eq!(a, ControlAction::StopInsulin);
+    }
+
+    #[test]
+    fn epsilon_jitter_is_keep() {
+        let a = ControlAction::classify(UnitsPerHour(1.0004), UnitsPerHour(1.0));
+        assert_eq!(a, ControlAction::KeepInsulin);
+    }
+
+    #[test]
+    fn paper_indices_are_distinct_and_ordered() {
+        let idx: Vec<u8> = ControlAction::ALL.iter().map(|a| a.paper_index()).collect();
+        assert_eq!(idx, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(ControlAction::StopInsulin.to_string(), "stop_insulin");
+        assert_eq!(ControlAction::KeepInsulin.to_string(), "keep_insulin");
+    }
+}

@@ -1,0 +1,61 @@
+//! Hazard taxonomy.
+//!
+//! The paper's hazard analysis for Type-1 diabetes identifies two system
+//! hazards: too much insulin (H1, leading toward hypoglycemia / accident
+//! A1) and too little insulin (H2, leading toward hyperglycemia / A2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Safety hazard type under the control of the APS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Hazard {
+    /// H1: too much insulin infused → BG falls → hypoglycemia risk.
+    H1,
+    /// H2: too little insulin infused → BG rises → hyperglycemia risk.
+    H2,
+}
+
+impl Hazard {
+    /// Both hazards in paper order.
+    pub const ALL: [Hazard; 2] = [Hazard::H1, Hazard::H2];
+
+    /// The accident this hazard can lead to, as free text from the paper
+    /// (A1 = complications from hypoglycemia, A2 = from hyperglycemia).
+    pub fn accident(self) -> &'static str {
+        match self {
+            Hazard::H1 => "A1: complications from hypoglycemia",
+            Hazard::H2 => "A2: complications from hyperglycemia",
+        }
+    }
+}
+
+impl fmt::Display for Hazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Hazard::H1 => f.write_str("H1"),
+            Hazard::H2 => f.write_str("H2"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_accidents() {
+        assert_eq!(Hazard::H1.to_string(), "H1");
+        assert!(Hazard::H1.accident().contains("hypoglycemia"));
+        assert!(Hazard::H2.accident().contains("hyperglycemia"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for h in Hazard::ALL {
+            let s = serde_json::to_string(&h).unwrap();
+            let back: Hazard = serde_json::from_str(&s).unwrap();
+            assert_eq!(h, back);
+        }
+    }
+}

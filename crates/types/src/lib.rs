@@ -1,0 +1,38 @@
+//! Shared domain types for the artificial-pancreas safety-monitor
+//! reproduction.
+//!
+//! This crate defines the vocabulary used by every other crate in the
+//! workspace: physical quantities ([`MgDl`], [`Units`], [`UnitsPerHour`]),
+//! simulation time ([`Step`], [`Minutes`]), the controller's abstract
+//! action alphabet ([`ControlAction`]), the hazard taxonomy ([`Hazard`]),
+//! and the per-step simulation record ([`StepRecord`] / [`SimTrace`]).
+//!
+//! The paper (Zhou et al., DSN 2021) models the artificial pancreas as a
+//! discrete-time control loop with a 5-minute cycle; all types here
+//! assume that cadence unless stated otherwise.
+//!
+//! # Example
+//!
+//! ```
+//! use aps_types::{MgDl, ControlAction, UnitsPerHour};
+//!
+//! let bg = MgDl(145.0);
+//! assert!(bg.is_normal_range());
+//! let action = ControlAction::classify(UnitsPerHour(1.2), UnitsPerHour(0.9));
+//! assert_eq!(action, ControlAction::IncreaseInsulin);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod hazard;
+mod time;
+mod trace;
+mod units;
+
+pub use action::ControlAction;
+pub use hazard::Hazard;
+pub use time::{Minutes, Step, CONTROL_CYCLE_MINUTES};
+pub use trace::{SimTrace, StepRecord, TraceMeta};
+pub use units::{MgDl, Units, UnitsPerHour};

@@ -1,0 +1,143 @@
+//! Discrete simulation time.
+//!
+//! The APS control loop runs every five minutes (one CGM sample); a
+//! 12-hour overnight experiment is 150 steps, matching the paper's
+//! simulation length.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Length of one control cycle in minutes (CGM sampling period).
+pub const CONTROL_CYCLE_MINUTES: f64 = 5.0;
+
+/// A discrete control-cycle index (one step = 5 minutes).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Step(pub u32);
+
+impl Step {
+    /// The step index as `usize` for trace indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Wall-clock minutes since the start of the simulation.
+    ///
+    /// ```
+    /// use aps_types::Step;
+    /// assert_eq!(Step(12).minutes().value(), 60.0);
+    /// ```
+    #[inline]
+    pub fn minutes(self) -> Minutes {
+        Minutes(self.0 as f64 * CONTROL_CYCLE_MINUTES)
+    }
+
+    /// The next step.
+    #[inline]
+    pub fn next(self) -> Step {
+        Step(self.0 + 1)
+    }
+
+    /// Saturating distance in steps (`self - other`, at least zero).
+    #[inline]
+    pub fn saturating_since(self, other: Step) -> u32 {
+        self.0.saturating_sub(other.0)
+    }
+}
+
+impl Add<u32> for Step {
+    type Output = Step;
+    #[inline]
+    fn add(self, rhs: u32) -> Step {
+        Step(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u32> for Step {
+    #[inline]
+    fn add_assign(&mut self, rhs: u32) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Step {
+    type Output = i64;
+    #[inline]
+    fn sub(self, rhs: Step) -> i64 {
+        self.0 as i64 - rhs.0 as i64
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Wall-clock duration in minutes (continuous).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Minutes(pub f64);
+
+impl Minutes {
+    /// Raw minutes.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to hours.
+    #[inline]
+    pub fn hours(self) -> f64 {
+        self.0 / 60.0
+    }
+
+    /// Number of whole control cycles this duration covers (floor).
+    #[inline]
+    pub fn steps(self) -> u32 {
+        (self.0 / CONTROL_CYCLE_MINUTES).floor() as u32
+    }
+}
+
+impl fmt::Display for Minutes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} min", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_to_minutes() {
+        assert_eq!(Step(0).minutes(), Minutes(0.0));
+        assert_eq!(Step(150).minutes().hours(), 12.5);
+    }
+
+    #[test]
+    fn step_arithmetic() {
+        let mut s = Step(3);
+        s += 2;
+        assert_eq!(s, Step(5));
+        assert_eq!(s + 1, Step(6));
+        assert_eq!(Step(5) - Step(8), -3);
+        assert_eq!(Step(5).saturating_since(Step(8)), 0);
+        assert_eq!(Step(8).saturating_since(Step(5)), 3);
+        assert_eq!(Step(7).next(), Step(8));
+    }
+
+    #[test]
+    fn minutes_to_steps_floors() {
+        assert_eq!(Minutes(14.9).steps(), 2);
+        assert_eq!(Minutes(15.0).steps(), 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Step(4)), "t4");
+        assert_eq!(format!("{}", Minutes(30.0)), "30.0 min");
+    }
+}

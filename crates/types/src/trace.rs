@@ -1,0 +1,248 @@
+//! Simulation traces.
+//!
+//! A [`SimTrace`] is the canonical record of one closed-loop run: one
+//! [`StepRecord`] per control cycle plus [`TraceMeta`] describing the
+//! scenario (patient, initial BG, fault activity, hazard labels). Every
+//! downstream consumer — threshold learning, ML dataset building,
+//! metric computation — reads this structure.
+
+use crate::{ControlAction, Hazard, MgDl, Step, Units, UnitsPerHour};
+use serde::{Deserialize, Serialize};
+
+/// One control cycle's worth of observable system state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Control-cycle index.
+    pub step: Step,
+    /// CGM glucose reading delivered to the controller (possibly faulty
+    /// if the fault targets the controller's glucose input variable).
+    pub bg: MgDl,
+    /// True plasma/interstitial glucose from the patient model (ground
+    /// truth used for hazard labeling; the monitor never sees this
+    /// directly unless it equals `bg`).
+    pub bg_true: MgDl,
+    /// Controller's insulin-on-board estimate.
+    pub iob: Units,
+    /// Rate commanded by the controller this cycle (pre-mitigation).
+    pub commanded: UnitsPerHour,
+    /// Rate actually delivered to the pump (post-mitigation; equals
+    /// `commanded` when no monitor intervenes).
+    pub delivered: UnitsPerHour,
+    /// Abstract action classification of `commanded`.
+    pub action: ControlAction,
+    /// Whether a fault was actively perturbing the controller at this step.
+    pub fault_active: bool,
+    /// Hazard label assigned post-hoc by the risk-index labeler
+    /// (`None` = safe at this step).
+    pub hazard: Option<Hazard>,
+    /// Whether the monitor raised an alert at this step (and for which
+    /// predicted hazard).
+    pub alert: Option<Hazard>,
+}
+
+impl StepRecord {
+    /// A blank record for `step` with everything zeroed/safe; used by
+    /// builders that fill fields incrementally.
+    pub fn blank(step: Step) -> StepRecord {
+        StepRecord {
+            step,
+            bg: MgDl(0.0),
+            bg_true: MgDl(0.0),
+            iob: Units(0.0),
+            commanded: UnitsPerHour(0.0),
+            delivered: UnitsPerHour(0.0),
+            action: ControlAction::KeepInsulin,
+            fault_active: false,
+            hazard: None,
+            alert: None,
+        }
+    }
+}
+
+/// Metadata describing the scenario a trace came from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TraceMeta {
+    /// Patient identifier (e.g. "glucosym/patientA").
+    pub patient: String,
+    /// Initial true glucose at step 0.
+    pub initial_bg: f64,
+    /// Name of the injected fault scenario, empty if fault-free.
+    pub fault_name: String,
+    /// First step at which the fault was active (`None` = fault-free run).
+    pub fault_start: Option<Step>,
+    /// First step labeled hazardous (`None` = no hazard occurred).
+    pub hazard_onset: Option<Step>,
+    /// Hazard type at onset, if any.
+    pub hazard_type: Option<Hazard>,
+}
+
+/// A complete closed-loop simulation trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimTrace {
+    /// Scenario metadata.
+    pub meta: TraceMeta,
+    /// Per-cycle records, indexed by step.
+    pub records: Vec<StepRecord>,
+}
+
+impl SimTrace {
+    /// Creates an empty trace with the given metadata.
+    pub fn new(meta: TraceMeta) -> SimTrace {
+        SimTrace { meta, records: Vec::new() }
+    }
+
+    /// Number of steps recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no steps were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends a record; panics in debug builds if steps are not
+    /// consecutive from zero (trace invariant).
+    pub fn push(&mut self, rec: StepRecord) {
+        debug_assert_eq!(rec.step.index(), self.records.len(), "non-consecutive step");
+        self.records.push(rec);
+    }
+
+    /// Iterator over records.
+    pub fn iter(&self) -> std::slice::Iter<'_, StepRecord> {
+        self.records.iter()
+    }
+
+    /// `true` if any step carries a hazard label.
+    pub fn is_hazardous(&self) -> bool {
+        self.records.iter().any(|r| r.hazard.is_some())
+    }
+
+    /// First hazardous step, if any.
+    pub fn hazard_onset(&self) -> Option<Step> {
+        self.records.iter().find(|r| r.hazard.is_some()).map(|r| r.step)
+    }
+
+    /// First step with an alert raised, if any.
+    pub fn first_alert(&self) -> Option<Step> {
+        self.records.iter().find(|r| r.alert.is_some()).map(|r| r.step)
+    }
+
+    /// The BG series as raw f64 (CGM view).
+    pub fn bg_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.bg.value()).collect()
+    }
+
+    /// The ground-truth BG series as raw f64.
+    pub fn bg_true_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.bg_true.value()).collect()
+    }
+
+    /// Recomputes `meta.hazard_onset` / `meta.hazard_type` from labels.
+    pub fn refresh_meta(&mut self) {
+        self.meta.hazard_onset = self.hazard_onset();
+        self.meta.hazard_type = self
+            .meta
+            .hazard_onset
+            .and_then(|s| self.records[s.index()].hazard);
+    }
+}
+
+impl<'a> IntoIterator for &'a SimTrace {
+    type Item = &'a StepRecord;
+    type IntoIter = std::slice::Iter<'a, StepRecord>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+impl FromIterator<StepRecord> for SimTrace {
+    fn from_iter<I: IntoIterator<Item = StepRecord>>(iter: I) -> SimTrace {
+        SimTrace { meta: TraceMeta::default(), records: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<StepRecord> for SimTrace {
+    fn extend<I: IntoIterator<Item = StepRecord>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_with_hazard_at(onset: usize, len: usize) -> SimTrace {
+        let mut t = SimTrace::new(TraceMeta::default());
+        for i in 0..len {
+            let mut r = StepRecord::blank(Step(i as u32));
+            if i >= onset {
+                r.hazard = Some(Hazard::H1);
+            }
+            t.push(r);
+        }
+        t
+    }
+
+    #[test]
+    fn empty_trace_has_no_hazard() {
+        let t = SimTrace::new(TraceMeta::default());
+        assert!(t.is_empty());
+        assert!(!t.is_hazardous());
+        assert_eq!(t.hazard_onset(), None);
+        assert_eq!(t.first_alert(), None);
+    }
+
+    #[test]
+    fn hazard_onset_is_first_labeled_step() {
+        let t = trace_with_hazard_at(7, 20);
+        assert!(t.is_hazardous());
+        assert_eq!(t.hazard_onset(), Some(Step(7)));
+        assert_eq!(t.len(), 20);
+    }
+
+    #[test]
+    fn refresh_meta_populates_onset_and_type() {
+        let mut t = trace_with_hazard_at(3, 10);
+        t.refresh_meta();
+        assert_eq!(t.meta.hazard_onset, Some(Step(3)));
+        assert_eq!(t.meta.hazard_type, Some(Hazard::H1));
+    }
+
+    #[test]
+    fn first_alert_found() {
+        let mut t = trace_with_hazard_at(9, 12);
+        t.records[4].alert = Some(Hazard::H1);
+        assert_eq!(t.first_alert(), Some(Step(4)));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let recs: Vec<StepRecord> = (0..5).map(|i| StepRecord::blank(Step(i))).collect();
+        let mut t: SimTrace = recs.clone().into_iter().collect();
+        assert_eq!(t.len(), 5);
+        t.extend(vec![StepRecord::blank(Step(5))]);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn bg_series_extraction() {
+        let mut t = SimTrace::new(TraceMeta::default());
+        for i in 0..3u32 {
+            let mut r = StepRecord::blank(Step(i));
+            r.bg = MgDl(100.0 + i as f64);
+            r.bg_true = MgDl(99.0 + i as f64);
+            t.push(r);
+        }
+        assert_eq!(t.bg_series(), vec![100.0, 101.0, 102.0]);
+        assert_eq!(t.bg_true_series(), vec![99.0, 100.0, 101.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = trace_with_hazard_at(2, 4);
+        let s = serde_json::to_string(&t).unwrap();
+        let back: SimTrace = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, back);
+    }
+}

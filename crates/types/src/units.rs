@@ -1,0 +1,266 @@
+//! Physical-quantity newtypes.
+//!
+//! Following the newtype guidance of the Rust API guidelines
+//! (C-NEWTYPE), glucose concentrations and insulin amounts are distinct
+//! types so that a basal rate can never be passed where a glucose value
+//! is expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Blood-glucose concentration in mg/dL.
+///
+/// The clinically normal range used throughout the paper is
+/// `[70, 180]` mg/dL; severe hypoglycemia is below 40 mg/dL.
+///
+/// ```
+/// use aps_types::MgDl;
+/// assert!(MgDl(100.0).is_normal_range());
+/// assert!(MgDl(39.0).is_severe_hypoglycemia());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct MgDl(pub f64);
+
+/// Lower bound of the clinically normal glucose range (mg/dL).
+pub const NORMAL_RANGE_LOW: f64 = 70.0;
+/// Upper bound of the clinically normal glucose range (mg/dL).
+pub const NORMAL_RANGE_HIGH: f64 = 180.0;
+/// Threshold below which the patient is unable to function (mg/dL).
+pub const SEVERE_HYPOGLYCEMIA: f64 = 40.0;
+
+impl MgDl {
+    /// Returns the raw value in mg/dL.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// `true` if the value lies in the clinically normal range
+    /// `[70, 180]` mg/dL used by the paper's guideline monitor.
+    #[inline]
+    pub fn is_normal_range(self) -> bool {
+        (NORMAL_RANGE_LOW..=NORMAL_RANGE_HIGH).contains(&self.0)
+    }
+
+    /// `true` below 70 mg/dL (hypoglycemia).
+    #[inline]
+    pub fn is_hypoglycemia(self) -> bool {
+        self.0 < NORMAL_RANGE_LOW
+    }
+
+    /// `true` above 180 mg/dL (hyperglycemia).
+    #[inline]
+    pub fn is_hyperglycemia(self) -> bool {
+        self.0 > NORMAL_RANGE_HIGH
+    }
+
+    /// `true` below 40 mg/dL — the paper's severe-hypoglycemia marker.
+    #[inline]
+    pub fn is_severe_hypoglycemia(self) -> bool {
+        self.0 < SEVERE_HYPOGLYCEMIA
+    }
+
+    /// Clamps to a physiologically plausible sensor range
+    /// (CGM devices report 10–600 mg/dL; values outside indicate a
+    /// modelling escape, not physiology).
+    #[inline]
+    pub fn clamp_physiological(self) -> MgDl {
+        MgDl(self.0.clamp(10.0, 600.0))
+    }
+}
+
+/// Insulin amount in international units (U).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Units(pub f64);
+
+impl Units {
+    /// Returns the raw value in units.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Non-negative clamp: insulin on board and doses cannot be negative.
+    #[inline]
+    pub fn max_zero(self) -> Units {
+        Units(self.0.max(0.0))
+    }
+}
+
+/// Insulin delivery rate in U/h (temp-basal rates, pump commands).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct UnitsPerHour(pub f64);
+
+impl UnitsPerHour {
+    /// Returns the raw value in U/h.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Insulin delivered over `minutes` at this rate.
+    ///
+    /// ```
+    /// use aps_types::UnitsPerHour;
+    /// let delivered = UnitsPerHour(2.0).over_minutes(30.0);
+    /// assert!((delivered.value() - 1.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn over_minutes(self, minutes: f64) -> Units {
+        Units(self.0 * minutes / 60.0)
+    }
+
+    /// Non-negative clamp; pumps cannot withdraw insulin.
+    #[inline]
+    pub fn max_zero(self) -> UnitsPerHour {
+        UnitsPerHour(self.0.max(0.0))
+    }
+}
+
+macro_rules! impl_arith {
+    ($ty:ident) => {
+        impl Add for $ty {
+            type Output = $ty;
+            #[inline]
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+        impl Sub for $ty {
+            type Output = $ty;
+            #[inline]
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+        impl AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: $ty) {
+                self.0 += rhs.0;
+            }
+        }
+        impl SubAssign for $ty {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $ty) {
+                self.0 -= rhs.0;
+            }
+        }
+        impl Mul<f64> for $ty {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: f64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+        impl Div<f64> for $ty {
+            type Output = $ty;
+            #[inline]
+            fn div(self, rhs: f64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+        impl Neg for $ty {
+            type Output = $ty;
+            #[inline]
+            fn neg(self) -> $ty {
+                $ty(-self.0)
+            }
+        }
+        impl Sum for $ty {
+            fn sum<I: Iterator<Item = $ty>>(iter: I) -> $ty {
+                $ty(iter.map(|v| v.0).sum())
+            }
+        }
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.2}", self.0)
+            }
+        }
+        impl From<f64> for $ty {
+            #[inline]
+            fn from(v: f64) -> $ty {
+                $ty(v)
+            }
+        }
+        impl From<$ty> for f64 {
+            #[inline]
+            fn from(v: $ty) -> f64 {
+                v.0
+            }
+        }
+    };
+}
+
+impl_arith!(MgDl);
+impl_arith!(Units);
+impl_arith!(UnitsPerHour);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_range_bounds_are_inclusive() {
+        assert!(MgDl(70.0).is_normal_range());
+        assert!(MgDl(180.0).is_normal_range());
+        assert!(!MgDl(69.99).is_normal_range());
+        assert!(!MgDl(180.01).is_normal_range());
+    }
+
+    #[test]
+    fn hypo_hyper_are_exclusive() {
+        let cases = [35.0, 69.0, 70.0, 120.0, 180.0, 181.0, 400.0];
+        for v in cases {
+            let bg = MgDl(v);
+            let flags =
+                [bg.is_hypoglycemia(), bg.is_normal_range(), bg.is_hyperglycemia()];
+            assert_eq!(flags.iter().filter(|&&f| f).count(), 1, "bg={v}");
+        }
+    }
+
+    #[test]
+    fn severe_hypoglycemia_threshold() {
+        assert!(MgDl(39.9).is_severe_hypoglycemia());
+        assert!(!MgDl(40.0).is_severe_hypoglycemia());
+    }
+
+    #[test]
+    fn rate_integrates_to_units() {
+        let u = UnitsPerHour(1.5).over_minutes(5.0);
+        assert!((u.value() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_physiological_bounds() {
+        assert_eq!(MgDl(-5.0).clamp_physiological(), MgDl(10.0));
+        assert_eq!(MgDl(900.0).clamp_physiological(), MgDl(600.0));
+        assert_eq!(MgDl(120.0).clamp_physiological(), MgDl(120.0));
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Units(2.0) + Units(3.0) - Units(1.0);
+        assert_eq!(a, Units(4.0));
+        let b = a * 2.0 / 4.0;
+        assert_eq!(b, Units(2.0));
+        assert_eq!(-b, Units(-2.0));
+        assert_eq!((-b).max_zero(), Units(0.0));
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let total: Units = vec![Units(0.5), Units(1.5)].into_iter().sum();
+        assert_eq!(total, Units(2.0));
+        assert_eq!(format!("{}", MgDl(123.456)), "123.46");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let bg = MgDl(101.5);
+        let s = serde_json::to_string(&bg).unwrap();
+        let back: MgDl = serde_json::from_str(&s).unwrap();
+        assert_eq!(bg, back);
+    }
+}

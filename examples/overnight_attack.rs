@@ -1,0 +1,74 @@
+//! Overnight attack scenario with mitigation.
+//!
+//! The paper's motivating setting: the patient eats dinner, goes to
+//! sleep, and the APS runs unattended for 12 hours. An attacker who has
+//! compromised the controller forces the insulin command to maximum
+//! while the patient sleeps. We run the same scenario three times —
+//! unprotected, monitored (alerts only), and monitored with Algorithm-1
+//! mitigation — and compare patient outcomes.
+//!
+//! ```text
+//! cargo run --release --example overnight_attack
+//! ```
+
+use aps_repro::core::mitigation::Mitigator;
+use aps_repro::prelude::*;
+use aps_repro::risk;
+
+fn run_variant(
+    with_monitor: bool,
+    mitigate: bool,
+) -> SimTrace {
+    let platform = Platform::GlucosymOref0;
+    let mut patient = platform.patients().remove(4);
+    let mut controller = platform.controller_for(patient.as_ref());
+    let basal = platform.basal_for(patient.as_ref());
+    let scs = Scs::with_default_thresholds(platform.target());
+    let mut monitor = CawMonitor::new("cawot", scs, basal);
+    // The attack: max insulin rate from 1 AM (step 60) for 2.5 hours.
+    let mut injector =
+        FaultInjector::new(FaultScenario::new("rate", FaultKind::Max, Step(60), 30));
+    let config = LoopConfig {
+        initial_bg: 140.0,
+        mitigator: mitigate
+            .then(|| Mitigator::paper_default(platform.max_mitigation_rate(patient.as_ref()))),
+        ..LoopConfig::default()
+    };
+    closed_loop::run(
+        patient.as_mut(),
+        controller.as_mut(),
+        with_monitor.then_some(&mut monitor as &mut dyn HazardMonitor),
+        Some(&mut injector),
+        &config,
+    )
+}
+
+fn summarize(label: &str, trace: &SimTrace) {
+    let bgs = trace.bg_true_series();
+    let min_bg = bgs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let risk = risk::mean_risk_index(&bgs);
+    println!(
+        "{label:<22} min BG {min_bg:>6.1} mg/dL | hazard {:?} | first alert {:?} | mean risk {risk:.2}",
+        trace.meta.hazard_type,
+        trace.first_alert().map(|s| s.minutes()),
+    );
+}
+
+fn main() {
+    println!("Overnight max-insulin attack at t=300 min (patient asleep)\n");
+    let unprotected = run_variant(false, false);
+    let monitored = run_variant(true, false);
+    let mitigated = run_variant(true, true);
+
+    summarize("unprotected", &unprotected);
+    summarize("monitor (alerts only)", &monitored);
+    summarize("monitor + mitigation", &mitigated);
+
+    if unprotected.is_hazardous() && !mitigated.is_hazardous() {
+        println!("\n=> mitigation prevented the hypoglycemia hazard");
+    } else if unprotected.is_hazardous() {
+        let onset_u = unprotected.meta.hazard_onset.map(|s| s.minutes().value());
+        let onset_m = mitigated.meta.hazard_onset.map(|s| s.minutes().value());
+        println!("\n=> hazard onset unprotected {onset_u:?} vs mitigated {onset_m:?} (delayed/attenuated)");
+    }
+}

@@ -1,0 +1,78 @@
+//! Patient-specific threshold learning (the CAWT pipeline).
+//!
+//! Runs a small fault-injection campaign on one patient, learns the
+//! SCS thresholds β from the hazardous traces with TMEE + L-BFGS-B,
+//! and compares the tuned monitor (CAWT) against the untuned one
+//! (CAWOT) on a held-out campaign.
+//!
+//! ```text
+//! cargo run --release --example patient_tuning
+//! ```
+
+use aps_repro::core::learning::{learn_thresholds, LearnConfig};
+use aps_repro::metrics::tolerance::{trace_tolerance_counts, DEFAULT_TOLERANCE};
+use aps_repro::prelude::*;
+use aps_repro::sim::campaign::{run_campaign, CampaignSpec};
+
+fn main() {
+    let platform = Platform::GlucosymOref0;
+    let patient_idx = 0;
+    let probe = platform.patients().remove(patient_idx);
+    let basal = platform.basal_for(probe.as_ref());
+    let target = platform.target();
+
+    // 1. Training campaign (no monitor): collect faulty traces.
+    let train_spec = CampaignSpec {
+        patient_indices: vec![patient_idx],
+        initial_bgs: vec![100.0, 140.0, 180.0],
+        ..CampaignSpec::quick(platform)
+    };
+    println!("running training campaign ...");
+    let train_traces = run_campaign(&train_spec, None);
+    let hazardous = train_traces.iter().filter(|t| t.is_hazardous()).count();
+    println!(
+        "  {} runs, {} hazardous ({:.0}%)",
+        train_traces.len(),
+        hazardous,
+        100.0 * hazardous as f64 / train_traces.len() as f64
+    );
+
+    // 2. Learn patient-specific thresholds.
+    let cawot_scs = Scs::with_default_thresholds(target);
+    let (cawt_scs, fits) =
+        learn_thresholds(&cawot_scs, &train_traces, basal, &LearnConfig::default());
+    println!("\nlearned thresholds:");
+    for fit in &fits {
+        let default = cawot_scs.rule(fit.rule_id).unwrap().beta;
+        println!(
+            "  rule {:>2}: beta {:>8.3} (default {:>6.1}, {} samples, {} iters)",
+            fit.rule_id, fit.beta, default, fit.n_samples, fit.iterations
+        );
+    }
+
+    // 3. Evaluate both monitors on a differently-seeded test campaign.
+    let test_spec = CampaignSpec {
+        patient_indices: vec![patient_idx],
+        initial_bgs: vec![120.0, 160.0],
+        ..CampaignSpec::quick(platform)
+    };
+    for (name, scs) in [("CAWOT", cawot_scs), ("CAWT", cawt_scs)] {
+        let scs_for_factory = scs.clone();
+        let factory = move |ctx: &ScenarioCtx| {
+            Box::new(CawMonitor::new("caw", scs_for_factory.clone(), ctx.basal))
+                as Box<dyn HazardMonitor>
+        };
+        let traces = run_campaign(&test_spec, Some(&factory));
+        let counts: ConfusionCounts = traces
+            .iter()
+            .map(|t| trace_tolerance_counts(t, DEFAULT_TOLERANCE))
+            .sum();
+        println!(
+            "\n{name}: FPR {:.3}  FNR {:.3}  ACC {:.3}  F1 {:.3}",
+            counts.fpr(),
+            counts.fnr(),
+            counts.accuracy(),
+            counts.f1()
+        );
+    }
+}

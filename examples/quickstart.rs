@@ -1,0 +1,72 @@
+//! Quickstart: wrap an APS controller with a context-aware safety
+//! monitor, inject an insulin-overdose attack, and watch the monitor
+//! predict the hazard before it happens.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use aps_repro::prelude::*;
+
+fn main() {
+    // 1. Pick a platform: OpenAPS-style controller on a Glucosym-style
+    //    virtual patient.
+    let platform = Platform::GlucosymOref0;
+    let mut patient = platform.patients().remove(0);
+    let mut controller = platform.controller_for(patient.as_ref());
+    println!("patient    : {}", patient.name());
+    println!("controller : {}", controller.name());
+
+    // 2. Build the context-aware monitor (guideline-default thresholds;
+    //    see the `patient_tuning` example for learned, patient-specific
+    //    thresholds).
+    let scs = Scs::with_default_thresholds(platform.target());
+    let basal = platform.basal_for(patient.as_ref());
+    let mut monitor = CawMonitor::new("cawot", scs, basal);
+
+    // 3. Simulate a "maximize insulin rate" attack on the controller's
+    //    output, starting 100 minutes in and lasting 3 hours.
+    let mut injector =
+        FaultInjector::new(FaultScenario::new("rate", FaultKind::Max, Step(20), 36));
+
+    let trace = closed_loop::run(
+        patient.as_mut(),
+        controller.as_mut(),
+        Some(&mut monitor),
+        Some(&mut injector),
+        &LoopConfig::default(),
+    );
+
+    // 4. Report what happened.
+    let onset = trace.meta.hazard_onset;
+    let alert = trace.first_alert();
+    println!("fault      : {}", trace.meta.fault_name);
+    println!(
+        "hazard     : {:?} at {:?}",
+        trace.meta.hazard_type,
+        onset.map(|s| s.minutes())
+    );
+    println!("first alert: {:?}", alert.map(|s| s.minutes()));
+    match (alert, onset) {
+        (Some(a), Some(h)) if a < h => {
+            let lead = (h - a) as f64 * 5.0;
+            println!("=> the monitor predicted the hazard {lead:.0} minutes early");
+        }
+        (Some(_), None) => println!("=> alert raised; hazard never materialized"),
+        (None, Some(_)) => println!("=> hazard occurred without warning (missed)"),
+        _ => println!("=> uneventful run"),
+    }
+
+    // 5. Print the glucose trajectory every hour.
+    println!("\n  time   BG(true)  IOB     rate  alert");
+    for rec in trace.iter().step_by(12) {
+        println!(
+            "  {:>5}  {:>7.1}  {:>5.2}  {:>6.2}  {}",
+            format!("{}m", rec.step.minutes().value()),
+            rec.bg_true.value(),
+            rec.iob.value(),
+            rec.delivered.value(),
+            rec.alert.map(|h| h.to_string()).unwrap_or_default(),
+        );
+    }
+}

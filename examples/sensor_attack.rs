@@ -1,0 +1,97 @@
+//! Sensor-path defense: a CGM spoofing attack caught by the change
+//! detectors of `aps-detect`.
+//!
+//! The paper's monitor guards the *controller* and assumes the sensor
+//! data is "fault-free or protected using existing methods" — naming
+//! SPRT and CUSUM as those methods. This example builds that missing
+//! layer: a compromised CGM feeds the controller readings 80 mg/dL
+//! above truth (so it overdoses insulin), and a [`CgmGuard`] watches
+//! the stream. When the guard alarms, the loop falls back to
+//! trend-extrapolated readings, defusing the attack.
+//!
+//! ```text
+//! cargo run --release --example sensor_attack
+//! ```
+
+use aps_repro::detect::{CgmGuard, Cusum, CusumConfig, GuardConfig};
+use aps_repro::prelude::*;
+
+/// Attack window (control cycles) and spoof offset (mg/dL).
+const ATTACK_START: u32 = 40;
+const ATTACK_END: u32 = 90;
+const SPOOF_OFFSET: f64 = 80.0;
+
+/// One closed-loop run with a spoofed sensor; `guarded` enables the
+/// detector + last-good-trend fallback. Returns (min true BG, first
+/// alarm step).
+fn run(guarded: bool) -> (f64, Option<u32>) {
+    let platform = Platform::GlucosymOref0;
+    let mut patient = platform.patients().remove(0);
+    let mut controller = platform.controller_for(patient.as_ref());
+    patient.reset(MgDl(140.0));
+    controller.reset();
+
+    let mut guard =
+        CgmGuard::new(Cusum::new(CusumConfig::default()), GuardConfig::default());
+    let mut first_alarm: Option<u32> = None;
+    let mut min_bg = f64::INFINITY;
+    // Trend memory for the fallback estimate.
+    let (mut last_good, mut last_slope) = (140.0f64, 0.0f64);
+
+    for s in 0..150u32 {
+        let true_bg = patient.bg().value();
+        min_bg = min_bg.min(true_bg);
+
+        // The attacker intercepts the sensor channel.
+        let reading = if (ATTACK_START..ATTACK_END).contains(&s) {
+            true_bg + SPOOF_OFFSET
+        } else {
+            true_bg
+        };
+
+        let alarmed = guard.observe(MgDl(reading)).is_anomalous();
+        if alarmed && first_alarm.is_none() {
+            first_alarm = Some(s);
+        }
+
+        // What the controller gets to see.
+        let seen = if guarded && alarmed {
+            // Fall back to the pre-alarm trend (held; the body is slow).
+            last_good + last_slope
+        } else {
+            last_slope = reading - last_good;
+            last_good = reading;
+            reading
+        };
+
+        let commanded = controller.decide(Step(s), MgDl(seen));
+        controller.observe_delivery(commanded);
+        patient.step(commanded, 5.0);
+    }
+    (min_bg, first_alarm)
+}
+
+fn main() {
+    println!("CGM spoofing attack: +{SPOOF_OFFSET} mg/dL during cycles {ATTACK_START}..{ATTACK_END}\n");
+
+    let (min_unguarded, alarm) = run(false);
+    let (min_guarded, _) = run(true);
+
+    println!("sensor guard alarm  : {:?} (attack starts at step {ATTACK_START})", alarm);
+    println!("min true BG, unguarded: {min_unguarded:>6.1} mg/dL");
+    println!("min true BG, guarded  : {min_guarded:>6.1} mg/dL");
+
+    match alarm {
+        Some(a) if (ATTACK_START..ATTACK_START + 3).contains(&a) => {
+            println!("\n=> the guard caught the spoof within {} cycles", a - ATTACK_START + 1)
+        }
+        Some(a) => println!("\n=> alarm at step {a}"),
+        None => println!("\n=> attack was NOT detected"),
+    }
+    if min_guarded > min_unguarded + 5.0 {
+        println!(
+            "=> fallback kept glucose {:.0} mg/dL higher at the nadir",
+            min_guarded - min_unguarded
+        );
+    }
+}

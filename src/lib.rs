@@ -1,0 +1,84 @@
+//! # APS Safety Monitor — facade crate
+//!
+//! Reproduction of *"Data-driven Design of Context-aware Monitors for
+//! Hazard Prediction in Artificial Pancreas Systems"* (Zhou et al.,
+//! DSN 2021). This crate re-exports the whole workspace so examples,
+//! integration tests, and downstream users can depend on one crate:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`types`] | shared domain types (glucose, insulin, traces) |
+//! | [`glucose`] | patient simulators (Bergman/GIM, Dalla Man), CGM, pump, IOB |
+//! | [`controllers`] | oref0-style and basal–bolus controllers |
+//! | [`stl`] | signal temporal logic engine |
+//! | [`optim`] | L-BFGS-B and tightness losses (TMEE/TeLEx/MSE/MAE) |
+//! | [`ml`] | from-scratch DT / MLP / LSTM baselines |
+//! | [`fault`] | fault-injection engine |
+//! | [`detect`] | sensor-stream change detectors (SPRT, CUSUM, EWMA) |
+//! | [`risk`] | BG risk index and hazard labeling |
+//! | [`metrics`] | tolerance-window metrics, TTH, reaction time, risk |
+//! | [`core`] | **the contribution**: SCS, threshold learning, monitors, mitigation |
+//! | [`sim`] | closed-loop harness, platforms, campaigns, datasets |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use aps_repro::prelude::*;
+//!
+//! // Run one faulty closed-loop simulation with the CAWOT monitor.
+//! let platform = Platform::GlucosymOref0;
+//! let mut patient = platform.patients().remove(0);
+//! let mut controller = platform.controller_for(patient.as_ref());
+//! let scs = Scs::with_default_thresholds(platform.target());
+//! let mut monitor = CawMonitor::new("cawot", scs, platform.basal_for(patient.as_ref()));
+//! let mut injector = FaultInjector::new(FaultScenario::new(
+//!     "rate", FaultKind::Max, Step(20), 36,
+//! ));
+//! let trace = closed_loop::run(
+//!     patient.as_mut(),
+//!     controller.as_mut(),
+//!     Some(&mut monitor),
+//!     Some(&mut injector),
+//!     &LoopConfig::default(),
+//! );
+//! assert_eq!(trace.len(), 150);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use aps_controllers as controllers;
+pub use aps_core as core;
+pub use aps_detect as detect;
+pub use aps_fault as fault;
+pub use aps_glucose as glucose;
+pub use aps_metrics as metrics;
+pub use aps_ml as ml;
+pub use aps_optim as optim;
+pub use aps_risk as risk;
+pub use aps_sim as sim;
+pub use aps_stl as stl;
+pub use aps_types as types;
+
+/// The most commonly used items, for `use aps_repro::prelude::*`.
+pub mod prelude {
+    pub use aps_controllers::Controller;
+    pub use aps_core::context::{ContextBuilder, ContextVector};
+    pub use aps_core::learning::{learn_thresholds, LearnConfig};
+    pub use aps_core::mitigation::Mitigator;
+    pub use aps_core::monitors::{
+        CawMonitor, GuidelineMonitor, HazardMonitor, LstmMonitor, MlMonitor, MonitorInput,
+        MpcMonitor, NullMonitor, StlCawMonitor,
+    };
+    pub use aps_core::hms::{ContextMitigator, ContextMitigatorConfig, Hms, TsLearnConfig};
+    pub use aps_core::scs::Scs;
+    pub use aps_detect::{CgmGuard, ChangeDetector, Cusum, Decision, Ewma, Sprt};
+    pub use aps_fault::{FaultInjector, FaultKind, FaultScenario};
+    pub use aps_glucose::{BoxedPatient, PatientSim};
+    pub use aps_metrics::glycemic::GlycemicSummary;
+    pub use aps_metrics::ConfusionCounts;
+    pub use aps_sim::campaign::{run_campaign, CampaignSpec, MonitorFactory, ScenarioCtx};
+    pub use aps_sim::closed_loop::{self, ExerciseBout, LoopConfig, Meal};
+    pub use aps_sim::platform::Platform;
+    pub use aps_types::{ControlAction, Hazard, MgDl, SimTrace, Step, Units, UnitsPerHour};
+}

@@ -1,0 +1,203 @@
+//! Integration tests spanning the whole stack: patient models,
+//! controllers, fault injection, labeling, and monitors in one loop.
+
+use aps_repro::prelude::*;
+
+fn min_bg(trace: &SimTrace) -> f64 {
+    trace.bg_true_series().iter().cloned().fold(f64::INFINITY, f64::min)
+}
+
+fn max_bg(trace: &SimTrace) -> f64 {
+    trace.bg_true_series().iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Every patient on both platforms survives a fault-free 12-hour run
+/// inside a broad physiological band, regardless of starting glucose.
+#[test]
+fn fault_free_runs_are_stable_for_all_patients() {
+    for platform in Platform::ALL {
+        for (i, mut patient) in platform.patients().into_iter().enumerate() {
+            for bg0 in [80.0, 140.0, 200.0] {
+                let mut controller = platform.controller_for(patient.as_ref());
+                let config = LoopConfig { initial_bg: bg0, ..LoopConfig::default() };
+                let trace = closed_loop::run(
+                    patient.as_mut(),
+                    controller.as_mut(),
+                    None,
+                    None,
+                    &config,
+                );
+                let (lo, hi) = (min_bg(&trace), max_bg(&trace));
+                assert!(
+                    lo > 45.0 && hi < 420.0,
+                    "{} patient {i} from {bg0}: BG range [{lo:.0}, {hi:.0}]",
+                    platform.name()
+                );
+            }
+        }
+    }
+}
+
+/// A sustained max-rate fault produces an H1 hazard, and the CAWOT
+/// monitor raises its first alert before hazard onset.
+#[test]
+fn cawot_predicts_overdose_hazard_early() {
+    let platform = Platform::GlucosymOref0;
+    let mut patient = platform.patients().remove(0);
+    let mut controller = platform.controller_for(patient.as_ref());
+    let scs = Scs::with_default_thresholds(platform.target());
+    let mut monitor =
+        CawMonitor::new("cawot", scs, platform.basal_for(patient.as_ref()));
+    let mut injector =
+        FaultInjector::new(FaultScenario::new("rate", FaultKind::Max, Step(20), 36));
+    let trace = closed_loop::run(
+        patient.as_mut(),
+        controller.as_mut(),
+        Some(&mut monitor),
+        Some(&mut injector),
+        &LoopConfig::default(),
+    );
+    let onset = trace.meta.hazard_onset.expect("fault should cause a hazard");
+    let alert = trace.first_alert().expect("monitor should alert");
+    assert!(
+        alert < onset,
+        "alert at {alert:?} should precede hazard onset at {onset:?}"
+    );
+}
+
+/// Mitigation turns a hazardous overdose scenario into a survivable
+/// one (or at least raises the glucose floor).
+#[test]
+fn mitigation_raises_the_glucose_floor() {
+    use aps_repro::core::mitigation::Mitigator;
+    let platform = Platform::GlucosymOref0;
+    let scenario = FaultScenario::new("rate", FaultKind::Max, Step(20), 36);
+
+    let run_with = |mitigate: bool| {
+        let mut patient = platform.patients().remove(0);
+        let mut controller = platform.controller_for(patient.as_ref());
+        let scs = Scs::with_default_thresholds(platform.target());
+        let mut monitor =
+            CawMonitor::new("cawot", scs, platform.basal_for(patient.as_ref()));
+        let mut injector = FaultInjector::new(scenario.clone());
+        let config = LoopConfig {
+            mitigator: mitigate.then(|| {
+                Mitigator::paper_default(
+                    platform.max_mitigation_rate(patient.as_ref()),
+                )
+            }),
+            ..LoopConfig::default()
+        };
+        closed_loop::run(
+            patient.as_mut(),
+            controller.as_mut(),
+            Some(&mut monitor),
+            Some(&mut injector),
+            &config,
+        )
+    };
+
+    let unmitigated = run_with(false);
+    let mitigated = run_with(true);
+    assert!(unmitigated.is_hazardous(), "baseline scenario must be hazardous");
+    assert!(
+        min_bg(&mitigated) > min_bg(&unmitigated) + 5.0,
+        "mitigation floor {:.1} vs baseline {:.1}",
+        min_bg(&mitigated),
+        min_bg(&unmitigated)
+    );
+}
+
+/// The glucose-input fault path: a max_glucose attack makes the
+/// controller overdose even though the patient's true BG is normal.
+#[test]
+fn glucose_input_fault_causes_overdose() {
+    let platform = Platform::GlucosymOref0;
+    let mut patient = platform.patients().remove(1);
+    let mut controller = platform.controller_for(patient.as_ref());
+    let mut injector =
+        FaultInjector::new(FaultScenario::new("glucose", FaultKind::Max, Step(20), 30));
+    let trace = closed_loop::run(
+        patient.as_mut(),
+        controller.as_mut(),
+        None,
+        Some(&mut injector),
+        &LoopConfig::default(),
+    );
+    // The true glucose must end lower than a fault-free run would.
+    assert!(
+        min_bg(&trace) < 85.0,
+        "spoofed-high glucose should cause an overdose dip, floor {:.1}",
+        min_bg(&trace)
+    );
+    // The recorded CGM column holds the *clean* reading (the monitor's
+    // view), so it must stay physiological even during the fault.
+    let max_reading = trace
+        .records
+        .iter()
+        .map(|r| r.bg.value())
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(max_reading < 390.0, "clean reading column was corrupted");
+}
+
+/// Suppressing insulin (truncate-rate DoS) drives BG meaningfully
+/// higher than the fault-free trajectory on both platforms (the
+/// Padova-style model responds more slowly — hours of insulin washout
+/// — so the comparison is against its own baseline, not a fixed bar).
+#[test]
+fn truncate_rate_fault_raises_bg_on_both_platforms() {
+    for platform in Platform::ALL {
+        let run_with = |faulty: bool| {
+            let mut patient = platform.patients().remove(0);
+            let mut controller = platform.controller_for(patient.as_ref());
+            let mut injector = FaultInjector::new(FaultScenario::new(
+                "rate",
+                FaultKind::Truncate,
+                Step(10),
+                60,
+            ));
+            let config = LoopConfig { initial_bg: 160.0, ..LoopConfig::default() };
+            let trace = closed_loop::run(
+                patient.as_mut(),
+                controller.as_mut(),
+                None,
+                faulty.then_some(&mut injector),
+                &config,
+            );
+            max_bg(&trace)
+        };
+        let clean = run_with(false);
+        let faulty = run_with(true);
+        assert!(
+            faulty > clean + 8.0,
+            "{}: 5 h without insulin peaked {faulty:.0} vs clean {clean:.0}",
+            platform.name()
+        );
+    }
+}
+
+/// The monitor wrapper must never change the trajectory when it only
+/// observes (no mitigation): monitored and unmonitored runs of the
+/// same scenario are identical.
+#[test]
+fn observation_only_monitor_does_not_perturb_the_loop() {
+    let platform = Platform::GlucosymOref0;
+    let scenario = FaultScenario::new("iob", FaultKind::Max, Step(30), 24);
+    let run_with_monitor = |with: bool| {
+        let mut patient = platform.patients().remove(3);
+        let mut controller = platform.controller_for(patient.as_ref());
+        let scs = Scs::with_default_thresholds(platform.target());
+        let mut monitor =
+            CawMonitor::new("cawot", scs, platform.basal_for(patient.as_ref()));
+        let mut injector = FaultInjector::new(scenario.clone());
+        let trace = closed_loop::run(
+            patient.as_mut(),
+            controller.as_mut(),
+            with.then_some(&mut monitor as &mut dyn HazardMonitor),
+            Some(&mut injector),
+            &LoopConfig::default(),
+        );
+        trace.bg_true_series()
+    };
+    assert_eq!(run_with_monitor(true), run_with_monitor(false));
+}

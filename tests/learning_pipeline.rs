@@ -1,0 +1,161 @@
+//! End-to-end test of the CAWT learning pipeline: campaign → threshold
+//! learning → improved monitor on held-out scenarios.
+
+use aps_repro::core::learning::{learn_thresholds, LearnConfig};
+use aps_repro::metrics::tolerance::{trace_tolerance_counts, DEFAULT_TOLERANCE};
+use aps_repro::prelude::*;
+use aps_repro::sim::campaign::{run_campaign, CampaignSpec};
+
+fn caw_factory(scs: Scs) -> impl Fn(&ScenarioCtx) -> Box<dyn HazardMonitor> + Sync {
+    move |ctx: &ScenarioCtx| {
+        Box::new(CawMonitor::new("caw", scs.clone(), ctx.basal)) as Box<dyn HazardMonitor>
+    }
+}
+
+#[test]
+fn cawt_learning_improves_over_cawot_on_held_out_traces() {
+    let platform = Platform::GlucosymOref0;
+    let train_spec = CampaignSpec {
+        patient_indices: vec![0],
+        initial_bgs: vec![100.0, 140.0, 180.0],
+        ..CampaignSpec::quick(platform)
+    };
+    let train = run_campaign(&train_spec, None);
+    assert!(
+        train.iter().any(|t| t.is_hazardous()),
+        "training campaign produced no hazards"
+    );
+
+    let probe = platform.patients().remove(0);
+    let basal = platform.basal_for(probe.as_ref());
+    let cawot = Scs::with_default_thresholds(platform.target());
+    let (cawt, fits) = learn_thresholds(&cawot, &train, basal, &LearnConfig::default());
+    assert!(
+        fits.iter().any(|f| f.n_samples > 0),
+        "no rule collected any samples"
+    );
+    assert_ne!(cawt, cawot, "learning should move at least one threshold");
+
+    // Held-out evaluation: different initial conditions.
+    let test_spec = CampaignSpec {
+        patient_indices: vec![0],
+        initial_bgs: vec![120.0, 160.0],
+        ..CampaignSpec::quick(platform)
+    };
+    let eval = |scs: Scs| {
+        let factory = caw_factory(scs);
+        let traces = run_campaign(&test_spec, Some(&factory));
+        let counts: aps_repro::metrics::ConfusionCounts = traces
+            .iter()
+            .map(|t| trace_tolerance_counts(t, DEFAULT_TOLERANCE))
+            .sum();
+        counts
+    };
+    let c_cawot = eval(cawot);
+    let c_cawt = eval(cawt);
+    assert!(
+        c_cawt.f1() >= c_cawot.f1() - 0.02,
+        "CAWT F1 {:.3} should not regress below CAWOT {:.3}",
+        c_cawt.f1(),
+        c_cawot.f1()
+    );
+    assert!(
+        c_cawt.fnr() <= c_cawot.fnr() + 1e-9,
+        "CAWT FNR {:.3} should not exceed CAWOT {:.3}",
+        c_cawt.fnr(),
+        c_cawot.fnr()
+    );
+}
+
+#[test]
+fn ml_dataset_pipeline_trains_a_useful_tree() {
+    use aps_repro::ml::data::StandardScaler;
+    use aps_repro::ml::tree::{DecisionTree, TreeConfig};
+    use aps_repro::ml::Classifier;
+    use aps_repro::sim::dataset::{balance, build_dataset, LabelMode};
+
+    let platform = Platform::GlucosymOref0;
+    let spec = CampaignSpec {
+        patient_indices: vec![0],
+        initial_bgs: vec![120.0, 180.0],
+        ..CampaignSpec::quick(platform)
+    };
+    let traces = run_campaign(&spec, None);
+    let probe = platform.patients().remove(0);
+    let basal = platform.basal_for(probe.as_ref());
+    let dataset = build_dataset(&traces, basal, LabelMode::Binary);
+    assert!(dataset.y.contains(&1), "no positive samples");
+    let balanced = balance(&dataset, 3);
+    let scaler = StandardScaler::fit(&balanced);
+    let scaled = scaler.transform_dataset(&balanced);
+    let tree = DecisionTree::fit(&scaled, &TreeConfig::default());
+
+    // In-sample accuracy must beat the majority-class baseline.
+    let majority = {
+        let pos = scaled.y.iter().filter(|&&y| y == 1).count();
+        (scaled.len() - pos).max(pos) as f64 / scaled.len() as f64
+    };
+    let correct = scaled
+        .x
+        .iter()
+        .zip(&scaled.y)
+        .filter(|(x, &y)| tree.predict(x) == y)
+        .count();
+    let acc = correct as f64 / scaled.len() as f64;
+    assert!(
+        acc > majority,
+        "tree accuracy {acc:.3} does not beat majority baseline {majority:.3}"
+    );
+}
+
+#[test]
+fn scs_stl_and_monitor_verdicts_agree_on_campaign_traces() {
+    use aps_repro::core::context::ContextBuilder;
+    use aps_repro::stl::Trace as StlTrace;
+
+    let platform = Platform::GlucosymOref0;
+    let spec = CampaignSpec {
+        patient_indices: vec![0],
+        initial_bgs: vec![140.0],
+        ..CampaignSpec::quick(platform)
+    };
+    let traces = run_campaign(&spec, None);
+    let probe = platform.patients().remove(0);
+    let basal = platform.basal_for(probe.as_ref());
+    let scs = Scs::with_default_thresholds(platform.target());
+
+    for trace in traces.iter().take(5) {
+        // Reconstruct the monitor-side signal view.
+        let mut builder = ContextBuilder::new(basal);
+        let (mut bgs, mut dbgs, mut iobs, mut diobs, mut us) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let mut native: Vec<bool> = Vec::new();
+        for rec in trace.iter() {
+            let ctx = builder.observe_bg(rec.bg);
+            builder.observe_delivery(rec.delivered);
+            bgs.push(ctx.bg);
+            dbgs.push(ctx.dbg);
+            iobs.push(ctx.iob);
+            diobs.push(ctx.diob);
+            us.push(rec.action.paper_index() as f64);
+            native.push(scs.first_violation(&ctx, rec.action).is_some());
+        }
+        let mut stl_trace = StlTrace::new(5.0);
+        stl_trace.push_signal("bg", bgs);
+        stl_trace.push_signal("bg'", dbgs);
+        stl_trace.push_signal("iob", iobs);
+        stl_trace.push_signal("iob'", diobs);
+        stl_trace.push_signal("u", us);
+        for (t, &native_verdict) in native.iter().enumerate() {
+            let stl_violation = scs
+                .rules
+                .iter()
+                .any(|r| !r.to_stl(scs.target, 0).sat(&stl_trace, t));
+            assert_eq!(
+                native_verdict, stl_violation,
+                "native/STL divergence at step {t} of {}",
+                trace.meta.fault_name
+            );
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Property-based tests for the extension layers: sensor-stream
+//! change detectors, the CGM error model, the HMS mitigation
+//! specification, and the context-dependent mitigator.
+
+use aps_repro::core::context::ContextVector;
+use aps_repro::core::hms::{
+    context_series, ContextMitigator, ContextMitigatorConfig, Hms, TsLearnConfig,
+    DEFAULT_TS_STEPS,
+};
+use aps_repro::detect::{
+    ChangeDetector, CgmGuard, Cusum, CusumConfig, Ewma, EwmaConfig, GuardConfig, Sprt,
+    SprtConfig,
+};
+use aps_repro::glucose::sensor_error::{mard, CgmErrorModel, ErrorModelConfig};
+use aps_repro::prelude::*;
+use aps_repro::types::{StepRecord, TraceMeta, CONTROL_CYCLE_MINUTES};
+use proptest::prelude::*;
+
+proptest! {
+    /// CUSUM sums are non-negative and bounded by the accumulated
+    /// positive drift-adjusted input; the detector never alarms while
+    /// both sums stay at zero.
+    #[test]
+    fn cusum_sums_are_nonnegative_and_consistent(
+        values in prop::collection::vec(-3.0f64..3.0, 1..200),
+        drift in 0.0f64..2.0,
+        threshold in 0.5f64..20.0,
+    ) {
+        let mut c = Cusum::new(CusumConfig { drift, threshold });
+        for &v in &values {
+            let decision = c.update(v);
+            let (hi, lo) = c.sums();
+            prop_assert!(hi >= 0.0 && lo >= 0.0);
+            if decision.is_anomalous() {
+                // The alarm state must persist.
+                prop_assert!(c.update(0.0).is_anomalous());
+                return Ok(());
+            }
+            prop_assert!(hi <= threshold && lo <= threshold);
+        }
+    }
+
+    /// A CUSUM fed values whose magnitude never exceeds the drift
+    /// allowance can never alarm, regardless of sequence.
+    #[test]
+    fn cusum_below_drift_never_alarms(
+        values in prop::collection::vec(-1.0f64..1.0, 1..300),
+        threshold in 0.1f64..50.0,
+    ) {
+        let mut c = Cusum::new(CusumConfig { drift: 1.0, threshold });
+        for &v in &values {
+            prop_assert!(!c.update(v).is_anomalous());
+        }
+        prop_assert_eq!(c.sums(), (0.0, 0.0));
+    }
+
+    /// EWMA statistic is a convex combination of inputs: it can never
+    /// leave the [min, max] hull of the observed values (with 0 seed).
+    #[test]
+    fn ewma_statistic_stays_in_input_hull(
+        values in prop::collection::vec(-50.0f64..50.0, 1..100),
+        lambda in 0.01f64..1.0,
+    ) {
+        let mut e = Ewma::new(EwmaConfig { lambda, limit: 1e9, sigma: 1.0 });
+        let lo = values.iter().cloned().fold(0.0f64, f64::min);
+        let hi = values.iter().cloned().fold(0.0f64, f64::max);
+        for &v in &values {
+            e.update(v);
+            prop_assert!(e.statistic() >= lo - 1e-9 && e.statistic() <= hi + 1e-9,
+                "z = {} outside [{}, {}]", e.statistic(), lo, hi);
+        }
+    }
+
+    /// SPRT decision boundaries are ordered (B < 0 < A) for any valid
+    /// error-rate configuration, and both LLR branches reset below A
+    /// while in control.
+    #[test]
+    fn sprt_boundaries_ordered(
+        alpha in 0.0001f64..0.3,
+        beta in 0.0001f64..0.3,
+        mu1 in 0.5f64..10.0,
+        sigma in 0.1f64..5.0,
+    ) {
+        let s = Sprt::new(SprtConfig { mu0: 0.0, mu1, sigma, alpha, beta });
+        prop_assert!(s.boundary_b() < 0.0);
+        prop_assert!(s.boundary_a() > 0.0);
+    }
+
+    /// Detector trait contract: reset always restores a non-alarming
+    /// state, for every detector and any prior input stream.
+    #[test]
+    fn detectors_reset_contract(
+        values in prop::collection::vec(-100.0f64..100.0, 0..100),
+    ) {
+        let detectors: Vec<Box<dyn ChangeDetector>> = vec![
+            Box::new(Sprt::new(SprtConfig::default())),
+            Box::new(Cusum::new(CusumConfig::default())),
+            Box::new(Ewma::new(EwmaConfig::default())),
+        ];
+        for mut d in detectors {
+            for &v in &values {
+                d.update(v);
+            }
+            d.reset();
+            prop_assert!(!d.update(0.0).is_anomalous(), "{} after reset", d.name());
+        }
+    }
+
+    /// The CGM guard never alarms on a perfectly linear glucose ramp
+    /// (innovation is identically zero) as long as the slope is
+    /// non-zero (so the stuck-at check does not trip).
+    #[test]
+    fn guard_is_silent_on_linear_ramps(
+        start in 150.0f64..250.0,
+        slope_mag in 1.0f64..4.0,
+        rising in any::<bool>(),
+        n in 10usize..30,
+    ) {
+        // Parameters chosen so the ramp never leaves [30, 370]: a
+        // clamped ramp goes flat, which the stuck-at check rightly
+        // flags.
+        let slope = if rising { slope_mag } else { -slope_mag };
+        let mut g = CgmGuard::new(
+            Cusum::new(CusumConfig::default()),
+            GuardConfig::default(),
+        );
+        for i in 0..n {
+            let bg = start + slope * i as f64;
+            prop_assert!(!g.observe(MgDl(bg)).is_anomalous(), "alarm at sample {i}");
+        }
+    }
+
+    /// CGM error model: distorted readings are always physiological
+    /// and the process is deterministic per seed.
+    #[test]
+    fn error_model_is_bounded_and_deterministic(
+        bg in 20.0f64..500.0,
+        seed in any::<u64>(),
+        n in 1usize..100,
+    ) {
+        let config = ErrorModelConfig { seed, ..ErrorModelConfig::degraded() };
+        let run = || -> Vec<f64> {
+            let mut m = CgmErrorModel::new(config);
+            (0..n).map(|_| m.distort(MgDl(bg), 5.0).value()).collect()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b);
+        for v in a {
+            prop_assert!((10.0..=600.0).contains(&v));
+        }
+    }
+
+    /// MARD is scale-invariant: scaling truth and distorted series by
+    /// the same positive factor leaves it unchanged.
+    #[test]
+    fn mard_is_scale_invariant(
+        pairs in prop::collection::vec((50.0f64..400.0, -30.0f64..30.0), 1..50),
+        k in 0.1f64..10.0,
+    ) {
+        let truth: Vec<f64> = pairs.iter().map(|(t, _)| *t).collect();
+        let distorted: Vec<f64> = pairs.iter().map(|(t, e)| t + e).collect();
+        let m1 = mard(&truth, &distorted);
+        let ts: Vec<f64> = truth.iter().map(|t| t * k).collect();
+        let ds: Vec<f64> = distorted.iter().map(|d| d * k).collect();
+        let m2 = mard(&ts, &ds);
+        prop_assert!((m1 - m2).abs() < 1e-9);
+    }
+
+    /// HMS deadline learning always lands inside the configured
+    /// bounds, whatever the TTH distribution looks like.
+    #[test]
+    fn ts_learning_respects_bounds(
+        tths in prop::collection::vec(0u32..150, 1..40),
+        quantile in 0.0f64..1.0,
+        fraction in 0.0f64..1.0,
+    ) {
+        let scs = Scs::with_default_thresholds(MgDl(110.0));
+        let mut hms = Hms::for_scs(&scs);
+        let traces: Vec<SimTrace> = tths.iter().map(|&dt| {
+            let meta = TraceMeta {
+                patient: "p".into(),
+                initial_bg: 120.0,
+                fault_name: "f".into(),
+                fault_start: Some(Step(10)),
+                hazard_onset: Some(Step(10 + dt)),
+                hazard_type: Some(Hazard::H1),
+            };
+            let mut t = SimTrace::new(meta);
+            for s in 0..(11 + dt) {
+                t.records.push(StepRecord::blank(Step(s)));
+            }
+            t
+        }).collect();
+        let cfg = TsLearnConfig {
+            quantile,
+            safety_fraction: fraction,
+            min_steps: 2,
+            max_steps: 18,
+        };
+        hms.learn_ts(&traces, &cfg);
+        for rule in &hms.rules {
+            if rule.hazard == Hazard::H1 {
+                prop_assert!((2..=18).contains(&rule.ts_steps));
+            } else {
+                prop_assert_eq!(rule.ts_steps, DEFAULT_TS_STEPS);
+            }
+        }
+    }
+
+    /// Context mitigation output is always inside [0, max_rate]; H2
+    /// corrections are monotone in BG excess and antitone in IOB.
+    #[test]
+    fn context_mitigation_is_bounded_and_monotone(
+        bg1 in 60.0f64..400.0,
+        bg_delta in 0.0f64..100.0,
+        iob1 in -1.0f64..6.0,
+        iob_delta in 0.0f64..3.0,
+        commanded in 0.0f64..8.0,
+    ) {
+        let m = ContextMitigator::new(ContextMitigatorConfig::for_run(
+            MgDl(110.0),
+            UnitsPerHour(1.0),
+            UnitsPerHour(6.0),
+        ));
+        let ctx = |bg: f64, iob: f64| ContextVector { bg, dbg: 0.0, iob, diob: 0.0 };
+        for hazard in [None, Some(Hazard::H1), Some(Hazard::H2)] {
+            let out = m.mitigate(hazard, &ctx(bg1, iob1), UnitsPerHour(commanded));
+            prop_assert!((0.0..=8.0).contains(&out.value()), "{hazard:?} -> {out:?}");
+            if hazard.is_some() {
+                prop_assert!(out.value() <= 6.0, "corrective rate above ceiling");
+            }
+        }
+        // Monotonicity on the H2 side.
+        let low = m.mitigate(Some(Hazard::H2), &ctx(bg1, iob1), UnitsPerHour(0.0));
+        let high = m.mitigate(Some(Hazard::H2), &ctx(bg1 + bg_delta, iob1), UnitsPerHour(0.0));
+        prop_assert!(high >= low, "correction not monotone in BG");
+        let more_iob =
+            m.mitigate(Some(Hazard::H2), &ctx(bg1, iob1 + iob_delta), UnitsPerHour(0.0));
+        prop_assert!(more_iob <= low, "correction not antitone in IOB");
+    }
+
+    /// Context reconstruction from a trace matches exact finite
+    /// differences for arbitrary BG/IOB series.
+    #[test]
+    fn context_series_is_exact_finite_differences(
+        series in prop::collection::vec((40.0f64..400.0, 0.0f64..5.0), 1..60),
+    ) {
+        let mut trace = SimTrace::new(TraceMeta::default());
+        for (i, (bg, iob)) in series.iter().enumerate() {
+            let mut rec = StepRecord::blank(Step(i as u32));
+            rec.bg = MgDl(*bg);
+            rec.iob = Units(*iob);
+            trace.records.push(rec);
+        }
+        let ctx = context_series(&trace);
+        prop_assert_eq!(ctx.len(), series.len());
+        for i in 1..series.len() {
+            prop_assert!((ctx[i].dbg - (series[i].0 - series[i - 1].0)).abs() < 1e-12);
+            let diob = (series[i].1 - series[i - 1].1) / CONTROL_CYCLE_MINUTES;
+            prop_assert!((ctx[i].diob - diob).abs() < 1e-12);
+        }
+    }
+
+    /// The HMS audit never reports more honored entries than total
+    /// entries, and `entries = honored + truncated + violations`.
+    #[test]
+    fn hms_report_is_an_exact_partition(
+        bgs in prop::collection::vec(40.0f64..300.0, 5..80),
+        action_seed in any::<u8>(),
+    ) {
+        let scs = Scs::with_default_thresholds(MgDl(110.0));
+        let hms = Hms::for_scs(&scs);
+        let mut trace = SimTrace::new(TraceMeta::default());
+        let actions = ControlAction::ALL;
+        for (i, bg) in bgs.iter().enumerate() {
+            let mut rec = StepRecord::blank(Step(i as u32));
+            rec.bg = MgDl(*bg);
+            rec.iob = Units(((i as u32 ^ u32::from(action_seed)) % 5) as f64 - 1.0);
+            rec.action = actions[(i + action_seed as usize) % 4];
+            trace.records.push(rec);
+        }
+        let report = hms.check_trace(&scs, &trace);
+        prop_assert_eq!(
+            report.entries,
+            report.honored + report.truncated + report.violations.len()
+        );
+    }
+}
+
+/// The guard catches a spoof injected anywhere in a plausible trace —
+/// a deterministic sweep rather than a proptest because the detector
+/// needs a warm-up prefix.
+#[test]
+fn guard_catches_spoofs_at_any_onset() {
+    for onset in [10usize, 25, 40] {
+        let mut g =
+            CgmGuard::new(Cusum::new(CusumConfig::default()), GuardConfig::default());
+        let mut caught = false;
+        for i in 0..onset + 6 {
+            let bg = if i < onset { 120.0 + i as f64 } else { 320.0 };
+            caught |= g.observe(MgDl(bg)).is_anomalous();
+        }
+        assert!(caught, "spoof at {onset} missed");
+    }
+}

@@ -1,0 +1,228 @@
+//! Property-based tests of cross-crate invariants.
+
+use aps_repro::metrics::tolerance::tolerance_counts;
+use aps_repro::optim::{Loss, LossKind, Tmee};
+use aps_repro::prelude::*;
+use aps_repro::risk;
+use aps_repro::stl::{parser::parse, CmpOp, Formula, Trace};
+use proptest::prelude::*;
+
+proptest! {
+    /// STL: robustness sign agrees with boolean satisfaction for a
+    /// family of random formulas over random traces.
+    #[test]
+    fn stl_robustness_sign_matches_sat(
+        values in prop::collection::vec(-50.0f64..50.0, 3..40),
+        threshold in -40.0f64..40.0,
+        lo in 0usize..5,
+        span in 0usize..8,
+    ) {
+        let mut trace = Trace::new(5.0);
+        trace.push_signal("x", values.clone());
+        let formulas = vec![
+            Formula::pred("x", CmpOp::Gt, threshold),
+            Formula::pred("x", CmpOp::Lt, threshold)
+                .or(Formula::pred("x", CmpOp::Ge, threshold + 5.0)),
+            Formula::pred("x", CmpOp::Gt, threshold).globally(lo, lo + span),
+            Formula::pred("x", CmpOp::Gt, threshold).eventually(lo, lo + span),
+            Formula::pred("x", CmpOp::Le, threshold).not(),
+        ];
+        for f in formulas {
+            for t in 0..values.len() {
+                let rob = f.robustness(&trace, t);
+                if rob != 0.0 {
+                    prop_assert_eq!(f.sat(&trace, t), rob > 0.0, "{} at {}", f, t);
+                }
+            }
+        }
+    }
+
+    /// STL: `G φ ≡ ¬F ¬φ` on finite traces.
+    #[test]
+    fn stl_globally_eventually_duality(
+        values in prop::collection::vec(-10.0f64..10.0, 2..30),
+        threshold in -8.0f64..8.0,
+        hi in 0usize..12,
+    ) {
+        let mut trace = Trace::new(5.0);
+        trace.push_signal("x", values.clone());
+        let phi = Formula::pred("x", CmpOp::Gt, threshold);
+        let g = phi.clone().globally(0, hi);
+        let not_f_not = phi.not().eventually(0, hi).not();
+        for t in 0..values.len() {
+            prop_assert_eq!(g.sat(&trace, t), not_f_not.sat(&trace, t), "t={}", t);
+        }
+    }
+
+    /// Parser round-trip: Display output re-parses to the same AST.
+    #[test]
+    fn stl_display_parse_roundtrip(
+        a in -100.0f64..100.0,
+        b in -100.0f64..100.0,
+        lo in 0usize..10,
+        span in 0usize..10,
+    ) {
+        let f = Formula::pred("bg", CmpOp::Gt, a)
+            .and(Formula::pred("iob", CmpOp::Le, b))
+            .implies(Formula::pred("u", CmpOp::Eq, 1.0).not())
+            .globally(lo, lo + span);
+        let reparsed = parse(&f.to_string()).unwrap();
+        prop_assert_eq!(f, reparsed);
+    }
+
+    /// TMEE: always non-negative-ish near the origin, strictly convex
+    /// wall on the violation side: loss(-r) > loss(r) for r >= 1.
+    #[test]
+    fn tmee_violation_side_dominates(r in 1.0f64..20.0) {
+        prop_assert!(Tmee.value(-r) > Tmee.value(r));
+    }
+
+    /// All losses are finite over a wide range, and their gradients
+    /// match central differences.
+    #[test]
+    fn loss_gradients_match_numerical(r in -30.0f64..30.0) {
+        for kind in [LossKind::Mse, LossKind::Telex, LossKind::Tmee] {
+            let v = kind.value(r);
+            prop_assert!(v.is_finite(), "{}({r})", kind.name());
+            let h = 1e-5;
+            let num = (kind.value(r + h) - kind.value(r - h)) / (2.0 * h);
+            let ana = kind.grad(r);
+            prop_assert!(
+                (num - ana).abs() <= 1e-4 * (1.0 + ana.abs()),
+                "{}: r={} num={} ana={}", kind.name(), r, num, ana
+            );
+        }
+    }
+
+    /// Risk index: non-negative everywhere, zero only near 112.5,
+    /// low/high branches partition the total.
+    #[test]
+    fn risk_branches_partition(bg in 20.0f64..600.0) {
+        let total = risk::risk_bg(bg);
+        let low = risk::risk_low(bg);
+        let high = risk::risk_high(bg);
+        prop_assert!(total >= 0.0);
+        prop_assert!((low + high - total).abs() < 1e-9);
+        prop_assert!(low == 0.0 || high == 0.0);
+        if (bg - 112.5).abs() > 20.0 {
+            prop_assert!(total > 0.1, "risk({bg}) = {total}");
+        }
+    }
+
+    /// Tolerance-window confusion counts always partition the samples.
+    #[test]
+    fn tolerance_counts_partition(
+        pred in prop::collection::vec(any::<bool>(), 1..80),
+        seed in any::<u64>(),
+        delta in 0usize..20,
+    ) {
+        // Derive ground truth deterministically from the seed.
+        let gt: Vec<bool> = (0..pred.len())
+            .map(|i| {
+                let mixed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((i as u64).wrapping_mul(1442695040888963407));
+                mixed % 7 == 0
+            })
+            .collect();
+        let c = tolerance_counts(&pred, &gt, delta);
+        prop_assert_eq!(c.total() as usize, pred.len());
+    }
+
+    /// Wider tolerance windows can only help (F1 non-decreasing) when
+    /// alerts precede hazards.
+    #[test]
+    fn earlier_alerts_never_hurt_with_wider_window(
+        onset in 20usize..40,
+        lead in 1usize..15,
+    ) {
+        let n = 60;
+        let mut pred = vec![false; n];
+        pred[onset - lead] = true;
+        let mut gt = vec![false; n];
+        for g in gt.iter_mut().skip(onset) {
+            *g = true;
+        }
+        let narrow = tolerance_counts(&pred, &gt, lead.saturating_sub(1));
+        let wide = tolerance_counts(&pred, &gt, lead + 5);
+        prop_assert!(wide.f1() >= narrow.f1());
+    }
+
+    /// Pump actuation is idempotent and always within hardware limits.
+    #[test]
+    fn pump_actuation_idempotent(rate in -5.0f64..50.0) {
+        use aps_repro::glucose::pump::Pump;
+        let pump = Pump::default();
+        let once = pump.actuate(UnitsPerHour(rate));
+        prop_assert!(once.value() >= 0.0 && once.value() <= 10.0);
+        prop_assert_eq!(pump.actuate(once), once);
+    }
+
+    /// IOB estimator: never NaN; IOB falls (weakly) under suspension.
+    #[test]
+    fn iob_falls_under_suspension(
+        basal in 0.2f64..3.0,
+        boost in 0.0f64..8.0,
+    ) {
+        use aps_repro::glucose::iob::{IobCurve, IobEstimator};
+        let mut est = IobEstimator::new(IobCurve::default_exponential(), 5.0);
+        est.set_basal_baseline(UnitsPerHour(basal));
+        est.prefill_basal(UnitsPerHour(basal));
+        for _ in 0..6 {
+            est.record(UnitsPerHour(basal + boost));
+        }
+        let peak = est.iob().value();
+        prop_assert!(peak.is_finite());
+        let mut last = peak;
+        for _ in 0..24 {
+            est.record(UnitsPerHour(0.0));
+            let now = est.iob().value();
+            prop_assert!(now <= last + 1e-9, "IOB rose during suspension");
+            last = now;
+        }
+    }
+
+    /// Bergman patient: BG stays within the physiological floor/ceiling
+    /// for arbitrary constant infusion rates.
+    #[test]
+    fn bergman_bg_bounded(rate in 0.0f64..20.0, bg0 in 60.0f64..250.0) {
+        use aps_repro::glucose::bergman::{BergmanParams, BergmanPatient};
+        let mut p = BergmanPatient::new(BergmanParams::population_average());
+        p.reset(MgDl(bg0));
+        for _ in 0..48 {
+            p.step(UnitsPerHour(rate), 5.0);
+            let bg = p.bg().value();
+            prop_assert!((10.0..=600.0).contains(&bg), "BG escaped to {bg}");
+        }
+    }
+
+    /// Fault kinds always produce values inside the legitimate range
+    /// (except Truncate's hard zero).
+    #[test]
+    fn fault_kinds_respect_ranges(
+        value in -10.0f64..500.0,
+        lo in 0.0f64..50.0,
+        width in 1.0f64..400.0,
+        held in -10.0f64..500.0,
+        bit in 0u8..64,
+        offset in -100.0f64..100.0,
+    ) {
+        let hi = lo + width;
+        let kinds = [
+            FaultKind::Hold,
+            FaultKind::Max,
+            FaultKind::Min,
+            FaultKind::Add(offset),
+            FaultKind::Sub(offset),
+            FaultKind::BitFlip(bit),
+        ];
+        for kind in kinds {
+            let out = kind.apply(value, lo, hi, held.clamp(lo, hi));
+            prop_assert!(
+                (lo..=hi).contains(&out),
+                "{kind:?}({value}) -> {out} outside [{lo}, {hi}]"
+            );
+        }
+        prop_assert_eq!(FaultKind::Truncate.apply(value, lo, hi, held), 0.0);
+    }
+}

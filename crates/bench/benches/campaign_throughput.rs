@@ -1,0 +1,40 @@
+//! Fault-injection campaign throughput: the paper's headline workload.
+//!
+//! Compares the lock-free parallel executor against the serial
+//! reference and against the seed-faithful baseline (allocating RK4 +
+//! mutex-funneled executor). `repro bench-campaign` runs the same
+//! comparison as a one-shot and records BENCH_campaign.json.
+
+use aps_bench::perf::seed_baseline;
+use aps_sim::campaign::{run_campaign, run_campaign_serial, CampaignSpec};
+use aps_sim::platform::Platform;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn small_spec() -> CampaignSpec {
+    CampaignSpec {
+        patient_indices: vec![0],
+        initial_bgs: vec![120.0],
+        steps: 60,
+        ..CampaignSpec::quick(Platform::GlucosymOref0)
+    }
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let spec = small_spec();
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+    group.bench_function("seed_baseline", |b| {
+        b.iter(|| black_box(seed_baseline::run_campaign(black_box(&spec)).len()))
+    });
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(run_campaign_serial(black_box(&spec), None).len()))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(run_campaign(black_box(&spec), None).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

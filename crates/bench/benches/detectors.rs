@@ -9,8 +9,7 @@
 use aps_core::context::ContextVector;
 use aps_core::hms::{ContextMitigator, ContextMitigatorConfig};
 use aps_detect::{
-    CgmGuard, ChangeDetector, Cusum, CusumConfig, Ewma, EwmaConfig, GuardConfig, Sprt,
-    SprtConfig,
+    CgmGuard, ChangeDetector, Cusum, CusumConfig, Ewma, EwmaConfig, GuardConfig, Sprt, SprtConfig,
 };
 use aps_types::{Hazard, MgDl, UnitsPerHour};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -20,7 +19,9 @@ fn bench_detectors(c: &mut Criterion) {
     let mut group = c.benchmark_group("detector_update");
     // A residual stream that never alarms, so steady-state cost is
     // measured rather than the post-trip early return.
-    let stream: Vec<f64> = (0..256).map(|i| if i % 2 == 0 { 0.3 } else { -0.3 }).collect();
+    let stream: Vec<f64> = (0..256)
+        .map(|i| if i % 2 == 0 { 0.3 } else { -0.3 })
+        .collect();
 
     group.bench_function("sprt", |b| {
         let mut d = Sprt::new(SprtConfig::default());
@@ -54,8 +55,7 @@ fn bench_detectors(c: &mut Criterion) {
 
 fn bench_guard(c: &mut Criterion) {
     c.bench_function("cgm_guard_observe", |b| {
-        let mut g =
-            CgmGuard::new(Cusum::new(CusumConfig::default()), GuardConfig::default());
+        let mut g = CgmGuard::new(Cusum::new(CusumConfig::default()), GuardConfig::default());
         let mut i = 0u64;
         b.iter(|| {
             // A gentle sinusoid: realistic, never alarming.
@@ -73,7 +73,12 @@ fn bench_context_mitigator(c: &mut Criterion) {
             UnitsPerHour(1.0),
             UnitsPerHour(6.0),
         ));
-        let ctx = ContextVector { bg: 250.0, dbg: 3.0, iob: 1.2, diob: 0.001 };
+        let ctx = ContextVector {
+            bg: 250.0,
+            dbg: 3.0,
+            iob: 1.2,
+            diob: 0.001,
+        };
         b.iter(|| {
             black_box(m.mitigate(
                 black_box(Some(Hazard::H2)),
@@ -84,5 +89,10 @@ fn bench_context_mitigator(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_detectors, bench_guard, bench_context_mitigator);
+criterion_group!(
+    benches,
+    bench_detectors,
+    bench_guard,
+    bench_context_mitigator
+);
 criterion_main!(benches);

@@ -45,12 +45,8 @@ fn bench_threshold_learning(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("learn_all_rules_62_traces", |b| {
         b.iter(|| {
-            let (refined, fits) = learn_thresholds(
-                &scs,
-                &traces,
-                UnitsPerHour(1.0),
-                &LearnConfig::default(),
-            );
+            let (refined, fits) =
+                learn_thresholds(&scs, &traces, UnitsPerHour(1.0), &LearnConfig::default());
             black_box((refined.rules.len(), fits.len()))
         });
     });

@@ -7,8 +7,8 @@
 //! is the reproduction target; absolute numbers are native-Rust fast.
 
 use aps_core::monitors::{
-    CawMonitor, GuidelineMonitor, HazardMonitor, LstmMonitor, MlMonitor, MonitorInput,
-    MpcMonitor, StlCawMonitor,
+    CawMonitor, GuidelineMonitor, HazardMonitor, LstmMonitor, MlMonitor, MonitorInput, MpcMonitor,
+    StlCawMonitor,
 };
 use aps_core::scs::Scs;
 use aps_ml::data::{Dataset, StandardScaler};
@@ -24,7 +24,14 @@ fn toy_flat_dataset() -> Dataset {
     let x: Vec<Vec<f64>> = (0..200)
         .map(|i| {
             let v = i as f64;
-            vec![100.0 + v, v % 7.0 - 3.0, v % 3.0, 0.001 * v, 1.0 + v % 2.0, 1.0 + v % 4.0]
+            vec![
+                100.0 + v,
+                v % 7.0 - 3.0,
+                v % 3.0,
+                0.001 * v,
+                1.0 + v % 2.0,
+                1.0 + v % 4.0,
+            ]
         })
         .collect();
     let y: Vec<usize> = (0..200).map(|i| usize::from(i % 5 == 0)).collect();
@@ -33,11 +40,7 @@ fn toy_flat_dataset() -> Dataset {
 
 fn toy_seq_dataset(window: usize) -> SeqDataset {
     let flat = toy_flat_dataset();
-    let x: Vec<Vec<Vec<f64>>> = flat
-        .x
-        .windows(window)
-        .map(|w| w.to_vec())
-        .collect();
+    let x: Vec<Vec<Vec<f64>>> = flat.x.windows(window).map(|w| w.to_vec()).collect();
     let y: Vec<usize> = flat.y[window - 1..].to_vec();
     SeqDataset::new(x, y)
 }
@@ -71,8 +74,7 @@ fn bench_monitors(c: &mut Criterion) {
     group.bench_function("cawt_stl_synthesized", |b| {
         // The same SCS executed as online STL formulas instead of
         // native checks — the cost of interpreting the specification.
-        let mut m =
-            StlCawMonitor::new("cawt-stl", Scs::with_default_thresholds(target), basal);
+        let mut m = StlCawMonitor::new("cawt-stl", Scs::with_default_thresholds(target), basal);
         b.iter(|| drive(&mut m, 10));
     });
     group.bench_function("guideline", |b| {
@@ -106,8 +108,7 @@ fn bench_monitors(c: &mut Criterion) {
             ..LstmConfig::default()
         };
         let lstm = Lstm::fit(&toy_seq_dataset(6), &cfg);
-        let mut m =
-            LstmMonitor::binary("lstm", Box::new(lstm), scaler.clone(), basal, target, 6);
+        let mut m = LstmMonitor::binary("lstm", Box::new(lstm), scaler.clone(), basal, target, 6);
         b.iter(|| drive(&mut m, 10));
     });
     group.finish();

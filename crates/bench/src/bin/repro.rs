@@ -18,6 +18,7 @@
 //!   ablation-hms          Eq.2 deadlines + context-dependent mitigation
 //!   ablation-noise        CAWT accuracy under CGM sensor error
 //!   summary               digest of all recorded results
+//!   bench-campaign        campaign-throughput baseline -> BENCH_campaign.json
 //!   all                   everything above, in order
 //!
 //! flags (workload scaling):
@@ -75,6 +76,12 @@ fn main() {
             let dir = opts.out_dir.clone().unwrap_or_else(|| "results".to_owned());
             aps_bench::summary::print_summary(std::path::Path::new(&dir));
         }
+        "bench-campaign" => {
+            // Perf baseline, not a paper experiment: measures quick-
+            // campaign throughput (seed-faithful hot path vs current)
+            // and records BENCH_campaign.json for the perf trajectory.
+            aps_bench::perf::bench_campaign(5, "BENCH_campaign.json");
+        }
         other => {
             eprintln!("unknown experiment `{other}` (see --help)");
             std::process::exit(2);
@@ -114,6 +121,10 @@ experiments:
   fig3, fig7, fig8, fig9, table5, table6, table7, table8,
   ablation-adversarial, ablation-multiclass, ablation-faultfree,
   ablation-hms, ablation-noise, summary, all
+
+perf:
+  bench-campaign             quick-campaign throughput baseline; writes
+                             BENCH_campaign.json (seed-faithful vs current)
 
 flags:
   --quick | --full           workload presets

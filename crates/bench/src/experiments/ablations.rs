@@ -19,11 +19,7 @@ use serde_json::json;
 /// operation is never flagged — the paper's "thresholds learned from
 /// fault-free data" variant, which lacks the adversarial tightening
 /// against actual hazard trajectories.
-fn fault_free_thresholds(
-    scs: &Scs,
-    traces: &[SimTrace],
-    basal: UnitsPerHour,
-) -> Scs {
+fn fault_free_thresholds(scs: &Scs, traces: &[SimTrace], basal: UnitsPerHour) -> Scs {
     let mut out = scs.clone();
     for rule in &scs.rules {
         let mut extreme: Option<f64> = None;
@@ -65,7 +61,11 @@ fn fault_free_thresholds(
             }
         }
         if let Some(mu) = extreme {
-            let margin = if matches!(rule.iob, IobCond::Any) { 2.0 } else { 0.05 };
+            let margin = if matches!(rule.iob, IobCond::Any) {
+                2.0
+            } else {
+                0.05
+            };
             let beta = match rule.iob {
                 IobCond::BelowBeta | IobCond::Any => mu - margin,
                 IobCond::AboveBeta => mu + margin,
@@ -112,9 +112,10 @@ pub fn adversarial(opts: &ExpOpts) {
 
     let mut table = Table::new(&["training", "FPR", "FNR", "F1", "EDR"]);
     let mut results = Vec::new();
-    for (label, ts) in
-        [("adversarial (faulty)", &adversarial), ("fault-free only", &ff_replayed)]
-    {
+    for (label, ts) in [
+        ("adversarial (faulty)", &adversarial),
+        ("fault-free only", &ff_replayed),
+    ] {
         let c = sample_counts(ts);
         let edr = early_detection_rate(ts.iter());
         table.row(&[
@@ -134,7 +135,11 @@ pub fn adversarial(opts: &ExpOpts) {
         "reproduction target: adversarial refinement raises EDR and F1 over the\n\
          fault-free-trained monitor (paper: +11.3% EDR, +8.5% F1)."
     );
-    write_json(&opts.out_dir, "ablation_adversarial", &json!({ "rows": results }));
+    write_json(
+        &opts.out_dir,
+        "ablation_adversarial",
+        &json!({ "rows": results }),
+    );
 }
 
 /// Ablation 2: binary vs multi-class ML monitors.
@@ -177,7 +182,11 @@ pub fn multiclass(opts: &ExpOpts) {
          for mitigation) costs them FNR/accuracy; CAWT already knows the hazard type\n\
          from its SCS rules (paper: ≥14.3% FNR increase for the ML monitors)."
     );
-    write_json(&opts.out_dir, "ablation_multiclass", &json!({ "rows": results }));
+    write_json(
+        &opts.out_dir,
+        "ablation_multiclass",
+        &json!({ "rows": results }),
+    );
 }
 
 /// Ablation 3: monitors evaluated on *fault-free* simulations only —
@@ -190,7 +199,10 @@ pub fn fault_free_eval(opts: &ExpOpts) {
 
     // A fresh fault-free set (different initial BGs than training used).
     let mut ff_spec = opts.campaign(platform);
-    ff_spec.faults = aps_fault::CampaignConfig { starts: vec![], durations: vec![] };
+    ff_spec.faults = aps_fault::CampaignConfig {
+        starts: vec![],
+        durations: vec![],
+    };
     ff_spec.include_fault_free = true;
     let fault_free = run_campaign(&ff_spec, None);
 
@@ -221,7 +233,11 @@ pub fn fault_free_eval(opts: &ExpOpts) {
          never trained on; fully-supervised ML monitors lose far more (paper: ≥48.9%\n\
          F1 drop for ML vs 3.9% for CAWT)."
     );
-    write_json(&opts.out_dir, "ablation_faultfree", &json!({ "rows": results }));
+    write_json(
+        &opts.out_dir,
+        "ablation_faultfree",
+        &json!({ "rows": results }),
+    );
 }
 
 /// Extension ablation: monitor accuracy under realistic CGM sensor
@@ -250,7 +266,10 @@ pub fn sensor_noise(opts: &ExpOpts) {
         ("clean (paper assumption)", CgmConfig::default()),
         (
             "white noise sd=5",
-            CgmConfig { noise_sd: 5.0, ..CgmConfig::default() },
+            CgmConfig {
+                noise_sd: 5.0,
+                ..CgmConfig::default()
+            },
         ),
         (
             "Dexcom-like AR+cal",
@@ -272,7 +291,10 @@ pub fn sensor_noise(opts: &ExpOpts) {
     let mut results = Vec::new();
     for (label, cgm) in conditions {
         eprintln!("  evaluation campaign, {label} ...");
-        let spec = aps_sim::campaign::CampaignSpec { cgm, ..clean_spec.clone() };
+        let spec = aps_sim::campaign::CampaignSpec {
+            cgm,
+            ..clean_spec.clone()
+        };
         let factory = |ctx: &ScenarioCtx| -> Box<dyn aps_core::monitors::HazardMonitor> {
             zoo.make(MonitorKind::Cawt, &ctx.patient)
         };

@@ -30,14 +30,23 @@ pub fn cv_replay(
         // No trained artifacts: single pass, no folds needed.
         let zoo = Zoo::train(platform, opts, &[]);
         for &kind in kinds {
-            out.get_mut(&kind).unwrap().extend(replay_all(&zoo, kind, traces));
+            out.get_mut(&kind)
+                .unwrap()
+                .extend(replay_all(&zoo, kind, traces));
         }
         return out;
     }
-    for (fold, (train_idx, test_idx)) in
-        fold_indices(traces.len(), opts.folds).into_iter().enumerate()
+    for (fold, (train_idx, test_idx)) in fold_indices(traces.len(), opts.folds)
+        .into_iter()
+        .enumerate()
     {
-        eprintln!("  fold {}/{} (train {}, test {})", fold + 1, opts.folds, train_idx.len(), test_idx.len());
+        eprintln!(
+            "  fold {}/{} (train {}, test {})",
+            fold + 1,
+            opts.folds,
+            train_idx.len(),
+            test_idx.len()
+        );
         let train = select(traces, &train_idx);
         let test = select(traces, &test_idx);
         let zoo = if with_ml {
@@ -46,7 +55,9 @@ pub fn cv_replay(
             Zoo::train(platform, opts, &train)
         };
         for &kind in kinds {
-            out.get_mut(&kind).unwrap().extend(replay_all(&zoo, kind, &test));
+            out.get_mut(&kind)
+                .unwrap()
+                .extend(replay_all(&zoo, kind, &test));
         }
     }
     out
@@ -78,7 +89,11 @@ pub fn table5(opts: &ExpOpts) {
         let traces = run_campaign(&opts.campaign(platform), None);
         let hazardous =
             traces.iter().filter(|t| t.is_hazardous()).count() as f64 / traces.len() as f64;
-        println!("{} simulations, {:.1}% hazardous", traces.len(), hazardous * 100.0);
+        println!(
+            "{} simulations, {:.1}% hazardous",
+            traces.len(),
+            hazardous * 100.0
+        );
 
         let kinds = [
             MonitorKind::Guideline,
@@ -147,7 +162,12 @@ fn paper_table6(platform: Platform, kind: MonitorKind) -> Option<(f64, f64, f64,
 /// Table VI: CAWT vs the ML monitors, sample and simulation level.
 pub fn table6(opts: &ExpOpts) {
     println!("Table VI — CAWT vs ML monitors (sample + simulation level)\n");
-    let kinds = [MonitorKind::Dt, MonitorKind::Mlp, MonitorKind::Lstm, MonitorKind::Cawt];
+    let kinds = [
+        MonitorKind::Dt,
+        MonitorKind::Mlp,
+        MonitorKind::Lstm,
+        MonitorKind::Cawt,
+    ];
     let mut results = Vec::new();
     for platform in Platform::ALL {
         println!("== {} ==", platform.name());
@@ -155,8 +175,18 @@ pub fn table6(opts: &ExpOpts) {
         let replayed = cv_replay(platform, opts, &traces, &kinds, true);
 
         let mut table = Table::new(&[
-            "monitor", "FPR", "FNR", "ACC", "F1", "| sim:", "FPR", "FNR", "ACC", "F1",
-            "| paper F1:", "sample",
+            "monitor",
+            "FPR",
+            "FNR",
+            "ACC",
+            "F1",
+            "| sim:",
+            "FPR",
+            "FNR",
+            "ACC",
+            "F1",
+            "| paper F1:",
+            "sample",
         ]);
         for kind in kinds {
             let ts = &replayed[&kind];

@@ -11,8 +11,7 @@ use serde_json::json;
 /// wall.
 pub fn run(opts: &ExpOpts) {
     println!("Fig. 3 — loss functions over the robustness residual r\n");
-    let mut table =
-        Table::new(&["r", "MSE", "MAE", "TeLEx", "TMEE"]);
+    let mut table = Table::new(&["r", "MSE", "MAE", "TeLEx", "TMEE"]);
     let mut r = -3.0;
     while r <= 3.0 + 1e-9 {
         table.row(&[
@@ -39,8 +38,7 @@ pub fn run(opts: &ExpOpts) {
         }
         best.1
     };
-    let mins: Vec<(LossKind, f64)> =
-        LossKind::ALL.iter().map(|&k| (k, argmin(k))).collect();
+    let mins: Vec<(LossKind, f64)> = LossKind::ALL.iter().map(|&k| (k, argmin(k))).collect();
     println!("minima:");
     for (k, m) in &mins {
         println!("  {:<6} argmin r = {m:+.3}", k.name());

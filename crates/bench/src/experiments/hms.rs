@@ -51,8 +51,14 @@ pub fn hms_mitigation(opts: &ExpOpts) {
         baseline.iter().filter(|t| t.is_hazardous()).count(),
         updated,
     );
-    println!("  H1 (hypoglycemia side): mitigate within {:.0} min", ts_of(Hazard::H1));
-    println!("  H2 (hyperglycemia side): mitigate within {:.0} min\n", ts_of(Hazard::H2));
+    println!(
+        "  H1 (hypoglycemia side): mitigate within {:.0} min",
+        ts_of(Hazard::H1)
+    );
+    println!(
+        "  H2 (hyperglycemia side): mitigate within {:.0} min\n",
+        ts_of(Hazard::H2)
+    );
 
     let mut table = Table::new(&[
         "mitigation policy",
@@ -64,12 +70,16 @@ pub fn hms_mitigation(opts: &ExpOpts) {
         "HMS deadline compliance",
     ]);
     let mut results = Vec::new();
-    for (label, context_mitigate) in
-        [("fixed (Algorithm 1)", false), ("context-aware f(rho,u)", true)]
-    {
+    for (label, context_mitigate) in [
+        ("fixed (Algorithm 1)", false),
+        ("context-aware f(rho,u)", true),
+    ] {
         eprintln!("  mitigated campaign, {label} ...");
-        let spec_mit =
-            CampaignSpec { mitigate: true, context_mitigate, ..spec.clone() };
+        let spec_mit = CampaignSpec {
+            mitigate: true,
+            context_mitigate,
+            ..spec.clone()
+        };
         let factory = |ctx: &ScenarioCtx| -> Box<dyn HazardMonitor> {
             zoo.make(MonitorKind::Cawt, &ctx.patient)
         };

@@ -25,8 +25,12 @@ pub fn table7(opts: &ExpOpts) {
     let baseline = run_campaign(&spec, None);
     let zoo = Zoo::train_full(platform, opts, &baseline);
 
-    let kinds =
-        [MonitorKind::Cawt, MonitorKind::Dt, MonitorKind::Mlp, MonitorKind::Mpc];
+    let kinds = [
+        MonitorKind::Cawt,
+        MonitorKind::Dt,
+        MonitorKind::Mlp,
+        MonitorKind::Mpc,
+    ];
     let paper: &[(MonitorKind, f64, u64, f64)] = &[
         (MonitorKind::Cawt, 0.54, 8, 0.02),
         (MonitorKind::Dt, 0.403, 227, 0.76),
@@ -47,10 +51,12 @@ pub fn table7(opts: &ExpOpts) {
     let mut results = Vec::new();
     for kind in kinds {
         eprintln!("  mitigated campaign with {} ...", kind.name());
-        let spec_mit = CampaignSpec { mitigate: true, ..spec.clone() };
-        let factory = |ctx: &ScenarioCtx| -> Box<dyn HazardMonitor> {
-            zoo.make(kind, &ctx.patient)
+        let spec_mit = CampaignSpec {
+            mitigate: true,
+            ..spec.clone()
         };
+        let factory =
+            |ctx: &ScenarioCtx| -> Box<dyn HazardMonitor> { zoo.make(kind, &ctx.patient) };
         let mitigated = run_campaign(&spec_mit, Some(&factory));
 
         let pairs: Vec<_> = baseline.iter().zip(mitigated.iter()).collect();

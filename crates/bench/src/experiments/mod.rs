@@ -29,7 +29,10 @@ pub fn replay_all(zoo: &Zoo, kind: MonitorKind, traces: &[SimTrace]) -> Vec<SimT
 /// Aggregated sample-level (tolerance-window) counts over traces that
 /// already carry alerts.
 pub fn sample_counts(traces: &[SimTrace]) -> ConfusionCounts {
-    traces.iter().map(|t| trace_tolerance_counts(t, DEFAULT_TOLERANCE)).sum()
+    traces
+        .iter()
+        .map(|t| trace_tolerance_counts(t, DEFAULT_TOLERANCE))
+        .sum()
 }
 
 /// Aggregated simulation-level (two-region) counts.

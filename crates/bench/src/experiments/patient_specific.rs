@@ -30,9 +30,7 @@ pub fn table8(opts: &ExpOpts) {
     // One campaign over all requested patients.
     let traces = run_campaign(&opts.campaign(platform), None);
 
-    let mut table = Table::new(&[
-        "patient", "thresholds", "FPR", "FNR", "ACC", "F1", "EDR",
-    ]);
+    let mut table = Table::new(&["patient", "thresholds", "FPR", "FNR", "ACC", "F1", "EDR"]);
     let mut results = Vec::new();
     for &pi in &featured {
         let patient_name = platform.patients()[pi].name().to_owned();

@@ -75,7 +75,11 @@ pub fn fig7(opts: &ExpOpts) {
     );
     println!(
         "TTH < 0 in {:.1}% of hazardous runs (paper: 7.1% — hazards pre-dating the fault)\n",
-        if stats.n == 0 { 0.0 } else { 100.0 * negative as f64 / stats.n as f64 }
+        if stats.n == 0 {
+            0.0
+        } else {
+            100.0 * negative as f64 / stats.n as f64
+        }
     );
     let mut hist = Table::new(&["TTH bucket", "count", ""]);
     let buckets: [(&str, f64, f64); 6] = [
@@ -109,7 +113,10 @@ pub fn fig7(opts: &ExpOpts) {
 /// Fig. 8: coverage by fault kind and by initial BG.
 pub fn fig8(opts: &ExpOpts) {
     let platform = Platform::GlucosymOref0;
-    println!("Fig. 8 — hazard coverage by fault type and initial BG ({})\n", platform.name());
+    println!(
+        "Fig. 8 — hazard coverage by fault type and initial BG ({})\n",
+        platform.name()
+    );
     let traces = run_campaign(&opts.campaign(platform), None);
 
     let kind_of = |t: &SimTrace| -> Option<String> {

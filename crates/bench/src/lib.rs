@@ -16,6 +16,7 @@
 
 pub mod experiments;
 pub mod opts;
+pub mod perf;
 pub mod report;
 pub mod summary;
 pub mod zoo;

@@ -196,7 +196,11 @@ where
     T::Err: std::fmt::Display,
 {
     s.split(',')
-        .map(|p| p.trim().parse::<T>().map_err(|e| format!("bad list item `{p}`: {e}")))
+        .map(|p| {
+            p.trim()
+                .parse::<T>()
+                .map_err(|e| format!("bad list item `{p}`: {e}"))
+        })
         .collect()
 }
 
@@ -215,8 +219,7 @@ mod tests {
 
     #[test]
     fn presets_and_overrides_compose() {
-        let o = ExpOpts::parse(&args(&["--quick", "--patients", "3,4", "--folds", "3"]))
-            .unwrap();
+        let o = ExpOpts::parse(&args(&["--quick", "--patients", "3,4", "--folds", "3"])).unwrap();
         assert_eq!(o.patients, vec![3, 4]);
         assert_eq!(o.folds, 3);
         assert_eq!(o.mlp_hidden, ExpOpts::quick().mlp_hidden);

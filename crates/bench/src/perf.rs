@@ -1,0 +1,714 @@
+//! Campaign-throughput benchmark (`repro bench-campaign`).
+//!
+//! Measures the quick fault-injection campaign twice on the current
+//! machine:
+//!
+//! * **baseline** — a faithful reconstruction of the seed's hot path:
+//!   Bergman patients stepped with the five-`Vec`-per-RK4-step
+//!   integrator and a per-step parameter clone, executed by the seed's
+//!   mutex-funneled worker loop (one global
+//!   `Mutex<Vec<Option<SimTrace>>>` behind an atomic job counter);
+//! * **optimized** — the current stack: stack-scratch RK4, clone-free
+//!   closed loop, and the lock-free executor of
+//!   [`aps_sim::campaign::run_campaign`].
+//!
+//! Both run the identical job grid (2 patients × 1 initial BG ×
+//! {fault-free + quick fault grid} × 150 steps). The report is written
+//! to `BENCH_campaign.json` so later PRs can show a trajectory; see
+//! the "Performance" section of the `aps_repro` crate docs for how to
+//! regenerate it.
+
+use crate::report::Table;
+use aps_glucose::ode::Dynamics;
+use aps_glucose::patients::glucosym_params;
+use aps_glucose::PatientSim;
+use aps_sim::campaign::{campaign_size, run_campaign, CampaignSpec};
+use aps_sim::closed_loop::{run, LoopConfig};
+use aps_sim::platform::Platform;
+use aps_types::{MgDl, SimTrace, Units, UnitsPerHour};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One side's measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Best-of-reps wall time in seconds.
+    pub secs: f64,
+    /// Simulation runs per second.
+    pub runs_per_sec: f64,
+    /// Control-cycle steps per second.
+    pub steps_per_sec: f64,
+}
+
+impl Throughput {
+    fn from_secs(secs: f64, runs: usize, steps_per_run: u32) -> Throughput {
+        Throughput {
+            secs,
+            runs_per_sec: runs as f64 / secs,
+            steps_per_sec: runs as f64 * f64::from(steps_per_run) / secs,
+        }
+    }
+}
+
+/// The `BENCH_campaign.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignBenchReport {
+    /// Campaign preset measured.
+    pub campaign: String,
+    /// Number of simulation runs in the grid.
+    pub runs: usize,
+    /// Control cycles per run.
+    pub steps_per_run: u32,
+    /// Worker threads each executor used.
+    pub workers: usize,
+    /// Timing repetitions (best is reported).
+    pub reps: usize,
+    /// Seed-faithful pre-optimization measurement.
+    pub baseline: Throughput,
+    /// Current implementation.
+    pub optimized: Throughput,
+    /// `baseline.secs / optimized.secs`.
+    pub speedup: f64,
+}
+
+/// Runs the benchmark and returns the report.
+pub fn run_campaign_bench(reps: usize) -> CampaignBenchReport {
+    let reps = reps.max(1);
+    let spec = CampaignSpec::quick(Platform::GlucosymOref0);
+    let runs = campaign_size(&spec);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    // Warm-up + correctness guard: both paths must produce the same
+    // number of traces with the same hazard labels.
+    let opt_traces = run_campaign(&spec, None);
+    let base_traces = seed_baseline::run_campaign(&spec);
+    assert_eq!(
+        opt_traces.len(),
+        base_traces.len(),
+        "executor grid mismatch"
+    );
+    let agree = opt_traces
+        .iter()
+        .zip(&base_traces)
+        .filter(|(a, b)| a.is_hazardous() == b.is_hazardous())
+        .count();
+    assert!(
+        agree * 10 >= opt_traces.len() * 9,
+        "baseline and optimized campaigns disagree on hazards ({agree}/{})",
+        opt_traces.len()
+    );
+
+    let time_best = |f: &dyn Fn() -> usize| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let n = f();
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(n, runs, "campaign size changed mid-benchmark");
+            best = best.min(secs);
+        }
+        best
+    };
+
+    let base_secs = time_best(&|| seed_baseline::run_campaign(&spec).len());
+    let opt_secs = time_best(&|| run_campaign(&spec, None).len());
+
+    CampaignBenchReport {
+        campaign: "quick".to_owned(),
+        runs,
+        steps_per_run: spec.steps,
+        workers,
+        reps,
+        baseline: Throughput::from_secs(base_secs, runs, spec.steps),
+        optimized: Throughput::from_secs(opt_secs, runs, spec.steps),
+        speedup: base_secs / opt_secs,
+    }
+}
+
+/// Runs the benchmark, prints a table, and writes
+/// `BENCH_campaign.json` to `out_path`.
+pub fn bench_campaign(reps: usize, out_path: &str) -> CampaignBenchReport {
+    let report = run_campaign_bench(reps);
+    let mut table = Table::new(&["path", "wall (s)", "runs/s", "steps/s"]);
+    let fmt = |t: &Throughput| {
+        vec![
+            format!("{:.4}", t.secs),
+            format!("{:.1}", t.runs_per_sec),
+            format!("{:.0}", t.steps_per_sec),
+        ]
+    };
+    let mut base_row = vec!["baseline (seed-faithful)".to_owned()];
+    base_row.extend(fmt(&report.baseline));
+    let mut opt_row = vec!["optimized".to_owned()];
+    opt_row.extend(fmt(&report.optimized));
+    table.row(&base_row);
+    table.row(&opt_row);
+    println!(
+        "campaign throughput — {} runs x {} steps, {} worker(s), best of {}\n",
+        report.runs, report.steps_per_run, report.workers, report.reps
+    );
+    println!("{}", table.render());
+    println!("speedup: {:.2}x", report.speedup);
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(out_path, json + "\n") {
+                eprintln!("warning: cannot write {out_path}: {e}");
+            } else {
+                println!("[report written to {out_path}]");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize report: {e}"),
+    }
+    report
+}
+
+/// Faithful reconstruction of the seed's simulation hot path, kept as
+/// the pre-optimization baseline. Everything here intentionally
+/// mirrors the seed commit: do not "fix" it.
+pub mod seed_baseline {
+    use super::*;
+    use aps_controllers::oref0::Oref0Profile;
+    use aps_controllers::{Controller, StateVar};
+    use aps_fault::{campaign_grid, FaultInjector, FaultScenario};
+    use aps_glucose::bergman::{BergmanParams, EXERCISE_GEZI_GAIN};
+    use aps_glucose::iob::IobCurve;
+
+    /// The seed's `rk4_step`: five fresh `Vec` allocations per step.
+    fn rk4_step_alloc<D: Dynamics + ?Sized>(dyn_: &D, t: f64, x: &mut [f64], dt: f64) {
+        let n = x.len();
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut k3 = vec![0.0; n];
+        let mut k4 = vec![0.0; n];
+        let mut tmp = vec![0.0; n];
+        dyn_.derivative(t, x, &mut k1);
+        for i in 0..n {
+            tmp[i] = x[i] + 0.5 * dt * k1[i];
+        }
+        dyn_.derivative(t + 0.5 * dt, &tmp, &mut k2);
+        for i in 0..n {
+            tmp[i] = x[i] + 0.5 * dt * k2[i];
+        }
+        dyn_.derivative(t + 0.5 * dt, &tmp, &mut k3);
+        for i in 0..n {
+            tmp[i] = x[i] + dt * k3[i];
+        }
+        dyn_.derivative(t + dt, &tmp, &mut k4);
+        for i in 0..n {
+            x[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+    }
+
+    fn integrate_alloc<D: Dynamics + ?Sized>(
+        dyn_: &D,
+        t0: f64,
+        x: &mut [f64],
+        duration: f64,
+        max_dt: f64,
+    ) {
+        let steps = (duration / max_dt).ceil() as usize;
+        let dt = duration / steps as f64;
+        let mut t = t0;
+        for _ in 0..steps {
+            rk4_step_alloc(dyn_, t, x, dt);
+            t += dt;
+        }
+    }
+
+    const ISC: usize = 0;
+    const IP: usize = 1;
+    const IEFF: usize = 2;
+    const BG: usize = 3;
+    const QGUT1: usize = 4;
+    const QGUT2: usize = 5;
+    const NSTATE: usize = 6;
+
+    /// The seed's `BergmanPatient::step`: clones the parameter struct
+    /// (one `String` heap allocation) every control cycle and
+    /// integrates with the allocating RK4.
+    pub struct SeedBergmanPatient {
+        params: BergmanParams,
+        state: [f64; NSTATE],
+        t_minutes: f64,
+        exercise_minutes_left: f64,
+        exercise_intensity: f64,
+    }
+
+    impl SeedBergmanPatient {
+        /// Builds the patient at 120 mg/dL equilibrium.
+        pub fn new(params: BergmanParams) -> SeedBergmanPatient {
+            let mut p = SeedBergmanPatient {
+                params,
+                state: [0.0; NSTATE],
+                t_minutes: 0.0,
+                exercise_minutes_left: 0.0,
+                exercise_intensity: 0.0,
+            };
+            p.reset(MgDl(120.0));
+            p
+        }
+    }
+
+    impl PatientSim for SeedBergmanPatient {
+        fn name(&self) -> &str {
+            &self.params.name
+        }
+
+        fn bg(&self) -> MgDl {
+            MgDl(self.state[BG]).clamp_physiological()
+        }
+
+        fn step(&mut self, rate: UnitsPerHour, minutes: f64) {
+            let rate = rate.max_zero();
+            let id_uu_per_min = rate.value() * 1e6 / 60.0;
+            let p = self.params.clone();
+            let active = self.exercise_minutes_left.min(minutes);
+            let intensity = if active > 0.0 {
+                self.exercise_intensity
+            } else {
+                0.0
+            };
+            let gezi = p.gezi * (1.0 + EXERCISE_GEZI_GAIN * intensity * (active / minutes));
+            self.exercise_minutes_left = (self.exercise_minutes_left - minutes).max(0.0);
+            let dynamics = move |_t: f64, x: &[f64], d: &mut [f64]| {
+                let ra = p.carb_gain * x[QGUT2] / p.tau_meal;
+                d[ISC] = id_uu_per_min / (p.tau1 * p.ci) - x[ISC] / p.tau1;
+                d[IP] = (x[ISC] - x[IP]) / p.tau2;
+                d[IEFF] = -p.p2 * x[IEFF] + p.p2 * p.si * x[IP];
+                d[BG] = -(gezi + x[IEFF]) * x[BG] + p.egp + ra;
+                d[QGUT1] = -x[QGUT1] / p.tau_meal;
+                d[QGUT2] = (x[QGUT1] - x[QGUT2]) / p.tau_meal;
+            };
+            integrate_alloc(&dynamics, self.t_minutes, &mut self.state, minutes, 1.0);
+            self.state[BG] = self.state[BG].max(10.0);
+            self.t_minutes += minutes;
+        }
+
+        fn reset(&mut self, bg0: MgDl) {
+            let basal = self.params.equilibrium_basal(MgDl(120.0));
+            let id_uu_per_min = basal.value() * 1e6 / 60.0;
+            let ip = id_uu_per_min / self.params.ci;
+            self.state = [0.0; NSTATE];
+            self.state[ISC] = ip;
+            self.state[IP] = ip;
+            self.state[IEFF] = self.params.si * ip;
+            self.state[BG] = bg0.value();
+            self.t_minutes = 0.0;
+            self.exercise_minutes_left = 0.0;
+            self.exercise_intensity = 0.0;
+        }
+
+        fn ingest(&mut self, carbs_g: f64) {
+            self.state[QGUT1] += carbs_g.max(0.0);
+        }
+
+        fn exert(&mut self, intensity: f64, duration_min: f64) {
+            self.exercise_intensity = intensity.clamp(0.0, 1.0);
+            self.exercise_minutes_left = duration_min.max(0.0);
+        }
+
+        fn equilibrium_basal(&self, target: MgDl) -> UnitsPerHour {
+            self.params.equilibrium_basal(target)
+        }
+    }
+
+    /// The seed's `IobEstimator`: recomputes the full `exp`-heavy
+    /// activity-curve window sum on *every* read (the current one
+    /// caches it and memoizes the curve on the cycle grid).
+    struct SeedIobEstimator {
+        curve: IobCurve,
+        deliveries: std::collections::VecDeque<(f64, f64)>,
+        baseline: f64,
+        last_iob: Option<f64>,
+        cycle_minutes: f64,
+    }
+
+    impl SeedIobEstimator {
+        fn new(curve: IobCurve, cycle_minutes: f64) -> SeedIobEstimator {
+            SeedIobEstimator {
+                curve,
+                deliveries: std::collections::VecDeque::new(),
+                baseline: 0.0,
+                last_iob: None,
+                cycle_minutes,
+            }
+        }
+
+        fn set_basal_baseline(&mut self, basal: UnitsPerHour) {
+            let per_min = basal.value() / 60.0;
+            let horizon = self.curve.horizon_minutes();
+            let mut sum = 0.0;
+            let mut t = 0.0;
+            while t < horizon {
+                sum += self.curve.remaining(t);
+                t += 1.0;
+            }
+            self.baseline = per_min * sum;
+        }
+
+        fn record(&mut self, delivered: UnitsPerHour) {
+            let amount = delivered
+                .max_zero()
+                .over_minutes(self.cycle_minutes)
+                .value();
+            for entry in &mut self.deliveries {
+                entry.0 += self.cycle_minutes;
+            }
+            self.deliveries.push_back((0.0, amount));
+            let horizon = self.curve.horizon_minutes();
+            while let Some(&(age, _)) = self.deliveries.front() {
+                if age > horizon {
+                    self.deliveries.pop_front();
+                } else {
+                    break;
+                }
+            }
+            self.last_iob = Some(self.raw_iob());
+        }
+
+        fn raw_iob(&self) -> f64 {
+            let total: f64 = self
+                .deliveries
+                .iter()
+                .map(|&(age, amount)| amount * self.curve.remaining(age))
+                .sum();
+            total - self.baseline
+        }
+
+        fn iob(&self) -> Units {
+            // Seed behavior: full window recomputation per read.
+            Units(self.last_iob.map(|_| self.raw_iob()).unwrap_or(0.0))
+        }
+
+        fn reset(&mut self) {
+            self.deliveries.clear();
+            self.last_iob = None;
+        }
+
+        fn prefill_basal(&mut self, basal: UnitsPerHour) {
+            self.reset();
+            let horizon = self.curve.horizon_minutes();
+            let steps = (horizon / self.cycle_minutes).ceil() as usize;
+            let amount = basal.max_zero().over_minutes(self.cycle_minutes).value();
+            for k in (1..=steps).rev() {
+                self.deliveries
+                    .push_back((k as f64 * self.cycle_minutes, amount));
+            }
+            self.last_iob = Some(self.raw_iob());
+        }
+    }
+
+    /// The seed's oref0 controller hot path: per-cycle profile clone,
+    /// a `Vec`-collecting `avg_delta`, `HashMap`-backed variable
+    /// state, and the recompute-per-read IOB estimator above. The
+    /// decision *logic* is identical to the current controller.
+    pub struct SeedOref0Controller {
+        profile: Oref0Profile,
+        estimator: SeedIobEstimator,
+        bg_history: std::collections::VecDeque<f64>,
+        prev_rate: UnitsPerHour,
+        overrides: std::collections::HashMap<&'static str, f64>,
+        last_vars: std::collections::HashMap<&'static str, f64>,
+    }
+
+    impl SeedOref0Controller {
+        /// Builds the controller the Glucosym platform would use.
+        pub fn new(profile: Oref0Profile) -> SeedOref0Controller {
+            let mut estimator = SeedIobEstimator::new(
+                IobCurve::default_exponential(),
+                aps_types::CONTROL_CYCLE_MINUTES,
+            );
+            estimator.set_basal_baseline(UnitsPerHour(profile.basal));
+            estimator.prefill_basal(UnitsPerHour(profile.basal));
+            let prev_rate = UnitsPerHour(profile.basal);
+            SeedOref0Controller {
+                profile,
+                estimator,
+                bg_history: std::collections::VecDeque::new(),
+                prev_rate,
+                overrides: std::collections::HashMap::new(),
+                last_vars: std::collections::HashMap::new(),
+            }
+        }
+
+        fn take_override(&mut self, var: &'static str, fallback: f64) -> f64 {
+            self.overrides.remove(var).unwrap_or(fallback)
+        }
+
+        fn avg_delta(&self) -> f64 {
+            let h: Vec<f64> = self.bg_history.iter().copied().collect();
+            let n = h.len();
+            if n < 2 {
+                return 0.0;
+            }
+            let span = (n - 1).min(3);
+            (h[n - 1] - h[n - 1 - span]) / span as f64
+        }
+    }
+
+    impl Controller for SeedOref0Controller {
+        fn name(&self) -> &str {
+            "oref0-seed"
+        }
+
+        fn decide(&mut self, _step: aps_types::Step, bg: MgDl) -> UnitsPerHour {
+            let p = self.profile;
+            let glucose = self.take_override("glucose", bg.value());
+            self.bg_history.push_back(glucose);
+            if self.bg_history.len() > 5 {
+                self.bg_history.pop_front();
+            }
+            let delta = self.take_override("delta", self.avg_delta());
+            let iob = self.take_override("iob", self.estimator.iob().value());
+            let target = self.take_override("target_bg", p.target_bg);
+            let isf = self.take_override("isf", p.isf).max(1.0);
+            let trend = delta * p.trend_horizon_min / aps_types::CONTROL_CYCLE_MINUTES;
+            let naive_eventual = glucose - iob * isf;
+            let eventual_bg = self.take_override("eventual_bg", naive_eventual + trend);
+            let mut rate = if glucose < p.suspend_bg || eventual_bg < p.suspend_eventual_bg {
+                0.0
+            } else {
+                let error = eventual_bg - target;
+                let insulin_req = error / isf;
+                let correction = insulin_req * 60.0 / p.correction_horizon_min;
+                p.basal + correction
+            };
+            if rate > p.basal && iob >= p.max_iob {
+                rate = p.basal;
+            }
+            rate = rate.clamp(0.0, p.max_basal);
+            let rate = self.take_override("rate", rate);
+            let rate = UnitsPerHour(rate.clamp(0.0, p.max_basal));
+            self.last_vars.insert("glucose", glucose);
+            self.last_vars.insert("delta", delta);
+            self.last_vars.insert("iob", iob);
+            self.last_vars.insert("eventual_bg", eventual_bg);
+            self.last_vars.insert("rate", rate.value());
+            self.last_vars.insert("target_bg", target);
+            self.last_vars.insert("isf", isf);
+            self.prev_rate = rate;
+            rate
+        }
+
+        fn iob(&self) -> Units {
+            self.estimator.iob()
+        }
+
+        fn previous_rate(&self) -> UnitsPerHour {
+            self.prev_rate
+        }
+
+        fn target_bg(&self) -> MgDl {
+            MgDl(self.profile.target_bg)
+        }
+
+        fn basal_rate(&self) -> UnitsPerHour {
+            UnitsPerHour(self.profile.basal)
+        }
+
+        fn reset(&mut self) {
+            self.estimator
+                .set_basal_baseline(UnitsPerHour(self.profile.basal));
+            self.estimator
+                .prefill_basal(UnitsPerHour(self.profile.basal));
+            self.bg_history.clear();
+            self.prev_rate = UnitsPerHour(self.profile.basal);
+            self.overrides.clear();
+            self.last_vars.clear();
+        }
+
+        fn observe_delivery(&mut self, delivered: UnitsPerHour) {
+            self.estimator.record(delivered);
+        }
+
+        fn state_vars(&self) -> Vec<StateVar> {
+            let p = &self.profile;
+            vec![
+                StateVar {
+                    name: "glucose",
+                    min: 40.0,
+                    max: 400.0,
+                },
+                StateVar {
+                    name: "iob",
+                    min: 0.0,
+                    max: p.max_iob * 2.0,
+                },
+                StateVar {
+                    name: "eventual_bg",
+                    min: 40.0,
+                    max: 400.0,
+                },
+                StateVar {
+                    name: "rate",
+                    min: 0.0,
+                    max: p.max_basal,
+                },
+                StateVar {
+                    name: "target_bg",
+                    min: 80.0,
+                    max: 200.0,
+                },
+                StateVar {
+                    name: "isf",
+                    min: 10.0,
+                    max: 120.0,
+                },
+                StateVar {
+                    name: "delta",
+                    min: -20.0,
+                    max: 20.0,
+                },
+            ]
+        }
+
+        fn get_state(&self, var: &str) -> Option<f64> {
+            self.last_vars.get(var).copied()
+        }
+
+        fn set_state(&mut self, var: &str, value: f64) -> bool {
+            let known = self.state_vars().into_iter().find(|v| v.name == var);
+            match known {
+                Some(v) => {
+                    self.overrides.insert(v.name, value);
+                    true
+                }
+                None => false,
+            }
+        }
+    }
+
+    struct Job {
+        patient_idx: usize,
+        initial_bg: f64,
+        scenario: Option<FaultScenario>,
+    }
+
+    fn expand(spec: &CampaignSpec) -> Vec<Job> {
+        let platform = spec.platform;
+        let probe = platform.patients().remove(0);
+        let targets = platform.primary_targets(probe.as_ref());
+        let scenarios = campaign_grid(&targets, &spec.faults);
+        let mut jobs = Vec::new();
+        for &pi in &spec.patient_indices {
+            for &bg0 in &spec.initial_bgs {
+                if spec.include_fault_free {
+                    jobs.push(Job {
+                        patient_idx: pi,
+                        initial_bg: bg0,
+                        scenario: None,
+                    });
+                }
+                for s in &scenarios {
+                    jobs.push(Job {
+                        patient_idx: pi,
+                        initial_bg: bg0,
+                        scenario: Some(s.clone()),
+                    });
+                }
+            }
+        }
+        jobs
+    }
+
+    fn run_job(spec: &CampaignSpec, job: &Job) -> SimTrace {
+        let params = glucosym_params().remove(job.patient_idx);
+        let mut patient = SeedBergmanPatient::new(params);
+        // The profile the Glucosym platform would build for this
+        // patient, driven through the seed-faithful controller.
+        let basal = patient.equilibrium_basal(MgDl(120.0)).value().max(0.05);
+        let mut controller = SeedOref0Controller::new(Oref0Profile {
+            basal,
+            max_basal: (4.0 * basal).max(2.0),
+            ..Oref0Profile::default()
+        });
+        let mut injector = job.scenario.clone().map(FaultInjector::new);
+        let config = LoopConfig {
+            steps: spec.steps,
+            initial_bg: job.initial_bg,
+            cgm: spec.cgm,
+            ..LoopConfig::default()
+        };
+        run(
+            &mut patient,
+            &mut controller,
+            None,
+            injector.as_mut(),
+            &config,
+        )
+    }
+
+    /// The seed's executor: an atomic job counter feeding scoped
+    /// workers that all write through one global mutex-guarded result
+    /// vector.
+    pub fn run_campaign(spec: &CampaignSpec) -> Vec<SimTrace> {
+        let jobs = expand(spec);
+        let n = jobs.len();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if workers <= 1 {
+            return jobs.iter().map(|j| run_job(spec, j)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<SimTrace>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let trace = run_job(spec, &jobs[i]);
+                    results.lock().expect("poisoned")[i] = Some(trace);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("poisoned")
+            .into_iter()
+            .map(|t| t.expect("job not executed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_patient_matches_optimized_patient() {
+        // The baseline must be *faithful*: its trajectory agrees with
+        // the optimized patient (the integrator rewrite is
+        // bit-identical, so so are the patients).
+        use aps_glucose::bergman::BergmanPatient;
+        let params = glucosym_params().remove(0);
+        let mut seed = seed_baseline::SeedBergmanPatient::new(params.clone());
+        let mut opt = BergmanPatient::new(params);
+        seed.reset(MgDl(140.0));
+        opt.reset(MgDl(140.0));
+        for i in 0..100 {
+            let rate = UnitsPerHour(0.5 + 0.1 * f64::from(i % 7));
+            seed.step(rate, 5.0);
+            opt.step(rate, 5.0);
+            assert_eq!(seed.bg(), opt.bg(), "diverged at cycle {i}");
+        }
+    }
+
+    #[test]
+    fn bench_report_shape() {
+        let report = run_campaign_bench(1);
+        assert_eq!(report.runs, 62);
+        assert!(report.baseline.secs > 0.0 && report.optimized.secs > 0.0);
+        assert!(report.speedup > 0.0);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: CampaignBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

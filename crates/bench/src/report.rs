@@ -14,7 +14,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Table {
-        Table { header: header.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (missing cells become empty).
@@ -25,9 +28,10 @@ impl Table {
 
     /// Renders with aligned columns.
     pub fn render(&self) -> String {
-        let ncols = self.header.len().max(
-            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
-        );
+        let ncols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; ncols];
         let all = std::iter::once(&self.header).chain(self.rows.iter());
         for row in all {

@@ -30,7 +30,9 @@ pub fn load_results(dir: &Path) -> BTreeMap<String, Value> {
     let mut out = BTreeMap::new();
     for (name, _) in KNOWN {
         let path = dir.join(format!("{name}.json"));
-        let Ok(text) = std::fs::read_to_string(&path) else { continue };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
         if let Ok(value) = serde_json::from_str::<Value>(&text) {
             out.insert((*name).to_owned(), value);
         }
@@ -43,11 +45,12 @@ pub fn headline(name: &str, value: &Value) -> Option<String> {
     let rows = value.get("rows").and_then(Value::as_array);
     let pick = |key: &str, row: &Value| row.get(key).and_then(Value::as_f64);
     let find_row = |field: &str, want: &str| -> Option<Value> {
-        rows?.iter()
+        rows?
+            .iter()
             .find(|r| {
-                r.get(field).and_then(Value::as_str).is_some_and(|s| {
-                    s.to_ascii_lowercase().contains(&want.to_ascii_lowercase())
-                })
+                r.get(field)
+                    .and_then(Value::as_str)
+                    .is_some_and(|s| s.to_ascii_lowercase().contains(&want.to_ascii_lowercase()))
             })
             .cloned()
     };
@@ -57,7 +60,10 @@ pub fn headline(name: &str, value: &Value) -> Option<String> {
             let tth = value.get("tth_mean_min").and_then(Value::as_f64);
             Some(match tth {
                 Some(t) => {
-                    format!("hazard coverage {:.1}%, mean TTH {t:.0} min", coverage * 100.0)
+                    format!(
+                        "hazard coverage {:.1}%, mean TTH {t:.0} min",
+                        coverage * 100.0
+                    )
                 }
                 None => format!("hazard coverage {:.1}%", coverage * 100.0),
             })
@@ -117,14 +123,16 @@ pub fn headline(name: &str, value: &Value) -> Option<String> {
 /// found.
 pub fn print_summary(dir: &Path) -> usize {
     let results = load_results(dir);
-    println!("reproduction summary — {} of {} experiments recorded in {}\n",
-        results.len(), KNOWN.len(), dir.display());
+    println!(
+        "reproduction summary — {} of {} experiments recorded in {}\n",
+        results.len(),
+        KNOWN.len(),
+        dir.display()
+    );
     let mut table = Table::new(&["experiment", "headline"]);
     for (name, title) in KNOWN {
         let line = match results.get(*name) {
-            Some(v) => {
-                headline(name, v).unwrap_or_else(|| "recorded (no headline)".into())
-            }
+            Some(v) => headline(name, v).unwrap_or_else(|| "recorded (no headline)".into()),
             None => "— not run".into(),
         };
         table.row(&[(*title).to_owned(), line]);

@@ -61,7 +61,10 @@ impl MonitorKind {
 
     /// `true` for monitors needing trained artifacts.
     pub fn needs_training(&self) -> bool {
-        !matches!(self, MonitorKind::Guideline | MonitorKind::Mpc | MonitorKind::Cawot)
+        !matches!(
+            self,
+            MonitorKind::Guideline | MonitorKind::Mpc | MonitorKind::Cawot
+        )
     }
 }
 
@@ -124,7 +127,10 @@ fn dataset_across_patients(
     let mut y = Vec::new();
     let mut by_patient: HashMap<&str, Vec<SimTrace>> = HashMap::new();
     for t in traces {
-        by_patient.entry(t.meta.patient.as_str()).or_default().push(t.clone());
+        by_patient
+            .entry(t.meta.patient.as_str())
+            .or_default()
+            .push(t.clone());
     }
     let mut keys: Vec<&str> = by_patient.keys().copied().collect();
     keys.sort_unstable();
@@ -149,7 +155,10 @@ fn seq_dataset_across_patients(
     let mut y = Vec::new();
     let mut by_patient: HashMap<&str, Vec<SimTrace>> = HashMap::new();
     for t in traces {
-        by_patient.entry(t.meta.patient.as_str()).or_default().push(t.clone());
+        by_patient
+            .entry(t.meta.patient.as_str())
+            .or_default()
+            .push(t.clone());
     }
     let mut keys: Vec<&str> = by_patient.keys().copied().collect();
     keys.sort_unstable();
@@ -201,30 +210,22 @@ impl Zoo {
             basal_by_patient.values().map(|b| b.value()).sum::<f64>()
                 / basal_by_patient.len().max(1) as f64,
         );
-        let (cawt_population, _) =
-            learn_thresholds(&cawot, train_traces, mean_basal, &learn_cfg);
+        let (cawt_population, _) = learn_thresholds(&cawot, train_traces, mean_basal, &learn_cfg);
 
         let ml = with_ml.then(|| {
             // ML datasets (balanced, capped, standardized).
-            let flat =
-                dataset_across_patients(train_traces, &basal_by_patient, LabelMode::Binary);
+            let flat = dataset_across_patients(train_traces, &basal_by_patient, LabelMode::Binary);
             let flat = cap_dataset(balance(&flat, 3), opts.train_cap);
             let scaler = StandardScaler::fit(&flat);
             let flat_scaled = scaler.transform_dataset(&flat);
 
-            let flat3 = dataset_across_patients(
-                train_traces,
-                &basal_by_patient,
-                LabelMode::MultiClass,
-            );
+            let flat3 =
+                dataset_across_patients(train_traces, &basal_by_patient, LabelMode::MultiClass);
             let flat3 = cap_dataset(balance(&flat3, 3), opts.train_cap);
             let flat3_scaled = scaler.transform_dataset(&flat3);
 
-            let seq = seq_dataset_across_patients(
-                train_traces,
-                &basal_by_patient,
-                LabelMode::Binary,
-            );
+            let seq =
+                seq_dataset_across_patients(train_traces, &basal_by_patient, LabelMode::Binary);
             let seq = cap_seq(seq, opts.seq_train_cap);
             let seq_scaled = SeqDataset::new(
                 seq.x
@@ -252,7 +253,14 @@ impl Zoo {
                 ..LstmConfig::default()
             };
             let lstm = Lstm::fit(&seq_scaled, &lstm_cfg);
-            MlArtifacts { scaler, dt, dt_multi, mlp, mlp_multi, lstm }
+            MlArtifacts {
+                scaler,
+                dt,
+                dt_multi,
+                mlp,
+                mlp_multi,
+                lstm,
+            }
         });
 
         Zoo {
@@ -272,7 +280,9 @@ impl Zoo {
 
     /// The learned patient-specific SCS for one patient.
     pub fn cawt_scs(&self, patient: &str) -> &Scs {
-        self.cawt_by_patient.get(patient).unwrap_or(&self.cawt_population)
+        self.cawt_by_patient
+            .get(patient)
+            .unwrap_or(&self.cawt_population)
     }
 
     /// The learned population SCS.
@@ -282,7 +292,10 @@ impl Zoo {
 
     /// Basal rate for a patient (monitor context reference).
     pub fn basal(&self, patient: &str) -> UnitsPerHour {
-        self.basal_by_patient.get(patient).copied().unwrap_or(UnitsPerHour(1.0))
+        self.basal_by_patient
+            .get(patient)
+            .copied()
+            .unwrap_or(UnitsPerHour(1.0))
     }
 
     /// Builds a fresh monitor of `kind` for a trace's patient.
@@ -295,15 +308,15 @@ impl Zoo {
     pub fn make(&self, kind: MonitorKind, patient: &str) -> Box<dyn HazardMonitor> {
         let basal = self.basal(patient);
         let target = self.platform.target();
-        let ml = || self.ml.as_ref().expect("zoo was trained without ML artifacts");
+        let ml = || {
+            self.ml
+                .as_ref()
+                .expect("zoo was trained without ML artifacts")
+        };
         match kind {
-            MonitorKind::Guideline => {
-                Box::new(GuidelineMonitor::new(GuidelineConfig::default()))
-            }
+            MonitorKind::Guideline => Box::new(GuidelineMonitor::new(GuidelineConfig::default())),
             MonitorKind::Mpc => Box::new(MpcMonitor::population()),
-            MonitorKind::Cawot => {
-                Box::new(CawMonitor::new("cawot", self.cawot.clone(), basal))
-            }
+            MonitorKind::Cawot => Box::new(CawMonitor::new("cawot", self.cawot.clone(), basal)),
             MonitorKind::Cawt => Box::new(CawMonitor::new(
                 "cawt",
                 self.cawt_scs(patient).clone(),

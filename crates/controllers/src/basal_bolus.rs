@@ -131,8 +131,7 @@ impl Controller for BasalBolusController {
             let headroom = (p.max_rate - rate).max(0.0);
             let add = headroom.min(self.pending_bolus * 60.0 / CONTROL_CYCLE_MINUTES);
             rate += add;
-            self.pending_bolus =
-                (self.pending_bolus - add * CONTROL_CYCLE_MINUTES / 60.0).max(0.0);
+            self.pending_bolus = (self.pending_bolus - add * CONTROL_CYCLE_MINUTES / 60.0).max(0.0);
         }
 
         let rate = self.take_override(VAR_RATE, rate);
@@ -165,8 +164,10 @@ impl Controller for BasalBolusController {
     }
 
     fn reset(&mut self) {
-        self.estimator.set_basal_baseline(UnitsPerHour(self.profile.basal));
-        self.estimator.prefill_basal(UnitsPerHour(self.profile.basal));
+        self.estimator
+            .set_basal_baseline(UnitsPerHour(self.profile.basal));
+        self.estimator
+            .prefill_basal(UnitsPerHour(self.profile.basal));
         self.prev_rate = UnitsPerHour(self.profile.basal);
         self.prev_bg = None;
         self.pending_bolus = 0.0;
@@ -181,11 +182,31 @@ impl Controller for BasalBolusController {
     fn state_vars(&self) -> Vec<StateVar> {
         let p = &self.profile;
         vec![
-            StateVar { name: VAR_GLUCOSE, min: 40.0, max: 400.0 },
-            StateVar { name: VAR_IOB, min: 0.0, max: p.max_iob * 2.0 },
-            StateVar { name: VAR_RATE, min: 0.0, max: p.max_rate },
-            StateVar { name: VAR_TARGET, min: 80.0, max: 200.0 },
-            StateVar { name: VAR_CF, min: 10.0, max: 120.0 },
+            StateVar {
+                name: VAR_GLUCOSE,
+                min: 40.0,
+                max: 400.0,
+            },
+            StateVar {
+                name: VAR_IOB,
+                min: 0.0,
+                max: p.max_iob * 2.0,
+            },
+            StateVar {
+                name: VAR_RATE,
+                min: 0.0,
+                max: p.max_rate,
+            },
+            StateVar {
+                name: VAR_TARGET,
+                min: 80.0,
+                max: 200.0,
+            },
+            StateVar {
+                name: VAR_CF,
+                min: 10.0,
+                max: 120.0,
+            },
         ]
     }
 
@@ -257,7 +278,10 @@ mod tests {
             max_iob_seen <= c.profile().max_iob + 0.5,
             "net IOB ran away to {max_iob_seen}"
         );
-        assert!(max_iob_seen > 1.0, "controller never corrected: {max_iob_seen}");
+        assert!(
+            max_iob_seen > 1.0,
+            "controller never corrected: {max_iob_seen}"
+        );
     }
 
     #[test]

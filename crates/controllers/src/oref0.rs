@@ -11,11 +11,12 @@ use crate::{Controller, StateVar};
 use aps_glucose::iob::{IobCurve, IobEstimator};
 use aps_types::{MgDl, Step, Units, UnitsPerHour, CONTROL_CYCLE_MINUTES};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 /// Tunable profile of the oref0 controller.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Copy`: nine scalars, copied by value in the decision hot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Oref0Profile {
     /// Scheduled basal rate (U/h).
     pub basal: f64,
@@ -60,10 +61,13 @@ pub struct Oref0Controller {
     estimator: IobEstimator,
     bg_history: VecDeque<f64>,
     prev_rate: UnitsPerHour,
-    /// Values the FI engine forces for the next decision cycle.
-    overrides: HashMap<&'static str, f64>,
+    /// Values the FI engine forces for the next decision cycle,
+    /// indexed by [`var_slot`]. Fixed arrays instead of `HashMap`s:
+    /// the decision loop touches every variable every cycle, and seven
+    /// SipHash lookups per cycle were measurable campaign overhead.
+    overrides: [Option<f64>; N_VARS],
     /// Last cycle's observable internal values (FI read surface).
-    last_vars: HashMap<&'static str, f64>,
+    last_vars: [Option<f64>; N_VARS],
 }
 
 const VAR_GLUCOSE: &str = "glucose";
@@ -73,6 +77,23 @@ const VAR_RATE: &str = "rate";
 const VAR_TARGET: &str = "target_bg";
 const VAR_ISF: &str = "isf";
 const VAR_DELTA: &str = "delta";
+
+/// Number of observable/overridable controller variables.
+const N_VARS: usize = 7;
+
+/// Slot index of a controller variable name.
+fn var_slot(name: &str) -> Option<usize> {
+    match name {
+        "glucose" => Some(0),
+        "iob" => Some(1),
+        "eventual_bg" => Some(2),
+        "rate" => Some(3),
+        "target_bg" => Some(4),
+        "isf" => Some(5),
+        "delta" => Some(6),
+        _ => None,
+    }
+}
 
 impl Oref0Controller {
     /// Creates a controller with the given profile, starting at basal
@@ -88,8 +109,8 @@ impl Oref0Controller {
             estimator,
             bg_history: VecDeque::new(),
             prev_rate,
-            overrides: HashMap::new(),
-            last_vars: HashMap::new(),
+            overrides: [None; N_VARS],
+            last_vars: [None; N_VARS],
         }
     }
 
@@ -99,19 +120,21 @@ impl Oref0Controller {
     }
 
     fn take_override(&mut self, var: &'static str, fallback: f64) -> f64 {
-        self.overrides.remove(var).unwrap_or(fallback)
+        let slot = var_slot(var).expect("known variable");
+        self.overrides[slot].take().unwrap_or(fallback)
     }
 
     /// Average 5-minute delta over the last 15 minutes (oref0's
     /// `avgdelta`), or plain delta when history is short.
     fn avg_delta(&self) -> f64 {
-        let h: Vec<f64> = self.bg_history.iter().copied().collect();
-        let n = h.len();
+        let n = self.bg_history.len();
         if n < 2 {
             return 0.0;
         }
         let span = (n - 1).min(3);
-        (h[n - 1] - h[n - 1 - span]) / span as f64
+        let newest = self.bg_history[n - 1];
+        let oldest = self.bg_history[n - 1 - span];
+        (newest - oldest) / span as f64
     }
 }
 
@@ -121,7 +144,7 @@ impl Controller for Oref0Controller {
     }
 
     fn decide(&mut self, _step: Step, bg: MgDl) -> UnitsPerHour {
-        let p = self.profile.clone();
+        let p = self.profile;
         let glucose = self.take_override(VAR_GLUCOSE, bg.value());
         self.bg_history.push_back(glucose);
         if self.bg_history.len() > 5 {
@@ -137,8 +160,7 @@ impl Controller for Oref0Controller {
         // what active (net) insulin will still remove.
         let trend = delta * p.trend_horizon_min / CONTROL_CYCLE_MINUTES;
         let naive_eventual = glucose - iob * isf;
-        let eventual_bg =
-            self.take_override(VAR_EVENTUAL_BG, naive_eventual + trend);
+        let eventual_bg = self.take_override(VAR_EVENTUAL_BG, naive_eventual + trend);
 
         let mut rate = if glucose < p.suspend_bg || eventual_bg < p.suspend_eventual_bg {
             // Low-glucose suspend.
@@ -162,13 +184,15 @@ impl Controller for Oref0Controller {
         let rate = self.take_override(VAR_RATE, rate);
         let rate = UnitsPerHour(rate.clamp(0.0, p.max_basal));
 
-        self.last_vars.insert(VAR_GLUCOSE, glucose);
-        self.last_vars.insert(VAR_DELTA, delta);
-        self.last_vars.insert(VAR_IOB, iob);
-        self.last_vars.insert(VAR_EVENTUAL_BG, eventual_bg);
-        self.last_vars.insert(VAR_RATE, rate.value());
-        self.last_vars.insert(VAR_TARGET, target);
-        self.last_vars.insert(VAR_ISF, isf);
+        self.last_vars = [
+            Some(glucose),
+            Some(iob),
+            Some(eventual_bg),
+            Some(rate.value()),
+            Some(target),
+            Some(isf),
+            Some(delta),
+        ];
         self.prev_rate = rate;
         rate
     }
@@ -190,12 +214,14 @@ impl Controller for Oref0Controller {
     }
 
     fn reset(&mut self) {
-        self.estimator.set_basal_baseline(UnitsPerHour(self.profile.basal));
-        self.estimator.prefill_basal(UnitsPerHour(self.profile.basal));
+        self.estimator
+            .set_basal_baseline(UnitsPerHour(self.profile.basal));
+        self.estimator
+            .prefill_basal(UnitsPerHour(self.profile.basal));
         self.bg_history.clear();
         self.prev_rate = UnitsPerHour(self.profile.basal);
-        self.overrides.clear();
-        self.last_vars.clear();
+        self.overrides = [None; N_VARS];
+        self.last_vars = [None; N_VARS];
     }
 
     fn observe_delivery(&mut self, delivered: UnitsPerHour) {
@@ -205,25 +231,52 @@ impl Controller for Oref0Controller {
     fn state_vars(&self) -> Vec<StateVar> {
         let p = &self.profile;
         vec![
-            StateVar { name: VAR_GLUCOSE, min: 40.0, max: 400.0 },
-            StateVar { name: VAR_IOB, min: 0.0, max: p.max_iob * 2.0 },
-            StateVar { name: VAR_EVENTUAL_BG, min: 40.0, max: 400.0 },
-            StateVar { name: VAR_RATE, min: 0.0, max: p.max_basal },
-            StateVar { name: VAR_TARGET, min: 80.0, max: 200.0 },
-            StateVar { name: VAR_ISF, min: 10.0, max: 120.0 },
-            StateVar { name: VAR_DELTA, min: -20.0, max: 20.0 },
+            StateVar {
+                name: VAR_GLUCOSE,
+                min: 40.0,
+                max: 400.0,
+            },
+            StateVar {
+                name: VAR_IOB,
+                min: 0.0,
+                max: p.max_iob * 2.0,
+            },
+            StateVar {
+                name: VAR_EVENTUAL_BG,
+                min: 40.0,
+                max: 400.0,
+            },
+            StateVar {
+                name: VAR_RATE,
+                min: 0.0,
+                max: p.max_basal,
+            },
+            StateVar {
+                name: VAR_TARGET,
+                min: 80.0,
+                max: 200.0,
+            },
+            StateVar {
+                name: VAR_ISF,
+                min: 10.0,
+                max: 120.0,
+            },
+            StateVar {
+                name: VAR_DELTA,
+                min: -20.0,
+                max: 20.0,
+            },
         ]
     }
 
     fn get_state(&self, var: &str) -> Option<f64> {
-        self.last_vars.get(var).copied()
+        var_slot(var).and_then(|slot| self.last_vars[slot])
     }
 
     fn set_state(&mut self, var: &str, value: f64) -> bool {
-        let known = self.state_vars().into_iter().find(|v| v.name == var);
-        match known {
-            Some(v) => {
-                self.overrides.insert(v.name, value);
+        match var_slot(var) {
+            Some(slot) => {
+                self.overrides[slot] = Some(value);
                 true
             }
             None => false,
@@ -262,7 +315,10 @@ mod tests {
     fn corrects_upward_when_high() {
         let mut c = ctl();
         let rate = run_cycle(&mut c, 0, 250.0);
-        assert!(rate.value() > 1.5, "high BG should raise rate, got {rate:?}");
+        assert!(
+            rate.value() > 1.5,
+            "high BG should raise rate, got {rate:?}"
+        );
     }
 
     #[test]
@@ -283,7 +339,10 @@ mod tests {
         // Rapidly falling BG near range: eventual BG goes below suspend.
         let r1 = run_cycle(&mut c, 12, 150.0);
         let r2 = run_cycle(&mut c, 13, 120.0);
-        assert!(r2 < r1 || r2.value() == 0.0, "should back off: {r1:?} -> {r2:?}");
+        assert!(
+            r2 < r1 || r2.value() == 0.0,
+            "should back off: {r1:?} -> {r2:?}"
+        );
     }
 
     #[test]
@@ -308,7 +367,10 @@ mod tests {
             max_iob_seen <= c.profile().max_iob + 0.3,
             "net IOB ran away to {max_iob_seen}"
         );
-        assert!(max_iob_seen > 2.0, "controller never corrected: {max_iob_seen}");
+        assert!(
+            max_iob_seen > 2.0,
+            "controller never corrected: {max_iob_seen}"
+        );
     }
 
     #[test]

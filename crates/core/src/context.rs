@@ -83,7 +83,11 @@ impl ContextBuilder {
             IobEstimator::new(IobCurve::default_exponential(), CONTROL_CYCLE_MINUTES);
         estimator.set_basal_baseline(basal);
         estimator.prefill_basal(basal);
-        ContextBuilder { estimator, prev_bg: None, basal }
+        ContextBuilder {
+            estimator,
+            prev_bg: None,
+            basal,
+        }
     }
 
     /// Builds the context for the current cycle from the latest CGM

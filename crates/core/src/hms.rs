@@ -33,9 +33,7 @@
 use crate::context::{ContextBuilder, ContextVector};
 use crate::scs::{Scs, UcaRule};
 use aps_stl::{CmpOp, Formula};
-use aps_types::{
-    ControlAction, Hazard, MgDl, SimTrace, Step, UnitsPerHour, CONTROL_CYCLE_MINUTES,
-};
+use aps_types::{ControlAction, Hazard, MgDl, SimTrace, Step, UnitsPerHour, CONTROL_CYCLE_MINUTES};
 use serde::{Deserialize, Serialize};
 
 /// Default mitigation deadline when no data is available: 30 minutes
@@ -105,7 +103,10 @@ impl Hms {
                 ts_steps: DEFAULT_TS_STEPS,
             })
             .collect();
-        Hms { target: scs.target, rules }
+        Hms {
+            target: scs.target,
+            rules,
+        }
     }
 
     /// Looks up the mitigation rule for a UCA rule id.
@@ -194,7 +195,9 @@ impl Hms {
         &'a self,
         scs: &'a Scs,
     ) -> impl Iterator<Item = (&'a HmsRule, &'a UcaRule)> + 'a {
-        self.rules.iter().filter_map(move |h| Some((h, scs.rule(h.uca_id)?)))
+        self.rules
+            .iter()
+            .filter_map(move |h| Some((h, scs.rule(h.uca_id)?)))
     }
 
     /// Post-hoc verification of a recorded (mitigated) run: for every
@@ -261,7 +264,12 @@ pub struct TsLearnConfig {
 
 impl Default for TsLearnConfig {
     fn default() -> TsLearnConfig {
-        TsLearnConfig { quantile: 0.1, safety_fraction: 0.5, min_steps: 1, max_steps: 24 }
+        TsLearnConfig {
+            quantile: 0.1,
+            safety_fraction: 0.5,
+            min_steps: 1,
+            max_steps: 24,
+        }
     }
 }
 
@@ -326,7 +334,9 @@ pub fn context_series(trace: &SimTrace) -> Vec<ContextVector> {
             bg,
             dbg: prev_bg.map(|p| bg - p).unwrap_or(0.0),
             iob,
-            diob: prev_iob.map(|p| (iob - p) / CONTROL_CYCLE_MINUTES).unwrap_or(0.0),
+            diob: prev_iob
+                .map(|p| (iob - p) / CONTROL_CYCLE_MINUTES)
+                .unwrap_or(0.0),
         });
         prev_bg = Some(bg);
         prev_iob = Some(iob);
@@ -359,7 +369,13 @@ impl ContextMitigatorConfig {
         basal: UnitsPerHour,
         max_rate: UnitsPerHour,
     ) -> ContextMitigatorConfig {
-        ContextMitigatorConfig { target, basal, max_rate, bg_gain: 0.02, iob_discount: 1.0 }
+        ContextMitigatorConfig {
+            target,
+            basal,
+            max_rate,
+            bg_gain: 0.02,
+            iob_discount: 1.0,
+        }
     }
 }
 
@@ -385,7 +401,10 @@ impl ContextMitigator {
     /// Creates the mitigator; its IOB estimate is relative to the
     /// configured basal.
     pub fn new(config: ContextMitigatorConfig) -> ContextMitigator {
-        ContextMitigator { config, builder: ContextBuilder::new(config.basal) }
+        ContextMitigator {
+            config,
+            builder: ContextBuilder::new(config.basal),
+        }
     }
 
     /// The configuration in use.
@@ -413,8 +432,7 @@ impl ContextMitigator {
             Some(Hazard::H2) => {
                 let excess = (ctx.bg - self.config.target.value()).max(0.0);
                 let pending = ctx.iob.max(0.0);
-                let correction =
-                    self.config.bg_gain * excess - self.config.iob_discount * pending;
+                let correction = self.config.bg_gain * excess - self.config.iob_discount * pending;
                 let rate = (self.config.basal.value() + correction.max(0.0))
                     .clamp(self.config.basal.value(), self.config.max_rate.value());
                 UnitsPerHour(rate)
@@ -655,7 +673,9 @@ mod tests {
     #[test]
     fn context_series_matches_finite_differences() {
         let mut trace = SimTrace::new(TraceMeta::default());
-        for (i, (bg, iob)) in [(120.0, 0.0), (130.0, 0.5), (125.0, 0.4)].iter().enumerate()
+        for (i, (bg, iob)) in [(120.0, 0.0), (130.0, 0.5), (125.0, 0.4)]
+            .iter()
+            .enumerate()
         {
             let mut rec = StepRecord::blank(Step(i as u32));
             rec.bg = MgDl(*bg);
@@ -679,7 +699,12 @@ mod tests {
     }
 
     fn ctx(bg: f64, iob: f64) -> ContextVector {
-        ContextVector { bg, dbg: 0.0, iob, diob: 0.0 }
+        ContextVector {
+            bg,
+            dbg: 0.0,
+            iob,
+            diob: 0.0,
+        }
     }
 
     #[test]

@@ -30,6 +30,13 @@ pub struct LearnConfig {
     /// space". Steps hours before the hazard carry no causal signal
     /// and would dilute the fit.
     pub lead_window: u32,
+    /// Minimum number of trace extremes a rule must collect before its
+    /// β moves off the guideline default. A threshold fitted from a
+    /// couple of samples is statistical noise and can easily *relax*
+    /// the monitor below guideline sensitivity; paper-scale campaigns
+    /// clear this floor comfortably. (No `#[serde(default)]`: that
+    /// would silently deserialize to 0 and disable the guard.)
+    pub min_samples: usize,
 }
 
 impl Default for LearnConfig {
@@ -44,6 +51,7 @@ impl Default for LearnConfig {
             bg_bounds: (45.0, 80.0),
             pre_hazard_only: true,
             lead_window: 36,
+            min_samples: 4,
         }
     }
 }
@@ -81,20 +89,24 @@ pub fn extract_rule_samples(
     let below = !matches!(rule.iob, IobCond::AboveBeta);
     let mut samples = Vec::new();
     for trace in traces {
-        let Some(hazard_type) = trace.meta.hazard_type else { continue };
+        let Some(hazard_type) = trace.meta.hazard_type else {
+            continue;
+        };
         if hazard_type != rule.hazard {
             continue;
         }
-        let onset = trace.meta.hazard_onset.map(|s| s.index()).unwrap_or(usize::MAX);
+        let onset = trace
+            .meta
+            .hazard_onset
+            .map(|s| s.index())
+            .unwrap_or(usize::MAX);
         let earliest = onset.saturating_sub(config.lead_window as usize);
         let mut builder = ContextBuilder::new(basal);
         let mut extreme: Option<f64> = None;
         for rec in trace.iter() {
             let ctx = builder.observe_bg(rec.bg);
             builder.observe_delivery(rec.delivered);
-            if config.pre_hazard_only
-                && (rec.step.index() > onset || rec.step.index() < earliest)
-            {
+            if config.pre_hazard_only && (rec.step.index() > onset || rec.step.index() < earliest) {
                 continue;
             }
             // Context must match with the learnable predicate removed.
@@ -173,7 +185,10 @@ fn fit_beta(rule: &UcaRule, samples: &[f64], config: &LearnConfig) -> Option<(f6
         objective,
         &[start.clamp(lo, hi)],
         &Bounds::new(vec![lo], vec![hi]),
-        &Options { max_iters: 300, ..Options::default() },
+        &Options {
+            max_iters: 300,
+            ..Options::default()
+        },
     )
     .ok()?;
     Some((sol.x[0], sol.iterations))
@@ -191,19 +206,31 @@ pub fn learn_thresholds(
     let mut fits = Vec::new();
     for rule in &scs.rules {
         let samples = extract_rule_samples(scs, rule, traces, basal, config);
-        let (beta, iterations) = match fit_beta(rule, &samples, config) {
+        let fitted = (samples.len() >= config.min_samples.max(1))
+            .then(|| fit_beta(rule, &samples, config))
+            .flatten();
+        let (beta, iterations) = match fitted {
             Some((b, it)) => (b, it),
             None => (rule.beta, 0),
         };
         refined.rule_mut(rule.id).expect("rule exists").beta = beta;
-        fits.push(RuleFit { rule_id: rule.id, beta, n_samples: samples.len(), iterations });
+        fits.push(RuleFit {
+            rule_id: rule.id,
+            beta,
+            n_samples: samples.len(),
+            iterations,
+        });
     }
     (refined, fits)
 }
 
 /// Filters traces to one patient (for patient-specific learning).
 pub fn traces_for_patient(traces: &[SimTrace], patient: &str) -> Vec<SimTrace> {
-    traces.iter().filter(|t| t.meta.patient == patient).cloned().collect()
+    traces
+        .iter()
+        .filter(|t| t.meta.patient == patient)
+        .cloned()
+        .collect()
 }
 
 #[cfg(test)]
@@ -247,13 +274,23 @@ mod tests {
         let scs = Scs::with_default_thresholds(MgDl(110.0));
         let traces = vec![h2_trace(0.0)];
         let rule1 = scs.rule(1).unwrap().clone();
-        let samples =
-            extract_rule_samples(&scs, &rule1, &traces, UnitsPerHour(1.0), &LearnConfig::default());
+        let samples = extract_rule_samples(
+            &scs,
+            &rule1,
+            &traces,
+            UnitsPerHour(1.0),
+            &LearnConfig::default(),
+        );
         assert!(!samples.is_empty(), "rule 1 should collect samples");
         // H1-side rules find nothing in an H2 trace.
         let rule6 = scs.rule(6).unwrap().clone();
-        let none =
-            extract_rule_samples(&scs, &rule6, &traces, UnitsPerHour(1.0), &LearnConfig::default());
+        let none = extract_rule_samples(
+            &scs,
+            &rule6,
+            &traces,
+            UnitsPerHour(1.0),
+            &LearnConfig::default(),
+        );
         assert!(none.is_empty());
     }
 
@@ -272,8 +309,13 @@ mod tests {
         let fit1 = fits.iter().find(|f| f.rule_id == 1).unwrap();
         assert!(fit1.n_samples > 0);
         let rule1 = scs.rule(1).unwrap().clone();
-        let samples =
-            extract_rule_samples(&scs, &rule1, &traces, UnitsPerHour(1.0), &LearnConfig::default());
+        let samples = extract_rule_samples(
+            &scs,
+            &rule1,
+            &traces,
+            UnitsPerHour(1.0),
+            &LearnConfig::default(),
+        );
         let max_mu = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let beta = refined.rule(1).unwrap().beta;
         // TMEE's exponential wall makes beta cover the large majority
@@ -282,7 +324,10 @@ mod tests {
         // soft here, so extreme-tail samples may remain uncovered).
         let cov = coverage_below(&samples, beta);
         assert!(cov >= 0.7, "coverage only {cov:.2} with beta {beta}");
-        assert!(beta <= max_mu + 1.5, "beta {beta} too loose vs max {max_mu}");
+        assert!(
+            beta <= max_mu + 1.5,
+            "beta {beta} too loose vs max {max_mu}"
+        );
     }
 
     #[test]
@@ -310,15 +355,20 @@ mod tests {
         let traces: Vec<SimTrace> = (0..5).map(|k| h2_trace(k as f64 * 0.3)).collect();
         let rule1 = scs.rule(1).unwrap().clone();
         let cfg_tmee = LearnConfig::default();
-        let samples =
-            extract_rule_samples(&scs, &rule1, &traces, UnitsPerHour(1.0), &cfg_tmee);
+        let samples = extract_rule_samples(&scs, &rule1, &traces, UnitsPerHour(1.0), &cfg_tmee);
 
-        let cfg_mse = LearnConfig { loss: LossKind::Mse, ..LearnConfig::default() };
+        let cfg_mse = LearnConfig {
+            loss: LossKind::Mse,
+            ..LearnConfig::default()
+        };
         let (beta_mse, _) = fit_beta(&rule1, &samples, &cfg_mse).unwrap();
         let (beta_tmee, _) = fit_beta(&rule1, &samples, &cfg_tmee).unwrap();
         let cov_mse = coverage_below(&samples, beta_mse);
         let cov_tmee = coverage_below(&samples, beta_tmee);
-        assert!(beta_tmee > beta_mse, "TMEE {beta_tmee} should sit above MSE {beta_mse}");
+        assert!(
+            beta_tmee > beta_mse,
+            "TMEE {beta_tmee} should sit above MSE {beta_mse}"
+        );
         assert!(
             cov_tmee > cov_mse + 0.1,
             "TMEE coverage {cov_tmee:.2} should beat MSE {cov_mse:.2}"

@@ -24,7 +24,10 @@ pub struct Mitigator {
 impl Mitigator {
     /// The paper's configuration: suspend on H1, maximum insulin on H2.
     pub fn paper_default(max_rate: UnitsPerHour) -> Mitigator {
-        Mitigator { h1_rate: UnitsPerHour(0.0), h2_rate: max_rate }
+        Mitigator {
+            h1_rate: UnitsPerHour(0.0),
+            h2_rate: max_rate,
+        }
     }
 
     /// Applies Algorithm 1: corrects `commanded` if a hazard is
@@ -51,13 +54,19 @@ mod tests {
     #[test]
     fn h1_suspends() {
         let m = Mitigator::default();
-        assert_eq!(m.mitigate(Some(Hazard::H1), UnitsPerHour(3.0)), UnitsPerHour(0.0));
+        assert_eq!(
+            m.mitigate(Some(Hazard::H1), UnitsPerHour(3.0)),
+            UnitsPerHour(0.0)
+        );
     }
 
     #[test]
     fn h2_forces_max() {
         let m = Mitigator::paper_default(UnitsPerHour(6.0));
-        assert_eq!(m.mitigate(Some(Hazard::H2), UnitsPerHour(0.0)), UnitsPerHour(6.0));
+        assert_eq!(
+            m.mitigate(Some(Hazard::H2), UnitsPerHour(0.0)),
+            UnitsPerHour(6.0)
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub struct SafeRegion {
 
 impl Default for SafeRegion {
     fn default() -> SafeRegion {
-        SafeRegion { bg_low: 100.0, bg_high: 160.0 }
+        SafeRegion {
+            bg_low: 100.0,
+            bg_high: 160.0,
+        }
     }
 }
 
@@ -203,13 +206,33 @@ mod tests {
     #[test]
     fn safe_region_clearing_logic() {
         let safe = SafeRegion::default();
-        let falling = ContextVector { bg: 110.0, dbg: -3.0, iob: 0.0, diob: 0.0 };
+        let falling = ContextVector {
+            bg: 110.0,
+            dbg: -3.0,
+            iob: 0.0,
+            diob: 0.0,
+        };
         assert!(!safe.clears(&falling, Hazard::H1), "still falling in band");
-        let recovered = ContextVector { bg: 110.0, dbg: 1.0, iob: 0.0, diob: 0.0 };
+        let recovered = ContextVector {
+            bg: 110.0,
+            dbg: 1.0,
+            iob: 0.0,
+            diob: 0.0,
+        };
         assert!(safe.clears(&recovered, Hazard::H1));
-        let high_rising = ContextVector { bg: 200.0, dbg: 4.0, iob: 0.0, diob: 0.0 };
+        let high_rising = ContextVector {
+            bg: 200.0,
+            dbg: 4.0,
+            iob: 0.0,
+            diob: 0.0,
+        };
         assert!(!safe.clears(&high_rising, Hazard::H2));
-        let high_falling = ContextVector { bg: 150.0, dbg: -4.0, iob: 0.0, diob: 0.0 };
+        let high_falling = ContextVector {
+            bg: 150.0,
+            dbg: -4.0,
+            iob: 0.0,
+            diob: 0.0,
+        };
         assert!(safe.clears(&high_falling, Hazard::H2));
     }
 
@@ -239,6 +262,9 @@ mod tests {
         let v_default = cawot.check(&input(1, 210.0, 0.0, 1.0));
         assert_eq!(v_learned, Some(Hazard::H2));
         assert_eq!(cawt.last_rule(), Some(9));
-        assert_eq!(v_default, None, "default ceiling should not fire at basal IOB");
+        assert_eq!(
+            v_default, None,
+            "default ceiling should not fire at basal IOB"
+        );
     }
 }

@@ -116,7 +116,9 @@ impl HazardMonitor for MlMonitor {
     fn check(&mut self, input: &MonitorInput) -> Option<Hazard> {
         let ctx = self.context.observe_bg(input.bg);
         let action = ControlAction::classify(input.commanded, input.previous_rate);
-        let features = self.scaler.transform(&MlFeatures::vector(&ctx, input.commanded, action));
+        let features = self
+            .scaler
+            .transform(&MlFeatures::vector(&ctx, input.commanded, action));
         let class = self.model.predict(&features);
         self.verdict(class, &ctx)
     }
@@ -188,7 +190,9 @@ impl HazardMonitor for LstmMonitor {
     fn check(&mut self, input: &MonitorInput) -> Option<Hazard> {
         let ctx = self.context.observe_bg(input.bg);
         let action = ControlAction::classify(input.commanded, input.previous_rate);
-        let features = self.scaler.transform(&MlFeatures::vector(&ctx, input.commanded, action));
+        let features = self
+            .scaler
+            .transform(&MlFeatures::vector(&ctx, input.commanded, action));
         self.buffer.push_back(features);
         if self.buffer.len() > self.window {
             self.buffer.pop_front();
@@ -257,7 +261,14 @@ mod tests {
         // an extreme value.
         let rows: Vec<Vec<f64>> = (0..20)
             .map(|i| {
-                vec![100.0 + i as f64, 0.0, 0.5, 0.0, 0.8 + (i % 5) as f64 * 0.1, 4.0]
+                vec![
+                    100.0 + i as f64,
+                    0.0,
+                    0.5,
+                    0.0,
+                    0.8 + (i % 5) as f64 * 0.1,
+                    4.0,
+                ]
             })
             .collect();
         let n = rows.len();

@@ -25,7 +25,11 @@ pub struct MpcConfig {
 
 impl Default for MpcConfig {
     fn default() -> MpcConfig {
-        MpcConfig { horizon_minutes: 30.0, bg_low: 70.0, bg_high: 180.0 }
+        MpcConfig {
+            horizon_minutes: 30.0,
+            bg_low: 70.0,
+            bg_high: 180.0,
+        }
     }
 }
 
@@ -43,7 +47,13 @@ pub struct MpcMonitor {
 impl MpcMonitor {
     /// Creates the monitor with the given model parameters.
     pub fn new(config: MpcConfig, model: BergmanParams) -> MpcMonitor {
-        let mut m = MpcMonitor { config, model, isc: 0.0, ip: 0.0, ieff: 0.0 };
+        let mut m = MpcMonitor {
+            config,
+            model,
+            isc: 0.0,
+            ip: 0.0,
+            ieff: 0.0,
+        };
         m.reset();
         m
     }
@@ -137,8 +147,7 @@ mod tests {
     #[test]
     fn quiet_at_equilibrium() {
         let mut m = MpcMonitor::population();
-        let basal =
-            m.model.equilibrium_basal(MgDl(120.0)).value();
+        let basal = m.model.equilibrium_basal(MgDl(120.0)).value();
         assert_eq!(m.check(&input(120.0, basal)), None);
     }
 
@@ -169,7 +178,10 @@ mod tests {
         let m = MpcMonitor::population();
         let low = m.predict(150.0, UnitsPerHour(0.0));
         let high = m.predict(150.0, UnitsPerHour(8.0));
-        assert!(high < low, "more insulin must predict lower BG: {high} vs {low}");
+        assert!(
+            high < low,
+            "more insulin must predict lower BG: {high} vs {low}"
+        );
     }
 
     #[test]

@@ -65,8 +65,7 @@ impl StlCawMonitor {
                     other => other,
                 };
                 CompiledRule {
-                    monitor: OnlineMonitor::new(body)
-                        .expect("SCS rule bodies are past-time"),
+                    monitor: OnlineMonitor::new(body).expect("SCS rule bodies are past-time"),
                     hazard: rule.hazard,
                     id: rule.id,
                 }
@@ -190,12 +189,12 @@ mod tests {
         // A stream that wanders through hyper, hypo, and safe contexts
         // with varying commands (quantized BG like a real CGM).
         let bgs = [
-            120.0, 150.0, 190.0, 220.0, 240.0, 230.0, 200.0, 160.0, 120.0, 90.0,
-            70.0, 62.0, 58.0, 64.0, 72.0, 85.0, 100.0, 115.0, 125.0, 130.0,
+            120.0, 150.0, 190.0, 220.0, 240.0, 230.0, 200.0, 160.0, 120.0, 90.0, 70.0, 62.0, 58.0,
+            64.0, 72.0, 85.0, 100.0, 115.0, 125.0, 130.0,
         ];
         let rates = [
-            1.0, 1.2, 1.6, 2.0, 2.0, 1.6, 1.2, 1.0, 0.8, 0.5, 0.5, 0.8, 0.0, 0.0,
-            0.3, 0.6, 0.9, 1.0, 1.0, 1.0,
+            1.0, 1.2, 1.6, 2.0, 2.0, 1.6, 1.2, 1.0, 0.8, 0.5, 0.5, 0.8, 0.0, 0.0, 0.3, 0.6, 0.9,
+            1.0, 1.0, 1.0,
         ];
         let mut prev = 1.0;
         for (i, (&bg, &rate)) in bgs.iter().zip(&rates).enumerate() {

@@ -137,12 +137,8 @@ impl UcaRule {
     pub fn to_stl(&self, target: MgDl, te: usize) -> Formula {
         let context = self.context_stl(target);
         let consequent = match self.action {
-            ActionCond::Forbidden(u) => {
-                Formula::pred("u", CmpOp::Eq, u.paper_index() as f64).not()
-            }
-            ActionCond::Required(u) => {
-                Formula::pred("u", CmpOp::Eq, u.paper_index() as f64)
-            }
+            ActionCond::Forbidden(u) => Formula::pred("u", CmpOp::Eq, u.paper_index() as f64).not(),
+            ActionCond::Required(u) => Formula::pred("u", CmpOp::Eq, u.paper_index() as f64),
         };
         context.implies(consequent).globally(0, te)
     }
@@ -155,22 +151,19 @@ impl UcaRule {
         use crate::context::{BG_TREND_EPS, IOB_TREND_EPS};
         let mut conjuncts: Vec<Formula> = Vec::new();
         match self.bg {
-            BgCond::AboveTarget => {
-                conjuncts.push(Formula::pred("bg", CmpOp::Gt, target.value()))
-            }
-            BgCond::BelowTarget => {
-                conjuncts.push(Formula::pred("bg", CmpOp::Lt, target.value()))
-            }
+            BgCond::AboveTarget => conjuncts.push(Formula::pred("bg", CmpOp::Gt, target.value())),
+            BgCond::BelowTarget => conjuncts.push(Formula::pred("bg", CmpOp::Lt, target.value())),
             BgCond::BelowBeta => conjuncts.push(Formula::pred("bg", CmpOp::Lt, self.beta)),
         }
         let trend = |signal: &str, cond: TrendCond, eps: f64| -> Option<Formula> {
             match cond {
                 TrendCond::Pos => Some(Formula::pred(signal, CmpOp::Gt, eps)),
                 TrendCond::Neg => Some(Formula::pred(signal, CmpOp::Lt, -eps)),
-                TrendCond::Zero => Some(
-                    Formula::pred(signal, CmpOp::Ge, -eps)
-                        .and(Formula::pred(signal, CmpOp::Le, eps)),
-                ),
+                TrendCond::Zero => Some(Formula::pred(signal, CmpOp::Ge, -eps).and(Formula::pred(
+                    signal,
+                    CmpOp::Le,
+                    eps,
+                ))),
                 TrendCond::NonPos => Some(Formula::pred(signal, CmpOp::Le, eps)),
                 TrendCond::NonNeg => Some(Formula::pred(signal, CmpOp::Ge, -eps)),
                 TrendCond::Any => None,
@@ -183,12 +176,8 @@ impl UcaRule {
             conjuncts.push(f);
         }
         match self.iob {
-            IobCond::BelowBeta => {
-                conjuncts.push(Formula::pred("iob", CmpOp::Lt, self.beta))
-            }
-            IobCond::AboveBeta => {
-                conjuncts.push(Formula::pred("iob", CmpOp::Gt, self.beta))
-            }
+            IobCond::BelowBeta => conjuncts.push(Formula::pred("iob", CmpOp::Lt, self.beta)),
+            IobCond::AboveBeta => conjuncts.push(Formula::pred("iob", CmpOp::Gt, self.beta)),
             IobCond::Any => {}
         }
         Formula::And(conjuncts)
@@ -232,23 +221,131 @@ impl Scs {
         };
         let rules = vec![
             // 1-5: decreasing insulin while hyperglycemic with little IOB -> H2.
-            r(1, AboveTarget, TrendCond::Pos, TrendCond::Neg, BelowBeta, -0.5, Forbidden(DecreaseInsulin), Hazard::H2),
-            r(2, AboveTarget, TrendCond::Pos, TrendCond::Zero, BelowBeta, -0.5, Forbidden(DecreaseInsulin), Hazard::H2),
-            r(3, AboveTarget, TrendCond::Neg, TrendCond::Pos, BelowBeta, -0.5, Forbidden(DecreaseInsulin), Hazard::H2),
-            r(4, AboveTarget, TrendCond::Neg, TrendCond::Neg, BelowBeta, -0.5, Forbidden(DecreaseInsulin), Hazard::H2),
-            r(5, AboveTarget, TrendCond::Neg, TrendCond::Zero, BelowBeta, -0.5, Forbidden(DecreaseInsulin), Hazard::H2),
+            r(
+                1,
+                AboveTarget,
+                TrendCond::Pos,
+                TrendCond::Neg,
+                BelowBeta,
+                -0.5,
+                Forbidden(DecreaseInsulin),
+                Hazard::H2,
+            ),
+            r(
+                2,
+                AboveTarget,
+                TrendCond::Pos,
+                TrendCond::Zero,
+                BelowBeta,
+                -0.5,
+                Forbidden(DecreaseInsulin),
+                Hazard::H2,
+            ),
+            r(
+                3,
+                AboveTarget,
+                TrendCond::Neg,
+                TrendCond::Pos,
+                BelowBeta,
+                -0.5,
+                Forbidden(DecreaseInsulin),
+                Hazard::H2,
+            ),
+            r(
+                4,
+                AboveTarget,
+                TrendCond::Neg,
+                TrendCond::Neg,
+                BelowBeta,
+                -0.5,
+                Forbidden(DecreaseInsulin),
+                Hazard::H2,
+            ),
+            r(
+                5,
+                AboveTarget,
+                TrendCond::Neg,
+                TrendCond::Zero,
+                BelowBeta,
+                -0.5,
+                Forbidden(DecreaseInsulin),
+                Hazard::H2,
+            ),
             // 6-8: increasing insulin while hypoglycemic with IOB already high -> H1.
-            r(6, BelowTarget, TrendCond::Neg, TrendCond::Pos, AboveBeta, 2.0, Forbidden(IncreaseInsulin), Hazard::H1),
-            r(7, BelowTarget, TrendCond::Neg, TrendCond::Neg, AboveBeta, 2.0, Forbidden(IncreaseInsulin), Hazard::H1),
-            r(8, BelowTarget, TrendCond::Neg, TrendCond::Zero, AboveBeta, 2.0, Forbidden(IncreaseInsulin), Hazard::H1),
+            r(
+                6,
+                BelowTarget,
+                TrendCond::Neg,
+                TrendCond::Pos,
+                AboveBeta,
+                2.0,
+                Forbidden(IncreaseInsulin),
+                Hazard::H1,
+            ),
+            r(
+                7,
+                BelowTarget,
+                TrendCond::Neg,
+                TrendCond::Neg,
+                AboveBeta,
+                2.0,
+                Forbidden(IncreaseInsulin),
+                Hazard::H1,
+            ),
+            r(
+                8,
+                BelowTarget,
+                TrendCond::Neg,
+                TrendCond::Zero,
+                AboveBeta,
+                2.0,
+                Forbidden(IncreaseInsulin),
+                Hazard::H1,
+            ),
             // 9: stopping insulin while hyperglycemic with little IOB -> H2.
-            r(9, AboveTarget, TrendCond::Any, TrendCond::Any, BelowBeta, -0.5, Forbidden(StopInsulin), Hazard::H2),
+            r(
+                9,
+                AboveTarget,
+                TrendCond::Any,
+                TrendCond::Any,
+                BelowBeta,
+                -0.5,
+                Forbidden(StopInsulin),
+                Hazard::H2,
+            ),
             // 10: below the glucose floor insulin MUST stop -> else H1.
-            r(10, BgCond::BelowBeta, TrendCond::Any, TrendCond::Any, IobCond::Any, 70.0, Required(StopInsulin), Hazard::H1),
+            r(
+                10,
+                BgCond::BelowBeta,
+                TrendCond::Any,
+                TrendCond::Any,
+                IobCond::Any,
+                70.0,
+                Required(StopInsulin),
+                Hazard::H1,
+            ),
             // 11: keeping the rate while hyperglycemic, IOB flat/falling and low -> H2.
-            r(11, AboveTarget, TrendCond::Pos, TrendCond::NonPos, BelowBeta, -0.5, Forbidden(KeepInsulin), Hazard::H2),
+            r(
+                11,
+                AboveTarget,
+                TrendCond::Pos,
+                TrendCond::NonPos,
+                BelowBeta,
+                -0.5,
+                Forbidden(KeepInsulin),
+                Hazard::H2,
+            ),
             // 12: keeping the rate while hypoglycemic, IOB flat/rising and high -> H1.
-            r(12, BelowTarget, TrendCond::Neg, TrendCond::NonNeg, AboveBeta, 2.0, Forbidden(KeepInsulin), Hazard::H1),
+            r(
+                12,
+                BelowTarget,
+                TrendCond::Neg,
+                TrendCond::NonNeg,
+                AboveBeta,
+                2.0,
+                Forbidden(KeepInsulin),
+                Hazard::H1,
+            ),
         ];
         Scs { target, rules }
     }
@@ -256,12 +353,17 @@ impl Scs {
     /// First rule violated by `(ctx, action)`, if any (the monitor's
     /// per-cycle check).
     pub fn first_violation(&self, ctx: &ContextVector, action: ControlAction) -> Option<&UcaRule> {
-        self.rules.iter().find(|r| r.violated_by(ctx, action, self.target))
+        self.rules
+            .iter()
+            .find(|r| r.violated_by(ctx, action, self.target))
     }
 
     /// All rules as STL formulas for the horizon `[0, te]`.
     pub fn to_stl(&self, te: usize) -> Vec<Formula> {
-        self.rules.iter().map(|r| r.to_stl(self.target, te)).collect()
+        self.rules
+            .iter()
+            .map(|r| r.to_stl(self.target, te))
+            .collect()
     }
 
     /// Looks up a rule by Table I row id.
@@ -310,7 +412,9 @@ mod tests {
         assert_eq!(v.map(|r| r.id), Some(1));
         assert_eq!(v.map(|r| r.hazard), Some(Hazard::H2));
         // Same context, increasing insulin is fine.
-        assert!(s.first_violation(&c, ControlAction::IncreaseInsulin).is_none());
+        assert!(s
+            .first_violation(&c, ControlAction::IncreaseInsulin)
+            .is_none());
     }
 
     #[test]
@@ -345,12 +449,14 @@ mod tests {
         let s = scs();
         let c_hyper = ctx(220.0, 6.0, -0.8, -0.001);
         assert_eq!(
-            s.first_violation(&c_hyper, ControlAction::KeepInsulin).map(|r| r.id),
+            s.first_violation(&c_hyper, ControlAction::KeepInsulin)
+                .map(|r| r.id),
             Some(11)
         );
         let c_hypo = ctx(90.0, -5.0, 2.5, 0.001);
         assert_eq!(
-            s.first_violation(&c_hypo, ControlAction::KeepInsulin).map(|r| r.id),
+            s.first_violation(&c_hypo, ControlAction::KeepInsulin)
+                .map(|r| r.id),
             Some(12)
         );
     }
@@ -372,11 +478,14 @@ mod tests {
         let mut s = scs();
         let c = ctx(200.0, 5.0, 1.5, -0.002);
         // Default beta1 = -0.5: IOB 1.5 not below beta -> safe.
-        assert!(s.first_violation(&c, ControlAction::DecreaseInsulin).is_none());
+        assert!(s
+            .first_violation(&c, ControlAction::DecreaseInsulin)
+            .is_none());
         // Learned looser ceiling 2.0: now flagged.
         s.rule_mut(1).unwrap().beta = 2.0;
         assert_eq!(
-            s.first_violation(&c, ControlAction::DecreaseInsulin).map(|r| r.id),
+            s.first_violation(&c, ControlAction::DecreaseInsulin)
+                .map(|r| r.id),
             Some(1)
         );
     }
@@ -386,8 +495,14 @@ mod tests {
         let s = scs();
         // Build a 1-sample trace per scenario and compare verdicts.
         let scenarios = vec![
-            (ctx(200.0, 5.0, -0.8, -0.002), ControlAction::DecreaseInsulin),
-            (ctx(200.0, 5.0, -0.8, -0.002), ControlAction::IncreaseInsulin),
+            (
+                ctx(200.0, 5.0, -0.8, -0.002),
+                ControlAction::DecreaseInsulin,
+            ),
+            (
+                ctx(200.0, 5.0, -0.8, -0.002),
+                ControlAction::IncreaseInsulin,
+            ),
             (ctx(200.0, 5.0, 0.2, -0.002), ControlAction::DecreaseInsulin),
             (ctx(80.0, -4.0, 3.0, 0.002), ControlAction::IncreaseInsulin),
             (ctx(60.0, 0.0, 0.5, 0.0), ControlAction::KeepInsulin),

@@ -25,7 +25,10 @@ pub struct CusumConfig {
 
 impl Default for CusumConfig {
     fn default() -> CusumConfig {
-        CusumConfig { drift: 0.5, threshold: 5.0 }
+        CusumConfig {
+            drift: 0.5,
+            threshold: 5.0,
+        }
     }
 }
 
@@ -47,7 +50,12 @@ impl Cusum {
     pub fn new(config: CusumConfig) -> Cusum {
         assert!(config.drift >= 0.0, "drift must be non-negative");
         assert!(config.threshold > 0.0, "threshold must be positive");
-        Cusum { config, s_hi: 0.0, s_lo: 0.0, tripped: false }
+        Cusum {
+            config,
+            s_hi: 0.0,
+            s_lo: 0.0,
+            tripped: false,
+        }
     }
 
     /// Current upper/lower cumulative sums.
@@ -107,7 +115,10 @@ mod tests {
             }
             n
         };
-        assert!(delay(4.0) < delay(1.0), "bigger shifts must be caught sooner");
+        assert!(
+            delay(4.0) < delay(1.0),
+            "bigger shifts must be caught sooner"
+        );
     }
 
     #[test]
@@ -127,7 +138,10 @@ mod tests {
         for _ in 0..100 {
             c.update(0.0);
         }
-        assert!(!c.update(4.0).is_anomalous(), "single 4-sigma spike tripped");
+        assert!(
+            !c.update(4.0).is_anomalous(),
+            "single 4-sigma spike tripped"
+        );
         // ... but the evidence is retained:
         assert!(c.sums().0 > 0.0);
     }
@@ -135,6 +149,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "threshold must be positive")]
     fn zero_threshold_is_rejected() {
-        Cusum::new(CusumConfig { threshold: 0.0, ..CusumConfig::default() });
+        Cusum::new(CusumConfig {
+            threshold: 0.0,
+            ..CusumConfig::default()
+        });
     }
 }

@@ -22,7 +22,11 @@ pub struct EwmaConfig {
 
 impl Default for EwmaConfig {
     fn default() -> EwmaConfig {
-        EwmaConfig { lambda: 0.2, limit: 4.0, sigma: 1.0 }
+        EwmaConfig {
+            lambda: 0.2,
+            limit: 4.0,
+            sigma: 1.0,
+        }
     }
 }
 
@@ -59,7 +63,11 @@ impl Ewma {
         );
         assert!(config.sigma > 0.0, "sigma must be positive");
         assert!(config.limit > 0.0, "limit must be positive");
-        Ewma { config, z: 0.0, tripped: false }
+        Ewma {
+            config,
+            z: 0.0,
+            tripped: false,
+        }
     }
 
     /// Current smoothed statistic.
@@ -105,7 +113,10 @@ mod tests {
 
     #[test]
     fn statistic_converges_to_the_stream_mean() {
-        let mut e = Ewma::new(EwmaConfig { limit: 100.0, ..EwmaConfig::default() });
+        let mut e = Ewma::new(EwmaConfig {
+            limit: 100.0,
+            ..EwmaConfig::default()
+        });
         for _ in 0..200 {
             e.update(1.0);
         }
@@ -124,7 +135,11 @@ mod tests {
 
     #[test]
     fn control_limit_formula() {
-        let e = Ewma::new(EwmaConfig { lambda: 0.2, limit: 3.0, sigma: 2.0 });
+        let e = Ewma::new(EwmaConfig {
+            lambda: 0.2,
+            limit: 3.0,
+            sigma: 2.0,
+        });
         let expected = 3.0 * 2.0 * (0.2f64 / 1.8).sqrt();
         assert!((e.control_limit() - expected).abs() < 1e-12);
     }
@@ -133,7 +148,11 @@ mod tests {
     fn lambda_one_degenerates_to_shewhart() {
         // With lambda = 1 the statistic is the raw observation, so a
         // single sample past L·sigma alarms.
-        let mut e = Ewma::new(EwmaConfig { lambda: 1.0, limit: 3.0, sigma: 1.0 });
+        let mut e = Ewma::new(EwmaConfig {
+            lambda: 1.0,
+            limit: 3.0,
+            sigma: 1.0,
+        });
         assert!(!e.update(2.9).is_anomalous());
         assert!(e.update(3.1).is_anomalous());
     }
@@ -141,6 +160,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "lambda must be in (0, 1]")]
     fn zero_lambda_is_rejected() {
-        Ewma::new(EwmaConfig { lambda: 0.0, ..EwmaConfig::default() });
+        Ewma::new(EwmaConfig {
+            lambda: 0.0,
+            ..EwmaConfig::default()
+        });
     }
 }

@@ -20,15 +20,20 @@ pub struct GuardConfig {
     /// before the detector (mg/dL; CGM noise plus model error).
     pub sigma: f64,
     /// Consecutive *identical* readings before declaring a stuck
-    /// sensor. CGMs quantize to 1 mg/dL, so short runs are normal;
-    /// the default (12 = one hour) is far beyond physiological
-    /// flatness under closed-loop control.
+    /// sensor. CGMs quantize to 1 mg/dL, so runs of identical readings
+    /// are normal near equilibrium: a noise-free closed loop regulated
+    /// at target genuinely emits 12–15 identical quantized readings in
+    /// a row. The default (24 = two hours) stays beyond that while
+    /// still catching hold/DoS faults well inside one control horizon.
     pub stuck_limit: usize,
 }
 
 impl Default for GuardConfig {
     fn default() -> GuardConfig {
-        GuardConfig { sigma: 3.0, stuck_limit: 12 }
+        GuardConfig {
+            sigma: 3.0,
+            stuck_limit: 24,
+        }
     }
 }
 
@@ -73,7 +78,13 @@ impl<D: ChangeDetector> CgmGuard<D> {
     pub fn new(detector: D, config: GuardConfig) -> CgmGuard<D> {
         assert!(config.sigma > 0.0, "sigma must be positive");
         assert!(config.stuck_limit > 0, "stuck_limit must be positive");
-        CgmGuard { detector, config, prev: None, prev2: None, flat_run: 0 }
+        CgmGuard {
+            detector,
+            config,
+            prev: None,
+            prev2: None,
+            flat_run: 0,
+        }
     }
 
     /// The wrapped detector.
@@ -163,7 +174,7 @@ mod tests {
         // only the run-length check can see it.
         let mut g = guard();
         let mut fired = false;
-        for _ in 0..20 {
+        for _ in 0..30 {
             fired |= g.observe(MgDl(120.0)).is_anomalous();
         }
         assert!(fired, "stuck-at fault missed");

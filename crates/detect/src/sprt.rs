@@ -30,7 +30,13 @@ pub struct SprtConfig {
 
 impl Default for SprtConfig {
     fn default() -> SprtConfig {
-        SprtConfig { mu0: 0.0, mu1: 3.0, sigma: 1.0, alpha: 0.01, beta: 0.01 }
+        SprtConfig {
+            mu0: 0.0,
+            mu1: 3.0,
+            sigma: 1.0,
+            alpha: 0.01,
+            beta: 0.01,
+        }
     }
 }
 
@@ -67,10 +73,18 @@ impl Sprt {
     /// `alpha + beta >= 1`, or if `mu1 == mu0` (no shift to test).
     pub fn new(config: SprtConfig) -> Sprt {
         assert!(config.sigma > 0.0, "sigma must be positive");
-        assert!(config.alpha > 0.0 && config.beta > 0.0, "error rates must be positive");
+        assert!(
+            config.alpha > 0.0 && config.beta > 0.0,
+            "error rates must be positive"
+        );
         assert!(config.alpha + config.beta < 1.0, "alpha + beta must be < 1");
         assert!(config.mu1 != config.mu0, "mu1 must differ from mu0");
-        Sprt { config, llr_up: 0.0, llr_down: 0.0, tripped: false }
+        Sprt {
+            config,
+            llr_up: 0.0,
+            llr_down: 0.0,
+            tripped: false,
+        }
     }
 
     /// Upper decision boundary `ln((1−β)/α)`.
@@ -208,12 +222,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "sigma must be positive")]
     fn zero_sigma_is_rejected() {
-        Sprt::new(SprtConfig { sigma: 0.0, ..SprtConfig::default() });
+        Sprt::new(SprtConfig {
+            sigma: 0.0,
+            ..SprtConfig::default()
+        });
     }
 
     #[test]
     #[should_panic(expected = "mu1 must differ")]
     fn degenerate_hypotheses_are_rejected() {
-        Sprt::new(SprtConfig { mu1: 0.0, mu0: 0.0, ..SprtConfig::default() });
+        Sprt::new(SprtConfig {
+            mu1: 0.0,
+            mu0: 0.0,
+            ..SprtConfig::default()
+        });
     }
 }

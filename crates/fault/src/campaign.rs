@@ -47,12 +47,18 @@ impl CampaignConfig {
     /// The paper-scale grid: 9 start/duration combinations (3 starts ×
     /// 3 durations across the 150-step run).
     pub fn paper() -> CampaignConfig {
-        CampaignConfig { starts: vec![20, 50, 90], durations: vec![6, 18, 36] }
+        CampaignConfig {
+            starts: vec![20, 50, 90],
+            durations: vec![6, 18, 36],
+        }
     }
 
     /// A reduced grid for quick single-core experiments.
     pub fn quick() -> CampaignConfig {
-        CampaignConfig { starts: vec![30], durations: vec![24] }
+        CampaignConfig {
+            starts: vec![30],
+            durations: vec![24],
+        }
     }
 }
 
@@ -119,8 +125,7 @@ mod tests {
     #[test]
     fn scenario_names_are_unique() {
         let grid = campaign_grid(&targets(), &CampaignConfig::paper());
-        let names: std::collections::HashSet<String> =
-            grid.iter().map(|s| s.name()).collect();
+        let names: std::collections::HashSet<String> = grid.iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), grid.len());
     }
 

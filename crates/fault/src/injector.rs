@@ -20,7 +20,11 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Creates an injector for a scenario.
     pub fn new(scenario: FaultScenario) -> FaultInjector {
-        FaultInjector { scenario, held: None, activations: 0 }
+        FaultInjector {
+            scenario,
+            held: None,
+            activations: 0,
+        }
     }
 
     /// The scenario being injected.
@@ -42,15 +46,25 @@ impl FaultInjector {
     /// targets it and is active; otherwise returns `value` unchanged.
     /// `min`/`max` give the variable's legitimate range.
     pub fn perturb(&mut self, step: Step, var: &str, value: f64, min: f64, max: f64) -> f64 {
-        if var != self.scenario.target || !self.scenario.is_active(step) {
+        if var != self.scenario.target {
+            return value;
+        }
+        self.perturb_target(step, value, min, max)
+    }
+
+    /// Perturbs `value` of the scenario's *own* target variable at
+    /// `step`. Identical to [`perturb`](FaultInjector::perturb) with a
+    /// matching `var`, but skips the name comparison — the harness
+    /// resolves the target once per run, so the hot loop passes no
+    /// string and holds no borrow of the scenario.
+    pub fn perturb_target(&mut self, step: Step, value: f64, min: f64, max: f64) -> f64 {
+        if !self.scenario.is_active(step) {
             // Track the last clean value for a future Hold activation.
-            if var == self.scenario.target && !self.scenario.is_active(step) {
-                if step < self.scenario.start {
-                    self.held = Some(value);
-                } else {
-                    // Fault window over: stop holding.
-                    self.held = None;
-                }
+            if step < self.scenario.start {
+                self.held = Some(value);
+            } else {
+                // Fault window over: stop holding.
+                self.held = None;
             }
             return value;
         }

@@ -92,7 +92,12 @@ pub struct FaultScenario {
 impl FaultScenario {
     /// Creates a scenario.
     pub fn new(target: &str, kind: FaultKind, start: Step, duration: u32) -> FaultScenario {
-        FaultScenario { target: target.to_owned(), kind, start, duration }
+        FaultScenario {
+            target: target.to_owned(),
+            kind,
+            start,
+            duration,
+        }
     }
 
     /// `true` while the fault perturbs the system at `step`.
@@ -102,7 +107,13 @@ impl FaultScenario {
 
     /// Stable scenario identifier, e.g. `"max_rate@t30x12"`.
     pub fn name(&self) -> String {
-        format!("{}_{}@t{}x{}", self.kind.label(), self.target, self.start.0, self.duration)
+        format!(
+            "{}_{}@t{}x{}",
+            self.kind.label(),
+            self.target,
+            self.start.0,
+            self.duration
+        )
     }
 }
 

@@ -20,7 +20,7 @@
 //! virtual patient a closed-form equilibrium basal rate — handy both
 //! for controller initialization and for validating the integrator.
 
-use crate::ode::integrate;
+use crate::ode::Rk4Scratch;
 use crate::PatientSim;
 use aps_types::{MgDl, UnitsPerHour};
 use serde::{Deserialize, Serialize};
@@ -166,11 +166,17 @@ impl PatientSim for BergmanPatient {
     fn step(&mut self, rate: UnitsPerHour, minutes: f64) {
         let rate = rate.max_zero();
         let id_uu_per_min = rate.value() * 1e6 / 60.0;
-        let p = self.params.clone();
+        // Borrow (not clone) the parameters: the closure only reads
+        // them, and `state` is a disjoint field.
+        let p = &self.params;
         // Exercise elevates insulin-independent uptake for the active
         // part of the step (5-minute resolution).
         let active = self.exercise_minutes_left.min(minutes);
-        let intensity = if active > 0.0 { self.exercise_intensity } else { 0.0 };
+        let intensity = if active > 0.0 {
+            self.exercise_intensity
+        } else {
+            0.0
+        };
         let gezi = p.gezi * (1.0 + EXERCISE_GEZI_GAIN * intensity * (active / minutes));
         self.exercise_minutes_left = (self.exercise_minutes_left - minutes).max(0.0);
         let dynamics = move |_t: f64, x: &[f64], d: &mut [f64]| {
@@ -182,7 +188,15 @@ impl PatientSim for BergmanPatient {
             d[QGUT1] = -x[QGUT1] / p.tau_meal;
             d[QGUT2] = (x[QGUT1] - x[QGUT2]) / p.tau_meal;
         };
-        integrate(&dynamics, self.t_minutes, &mut self.state, minutes, 1.0);
+        // Stack-only scratch: the simulation hot loop performs no heap
+        // allocation per step.
+        Rk4Scratch::<NSTATE>::new().integrate(
+            &dynamics,
+            self.t_minutes,
+            &mut self.state,
+            minutes,
+            1.0,
+        );
         // Glucose cannot go negative; extreme insulin faults can push
         // the linear model below zero where the physiology saturates.
         self.state[BG] = self.state[BG].max(10.0);
@@ -231,7 +245,10 @@ mod tests {
     fn steady_state_formula_consistency() {
         let p = BergmanParams::population_average();
         let basal = p.equilibrium_basal(MgDl(120.0));
-        assert!(basal.value() > 0.1 && basal.value() < 5.0, "basal = {basal:?}");
+        assert!(
+            basal.value() > 0.1 && basal.value() < 5.0,
+            "basal = {basal:?}"
+        );
         let ss = p.steady_state_bg(basal);
         assert!((ss.value() - 120.0).abs() < 1e-9);
     }
@@ -260,7 +277,11 @@ mod tests {
         }
         let p = pt.params().clone();
         let max_bg = p.egp / p.gezi;
-        assert!(pt.bg().value() > 250.0, "BG only reached {}", pt.bg().value());
+        assert!(
+            pt.bg().value() > 250.0,
+            "BG only reached {}",
+            pt.bg().value()
+        );
         assert!(pt.bg().value() <= max_bg + 1.0);
     }
 
@@ -290,7 +311,10 @@ mod tests {
         let rest = run(0.0);
         let moderate = run(0.5);
         let brisk = run(1.0);
-        assert!(moderate < rest - 3.0, "moderate exercise barely moved BG ({rest} -> {moderate})");
+        assert!(
+            moderate < rest - 3.0,
+            "moderate exercise barely moved BG ({rest} -> {moderate})"
+        );
         assert!(brisk < moderate, "effect not monotone in intensity");
     }
 
@@ -320,7 +344,10 @@ mod tests {
         for _ in 0..12 {
             pt.step(basal, 5.0);
         }
-        assert!((pt.bg().value() - 120.0).abs() < 2.0, "reset left exercise active");
+        assert!(
+            (pt.bg().value() - 120.0).abs() < 2.0,
+            "reset left exercise active"
+        );
     }
 
     #[test]
@@ -381,8 +408,7 @@ mod tests {
         hi.si *= 2.0;
         let lo = BergmanParams::population_average();
         assert!(
-            hi.equilibrium_basal(MgDl(120.0)).value()
-                < lo.equilibrium_basal(MgDl(120.0)).value()
+            hi.equilibrium_basal(MgDl(120.0)).value() < lo.equilibrium_basal(MgDl(120.0)).value()
         );
     }
 }

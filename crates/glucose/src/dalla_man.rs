@@ -15,7 +15,7 @@
 //! `Ip, Il` in pmol/kg; concentrations `I, I1, Id, Ib` in pmol/L;
 //! infusion in pmol/kg/min (1 U/h = 100 pmol/min spread over `BW` kg).
 
-use crate::ode::integrate;
+use crate::ode::Rk4Scratch;
 use crate::PatientSim;
 use aps_types::{MgDl, UnitsPerHour};
 use serde::{Deserialize, Serialize};
@@ -160,11 +160,14 @@ impl DallaManParams {
     fn basal_insulin_for(&self, target: MgDl) -> f64 {
         let gp = target.value() * self.vg;
         let gt = self.gt_steady_state(gp);
-        let e = if gp > self.ke2 { self.ke1 * (gp - self.ke2) } else { 0.0 };
+        let e = if gp > self.ke2 {
+            self.ke1 * (gp - self.ke2)
+        } else {
+            0.0
+        };
         // 0 = kp1 - kp2*Gp - kp3*Ib - Fsnc - E - k1*Gp + k2*Gt
-        let ib = (self.kp1 - self.kp2 * gp - self.fsnc - e - self.k1 * gp
-            + self.k2 * gt)
-            / self.kp3;
+        let ib =
+            (self.kp1 - self.kp2 * gp - self.fsnc - e - self.k1 * gp + self.k2 * gt) / self.kp3;
         ib.max(0.0)
     }
 
@@ -262,10 +265,16 @@ impl PatientSim for DallaManPatient {
         let rate = rate.max_zero();
         // U/h -> pmol/kg/min.
         let iir = rate.value() * 6000.0 / 60.0 / self.params.bw;
-        let p = self.params.clone();
+        // Borrow (not clone) the parameters: the closure only reads
+        // them, and `state` is a disjoint field.
+        let p = &self.params;
         let ib = self.ib;
         let active = self.exercise_minutes_left.min(minutes);
-        let intensity = if active > 0.0 { self.exercise_intensity } else { 0.0 };
+        let intensity = if active > 0.0 {
+            self.exercise_intensity
+        } else {
+            0.0
+        };
         let uptake_scale = 1.0 + EXERCISE_UPTAKE_GAIN * intensity * (active / minutes);
         self.exercise_minutes_left = (self.exercise_minutes_left - minutes).max(0.0);
         let dynamics = move |_t: f64, x: &[f64], d: &mut [f64]| {
@@ -275,14 +284,15 @@ impl PatientSim for DallaManPatient {
             let ra = p.f * p.kabs * x[QGUT] / p.bw;
             let vm = (p.vm0 + p.vmx * x[X]).max(0.0) * uptake_scale;
             let uid = vm * x[GT] / (p.km0 + x[GT]);
-            let e = if x[GP] > p.ke2 { p.ke1 * (x[GP] - p.ke2) } else { 0.0 };
+            let e = if x[GP] > p.ke2 {
+                p.ke1 * (x[GP] - p.ke2)
+            } else {
+                0.0
+            };
 
             d[GP] = egp + ra - p.fsnc - e - p.k1 * x[GP] + p.k2 * x[GT];
             d[GT] = -uid + p.k1 * x[GP] - p.k2 * x[GT];
-            d[IP] = -(p.m2 + p.m4) * x[IP]
-                + p.m1 * x[IL]
-                + p.ka1 * x[ISC1]
-                + p.ka2 * x[ISC2];
+            d[IP] = -(p.m2 + p.m4) * x[IP] + p.m1 * x[IL] + p.ka1 * x[ISC1] + p.ka2 * x[ISC2];
             d[IL] = -(p.m1 + p.m3) * x[IL] + p.m2 * x[IP];
             d[I1] = -p.ki * (x[I1] - i_conc);
             d[ID] = -p.ki * (x[ID] - x[I1]);
@@ -294,7 +304,15 @@ impl PatientSim for DallaManPatient {
             d[QGUT] = p.kempt * x[QSTO2] - p.kabs * x[QGUT];
             d[GS] = (g - x[GS]) / p.tau_cgm;
         };
-        integrate(&dynamics, self.t_minutes, &mut self.state, minutes, 1.0);
+        // Stack-only scratch: the simulation hot loop performs no heap
+        // allocation per step.
+        Rk4Scratch::<NSTATE>::new().integrate(
+            &dynamics,
+            self.t_minutes,
+            &mut self.state,
+            minutes,
+            1.0,
+        );
         // Physiological floors: masses and the remote signal saturate.
         self.state[GP] = self.state[GP].max(10.0 * self.params.vg);
         self.state[GT] = self.state[GT].max(0.0);
@@ -408,7 +426,10 @@ mod tests {
         };
         let rest = run(0.0);
         let brisk = run(1.0);
-        assert!(brisk < rest - 3.0, "exercise barely moved BG ({rest} -> {brisk})");
+        assert!(
+            brisk < rest - 3.0,
+            "exercise barely moved BG ({rest} -> {brisk})"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl IobCurve {
     /// The default curve: bi-exponential with τ₁ = 55, τ₂ = 70 minutes
     /// (≈ 5 h effective DIA).
     pub fn default_exponential() -> IobCurve {
-        IobCurve::BiExponential { tau1: 55.0, tau2: 70.0 }
+        IobCurve::BiExponential {
+            tau1: 55.0,
+            tau2: 70.0,
+        }
     }
 
     /// Fraction of a dose still active `age_minutes` after delivery,
@@ -49,8 +52,7 @@ impl IobCurve {
                     let x = t / tau1;
                     ((1.0 + x) * (-x).exp()).clamp(0.0, 1.0)
                 } else {
-                    let r = (tau1 * (-t / tau1).exp() - tau2 * (-t / tau2).exp())
-                        / (tau1 - tau2);
+                    let r = (tau1 * (-t / tau1).exp() - tau2 * (-t / tau2).exp()) / (tau1 - tau2);
                     r.clamp(0.0, 1.0)
                 }
             }
@@ -83,6 +85,14 @@ pub struct IobEstimator {
     last_iob: Option<f64>,
     last_diob: f64,
     cycle_minutes: f64,
+    /// Memoized `curve.remaining(k * cycle_minutes)`. Every delivery's
+    /// age is an exact multiple of the cycle length, so the window sum
+    /// never needs to re-evaluate the (expensive, `exp`-heavy) curve —
+    /// the table value at index `k` is the identical `f64` the direct
+    /// call would produce. Rebuilt lazily; skipped entirely for
+    /// off-grid ages (which only arise in hand-driven tests).
+    #[serde(default)]
+    remaining_table: Vec<f64>,
 }
 
 impl IobEstimator {
@@ -90,14 +100,40 @@ impl IobEstimator {
     /// cycle length.
     pub fn new(curve: IobCurve, cycle_minutes: f64) -> IobEstimator {
         assert!(cycle_minutes > 0.0, "cycle length must be positive");
-        IobEstimator {
+        let mut est = IobEstimator {
             curve,
             deliveries: VecDeque::new(),
             baseline: 0.0,
             last_iob: None,
             last_diob: 0.0,
             cycle_minutes,
+            remaining_table: Vec::new(),
+        };
+        est.build_remaining_table();
+        est
+    }
+
+    /// Precomputes `curve.remaining` on the cycle grid out to the
+    /// horizon (plus one slot for the pop boundary).
+    fn build_remaining_table(&mut self) {
+        let slots = (self.curve.horizon_minutes() / self.cycle_minutes).ceil() as usize + 2;
+        self.remaining_table = (0..slots)
+            .map(|k| self.curve.remaining(k as f64 * self.cycle_minutes))
+            .collect();
+    }
+
+    /// Remaining fraction at `age`, via the grid table when the age is
+    /// exactly on-grid (the steady-state case), else computed directly.
+    #[inline]
+    fn remaining_at(&self, age: f64) -> f64 {
+        let k = age / self.cycle_minutes;
+        let idx = k as usize;
+        if k.fract() == 0.0 {
+            if let Some(&r) = self.remaining_table.get(idx) {
+                return r;
+            }
         }
+        self.curve.remaining(age)
     }
 
     /// Sets the basal-equilibrium baseline to subtract: the IOB that a
@@ -114,11 +150,18 @@ impl IobEstimator {
             t += 1.0;
         }
         self.baseline = per_min * sum;
+        // Keep the cached estimate consistent with the new baseline.
+        if self.last_iob.is_some() {
+            self.last_iob = Some(self.raw_iob());
+        }
     }
 
     /// Records one control cycle's delivery and ages the window.
     pub fn record(&mut self, delivered: UnitsPerHour) {
-        let amount = delivered.max_zero().over_minutes(self.cycle_minutes).value();
+        let amount = delivered
+            .max_zero()
+            .over_minutes(self.cycle_minutes)
+            .value();
         for entry in &mut self.deliveries {
             entry.0 += self.cycle_minutes;
         }
@@ -142,7 +185,7 @@ impl IobEstimator {
         let total: f64 = self
             .deliveries
             .iter()
-            .map(|&(age, amount)| amount * self.curve.remaining(age))
+            .map(|&(age, amount)| amount * self.remaining_at(age))
             .sum();
         total - self.baseline
     }
@@ -151,8 +194,17 @@ impl IobEstimator {
     /// values mean the patient is running *below* basal insulinization
     /// (matching oref0's net-IOB convention, where suspending insulin
     /// drives IOB negative).
+    ///
+    /// O(1): the window sum is maintained by [`record`] /
+    /// [`prefill_basal`] and cannot change between deliveries (ages
+    /// only advance on `record`). The seed recomputed the full
+    /// `exp`-heavy window sum on every read — several times per
+    /// control cycle — which dominated campaign run time.
+    ///
+    /// [`record`]: IobEstimator::record
+    /// [`prefill_basal`]: IobEstimator::prefill_basal
     pub fn iob(&self) -> Units {
-        Units(self.last_iob.map(|_| self.raw_iob()).unwrap_or(0.0))
+        Units(self.last_iob.unwrap_or(0.0))
     }
 
     /// Rate of change of IOB between the last two cycles (U/min).
@@ -175,7 +227,8 @@ impl IobEstimator {
         let steps = (horizon / self.cycle_minutes).ceil() as usize;
         let amount = basal.max_zero().over_minutes(self.cycle_minutes).value();
         for k in (1..=steps).rev() {
-            self.deliveries.push_back((k as f64 * self.cycle_minutes, amount));
+            self.deliveries
+                .push_back((k as f64 * self.cycle_minutes, amount));
         }
         self.last_iob = Some(self.raw_iob());
         self.last_diob = 0.0;
@@ -191,7 +244,10 @@ mod tests {
         for curve in [
             IobCurve::Linear { dia_minutes: 180.0 },
             IobCurve::default_exponential(),
-            IobCurve::BiExponential { tau1: 60.0, tau2: 60.0 },
+            IobCurve::BiExponential {
+                tau1: 60.0,
+                tau2: 60.0,
+            },
         ] {
             assert!((curve.remaining(0.0) - 1.0).abs() < 1e-9, "{curve:?}");
             let mut prev = 1.0;
@@ -251,7 +307,11 @@ mod tests {
         let mut est = IobEstimator::new(IobCurve::default_exponential(), 5.0);
         est.set_basal_baseline(UnitsPerHour(1.0));
         est.prefill_basal(UnitsPerHour(1.0));
-        assert!(est.iob().value() < 0.05, "net IOB at basal = {:?}", est.iob());
+        assert!(
+            est.iob().value() < 0.05,
+            "net IOB at basal = {:?}",
+            est.iob()
+        );
         // Extra insulin shows up as positive net IOB.
         for _ in 0..6 {
             est.record(UnitsPerHour(3.0));

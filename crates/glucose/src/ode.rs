@@ -1,4 +1,17 @@
 //! Fixed-step Runge–Kutta integration for the patient ODE models.
+//!
+//! The integrator comes in two flavors sharing one arithmetic core (so
+//! their trajectories are bit-identical):
+//!
+//! * [`Rk4Scratch`] — a const-generic, stack-only scratch for states of
+//!   statically known dimension (Bergman is 6, Dalla Man 13). No heap
+//!   allocation anywhere: the five k/tmp buffers live inline in the
+//!   struct. This is what the patient models use in the simulation hot
+//!   loop.
+//! * [`rk4_step`] / [`integrate`] — the original slice-based API, kept
+//!   as thin wrappers for dynamically sized states. `integrate` now
+//!   allocates one scratch per *call* instead of five `Vec`s per
+//!   *step*, which was the dominant allocation cost of a campaign run.
 
 /// Continuous-time dynamics `dx/dt = f(t, x)` over a fixed-size state.
 pub trait Dynamics {
@@ -15,35 +28,195 @@ where
     }
 }
 
-/// Advances `x` from `t` by `dt` with one classical RK4 step.
-pub fn rk4_step<D: Dynamics + ?Sized>(dyn_: &D, t: f64, x: &mut [f64], dt: f64) {
+/// The shared RK4 arithmetic core. Every public entry point funnels
+/// through here, which is what guarantees bit-identical results across
+/// the fixed-size and slice-based APIs.
+#[inline]
+#[allow(clippy::too_many_arguments)] // the five scratch buffers are the point
+fn rk4_core<D: Dynamics + ?Sized>(
+    dyn_: &D,
+    t: f64,
+    x: &mut [f64],
+    dt: f64,
+    k1: &mut [f64],
+    k2: &mut [f64],
+    k3: &mut [f64],
+    k4: &mut [f64],
+    tmp: &mut [f64],
+) {
     let n = x.len();
-    let mut k1 = vec![0.0; n];
-    let mut k2 = vec![0.0; n];
-    let mut k3 = vec![0.0; n];
-    let mut k4 = vec![0.0; n];
-    let mut tmp = vec![0.0; n];
-
-    dyn_.derivative(t, x, &mut k1);
+    dyn_.derivative(t, x, k1);
     for i in 0..n {
         tmp[i] = x[i] + 0.5 * dt * k1[i];
     }
-    dyn_.derivative(t + 0.5 * dt, &tmp, &mut k2);
+    dyn_.derivative(t + 0.5 * dt, tmp, k2);
     for i in 0..n {
         tmp[i] = x[i] + 0.5 * dt * k2[i];
     }
-    dyn_.derivative(t + 0.5 * dt, &tmp, &mut k3);
+    dyn_.derivative(t + 0.5 * dt, tmp, k3);
     for i in 0..n {
         tmp[i] = x[i] + dt * k3[i];
     }
-    dyn_.derivative(t + dt, &tmp, &mut k4);
+    dyn_.derivative(t + dt, tmp, k4);
     for i in 0..n {
         x[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
     }
 }
 
+/// Subdivision of `duration` into equal steps no longer than `max_dt`.
+#[inline]
+fn substeps(duration: f64, max_dt: f64) -> (usize, f64) {
+    assert!(max_dt > 0.0, "max_dt must be positive");
+    assert!(duration > 0.0, "duration must be positive");
+    let steps = (duration / max_dt).ceil() as usize;
+    (steps, duration / steps as f64)
+}
+
+/// Reusable, allocation-free RK4 scratch for an `N`-dimensional state.
+///
+/// Construction is trivially cheap (five zeroed stack arrays), so
+/// callers may either keep one instance alive across steps or build a
+/// fresh one per call — neither touches the heap.
+///
+/// ```
+/// use aps_glucose::ode::Rk4Scratch;
+///
+/// let mut scratch = Rk4Scratch::<1>::new();
+/// let f = |_t: f64, x: &[f64], d: &mut [f64]| d[0] = -0.3 * x[0];
+/// let mut x = [1.0];
+/// scratch.integrate(&f, 0.0, &mut x, 10.0, 0.1);
+/// assert!((x[0] - (-3.0f64).exp()).abs() < 1e-8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rk4Scratch<const N: usize> {
+    k1: [f64; N],
+    k2: [f64; N],
+    k3: [f64; N],
+    k4: [f64; N],
+    tmp: [f64; N],
+}
+
+impl<const N: usize> Rk4Scratch<N> {
+    /// Fresh scratch (all buffers zeroed; their contents never carry
+    /// over between steps).
+    pub const fn new() -> Rk4Scratch<N> {
+        Rk4Scratch {
+            k1: [0.0; N],
+            k2: [0.0; N],
+            k3: [0.0; N],
+            k4: [0.0; N],
+            tmp: [0.0; N],
+        }
+    }
+
+    /// Advances `x` from `t` by `dt` with one classical RK4 step.
+    pub fn step<D: Dynamics + ?Sized>(&mut self, dyn_: &D, t: f64, x: &mut [f64; N], dt: f64) {
+        rk4_core(
+            dyn_,
+            t,
+            x,
+            dt,
+            &mut self.k1,
+            &mut self.k2,
+            &mut self.k3,
+            &mut self.k4,
+            &mut self.tmp,
+        );
+    }
+
+    /// Integrates from `t0` over `duration` using steps of at most
+    /// `max_dt`, mutating `x` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_dt` or `duration` is non-positive.
+    pub fn integrate<D: Dynamics + ?Sized>(
+        &mut self,
+        dyn_: &D,
+        t0: f64,
+        x: &mut [f64; N],
+        duration: f64,
+        max_dt: f64,
+    ) {
+        let (steps, dt) = substeps(duration, max_dt);
+        let mut t = t0;
+        for _ in 0..steps {
+            self.step(dyn_, t, x, dt);
+            t += dt;
+        }
+    }
+}
+
+impl<const N: usize> Default for Rk4Scratch<N> {
+    fn default() -> Rk4Scratch<N> {
+        Rk4Scratch::new()
+    }
+}
+
+/// Heap-backed scratch for dynamically sized states; backs the
+/// slice-based compatibility API.
+#[derive(Debug, Clone, Default)]
+pub struct Rk4ScratchDyn {
+    buf: Vec<f64>,
+}
+
+impl Rk4ScratchDyn {
+    /// Empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Rk4ScratchDyn {
+        Rk4ScratchDyn::default()
+    }
+
+    /// Advances `x` from `t` by `dt` with one classical RK4 step,
+    /// reusing this scratch's buffers (no allocation once warm).
+    pub fn step<D: Dynamics + ?Sized>(&mut self, dyn_: &D, t: f64, x: &mut [f64], dt: f64) {
+        let n = x.len();
+        if self.buf.len() < 5 * n {
+            self.buf.resize(5 * n, 0.0);
+        }
+        let (k1, rest) = self.buf.split_at_mut(n);
+        let (k2, rest) = rest.split_at_mut(n);
+        let (k3, rest) = rest.split_at_mut(n);
+        let (k4, tmp) = rest.split_at_mut(n);
+        rk4_core(dyn_, t, x, dt, k1, k2, k3, k4, &mut tmp[..n]);
+    }
+
+    /// Integrates from `t0` over `duration` using steps of at most
+    /// `max_dt`, mutating `x` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_dt` or `duration` is non-positive.
+    pub fn integrate<D: Dynamics + ?Sized>(
+        &mut self,
+        dyn_: &D,
+        t0: f64,
+        x: &mut [f64],
+        duration: f64,
+        max_dt: f64,
+    ) {
+        let (steps, dt) = substeps(duration, max_dt);
+        let mut t = t0;
+        for _ in 0..steps {
+            self.step(dyn_, t, x, dt);
+            t += dt;
+        }
+    }
+}
+
+/// Advances `x` from `t` by `dt` with one classical RK4 step.
+///
+/// Compatibility wrapper over [`Rk4ScratchDyn`]; hot paths should hold
+/// a scratch (or use [`Rk4Scratch`]) instead of paying one allocation
+/// per call.
+pub fn rk4_step<D: Dynamics + ?Sized>(dyn_: &D, t: f64, x: &mut [f64], dt: f64) {
+    Rk4ScratchDyn::new().step(dyn_, t, x, dt);
+}
+
 /// Integrates from `t0` over `duration` using steps of at most
 /// `max_dt`, mutating `x` in place.
+///
+/// Allocates one scratch for the whole call (the seed implementation
+/// allocated five `Vec`s per step).
 ///
 /// # Panics
 ///
@@ -55,15 +228,7 @@ pub fn integrate<D: Dynamics + ?Sized>(
     duration: f64,
     max_dt: f64,
 ) {
-    assert!(max_dt > 0.0, "max_dt must be positive");
-    assert!(duration > 0.0, "duration must be positive");
-    let steps = (duration / max_dt).ceil() as usize;
-    let dt = duration / steps as f64;
-    let mut t = t0;
-    for _ in 0..steps {
-        rk4_step(dyn_, t, x, dt);
-        t += dt;
-    }
+    Rk4ScratchDyn::new().integrate(dyn_, t0, x, duration, max_dt);
 }
 
 #[cfg(test)]
@@ -118,5 +283,80 @@ mod tests {
         let f = |_t: f64, _x: &[f64], _d: &mut [f64]| {};
         let mut x = [0.0];
         integrate(&f, 0.0, &mut x, 1.0, 0.0);
+    }
+
+    /// The seed implementation (five `Vec` allocations per step),
+    /// retained verbatim as the bit-exactness oracle.
+    fn seed_rk4_step<D: Dynamics + ?Sized>(dyn_: &D, t: f64, x: &mut [f64], dt: f64) {
+        let n = x.len();
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut k3 = vec![0.0; n];
+        let mut k4 = vec![0.0; n];
+        let mut tmp = vec![0.0; n];
+        dyn_.derivative(t, x, &mut k1);
+        for i in 0..n {
+            tmp[i] = x[i] + 0.5 * dt * k1[i];
+        }
+        dyn_.derivative(t + 0.5 * dt, &tmp, &mut k2);
+        for i in 0..n {
+            tmp[i] = x[i] + 0.5 * dt * k2[i];
+        }
+        dyn_.derivative(t + 0.5 * dt, &tmp, &mut k3);
+        for i in 0..n {
+            tmp[i] = x[i] + dt * k3[i];
+        }
+        dyn_.derivative(t + dt, &tmp, &mut k4);
+        for i in 0..n {
+            x[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+    }
+
+    #[test]
+    fn scratch_paths_are_bit_identical_to_seed() {
+        // A stiff-ish nonlinear 3-state system with time dependence,
+        // integrated over many uneven windows with a single reused
+        // scratch. Every representation must match the seed's output
+        // exactly (same arithmetic, same order).
+        let f = |t: f64, x: &[f64], d: &mut [f64]| {
+            d[0] = -0.07 * x[0] + 2.0 * (0.1 * x[1] * x[2]).tanh() + 0.01 * t;
+            d[1] = 0.03 * x[0] - 0.2 * x[1];
+            d[2] = (x[0] - x[2]) / 7.0;
+        };
+        let mut seed_x = [120.0, 3.0, 0.5];
+        let mut fixed_x = seed_x;
+        let mut dyn_x = seed_x.to_vec();
+        let mut fixed = Rk4Scratch::<3>::new();
+        let mut dynamic = Rk4ScratchDyn::new();
+        let mut t = 0.0;
+        for window in [5.0, 3.3, 7.1, 0.4, 12.0] {
+            let t0 = t;
+            let (steps, dt) = substeps(window, 1.0);
+            for _ in 0..steps {
+                seed_rk4_step(&f, t, &mut seed_x, dt);
+                t += dt;
+            }
+            fixed.integrate(&f, t0, &mut fixed_x, window, 1.0);
+            dynamic.integrate(&f, t0, &mut dyn_x, window, 1.0);
+            assert_eq!(seed_x.to_vec(), fixed_x.to_vec(), "fixed scratch diverged");
+            assert_eq!(seed_x.to_vec(), dyn_x, "dyn scratch diverged");
+        }
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        let f = |_t: f64, x: &[f64], d: &mut [f64]| {
+            d[0] = -x[1];
+            d[1] = x[0];
+        };
+        let mut reused = Rk4Scratch::<2>::new();
+        let mut a = [1.0, 0.0];
+        let mut b = [1.0, 0.0];
+        for i in 0..50 {
+            let t = i as f64 * 0.25;
+            reused.step(&f, t, &mut a, 0.25);
+            Rk4Scratch::<2>::new().step(&f, t, &mut b, 0.25);
+        }
+        assert_eq!(a, b);
     }
 }

@@ -21,8 +21,7 @@ use rand_chacha::ChaCha8Rng;
 pub const COHORT_SIZE: usize = 10;
 
 /// Letters used to name cohort members (`patientA` … `patientJ`).
-pub const PATIENT_LETTERS: [char; COHORT_SIZE] =
-    ['A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J'];
+pub const PATIENT_LETTERS: [char; COHORT_SIZE] = ['A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J'];
 
 fn vary(rng: &mut ChaCha8Rng, base: f64, rel_spread: f64) -> f64 {
     let factor = 1.0 + rng.gen_range(-rel_spread..rel_spread);

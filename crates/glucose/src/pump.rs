@@ -8,7 +8,9 @@ use aps_types::UnitsPerHour;
 use serde::{Deserialize, Serialize};
 
 /// Pump hardware characteristics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Copy`: two scalars, copied per run rather than cloned.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PumpConfig {
     /// Maximum deliverable rate (U/h).
     pub max_rate: f64,
@@ -18,7 +20,10 @@ pub struct PumpConfig {
 
 impl Default for PumpConfig {
     fn default() -> PumpConfig {
-        PumpConfig { max_rate: 10.0, step: 0.05 }
+        PumpConfig {
+            max_rate: 10.0,
+            step: 0.05,
+        }
     }
 }
 
@@ -32,7 +37,10 @@ pub struct Pump {
 impl Pump {
     /// Creates a pump from configuration.
     pub fn new(config: PumpConfig) -> Pump {
-        Pump { config, total_delivered: 0.0 }
+        Pump {
+            config,
+            total_delivered: 0.0,
+        }
     }
 
     /// Clamps and quantizes a commanded rate to what the hardware will
@@ -101,7 +109,10 @@ mod tests {
 
     #[test]
     fn zero_step_disables_quantization() {
-        let pump = Pump::new(PumpConfig { max_rate: 10.0, step: 0.0 });
+        let pump = Pump::new(PumpConfig {
+            max_rate: 10.0,
+            step: 0.0,
+        });
         assert_eq!(pump.actuate(UnitsPerHour(1.337)), UnitsPerHour(1.337));
     }
 }

@@ -15,7 +15,10 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// CGM configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Copy`: the config is a handful of scalars, so per-run sensor
+/// construction copies it instead of cloning heap data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CgmConfig {
     /// Standard deviation of additive white Gaussian noise (mg/dL);
     /// 0 = clean.
@@ -32,7 +35,12 @@ pub struct CgmConfig {
 
 impl Default for CgmConfig {
     fn default() -> CgmConfig {
-        CgmConfig { noise_sd: 0.0, quantization: 1.0, seed: 7, error_model: None }
+        CgmConfig {
+            noise_sd: 0.0,
+            quantization: 1.0,
+            seed: 7,
+            error_model: None,
+        }
     }
 }
 
@@ -50,7 +58,12 @@ impl Cgm {
     pub fn new(config: CgmConfig) -> Cgm {
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         let error_model = config.error_model.map(CgmErrorModel::new);
-        Cgm { config, rng, error_model, last: None }
+        Cgm {
+            config,
+            rng,
+            error_model,
+            last: None,
+        }
     }
 
     /// Samples the true glucose, applying noise and quantization.
@@ -63,8 +76,7 @@ impl Cgm {
                     // Box-Muller transform for a standard normal draw.
                     let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
                     let u2: f64 = self.rng.gen_range(0.0..1.0);
-                    let z =
-                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                     v += z * self.config.noise_sd;
                 }
                 v
@@ -102,8 +114,11 @@ mod tests {
 
     #[test]
     fn noise_is_reproducible_per_seed() {
-        let cfg = CgmConfig { noise_sd: 5.0, ..CgmConfig::default() };
-        let mut a = Cgm::new(cfg.clone());
+        let cfg = CgmConfig {
+            noise_sd: 5.0,
+            ..CgmConfig::default()
+        };
+        let mut a = Cgm::new(cfg);
         let mut b = Cgm::new(cfg);
         for _ in 0..10 {
             assert_eq!(a.sample(MgDl(120.0)), b.sample(MgDl(120.0)));
@@ -112,17 +127,26 @@ mod tests {
 
     #[test]
     fn noise_has_roughly_zero_mean() {
-        let cfg = CgmConfig { noise_sd: 5.0, quantization: 0.001, ..CgmConfig::default() };
+        let cfg = CgmConfig {
+            noise_sd: 5.0,
+            quantization: 0.001,
+            ..CgmConfig::default()
+        };
         let mut cgm = Cgm::new(cfg);
         let n = 2000;
-        let mean: f64 =
-            (0..n).map(|_| cgm.sample(MgDl(120.0)).value() - 120.0).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| cgm.sample(MgDl(120.0)).value() - 120.0)
+            .sum::<f64>()
+            / n as f64;
         assert!(mean.abs() < 0.5, "noise mean {mean}");
     }
 
     #[test]
     fn readings_stay_physiological() {
-        let cfg = CgmConfig { noise_sd: 100.0, ..CgmConfig::default() };
+        let cfg = CgmConfig {
+            noise_sd: 100.0,
+            ..CgmConfig::default()
+        };
         let mut cgm = Cgm::new(cfg);
         for _ in 0..100 {
             let r = cgm.sample(MgDl(15.0)).value();

@@ -133,8 +133,7 @@ impl CgmErrorModel {
             self.calibrate();
         }
         // Gain drifts away from its calibrated value between resets.
-        let drift =
-            1.0 - self.config.gain_drift_per_hour * self.minutes_since_cal / 60.0;
+        let drift = 1.0 - self.config.gain_drift_per_hour * self.minutes_since_cal / 60.0;
         // AR(1) colored noise.
         self.ar_state =
             self.config.ar_coeff * self.ar_state + self.config.noise_sd * self.gaussian();
@@ -172,8 +171,9 @@ mod tests {
     fn series(config: ErrorModelConfig, true_bg: f64, n: usize) -> (Vec<f64>, Vec<f64>) {
         let mut model = CgmErrorModel::new(config);
         let truth = vec![true_bg; n];
-        let distorted: Vec<f64> =
-            (0..n).map(|_| model.distort(MgDl(true_bg), 5.0).value()).collect();
+        let distorted: Vec<f64> = (0..n)
+            .map(|_| model.distort(MgDl(true_bg), 5.0).value())
+            .collect();
         (truth, distorted)
     }
 
@@ -181,7 +181,10 @@ mod tests {
     fn dexcom_like_mard_is_realistic() {
         let (truth, distorted) = series(ErrorModelConfig::dexcom_like(), 140.0, 2000);
         let m = mard(&truth, &distorted);
-        assert!((0.02..0.15).contains(&m), "MARD {m:.3} out of the realistic band");
+        assert!(
+            (0.02..0.15).contains(&m),
+            "MARD {m:.3} out of the realistic band"
+        );
     }
 
     #[test]
@@ -196,18 +199,19 @@ mod tests {
         // Lag-1 autocorrelation of the error must be clearly positive
         // (that is the point of AR(1) over white noise).
         let (truth, distorted) = series(ErrorModelConfig::dexcom_like(), 140.0, 4000);
-        let err: Vec<f64> =
-            distorted.iter().zip(&truth).map(|(d, t)| d - t).collect();
+        let err: Vec<f64> = distorted.iter().zip(&truth).map(|(d, t)| d - t).collect();
         let mean = err.iter().sum::<f64>() / err.len() as f64;
-        let var: f64 =
-            err.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / err.len() as f64;
+        let var: f64 = err.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / err.len() as f64;
         let cov: f64 = err
             .windows(2)
             .map(|w| (w[0] - mean) * (w[1] - mean))
             .sum::<f64>()
             / (err.len() - 1) as f64;
         let rho = cov / var;
-        assert!(rho > 0.4, "lag-1 autocorrelation {rho:.2} too low for AR noise");
+        assert!(
+            rho > 0.4,
+            "lag-1 autocorrelation {rho:.2} too low for AR noise"
+        );
     }
 
     #[test]
@@ -226,7 +230,10 @@ mod tests {
         for _ in 0..11 {
             last = model.distort(MgDl(200.0), 5.0).value();
         }
-        assert!(last < 200.0, "drift should pull the reading down, got {last}");
+        assert!(
+            last < 200.0,
+            "drift should pull the reading down, got {last}"
+        );
         // Crossing the calibration interval snaps the gain back.
         let recal = model.distort(MgDl(200.0), 5.0).value();
         assert!(

@@ -114,7 +114,12 @@ mod tests {
 
     #[test]
     fn rates_on_known_counts() {
-        let c = ConfusionCounts { tp: 8, fp: 2, fn_: 1, tn: 9 };
+        let c = ConfusionCounts {
+            tp: 8,
+            fp: 2,
+            fn_: 1,
+            tn: 9,
+        };
         assert!((c.fpr() - 2.0 / 11.0).abs() < 1e-12);
         assert!((c.fnr() - 1.0 / 9.0).abs() < 1e-12);
         assert!((c.accuracy() - 17.0 / 20.0).abs() < 1e-12);
@@ -134,10 +139,28 @@ mod tests {
 
     #[test]
     fn sum_and_add() {
-        let a = ConfusionCounts { tp: 1, fp: 2, fn_: 3, tn: 4 };
-        let b = ConfusionCounts { tp: 10, fp: 20, fn_: 30, tn: 40 };
+        let a = ConfusionCounts {
+            tp: 1,
+            fp: 2,
+            fn_: 3,
+            tn: 4,
+        };
+        let b = ConfusionCounts {
+            tp: 10,
+            fp: 20,
+            fn_: 30,
+            tn: 40,
+        };
         let s: ConfusionCounts = vec![a, b].into_iter().sum();
-        assert_eq!(s, ConfusionCounts { tp: 11, fp: 22, fn_: 33, tn: 44 });
+        assert_eq!(
+            s,
+            ConfusionCounts {
+                tp: 11,
+                fp: 22,
+                fn_: 33,
+                tn: 44
+            }
+        );
         assert_eq!(s.total(), 110);
     }
 

@@ -85,8 +85,10 @@ impl GlycemicSummary {
     where
         I: IntoIterator<Item = &'a SimTrace>,
     {
-        let all: Vec<f64> =
-            traces.into_iter().flat_map(|t| t.bg_true_series()).collect();
+        let all: Vec<f64> = traces
+            .into_iter()
+            .flat_map(|t| t.bg_true_series())
+            .collect();
         GlycemicSummary::from_series(&all)
     }
 
@@ -107,7 +109,10 @@ mod tests {
 
     #[test]
     fn empty_series_is_all_zero() {
-        assert_eq!(GlycemicSummary::from_series(&[]), GlycemicSummary::default());
+        assert_eq!(
+            GlycemicSummary::from_series(&[]),
+            GlycemicSummary::default()
+        );
     }
 
     #[test]
@@ -148,7 +153,9 @@ mod tests {
     #[test]
     fn consensus_targets() {
         // A tight in-range day passes.
-        let good: Vec<f64> = (0..288).map(|i| 110.0 + 20.0 * ((i as f64) / 30.0).sin()).collect();
+        let good: Vec<f64> = (0..288)
+            .map(|i| 110.0 + 20.0 * ((i as f64) / 30.0).sin())
+            .collect();
         assert!(GlycemicSummary::from_series(&good).meets_consensus_targets());
         // A day with 10% of time at 55 mg/dL fails on TBR.
         let mut bad = good.clone();

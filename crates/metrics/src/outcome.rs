@@ -151,10 +151,26 @@ mod tests {
     #[test]
     fn average_risk_only_counts_fn_and_new_hazards() {
         let contributions = vec![
-            RiskContribution { mean_risk_index: 10.0, is_false_negative: true, is_new_hazard: false },
-            RiskContribution { mean_risk_index: 6.0, is_false_negative: false, is_new_hazard: true },
-            RiskContribution { mean_risk_index: 100.0, is_false_negative: false, is_new_hazard: false },
-            RiskContribution { mean_risk_index: 100.0, is_false_negative: false, is_new_hazard: false },
+            RiskContribution {
+                mean_risk_index: 10.0,
+                is_false_negative: true,
+                is_new_hazard: false,
+            },
+            RiskContribution {
+                mean_risk_index: 6.0,
+                is_false_negative: false,
+                is_new_hazard: true,
+            },
+            RiskContribution {
+                mean_risk_index: 100.0,
+                is_false_negative: false,
+                is_new_hazard: false,
+            },
+            RiskContribution {
+                mean_risk_index: 100.0,
+                is_false_negative: false,
+                is_new_hazard: false,
+            },
         ];
         assert!((average_risk(&contributions) - 4.0).abs() < 1e-12);
         assert_eq!(average_risk(&[]), 0.0);

@@ -69,8 +69,10 @@ mod tests {
         hazard_at: Option<u32>,
         alert_at: Option<u32>,
     ) -> SimTrace {
-        let meta =
-            TraceMeta { fault_start: fault_start.map(Step), ..TraceMeta::default() };
+        let meta = TraceMeta {
+            fault_start: fault_start.map(Step),
+            ..TraceMeta::default()
+        };
         let mut t = SimTrace::new(meta);
         for i in 0..len {
             let mut r = StepRecord::blank(Step(i));
@@ -141,8 +143,10 @@ mod tests {
 
     #[test]
     fn campaign_aggregation_sums() {
-        let traces =
-            vec![trace(50, Some(10), Some(20), Some(15)), trace(50, Some(10), None, None)];
+        let traces = vec![
+            trace(50, Some(10), Some(20), Some(15)),
+            trace(50, Some(10), None, None),
+        ];
         let c = campaign_simulation_counts(&traces);
         assert_eq!(c.tp, 1);
         assert_eq!(c.tn, 3);

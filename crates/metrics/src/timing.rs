@@ -48,7 +48,13 @@ impl TimingStats {
         let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        TimingStats { n, mean, sd: var.sqrt(), min, max }
+        TimingStats {
+            n,
+            mean,
+            sd: var.sqrt(),
+            min,
+            max,
+        }
     }
 }
 
@@ -83,7 +89,10 @@ mod tests {
     use aps_types::{Hazard, Step, StepRecord, TraceMeta};
 
     fn trace(fault: Option<u32>, hazard: Option<u32>, alert: Option<u32>) -> SimTrace {
-        let meta = TraceMeta { fault_start: fault.map(Step), ..TraceMeta::default() };
+        let meta = TraceMeta {
+            fault_start: fault.map(Step),
+            ..TraceMeta::default()
+        };
         let mut t = SimTrace::new(meta);
         for i in 0..120u32 {
             let mut r = StepRecord::blank(Step(i));

@@ -19,7 +19,15 @@ impl Adam {
     /// Creates an optimizer for a tensor of `n` parameters with the
     /// paper's defaults (lr = 1e-3, β₁ = 0.9, β₂ = 0.999).
     pub fn new(n: usize, lr: f64) -> Adam {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: vec![0.0; n], v: vec![0.0; n] }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
     }
 
     /// Applies one update of `grad` to `params` in place.

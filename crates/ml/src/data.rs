@@ -137,8 +137,12 @@ pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usiz
     (0..k)
         .map(|f| {
             let test = folds[f].clone();
-            let train: Vec<usize> =
-                folds.iter().enumerate().filter(|&(i, _)| i != f).flat_map(|(_, v)| v.iter().copied()).collect();
+            let train: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != f)
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
             (train, test)
         })
         .collect()
@@ -184,8 +188,7 @@ mod tests {
         let t = scaler.transform_dataset(&d);
         for j in 0..t.dim() {
             let mean: f64 = t.x.iter().map(|r| r[j]).sum::<f64>() / t.len() as f64;
-            let var: f64 =
-                t.x.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / t.len() as f64;
+            let var: f64 = t.x.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / t.len() as f64;
             assert!(mean.abs() < 1e-9);
             assert!((var - 1.0).abs() < 1e-9);
         }
@@ -210,7 +213,10 @@ mod tests {
                 seen[i] += 1;
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "each index tested exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each index tested exactly once"
+        );
     }
 
     #[test]

@@ -152,17 +152,9 @@ impl Cell {
             let mut z = Vec::with_capacity(self.input_dim + h);
             z.extend_from_slice(x);
             z.extend_from_slice(&h_prev);
-            // Pre-activations: z · W + b.
+            // Pre-activations: z · W + b, via the shared fused GEMV.
             let mut pre = self.b.clone();
-            for (k, &zv) in z.iter().enumerate() {
-                if zv == 0.0 {
-                    continue;
-                }
-                let row = self.w.row(k);
-                for (p, &wv) in pre.iter_mut().zip(row) {
-                    *p += zv * wv;
-                }
-            }
+            self.w.vecmat_acc_into(&z, &mut pre);
             let i: Vec<f64> = pre[0..h].iter().map(|&v| sigmoid(v)).collect();
             let f: Vec<f64> = pre[h..2 * h].iter().map(|&v| sigmoid(v)).collect();
             let o: Vec<f64> = pre[2 * h..3 * h].iter().map(|&v| sigmoid(v)).collect();
@@ -197,10 +189,12 @@ impl Cell {
         for t in (0..t_len).rev() {
             let [i, f, o, g] = &cache.gates[t];
             let c = &cache.cs[t];
-            let c_prev: Vec<f64> =
-                if t == 0 { vec![0.0; h] } else { cache.cs[t - 1].clone() };
-            let dh: Vec<f64> =
-                (0..h).map(|j| dhs[t][j] + dh_next[j]).collect();
+            let c_prev: Vec<f64> = if t == 0 {
+                vec![0.0; h]
+            } else {
+                cache.cs[t - 1].clone()
+            };
+            let dh: Vec<f64> = (0..h).map(|j| dhs[t][j] + dh_next[j]).collect();
 
             let mut dpre = vec![0.0; 4 * h];
             let mut dc = vec![0.0; h];
@@ -282,7 +276,10 @@ impl Lstm {
     pub fn fit(data: &SeqDataset, config: &LstmConfig) -> Lstm {
         assert!(!data.is_empty(), "cannot fit on an empty dataset");
         let dim = data.x[0][0].len();
-        assert!(dim > 0 && !data.x[0].is_empty(), "sequences must be non-empty");
+        assert!(
+            dim > 0 && !data.x[0].is_empty(),
+            "sequences must be non-empty"
+        );
         let n_classes = data.n_classes().max(2);
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
 
@@ -294,7 +291,13 @@ impl Lstm {
         }
         let head_w = Matrix::xavier_init(in_dim, n_classes, &mut rng);
         let head_b = vec![0.0; n_classes];
-        let mut model = Lstm { cells, head_w, head_b, n_classes, epochs_trained: 0 };
+        let mut model = Lstm {
+            cells,
+            head_w,
+            head_b,
+            n_classes,
+            epochs_trained: 0,
+        };
 
         // Validation split.
         let mut idx: Vec<usize> = (0..data.len()).collect();
@@ -304,8 +307,11 @@ impl Lstm {
         }
         let n_val = ((data.len() as f64) * config.val_fraction).round() as usize;
         let (val_idx, train_idx) = idx.split_at(n_val.min(data.len()));
-        let train_idx: Vec<usize> =
-            if train_idx.is_empty() { idx.clone() } else { train_idx.to_vec() };
+        let train_idx: Vec<usize> = if train_idx.is_empty() {
+            idx.clone()
+        } else {
+            train_idx.to_vec()
+        };
 
         let mut adam_w: Vec<Adam> = model
             .cells
@@ -330,9 +336,21 @@ impl Lstm {
                 order.swap(i, j);
             }
             for chunk in order.chunks(config.batch_size.max(1)) {
-                model.train_batch(data, chunk, config, &mut adam_w, &mut adam_b, &mut adam_hw, &mut adam_hb);
+                model.train_batch(
+                    data,
+                    chunk,
+                    config,
+                    &mut adam_w,
+                    &mut adam_b,
+                    &mut adam_hw,
+                    &mut adam_hb,
+                );
             }
-            let vset = if val_idx.is_empty() { &train_idx[..] } else { val_idx };
+            let vset = if val_idx.is_empty() {
+                &train_idx[..]
+            } else {
+                val_idx
+            };
             let vloss = model.mean_ce(data, vset);
             if vloss < best.0 - 1e-6 {
                 let epochs = model.epochs_trained;
@@ -397,8 +415,11 @@ impl Lstm {
         adam_hb: &mut Adam,
     ) {
         let n_layers = self.cells.len();
-        let mut dw: Vec<Matrix> =
-            self.cells.iter().map(|c| Matrix::zeros(c.w.rows(), c.w.cols())).collect();
+        let mut dw: Vec<Matrix> = self
+            .cells
+            .iter()
+            .map(|c| Matrix::zeros(c.w.rows(), c.w.cols()))
+            .collect();
         let mut db: Vec<Vec<f64>> = self.cells.iter().map(|c| vec![0.0; c.b.len()]).collect();
         let mut dhw = Matrix::zeros(self.head_w.rows(), self.head_w.cols());
         let mut dhb = vec![0.0; self.head_b.len()];
@@ -435,8 +456,7 @@ impl Lstm {
             }
             // BPTT down the stack.
             for li in (0..n_layers).rev() {
-                let dxs =
-                    self.cells[li].backward(&caches[li], &dhs, &mut dw[li], &mut db[li]);
+                let dxs = self.cells[li].backward(&caches[li], &dhs, &mut dw[li], &mut db[li]);
                 if li > 0 {
                     dhs = dxs;
                 }
@@ -454,7 +474,11 @@ impl Lstm {
         norm_sq += dhw.data().iter().map(|v| v * v).sum::<f64>();
         norm_sq += dhb.iter().map(|v| v * v).sum::<f64>();
         let norm = norm_sq.sqrt();
-        let clip = if norm > config.clip_norm { config.clip_norm / norm } else { 1.0 };
+        let clip = if norm > config.clip_norm {
+            config.clip_norm / norm
+        } else {
+            1.0
+        };
         if clip < 1.0 {
             for g in &mut dw {
                 for v in g.data_mut() {
@@ -545,7 +569,11 @@ mod tests {
         let data = first_sign_task(40, 4, 6);
         let model = Lstm::fit(
             &data,
-            &LstmConfig { hidden: vec![6], max_epochs: 5, ..small_config() },
+            &LstmConfig {
+                hidden: vec![6],
+                max_epochs: 5,
+                ..small_config()
+            },
         );
         let p = model.predict_proba_seq(&data.x[0]);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -554,7 +582,11 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let data = first_sign_task(40, 4, 6);
-        let cfg = LstmConfig { hidden: vec![6], max_epochs: 3, ..small_config() };
+        let cfg = LstmConfig {
+            hidden: vec![6],
+            max_epochs: 3,
+            ..small_config()
+        };
         let a = Lstm::fit(&data, &cfg);
         let b = Lstm::fit(&data, &cfg);
         assert_eq!(a, b);
@@ -574,14 +606,21 @@ mod tests {
         // Numerical gradient check of the full model loss w.r.t. a few
         // cell weights, via central differences.
         let data = first_sign_task(4, 3, 9);
-        let cfg = LstmConfig { hidden: vec![4], max_epochs: 0, ..small_config() };
+        let cfg = LstmConfig {
+            hidden: vec![4],
+            max_epochs: 0,
+            ..small_config()
+        };
         let model = Lstm::fit(&data, &cfg);
         let idx: Vec<usize> = (0..data.len()).collect();
 
         // Analytic gradient via one batch accumulation.
         let m = model.clone();
-        let mut dw: Vec<Matrix> =
-            m.cells.iter().map(|c| Matrix::zeros(c.w.rows(), c.w.cols())).collect();
+        let mut dw: Vec<Matrix> = m
+            .cells
+            .iter()
+            .map(|c| Matrix::zeros(c.w.rows(), c.w.cols()))
+            .collect();
         let mut db: Vec<Vec<f64>> = m.cells.iter().map(|c| vec![0.0; c.b.len()]).collect();
         let mut dhw = Matrix::zeros(m.head_w.rows(), m.head_w.cols());
         let mut dhb = vec![0.0; m.head_b.len()];
@@ -621,8 +660,7 @@ mod tests {
             plus.cells[0].w.data_mut()[flat] += h;
             let mut minus = model.clone();
             minus.cells[0].w.data_mut()[flat] -= h;
-            let num =
-                (plus.mean_ce(&data, &idx) - minus.mean_ce(&data, &idx)) / (2.0 * h);
+            let num = (plus.mean_ce(&data, &idx) - minus.mean_ce(&data, &idx)) / (2.0 * h);
             let ana = dw[0].data()[flat];
             assert!(
                 (num - ana).abs() < 1e-4,

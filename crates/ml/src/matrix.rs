@@ -16,7 +16,11 @@ pub struct Matrix {
 impl Matrix {
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds from a flat row-major vector.
@@ -78,7 +82,17 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Outer-loop blocking factor for the matmul kernels: `KC` rows of
+    /// the right-hand operand are streamed per block so they stay in
+    /// L1/L2 across all rows of the left-hand operand. Accumulation
+    /// order over `k` is unchanged (ascending within and across
+    /// blocks), so results are bit-identical to the naive kernel.
+    const KC: usize = 64;
+
     /// Matrix product `self · rhs`.
+    ///
+    /// Cache-blocked `i-k-j` kernel with a zero-skip for sparse
+    /// activations (post-ReLU rows are typically half zeros).
     ///
     /// # Panics
     ///
@@ -86,20 +100,154 @@ impl Matrix {
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let lhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`matmul`](Matrix::matmul) into a preallocated output (cleared
+    /// first), for callers that reuse buffers across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch with `out`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        assert_eq!(out.rows, self.rows, "output row mismatch");
+        assert_eq!(out.cols, rhs.cols, "output column mismatch");
+        out.data.fill(0.0);
+        for k0 in (0..self.cols).step_by(Self::KC) {
+            let k1 = (k0 + Self::KC).min(self.cols);
+            for i in 0..self.rows {
+                let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
                 let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(lhs_row) {
-                    *o += a * b;
+                for (k, &a) in lhs_row[k0..k1].iter().enumerate().map(|(d, a)| (k0 + d, a)) {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                    for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Matrix product `self · rhsᵀ` without materializing the
+    /// transpose: `out[i][j] = Σ_k self[i][k] · rhs[j][k]`. Both
+    /// operands are walked row-wise (unit stride), which beats
+    /// `self.matmul(&rhs.transpose())` by skipping the transpose
+    /// allocation + strided copy. Accumulation over `k` is ascending,
+    /// so results are bit-identical to the transpose-then-multiply
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions (`self.cols` vs `rhs.cols`)
+    /// differ.
+    pub fn matmul_transposed(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_transposed dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            for (o, j) in out_row.iter_mut().zip(0..rhs.rows) {
+                let rhs_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                let mut acc = 0.0;
+                for (&a, &b) in lhs_row.iter().zip(rhs_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `selfᵀ · rhs` without materializing the
+    /// transpose: `out[i][j] = Σ_k self[k][i] · rhs[k][j]`. The `k`
+    /// loop is outermost so both operands stream row-wise; this is the
+    /// backward-pass `dW = aᵀ · dz` shape. Accumulation over `k` is
+    /// ascending — bit-identical to `self.transpose().matmul(rhs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions (`self.rows` vs `rhs.rows`)
+    /// differ.
+    pub fn matmul_at_b(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "matmul_at_b dimension mismatch");
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for k0 in (0..self.rows).step_by(Self::KC) {
+            let k1 = (k0 + Self::KC).min(self.rows);
+            for k in k0..k1 {
+                let lhs_row = &self.data[k * self.cols..(k + 1) * self.cols];
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (i, &a) in lhs_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                    for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                        *o += a * b;
+                    }
                 }
             }
         }
         out
+    }
+
+    /// Fused GEMV for row-vector inputs: writes `x · self + bias` into
+    /// `out` without allocating. This is the monitor-inference hot
+    /// path — one sample through a `in × out` layer per control cycle —
+    /// where the seed built three `Matrix` temporaries per layer.
+    ///
+    /// The accumulation order over `x` matches
+    /// `Matrix::from_vec(1, n, x).matmul(self)`, so probabilities are
+    /// bit-identical to the matrix path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`, `bias.len() != cols`, or
+    /// `out.len() != cols`.
+    pub fn vecmat_bias_into(&self, x: &[f64], bias: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "vecmat input length mismatch");
+        assert_eq!(bias.len(), self.cols, "vecmat bias length mismatch");
+        assert_eq!(out.len(), self.cols, "vecmat output length mismatch");
+        out.fill(0.0);
+        for (k, &a) in x.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let row = &self.data[k * self.cols..(k + 1) * self.cols];
+            for (o, &b) in out.iter_mut().zip(row) {
+                *o += a * b;
+            }
+        }
+        for (o, &b) in out.iter_mut().zip(bias) {
+            *o += b;
+        }
+    }
+
+    /// Fused GEMV accumulate: `out += x · self`, without clearing
+    /// `out`. The LSTM cell preloads `out` with the gate biases and
+    /// accumulates the `[x_t, h_{t-1}] · W` product on top — this is
+    /// that kernel, shared here so every recurrent layer uses the same
+    /// zero-skipping row-streaming loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `out.len() != cols`.
+    pub fn vecmat_acc_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "vecmat input length mismatch");
+        assert_eq!(out.len(), self.cols, "vecmat output length mismatch");
+        for (k, &a) in x.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let row = &self.data[k * self.cols..(k + 1) * self.cols];
+            for (o, &b) in out.iter_mut().zip(row) {
+                *o += a * b;
+            }
+        }
     }
 
     /// Transpose.
@@ -189,8 +337,7 @@ mod tests {
         let a = Matrix::he_init(64, 32, &mut rng1);
         let b = Matrix::he_init(64, 32, &mut rng2);
         assert_eq!(a, b);
-        let var: f64 =
-            a.data().iter().map(|v| v * v).sum::<f64>() / a.data().len() as f64;
+        let var: f64 = a.data().iter().map(|v| v * v).sum::<f64>() / a.data().len() as f64;
         assert!((var - 2.0 / 64.0).abs() < 0.01, "he variance {var}");
     }
 
@@ -208,5 +355,100 @@ mod tests {
         a[(1, 0)] = 5.0;
         assert_eq!(a[(1, 0)], 5.0);
         assert_eq!(a.row(1), &[5.0, 0.0]);
+    }
+
+    /// Deterministic pseudo-random matrix with a sprinkling of exact
+    /// zeros (to exercise the zero-skip branches).
+    fn test_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|_| {
+                let r = next();
+                if r % 7 == 0 {
+                    0.0
+                } else {
+                    (r % 1000) as f64 / 250.0 - 2.0
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_across_block_boundaries() {
+        // Inner dimension 150 spans multiple KC=64 blocks.
+        let a = test_matrix(9, 150, 3);
+        let b = test_matrix(150, 11, 5);
+        // Unblocked reference with the same i-k-j accumulation order.
+        let mut reference = Matrix::zeros(9, 11);
+        for i in 0..9 {
+            for k in 0..150 {
+                let v = a[(i, k)];
+                if v == 0.0 {
+                    continue;
+                }
+                for j in 0..11 {
+                    reference[(i, j)] += v * b[(k, j)];
+                }
+            }
+        }
+        assert_eq!(a.matmul(&b), reference);
+    }
+
+    #[test]
+    fn transposed_kernels_match_materialized_transpose() {
+        let a = test_matrix(7, 130, 11);
+        let b = test_matrix(5, 130, 13);
+        assert_eq!(a.matmul_transposed(&b), a.matmul(&b.transpose()));
+        let c = test_matrix(130, 6, 17);
+        let d = test_matrix(130, 4, 19);
+        assert_eq!(c.matmul_at_b(&d), c.transpose().matmul(&d));
+    }
+
+    #[test]
+    fn fused_gemv_matches_matmul_plus_broadcast() {
+        let w = test_matrix(80, 33, 23);
+        let x: Vec<f64> = (0..80)
+            .map(|i| {
+                if i % 6 == 0 {
+                    0.0
+                } else {
+                    i as f64 * 0.25 - 9.0
+                }
+            })
+            .collect();
+        let bias: Vec<f64> = (0..33).map(|j| j as f64 * 0.1 - 1.0).collect();
+        let mut reference = Matrix::from_vec(1, 80, x.clone()).matmul(&w);
+        reference.add_row_broadcast(&bias);
+        let mut out = vec![0.0; 33];
+        w.vecmat_bias_into(&x, &bias, &mut out);
+        assert_eq!(out, reference.data());
+
+        let mut acc = bias.clone();
+        w.vecmat_acc_into(&x, &mut acc);
+        for (got, want) in acc.iter().zip(reference.data()) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_dirty_buffers() {
+        let a = test_matrix(4, 20, 29);
+        let b = test_matrix(20, 3, 31);
+        let mut out = Matrix::from_vec(4, 3, vec![f64::NAN; 12]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_transposed dimension mismatch")]
+    fn bad_transposed_matmul_panics() {
+        let _ = Matrix::zeros(2, 3).matmul_transposed(&Matrix::zeros(2, 4));
     }
 }

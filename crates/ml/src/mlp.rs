@@ -105,14 +105,20 @@ impl Mlp {
             .collect();
 
         let (train, val) = data.split(config.val_fraction, config.seed);
-        let train = if train.is_empty() { data.clone() } else { train };
+        let train = if train.is_empty() {
+            data.clone()
+        } else {
+            train
+        };
 
         let mut adam_w: Vec<Adam> = layers
             .iter()
             .map(|l| Adam::new(l.w.data().len(), config.learning_rate))
             .collect();
-        let mut adam_b: Vec<Adam> =
-            layers.iter().map(|l| Adam::new(l.b.len(), config.learning_rate)).collect();
+        let mut adam_b: Vec<Adam> = layers
+            .iter()
+            .map(|l| Adam::new(l.b.len(), config.learning_rate))
+            .collect();
 
         let mut best_val = f64::INFINITY;
         let mut best_layers = layers.clone();
@@ -128,7 +134,15 @@ impl Mlp {
                 order.swap(i, j);
             }
             for chunk in order.chunks(config.batch_size.max(1)) {
-                train_batch(&mut layers, &train, chunk, config, &mut rng, &mut adam_w, &mut adam_b);
+                train_batch(
+                    &mut layers,
+                    &train,
+                    chunk,
+                    config,
+                    &mut rng,
+                    &mut adam_w,
+                    &mut adam_b,
+                );
             }
 
             // Early stopping on validation cross-entropy.
@@ -146,7 +160,11 @@ impl Mlp {
             }
         }
 
-        Mlp { layers: best_layers, n_classes, epochs_trained }
+        Mlp {
+            layers: best_layers,
+            n_classes,
+            epochs_trained,
+        }
     }
 
     /// Epochs actually run before early stopping.
@@ -155,15 +173,45 @@ impl Mlp {
     }
 
     fn forward(&self, x: &[f64]) -> Vec<f64> {
-        let mut a = Matrix::from_vec(1, x.len(), x.to_vec());
-        let last = self.layers.len() - 1;
-        for (i, layer) in self.layers.iter().enumerate() {
-            let mut z = a.matmul(&layer.w);
-            z.add_row_broadcast(&layer.b);
-            a = if i < last { z.map(|v| v.max(0.0)) } else { z };
+        forward_sample(&self.layers, x)
+    }
+}
+
+/// Single-sample forward pass via the fused GEMV path: two flat
+/// buffers ping-pong through the layers, so per-cycle monitor
+/// inference performs two small allocations total instead of three
+/// `Matrix` temporaries per layer. Probabilities are bit-identical to
+/// the matrix path (same accumulation order).
+fn forward_sample(layers: &[Layer], x: &[f64]) -> Vec<f64> {
+    let widest = layers.iter().map(|l| l.b.len()).max().unwrap_or(0);
+    let mut a = x.to_vec();
+    let mut z = vec![0.0; widest];
+    let last = layers.len() - 1;
+    for (i, layer) in layers.iter().enumerate() {
+        let out = &mut z[..layer.b.len()];
+        layer.w.vecmat_bias_into(&a, &layer.b, out);
+        if i < last {
+            for v in out.iter_mut() {
+                *v = v.max(0.0);
+            }
         }
-        softmax_rows(&mut a);
-        a.data().to_vec()
+        a.resize(out.len(), 0.0);
+        a.copy_from_slice(out);
+    }
+    softmax_row(&mut a);
+    a
+}
+
+/// In-place softmax over one row.
+fn softmax_row(row: &mut [f64]) {
+    let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
     }
 }
 
@@ -174,15 +222,8 @@ fn cross_entropy(layers: &[Layer], data: &Dataset) -> f64 {
     }
     let mut total = 0.0;
     for (x, &y) in data.x.iter().zip(&data.y) {
-        let mut a = Matrix::from_vec(1, x.len(), x.clone());
-        let last = layers.len() - 1;
-        for (i, layer) in layers.iter().enumerate() {
-            let mut z = a.matmul(&layer.w);
-            z.add_row_broadcast(&layer.b);
-            a = if i < last { z.map(|v| v.max(0.0)) } else { z };
-        }
-        softmax_rows(&mut a);
-        total -= a.data()[y.min(a.cols() - 1)].max(1e-12).ln();
+        let p = forward_sample(layers, x);
+        total -= p[y.min(p.len() - 1)].max(1e-12).ln();
     }
     total / data.len() as f64
 }
@@ -219,7 +260,13 @@ fn train_batch(
             if config.dropout > 0.0 {
                 let keep = 1.0 - config.dropout;
                 let mask: Vec<f64> = (0..a.data().len())
-                    .map(|_| if rng.gen_range(0.0..1.0) < keep { 1.0 / keep } else { 0.0 })
+                    .map(|_| {
+                        if rng.gen_range(0.0..1.0) < keep {
+                            1.0 / keep
+                        } else {
+                            0.0
+                        }
+                    })
                     .collect();
                 for (v, m) in a.data_mut().iter_mut().zip(&mask) {
                     *v *= m;
@@ -250,14 +297,19 @@ fn train_batch(
 
     for li in (0..n_layers).rev() {
         let a_prev = &activations[li];
-        let dw = a_prev.transpose().matmul(&dz);
+        // aᵀ·dz and dz·Wᵀ without materializing either transpose.
+        let dw = a_prev.matmul_at_b(&dz);
         let mut db = vec![0.0; layers[li].b.len()];
         for r in 0..dz.rows() {
             for (c, dbv) in db.iter_mut().enumerate() {
                 *dbv += dz[(r, c)];
             }
         }
-        let da_prev = if li > 0 { Some(dz.matmul(&layers[li].w.transpose())) } else { None };
+        let da_prev = if li > 0 {
+            Some(dz.matmul_transposed(&layers[li].w))
+        } else {
+            None
+        };
 
         adam_w[li].step(layers[li].w.data_mut(), dw.data());
         adam_b[li].step(&mut layers[li].b, &db);
@@ -302,7 +354,10 @@ mod tests {
         for _ in 0..150 {
             let cls = rng.gen_range(0..2usize);
             let cx = if cls == 0 { -2.0 } else { 2.0 };
-            x.push(vec![cx + rng.gen_range(-0.8..0.8), rng.gen_range(-1.0..1.0)]);
+            x.push(vec![
+                cx + rng.gen_range(-0.8..0.8),
+                rng.gen_range(-1.0..1.0),
+            ]);
             y.push(cls);
         }
         Dataset::new(x, y)
@@ -353,7 +408,11 @@ mod tests {
     #[test]
     fn early_stopping_caps_epochs() {
         let data = blobs();
-        let cfg = MlpConfig { max_epochs: 100, patience: 2, ..small_config() };
+        let cfg = MlpConfig {
+            max_epochs: 100,
+            patience: 2,
+            ..small_config()
+        };
         let mlp = Mlp::fit(&data, &cfg);
         assert!(mlp.epochs_trained() <= 100);
     }
@@ -364,7 +423,11 @@ mod tests {
             (0..60).map(|i| vec![i as f64 / 10.0]).collect(),
             (0..60).map(|i| i / 20).collect(),
         );
-        let cfg = MlpConfig { hidden: vec![16], dropout: 0.0, ..small_config() };
+        let cfg = MlpConfig {
+            hidden: vec![16],
+            dropout: 0.0,
+            ..small_config()
+        };
         let mlp = Mlp::fit(&data, &cfg);
         assert_eq!(mlp.n_classes(), 3);
         assert_eq!(mlp.predict_proba(&[0.1]).len(), 3);

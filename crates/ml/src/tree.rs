@@ -15,7 +15,10 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> TreeConfig {
-        TreeConfig { max_depth: 12, min_samples_split: 8 }
+        TreeConfig {
+            max_depth: 12,
+            min_samples_split: 8,
+        }
     }
 }
 
@@ -52,7 +55,11 @@ impl DecisionTree {
         let n_classes = data.n_classes().max(2);
         let idx: Vec<usize> = (0..data.len()).collect();
         let (root, depth) = build(data, &idx, n_classes, config, 0);
-        DecisionTree { root, n_classes, depth }
+        DecisionTree {
+            root,
+            n_classes,
+            depth,
+        }
     }
 
     /// Depth actually reached during fitting.
@@ -92,7 +99,9 @@ fn gini(counts: &[usize]) -> f64 {
 fn leaf(data: &Dataset, idx: &[usize], n_classes: usize) -> Node {
     let counts = class_counts(data, idx, n_classes);
     let total: usize = counts.iter().sum::<usize>().max(1);
-    Node::Leaf { proba: counts.iter().map(|&c| c as f64 / total as f64).collect() }
+    Node::Leaf {
+        proba: counts.iter().map(|&c| c as f64 / total as f64).collect(),
+    }
 }
 
 fn build(
@@ -104,10 +113,7 @@ fn build(
 ) -> (Node, usize) {
     let counts = class_counts(data, idx, n_classes);
     let node_gini = gini(&counts);
-    if depth >= config.max_depth
-        || idx.len() < config.min_samples_split
-        || node_gini == 0.0
-    {
+    if depth >= config.max_depth || idx.len() < config.min_samples_split || node_gini == 0.0 {
         return (leaf(data, idx, n_classes), depth);
     }
 
@@ -139,8 +145,7 @@ fn build(
             if nl == 0 || nr == 0 {
                 continue;
             }
-            let weighted = (nl as f64 * gini(&left) + nr as f64 * gini(&right))
-                / idx.len() as f64;
+            let weighted = (nl as f64 * gini(&left) + nr as f64 * gini(&right)) / idx.len() as f64;
             if best.map(|(_, _, g)| weighted < g - 1e-12).unwrap_or(true) {
                 best = Some((feature, threshold, weighted));
             }
@@ -154,7 +159,12 @@ fn build(
             let (l, dl) = build(data, &l_idx, n_classes, config, depth + 1);
             let (r, dr) = build(data, &r_idx, n_classes, config, depth + 1);
             (
-                Node::Split { feature, threshold, left: Box::new(l), right: Box::new(r) },
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                },
                 dl.max(dr),
             )
         }
@@ -168,8 +178,17 @@ impl Classifier for DecisionTree {
         loop {
             match node {
                 Node::Leaf { proba } => return proba.clone(),
-                Node::Split { feature, threshold, left, right } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -216,8 +235,13 @@ mod tests {
     #[test]
     fn depth_limit_respected() {
         let data = xor_dataset();
-        let tree =
-            DecisionTree::fit(&data, &TreeConfig { max_depth: 1, min_samples_split: 2 });
+        let tree = DecisionTree::fit(
+            &data,
+            &TreeConfig {
+                max_depth: 1,
+                min_samples_split: 2,
+            },
+        );
         assert!(tree.depth() <= 1);
         assert!(tree.n_leaves() <= 2);
     }
@@ -233,8 +257,13 @@ mod tests {
     #[test]
     fn proba_sums_to_one() {
         let data = xor_dataset();
-        let tree =
-            DecisionTree::fit(&data, &TreeConfig { max_depth: 3, min_samples_split: 30 });
+        let tree = DecisionTree::fit(
+            &data,
+            &TreeConfig {
+                max_depth: 3,
+                min_samples_split: 30,
+            },
+        );
         for x in &data.x {
             let p = tree.predict_proba(x);
             assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -255,7 +284,13 @@ mod tests {
         for i in 0..30 {
             let v = i as f64;
             x.push(vec![v]);
-            y.push(if v < 10.0 { 0 } else if v < 20.0 { 1 } else { 2 });
+            y.push(if v < 10.0 {
+                0
+            } else if v < 20.0 {
+                1
+            } else {
+                2
+            });
         }
         let data = Dataset::new(x, y);
         let tree = DecisionTree::fit(&data, &TreeConfig::default());

@@ -149,11 +149,12 @@ impl fmt::Display for MinimizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MinimizeError::DimensionMismatch { x0, bounds } => {
-                write!(f, "starting point has {x0} coordinates but bounds have {bounds}")
+                write!(
+                    f,
+                    "starting point has {x0} coordinates but bounds have {bounds}"
+                )
             }
-            MinimizeError::NonFiniteStart => {
-                f.write_str("objective is NaN at the starting point")
-            }
+            MinimizeError::NonFiniteStart => f.write_str("objective is NaN at the starting point"),
         }
     }
 }
@@ -180,7 +181,10 @@ where
 {
     let n = x0.len();
     if n != bounds.len() {
-        return Err(MinimizeError::DimensionMismatch { x0: n, bounds: bounds.len() });
+        return Err(MinimizeError::DimensionMismatch {
+            x0: n,
+            bounds: bounds.len(),
+        });
     }
 
     let mut x = x0.to_vec();
@@ -231,8 +235,12 @@ where
             }
             bounds.project(&mut x_new);
             // Measure actual displacement after projection.
-            let disp_dot_g: f64 =
-                x_new.iter().zip(&x).zip(&g).map(|((xn, xo), gi)| (xn - xo) * gi).sum();
+            let disp_dot_g: f64 = x_new
+                .iter()
+                .zip(&x)
+                .zip(&g)
+                .map(|((xn, xo), gi)| (xn - xo) * gi)
+                .sum();
             f_new = f(&x_new, &mut g_new);
             evals += 1;
             let sufficient = if disp_dot_g < 0.0 {
@@ -271,7 +279,14 @@ where
     if grad_norm < opts.tol {
         stop = StopReason::Converged;
     }
-    Ok(Solution { x, value: fx, grad_norm, iterations: iter, evaluations: evals, stop })
+    Ok(Solution {
+        x,
+        value: fx,
+        grad_norm,
+        iterations: iter,
+        evaluations: evals,
+        stop,
+    })
 }
 
 /// Infinity norm of `P(x − g) − x`, the standard first-order optimality
@@ -367,7 +382,10 @@ mod tests {
             rosen,
             &[-1.2, 1.0],
             &Bounds::uniform(2, -5.0, 5.0),
-            &Options { max_iters: 2000, ..Options::default() },
+            &Options {
+                max_iters: 2000,
+                ..Options::default()
+            },
         )
         .unwrap();
         assert!((sol.x[0] - 1.0).abs() < 1e-4, "{sol:?}");

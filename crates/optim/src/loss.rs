@@ -168,7 +168,12 @@ pub enum LossKind {
 
 impl LossKind {
     /// All loss kinds, in Fig. 3 order.
-    pub const ALL: [LossKind; 4] = [LossKind::Mse, LossKind::Mae, LossKind::Telex, LossKind::Tmee];
+    pub const ALL: [LossKind; 4] = [
+        LossKind::Mse,
+        LossKind::Mae,
+        LossKind::Telex,
+        LossKind::Tmee,
+    ];
 
     /// Loss value for a residual (dynamic dispatch convenience).
     pub fn value(self, r: f64) -> f64 {

@@ -20,7 +20,9 @@ pub fn central_difference<F: Fn(&[f64]) -> f64>(f: F, x: &[f64], i: usize, h: f6
 
 /// Full numerical gradient via central differences.
 pub fn gradient<F: Fn(&[f64]) -> f64>(f: F, x: &[f64], h: f64) -> Vec<f64> {
-    (0..x.len()).map(|i| central_difference(&f, x, i, h)).collect()
+    (0..x.len())
+        .map(|i| central_difference(&f, x, i, h))
+        .collect()
 }
 
 #[cfg(test)]

@@ -14,7 +14,6 @@ use aps_core::monitors::HazardMonitor;
 use aps_fault::{campaign_grid, CampaignConfig, FaultInjector, FaultScenario};
 use aps_glucose::sensor::CgmConfig;
 use aps_types::{MgDl, SimTrace, UnitsPerHour};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -125,7 +124,11 @@ fn expand(spec: &CampaignSpec) -> Vec<Job> {
     for &pi in &spec.patient_indices {
         for &bg0 in &spec.initial_bgs {
             if spec.include_fault_free {
-                jobs.push(Job { patient_idx: pi, initial_bg: bg0, scenario: None });
+                jobs.push(Job {
+                    patient_idx: pi,
+                    initial_bg: bg0,
+                    scenario: None,
+                });
             }
             for s in &scenarios {
                 jobs.push(Job {
@@ -165,10 +168,9 @@ fn run_job(
         initial_bg: job.initial_bg,
         mitigator: (spec.mitigate && !spec.context_mitigate)
             .then(|| Mitigator::paper_default(ctx.max_rate)),
-        context_mitigation: (spec.mitigate && spec.context_mitigate).then(|| {
-            ContextMitigatorConfig::for_run(ctx.target, ctx.basal, ctx.max_rate)
-        }),
-        cgm: spec.cgm.clone(),
+        context_mitigation: (spec.mitigate && spec.context_mitigate)
+            .then(|| ContextMitigatorConfig::for_run(ctx.target, ctx.basal, ctx.max_rate)),
+        cgm: spec.cgm,
         ..LoopConfig::default()
     };
     let trace = run(
@@ -181,8 +183,32 @@ fn run_job(
     trace
 }
 
+/// Runs the whole campaign serially on the calling thread. This is the
+/// reference executor: [`run_campaign`] is defined to produce exactly
+/// this output. It is also the pre-optimization baseline measured by
+/// the `campaign_throughput` benchmark.
+pub fn run_campaign_serial(
+    spec: &CampaignSpec,
+    monitor_factory: Option<&MonitorFactory<'_>>,
+) -> Vec<SimTrace> {
+    expand(spec)
+        .iter()
+        .map(|j| run_job(spec, j, monitor_factory))
+        .collect()
+}
+
 /// Runs the whole campaign, parallelized over the available cores.
-/// Results are returned in job order (deterministic).
+/// Results are returned in job order (deterministic, identical to
+/// [`run_campaign_serial`]).
+///
+/// The executor is lock-free: workers claim jobs from a single atomic
+/// counter (so load stays balanced however uneven individual runs
+/// are), collect `(job index, trace)` pairs into worker-local buffers,
+/// and the buffers are merged in job order after the scoped join. No
+/// mutex is held anywhere — the seed implementation funneled every
+/// result through one global `Mutex<Vec<Option<SimTrace>>>`, which
+/// serialized the result path and bounced its cache line between all
+/// workers.
 pub fn run_campaign(
     spec: &CampaignSpec,
     monitor_factory: Option<&MonitorFactory<'_>>,
@@ -194,26 +220,44 @@ pub fn run_campaign(
         .unwrap_or(1)
         .min(n.max(1));
     if workers <= 1 {
-        return jobs.iter().map(|j| run_job(spec, j, monitor_factory)).collect();
+        return jobs
+            .iter()
+            .map(|j| run_job(spec, j, monitor_factory))
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<SimTrace>>> = Mutex::new(vec![None; n]);
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let trace = run_job(spec, &jobs[i], monitor_factory);
-                results.lock()[i] = Some(trace);
-            });
+    let parts: Vec<Vec<(usize, SimTrace)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, SimTrace)> = Vec::with_capacity(n / workers + 1);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, run_job(spec, &jobs[i], monitor_factory)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
+
+    // Deterministic merge: place each trace at its job index.
+    let mut slots: Vec<Option<SimTrace>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, trace) in part {
+            debug_assert!(slots[i].is_none(), "job {i} executed twice");
+            slots[i] = Some(trace);
         }
-    })
-    .expect("campaign worker panicked");
-    results
-        .into_inner()
+    }
+    slots
         .into_iter()
         .map(|t| t.expect("job not executed"))
         .collect()
@@ -265,9 +309,27 @@ mod tests {
 
     #[test]
     fn campaign_is_deterministic() {
-        let spec = CampaignSpec { steps: 40, ..tiny_spec() };
+        let spec = CampaignSpec {
+            steps: 40,
+            ..tiny_spec()
+        };
         let a = run_campaign(&spec, None);
         let b = run_campaign(&spec, None);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_serial_order_and_contents() {
+        let spec = CampaignSpec {
+            steps: 40,
+            ..tiny_spec()
+        };
+        let parallel = run_campaign(&spec, None);
+        let serial = run_campaign_serial(&spec, None);
+        assert_eq!(parallel.len(), serial.len());
+        for (i, (p, s)) in parallel.iter().zip(&serial).enumerate() {
+            assert_eq!(p.meta.fault_name, s.meta.fault_name, "job {i} out of order");
+            assert_eq!(p, s, "job {i} diverged between executors");
+        }
     }
 }

@@ -10,8 +10,7 @@ use aps_glucose::sensor::{Cgm, CgmConfig};
 use aps_glucose::PatientSim;
 use aps_risk::LabelConfig;
 use aps_types::{
-    ControlAction, MgDl, SimTrace, Step, StepRecord, TraceMeta, UnitsPerHour,
-    CONTROL_CYCLE_MINUTES,
+    ControlAction, MgDl, SimTrace, Step, StepRecord, TraceMeta, UnitsPerHour, CONTROL_CYCLE_MINUTES,
 };
 use serde::{Deserialize, Serialize};
 
@@ -39,13 +38,21 @@ pub struct Meal {
 impl Meal {
     /// An unannounced meal (the harder, purely reactive case).
     pub fn new(step: Step, carbs_g: f64) -> Meal {
-        Meal { step, carbs_g, announced: false }
+        Meal {
+            step,
+            carbs_g,
+            announced: false,
+        }
     }
 
     /// An announced meal: the controller is told the carbs and may
     /// bolus for them.
     pub fn announced(step: Step, carbs_g: f64) -> Meal {
-        Meal { step, carbs_g, announced: true }
+        Meal {
+            step,
+            carbs_g,
+            announced: true,
+        }
     }
 }
 
@@ -67,7 +74,11 @@ pub struct ExerciseBout {
 impl ExerciseBout {
     /// Convenience constructor.
     pub fn new(step: Step, intensity: f64, duration_min: f64) -> ExerciseBout {
-        ExerciseBout { step, intensity, duration_min }
+        ExerciseBout {
+            step,
+            intensity,
+            duration_min,
+        }
     }
 }
 
@@ -139,8 +150,10 @@ pub fn run(
     if let Some(inj) = injector.as_deref_mut() {
         inj.reset();
     }
-    let mut cgm = Cgm::new(config.cgm.clone());
-    let mut pump = Pump::new(config.pump.clone());
+    // Configs are `Copy` scalars; constructing the per-run sensor and
+    // pump performs no heap allocation.
+    let mut cgm = Cgm::new(config.cgm);
+    let mut pump = Pump::new(config.pump);
     let mut ctx_mitigator = config.context_mitigation.map(ContextMitigator::new);
 
     let vars = controller.state_vars();
@@ -151,6 +164,29 @@ pub fn run(
             .unwrap_or((f64::NEG_INFINITY, f64::INFINITY))
     };
 
+    /// Where the scenario's target variable sits in the control loop.
+    enum FaultRoute {
+        /// Actuator command, perturbed after the controller decision.
+        Rate,
+        /// CGM input, perturbed before the decision.
+        Glucose,
+        /// Controller-internal variable.
+        Internal,
+    }
+
+    // Resolve the fault target's route and legitimate bounds once per
+    // run; the step loop then performs no string comparison against
+    // the scenario and clones nothing.
+    let fault_plan = injector.as_deref().map(|inj| {
+        let target = &inj.scenario().target;
+        let route = match target.as_str() {
+            "rate" => FaultRoute::Rate,
+            "glucose" => FaultRoute::Glucose,
+            _ => FaultRoute::Internal,
+        };
+        (route, var_bounds(target), target.clone())
+    });
+
     let mut meta = TraceMeta {
         patient: patient.name().to_owned(),
         initial_bg: config.initial_bg,
@@ -160,8 +196,15 @@ pub fn run(
         meta.fault_name = inj.scenario().name();
         meta.fault_start = Some(inj.scenario().start);
     }
-    let mut trace = SimTrace::new(meta);
-    let mut prev_delivered = UnitsPerHour(controller.basal_rate().value());
+    // Preallocated records: the recording path never reallocates.
+    let mut trace = SimTrace::with_capacity(meta, config.steps as usize);
+    // Action classification compares against the previous *commanded*
+    // rate (the paper's u1..u4 alphabet is over the controller's
+    // command stream). The seed compared against the previous
+    // *delivered* rate, so pump quantization (e.g. 4.29 commanded vs
+    // 4.30 delivered) misclassified a steady max-rate fault as
+    // `DecreaseInsulin` every cycle and no SCS rule could ever fire.
+    let mut prev_commanded = UnitsPerHour(controller.basal_rate().value());
 
     for s in 0..config.steps {
         let step = Step(s);
@@ -178,30 +221,30 @@ pub fn run(
         let reading = cgm.sample(true_bg);
 
         // Fault injection on the controller's input/internal variables.
-        if let Some(inj) = injector.as_deref_mut() {
-            let target = inj.scenario().target.clone();
-            if target == "rate" {
+        if let (Some(inj), Some((route, (lo, hi), target))) =
+            (injector.as_deref_mut(), fault_plan.as_ref())
+        {
+            match route {
                 // Output faults are applied after the decision below.
-            } else if target == "glucose" {
-                let (lo, hi) = var_bounds("glucose");
-                let faulty = inj.perturb(step, "glucose", reading.value(), lo, hi);
-                if inj.is_active(step) {
-                    controller.set_state("glucose", faulty);
+                FaultRoute::Rate => {}
+                FaultRoute::Glucose => {
+                    let faulty = inj.perturb_target(step, reading.value(), *lo, *hi);
+                    if inj.is_active(step) {
+                        controller.set_state("glucose", faulty);
+                    }
                 }
-            } else if inj.is_active(step) {
-                // Internal variable: perturb last cycle's value (the
-                // freshest observable) and force it for this decision.
-                let (lo, hi) = var_bounds(&target);
-                let base = controller
-                    .get_state(&target)
-                    .unwrap_or(0.5 * (lo + hi));
-                let faulty = inj.perturb(step, &target, base, lo, hi);
-                controller.set_state(&target, faulty);
-            } else {
-                // Keep the injector's Hold history fresh pre-activation.
-                let (lo, hi) = var_bounds(&target);
-                if let Some(base) = controller.get_state(&target) {
-                    inj.perturb(step, &target, base, lo, hi);
+                FaultRoute::Internal if inj.is_active(step) => {
+                    // Internal variable: perturb last cycle's value (the
+                    // freshest observable) and force it for this decision.
+                    let base = controller.get_state(target).unwrap_or(0.5 * (lo + hi));
+                    let faulty = inj.perturb_target(step, base, *lo, *hi);
+                    controller.set_state(target, faulty);
+                }
+                FaultRoute::Internal => {
+                    // Keep the injector's Hold history fresh pre-activation.
+                    if let Some(base) = controller.get_state(target) {
+                        inj.perturb_target(step, base, *lo, *hi);
+                    }
                 }
             }
         }
@@ -209,15 +252,13 @@ pub fn run(
         let mut commanded = controller.decide(step, reading);
 
         // Output (actuator-command) faults.
-        if let Some(inj) = injector.as_deref_mut() {
-            if inj.scenario().target == "rate" {
-                let (lo, hi) = var_bounds("rate");
-                commanded =
-                    UnitsPerHour(inj.perturb(step, "rate", commanded.value(), lo, hi));
-            }
+        if let (Some(inj), Some((FaultRoute::Rate, (lo, hi), _))) =
+            (injector.as_deref_mut(), fault_plan.as_ref())
+        {
+            commanded = UnitsPerHour(inj.perturb_target(step, commanded.value(), *lo, *hi));
         }
 
-        let action = ControlAction::classify(commanded, prev_delivered);
+        let action = ControlAction::classify(commanded, prev_commanded);
 
         // Monitor check + mitigation.
         let alert = monitor.as_deref_mut().and_then(|m| {
@@ -225,7 +266,7 @@ pub fn run(
                 step,
                 bg: reading,
                 commanded,
-                previous_rate: prev_delivered,
+                previous_rate: prev_commanded,
             })
         });
         let mitigated = if let Some(cm) = ctx_mitigator.as_mut() {
@@ -247,8 +288,10 @@ pub fn run(
             cm.observe_delivery(delivered);
         }
 
-        let fault_active =
-            injector.as_deref().map(|i| i.is_active(step)).unwrap_or(false);
+        let fault_active = injector
+            .as_deref()
+            .map(|i| i.is_active(step))
+            .unwrap_or(false);
         trace.push(StepRecord {
             step,
             bg: reading,
@@ -263,7 +306,7 @@ pub fn run(
         });
 
         patient.step(delivered, CONTROL_CYCLE_MINUTES);
-        prev_delivered = delivered;
+        prev_commanded = commanded;
     }
 
     aps_risk::label_trace(&mut trace, &config.labels);
@@ -289,8 +332,16 @@ mod tests {
             !trace.is_hazardous(),
             "fault-free run should be safe; onset {:?}, bg range {:?}..{:?}",
             trace.meta.hazard_onset,
-            trace.bg_true_series().iter().cloned().fold(f64::INFINITY, f64::min),
-            trace.bg_true_series().iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            trace
+                .bg_true_series()
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min),
+            trace
+                .bg_true_series()
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max),
         );
         assert!(trace.meta.fault_start.is_none());
     }
@@ -314,7 +365,11 @@ mod tests {
         assert!(
             trace.is_hazardous(),
             "3 hours of max-rate insulin should be hazardous; min BG {}",
-            trace.bg_true_series().iter().cloned().fold(f64::INFINITY, f64::min)
+            trace
+                .bg_true_series()
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min)
         );
         assert_eq!(trace.meta.hazard_type, Some(aps_types::Hazard::H1));
         assert!(trace.records.iter().any(|r| r.fault_active));
@@ -378,7 +433,10 @@ mod tests {
         // The controller brings the excursion back toward target by
         // the end of the run.
         let last = *bg.last().unwrap();
-        assert!(last < post_peak - 10.0, "no post-meal regulation ({post_peak} -> {last})");
+        assert!(
+            last < post_peak - 10.0,
+            "no post-meal regulation ({post_peak} -> {last})"
+        );
     }
 
     #[test]
@@ -406,9 +464,12 @@ mod tests {
                     Meal::announced(Step(110), 20.0),
                 ],
             };
-            let config = LoopConfig { steps: 150, meals, ..LoopConfig::default() };
-            let trace =
-                run(patient.as_mut(), controller.as_mut(), None, None, &config);
+            let config = LoopConfig {
+                steps: 150,
+                meals,
+                ..LoopConfig::default()
+            };
+            let trace = run(patient.as_mut(), controller.as_mut(), None, None, &config);
             assert!(
                 !trace.is_hazardous(),
                 "{}: meal day labeled hazardous (onset {:?})",
@@ -424,9 +485,12 @@ mod tests {
         let run_with = |bouts: Vec<ExerciseBout>| -> Vec<f64> {
             let mut patient = platform.patients().remove(0);
             let mut controller = platform.controller_for(patient.as_ref());
-            let config = LoopConfig { steps: 100, exercise: bouts, ..LoopConfig::default() };
-            run(patient.as_mut(), controller.as_mut(), None, None, &config)
-                .bg_true_series()
+            let config = LoopConfig {
+                steps: 100,
+                exercise: bouts,
+                ..LoopConfig::default()
+            };
+            run(patient.as_mut(), controller.as_mut(), None, None, &config).bg_true_series()
         };
         let rest = run_with(vec![]);
         let active = run_with(vec![ExerciseBout::new(Step(20), 0.8, 60.0)]);
@@ -434,10 +498,16 @@ mod tests {
         let dip: f64 = (22..32)
             .map(|i| rest[i] - active[i])
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!(dip > 3.0, "exercise left no mark on the trajectory (max dip {dip:.1})");
+        assert!(
+            dip > 3.0,
+            "exercise left no mark on the trajectory (max dip {dip:.1})"
+        );
         // Long after the bout the two runs re-converge.
         let tail_gap = (rest[99] - active[99]).abs();
-        assert!(tail_gap < 15.0, "loop failed to re-regulate after exercise ({tail_gap:.1})");
+        assert!(
+            tail_gap < 15.0,
+            "loop failed to re-regulate after exercise ({tail_gap:.1})"
+        );
     }
 
     #[test]
@@ -451,10 +521,17 @@ mod tests {
             } else {
                 Meal::new(Step(20), 40.0)
             };
-            let config =
-                LoopConfig { steps: 120, meals: vec![meal], ..LoopConfig::default() };
+            let config = LoopConfig {
+                steps: 120,
+                meals: vec![meal],
+                ..LoopConfig::default()
+            };
             let trace = run(patient.as_mut(), controller.as_mut(), None, None, &config);
-            trace.bg_true_series().iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            trace
+                .bg_true_series()
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max)
         };
         let unannounced = peak(false);
         let announced = peak(true);
@@ -469,11 +546,17 @@ mod tests {
         let platform = Platform::T1dsBasalBolus;
         let mut patient = platform.patients().remove(0);
         let mut controller = platform.controller_for(patient.as_ref());
-        let config = LoopConfig { steps: 60, ..LoopConfig::default() };
+        let config = LoopConfig {
+            steps: 60,
+            ..LoopConfig::default()
+        };
         let trace = run(patient.as_mut(), controller.as_mut(), None, None, &config);
         assert_eq!(trace.len(), 60);
-        let min_bg =
-            trace.bg_true_series().iter().cloned().fold(f64::INFINITY, f64::min);
+        let min_bg = trace
+            .bg_true_series()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         assert!(min_bg > 40.0, "basal-bolus loop collapsed to {min_bg}");
     }
 }

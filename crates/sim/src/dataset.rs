@@ -106,14 +106,16 @@ pub fn build_seq_dataset(
 /// campaigns is dominated by safe samples otherwise).
 pub fn balance(dataset: &Dataset, max_ratio: usize) -> Dataset {
     assert!(max_ratio >= 1, "ratio must be at least 1");
-    let positives: Vec<usize> =
-        (0..dataset.len()).filter(|&i| dataset.y[i] != 0).collect();
-    let negatives: Vec<usize> =
-        (0..dataset.len()).filter(|&i| dataset.y[i] == 0).collect();
+    let positives: Vec<usize> = (0..dataset.len()).filter(|&i| dataset.y[i] != 0).collect();
+    let negatives: Vec<usize> = (0..dataset.len()).filter(|&i| dataset.y[i] == 0).collect();
     let keep_neg = (positives.len() * max_ratio).max(1).min(negatives.len());
     // Deterministic stride subsampling keeps temporal spread.
     let stride = (negatives.len() / keep_neg.max(1)).max(1);
-    let mut idx: Vec<usize> = negatives.into_iter().step_by(stride).take(keep_neg).collect();
+    let mut idx: Vec<usize> = negatives
+        .into_iter()
+        .step_by(stride)
+        .take(keep_neg)
+        .collect();
     idx.extend(positives);
     idx.sort_unstable();
     dataset.subset(&idx)
@@ -161,8 +163,7 @@ mod tests {
         let h1 = synthetic_trace(Some((5, Hazard::H1)));
         let h2 = synthetic_trace(Some((5, Hazard::H2)));
         let safe = synthetic_trace(None);
-        let ds =
-            build_dataset(&[h1, h2, safe], UnitsPerHour(1.0), LabelMode::MultiClass);
+        let ds = build_dataset(&[h1, h2, safe], UnitsPerHour(1.0), LabelMode::MultiClass);
         assert!(ds.y.contains(&1));
         assert!(ds.y.contains(&2));
         assert!(ds.y.contains(&0));

@@ -33,7 +33,11 @@ pub fn write_csv<W: Write>(traces: &[SimTrace], writer: W) -> io::Result<()> {
                 line,
                 "{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 meta.patient,
-                if meta.fault_name.is_empty() { "none" } else { &meta.fault_name },
+                if meta.fault_name.is_empty() {
+                    "none"
+                } else {
+                    &meta.fault_name
+                },
                 meta.initial_bg,
                 rec.step.0,
                 rec.bg.value(),

@@ -49,13 +49,11 @@ impl Platform {
                 max_basal: (4.0 * basal).max(2.0),
                 ..Oref0Profile::default()
             })),
-            Platform::T1dsBasalBolus => {
-                Box::new(BasalBolusController::new(BasalBolusProfile {
-                    basal,
-                    max_rate: (6.0 * basal).max(2.0),
-                    ..BasalBolusProfile::default()
-                }))
-            }
+            Platform::T1dsBasalBolus => Box::new(BasalBolusController::new(BasalBolusProfile {
+                basal,
+                max_rate: (6.0 * basal).max(2.0),
+                ..BasalBolusProfile::default()
+            })),
         }
     }
 

@@ -14,25 +14,31 @@ use aps_types::{SimTrace, UnitsPerHour};
 /// `alert` column rewritten to the monitor's verdicts.
 ///
 /// The monitor sees exactly what it would have seen live: the clean
-/// CGM reading, the commanded rate, the previously *delivered* rate —
+/// CGM reading, the commanded rate, the previously *commanded* rate —
 /// and is told the recorded delivery each cycle.
 pub fn replay_monitor(trace: &SimTrace, monitor: &mut dyn HazardMonitor) -> SimTrace {
     monitor.reset();
     let mut out = trace.clone();
-    let mut prev_delivered =
-        UnitsPerHour(trace.records.first().map(|r| r.delivered.value()).unwrap_or(0.0));
     // The live loop seeds previous_rate with the controller's basal;
-    // the first record's delivered rate is the closest recorded proxy.
+    // the first record's commanded rate is the closest recorded proxy
+    // (at reset the controller commands its basal).
+    let mut prev_commanded = UnitsPerHour(
+        trace
+            .records
+            .first()
+            .map(|r| r.commanded.value())
+            .unwrap_or(0.0),
+    );
     for rec in &mut out.records {
         let alert = monitor.check(&MonitorInput {
             step: rec.step,
             bg: rec.bg,
             commanded: rec.commanded,
-            previous_rate: prev_delivered,
+            previous_rate: prev_commanded,
         });
         monitor.observe_delivery(rec.delivered);
         rec.alert = alert;
-        prev_delivered = rec.delivered;
+        prev_commanded = rec.commanded;
     }
     out
 }
@@ -90,8 +96,7 @@ mod tests {
             let mut monitor = mk(basal);
             let replayed = replay_monitor(rec_t, monitor.as_mut());
             let live_alerts: Vec<_> = live_t.records.iter().map(|r| r.alert).collect();
-            let replay_alerts: Vec<_> =
-                replayed.records.iter().map(|r| r.alert).collect();
+            let replay_alerts: Vec<_> = replayed.records.iter().map(|r| r.alert).collect();
             assert_eq!(
                 live_alerts, replay_alerts,
                 "divergence on {}",

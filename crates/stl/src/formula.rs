@@ -50,7 +50,12 @@ pub struct Predicate {
 impl Predicate {
     /// Builds a predicate with the default equality tolerance.
     pub fn new(signal: &str, op: CmpOp, threshold: f64) -> Predicate {
-        Predicate { signal: signal.to_owned(), op, threshold, tolerance: 0.5 }
+        Predicate {
+            signal: signal.to_owned(),
+            op,
+            threshold,
+            tolerance: 0.5,
+        }
     }
 
     /// Quantitative robustness of the predicate for a signal value `v`:
@@ -93,7 +98,10 @@ impl Interval {
 
     /// The unbounded-future interval `[0, ∞)`.
     pub fn unbounded() -> Interval {
-        Interval { lo: 0, hi: usize::MAX }
+        Interval {
+            lo: 0,
+            hi: usize::MAX,
+        }
     }
 }
 
@@ -333,7 +341,10 @@ mod tests {
         let lt = Predicate::new("x", CmpOp::Lt, 5.0);
         assert!(lt.robustness_of(4.0) > 0.0);
         assert!(lt.robustness_of(6.0) < 0.0);
-        let eq = Predicate { tolerance: 0.5, ..Predicate::new("x", CmpOp::Eq, 2.0) };
+        let eq = Predicate {
+            tolerance: 0.5,
+            ..Predicate::new("x", CmpOp::Eq, 2.0)
+        };
         assert!(eq.robustness_of(2.2) > 0.0);
         assert!(eq.robustness_of(3.0) < 0.0);
     }

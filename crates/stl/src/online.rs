@@ -66,7 +66,11 @@ impl OnlineMonitor {
     /// `U` (future-time operators).
     pub fn new(formula: Formula) -> Result<OnlineMonitor, NotPastTimeError> {
         let n = Self::validate(&formula)?;
-        Ok(OnlineMonitor { formula, since_state: vec![BOTTOM; n], samples_seen: 0 })
+        Ok(OnlineMonitor {
+            formula,
+            since_state: vec![BOTTOM; n],
+            samples_seen: 0,
+        })
     }
 
     fn validate(f: &Formula) -> Result<usize, NotPastTimeError> {
@@ -114,7 +118,13 @@ impl OnlineMonitor {
         // Work on a copy of the previous state so that sibling `Since`
         // nodes all read the t-1 values.
         let prev = self.since_state.clone();
-        let rob = eval(&self.formula, sample, &prev, &mut self.since_state, &mut idx);
+        let rob = eval(
+            &self.formula,
+            sample,
+            &prev,
+            &mut self.since_state,
+            &mut idx,
+        );
         self.samples_seen += 1;
         rob
     }

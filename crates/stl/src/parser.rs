@@ -33,7 +33,10 @@ pub struct ParseStlError {
 
 impl ParseStlError {
     fn new(message: impl Into<String>, position: usize) -> ParseStlError {
-        ParseStlError { message: message.into(), position }
+        ParseStlError {
+            message: message.into(),
+            position,
+        }
     }
 
     /// Byte offset in the input at which the error was detected.
@@ -138,9 +141,7 @@ fn tokenize(input: &str) -> Result<Vec<(Tok, usize)>, ParseStlError> {
                 {
                     // Only allow '-'/'+' right after an exponent marker.
                     let ch = bytes[i] as char;
-                    if (ch == '-' || ch == '+')
-                        && !matches!(bytes[i - 1] as char, 'e' | 'E')
-                    {
+                    if (ch == '-' || ch == '+') && !matches!(bytes[i - 1] as char, 'e' | 'E') {
                         break;
                     }
                     i += 1;
@@ -178,7 +179,10 @@ fn tokenize(input: &str) -> Result<Vec<(Tok, usize)>, ParseStlError> {
                 out.push((tok, start));
             }
             other => {
-                return Err(ParseStlError::new(format!("unexpected character `{other}`"), i))
+                return Err(ParseStlError::new(
+                    format!("unexpected character `{other}`"),
+                    i,
+                ))
             }
         }
     }
@@ -196,7 +200,10 @@ impl Parser {
     }
 
     fn here(&self) -> usize {
-        self.toks.get(self.pos).map(|(_, p)| *p).unwrap_or(usize::MAX)
+        self.toks
+            .get(self.pos)
+            .map(|(_, p)| *p)
+            .unwrap_or(usize::MAX)
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -285,7 +292,10 @@ impl Parser {
         };
         self.expect(Tok::RBracket, "`]`")?;
         if lo > hi {
-            return Err(ParseStlError::new("interval lower bound exceeds upper", pos));
+            return Err(ParseStlError::new(
+                "interval lower bound exceeds upper",
+                pos,
+            ));
         }
         Ok(Interval { lo, hi })
     }

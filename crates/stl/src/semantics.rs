@@ -41,9 +41,7 @@ impl Formula {
                 .iter()
                 .map(|f| f.robustness(trace, t))
                 .fold(BOTTOM, f64::max),
-            Formula::Implies(a, b) => {
-                (-a.robustness(trace, t)).max(b.robustness(trace, t))
-            }
+            Formula::Implies(a, b) => (-a.robustness(trace, t)).max(b.robustness(trace, t)),
             Formula::Globally(i, f) => {
                 let (lo, hi) = clamp_window(t, i.lo, i.hi, trace.len());
                 let mut rob = TOP;
@@ -97,7 +95,11 @@ fn clamp_window(t: usize, lo: usize, hi: usize, len: usize) -> (usize, usize) {
         return (1, 0);
     }
     let start = t.saturating_add(lo);
-    let end = if hi == usize::MAX { len - 1 } else { t.saturating_add(hi).min(len - 1) };
+    let end = if hi == usize::MAX {
+        len - 1
+    } else {
+        t.saturating_add(hi).min(len - 1)
+    };
     if start > end {
         (1, 0)
     } else {
@@ -194,8 +196,7 @@ mod tests {
         );
         assert!(until.sat(&tr, 0));
         // Tight window that excludes the witness.
-        let until_short =
-            Formula::Until(Interval::new(0, 1), Box::new(a), Box::new(b));
+        let until_short = Formula::Until(Interval::new(0, 1), Box::new(a), Box::new(b));
         assert!(!until_short.sat(&tr, 0));
     }
 
@@ -225,8 +226,7 @@ mod tests {
         let formulas = vec![
             Formula::pred("bg", CmpOp::Gt, 180.0),
             Formula::pred("bg", CmpOp::Lt, 70.0),
-            Formula::pred("bg", CmpOp::Ge, 70.0)
-                .and(Formula::pred("bg", CmpOp::Le, 180.0)),
+            Formula::pred("bg", CmpOp::Ge, 70.0).and(Formula::pred("bg", CmpOp::Le, 180.0)),
             Formula::pred("bg", CmpOp::Gt, 100.0).eventually(0, 2),
             Formula::pred("bg", CmpOp::Lt, 500.0).globally(0, 4),
         ];

@@ -19,7 +19,11 @@ impl Trace {
     /// Creates an empty trace with sampling period `dt_minutes`.
     pub fn new(dt_minutes: f64) -> Trace {
         assert!(dt_minutes > 0.0, "sampling period must be positive");
-        Trace { dt_minutes, signals: BTreeMap::new(), len: 0 }
+        Trace {
+            dt_minutes,
+            signals: BTreeMap::new(),
+            len: 0,
+        }
     }
 
     /// Sampling period in minutes.

@@ -88,7 +88,19 @@ pub struct SimTrace {
 impl SimTrace {
     /// Creates an empty trace with the given metadata.
     pub fn new(meta: TraceMeta) -> SimTrace {
-        SimTrace { meta, records: Vec::new() }
+        SimTrace {
+            meta,
+            records: Vec::new(),
+        }
+    }
+
+    /// Creates an empty trace preallocated for `steps` records, so the
+    /// simulation hot loop never reallocates while recording.
+    pub fn with_capacity(meta: TraceMeta, steps: usize) -> SimTrace {
+        SimTrace {
+            meta,
+            records: Vec::with_capacity(steps),
+        }
     }
 
     /// Number of steps recorded.
@@ -120,12 +132,18 @@ impl SimTrace {
 
     /// First hazardous step, if any.
     pub fn hazard_onset(&self) -> Option<Step> {
-        self.records.iter().find(|r| r.hazard.is_some()).map(|r| r.step)
+        self.records
+            .iter()
+            .find(|r| r.hazard.is_some())
+            .map(|r| r.step)
     }
 
     /// First step with an alert raised, if any.
     pub fn first_alert(&self) -> Option<Step> {
-        self.records.iter().find(|r| r.alert.is_some()).map(|r| r.step)
+        self.records
+            .iter()
+            .find(|r| r.alert.is_some())
+            .map(|r| r.step)
     }
 
     /// The BG series as raw f64 (CGM view).
@@ -158,7 +176,10 @@ impl<'a> IntoIterator for &'a SimTrace {
 
 impl FromIterator<StepRecord> for SimTrace {
     fn from_iter<I: IntoIterator<Item = StepRecord>>(iter: I) -> SimTrace {
-        SimTrace { meta: TraceMeta::default(), records: iter.into_iter().collect() }
+        SimTrace {
+            meta: TraceMeta::default(),
+            records: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -214,8 +214,11 @@ mod tests {
         let cases = [35.0, 69.0, 70.0, 120.0, 180.0, 181.0, 400.0];
         for v in cases {
             let bg = MgDl(v);
-            let flags =
-                [bg.is_hypoglycemia(), bg.is_normal_range(), bg.is_hyperglycemia()];
+            let flags = [
+                bg.is_hypoglycemia(),
+                bg.is_normal_range(),
+                bg.is_hyperglycemia(),
+            ];
             assert_eq!(flags.iter().filter(|&&f| f).count(), 1, "bg={v}");
         }
     }

@@ -23,8 +23,7 @@ fn overdose_trace() -> SimTrace {
     let platform = Platform::GlucosymOref0;
     let mut patient = platform.patients().remove(0);
     let mut controller = platform.controller_for(patient.as_ref());
-    let mut injector =
-        FaultInjector::new(FaultScenario::new("rate", FaultKind::Max, Step(20), 36));
+    let mut injector = FaultInjector::new(FaultScenario::new("rate", FaultKind::Max, Step(20), 36));
     closed_loop::run(
         patient.as_mut(),
         controller.as_mut(),
@@ -81,7 +80,10 @@ fn main() {
         }
     }
     println!("offline check on a recorded max-rate overdose:");
-    println!("  hazard onset   : {:?}", sim.meta.hazard_onset.map(|s| s.minutes()));
+    println!(
+        "  hazard onset   : {:?}",
+        sim.meta.hazard_onset.map(|s| s.minutes())
+    );
     println!(
         "  first violation: {:?}",
         first_violation.map(|t| t as f64 * 5.0)

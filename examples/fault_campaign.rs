@@ -30,7 +30,10 @@ fn main() {
     println!("hazard coverage per patient:");
     let mut by_patient: BTreeMap<String, Vec<&SimTrace>> = BTreeMap::new();
     for t in &traces {
-        by_patient.entry(t.meta.patient.clone()).or_default().push(t);
+        by_patient
+            .entry(t.meta.patient.clone())
+            .or_default()
+            .push(t);
     }
     for (patient, ts) in &by_patient {
         let cov = hazard_coverage(ts.iter().copied());
@@ -76,8 +79,11 @@ fn main() {
         eprintln!("skipping trace export: {e}");
         return;
     }
-    let hazardous: Vec<SimTrace> =
-        traces.iter().filter(|t| t.is_hazardous()).cloned().collect();
+    let hazardous: Vec<SimTrace> = traces
+        .iter()
+        .filter(|t| t.is_hazardous())
+        .cloned()
+        .collect();
     match aps_repro::sim::io::save_jsonl(&hazardous, "results/hazardous_traces.jsonl") {
         Ok(()) => println!(
             "\nwrote {} hazardous traces to results/hazardous_traces.jsonl",

@@ -39,9 +39,8 @@ fn run_day(attack: bool, monitored: bool) -> SimTrace {
 
     // Insulin overdose during the post-lunch window, when IOB is
     // already elevated — the nastiest time.
-    let mut injector = attack.then(|| {
-        FaultInjector::new(FaultScenario::new("rate", FaultKind::Max, Step(150), 30))
-    });
+    let mut injector = attack
+        .then(|| FaultInjector::new(FaultScenario::new("rate", FaultKind::Max, Step(150), 30)));
 
     let config = LoopConfig {
         steps: DAY_STEPS,
@@ -61,19 +60,27 @@ fn run_day(attack: bool, monitored: bool) -> SimTrace {
 }
 
 fn main() {
-    println!(
-        "24-hour simulation: three unannounced meals (35/45/40 g), a 45-min evening walk\n"
-    );
+    println!("24-hour simulation: three unannounced meals (35/45/40 g), a 45-min evening walk\n");
 
     // 1. Quiet day: the monitor must not alarm on meals.
     let quiet = run_day(false, true);
     let false_alarms = quiet.records.iter().filter(|r| r.alert.is_some()).count();
-    let peak = quiet.bg_true_series().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    println!("quiet day : peak BG {peak:.0} mg/dL, monitor alerts on {false_alarms}/{DAY_STEPS} cycles");
+    let peak = quiet
+        .bg_true_series()
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "quiet day : peak BG {peak:.0} mg/dL, monitor alerts on {false_alarms}/{DAY_STEPS} cycles"
+    );
 
     // 2. Attacked day, no monitor.
     let exposed = run_day(true, false);
-    let nadir = exposed.bg_true_series().iter().cloned().fold(f64::INFINITY, f64::min);
+    let nadir = exposed
+        .bg_true_series()
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
     println!(
         "attack, unprotected: min BG {nadir:.0} mg/dL, hazard {:?} at {:?}",
         exposed.meta.hazard_type,
@@ -82,8 +89,11 @@ fn main() {
 
     // 3. Attacked day with monitor + Algorithm-1 mitigation.
     let defended = run_day(true, true);
-    let nadir_def =
-        defended.bg_true_series().iter().cloned().fold(f64::INFINITY, f64::min);
+    let nadir_def = defended
+        .bg_true_series()
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
     println!(
         "attack, defended   : min BG {nadir_def:.0} mg/dL, hazard {:?}, first alert {:?}",
         defended.meta.hazard_type,
@@ -105,6 +115,9 @@ fn main() {
     if defended.meta.hazard_type.is_none() && exposed.meta.hazard_type.is_some() {
         println!("\n=> meals tolerated, attack mitigated: the hazard never materialized");
     } else if nadir_def > nadir + 10.0 {
-        println!("\n=> mitigation raised the nadir by {:.0} mg/dL", nadir_def - nadir);
+        println!(
+            "\n=> mitigation raised the nadir by {:.0} mg/dL",
+            nadir_def - nadir
+        );
     }
 }

@@ -15,10 +15,7 @@ use aps_repro::core::mitigation::Mitigator;
 use aps_repro::prelude::*;
 use aps_repro::risk;
 
-fn run_variant(
-    with_monitor: bool,
-    mitigate: bool,
-) -> SimTrace {
+fn run_variant(with_monitor: bool, mitigate: bool) -> SimTrace {
     let platform = Platform::GlucosymOref0;
     let mut patient = platform.patients().remove(4);
     let mut controller = platform.controller_for(patient.as_ref());
@@ -26,8 +23,7 @@ fn run_variant(
     let scs = Scs::with_default_thresholds(platform.target());
     let mut monitor = CawMonitor::new("cawot", scs, basal);
     // The attack: max insulin rate from 1 AM (step 60) for 2.5 hours.
-    let mut injector =
-        FaultInjector::new(FaultScenario::new("rate", FaultKind::Max, Step(60), 30));
+    let mut injector = FaultInjector::new(FaultScenario::new("rate", FaultKind::Max, Step(60), 30));
     let config = LoopConfig {
         initial_bg: 140.0,
         mitigator: mitigate

@@ -26,8 +26,7 @@ fn main() {
 
     // 3. Simulate a "maximize insulin rate" attack on the controller's
     //    output, starting 100 minutes in and lasting 3 hours.
-    let mut injector =
-        FaultInjector::new(FaultScenario::new("rate", FaultKind::Max, Step(20), 36));
+    let mut injector = FaultInjector::new(FaultScenario::new("rate", FaultKind::Max, Step(20), 36));
 
     let trace = closed_loop::run(
         patient.as_mut(),

@@ -31,8 +31,7 @@ fn run(guarded: bool) -> (f64, Option<u32>) {
     patient.reset(MgDl(140.0));
     controller.reset();
 
-    let mut guard =
-        CgmGuard::new(Cusum::new(CusumConfig::default()), GuardConfig::default());
+    let mut guard = CgmGuard::new(Cusum::new(CusumConfig::default()), GuardConfig::default());
     let mut first_alarm: Option<u32> = None;
     let mut min_bg = f64::INFINITY;
     // Trend memory for the fallback estimate.
@@ -72,18 +71,26 @@ fn run(guarded: bool) -> (f64, Option<u32>) {
 }
 
 fn main() {
-    println!("CGM spoofing attack: +{SPOOF_OFFSET} mg/dL during cycles {ATTACK_START}..{ATTACK_END}\n");
+    println!(
+        "CGM spoofing attack: +{SPOOF_OFFSET} mg/dL during cycles {ATTACK_START}..{ATTACK_END}\n"
+    );
 
     let (min_unguarded, alarm) = run(false);
     let (min_guarded, _) = run(true);
 
-    println!("sensor guard alarm  : {:?} (attack starts at step {ATTACK_START})", alarm);
+    println!(
+        "sensor guard alarm  : {:?} (attack starts at step {ATTACK_START})",
+        alarm
+    );
     println!("min true BG, unguarded: {min_unguarded:>6.1} mg/dL");
     println!("min true BG, guarded  : {min_guarded:>6.1} mg/dL");
 
     match alarm {
         Some(a) if (ATTACK_START..ATTACK_START + 3).contains(&a) => {
-            println!("\n=> the guard caught the spoof within {} cycles", a - ATTACK_START + 1)
+            println!(
+                "\n=> the guard caught the spoof within {} cycles",
+                a - ATTACK_START + 1
+            )
         }
         Some(a) => println!("\n=> alarm at step {a}"),
         None => println!("\n=> attack was NOT detected"),

@@ -43,6 +43,42 @@
 //! );
 //! assert_eq!(trace.len(), 150);
 //! ```
+//!
+//! # Performance
+//!
+//! Fault-injection campaigns are the workload that matters: a paper-
+//! scale run is thousands of closed-loop simulations, each stepping a
+//! patient ODE and a monitor 150 times. The campaign hot path is
+//! engineered accordingly:
+//!
+//! * **Allocation-free integration** — the patient models integrate
+//!   with a const-generic stack scratch
+//!   ([`glucose::ode::Rk4Scratch`]); no heap allocation occurs inside
+//!   the per-step RK4 loop. The slice-based `rk4_step`/`integrate`
+//!   API survives as thin wrappers with bit-identical results (see
+//!   `tests/perf_equivalence.rs`).
+//! * **O(1) IOB reads** — the insulin-on-board estimator caches its
+//!   window sum and memoizes the activity curve on the cycle grid
+//!   instead of re-evaluating ~100 `exp` calls per read.
+//! * **Lock-free campaign executor** —
+//!   [`sim::campaign::run_campaign`] claims jobs from an atomic
+//!   counter into worker-local buffers merged in deterministic job
+//!   order; output is defined to equal
+//!   [`sim::campaign::run_campaign_serial`]. No mutex anywhere.
+//!
+//! The measured baseline lives in `BENCH_campaign.json` (quick
+//! campaign: 62 runs × 150 steps; seed-faithful hot path vs current —
+//! ≈3.4× on one core at PR 1). Regenerate it with:
+//!
+//! ```text
+//! cargo run --release -p aps-bench --bin repro -- bench-campaign
+//! ```
+//!
+//! and compare executors microscopically with:
+//!
+//! ```text
+//! cargo bench -p aps-bench --bench campaign_throughput
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,13 +100,13 @@ pub use aps_types as types;
 pub mod prelude {
     pub use aps_controllers::Controller;
     pub use aps_core::context::{ContextBuilder, ContextVector};
+    pub use aps_core::hms::{ContextMitigator, ContextMitigatorConfig, Hms, TsLearnConfig};
     pub use aps_core::learning::{learn_thresholds, LearnConfig};
     pub use aps_core::mitigation::Mitigator;
     pub use aps_core::monitors::{
         CawMonitor, GuidelineMonitor, HazardMonitor, LstmMonitor, MlMonitor, MonitorInput,
         MpcMonitor, NullMonitor, StlCawMonitor,
     };
-    pub use aps_core::hms::{ContextMitigator, ContextMitigatorConfig, Hms, TsLearnConfig};
     pub use aps_core::scs::Scs;
     pub use aps_detect::{CgmGuard, ChangeDetector, Cusum, Decision, Ewma, Sprt};
     pub use aps_fault::{FaultInjector, FaultKind, FaultScenario};

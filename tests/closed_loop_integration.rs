@@ -4,11 +4,19 @@
 use aps_repro::prelude::*;
 
 fn min_bg(trace: &SimTrace) -> f64 {
-    trace.bg_true_series().iter().cloned().fold(f64::INFINITY, f64::min)
+    trace
+        .bg_true_series()
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min)
 }
 
 fn max_bg(trace: &SimTrace) -> f64 {
-    trace.bg_true_series().iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    trace
+        .bg_true_series()
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
 }
 
 /// Every patient on both platforms survives a fault-free 12-hour run
@@ -19,14 +27,12 @@ fn fault_free_runs_are_stable_for_all_patients() {
         for (i, mut patient) in platform.patients().into_iter().enumerate() {
             for bg0 in [80.0, 140.0, 200.0] {
                 let mut controller = platform.controller_for(patient.as_ref());
-                let config = LoopConfig { initial_bg: bg0, ..LoopConfig::default() };
-                let trace = closed_loop::run(
-                    patient.as_mut(),
-                    controller.as_mut(),
-                    None,
-                    None,
-                    &config,
-                );
+                let config = LoopConfig {
+                    initial_bg: bg0,
+                    ..LoopConfig::default()
+                };
+                let trace =
+                    closed_loop::run(patient.as_mut(), controller.as_mut(), None, None, &config);
                 let (lo, hi) = (min_bg(&trace), max_bg(&trace));
                 assert!(
                     lo > 45.0 && hi < 420.0,
@@ -46,10 +52,8 @@ fn cawot_predicts_overdose_hazard_early() {
     let mut patient = platform.patients().remove(0);
     let mut controller = platform.controller_for(patient.as_ref());
     let scs = Scs::with_default_thresholds(platform.target());
-    let mut monitor =
-        CawMonitor::new("cawot", scs, platform.basal_for(patient.as_ref()));
-    let mut injector =
-        FaultInjector::new(FaultScenario::new("rate", FaultKind::Max, Step(20), 36));
+    let mut monitor = CawMonitor::new("cawot", scs, platform.basal_for(patient.as_ref()));
+    let mut injector = FaultInjector::new(FaultScenario::new("rate", FaultKind::Max, Step(20), 36));
     let trace = closed_loop::run(
         patient.as_mut(),
         controller.as_mut(),
@@ -57,7 +61,10 @@ fn cawot_predicts_overdose_hazard_early() {
         Some(&mut injector),
         &LoopConfig::default(),
     );
-    let onset = trace.meta.hazard_onset.expect("fault should cause a hazard");
+    let onset = trace
+        .meta
+        .hazard_onset
+        .expect("fault should cause a hazard");
     let alert = trace.first_alert().expect("monitor should alert");
     assert!(
         alert < onset,
@@ -77,15 +84,11 @@ fn mitigation_raises_the_glucose_floor() {
         let mut patient = platform.patients().remove(0);
         let mut controller = platform.controller_for(patient.as_ref());
         let scs = Scs::with_default_thresholds(platform.target());
-        let mut monitor =
-            CawMonitor::new("cawot", scs, platform.basal_for(patient.as_ref()));
+        let mut monitor = CawMonitor::new("cawot", scs, platform.basal_for(patient.as_ref()));
         let mut injector = FaultInjector::new(scenario.clone());
         let config = LoopConfig {
-            mitigator: mitigate.then(|| {
-                Mitigator::paper_default(
-                    platform.max_mitigation_rate(patient.as_ref()),
-                )
-            }),
+            mitigator: mitigate
+                .then(|| Mitigator::paper_default(platform.max_mitigation_rate(patient.as_ref()))),
             ..LoopConfig::default()
         };
         closed_loop::run(
@@ -99,7 +102,10 @@ fn mitigation_raises_the_glucose_floor() {
 
     let unmitigated = run_with(false);
     let mitigated = run_with(true);
-    assert!(unmitigated.is_hazardous(), "baseline scenario must be hazardous");
+    assert!(
+        unmitigated.is_hazardous(),
+        "baseline scenario must be hazardous"
+    );
     assert!(
         min_bg(&mitigated) > min_bg(&unmitigated) + 5.0,
         "mitigation floor {:.1} vs baseline {:.1}",
@@ -156,7 +162,10 @@ fn truncate_rate_fault_raises_bg_on_both_platforms() {
                 Step(10),
                 60,
             ));
-            let config = LoopConfig { initial_bg: 160.0, ..LoopConfig::default() };
+            let config = LoopConfig {
+                initial_bg: 160.0,
+                ..LoopConfig::default()
+            };
             let trace = closed_loop::run(
                 patient.as_mut(),
                 controller.as_mut(),
@@ -187,8 +196,7 @@ fn observation_only_monitor_does_not_perturb_the_loop() {
         let mut patient = platform.patients().remove(3);
         let mut controller = platform.controller_for(patient.as_ref());
         let scs = Scs::with_default_thresholds(platform.target());
-        let mut monitor =
-            CawMonitor::new("cawot", scs, platform.basal_for(patient.as_ref()));
+        let mut monitor = CawMonitor::new("cawot", scs, platform.basal_for(patient.as_ref()));
         let mut injector = FaultInjector::new(scenario.clone());
         let trace = closed_loop::run(
             patient.as_mut(),

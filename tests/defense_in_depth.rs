@@ -25,13 +25,11 @@ fn monitored_mitigation_prevents_overdose_hazard() {
         let mut patient = platform.patients().remove(0);
         let mut controller = platform.controller_for(patient.as_ref());
         let scs = Scs::with_default_thresholds(platform.target());
-        let mut monitor =
-            CawMonitor::new("cawot", scs, platform.basal_for(patient.as_ref()));
+        let mut monitor = CawMonitor::new("cawot", scs, platform.basal_for(patient.as_ref()));
         let mut injector = FaultInjector::new(overdose_scenario());
         let config = LoopConfig {
-            mitigator: monitored.then(|| {
-                Mitigator::paper_default(platform.max_mitigation_rate(patient.as_ref()))
-            }),
+            mitigator: monitored
+                .then(|| Mitigator::paper_default(platform.max_mitigation_rate(patient.as_ref()))),
             ..LoopConfig::default()
         };
         closed_loop::run(
@@ -45,11 +43,20 @@ fn monitored_mitigation_prevents_overdose_hazard() {
 
     let exposed = run_with(false);
     let defended = run_with(true);
-    assert!(exposed.is_hazardous(), "baseline overdose must be hazardous");
-    let exposed_min =
-        exposed.bg_true_series().iter().cloned().fold(f64::INFINITY, f64::min);
-    let defended_min =
-        defended.bg_true_series().iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        exposed.is_hazardous(),
+        "baseline overdose must be hazardous"
+    );
+    let exposed_min = exposed
+        .bg_true_series()
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let defended_min = defended
+        .bg_true_series()
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
     assert!(
         defended_min > exposed_min + 5.0,
         "mitigation did not raise the nadir ({exposed_min:.0} -> {defended_min:.0})"
@@ -70,8 +77,7 @@ fn context_mitigation_defuses_with_less_insulin() {
         let mut patient = platform.patients().remove(1);
         let mut controller = platform.controller_for(patient.as_ref());
         let scs = Scs::with_default_thresholds(platform.target());
-        let mut monitor =
-            CawMonitor::new("cawot", scs, platform.basal_for(patient.as_ref()));
+        let mut monitor = CawMonitor::new("cawot", scs, platform.basal_for(patient.as_ref()));
         let mut injector = FaultInjector::new(scenario.clone());
         let max = platform.max_mitigation_rate(patient.as_ref());
         let config = LoopConfig {
@@ -98,9 +104,8 @@ fn context_mitigation_defuses_with_less_insulin() {
     let fixed = run_with(false);
     let contextual = run_with(true);
 
-    let delivered = |t: &SimTrace| -> f64 {
-        t.records.iter().map(|r| r.delivered.value() / 12.0).sum()
-    };
+    let delivered =
+        |t: &SimTrace| -> f64 { t.records.iter().map(|r| r.delivered.value() / 12.0).sum() };
     let (du_fixed, du_ctx) = (delivered(&fixed), delivered(&contextual));
     assert!(
         du_ctx <= du_fixed + 1e-9,
@@ -109,8 +114,15 @@ fn context_mitigation_defuses_with_less_insulin() {
     );
     // Both policies keep the run out of the severe band.
     for t in [&fixed, &contextual] {
-        let min = t.bg_true_series().iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(min > 40.0, "mitigation itself caused severe hypoglycemia ({min:.0})");
+        let min = t
+            .bg_true_series()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            min > 40.0,
+            "mitigation itself caused severe hypoglycemia ({min:.0})"
+        );
     }
 }
 
@@ -124,34 +136,32 @@ fn hms_audit_improves_under_mitigation() {
     let mut hms = Hms::for_scs(&scs);
 
     let run_with = |mitigate: bool| -> Vec<SimTrace> {
-        [overdose_scenario(), FaultScenario::new("rate", FaultKind::Truncate, Step(20), 36)]
-            .into_iter()
-            .map(|scenario| {
-                let mut patient = platform.patients().remove(0);
-                let mut controller = platform.controller_for(patient.as_ref());
-                let mut monitor = CawMonitor::new(
-                    "cawot",
-                    scs.clone(),
-                    platform.basal_for(patient.as_ref()),
-                );
-                let mut injector = FaultInjector::new(scenario);
-                let config = LoopConfig {
-                    mitigator: mitigate.then(|| {
-                        Mitigator::paper_default(
-                            platform.max_mitigation_rate(patient.as_ref()),
-                        )
-                    }),
-                    ..LoopConfig::default()
-                };
-                closed_loop::run(
-                    patient.as_mut(),
-                    controller.as_mut(),
-                    Some(&mut monitor),
-                    Some(&mut injector),
-                    &config,
-                )
-            })
-            .collect()
+        [
+            overdose_scenario(),
+            FaultScenario::new("rate", FaultKind::Truncate, Step(20), 36),
+        ]
+        .into_iter()
+        .map(|scenario| {
+            let mut patient = platform.patients().remove(0);
+            let mut controller = platform.controller_for(patient.as_ref());
+            let mut monitor =
+                CawMonitor::new("cawot", scs.clone(), platform.basal_for(patient.as_ref()));
+            let mut injector = FaultInjector::new(scenario);
+            let config = LoopConfig {
+                mitigator: mitigate.then(|| {
+                    Mitigator::paper_default(platform.max_mitigation_rate(patient.as_ref()))
+                }),
+                ..LoopConfig::default()
+            };
+            closed_loop::run(
+                patient.as_mut(),
+                controller.as_mut(),
+                Some(&mut monitor),
+                Some(&mut injector),
+                &config,
+            )
+        })
+        .collect()
     };
 
     let unmitigated = run_with(false);
@@ -199,8 +209,7 @@ fn layers_separate_sensor_and_controller_faults() {
     );
 
     // Replay the recorded (genuine) readings through the sensor guard.
-    let mut guard =
-        CgmGuard::new(Cusum::new(CusumConfig::default()), GuardConfig::default());
+    let mut guard = CgmGuard::new(Cusum::new(CusumConfig::default()), GuardConfig::default());
     let sensor_alarms = trace
         .records
         .iter()
@@ -230,9 +239,12 @@ fn noisy_sensor_keeps_fault_free_loop_safe() {
             },
             ..LoopConfig::default()
         };
-        let trace =
-            closed_loop::run(patient.as_mut(), controller.as_mut(), None, None, &config);
-        let min = trace.bg_true_series().iter().cloned().fold(f64::INFINITY, f64::min);
+        let trace = closed_loop::run(patient.as_mut(), controller.as_mut(), None, None, &config);
+        let min = trace
+            .bg_true_series()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         assert!(
             min > 54.0,
             "{}: realistic sensor noise drove the loop to {min:.0} mg/dL",
@@ -278,7 +290,9 @@ fn meals_do_not_mask_or_fake_hazards() {
         .count();
     assert_eq!(pre_fault_alerts, 0, "meal excursions raised false alarms");
     assert!(
-        trace.records[fault_start as usize..].iter().any(|r| r.alert.is_some()),
+        trace.records[fault_start as usize..]
+            .iter()
+            .any(|r| r.alert.is_some()),
         "fault during the meal day was never flagged"
     );
 }

@@ -4,12 +4,10 @@
 
 use aps_repro::core::context::ContextVector;
 use aps_repro::core::hms::{
-    context_series, ContextMitigator, ContextMitigatorConfig, Hms, TsLearnConfig,
-    DEFAULT_TS_STEPS,
+    context_series, ContextMitigator, ContextMitigatorConfig, Hms, TsLearnConfig, DEFAULT_TS_STEPS,
 };
 use aps_repro::detect::{
-    ChangeDetector, CgmGuard, Cusum, CusumConfig, Ewma, EwmaConfig, GuardConfig, Sprt,
-    SprtConfig,
+    CgmGuard, ChangeDetector, Cusum, CusumConfig, Ewma, EwmaConfig, GuardConfig, Sprt, SprtConfig,
 };
 use aps_repro::glucose::sensor_error::{mard, CgmErrorModel, ErrorModelConfig};
 use aps_repro::prelude::*;
@@ -294,8 +292,7 @@ proptest! {
 #[test]
 fn guard_catches_spoofs_at_any_onset() {
     for onset in [10usize, 25, 40] {
-        let mut g =
-            CgmGuard::new(Cusum::new(CusumConfig::default()), GuardConfig::default());
+        let mut g = CgmGuard::new(Cusum::new(CusumConfig::default()), GuardConfig::default());
         let mut caught = false;
         for i in 0..onset + 6 {
             let bg = if i < onset { 120.0 + i as f64 } else { 320.0 };

@@ -1,0 +1,162 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness with criterion's macro and
+//! builder surface (`criterion_group!`, `criterion_main!`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`). Each
+//! benchmark is warmed up once, then timed over `sample_size`
+//! batches; median and min batch times are reported to stdout.
+//! No plotting, no statistics beyond that — enough to compare hot
+//! paths locally and in CI.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed batches each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n## {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the group's sample size.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; matches criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`iter`](Bencher::iter) with
+/// the code under test.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration time of the last `iter` call.
+    median: Duration,
+    minimum: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, recording per-iteration statistics.
+    pub fn iter<F, R>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Warm-up and batch-size calibration: aim for batches of at
+        // least ~1 ms so Instant overhead is negligible.
+        let start = Instant::now();
+        std_black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std_black_box(f());
+            }
+            samples.push(start.elapsed() / per_batch as u32);
+        }
+        samples.sort_unstable();
+        self.median = samples[samples.len() / 2];
+        self.minimum = samples[0];
+    }
+}
+
+fn run_benchmark<F>(name: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        sample_size,
+        median: Duration::ZERO,
+        minimum: Duration::ZERO,
+    };
+    f(&mut bencher);
+    println!(
+        "{name:<40} median {:>12.3?}   min {:>12.3?}",
+        bencher.median, bencher.minimum
+    );
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

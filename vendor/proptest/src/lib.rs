@@ -1,0 +1,311 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset used by this workspace's property tests: the
+//! `proptest!` macro over `arg in strategy` parameter lists, range and
+//! `any::<T>()` strategies, `prop::collection::vec`, and the
+//! `prop_assert!` / `prop_assert_eq!` macros. Cases are generated from
+//! a fixed deterministic seed (no persistence, no shrinking): a failure
+//! reports the concrete inputs so it can be reproduced by re-running
+//! the same test binary.
+
+use std::ops::Range;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic test RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// RNG for one case index.
+    pub fn new(case: u64) -> TestRng {
+        TestRng(0x5eed_5eed_5eed_5eed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random values for one test parameter.
+pub trait Strategy {
+    /// Produced value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(usize, u8, u16, u32, u64, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Strategy for `any::<T>()`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Full-range strategy for a primitive type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing a `Vec` with random length in `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` of `element` samples with length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::sample(&self.len, rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Drives the random cases for one property.
+pub fn run_cases<F>(config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    for i in 0..u64::from(config.cases) {
+        let mut rng = TestRng::new(i);
+        if let Err(msg) = case(&mut rng) {
+            panic!("property failed on case {i}: {msg}");
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+
+    /// Mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests over random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            // The caller writes `#[test]` on each property (real
+            // proptest's convention), so it arrives via `$meta` —
+            // adding another here would double-register the test.
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(&($cfg), |__rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __rng);)+
+                    let __inputs = ::std::format!(
+                        ::std::concat!($(::std::stringify!($arg), " = {:?}, ",)+),
+                        $(&$arg),+
+                    );
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::std::result::Result<(), ::std::string::String> {
+                                $body
+                                Ok(())
+                            },
+                        ),
+                    );
+                    match __outcome {
+                        Ok(Ok(())) => Ok(()),
+                        Ok(Err(msg)) => Err(::std::format!("{msg}\n  inputs: {__inputs}")),
+                        Err(panic) => {
+                            let msg = panic
+                                .downcast_ref::<&str>()
+                                .map(|s| (*s).to_owned())
+                                .or_else(|| panic.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "panic".to_owned());
+                            Err(::std::format!("panicked: {msg}\n  inputs: {__inputs}"))
+                        }
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside `proptest!`, reporting inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(::std::format!("assertion failed: {}", ::std::stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($a), ::std::stringify!($b), __a, __b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+), __a, __b
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return Err(::std::format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                ::std::stringify!($a),
+                ::std::stringify!($b),
+                __a
+            ));
+        }
+    }};
+}

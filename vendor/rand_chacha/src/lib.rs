@@ -1,0 +1,174 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Implements the genuine ChaCha8 block function (IETF variant, 8
+//! rounds) as a keystream RNG. Streams are deterministic per seed but
+//! not bit-compatible with the real `rand_chacha` crate — nothing in
+//! this workspace depends on cross-crate bit compatibility, only on
+//! per-seed reproducibility.
+
+use rand::RngCore;
+
+/// Re-export module mirroring `rand_chacha::rand_core`.
+pub mod rand_core {
+    pub use rand::RngCore;
+
+    /// Seedable RNG construction.
+    pub trait SeedableRng: Sized {
+        /// Seed byte array.
+        type Seed;
+
+        /// Constructs from a full seed.
+        fn from_seed(seed: Self::Seed) -> Self;
+
+        /// Expands a `u64` into a full seed with SplitMix64 (the same
+        /// scheme real `rand_core` uses).
+        fn seed_from_u64(state: u64) -> Self;
+    }
+}
+
+const ROUNDS: usize = 8;
+
+/// ChaCha with 8 rounds, keyed from a 256-bit seed.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + counter + nonce state template (constants re-added per
+    /// block).
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 = exhausted.
+    index: usize,
+}
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        // "expand 32-byte k" constants.
+        let mut state: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let initial = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.buffer.iter_mut().zip(state.iter().zip(initial.iter())) {
+            *out = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+}
+
+impl rand_core::SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> ChaCha8Rng {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+
+    fn seed_from_u64(mut state: u64) -> ChaCha8Rng {
+        // SplitMix64 expansion.
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_exact_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        <ChaCha8Rng as rand_core::SeedableRng>::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_core::SeedableRng;
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(124);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..7 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..50 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn uniformity_sanity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,311 @@
+//! `Serialize`/`Deserialize` implementations for primitives and std
+//! containers.
+
+use crate::{Deserialize, Error, Map, Serialize, Value};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<$ty, Error> {
+                match v {
+                    Value::Num(n) => Ok(*n as $ty),
+                    other => Err(Error::ty(stringify!($ty), "number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f64, f32);
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<$ty, Error> {
+                // Reject fractional and out-of-range numbers instead
+                // of silently truncating through an `as` cast (values
+                // beyond 2^53 are limited by the f64-backed Value).
+                match v {
+                    Value::Num(n)
+                        if n.fract() == 0.0
+                            && *n >= <$ty>::MIN as f64
+                            && *n <= <$ty>::MAX as f64 =>
+                    {
+                        Ok(*n as $ty)
+                    }
+                    other => Err(Error::ty(stringify!($ty), "integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, Error> {
+        v.as_bool().ok_or_else(|| Error::ty("bool", "boolean", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::ty("String", "string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, Error> {
+        let s = v.as_str().ok_or_else(|| Error::ty("char", "string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], Error> {
+        let items = v.as_array().ok_or_else(|| Error::ty("array", "array", v))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Result<Vec<T>, Error> = items.iter().map(T::from_value).collect();
+        parsed?
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, Error> {
+        let items = v.as_array().ok_or_else(|| Error::ty("Vec", "array", v))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<VecDeque<T>, Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::ty("VecDeque", "array", v))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<(A, B), Error> {
+        let items = v.as_array().ok_or_else(|| Error::ty("tuple", "array", v))?;
+        if items.len() != 2 {
+            return Err(Error::custom("expected a 2-element array"));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<(A, B, C), Error> {
+        let items = v.as_array().ok_or_else(|| Error::ty("tuple", "array", v))?;
+        if items.len() != 3 {
+            return Err(Error::custom("expected a 3-element array"));
+        }
+        Ok((
+            A::from_value(&items[0])?,
+            B::from_value(&items[1])?,
+            C::from_value(&items[2])?,
+        ))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<String, V>, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::ty("BTreeMap", "object", v))?;
+        obj.iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output.
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<HashMap<String, V>, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::ty("HashMap", "object", v))?;
+        obj.iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(_: &Value) -> Result<(), Error> {
+        Ok(())
+    }
+}
+
+impl Serialize for Map {
+    fn to_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}

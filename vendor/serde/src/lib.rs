@@ -1,0 +1,97 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal, API-compatible subset of serde: a
+//! [`Serialize`]/[`Deserialize`] trait pair over an owned JSON-like
+//! [`Value`] tree, plus derive macros (`serde_derive`) covering the
+//! struct/enum shapes used in this repository (named structs with
+//! `#[serde(default)]`, tuple/newtype structs, and enums with unit,
+//! newtype, tuple, and struct variants).
+//!
+//! The data model is deliberately simple — everything serializes
+//! through [`Value`] — which keeps the shim small while preserving the
+//! call sites (`serde_json::to_string`, `from_str`, `json!`, …)
+//! unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+mod value;
+
+pub use value::{Map, Value};
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+
+    /// Type-mismatch error: `expected` for type `ty`, found `v`.
+    pub fn ty(ty: &str, expected: &str, v: &Value) -> Error {
+        Error(format!(
+            "invalid type for {ty}: expected {expected}, found {}",
+            v.kind()
+        ))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Resolves a field absent from the input: `Option` (and anything else
+/// that deserializes from `Null`) becomes its empty value, everything
+/// else reports a missing-field error. Used by derived `Deserialize`
+/// impls.
+pub fn missing_field<T: Deserialize>(ty: &str, field: &str) -> Result<T, Error> {
+    T::from_value(&Value::Null)
+        .map_err(|_| Error::custom(format!("missing field `{field}` while deserializing {ty}")))
+}
+
+/// Wraps an externally-tagged enum variant payload: `{"Variant": inner}`.
+/// Used by derived `Serialize` impls.
+pub fn variant(name: &str, inner: Value) -> Value {
+    let mut m = Map::new();
+    m.insert(name.to_owned(), inner);
+    Value::Object(m)
+}
+
+/// Unwraps an externally-tagged enum variant: a single-key object.
+/// Used by derived `Deserialize` impls.
+pub fn as_variant(v: &Value) -> Option<(&str, &Value)> {
+    match v {
+        Value::Object(m) if m.len() == 1 => m.iter().next().map(|(k, v)| (k.as_str(), v)),
+        _ => None,
+    }
+}
+
+/// Indexes into a serialized tuple-variant payload.
+/// Used by derived `Deserialize` impls.
+pub fn tuple_elem<'a>(ty: &str, v: &'a Value, i: usize) -> Result<&'a Value, Error> {
+    match v {
+        Value::Array(items) => items
+            .get(i)
+            .ok_or_else(|| Error::custom(format!("tuple index {i} out of range for {ty}"))),
+        other => Err(Error::ty(ty, "array", other)),
+    }
+}

@@ -1,0 +1,458 @@
+//! Derive macros for the offline serde stand-in.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input
+//! `TokenStream` is walked directly and the generated impl is built as
+//! a string, then re-parsed. Supports the shapes used in this
+//! workspace:
+//!
+//! * named-field structs, with `#[serde(default)]` on fields;
+//! * tuple structs (newtype structs serialize transparently);
+//! * unit structs;
+//! * enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, like real serde's default representation).
+//!
+//! Generics are not supported — no serialized type in this workspace
+//! needs them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => generate(&name, &shape, mode).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Splits attribute groups off the front of a token list, returning
+/// whether any was `#[serde(default)]`.
+fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while i + 1 < tokens.len() {
+        let (TokenTree::Punct(p), TokenTree::Group(g)) = (&tokens[i], &tokens[i + 1]) else {
+            break;
+        };
+        if p.as_char() != '#' || g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(a) = t {
+                            if a.to_string() == "default" {
+                                has_default = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    (i, has_default)
+}
+
+/// Skips a `pub` / `pub(...)` visibility prefix.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Counts top-level comma-separated items in a token group, respecting
+/// `<...>` nesting in types (groups are already atomic tokens).
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut any = false;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    fields += 1;
+                    any = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        any = true;
+    }
+    fields + usize::from(any)
+}
+
+/// Parses the named fields of a brace group.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, has_default) = take_attrs(&tokens, i);
+        i = skip_vis(&tokens, ni);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            return Err(format!(
+                "expected field name, found {:?}",
+                tokens[i].to_string()
+            ));
+        };
+        fields.push(Field {
+            name: name.to_string(),
+            has_default,
+        });
+        i += 1;
+        // Expect ':', then skip the type up to a top-level comma.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':', found {:?}", other.to_string())),
+        }
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, _) = take_attrs(&tokens, i);
+        i = ni;
+        let TokenTree::Ident(name) = &tokens[i] else {
+            return Err(format!(
+                "expected variant name, found {:?}",
+                tokens[i].to_string()
+            ));
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip an optional discriminant and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (i, _) = take_attrs(&tokens, 0);
+    let mut i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => {
+            return Err(format!(
+                "expected struct/enum, found {:?}",
+                other.to_string()
+            ))
+        }
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        return Err("expected type name".to_owned());
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generics (type {name})"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Named(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok((name, Shape::Tuple(count_tuple_fields(&inner))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::Unit)),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for {other}")),
+    }
+}
+
+fn generate(name: &str, shape: &Shape, mode: Mode) -> String {
+    match mode {
+        Mode::Serialize => gen_serialize(name, shape),
+        Mode::Deserialize => gen_deserialize(name, shape),
+    }
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(::std::string::String::from({n:?}), \
+                     ::serde::Serialize::to_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_owned(),
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in &variants[..] {
+                match &v.shape {
+                    VariantShape::Unit => s.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(1) => s.push_str(&format!(
+                        "{name}::{v}(__f0) => \
+                         ::serde::variant({v:?}, ::serde::Serialize::to_value(__f0)),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        s.push_str(&format!(
+                            "{name}::{v}({b}) => ::serde::variant({v:?}, \
+                             ::serde::Value::Array(::std::vec![{e}])),\n",
+                            v = v.name,
+                            b = binds.join(", "),
+                            e = elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from("let mut __m = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__m.insert(::std::string::String::from({n:?}), \
+                                 ::serde::Serialize::to_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(__m)");
+                        s.push_str(&format!(
+                            "{name}::{v} {{ {b} }} => ::serde::variant({v:?}, {{ {inner} }}),\n",
+                            v = v.name,
+                            b = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn named_field_init(ty: &str, fields: &[Field], source: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        let fallback = if f.has_default {
+            "::core::default::Default::default()".to_owned()
+        } else {
+            format!("::serde::missing_field({ty:?}, {n:?})?", n = f.name)
+        };
+        s.push_str(&format!(
+            "{n}: match {source}.get({n:?}) {{\n\
+             Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+             None => {fallback},\n}},\n",
+            n = f.name
+        ));
+    }
+    s
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            format!(
+                "let __obj = __v.as_object()\
+                 .ok_or_else(|| ::serde::Error::ty({name:?}, \"object\", __v))?;\n\
+                 ::core::result::Result::Ok({name} {{\n{init}}})",
+                init = named_field_init(name, fields, "__obj")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(\
+                         ::serde::tuple_elem({name:?}, __v, {i})?)?"
+                    )
+                })
+                .collect();
+            format!("::core::result::Result::Ok({name}({}))", elems.join(", "))
+        }
+        Shape::Unit => format!("::core::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut s = String::from("if let ::serde::Value::Str(__s) = __v {\n");
+            s.push_str("match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.shape, VariantShape::Unit) {
+                    s.push_str(&format!(
+                        "{v:?} => return ::core::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            s.push_str("_ => {}\n}\n}\n");
+            s.push_str("if let Some((__k, __inner)) = ::serde::as_variant(__v) {\n");
+            s.push_str("match __k {\n");
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => {}
+                    VariantShape::Tuple(1) => s.push_str(&format!(
+                        "{v:?} => return ::core::result::Result::Ok(\
+                         {name}::{v}(::serde::Deserialize::from_value(__inner)?)),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(\
+                                     ::serde::tuple_elem({name:?}, __inner, {i})?)?"
+                                )
+                            })
+                            .collect();
+                        s.push_str(&format!(
+                            "{v:?} => return ::core::result::Result::Ok(\
+                             {name}::{v}({e})),\n",
+                            v = v.name,
+                            e = elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        s.push_str(&format!(
+                            "{v:?} => {{\n\
+                             let __obj = __inner.as_object()\
+                             .ok_or_else(|| ::serde::Error::ty({name:?}, \"object\", __inner))?;\n\
+                             return ::core::result::Result::Ok({name}::{v} {{\n{init}}});\n}},\n",
+                            v = v.name,
+                            init = named_field_init(name, fields, "__obj")
+                        ));
+                    }
+                }
+            }
+            s.push_str("_ => {}\n}\n}\n");
+            s.push_str(&format!(
+                "::core::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant for {name}: {{:?}}\", __v)))"
+            ));
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::core::result::Result<{name}, ::serde::Error> {{\n{body}\n}}\n}}"
+    )
+}

@@ -1,0 +1,187 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serializes the serde shim's [`Value`] tree to JSON text and parses
+//! JSON text back. Covers the API surface used in this workspace:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`to_value`],
+//! [`Value`], and the [`json!`] macro.
+
+pub use serde::{Error, Map, Value};
+
+mod parse;
+mod write;
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::write(&value.to_value(), None))
+}
+
+/// Serializes to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::write(&value.to_value(), Some(0)))
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    T::from_value(&value)
+}
+
+/// Builds a [`Value`] with JSON-literal syntax, interpolating Rust
+/// expressions in value position.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- array elements: @array [built elements] remaining tokens ----
+    (@array [$($elems:expr,)*]) => {
+        ::std::vec![$($elems,)*]
+    };
+    (@array [$($elems:expr,)*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Null,] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($arr)*]),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($obj:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($obj)*}),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::to_value(&$next),] , $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::to_value(&$last),])
+    };
+
+    // ---- object members: @object map (remaining tokens) ----
+    (@object $m:ident ()) => {};
+    (@object $m:ident (, $($rest:tt)*)) => {
+        $crate::json_internal!(@object $m ($($rest)*));
+    };
+    (@object $m:ident ($key:literal : null $($rest:tt)*)) => {
+        $m.insert(::std::string::String::from($key), $crate::Value::Null);
+        $crate::json_internal!(@object $m ($($rest)*));
+    };
+    (@object $m:ident ($key:literal : [$($arr:tt)*] $($rest:tt)*)) => {
+        $m.insert(::std::string::String::from($key), $crate::json_internal!([$($arr)*]));
+        $crate::json_internal!(@object $m ($($rest)*));
+    };
+    (@object $m:ident ($key:literal : {$($obj:tt)*} $($rest:tt)*)) => {
+        $m.insert(::std::string::String::from($key), $crate::json_internal!({$($obj)*}));
+        $crate::json_internal!(@object $m ($($rest)*));
+    };
+    (@object $m:ident ($key:literal : $value:expr , $($rest:tt)*)) => {
+        $m.insert(::std::string::String::from($key), $crate::to_value(&$value));
+        $crate::json_internal!(@object $m (, $($rest)*));
+    };
+    (@object $m:ident ($key:literal : $value:expr)) => {
+        $m.insert(::std::string::String::from($key), $crate::to_value(&$value));
+    };
+
+    // ---- entry points ----
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut __object = $crate::Map::new();
+        $crate::json_internal!(@object __object ($($tt)+));
+        $crate::Value::Object(__object)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "rows": [
+                {"name": "a", "f1": 0.5, "ok": true},
+                {"name": "b", "f1": 1.0, "ok": false},
+            ],
+            "count": 2,
+            "none": null,
+        });
+        assert_eq!(v.get("count").and_then(Value::as_u64), Some(2));
+        let rows = v.get("rows").and_then(Value::as_array).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("f1").and_then(Value::as_f64), Some(0.5));
+        assert!(v.get("none").unwrap().is_null());
+    }
+
+    #[test]
+    fn roundtrip_via_text() {
+        let v = json!({"a": [1, 2.5, "x"], "b": {"nested": true}});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back2);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+    }
+
+    #[test]
+    fn malformed_surrogate_escapes_are_errors_not_panics() {
+        // High surrogate followed by a non-low-surrogate escape.
+        assert!(from_str::<String>("\"\\ud83d\\u0041\"").is_err());
+        // Unpaired low surrogate.
+        assert!(from_str::<String>("\"\\udc00\"").is_err());
+        // High surrogate followed by a plain character.
+        assert!(from_str::<String>("\"\\ud83dx\"").is_err());
+        // A valid pair still decodes.
+        assert_eq!(
+            from_str::<String>("\"\\ud83d\\ude00\"").unwrap(),
+            "\u{1F600}"
+        );
+    }
+
+    #[test]
+    fn integer_deserialization_rejects_fractional_and_out_of_range() {
+        assert!(from_str::<u32>("-1").is_err());
+        assert!(from_str::<u32>("3.7").is_err());
+        assert!(from_str::<i8>("200").is_err());
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("3.7").unwrap(), 3.7);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = json!({"s": "line\nbreak \"quoted\" \\ tab\t unicode \u{1F600}"});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn integers_print_without_decimal_point() {
+        assert_eq!(to_string(&json!({"n": 8})).unwrap(), "{\"n\":8}");
+        assert_eq!(to_string(&json!({"x": 2.5})).unwrap(), "{\"x\":2.5}");
+    }
+}

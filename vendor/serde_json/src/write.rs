@@ -1,0 +1,98 @@
+//! JSON text output (compact and pretty).
+
+use serde::Value;
+use std::fmt::Write as _;
+
+/// Renders a value; `indent` of `Some(level)` pretty-prints with
+/// two-space indentation, `None` is compact.
+pub fn write(v: &Value, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    emit(v, indent, &mut out);
+    out
+}
+
+fn emit(v: &Value, indent: Option<usize>, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => emit_number(*n, out),
+        Value::Str(s) => emit_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(indent.map(|l| l + 1), out);
+                emit(item, indent.map(|l| l + 1), out);
+            }
+            newline(indent, out);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(indent.map(|l| l + 1), out);
+                emit_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                emit(item, indent.map(|l| l + 1), out);
+            }
+            newline(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline(indent: Option<usize>, out: &mut String) {
+    if let Some(level) = indent {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn emit_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // Real serde_json rejects these; emitting null keeps output valid.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

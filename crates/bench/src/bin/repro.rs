@@ -40,7 +40,7 @@ use aps_bench::opts::ExpOpts;
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let Some(which) = args.first().cloned() else {
         eprintln!("usage: repro <experiment> [flags]   (see --help)");
         std::process::exit(2);
@@ -48,6 +48,22 @@ fn main() {
     if which == "--help" || which == "-h" || which == "help" {
         print!("{}", HELP);
         return;
+    }
+    // `--guard <baseline.json>` is a bench-campaign-only flag: compare
+    // the fresh speedup against a committed report and fail the
+    // process below 80% of it (the CI perf-regression guard).
+    let guard_baseline = args.iter().position(|a| a == "--guard").map(|pos| {
+        if pos + 1 >= args.len() {
+            eprintln!("error: missing value for --guard");
+            std::process::exit(2);
+        }
+        let path = args.remove(pos + 1);
+        args.remove(pos);
+        path
+    });
+    if guard_baseline.is_some() && which != "bench-campaign" {
+        eprintln!("error: --guard only applies to bench-campaign");
+        std::process::exit(2);
     }
     let opts = match ExpOpts::parse(&args[1..]) {
         Ok(o) => o,
@@ -80,7 +96,14 @@ fn main() {
             // Perf baseline, not a paper experiment: measures quick-
             // campaign throughput (seed-faithful hot path vs current)
             // and records BENCH_campaign.json for the perf trajectory.
-            aps_bench::perf::bench_campaign(5, "BENCH_campaign.json");
+            match &guard_baseline {
+                Some(path) => {
+                    aps_bench::perf::bench_campaign_guarded(5, "BENCH_campaign.json", path)
+                }
+                None => {
+                    aps_bench::perf::bench_campaign(5, "BENCH_campaign.json");
+                }
+            }
         }
         other => {
             eprintln!("unknown experiment `{other}` (see --help)");
@@ -125,6 +148,8 @@ experiments:
 perf:
   bench-campaign             quick-campaign throughput baseline; writes
                              BENCH_campaign.json (seed-faithful vs current)
+  bench-campaign --guard F   also compare against the committed report F
+                             and exit non-zero below 80% of its speedup
 
 flags:
   --quick | --full           workload presets

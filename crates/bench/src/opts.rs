@@ -105,6 +105,7 @@ impl ExpOpts {
             steps: self.steps,
             mitigate: false,
             context_mitigate: false,
+            extended_faults: false,
             cgm: CgmConfig::default(),
         }
     }

@@ -166,6 +166,68 @@ pub fn bench_campaign(reps: usize, out_path: &str) -> CampaignBenchReport {
     report
 }
 
+/// Fraction of the committed speedup a fresh measurement must retain
+/// for the CI perf-regression guard to pass.
+pub const GUARD_MIN_FRACTION: f64 = 0.8;
+
+/// Perf-regression guard: compares a freshly measured report against
+/// the committed baseline report and returns `Err` when the fresh
+/// speedup fell below `min_fraction` of the committed one (CI uses
+/// [`GUARD_MIN_FRACTION`]). The speedup *ratio* is machine-portable —
+/// both sides of it are measured on the same host in the same process
+/// — which is what makes this guard meaningful on arbitrary CI
+/// hardware where absolute wall times are not.
+pub fn check_speedup_guard(
+    fresh: &CampaignBenchReport,
+    committed: &CampaignBenchReport,
+    min_fraction: f64,
+) -> Result<(), String> {
+    let floor = committed.speedup * min_fraction;
+    if !fresh.speedup.is_finite() || fresh.speedup < floor {
+        return Err(format!(
+            "campaign speedup regressed: fresh {:.2}x < {:.2}x \
+             ({}% of the committed {:.2}x)",
+            fresh.speedup,
+            floor,
+            (min_fraction * 100.0).round(),
+            committed.speedup,
+        ));
+    }
+    Ok(())
+}
+
+/// Runs [`bench_campaign`] and enforces [`check_speedup_guard`]
+/// against the report committed at `baseline_path`. Exits the process
+/// with a failure code on regression — this is the CI entry point.
+pub fn bench_campaign_guarded(reps: usize, out_path: &str, baseline_path: &str) {
+    let committed: CampaignBenchReport = match std::fs::read_to_string(baseline_path) {
+        Ok(json) => match serde_json::from_str(&json) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: cannot parse baseline {baseline_path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let fresh = bench_campaign(reps, out_path);
+    match check_speedup_guard(&fresh, &committed, GUARD_MIN_FRACTION) {
+        Ok(()) => println!(
+            "perf guard ok: {:.2}x >= {}% of committed {:.2}x",
+            fresh.speedup,
+            (GUARD_MIN_FRACTION * 100.0).round(),
+            committed.speedup
+        ),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Faithful reconstruction of the seed's simulation hot path, kept as
 /// the pre-optimization baseline. Everything here intentionally
 /// mirrors the seed commit: do not "fix" it.
@@ -699,6 +761,29 @@ mod tests {
             opt.step(rate, 5.0);
             assert_eq!(seed.bg(), opt.bg(), "diverged at cycle {i}");
         }
+    }
+
+    #[test]
+    fn speedup_guard_thresholds() {
+        let t = Throughput::from_secs(1.0, 62, 150);
+        let report = |speedup: f64| CampaignBenchReport {
+            campaign: "quick".to_owned(),
+            runs: 62,
+            steps_per_run: 150,
+            workers: 1,
+            reps: 1,
+            baseline: t.clone(),
+            optimized: t.clone(),
+            speedup,
+        };
+        let committed = report(3.4);
+        assert!(check_speedup_guard(&report(3.4), &committed, 0.8).is_ok());
+        assert!(check_speedup_guard(&report(2.8), &committed, 0.8).is_ok());
+        // Below 80% of the committed value: regression.
+        assert!(check_speedup_guard(&report(2.6), &committed, 0.8).is_err());
+        assert!(check_speedup_guard(&report(f64::NAN), &committed, 0.8).is_err());
+        // A faster run always passes.
+        assert!(check_speedup_guard(&report(5.0), &committed, 0.8).is_ok());
     }
 
     #[test]

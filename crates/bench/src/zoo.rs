@@ -5,7 +5,7 @@ use crate::opts::ExpOpts;
 use aps_core::learning::{learn_thresholds, traces_for_patient, LearnConfig};
 use aps_core::monitors::{
     CawMonitor, GuidelineConfig, GuidelineMonitor, HazardMonitor, LstmMonitor, MlMonitor,
-    MpcMonitor,
+    MpcMonitor, RiskIndexMonitor,
 };
 use aps_core::scs::Scs;
 use aps_ml::data::{Dataset, StandardScaler};
@@ -40,6 +40,9 @@ pub enum MonitorKind {
     DtMulti,
     /// MLP retrained as 3-class (§VI ablation).
     MlpMulti,
+    /// Streaming BG-risk-index ground truth (alerts at hazard onset;
+    /// the reaction-time floor every predictive monitor should beat).
+    RiskIndex,
 }
 
 impl MonitorKind {
@@ -56,6 +59,7 @@ impl MonitorKind {
             MonitorKind::Lstm => "LSTM",
             MonitorKind::DtMulti => "DT-3c",
             MonitorKind::MlpMulti => "MLP-3c",
+            MonitorKind::RiskIndex => "RiskIdx",
         }
     }
 
@@ -63,7 +67,7 @@ impl MonitorKind {
     pub fn needs_training(&self) -> bool {
         !matches!(
             self,
-            MonitorKind::Guideline | MonitorKind::Mpc | MonitorKind::Cawot
+            MonitorKind::Guideline | MonitorKind::Mpc | MonitorKind::Cawot | MonitorKind::RiskIndex
         )
     }
 }
@@ -355,6 +359,7 @@ impl Zoo {
                 basal,
                 target,
             )),
+            MonitorKind::RiskIndex => Box::new(RiskIndexMonitor::default()),
             MonitorKind::Lstm => Box::new(LstmMonitor::binary(
                 "lstm",
                 Box::new(ml().lstm.clone()),
@@ -394,6 +399,7 @@ mod tests {
             MonitorKind::Lstm,
             MonitorKind::DtMulti,
             MonitorKind::MlpMulti,
+            MonitorKind::RiskIndex,
         ];
         for kind in kinds {
             let mut m = zoo.make(kind, "glucosym/patientA");

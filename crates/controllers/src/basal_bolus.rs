@@ -12,10 +12,11 @@ use crate::{Controller, StateVar};
 use aps_glucose::iob::{IobCurve, IobEstimator};
 use aps_types::{MgDl, Step, Units, UnitsPerHour, CONTROL_CYCLE_MINUTES};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Tunable profile of the basal–bolus controller.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Copy`: nine scalars, copied by value in the decision hot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BasalBolusProfile {
     /// Scheduled basal rate (U/h).
     pub basal: f64,
@@ -60,10 +61,15 @@ pub struct BasalBolusController {
     profile: BasalBolusProfile,
     estimator: IobEstimator,
     prev_rate: UnitsPerHour,
-    prev_bg: Option<f64>,
     pending_bolus: f64,
-    overrides: HashMap<&'static str, f64>,
-    last_vars: HashMap<&'static str, f64>,
+    /// Values the FI engine forces for the next decision cycle,
+    /// indexed by [`var_slot`]. Fixed arrays instead of `HashMap`s:
+    /// the decision loop touches every variable every cycle, and the
+    /// per-cycle SipHash lookups were measurable campaign overhead
+    /// (same rework as the oref0 controller).
+    overrides: [Option<f64>; N_VARS],
+    /// Last cycle's observable internal values (FI read surface).
+    last_vars: [Option<f64>; N_VARS],
 }
 
 const VAR_GLUCOSE: &str = "glucose";
@@ -71,6 +77,21 @@ const VAR_IOB: &str = "iob";
 const VAR_RATE: &str = "rate";
 const VAR_TARGET: &str = "target_bg";
 const VAR_CF: &str = "correction_factor";
+
+/// Number of observable/overridable controller variables.
+const N_VARS: usize = 5;
+
+/// Slot index of a controller variable name.
+fn var_slot(name: &str) -> Option<usize> {
+    match name {
+        "glucose" => Some(0),
+        "iob" => Some(1),
+        "rate" => Some(2),
+        "target_bg" => Some(3),
+        "correction_factor" => Some(4),
+        _ => None,
+    }
+}
 
 impl BasalBolusController {
     /// Creates a controller with the given profile at basal equilibrium.
@@ -84,10 +105,9 @@ impl BasalBolusController {
             profile,
             estimator,
             prev_rate,
-            prev_bg: None,
             pending_bolus: 0.0,
-            overrides: HashMap::new(),
-            last_vars: HashMap::new(),
+            overrides: [None; N_VARS],
+            last_vars: [None; N_VARS],
         }
     }
 
@@ -96,8 +116,14 @@ impl BasalBolusController {
         &self.profile
     }
 
+    /// Announced-meal insulin not yet delivered (U).
+    pub fn pending_bolus(&self) -> f64 {
+        self.pending_bolus
+    }
+
     fn take_override(&mut self, var: &'static str, fallback: f64) -> f64 {
-        self.overrides.remove(var).unwrap_or(fallback)
+        let slot = var_slot(var).expect("known variable");
+        self.overrides[slot].take().unwrap_or(fallback)
     }
 }
 
@@ -107,13 +133,14 @@ impl Controller for BasalBolusController {
     }
 
     fn decide(&mut self, _step: Step, bg: MgDl) -> UnitsPerHour {
-        let p = self.profile.clone();
+        let p = self.profile;
         let glucose = self.take_override(VAR_GLUCOSE, bg.value());
         let iob = self.take_override(VAR_IOB, self.estimator.iob().value());
         let target = self.take_override(VAR_TARGET, p.target_bg);
         let cf = self.take_override(VAR_CF, p.correction_factor).max(1.0);
 
-        let mut rate = if glucose < p.suspend_bg {
+        let suspended = glucose < p.suspend_bg;
+        let mut rate = if suspended {
             0.0
         } else if glucose > target + p.correction_band && iob < p.max_iob {
             // Correction dose spread over the configured window, net of
@@ -126,8 +153,12 @@ impl Controller for BasalBolusController {
         rate = rate.clamp(0.0, p.max_rate);
 
         // Deliver any announced-meal bolus as fast as the rate ceiling
-        // allows (a pump bolus is a short burst of rate).
-        if self.pending_bolus > 1e-9 {
+        // allows (a pump bolus is a short burst of rate) — but never
+        // while suspended for hypoglycemia: a prandial dose on top of a
+        // low-glucose suspend would infuse at up to `max_rate` exactly
+        // when insulin is most dangerous. The bolus stays pending until
+        // glucose clears the suspend threshold.
+        if !suspended && self.pending_bolus > 1e-9 {
             let headroom = (p.max_rate - rate).max(0.0);
             let add = headroom.min(self.pending_bolus * 60.0 / CONTROL_CYCLE_MINUTES);
             rate += add;
@@ -137,12 +168,13 @@ impl Controller for BasalBolusController {
         let rate = self.take_override(VAR_RATE, rate);
         let rate = UnitsPerHour(rate.clamp(0.0, p.max_rate));
 
-        self.last_vars.insert(VAR_GLUCOSE, glucose);
-        self.last_vars.insert(VAR_IOB, iob);
-        self.last_vars.insert(VAR_RATE, rate.value());
-        self.last_vars.insert(VAR_TARGET, target);
-        self.last_vars.insert(VAR_CF, cf);
-        self.prev_bg = Some(glucose);
+        self.last_vars = [
+            Some(glucose),
+            Some(iob),
+            Some(rate.value()),
+            Some(target),
+            Some(cf),
+        ];
         self.prev_rate = rate;
         rate
     }
@@ -169,10 +201,9 @@ impl Controller for BasalBolusController {
         self.estimator
             .prefill_basal(UnitsPerHour(self.profile.basal));
         self.prev_rate = UnitsPerHour(self.profile.basal);
-        self.prev_bg = None;
         self.pending_bolus = 0.0;
-        self.overrides.clear();
-        self.last_vars.clear();
+        self.overrides = [None; N_VARS];
+        self.last_vars = [None; N_VARS];
     }
 
     fn observe_delivery(&mut self, delivered: UnitsPerHour) {
@@ -211,14 +242,13 @@ impl Controller for BasalBolusController {
     }
 
     fn get_state(&self, var: &str) -> Option<f64> {
-        self.last_vars.get(var).copied()
+        var_slot(var).and_then(|slot| self.last_vars[slot])
     }
 
     fn set_state(&mut self, var: &str, value: f64) -> bool {
-        let known = self.state_vars().into_iter().find(|v| v.name == var);
-        match known {
-            Some(v) => {
-                self.overrides.insert(v.name, value);
+        match var_slot(var) {
+            Some(slot) => {
+                self.overrides[slot] = Some(value);
                 true
             }
             None => false,
@@ -313,5 +343,44 @@ mod tests {
         c.set_state("glucose", 400.0);
         let rate = run_cycle(&mut c, 0, 120.0);
         assert!(rate.value() <= c.profile().max_rate);
+    }
+
+    #[test]
+    fn suspend_blocks_pending_bolus() {
+        // Regression: the seed delivered announced-meal boluses at up
+        // to max_rate *while suspended for hypoglycemia* — the pending
+        // headroom was added after the suspend branch zeroed the rate.
+        let mut c = ctl();
+        c.announce_meal(30.0); // 3 U pending at the default carb ratio
+        let pending_before = c.pending_bolus();
+        assert!(pending_before > 2.9);
+
+        // BG below suspend_bg: no insulin at all, bolus stays pending.
+        let rate = run_cycle(&mut c, 0, 70.0);
+        assert_eq!(rate, UnitsPerHour(0.0), "bolus infused while suspended");
+        assert_eq!(c.pending_bolus(), pending_before, "pending bolus consumed");
+
+        // Glucose recovers above the threshold: the withheld bolus is
+        // delivered now, as fast as the rate ceiling allows.
+        let rate = run_cycle(&mut c, 1, 130.0);
+        assert_eq!(rate, UnitsPerHour(c.profile().max_rate));
+        assert!(c.pending_bolus() < pending_before);
+    }
+
+    #[test]
+    fn pending_bolus_drains_across_cycles() {
+        let mut c = ctl();
+        c.announce_meal(20.0); // 2 U pending
+        let mut delivered_above_basal = 0.0;
+        for s in 0..12 {
+            let rate = run_cycle(&mut c, s, 120.0);
+            delivered_above_basal +=
+                (rate.value() - c.profile().basal) * CONTROL_CYCLE_MINUTES / 60.0;
+        }
+        assert!(c.pending_bolus() < 1e-9, "bolus never fully delivered");
+        assert!(
+            (delivered_above_basal - 2.0).abs() < 1e-9,
+            "prandial insulin delivered {delivered_above_basal} U, announced 2 U"
+        );
     }
 }

@@ -1,8 +1,9 @@
 //! Run-time hazard-prediction monitors.
 //!
-//! All monitors — the proposed [`CawMonitor`] (CAWT/CAWOT) and the
+//! All monitors — the proposed [`CawMonitor`] (CAWT/CAWOT), the
 //! baselines ([`GuidelineMonitor`], [`MpcMonitor`], [`MlMonitor`],
-//! [`LstmMonitor`]) — implement [`HazardMonitor`]: one `check` per
+//! [`LstmMonitor`]), and the streaming ground-truth
+//! [`RiskIndexMonitor`] — implement [`HazardMonitor`]: one `check` per
 //! control cycle over the controller's I/O interface, plus an
 //! `observe_delivery` callback so the monitor's own context tracks what
 //! actually reached the pump.
@@ -11,12 +12,14 @@ pub(crate) mod caw;
 mod guideline;
 mod ml;
 mod mpc;
+mod risk;
 mod stl_caw;
 
 pub use caw::{CawMonitor, SafeRegion};
 pub use guideline::{GuidelineConfig, GuidelineMonitor};
 pub use ml::{LstmMonitor, MlFeatures, MlMonitor};
 pub use mpc::{MpcConfig, MpcMonitor};
+pub use risk::RiskIndexMonitor;
 pub use stl_caw::StlCawMonitor;
 
 use aps_types::{Hazard, MgDl, Step, UnitsPerHour};

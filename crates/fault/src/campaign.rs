@@ -11,7 +11,7 @@ use aps_types::Step;
 use serde::{Deserialize, Serialize};
 
 /// A variable that scenarios may target, with its legitimate range and
-/// a characteristic offset magnitude for `Add`/`Sub` faults.
+/// the parameter magnitudes its scenarios sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InjectionTarget {
     /// Controller state-variable name.
@@ -20,16 +20,49 @@ pub struct InjectionTarget {
     pub offsets: Vec<f64>,
     /// Mantissa/exponent bits used for `BitFlip` scenarios.
     pub bits: Vec<u8>,
+    /// Gain factors for `Scale` scenarios (empty = none).
+    #[serde(default)]
+    pub scales: Vec<f64>,
+    /// Per-cycle slopes for `Drift` scenarios (empty = none).
+    #[serde(default)]
+    pub drifts: Vec<f64>,
+    /// Jitter half-widths for `Noise` scenarios (empty = none).
+    #[serde(default)]
+    pub noise_amps: Vec<f64>,
+    /// `(period, duty)` patterns for `Intermittent` scenarios
+    /// (empty = none).
+    #[serde(default)]
+    pub intermittents: Vec<(u32, u32)>,
 }
 
 impl InjectionTarget {
     /// A target with sensible default offsets scaled to `span`
-    /// (the width of the variable's legitimate range).
+    /// (the width of the variable's legitimate range). Covers the
+    /// paper's original kind alphabet only; see
+    /// [`with_span_extended`](InjectionTarget::with_span_extended).
     pub fn with_span(name: &str, span: f64) -> InjectionTarget {
         InjectionTarget {
             name: name.to_owned(),
             offsets: vec![span * 0.25, span * 0.5],
             bits: vec![51, 62],
+            scales: Vec::new(),
+            drifts: Vec::new(),
+            noise_amps: Vec::new(),
+            intermittents: Vec::new(),
+        }
+    }
+
+    /// [`with_span`](InjectionTarget::with_span) plus the extended
+    /// kind alphabet: under/over-reading gain errors, a slow drift
+    /// that crosses a quarter of the range over a 36-cycle fault,
+    /// ±10 %-of-range jitter, and a 50 %-duty flapping dropout.
+    pub fn with_span_extended(name: &str, span: f64) -> InjectionTarget {
+        InjectionTarget {
+            scales: vec![0.5, 1.5],
+            drifts: vec![span / 144.0],
+            noise_amps: vec![span * 0.1],
+            intermittents: vec![(6, 3)],
+            ..InjectionTarget::with_span(name, span)
         }
     }
 }
@@ -76,6 +109,21 @@ pub fn campaign_grid(targets: &[InjectionTarget], config: &CampaignConfig) -> Ve
         for &d in &target.offsets {
             kinds.push(FaultKind::Add(d));
             kinds.push(FaultKind::Sub(d));
+        }
+        for &g in &target.scales {
+            kinds.push(FaultKind::Scale(g));
+        }
+        for &per_step in &target.drifts {
+            kinds.push(FaultKind::Drift { per_step });
+            kinds.push(FaultKind::Drift {
+                per_step: -per_step,
+            });
+        }
+        for &amplitude in &target.noise_amps {
+            kinds.push(FaultKind::Noise { amplitude });
+        }
+        for &(period, duty) in &target.intermittents {
+            kinds.push(FaultKind::Intermittent { period, duty });
         }
         for &b in &target.bits {
             kinds.push(FaultKind::BitFlip(b));
@@ -142,5 +190,45 @@ mod tests {
             assert!(s.start.0 < 150, "{}", s.name());
             assert!(s.duration > 0);
         }
+    }
+
+    #[test]
+    fn extended_targets_widen_the_kind_alphabet() {
+        let extended = vec![InjectionTarget::with_span_extended("glucose", 360.0)];
+        let grid = campaign_grid(&extended, &CampaignConfig::quick());
+        // 10 original kinds + 2 scales + 2 drifts (±) + 1 noise + 1
+        // intermittent = 16 kinds x 1 time combo.
+        assert_eq!(grid.len(), 16);
+        let names: std::collections::HashSet<String> = grid.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), grid.len(), "extended names collide");
+        for kind in [
+            FaultKind::Scale(0.5),
+            FaultKind::Scale(1.5),
+            FaultKind::Drift { per_step: 2.5 },
+            FaultKind::Drift { per_step: -2.5 },
+            FaultKind::Noise { amplitude: 36.0 },
+            FaultKind::Intermittent { period: 6, duty: 3 },
+        ] {
+            assert!(
+                grid.iter().any(|s| s.kind == kind),
+                "missing {} from the extended grid",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn plain_targets_keep_the_seed_grid() {
+        // The extended parameters default to empty, so pre-existing
+        // campaigns (and their committed sizes) are unchanged.
+        let t = InjectionTarget::with_span("rate", 4.0);
+        assert!(t.scales.is_empty() && t.drifts.is_empty());
+        assert!(t.noise_amps.is_empty() && t.intermittents.is_empty());
+        // And a serialized seed-era target (no extended fields)
+        // still deserializes.
+        let json = r#"{"name":"rate","offsets":[1.0],"bits":[51]}"#;
+        let back: InjectionTarget = serde_json::from_str(json).unwrap();
+        assert_eq!(back.name, "rate");
+        assert!(back.intermittents.is_empty());
     }
 }

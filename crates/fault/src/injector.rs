@@ -73,7 +73,8 @@ impl FaultInjector {
             FaultKind::Hold => *self.held.get_or_insert(value),
             _ => value,
         };
-        self.scenario.kind.apply(value, min, max, held)
+        let elapsed = step.saturating_since(self.scenario.start);
+        self.scenario.kind.apply(value, min, max, held, elapsed)
     }
 
     /// Resets activation bookkeeping for a fresh run.

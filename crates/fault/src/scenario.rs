@@ -19,29 +19,122 @@ pub enum FaultKind {
     Add(f64),
     /// Subtract a constant offset.
     Sub(f64),
+    /// Multiply by a constant gain (sensor scale / calibration error).
+    Scale(f64),
+    /// Linear sensor drift: the perturbation grows by `per_step` every
+    /// active cycle (`value + per_step · cycles-since-activation`).
+    Drift {
+        /// Offset added per active cycle.
+        per_step: f64,
+    },
+    /// Deterministic, seed-free jitter in `value ± amplitude` (a hash
+    /// of the cycles-since-activation — identical on every run, so
+    /// campaigns and replays stay reproducible).
+    Noise {
+        /// Half-width of the jitter band.
+        amplitude: f64,
+    },
+    /// Flapping availability fault: within each `period`-cycle window
+    /// the first `duty` cycles force a hard zero (like
+    /// [`Truncate`](FaultKind::Truncate)); the rest pass the value
+    /// through untouched.
+    Intermittent {
+        /// Cycle length of one on/off pattern repetition.
+        period: u32,
+        /// Leading cycles of each period that are forced to zero.
+        duty: u32,
+    },
     /// Flip one bit of the IEEE-754 representation (result clamped to
     /// the variable's legitimate range).
     BitFlip(u8),
 }
 
+/// Deterministic jitter in `[-1, 1]` for [`FaultKind::Noise`]
+/// (SplitMix64 finalizer over the active-cycle index).
+fn unit_jitter(elapsed: u32) -> f64 {
+    let mut z = u64::from(elapsed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0
+}
+
 impl FaultKind {
     /// Short, stable name used in scenario identifiers and reports.
+    ///
+    /// Numeric parameters render with Rust's shortest round-trip float
+    /// formatting and *no* forced sign — `Add(30.0)` is `add30`,
+    /// `Add(-30.0)` is `add-30`, `Sub(30.0)` is `sub30`. (The seed
+    /// used `{:+.0}`, which rendered `Sub(30.0)` as the bewildering
+    /// `sub+30`.) [`FaultKind::from_label`] parses these back.
     pub fn label(&self) -> String {
         match self {
             FaultKind::Truncate => "truncate".to_owned(),
             FaultKind::Hold => "hold".to_owned(),
             FaultKind::Max => "max".to_owned(),
             FaultKind::Min => "min".to_owned(),
-            FaultKind::Add(d) => format!("add{d:+.0}"),
-            FaultKind::Sub(d) => format!("sub{d:+.0}"),
+            FaultKind::Add(d) => format!("add{d}"),
+            FaultKind::Sub(d) => format!("sub{d}"),
+            FaultKind::Scale(g) => format!("scale{g}"),
+            FaultKind::Drift { per_step } => format!("drift{per_step}"),
+            FaultKind::Noise { amplitude } => format!("noise{amplitude}"),
+            FaultKind::Intermittent { period, duty } => format!("int{period}d{duty}"),
             FaultKind::BitFlip(b) => format!("bitflip{b}"),
         }
     }
 
+    /// Parses a [`label`](FaultKind::label) back into the kind it came
+    /// from (labels round-trip exactly).
+    pub fn from_label(label: &str) -> Option<FaultKind> {
+        match label {
+            "truncate" => return Some(FaultKind::Truncate),
+            "hold" => return Some(FaultKind::Hold),
+            "max" => return Some(FaultKind::Max),
+            "min" => return Some(FaultKind::Min),
+            _ => {}
+        }
+        if let Some(rest) = label.strip_prefix("bitflip") {
+            return rest.parse().ok().map(FaultKind::BitFlip);
+        }
+        if let Some(rest) = label.strip_prefix("int") {
+            let (period, duty) = rest.split_once('d')?;
+            return Some(FaultKind::Intermittent {
+                period: period.parse().ok()?,
+                duty: duty.parse().ok()?,
+            });
+        }
+        if let Some(rest) = label.strip_prefix("add") {
+            return rest.parse().ok().map(FaultKind::Add);
+        }
+        if let Some(rest) = label.strip_prefix("sub") {
+            return rest.parse().ok().map(FaultKind::Sub);
+        }
+        if let Some(rest) = label.strip_prefix("scale") {
+            return rest.parse().ok().map(FaultKind::Scale);
+        }
+        if let Some(rest) = label.strip_prefix("drift") {
+            return rest
+                .parse()
+                .ok()
+                .map(|per_step| FaultKind::Drift { per_step });
+        }
+        if let Some(rest) = label.strip_prefix("noise") {
+            return rest
+                .parse()
+                .ok()
+                .map(|amplitude| FaultKind::Noise { amplitude });
+        }
+        None
+    }
+
     /// Applies the perturbation to `value`, given the variable's
-    /// legitimate `[min, max]` range and the value captured at fault
-    /// activation (`held`, used by [`FaultKind::Hold`]).
-    pub fn apply(&self, value: f64, min: f64, max: f64, held: f64) -> f64 {
+    /// legitimate `[min, max]` range, the value captured at fault
+    /// activation (`held`, used by [`FaultKind::Hold`]), and the
+    /// number of cycles the fault has been active (`elapsed`, 0 on the
+    /// activation cycle — drives [`Drift`](FaultKind::Drift),
+    /// [`Noise`](FaultKind::Noise), and
+    /// [`Intermittent`](FaultKind::Intermittent)).
+    pub fn apply(&self, value: f64, min: f64, max: f64, held: f64, elapsed: u32) -> f64 {
         let out = match *self {
             FaultKind::Truncate => 0.0,
             FaultKind::Hold => held,
@@ -49,6 +142,16 @@ impl FaultKind {
             FaultKind::Min => min,
             FaultKind::Add(d) => value + d,
             FaultKind::Sub(d) => value - d,
+            FaultKind::Scale(g) => value * g,
+            FaultKind::Drift { per_step } => value + per_step * f64::from(elapsed),
+            FaultKind::Noise { amplitude } => value + amplitude * unit_jitter(elapsed),
+            FaultKind::Intermittent { period, duty } => {
+                if elapsed % period.max(1) < duty {
+                    0.0
+                } else {
+                    value
+                }
+            }
             FaultKind::BitFlip(bit) => {
                 let bits = value.to_bits() ^ (1u64 << (bit % 64));
                 let flipped = f64::from_bits(bits);
@@ -61,8 +164,10 @@ impl FaultKind {
         };
         // All faults manifest within the acceptable variable range per
         // the paper's threat model ("perturbs the values ... within the
-        // acceptable range"), except Truncate which forces a hard zero.
-        if matches!(self, FaultKind::Truncate) {
+        // acceptable range"), except the availability faults: Truncate
+        // forces a hard zero, and Intermittent alternates between a
+        // hard zero and the untouched value.
+        if matches!(self, FaultKind::Truncate | FaultKind::Intermittent { .. }) {
             out
         } else {
             out.clamp(min, max)
@@ -146,28 +251,67 @@ mod tests {
 
     #[test]
     fn kinds_apply_correctly() {
-        assert_eq!(FaultKind::Truncate.apply(3.0, 0.0, 10.0, 9.9), 0.0);
-        assert_eq!(FaultKind::Hold.apply(3.0, 0.0, 10.0, 7.0), 7.0);
-        assert_eq!(FaultKind::Max.apply(3.0, 0.0, 10.0, 0.0), 10.0);
-        assert_eq!(FaultKind::Min.apply(3.0, 0.0, 10.0, 0.0), 0.0);
-        assert_eq!(FaultKind::Add(4.0).apply(3.0, 0.0, 10.0, 0.0), 7.0);
-        assert_eq!(FaultKind::Sub(4.0).apply(3.0, 0.0, 10.0, 0.0), 0.0); // clamped
+        assert_eq!(FaultKind::Truncate.apply(3.0, 0.0, 10.0, 9.9, 0), 0.0);
+        assert_eq!(FaultKind::Hold.apply(3.0, 0.0, 10.0, 7.0, 0), 7.0);
+        assert_eq!(FaultKind::Max.apply(3.0, 0.0, 10.0, 0.0, 0), 10.0);
+        assert_eq!(FaultKind::Min.apply(3.0, 0.0, 10.0, 0.0, 0), 0.0);
+        assert_eq!(FaultKind::Add(4.0).apply(3.0, 0.0, 10.0, 0.0, 0), 7.0);
+        assert_eq!(FaultKind::Sub(4.0).apply(3.0, 0.0, 10.0, 0.0, 0), 0.0); // clamped
+        assert_eq!(FaultKind::Scale(2.0).apply(3.0, 0.0, 10.0, 0.0, 0), 6.0);
     }
 
     #[test]
     fn add_clamps_to_range() {
-        assert_eq!(FaultKind::Add(100.0).apply(3.0, 0.0, 10.0, 0.0), 10.0);
+        assert_eq!(FaultKind::Add(100.0).apply(3.0, 0.0, 10.0, 0.0, 0), 10.0);
+    }
+
+    #[test]
+    fn scale_clamps_to_range() {
+        assert_eq!(FaultKind::Scale(10.0).apply(3.0, 0.0, 10.0, 0.0, 0), 10.0);
+        assert_eq!(FaultKind::Scale(-1.0).apply(3.0, 0.5, 10.0, 0.0, 0), 0.5);
+    }
+
+    #[test]
+    fn drift_grows_with_elapsed_cycles() {
+        let k = FaultKind::Drift { per_step: 0.5 };
+        assert_eq!(k.apply(3.0, 0.0, 10.0, 0.0, 0), 3.0);
+        assert_eq!(k.apply(3.0, 0.0, 10.0, 0.0, 4), 5.0);
+        // Long drifts saturate at the range edge.
+        assert_eq!(k.apply(3.0, 0.0, 10.0, 0.0, 100), 10.0);
+    }
+
+    #[test]
+    fn noise_is_deterministic_bounded_and_varying() {
+        let k = FaultKind::Noise { amplitude: 2.0 };
+        let a: Vec<f64> = (0..50).map(|e| k.apply(5.0, 0.0, 10.0, 0.0, e)).collect();
+        let b: Vec<f64> = (0..50).map(|e| k.apply(5.0, 0.0, 10.0, 0.0, e)).collect();
+        assert_eq!(a, b, "jitter must be reproducible");
+        assert!(a.iter().all(|v| (3.0..=7.0).contains(v)), "out of band");
+        assert!(
+            a.windows(2).any(|w| w[0] != w[1]),
+            "jitter never changed value"
+        );
+    }
+
+    #[test]
+    fn intermittent_flaps_between_zero_and_passthrough() {
+        let k = FaultKind::Intermittent { period: 4, duty: 2 };
+        let outs: Vec<f64> = (0..8).map(|e| k.apply(3.0, 1.0, 10.0, 0.0, e)).collect();
+        assert_eq!(outs, vec![0.0, 0.0, 3.0, 3.0, 0.0, 0.0, 3.0, 3.0]);
+        // Degenerate period never divides by zero.
+        let k = FaultKind::Intermittent { period: 0, duty: 1 };
+        assert_eq!(k.apply(3.0, 0.0, 10.0, 0.0, 7), 0.0);
     }
 
     #[test]
     fn bitflip_stays_in_range_and_changes_value() {
         let v = 120.0;
         for bit in [51u8, 52, 55, 60, 62] {
-            let out = FaultKind::BitFlip(bit).apply(v, 40.0, 400.0, 0.0);
+            let out = FaultKind::BitFlip(bit).apply(v, 40.0, 400.0, 0.0, 0);
             assert!((40.0..=400.0).contains(&out), "bit {bit} -> {out}");
         }
         // A mantissa-flip actually changes the value.
-        let out = FaultKind::BitFlip(51).apply(v, 40.0, 400.0, 0.0);
+        let out = FaultKind::BitFlip(51).apply(v, 40.0, 400.0, 0.0, 0);
         assert_ne!(out, v);
     }
 
@@ -175,22 +319,69 @@ mod tests {
     fn bitflip_nan_falls_back_to_max() {
         // Flipping an exponent bit of a large number can produce inf.
         let v = f64::MAX / 2.0;
-        let out = FaultKind::BitFlip(62).apply(v, 0.0, 10.0, 0.0);
+        let out = FaultKind::BitFlip(62).apply(v, 0.0, 10.0, 0.0, 0);
         assert!((0.0..=10.0).contains(&out));
     }
 
     #[test]
     fn names_are_stable() {
         let s = FaultScenario::new("glucose", FaultKind::Add(50.0), Step(30), 12);
-        assert_eq!(s.name(), "add+50_glucose@t30x12");
+        assert_eq!(s.name(), "add50_glucose@t30x12");
         assert_eq!(s.to_string(), s.name());
+        // Regression: Sub rendered through `{:+.0}` as `sub+30`.
+        assert_eq!(FaultKind::Sub(30.0).label(), "sub30");
+        assert_eq!(FaultKind::Add(30.0).label(), "add30");
+        assert_eq!(FaultKind::Add(-30.0).label(), "add-30");
+        assert_eq!(FaultKind::Scale(1.5).label(), "scale1.5");
+        assert_eq!(
+            FaultKind::Intermittent { period: 6, duty: 3 }.label(),
+            "int6d3"
+        );
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let kinds = [
+            FaultKind::Truncate,
+            FaultKind::Hold,
+            FaultKind::Max,
+            FaultKind::Min,
+            FaultKind::Add(30.0),
+            FaultKind::Add(-30.0),
+            FaultKind::Sub(30.0),
+            FaultKind::Sub(1.75),
+            FaultKind::Scale(0.5),
+            FaultKind::Scale(1.5),
+            FaultKind::Drift { per_step: 0.25 },
+            FaultKind::Noise { amplitude: 36.0 },
+            FaultKind::Intermittent { period: 6, duty: 3 },
+            FaultKind::BitFlip(51),
+        ];
+        for kind in kinds {
+            assert_eq!(
+                FaultKind::from_label(&kind.label()),
+                Some(kind),
+                "label `{}` does not round-trip",
+                kind.label()
+            );
+        }
+        assert_eq!(FaultKind::from_label("bogus"), None);
+        assert_eq!(FaultKind::from_label("int6"), None, "missing duty");
     }
 
     #[test]
     fn serde_roundtrip() {
-        let s = FaultScenario::new("iob", FaultKind::BitFlip(52), Step(3), 6);
-        let j = serde_json::to_string(&s).unwrap();
-        let back: FaultScenario = serde_json::from_str(&j).unwrap();
-        assert_eq!(s, back);
+        for kind in [
+            FaultKind::BitFlip(52),
+            FaultKind::Scale(1.5),
+            FaultKind::Drift { per_step: 0.5 },
+            FaultKind::Noise { amplitude: 18.0 },
+            FaultKind::Intermittent { period: 6, duty: 3 },
+        ] {
+            let s = FaultScenario::new("iob", kind, Step(3), 6);
+            let j = serde_json::to_string(&s).unwrap();
+            let back: FaultScenario = serde_json::from_str(&j).unwrap();
+            assert_eq!(s, back);
+        }
     }
 }

@@ -13,6 +13,12 @@
 //! window of readings. A window is hazardous when LBGI crosses 5 (H1,
 //! hypoglycemia risk) or HBGI crosses 9 (H2) **and keeps increasing**.
 //!
+//! Labeling is built on a streaming [`RiskTracker`] that maintains the
+//! trailing-window indices in O(1) per sample, so the same engine
+//! serves batch post-hoc labeling ([`label_series`], O(n)) and
+//! run-time hazard awareness inside the closed loop (see
+//! `aps_core::monitors::RiskIndexMonitor`).
+//!
 //! # Example
 //!
 //! ```
@@ -114,21 +120,243 @@ impl Default for LabelConfig {
     }
 }
 
+/// Minimum increase of a risk index between consecutive windows for
+/// the "kept increasing" condition to hold (absorbs floating-point
+/// noise in the windowed means).
+const RISING_EPS: f64 = 1e-12;
+
+/// One streaming update produced by [`RiskTracker::push`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RiskSample {
+    /// Index of the sample that produced this update (0-based).
+    pub index: usize,
+    /// First sample index inside the current trailing window.
+    pub window_start: usize,
+    /// Trailing-window Low BG Index.
+    pub lbgi: f64,
+    /// Trailing-window High BG Index.
+    pub hbgi: f64,
+    /// `true` while the LBGI keeps increasing window-over-window.
+    pub rising_low: bool,
+    /// `true` while the HBGI keeps increasing window-over-window.
+    pub rising_high: bool,
+    /// The hazard the current window is in **right now** (`H1` when
+    /// the LBGI crossed its threshold while rising, else `H2` for the
+    /// HBGI), or `None` when the window is safe.
+    pub hazard: Option<Hazard>,
+}
+
+impl RiskSample {
+    /// `true` when the trailing window is hazardous.
+    pub fn is_hazardous(&self) -> bool {
+        self.hazard.is_some()
+    }
+}
+
+/// Incremental BG risk engine: maintains the trailing-window LBGI /
+/// HBGI and the "kept increasing" state in **O(1) per sample**, so
+/// hazard awareness is available *during* a run (run-time monitors,
+/// the HMS layer) and not only from post-hoc labeling.
+///
+/// Feeding a whole series through [`push`](RiskTracker::push) produces
+/// exactly the per-window decisions of the batch
+/// [`label_series`] — which is itself implemented on top of this
+/// tracker, turning labeling from O(n·window) into O(n).
+///
+/// # Numerical faithfulness
+///
+/// The rolling sums are maintained incrementally, with two guards:
+///
+/// * an incoming sample whose risk equals the outgoing one leaves the
+///   sums untouched (a plateau never jitters the "rising" test);
+/// * every time the ring buffer wraps, the sums are recomputed from
+///   the ring in window order (amortized O(1)), so rounding drift
+///   cannot accumulate beyond one window length.
+///
+/// Growing windows, plateaus, and every wrap point are therefore
+/// bit-exact against a fresh left-to-right window sum; between wraps
+/// the sums may differ from a fresh sum by a few ulps, which both
+/// decision comparisons absorb — the "rising" test carries an explicit
+/// `1e-12` epsilon, and a threshold crossing flips only if a window
+/// mean lands within that ulp-scale band of the 5.0/9.0 constants.
+/// Label agreement with the reference is pinned by proptests and the
+/// quick-campaign corpus test in `tests/risk_equivalence.rs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskTracker {
+    config: LabelConfig,
+    /// `(risk_low, risk_high)` of the last `window` samples; circular.
+    ring: Vec<(f64, f64)>,
+    /// Next write position in `ring`.
+    head: usize,
+    /// Samples pushed so far.
+    count: usize,
+    sum_low: f64,
+    sum_high: f64,
+    prev_lbgi: f64,
+    prev_hbgi: f64,
+}
+
+impl RiskTracker {
+    /// Creates a tracker (windows of length 0 behave as length 1, like
+    /// the batch labeler).
+    pub fn new(config: LabelConfig) -> RiskTracker {
+        let window = config.window.max(1);
+        RiskTracker {
+            config,
+            ring: Vec::with_capacity(window),
+            head: 0,
+            count: 0,
+            sum_low: 0.0,
+            sum_high: 0.0,
+            prev_lbgi: 0.0,
+            prev_hbgi: 0.0,
+        }
+    }
+
+    /// The labeling configuration in use.
+    pub fn config(&self) -> &LabelConfig {
+        &self.config
+    }
+
+    /// Number of samples pushed since the last reset.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` before the first sample.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Clears all state for a fresh series.
+    pub fn reset(&mut self) {
+        self.ring.clear();
+        self.head = 0;
+        self.count = 0;
+        self.sum_low = 0.0;
+        self.sum_high = 0.0;
+        self.prev_lbgi = 0.0;
+        self.prev_hbgi = 0.0;
+    }
+
+    /// Consumes one BG reading and returns the updated window state.
+    /// O(1) (amortized — the rolling sums are re-anchored once per
+    /// ring wrap).
+    pub fn push(&mut self, bg: f64) -> RiskSample {
+        let window = self.config.window.max(1);
+        let rl = risk_low(bg);
+        let rh = risk_high(bg);
+        if self.ring.len() < window {
+            // Growing window: sums accumulate left-to-right, exactly
+            // like a fresh sum over `series[0..=t]`.
+            self.ring.push((rl, rh));
+            self.head = self.ring.len() % window;
+            self.sum_low += rl;
+            self.sum_high += rh;
+        } else {
+            let (ol, oh) = self.ring[self.head];
+            // A bit-equal replacement must leave the sums untouched:
+            // `(s - r) + r` can round away from `s`, and a plateau must
+            // never look like a rising index.
+            if ol.to_bits() != rl.to_bits() {
+                self.sum_low = self.sum_low - ol + rl;
+            }
+            if oh.to_bits() != rh.to_bits() {
+                self.sum_high = self.sum_high - oh + rh;
+            }
+            self.ring[self.head] = (rl, rh);
+            self.head = (self.head + 1) % window;
+            if self.head == 0 {
+                // Ring wrapped: `ring[0..]` is the window in series
+                // order — re-anchor the sums to the exact
+                // left-to-right value to cancel rounding drift.
+                self.sum_low = self.ring.iter().map(|p| p.0).sum();
+                self.sum_high = self.ring.iter().map(|p| p.1).sum();
+            }
+        }
+
+        let index = self.count;
+        self.count += 1;
+        let len = self.ring.len() as f64;
+        let l = self.sum_low / len;
+        let h = self.sum_high / len;
+
+        // The first sample seeds the "kept increasing" comparison: a
+        // simulation *started* in a high-risk state is not hazardous
+        // until its risk actually grows (the initial condition is the
+        // scenario's premise, not a controller-caused hazard).
+        let (rising_low, rising_high, hazard) = if index == 0 {
+            (false, false, None)
+        } else {
+            let rising_l = l > self.prev_lbgi + RISING_EPS;
+            let rising_h = h > self.prev_hbgi + RISING_EPS;
+            let hazard = if l > self.config.lbgi_threshold && rising_l {
+                Some(Hazard::H1)
+            } else if h > self.config.hbgi_threshold && rising_h {
+                Some(Hazard::H2)
+            } else {
+                None
+            };
+            (rising_l, rising_h, hazard)
+        };
+        self.prev_lbgi = l;
+        self.prev_hbgi = h;
+
+        RiskSample {
+            index,
+            window_start: index.saturating_sub(window - 1),
+            lbgi: l,
+            hbgi: h,
+            rising_low,
+            rising_high,
+            hazard,
+        }
+    }
+}
+
 /// Labels a BG series: when the trailing-window LBGI crosses its
 /// threshold while still increasing, the **whole window** of readings
 /// is marked `Some(H1)` (the paper "marked a window of BG readings as
 /// hazardous"); likewise HBGI and `Some(H2)`. H1 wins overlaps
 /// (hypoglycemia is the more acutely dangerous hazard).
+///
+/// O(n) — one [`RiskTracker`] pass. [`label_series_reference`] is the
+/// original O(n·window) formulation, kept for equivalence testing.
 pub fn label_series(series: &[f64], config: &LabelConfig) -> Vec<Option<Hazard>> {
+    let mut labels: Vec<Option<Hazard>> = vec![None; series.len()];
+    let mut tracker = RiskTracker::new(config.clone());
+    for (t, &bg) in series.iter().enumerate() {
+        let sample = tracker.push(bg);
+        match sample.hazard {
+            Some(Hazard::H1) => {
+                for label in labels[sample.window_start..=t].iter_mut() {
+                    *label = Some(Hazard::H1);
+                }
+            }
+            Some(Hazard::H2) => {
+                for label in labels[sample.window_start..=t].iter_mut() {
+                    // Don't overwrite an H1 mark from an overlapping window.
+                    if *label != Some(Hazard::H1) {
+                        *label = Some(Hazard::H2);
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+    labels
+}
+
+/// The original windowed labeler: recomputes the full LBGI/HBGI window
+/// sums at every step (O(n·window)). Semantically identical to
+/// [`label_series`]; retained as the reference implementation that the
+/// equivalence tests pin the streaming engine against.
+pub fn label_series_reference(series: &[f64], config: &LabelConfig) -> Vec<Option<Hazard>> {
     let n = series.len();
     let mut labels: Vec<Option<Hazard>> = vec![None; n];
     if n == 0 {
         return labels;
     }
-    // Seed the "kept increasing" comparison from the first reading so
-    // that a simulation *started* in a high-risk state is not labeled
-    // hazardous until its risk actually grows (the initial condition is
-    // the scenario's premise, not a controller-caused hazard).
     let mut prev_lbgi = lbgi(&series[0..1]);
     let mut prev_hbgi = hbgi(&series[0..1]);
     for t in 1..n {
@@ -136,15 +364,14 @@ pub fn label_series(series: &[f64], config: &LabelConfig) -> Vec<Option<Hazard>>
         let w = &series[lo..=t];
         let l = lbgi(w);
         let h = hbgi(w);
-        let rising_l = l > prev_lbgi + 1e-12;
-        let rising_h = h > prev_hbgi + 1e-12;
+        let rising_l = l > prev_lbgi + RISING_EPS;
+        let rising_h = h > prev_hbgi + RISING_EPS;
         if l > config.lbgi_threshold && rising_l {
             for label in labels[lo..=t].iter_mut() {
                 *label = Some(Hazard::H1);
             }
         } else if h > config.hbgi_threshold && rising_h {
             for label in labels[lo..=t].iter_mut() {
-                // Don't overwrite an H1 mark from an overlapping window.
                 if *label != Some(Hazard::H1) {
                     *label = Some(Hazard::H2);
                 }
@@ -268,5 +495,116 @@ mod tests {
         let safe = vec![110.0; 50];
         let risky: Vec<f64> = (0..50).map(|i| 110.0 - i as f64).collect();
         assert!(mean_risk_index(&risky) > mean_risk_index(&safe));
+    }
+
+    #[test]
+    fn streaming_labels_match_reference_on_test_series() {
+        let mut plateau_high = vec![300.0; 30];
+        plateau_high.extend((0..30).map(|i| 300.0 + 2.0 * i as f64));
+        let series_set: Vec<Vec<f64>> = vec![
+            falling_series(),
+            (0..60).map(|i| 140.0 + 4.0 * i as f64).collect(),
+            (0..150)
+                .map(|i| 110.0 + 15.0 * ((i as f64) * 0.1).sin())
+                .collect(),
+            plateau_high,
+            vec![40.0; 40],
+            vec![120.0],
+            vec![],
+        ];
+        for window in [1, 2, 6, 12, 24] {
+            let config = LabelConfig {
+                window,
+                ..LabelConfig::default()
+            };
+            for series in &series_set {
+                assert_eq!(
+                    label_series(series, &config),
+                    label_series_reference(series, &config),
+                    "window {window}, series len {}",
+                    series.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tracker_flags_hypoglycemia_descent_online() {
+        let mut tracker = RiskTracker::new(LabelConfig::default());
+        let mut first_alert = None;
+        for (i, bg) in falling_series().into_iter().enumerate() {
+            let sample = tracker.push(bg);
+            assert_eq!(sample.index, i);
+            if first_alert.is_none() && sample.is_hazardous() {
+                first_alert = Some((i, sample.hazard));
+            }
+        }
+        let (onset, hazard) = first_alert.expect("descent to 40 never flagged");
+        assert_eq!(hazard, Some(Hazard::H1));
+        // Online detection fires while the descent is still in
+        // progress (the series reaches 40 at step 40).
+        assert!(onset < 40, "alert too late: step {onset}");
+    }
+
+    #[test]
+    fn tracker_plateau_clears_the_hazard() {
+        let mut tracker = RiskTracker::new(LabelConfig::default());
+        let mut last = None;
+        for bg in falling_series() {
+            last = Some(tracker.push(bg));
+        }
+        let last = last.unwrap();
+        // Flat at 40 for 20 steps: the window risk stopped rising.
+        assert_eq!(last.hazard, None);
+        assert!(last.lbgi > LBGI_HIGH_RISK, "lows still dominate the window");
+        assert!(!last.rising_low);
+    }
+
+    #[test]
+    fn tracker_first_sample_never_alerts() {
+        let mut tracker = RiskTracker::new(LabelConfig::default());
+        let sample = tracker.push(20.0);
+        assert_eq!(sample.hazard, None);
+        assert!(!sample.rising_low && !sample.rising_high);
+        assert!(sample.lbgi > LBGI_HIGH_RISK);
+    }
+
+    #[test]
+    fn tracker_reset_restarts_the_series() {
+        let config = LabelConfig::default();
+        let mut tracker = RiskTracker::new(config.clone());
+        let series = falling_series();
+        let first: Vec<RiskSample> = series.iter().map(|&bg| tracker.push(bg)).collect();
+        tracker.reset();
+        assert!(tracker.is_empty());
+        let second: Vec<RiskSample> = series.iter().map(|&bg| tracker.push(bg)).collect();
+        assert_eq!(first, second);
+        assert_eq!(tracker.len(), series.len());
+    }
+
+    #[test]
+    fn tracker_window_indices_match_batch_windows() {
+        let config = LabelConfig {
+            window: 6,
+            ..LabelConfig::default()
+        };
+        let mut tracker = RiskTracker::new(config);
+        for t in 0..20usize {
+            let sample = tracker.push(120.0 + t as f64);
+            assert_eq!(sample.window_start, t.saturating_sub(5));
+        }
+    }
+
+    #[test]
+    fn zero_window_behaves_as_one() {
+        let config = LabelConfig {
+            window: 0,
+            ..LabelConfig::default()
+        };
+        let series = falling_series();
+        assert_eq!(
+            label_series(&series, &config),
+            label_series_reference(&series, &config)
+        );
     }
 }

@@ -57,6 +57,10 @@ pub struct CampaignSpec {
     /// fixed Algorithm-1 rates (only meaningful with `mitigate`).
     #[serde(default)]
     pub context_mitigate: bool,
+    /// Also sweep the extended fault-kind alphabet (`Scale`, `Drift`,
+    /// `Noise`, `Intermittent`) over every target.
+    #[serde(default)]
+    pub extended_faults: bool,
     /// CGM model for every run (default: clean, the paper's
     /// assumption; used by the sensor-noise robustness ablation).
     #[serde(default)]
@@ -77,6 +81,7 @@ impl CampaignSpec {
             steps: 150,
             mitigate: false,
             context_mitigate: false,
+            extended_faults: false,
             cgm: CgmConfig::default(),
         }
     }
@@ -94,7 +99,18 @@ impl CampaignSpec {
             steps: 150,
             mitigate: false,
             context_mitigate: false,
+            extended_faults: false,
             cgm: CgmConfig::default(),
+        }
+    }
+
+    /// [`quick`](CampaignSpec::quick) with the extended fault alphabet
+    /// switched on — the widest per-run scenario diversity at smoke
+    /// scale.
+    pub fn extended(platform: Platform) -> CampaignSpec {
+        CampaignSpec {
+            extended_faults: true,
+            ..CampaignSpec::quick(platform)
         }
     }
 }
@@ -111,14 +127,21 @@ struct Job {
 fn expand(spec: &CampaignSpec) -> Vec<Job> {
     let platform = spec.platform;
     let probe = platform.patients().remove(0);
-    let mut targets = platform.primary_targets(probe.as_ref());
-    if !spec.fault_targets.is_empty() {
-        targets = platform
-            .injection_targets(probe.as_ref())
-            .into_iter()
+    let all = if spec.extended_faults {
+        platform.injection_targets_extended(probe.as_ref())
+    } else {
+        platform.injection_targets(probe.as_ref())
+    };
+    let targets: Vec<_> = if spec.fault_targets.is_empty() {
+        // The platform's primary input/state/output trio.
+        all.into_iter()
+            .filter(|t| Platform::PRIMARY_TARGET_NAMES.contains(&t.name.as_str()))
+            .collect()
+    } else {
+        all.into_iter()
             .filter(|t| spec.fault_targets.iter().any(|n| n == &t.name))
-            .collect();
-    }
+            .collect()
+    };
     let scenarios = campaign_grid(&targets, &spec.faults);
     let mut jobs = Vec::new();
     for &pi in &spec.patient_indices {
@@ -316,6 +339,50 @@ mod tests {
         let a = run_campaign(&spec, None);
         let b = run_campaign(&spec, None);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extended_campaign_widens_the_grid_and_stays_deterministic() {
+        let quick = CampaignSpec {
+            steps: 40,
+            patient_indices: vec![0],
+            ..CampaignSpec::quick(Platform::GlucosymOref0)
+        };
+        let extended = CampaignSpec {
+            extended_faults: true,
+            ..quick.clone()
+        };
+        // 3 primary targets x 6 extra kinds x 1 time combo on top of
+        // the 31-job quick grid.
+        assert_eq!(campaign_size(&extended), campaign_size(&quick) + 18);
+        let names: std::collections::HashSet<String> = run_campaign(&extended, None)
+            .iter()
+            .map(|t| t.meta.fault_name.clone())
+            .collect();
+        for expected in ["scale0.5_rate@t30x24", "int6d3_glucose@t30x24"] {
+            assert!(names.contains(expected), "missing {expected}");
+        }
+        assert_eq!(run_campaign(&extended, None), run_campaign(&extended, None));
+    }
+
+    #[test]
+    fn extended_faults_perturb_the_loop() {
+        // Each new kind must actually leave a mark on some trace
+        // (otherwise the wider grid is decorative).
+        let spec = CampaignSpec {
+            steps: 60,
+            patient_indices: vec![0],
+            ..CampaignSpec::extended(Platform::GlucosymOref0)
+        };
+        let faulty = run_campaign(&spec, None);
+        let baseline = &faulty[0]; // job 0 is the fault-free run
+        for prefix in ["scale", "drift", "noise", "int"] {
+            let touched = faulty
+                .iter()
+                .filter(|t| t.meta.fault_name.starts_with(prefix))
+                .any(|t| t.bg_true_series() != baseline.bg_true_series());
+            assert!(touched, "no `{prefix}` scenario changed the trajectory");
+        }
     }
 
     #[test]

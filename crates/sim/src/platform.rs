@@ -97,12 +97,29 @@ impl Platform {
             .collect()
     }
 
-    /// The three primary injection targets used by the scaled-down
-    /// default campaigns (input, internal state, output).
+    /// [`injection_targets`](Platform::injection_targets) with the
+    /// extended fault-kind alphabet (gain errors, sensor drift,
+    /// deterministic jitter, flapping dropouts) parameterized per
+    /// variable range.
+    pub fn injection_targets_extended(&self, patient: &dyn PatientSim) -> Vec<InjectionTarget> {
+        let controller = self.controller_for(patient);
+        controller
+            .state_vars()
+            .into_iter()
+            .map(|v| InjectionTarget::with_span_extended(v.name, v.max - v.min))
+            .collect()
+    }
+
+    /// Names of the three primary injection targets used by the
+    /// scaled-down default campaigns (input, internal state, output).
+    pub const PRIMARY_TARGET_NAMES: [&'static str; 3] = ["glucose", "iob", "rate"];
+
+    /// The three primary injection targets
+    /// ([`PRIMARY_TARGET_NAMES`](Platform::PRIMARY_TARGET_NAMES)).
     pub fn primary_targets(&self, patient: &dyn PatientSim) -> Vec<InjectionTarget> {
         self.injection_targets(patient)
             .into_iter()
-            .filter(|t| matches!(t.name.as_str(), "glucose" | "iob" | "rate"))
+            .filter(|t| Platform::PRIMARY_TARGET_NAMES.contains(&t.name.as_str()))
             .collect()
     }
 }

@@ -105,6 +105,41 @@ mod tests {
         }
     }
 
+    /// Live-vs-replay equivalence must also hold across the extended
+    /// fault alphabet — in particular `Noise`, whose jitter has to be
+    /// a pure function of the fault clock for a recorded trace to mean
+    /// anything on replay.
+    #[test]
+    fn replay_matches_live_alerts_on_extended_faults() {
+        let platform = Platform::GlucosymOref0;
+        let spec = CampaignSpec {
+            patient_indices: vec![0],
+            initial_bgs: vec![140.0],
+            ..CampaignSpec::extended(platform)
+        };
+        let scs = Scs::with_default_thresholds(platform.target());
+        let scs_live = scs.clone();
+        let factory = move |ctx: &crate::campaign::ScenarioCtx| {
+            Box::new(CawMonitor::new("cawot", scs_live.clone(), ctx.basal))
+                as Box<dyn HazardMonitor>
+        };
+        let live = run_campaign(&spec, Some(&factory));
+        let recorded = run_campaign(&spec, None);
+        let probe = platform.patients().remove(0);
+        let basal = platform.basal_for(probe.as_ref());
+        for (live_t, rec_t) in live.iter().zip(&recorded) {
+            let mut monitor = CawMonitor::new("cawot", scs.clone(), basal);
+            let replayed = replay_monitor(rec_t, &mut monitor);
+            let live_alerts: Vec<_> = live_t.records.iter().map(|r| r.alert).collect();
+            let replay_alerts: Vec<_> = replayed.records.iter().map(|r| r.alert).collect();
+            assert_eq!(
+                live_alerts, replay_alerts,
+                "divergence on {}",
+                rec_t.meta.fault_name
+            );
+        }
+    }
+
     #[test]
     fn replay_campaign_preserves_everything_but_alerts() {
         let platform = Platform::GlucosymOref0;

@@ -65,16 +65,31 @@
 //!   counter into worker-local buffers merged in deterministic job
 //!   order; output is defined to equal
 //!   [`sim::campaign::run_campaign_serial`]. No mutex anywhere.
+//! * **Streaming O(n) hazard labeling** — [`risk::label_series`] rides
+//!   the incremental [`risk::RiskTracker`] (O(1) rolling LBGI/HBGI per
+//!   sample) instead of recomputing every trailing window
+//!   (O(n·window)); labels are pinned bit-identical to the retained
+//!   reference implementation (`tests/risk_equivalence.rs`). The same
+//!   tracker powers the online
+//!   [`core::monitors::RiskIndexMonitor`], so hazard awareness exists
+//!   *during* a run, not only post hoc.
+//! * **Array-backed controller state** — both controllers (oref0 at
+//!   PR 1, basal–bolus at PR 2) use `Copy` profiles and fixed-slot
+//!   variable arrays; no `HashMap` lookups or profile clones in
+//!   `decide`.
 //!
 //! The measured baseline lives in `BENCH_campaign.json` (quick
 //! campaign: 62 runs × 150 steps; seed-faithful hot path vs current —
-//! ≈3.4× on one core at PR 1). Regenerate it with:
+//! ≈3.4× on one core at PR 1, ≈4.8× at PR 2 after the risk-labeling
+//! and basal–bolus rework). Regenerate it with:
 //!
 //! ```text
 //! cargo run --release -p aps-bench --bin repro -- bench-campaign
 //! ```
 //!
-//! and compare executors microscopically with:
+//! CI re-measures this every run and **fails below 80% of the
+//! committed speedup** (`bench-campaign --guard <committed.json>`).
+//! Compare executors microscopically with:
 //!
 //! ```text
 //! cargo bench -p aps-bench --bench campaign_throughput
@@ -105,7 +120,7 @@ pub mod prelude {
     pub use aps_core::mitigation::Mitigator;
     pub use aps_core::monitors::{
         CawMonitor, GuidelineMonitor, HazardMonitor, LstmMonitor, MlMonitor, MonitorInput,
-        MpcMonitor, NullMonitor, StlCawMonitor,
+        MpcMonitor, NullMonitor, RiskIndexMonitor, StlCawMonitor,
     };
     pub use aps_core::scs::Scs;
     pub use aps_detect::{CgmGuard, ChangeDetector, Cusum, Decision, Ewma, Sprt};
@@ -113,6 +128,7 @@ pub mod prelude {
     pub use aps_glucose::{BoxedPatient, PatientSim};
     pub use aps_metrics::glycemic::GlycemicSummary;
     pub use aps_metrics::ConfusionCounts;
+    pub use aps_risk::{LabelConfig, RiskSample, RiskTracker};
     pub use aps_sim::campaign::{run_campaign, CampaignSpec, MonitorFactory, ScenarioCtx};
     pub use aps_sim::closed_loop::{self, ExerciseBout, LoopConfig, Meal};
     pub use aps_sim::platform::Platform;

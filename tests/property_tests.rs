@@ -206,6 +206,7 @@ proptest! {
         held in -10.0f64..500.0,
         bit in 0u8..64,
         offset in -100.0f64..100.0,
+        elapsed in 0u32..48,
     ) {
         let hi = lo + width;
         let kinds = [
@@ -214,15 +215,22 @@ proptest! {
             FaultKind::Min,
             FaultKind::Add(offset),
             FaultKind::Sub(offset),
+            FaultKind::Scale(offset / 25.0),
+            FaultKind::Drift { per_step: offset / 10.0 },
+            FaultKind::Noise { amplitude: offset.abs() },
             FaultKind::BitFlip(bit),
         ];
         for kind in kinds {
-            let out = kind.apply(value, lo, hi, held.clamp(lo, hi));
+            let out = kind.apply(value, lo, hi, held.clamp(lo, hi), elapsed);
             prop_assert!(
                 (lo..=hi).contains(&out),
                 "{kind:?}({value}) -> {out} outside [{lo}, {hi}]"
             );
         }
-        prop_assert_eq!(FaultKind::Truncate.apply(value, lo, hi, held), 0.0);
+        prop_assert_eq!(FaultKind::Truncate.apply(value, lo, hi, held, elapsed), 0.0);
+        // The availability faults emit a hard zero or the untouched value.
+        let flap = FaultKind::Intermittent { period: 6, duty: 3 }
+            .apply(value, lo, hi, held, elapsed);
+        prop_assert!(flap == 0.0 || flap == value, "flap -> {flap}");
     }
 }

@@ -1,0 +1,145 @@
+//! Equivalence of the streaming O(n) risk engine with the seed's
+//! O(n·window) labeler.
+//!
+//! Two pins, per the PR contract:
+//!
+//! * a **proptest** that the online [`RiskTracker`] API produces
+//!   byte-identical labels to the batch [`label_series`] on arbitrary
+//!   BG series and window sizes;
+//! * a **corpus test** that the O(n) [`label_series`] agrees label-for-
+//!   label with the retained O(n·window) reference implementation
+//!   ([`label_series_reference`]) on every trace of the quick fault
+//!   campaign, for a range of window lengths.
+
+use aps_repro::prelude::*;
+use aps_repro::risk::{label_series, label_series_reference, LabelConfig, RiskTracker};
+use proptest::prelude::*;
+
+/// Drives the online tracker one sample at a time and reconstructs the
+/// retro-marked label vector the way a live consumer would.
+fn labels_via_streaming(series: &[f64], config: &LabelConfig) -> Vec<Option<Hazard>> {
+    let mut tracker = RiskTracker::new(config.clone());
+    let mut labels: Vec<Option<Hazard>> = vec![None; series.len()];
+    for (t, &bg) in series.iter().enumerate() {
+        let sample = tracker.push(bg);
+        assert_eq!(sample.index, t);
+        match sample.hazard {
+            Some(Hazard::H1) => {
+                for l in labels[sample.window_start..=t].iter_mut() {
+                    *l = Some(Hazard::H1);
+                }
+            }
+            Some(Hazard::H2) => {
+                for l in labels[sample.window_start..=t].iter_mut() {
+                    if *l != Some(Hazard::H1) {
+                        *l = Some(Hazard::H2);
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+    labels
+}
+
+proptest! {
+    /// Streaming tracker == batch labeler, byte for byte, on arbitrary
+    /// series and windows.
+    #[test]
+    fn streaming_tracker_matches_batch_labeler(
+        series in prop::collection::vec(20.0f64..600.0, 0..250),
+        window in 1usize..40,
+    ) {
+        let config = LabelConfig { window, ..LabelConfig::default() };
+        prop_assert_eq!(
+            labels_via_streaming(&series, &config),
+            label_series(&series, &config)
+        );
+    }
+
+    /// The O(n) labeler == the seed O(n·window) reference on arbitrary
+    /// series and windows.
+    #[test]
+    fn linear_labeler_matches_reference(
+        series in prop::collection::vec(20.0f64..600.0, 0..250),
+        window in 1usize..40,
+    ) {
+        let config = LabelConfig { window, ..LabelConfig::default() };
+        prop_assert_eq!(
+            label_series(&series, &config),
+            label_series_reference(&series, &config)
+        );
+    }
+
+    /// Adversarial shape for a rolling sum: long plateaus (where the
+    /// indices must *not* look rising) joined by ramps.
+    #[test]
+    fn plateaus_and_ramps_match_reference(
+        low in 30.0f64..90.0,
+        high in 150.0f64..500.0,
+        hold in 5usize..40,
+        window in 1usize..25,
+    ) {
+        let mut series = Vec::new();
+        for _ in 0..hold {
+            series.push(high);
+        }
+        let ramp = 20;
+        for i in 0..=ramp {
+            series.push(high + (low - high) * i as f64 / ramp as f64);
+        }
+        for _ in 0..hold {
+            series.push(low);
+        }
+        let config = LabelConfig { window, ..LabelConfig::default() };
+        prop_assert_eq!(
+            label_series(&series, &config),
+            label_series_reference(&series, &config)
+        );
+        prop_assert_eq!(
+            labels_via_streaming(&series, &config),
+            label_series(&series, &config)
+        );
+    }
+}
+
+/// Label-for-label agreement on real closed-loop traces: every run of
+/// the quick fault campaign (both platforms, extended fault alphabet
+/// included), across the window lengths the experiments use.
+#[test]
+fn quick_campaign_corpus_labels_are_bit_identical() {
+    for platform in Platform::ALL {
+        let spec = CampaignSpec {
+            patient_indices: vec![0],
+            extended_faults: true,
+            ..CampaignSpec::quick(platform)
+        };
+        let traces = run_campaign(&spec, None);
+        assert!(!traces.is_empty());
+        let mut labeled = 0usize;
+        for trace in &traces {
+            let series = trace.bg_true_series();
+            for window in [4usize, 12, 24] {
+                let config = LabelConfig {
+                    window,
+                    ..LabelConfig::default()
+                };
+                let fast = label_series(&series, &config);
+                let reference = label_series_reference(&series, &config);
+                assert_eq!(
+                    fast,
+                    reference,
+                    "{}: labels diverged (window {window}, fault {})",
+                    platform.name(),
+                    trace.meta.fault_name
+                );
+                labeled += fast.iter().flatten().count();
+            }
+        }
+        assert!(
+            labeled > 0,
+            "{}: corpus contains no hazardous window — equivalence vacuous",
+            platform.name()
+        );
+    }
+}

@@ -17,6 +17,9 @@
 //!   ablation-faultfree    monitors on fault-free data
 //!   ablation-hms          Eq.2 deadlines + context-dependent mitigation
 //!   ablation-noise        CAWT accuracy under CGM sensor error
+//!   zoo                   monitor zoo via MonitorBank: one physics pass per
+//!                         scenario, reaction-time/TTH incl. RiskIdx floor
+//!   run --spec F          one session described by a JSON SessionSpec
 //!   summary               digest of all recorded results
 //!   bench-campaign        campaign-throughput baseline -> BENCH_campaign.json
 //!   all                   everything above, in order
@@ -34,10 +37,80 @@
 //! ```
 
 use aps_bench::experiments::{
-    ablations, accuracy, fig3, hms, mitigation, patient_specific, resilience,
+    ablations, accuracy, fig3, hms, mitigation, patient_specific, resilience, zoo_report,
 };
 use aps_bench::opts::ExpOpts;
+use aps_sim::session::{Session, SessionSpec};
 use std::time::Instant;
+
+/// `repro run --spec file.json`: one closed-loop session described as
+/// data — the scriptable single-run counterpart to the campaign
+/// experiments.
+fn run_spec(args: &[String]) -> ! {
+    let path = match args.iter().position(|a| a == "--spec") {
+        Some(pos) => match args.get(pos + 1) {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("error: missing value for --spec");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            eprintln!("usage: repro run --spec <file.json>");
+            std::process::exit(2);
+        }
+    };
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read `{path}`: {e}");
+            std::process::exit(2);
+        }
+    };
+    let spec: SessionSpec = match serde_json::from_str(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: `{path}` is not a valid session spec: {e:?}");
+            std::process::exit(2);
+        }
+    };
+    let mut session = match Session::from_spec(&spec) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let trace = session.run();
+    println!("patient    : {}", trace.meta.patient);
+    println!(
+        "fault      : {}",
+        if trace.meta.fault_name.is_empty() {
+            "(fault-free)"
+        } else {
+            &trace.meta.fault_name
+        }
+    );
+    println!("steps      : {}", trace.len());
+    println!(
+        "hazard     : {}",
+        match (trace.meta.hazard_type, trace.meta.hazard_onset) {
+            (Some(h), Some(s)) => format!("{h:?} at {} min", s.minutes().value()),
+            _ => "none".to_owned(),
+        }
+    );
+    for track in &trace.monitor_tracks {
+        println!(
+            "monitor {:<11}: first alert {}",
+            track.monitor,
+            match track.first_alert() {
+                Some(s) => format!("at {} min", s.minutes().value()),
+                None => "never".to_owned(),
+            }
+        );
+    }
+    std::process::exit(0);
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +121,9 @@ fn main() {
     if which == "--help" || which == "-h" || which == "help" {
         print!("{}", HELP);
         return;
+    }
+    if which == "run" {
+        run_spec(&args[1..]);
     }
     // `--guard <baseline.json>` is a bench-campaign-only flag: compare
     // the fresh speedup against a committed report and fail the
@@ -88,6 +164,7 @@ fn main() {
         "ablation-faultfree" => ablations::fault_free_eval(&opts),
         "ablation-hms" => hms::hms_mitigation(&opts),
         "ablation-noise" => ablations::sensor_noise(&opts),
+        "zoo" => zoo_report::zoo(&opts),
         "summary" => {
             let dir = opts.out_dir.clone().unwrap_or_else(|| "results".to_owned());
             aps_bench::summary::print_summary(std::path::Path::new(&dir));
@@ -126,6 +203,7 @@ fn main() {
             "ablation-faultfree",
             "ablation-hms",
             "ablation-noise",
+            "zoo",
         ] {
             println!("\n{}\n## {}\n{}", "=".repeat(72), name, "=".repeat(72));
             run_one(name);
@@ -143,7 +221,14 @@ usage: repro <experiment> [flags]
 experiments:
   fig3, fig7, fig8, fig9, table5, table6, table7, table8,
   ablation-adversarial, ablation-multiclass, ablation-faultfree,
-  ablation-hms, ablation-noise, summary, all
+  ablation-hms, ablation-noise, zoo, summary, all
+
+sessions:
+  run --spec <file.json>     one closed-loop run described as data (a
+                             serde SessionSpec: platform, patient,
+                             monitors, fault, loop config); prints the
+                             hazard verdict and every monitor's first
+                             alert
 
 perf:
   bench-campaign             quick-campaign throughput baseline; writes

@@ -7,6 +7,7 @@ pub mod hms;
 pub mod mitigation;
 pub mod patient_specific;
 pub mod resilience;
+pub mod zoo_report;
 
 use crate::zoo::{MonitorKind, Zoo};
 use aps_metrics::simulation::campaign_simulation_counts;

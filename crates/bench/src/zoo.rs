@@ -5,7 +5,7 @@ use crate::opts::ExpOpts;
 use aps_core::learning::{learn_thresholds, traces_for_patient, LearnConfig};
 use aps_core::monitors::{
     CawMonitor, GuidelineConfig, GuidelineMonitor, HazardMonitor, LstmMonitor, MlMonitor,
-    MpcMonitor, RiskIndexMonitor,
+    MonitorBank, MpcMonitor, RiskIndexMonitor,
 };
 use aps_core::scs::Scs;
 use aps_ml::data::{Dataset, StandardScaler};
@@ -302,6 +302,19 @@ impl Zoo {
             .unwrap_or(UnitsPerHour(1.0))
     }
 
+    /// Builds a [`MonitorBank`] of fresh monitors for one patient, in
+    /// the given order (the first kind is the primary member). Attach
+    /// it to a session via repeated
+    /// `SessionBuilder::monitor` calls or feed the members to any bank
+    /// consumer — the whole zoo then scores a *single* physics pass.
+    ///
+    /// # Panics
+    ///
+    /// As [`Zoo::make`], for ML kinds on a thresholds-only zoo.
+    pub fn bank(&self, kinds: &[MonitorKind], patient: &str) -> MonitorBank {
+        kinds.iter().map(|&k| self.make(k, patient)).collect()
+    }
+
     /// Builds a fresh monitor of `kind` for a trace's patient.
     ///
     /// # Panics
@@ -407,6 +420,22 @@ mod tests {
             let replayed = aps_sim::replay::replay_monitor(&traces[1], m.as_mut());
             assert_eq!(replayed.len(), traces[1].len(), "{}", kind.name());
         }
+    }
+
+    #[test]
+    fn zoo_builds_monitor_banks_in_order() {
+        let platform = Platform::GlucosymOref0;
+        let zoo = Zoo::train(platform, &ExpOpts::quick(), &[]);
+        let bank = zoo.bank(
+            &[
+                MonitorKind::Guideline,
+                MonitorKind::Cawot,
+                MonitorKind::RiskIndex,
+            ],
+            "glucosym/patientA",
+        );
+        assert_eq!(bank.len(), 3);
+        assert_eq!(bank.names(), vec!["guideline", "cawot", "risk-index"]);
     }
 
     #[test]

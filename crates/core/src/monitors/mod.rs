@@ -6,8 +6,11 @@
 //! [`RiskIndexMonitor`] — implement [`HazardMonitor`]: one `check` per
 //! control cycle over the controller's I/O interface, plus an
 //! `observe_delivery` callback so the monitor's own context tracks what
-//! actually reached the pump.
+//! actually reached the pump. A [`MonitorBank`] steps any number of
+//! monitors against a single closed-loop pass, which is how campaign
+//! tooling scores a whole zoo for the price of one simulation.
 
+mod bank;
 pub(crate) mod caw;
 mod guideline;
 mod ml;
@@ -15,6 +18,7 @@ mod mpc;
 mod risk;
 mod stl_caw;
 
+pub use bank::MonitorBank;
 pub use caw::{CawMonitor, SafeRegion};
 pub use guideline::{GuidelineConfig, GuidelineMonitor};
 pub use ml::{LstmMonitor, MlFeatures, MlMonitor};

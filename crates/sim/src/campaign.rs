@@ -5,6 +5,12 @@
 //! them, optionally in parallel with scoped worker threads. Monitors
 //! are created per run through a [`MonitorFactory`], since a
 //! patient-specific monitor needs the run's basal/target context.
+//!
+//! Results can be consumed three ways, all in the same deterministic
+//! job order: materialized ([`run_campaign`] /
+//! [`run_campaign_serial`]), streamed into a sink with bounded memory
+//! ([`run_campaign_with`], parallel), or pulled lazily one trace at a
+//! time ([`CampaignStream`], serial).
 
 use crate::closed_loop::{run, LoopConfig};
 use crate::platform::Platform;
@@ -15,6 +21,7 @@ use aps_fault::{campaign_grid, CampaignConfig, FaultInjector, FaultScenario};
 use aps_glucose::sensor::CgmConfig;
 use aps_types::{MgDl, SimTrace, UnitsPerHour};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Context handed to the monitor factory for each run.
@@ -115,12 +122,30 @@ impl CampaignSpec {
     }
 }
 
-/// One expanded unit of work.
-#[derive(Debug, Clone)]
-struct Job {
-    patient_idx: usize,
-    initial_bg: f64,
-    scenario: Option<FaultScenario>,
+/// One expanded unit of campaign work: the coordinates of a single
+/// closed-loop run in the (patient × initial BG × scenario) grid.
+///
+/// Public so session-level tooling (e.g. the bench crate's
+/// monitor-bank zoo report) can walk the exact grid a
+/// [`CampaignSpec`] describes while building its own
+/// [`Session`](crate::session::Session)s per run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignJob {
+    /// Cohort index of the patient.
+    pub patient_idx: usize,
+    /// Initial true glucose (mg/dL).
+    pub initial_bg: f64,
+    /// Fault scenario (`None` = the fault-free run).
+    pub scenario: Option<FaultScenario>,
+}
+
+type Job = CampaignJob;
+
+/// Expands the spec into its deterministic job list (per patient and
+/// initial BG: the fault-free run first, then every fault scenario).
+/// [`run_campaign`] executes exactly this list, in this order.
+pub fn campaign_jobs(spec: &CampaignSpec) -> Vec<CampaignJob> {
+    expand(spec)
 }
 
 /// Expands the spec into its job list (fault-free first, then faults).
@@ -220,22 +245,30 @@ pub fn run_campaign_serial(
         .collect()
 }
 
-/// Runs the whole campaign, parallelized over the available cores.
-/// Results are returned in job order (deterministic, identical to
-/// [`run_campaign_serial`]).
+/// Runs the whole campaign, streaming each finished trace — **in
+/// deterministic job order** — into `sink(job_index, trace)` without
+/// ever materializing the full result vector.
 ///
-/// The executor is lock-free: workers claim jobs from a single atomic
-/// counter (so load stays balanced however uneven individual runs
-/// are), collect `(job index, trace)` pairs into worker-local buffers,
-/// and the buffers are merged in job order after the scoped join. No
-/// mutex is held anywhere — the seed implementation funneled every
-/// result through one global `Mutex<Vec<Option<SimTrace>>>`, which
-/// serialized the result path and bounced its cache line between all
-/// workers.
-pub fn run_campaign(
+/// The executor is the same lock-free design as before: workers claim
+/// jobs from a single atomic counter (so load stays balanced however
+/// uneven individual runs are) and push `(job index, trace)` pairs
+/// through a bounded channel that the calling thread drains through an
+/// ordered reorder buffer. Run-ahead is capped on both sides — the
+/// channel backpressures a slow sink, and workers park rather than run
+/// more than a few batches past the in-order emission frontier (so one
+/// pathologically slow job cannot make the buffer absorb the rest of
+/// the campaign). Peak buffering is O(workers), never O(campaign);
+/// paper-scale sweeps can score, aggregate, or persist traces as they
+/// arrive.
+///
+/// [`run_campaign`] is a thin wrapper that collects this stream into a
+/// `Vec`; output order and contents are defined to equal
+/// [`run_campaign_serial`].
+pub fn run_campaign_with(
     spec: &CampaignSpec,
     monitor_factory: Option<&MonitorFactory<'_>>,
-) -> Vec<SimTrace> {
+    mut sink: impl FnMut(usize, SimTrace),
+) {
     let jobs = expand(spec);
     let n = jobs.len();
     let workers = std::thread::available_parallelism()
@@ -243,48 +276,150 @@ pub fn run_campaign(
         .unwrap_or(1)
         .min(n.max(1));
     if workers <= 1 {
-        return jobs
-            .iter()
-            .map(|j| run_job(spec, j, monitor_factory))
-            .collect();
+        for (i, job) in jobs.iter().enumerate() {
+            sink(i, run_job(spec, job, monitor_factory));
+        }
+        return;
     }
 
     let next = AtomicUsize::new(0);
-    let parts: Vec<Vec<(usize, SimTrace)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, SimTrace)> = Vec::with_capacity(n / workers + 1);
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, run_job(spec, &jobs[i], monitor_factory)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("campaign worker panicked"))
-            .collect()
-    });
+    let emitted = AtomicUsize::new(0);
+    // Both caps together make the bounded-memory claim true: the
+    // channel backpressures a slow (e.g. disk-persisting) sink, and
+    // `max_ahead` keeps workers from racing past a slow head-of-line
+    // job and parking the whole campaign in the reorder buffer.
+    let max_ahead = 4 * workers;
+    let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, SimTrace)>(2 * workers);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let emitted = &emitted;
+            let jobs = &jobs;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // The job at the emission frontier is never gated
+                // (frontier ≤ i < frontier + max_ahead), so the
+                // frontier always progresses and every parked worker
+                // eventually wakes.
+                while i >= emitted.load(Ordering::Acquire) + max_ahead {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                }
+                let trace = run_job(spec, &jobs[i], monitor_factory);
+                if tx.send((i, trace)).is_err() {
+                    break; // receiver gone: abandon quietly
+                }
+            });
+        }
+        // The scope owns all senders through the clones above; dropping
+        // the original ends the stream once every worker exits.
+        drop(tx);
 
-    // Deterministic merge: place each trace at its job index.
-    let mut slots: Vec<Option<SimTrace>> = (0..n).map(|_| None).collect();
-    for part in parts {
-        for (i, trace) in part {
-            debug_assert!(slots[i].is_none(), "job {i} executed twice");
-            slots[i] = Some(trace);
+        // Reorder buffer: emit strictly in job order as results arrive.
+        let mut pending: BTreeMap<usize, SimTrace> = BTreeMap::new();
+        let mut next_emit = 0usize;
+        for (i, trace) in rx {
+            debug_assert!(!pending.contains_key(&i), "job {i} executed twice");
+            pending.insert(i, trace);
+            while let Some(trace) = pending.remove(&next_emit) {
+                sink(next_emit, trace);
+                next_emit += 1;
+                emitted.store(next_emit, Ordering::Release);
+            }
+        }
+        debug_assert!(pending.is_empty(), "stream ended with gaps");
+    });
+}
+
+/// Runs the whole campaign, parallelized over the available cores.
+/// Results are returned in job order (deterministic, identical to
+/// [`run_campaign_serial`]).
+///
+/// Thin wrapper over [`run_campaign_with`] that collects the ordered
+/// stream; prefer the sink (or [`CampaignStream`]) when the campaign
+/// is large and traces can be consumed incrementally.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    monitor_factory: Option<&MonitorFactory<'_>>,
+) -> Vec<SimTrace> {
+    // No capacity precompute: sizing via `campaign_size` would expand
+    // the whole job grid a second time just to be discarded.
+    let mut out: Vec<SimTrace> = Vec::new();
+    run_campaign_with(spec, monitor_factory, |i, trace| {
+        debug_assert_eq!(i, out.len(), "stream out of order");
+        out.push(trace);
+    });
+    out
+}
+
+/// A pull-based campaign iterator: each [`next`](Iterator::next) runs
+/// one job on the calling thread and yields its trace, in the same
+/// deterministic job order as [`run_campaign`].
+///
+/// This is the bounded-memory *serial* counterpart to the push-based
+/// [`run_campaign_with`] (which parallelizes): lazy, resumable, and
+/// composable with ordinary iterator adapters —
+///
+/// ```
+/// use aps_sim::campaign::{campaign_size, CampaignSpec, CampaignStream};
+/// use aps_sim::platform::Platform;
+///
+/// let spec = CampaignSpec {
+///     patient_indices: vec![0],
+///     steps: 40,
+///     ..CampaignSpec::quick(Platform::GlucosymOref0)
+/// };
+/// // Lazy: only the surviving traces ever exist in memory.
+/// let finished = CampaignStream::new(&spec, None)
+///     .map(|t| t.len())
+///     .filter(|&n| n == 40)
+///     .count();
+/// assert_eq!(finished, campaign_size(&spec));
+/// ```
+pub struct CampaignStream<'a> {
+    spec: CampaignSpec,
+    jobs: Vec<CampaignJob>,
+    next: usize,
+    monitor_factory: Option<&'a MonitorFactory<'a>>,
+}
+
+impl<'a> CampaignStream<'a> {
+    /// Expands the spec and prepares the (lazy) run sequence.
+    pub fn new(spec: &CampaignSpec, monitor_factory: Option<&'a MonitorFactory<'a>>) -> Self {
+        CampaignStream {
+            spec: spec.clone(),
+            jobs: expand(spec),
+            next: 0,
+            monitor_factory,
         }
     }
-    slots
-        .into_iter()
-        .map(|t| t.expect("job not executed"))
-        .collect()
+
+    /// The job the next call to [`next`](Iterator::next) will run.
+    pub fn peek_job(&self) -> Option<&CampaignJob> {
+        self.jobs.get(self.next)
+    }
 }
+
+impl Iterator for CampaignStream<'_> {
+    type Item = SimTrace;
+
+    fn next(&mut self) -> Option<SimTrace> {
+        let job = self.jobs.get(self.next)?;
+        let trace = run_job(&self.spec, job, self.monitor_factory);
+        self.next += 1;
+        Some(trace)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.jobs.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for CampaignStream<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -398,5 +533,48 @@ mod tests {
             assert_eq!(p.meta.fault_name, s.meta.fault_name, "job {i} out of order");
             assert_eq!(p, s, "job {i} diverged between executors");
         }
+    }
+
+    #[test]
+    fn sink_streams_in_job_order_and_matches_serial() {
+        let spec = CampaignSpec {
+            steps: 40,
+            ..tiny_spec()
+        };
+        let serial = run_campaign_serial(&spec, None);
+        let mut indices = Vec::new();
+        let mut streamed = Vec::new();
+        run_campaign_with(&spec, None, |i, t| {
+            indices.push(i);
+            streamed.push(t);
+        });
+        assert_eq!(indices, (0..serial.len()).collect::<Vec<_>>());
+        assert_eq!(streamed, serial);
+    }
+
+    #[test]
+    fn campaign_stream_pulls_the_same_traces() {
+        let spec = CampaignSpec {
+            steps: 40,
+            ..tiny_spec()
+        };
+        let mut stream = CampaignStream::new(&spec, None);
+        assert_eq!(stream.len(), campaign_size(&spec));
+        assert!(stream.peek_job().unwrap().scenario.is_none());
+        let pulled: Vec<SimTrace> = stream.by_ref().take(3).collect();
+        assert_eq!(stream.len(), campaign_size(&spec) - 3);
+        let rest: Vec<SimTrace> = stream.collect();
+        let serial = run_campaign_serial(&spec, None);
+        assert_eq!(pulled, serial[..3]);
+        assert_eq!(rest, serial[3..]);
+    }
+
+    #[test]
+    fn jobs_expose_the_grid() {
+        let spec = tiny_spec();
+        let jobs = campaign_jobs(&spec);
+        assert_eq!(jobs.len(), campaign_size(&spec));
+        assert_eq!(jobs[0].scenario, None);
+        assert!(jobs[1..].iter().all(|j| j.scenario.is_some()));
     }
 }

@@ -1,17 +1,15 @@
 //! One closed-loop simulation run.
 
 use aps_controllers::Controller;
-use aps_core::hms::{ContextMitigator, ContextMitigatorConfig};
+use aps_core::hms::ContextMitigatorConfig;
 use aps_core::mitigation::Mitigator;
-use aps_core::monitors::{HazardMonitor, MonitorInput};
+use aps_core::monitors::HazardMonitor;
 use aps_fault::FaultInjector;
-use aps_glucose::pump::{Pump, PumpConfig};
-use aps_glucose::sensor::{Cgm, CgmConfig};
+use aps_glucose::pump::PumpConfig;
+use aps_glucose::sensor::CgmConfig;
 use aps_glucose::PatientSim;
 use aps_risk::LabelConfig;
-use aps_types::{
-    ControlAction, MgDl, SimTrace, Step, StepRecord, TraceMeta, UnitsPerHour, CONTROL_CYCLE_MINUTES,
-};
+use aps_types::{SimTrace, Step};
 use serde::{Deserialize, Serialize};
 
 /// A scheduled meal: `carbs_g` grams of carbohydrate ingested at the
@@ -128,7 +126,17 @@ impl Default for LoopConfig {
     }
 }
 
-/// Runs one closed-loop simulation.
+/// Runs one closed-loop simulation (legacy positional entry point).
+///
+/// This is a documented thin wrapper over the session engine — the
+/// same loop that powers [`Session::run`](crate::session::Session) and
+/// the campaign executors — retained for source compatibility. New
+/// code should prefer [`Session::builder`](crate::session::Session),
+/// which accepts any number of monitors (recorded as
+/// [`monitor_tracks`](aps_types::SimTrace::monitor_tracks)), a
+/// per-step observer, and — unlike this function, which silently
+/// treats an unknown fault-target name as an *unbounded* variable —
+/// validates the fault target at build time.
 ///
 /// The monitor (when present) sees the *clean* CGM reading and the
 /// controller's (possibly fault-corrupted) command — the paper's threat
@@ -138,179 +146,16 @@ impl Default for LoopConfig {
 pub fn run(
     patient: &mut dyn PatientSim,
     controller: &mut dyn Controller,
-    mut monitor: Option<&mut (dyn HazardMonitor + 'static)>,
-    mut injector: Option<&mut FaultInjector>,
+    monitor: Option<&mut (dyn HazardMonitor + 'static)>,
+    injector: Option<&mut FaultInjector>,
     config: &LoopConfig,
 ) -> SimTrace {
-    patient.reset(MgDl(config.initial_bg));
-    controller.reset();
-    if let Some(m) = monitor.as_deref_mut() {
-        m.reset();
+    match monitor {
+        Some(m) => {
+            crate::session::run_engine(patient, controller, &mut [m], injector, config, None)
+        }
+        None => crate::session::run_engine(patient, controller, &mut [], injector, config, None),
     }
-    if let Some(inj) = injector.as_deref_mut() {
-        inj.reset();
-    }
-    // Configs are `Copy` scalars; constructing the per-run sensor and
-    // pump performs no heap allocation.
-    let mut cgm = Cgm::new(config.cgm);
-    let mut pump = Pump::new(config.pump);
-    let mut ctx_mitigator = config.context_mitigation.map(ContextMitigator::new);
-
-    let vars = controller.state_vars();
-    let var_bounds = |name: &str| -> (f64, f64) {
-        vars.iter()
-            .find(|v| v.name == name)
-            .map(|v| (v.min, v.max))
-            .unwrap_or((f64::NEG_INFINITY, f64::INFINITY))
-    };
-
-    /// Where the scenario's target variable sits in the control loop.
-    enum FaultRoute {
-        /// Actuator command, perturbed after the controller decision.
-        Rate,
-        /// CGM input, perturbed before the decision.
-        Glucose,
-        /// Controller-internal variable.
-        Internal,
-    }
-
-    // Resolve the fault target's route and legitimate bounds once per
-    // run; the step loop then performs no string comparison against
-    // the scenario and clones nothing.
-    let fault_plan = injector.as_deref().map(|inj| {
-        let target = &inj.scenario().target;
-        let route = match target.as_str() {
-            "rate" => FaultRoute::Rate,
-            "glucose" => FaultRoute::Glucose,
-            _ => FaultRoute::Internal,
-        };
-        (route, var_bounds(target), target.clone())
-    });
-
-    let mut meta = TraceMeta {
-        patient: patient.name().to_owned(),
-        initial_bg: config.initial_bg,
-        ..TraceMeta::default()
-    };
-    if let Some(inj) = injector.as_deref_mut() {
-        meta.fault_name = inj.scenario().name();
-        meta.fault_start = Some(inj.scenario().start);
-    }
-    // Preallocated records: the recording path never reallocates.
-    let mut trace = SimTrace::with_capacity(meta, config.steps as usize);
-    // Action classification compares against the previous *commanded*
-    // rate (the paper's u1..u4 alphabet is over the controller's
-    // command stream). The seed compared against the previous
-    // *delivered* rate, so pump quantization (e.g. 4.29 commanded vs
-    // 4.30 delivered) misclassified a steady max-rate fault as
-    // `DecreaseInsulin` every cycle and no SCS rule could ever fire.
-    let mut prev_commanded = UnitsPerHour(controller.basal_rate().value());
-
-    for s in 0..config.steps {
-        let step = Step(s);
-        for meal in config.meals.iter().filter(|m| m.step == step) {
-            patient.ingest(meal.carbs_g);
-            if meal.announced {
-                controller.announce_meal(meal.carbs_g);
-            }
-        }
-        for bout in config.exercise.iter().filter(|b| b.step == step) {
-            patient.exert(bout.intensity, bout.duration_min);
-        }
-        let true_bg = patient.bg();
-        let reading = cgm.sample(true_bg);
-
-        // Fault injection on the controller's input/internal variables.
-        if let (Some(inj), Some((route, (lo, hi), target))) =
-            (injector.as_deref_mut(), fault_plan.as_ref())
-        {
-            match route {
-                // Output faults are applied after the decision below.
-                FaultRoute::Rate => {}
-                FaultRoute::Glucose => {
-                    let faulty = inj.perturb_target(step, reading.value(), *lo, *hi);
-                    if inj.is_active(step) {
-                        controller.set_state("glucose", faulty);
-                    }
-                }
-                FaultRoute::Internal if inj.is_active(step) => {
-                    // Internal variable: perturb last cycle's value (the
-                    // freshest observable) and force it for this decision.
-                    let base = controller.get_state(target).unwrap_or(0.5 * (lo + hi));
-                    let faulty = inj.perturb_target(step, base, *lo, *hi);
-                    controller.set_state(target, faulty);
-                }
-                FaultRoute::Internal => {
-                    // Keep the injector's Hold history fresh pre-activation.
-                    if let Some(base) = controller.get_state(target) {
-                        inj.perturb_target(step, base, *lo, *hi);
-                    }
-                }
-            }
-        }
-
-        let mut commanded = controller.decide(step, reading);
-
-        // Output (actuator-command) faults.
-        if let (Some(inj), Some((FaultRoute::Rate, (lo, hi), _))) =
-            (injector.as_deref_mut(), fault_plan.as_ref())
-        {
-            commanded = UnitsPerHour(inj.perturb_target(step, commanded.value(), *lo, *hi));
-        }
-
-        let action = ControlAction::classify(commanded, prev_commanded);
-
-        // Monitor check + mitigation.
-        let alert = monitor.as_deref_mut().and_then(|m| {
-            m.check(&MonitorInput {
-                step,
-                bg: reading,
-                commanded,
-                previous_rate: prev_commanded,
-            })
-        });
-        let mitigated = if let Some(cm) = ctx_mitigator.as_mut() {
-            let mit_ctx = cm.observe_bg(reading);
-            cm.mitigate(alert, &mit_ctx, commanded)
-        } else {
-            match (&config.mitigator, alert) {
-                (Some(mit), Some(_)) => mit.mitigate(alert, commanded),
-                _ => commanded,
-            }
-        };
-
-        let delivered = pump.deliver(mitigated, CONTROL_CYCLE_MINUTES);
-        controller.observe_delivery(delivered);
-        if let Some(m) = monitor.as_deref_mut() {
-            m.observe_delivery(delivered);
-        }
-        if let Some(cm) = ctx_mitigator.as_mut() {
-            cm.observe_delivery(delivered);
-        }
-
-        let fault_active = injector
-            .as_deref()
-            .map(|i| i.is_active(step))
-            .unwrap_or(false);
-        trace.push(StepRecord {
-            step,
-            bg: reading,
-            bg_true: true_bg,
-            iob: controller.iob(),
-            commanded,
-            delivered,
-            action,
-            fault_active,
-            hazard: None,
-            alert,
-        });
-
-        patient.step(delivered, CONTROL_CYCLE_MINUTES);
-        prev_commanded = commanded;
-    }
-
-    aps_risk::label_trace(&mut trace, &config.labels);
-    trace
 }
 
 #[cfg(test)]

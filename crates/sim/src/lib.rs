@@ -1,15 +1,26 @@
 //! Closed-loop APS simulation harness.
 //!
 //! Wires together a patient simulator, a controller, an optional fault
-//! injector, and an optional safety monitor with mitigation — the
+//! injector, and any number of safety monitors with mitigation — the
 //! experimental setup of the paper's Fig. 5a:
 //!
-//! * [`closed_loop::run`] — one 150-step (12-hour) simulation producing
-//!   a labeled [`SimTrace`](aps_types::SimTrace);
+//! * [`session`] — **the primary entry point**:
+//!   [`Session::builder`](session::Session::builder) composes one run
+//!   fluently (patient, controller, repeatable monitors feeding a
+//!   [`MonitorBank`](aps_core::monitors::MonitorBank), fault, config,
+//!   per-step observer), and a serde
+//!   [`SessionSpec`](session::SessionSpec) describes runs as data;
+//! * [`closed_loop::run`] — the legacy positional wrapper over the
+//!   same engine, one optional monitor;
 //! * [`platform::Platform`] — the two evaluation platforms (OpenAPS +
 //!   Glucosym-style, Basal-Bolus + UVA-Padova-style);
 //! * [`campaign`] — the fault-injection campaign runner (grid of
-//!   patients × initial BG × scenarios, multi-threaded);
+//!   patients × initial BG × scenarios, multi-threaded), with
+//!   streaming sinks ([`campaign::run_campaign_with`]) and a
+//!   pull-based [`campaign::CampaignStream`] for bounded-memory
+//!   sweeps;
+//! * [`replay`] — offline (parallel) monitor replay over recorded
+//!   campaigns;
 //! * [`dataset`] — supervised dataset extraction for the ML baselines
 //!   and threshold learning;
 //! * [`io`] — CSV / JSON-Lines persistence of traces for external
@@ -24,3 +35,4 @@ pub mod dataset;
 pub mod io;
 pub mod platform;
 pub mod replay;
+pub mod session;

@@ -39,6 +39,17 @@ impl Platform {
         }
     }
 
+    /// One cohort member by index (`None` when out of range).
+    pub fn patient(&self, index: usize) -> Option<BoxedPatient> {
+        let mut cohort = self.patients();
+        (index < cohort.len()).then(|| cohort.swap_remove(index))
+    }
+
+    /// Cohort size (every platform ships ten virtual patients).
+    pub fn cohort_size(&self) -> usize {
+        self.patients().len()
+    }
+
     /// Builds the platform's controller tuned to a patient (basal rate
     /// from the patient's 120 mg/dL equilibrium).
     pub fn controller_for(&self, patient: &dyn PatientSim) -> Box<dyn Controller> {

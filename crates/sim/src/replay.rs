@@ -5,13 +5,25 @@
 //! to what it would have produced live. Replaying lets one fault
 //! campaign be evaluated against any number of monitors — the paper's
 //! Table V/VI/Fig. 9 comparisons — at a fraction of the cost of
-//! re-simulating.
+//! re-simulating. (For *live* multi-monitor scoring in a single
+//! physics pass, see the session engine's
+//! [`MonitorBank`](aps_core::monitors::MonitorBank).)
+//!
+//! Campaign-scale replay is parallel ([`replay_campaign`]) and can
+//! stream results through a bounded-memory ordered sink
+//! ([`replay_campaign_with`]), mirroring the live campaign executor's
+//! API.
 
 use aps_core::monitors::{HazardMonitor, MonitorInput};
-use aps_types::{SimTrace, UnitsPerHour};
+use aps_types::{AlertTrack, SimTrace, UnitsPerHour};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Replays `trace` through `monitor`, returning a copy with the
-/// `alert` column rewritten to the monitor's verdicts.
+/// `alert` column rewritten to the monitor's verdicts (and
+/// `monitor_tracks` replaced by the replaying monitor's stream — any
+/// tracks recorded by monitors *live* in the original run would
+/// otherwise misattribute stale alerts alongside the new column).
 ///
 /// The monitor sees exactly what it would have seen live: the clean
 /// CGM reading, the commanded rate, the previously *commanded* rate —
@@ -29,6 +41,7 @@ pub fn replay_monitor(trace: &SimTrace, monitor: &mut dyn HazardMonitor) -> SimT
             .map(|r| r.commanded.value())
             .unwrap_or(0.0),
     );
+    let mut alerts = Vec::with_capacity(out.records.len());
     for rec in &mut out.records {
         let alert = monitor.check(&MonitorInput {
             step: rec.step,
@@ -38,25 +51,112 @@ pub fn replay_monitor(trace: &SimTrace, monitor: &mut dyn HazardMonitor) -> SimT
         });
         monitor.observe_delivery(rec.delivered);
         rec.alert = alert;
+        alerts.push(alert);
         prev_commanded = rec.commanded;
     }
+    out.monitor_tracks = vec![AlertTrack {
+        monitor: monitor.name().to_owned(),
+        alerts,
+    }];
     out
 }
 
 /// Replays a whole campaign through monitors produced per trace by
 /// `factory` (monitors are stateful and patient-specific, so each
-/// trace gets a fresh one).
-pub fn replay_campaign<F>(traces: &[SimTrace], mut factory: F) -> Vec<SimTrace>
-where
-    F: FnMut(&SimTrace) -> Box<dyn HazardMonitor>,
+/// trace gets a fresh one), streaming each replayed trace — in input
+/// order — into `sink(index, trace)`.
+///
+/// The executor mirrors [`run_campaign_with`]: workers claim trace
+/// indices from a lock-free atomic counter and the calling thread
+/// drains their results through an ordered reorder buffer, so memory
+/// stays bounded however large the recorded campaign is.
+///
+/// [`run_campaign_with`]: crate::campaign::run_campaign_with
+pub fn replay_campaign_with<F>(
+    traces: &[SimTrace],
+    factory: F,
+    mut sink: impl FnMut(usize, SimTrace),
+) where
+    F: Fn(&SimTrace) -> Box<dyn HazardMonitor> + Sync,
 {
-    traces
-        .iter()
-        .map(|t| {
+    let n = traces.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 {
+        for (i, t) in traces.iter().enumerate() {
             let mut monitor = factory(t);
-            replay_monitor(t, monitor.as_mut())
-        })
-        .collect()
+            sink(i, replay_monitor(t, monitor.as_mut()));
+        }
+        return;
+    }
+
+    let next = AtomicUsize::new(0);
+    let emitted = AtomicUsize::new(0);
+    // Bounded on both sides, like `run_campaign_with`: the channel
+    // backpressures a slow sink, the run-ahead gate caps the reorder
+    // buffer under head-of-line blocking.
+    let max_ahead = 4 * workers;
+    let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, SimTrace)>(2 * workers);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let emitted = &emitted;
+            let factory = &factory;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                while i >= emitted.load(Ordering::Acquire) + max_ahead {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                }
+                let mut monitor = factory(&traces[i]);
+                let replayed = replay_monitor(&traces[i], monitor.as_mut());
+                if tx.send((i, replayed)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut pending: BTreeMap<usize, SimTrace> = BTreeMap::new();
+        let mut next_emit = 0usize;
+        for (i, trace) in rx {
+            pending.insert(i, trace);
+            while let Some(trace) = pending.remove(&next_emit) {
+                sink(next_emit, trace);
+                next_emit += 1;
+                emitted.store(next_emit, Ordering::Release);
+            }
+        }
+        debug_assert!(pending.is_empty(), "replay stream ended with gaps");
+    });
+}
+
+/// Replays a whole campaign, parallelized over the available cores
+/// (replays are independent, so this is the same embarrassingly
+/// parallel shape as [`run_campaign`]); results come back in input
+/// order. Thin wrapper over [`replay_campaign_with`].
+///
+/// The factory bound is `Fn + Sync` (it is called concurrently from
+/// worker threads); a factory that must mutate shared state can wrap
+/// it in interior mutability (e.g. a `Mutex`) or fall back to a
+/// sequential [`replay_monitor`] loop.
+///
+/// [`run_campaign`]: crate::campaign::run_campaign
+pub fn replay_campaign<F>(traces: &[SimTrace], factory: F) -> Vec<SimTrace>
+where
+    F: Fn(&SimTrace) -> Box<dyn HazardMonitor> + Sync,
+{
+    let mut out = Vec::with_capacity(traces.len());
+    replay_campaign_with(traces, factory, |i, trace| {
+        debug_assert_eq!(i, out.len(), "replay stream out of order");
+        out.push(trace);
+    });
+    out
 }
 
 #[cfg(test)]
@@ -160,5 +260,44 @@ mod tests {
             assert_eq!(a.bg_true_series(), b.bg_true_series());
             assert_eq!(a.meta, b.meta);
         }
+    }
+
+    /// The parallel executor must be invisible: same traces, same
+    /// order as replaying one by one on the calling thread.
+    #[test]
+    fn parallel_replay_matches_sequential_and_streams_in_order() {
+        let platform = Platform::GlucosymOref0;
+        let spec = CampaignSpec {
+            patient_indices: vec![0],
+            initial_bgs: vec![140.0],
+            steps: 60,
+            ..CampaignSpec::quick(platform)
+        };
+        let recorded = run_campaign(&spec, None);
+        let scs = Scs::with_default_thresholds(platform.target());
+        let probe = platform.patients().remove(0);
+        let basal = platform.basal_for(probe.as_ref());
+        let factory = |_t: &SimTrace| {
+            Box::new(CawMonitor::new("cawot", scs.clone(), basal)) as Box<dyn HazardMonitor>
+        };
+
+        let sequential: Vec<SimTrace> = recorded
+            .iter()
+            .map(|t| {
+                let mut m = factory(t);
+                replay_monitor(t, m.as_mut())
+            })
+            .collect();
+        let parallel = replay_campaign(&recorded, factory);
+        assert_eq!(parallel, sequential);
+
+        let mut indices = Vec::new();
+        let mut streamed = Vec::new();
+        replay_campaign_with(&recorded, factory, |i, t| {
+            indices.push(i);
+            streamed.push(t);
+        });
+        assert_eq!(indices, (0..recorded.len()).collect::<Vec<_>>());
+        assert_eq!(streamed, sequential);
     }
 }

@@ -1,0 +1,812 @@
+//! Composable simulation sessions: the primary entry point of the
+//! closed-loop harness.
+//!
+//! A [`Session`] owns everything one closed-loop run needs — patient,
+//! controller, a [`MonitorBank`] of any number of hazard monitors, an
+//! optional fault injector, the [`LoopConfig`], and an optional
+//! per-step observer — and is assembled fluently:
+//!
+//! ```
+//! use aps_sim::platform::Platform;
+//! use aps_sim::session::{MonitorSpec, Session};
+//! use aps_fault::{FaultKind, FaultScenario};
+//! use aps_types::Step;
+//!
+//! let trace = Session::builder(Platform::GlucosymOref0)
+//!     .patient(0)
+//!     .monitor_spec(MonitorSpec::Cawot)
+//!     .monitor_spec(MonitorSpec::RiskIndex)
+//!     .inject(FaultScenario::new("rate", FaultKind::Max, Step(20), 36))
+//!     .run()
+//!     .expect("valid session");
+//! assert_eq!(trace.len(), 150);
+//! // One physics pass, two alert streams:
+//! assert_eq!(trace.monitor_tracks.len(), 2);
+//! ```
+//!
+//! Runs compose *as data* too: a serde [`SessionSpec`] names the
+//! platform, patient, monitors, fault, and loop configuration, and
+//! [`Session::from_spec`] turns it into a runnable session (the
+//! `repro run --spec file.json` subcommand is exactly this).
+//!
+//! The legacy positional entry point [`closed_loop::run`] is a thin
+//! wrapper over the same engine and remains supported; new code should
+//! prefer the builder, which validates the fault target at build time
+//! instead of silently treating an unknown variable as unbounded.
+//!
+//! [`closed_loop::run`]: crate::closed_loop::run
+
+use crate::closed_loop::LoopConfig;
+use crate::platform::Platform;
+use aps_controllers::Controller;
+use aps_core::hms::ContextMitigator;
+use aps_core::monitors::{
+    CawMonitor, GuidelineConfig, GuidelineMonitor, HazardMonitor, MonitorBank, MonitorInput,
+    MpcMonitor, NullMonitor, RiskIndexMonitor,
+};
+use aps_core::scs::Scs;
+use aps_fault::{FaultInjector, FaultScenario};
+use aps_glucose::pump::Pump;
+use aps_glucose::sensor::Cgm;
+use aps_glucose::{BoxedPatient, PatientSim};
+use aps_types::{
+    AlertTrack, ControlAction, Hazard, MgDl, SimTrace, Step, StepRecord, TraceMeta, UnitsPerHour,
+    CONTROL_CYCLE_MINUTES,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a [`SessionBuilder`] could not produce a runnable [`Session`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The requested cohort index does not exist on the platform.
+    PatientIndex {
+        /// Requested index.
+        index: usize,
+        /// Cohort size of the platform.
+        cohort: usize,
+    },
+    /// The fault scenario targets a variable the controller does not
+    /// expose — the legacy path silently injected with *unbounded*
+    /// range here, which no experiment ever wants.
+    UnknownFaultTarget {
+        /// The scenario's target name.
+        target: String,
+        /// The names the controller actually exposes.
+        valid: Vec<String>,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::PatientIndex { index, cohort } => write!(
+                f,
+                "patient index {index} out of range (cohort has {cohort} patients)"
+            ),
+            SessionError::UnknownFaultTarget { target, valid } => write!(
+                f,
+                "fault targets unknown controller variable `{target}` \
+                 (injectable variables: {})",
+                valid.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A monitor named *as data*, buildable without trained artifacts.
+///
+/// These are the zoo members a [`SessionSpec`] can request from a JSON
+/// file: everything that needs only the platform context (target BG
+/// and the patient's basal rate). Monitors requiring training — CAWT's
+/// learned thresholds, the DT/MLP/LSTM baselines — are constructed in
+/// code (e.g. via the bench crate's `Zoo`) and attached with
+/// [`SessionBuilder::monitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MonitorSpec {
+    /// The never-alerting baseline.
+    Null,
+    /// Medical-guidelines baseline (Table III).
+    Guideline,
+    /// Model-predictive-control baseline (Eq. 6).
+    Mpc,
+    /// Context-aware monitor with guideline-default thresholds.
+    Cawot,
+    /// Streaming BG-risk-index ground truth (the reaction-time floor).
+    RiskIndex,
+}
+
+impl MonitorSpec {
+    /// Builds the monitor for a platform/patient pairing.
+    pub fn build(&self, platform: Platform, patient: &dyn PatientSim) -> Box<dyn HazardMonitor> {
+        match self {
+            MonitorSpec::Null => Box::new(NullMonitor),
+            MonitorSpec::Guideline => Box::new(GuidelineMonitor::new(GuidelineConfig::default())),
+            MonitorSpec::Mpc => Box::new(MpcMonitor::population()),
+            MonitorSpec::Cawot => Box::new(CawMonitor::new(
+                "cawot",
+                Scs::with_default_thresholds(platform.target()),
+                platform.basal_for(patient),
+            )),
+            MonitorSpec::RiskIndex => Box::new(RiskIndexMonitor::default()),
+        }
+    }
+}
+
+/// One closed-loop run described entirely as data.
+///
+/// ```json
+/// {
+///   "platform": "GlucosymOref0",
+///   "patient": 0,
+///   "monitors": ["Cawot", "RiskIndex"],
+///   "fault": { "target": "rate", "kind": "Max", "start": 20, "duration": 36 }
+/// }
+/// ```
+///
+/// Every field except `platform` is optional; `config` defaults to the
+/// paper's 150-step overnight run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Which simulator/controller pairing.
+    pub platform: Platform,
+    /// Cohort index of the patient (0..10).
+    #[serde(default)]
+    pub patient: usize,
+    /// Monitors to run against the single physics pass, primary first.
+    #[serde(default)]
+    pub monitors: Vec<MonitorSpec>,
+    /// Fault scenario to inject (None = fault-free).
+    #[serde(default)]
+    pub fault: Option<FaultScenario>,
+    /// Loop configuration (steps, initial BG, CGM/pump models, meals…).
+    #[serde(default)]
+    pub config: LoopConfig,
+}
+
+impl SessionSpec {
+    /// A fault-free overnight run on `platform`'s first patient.
+    pub fn new(platform: Platform) -> SessionSpec {
+        SessionSpec {
+            platform,
+            patient: 0,
+            monitors: Vec::new(),
+            fault: None,
+            config: LoopConfig::default(),
+        }
+    }
+}
+
+/// How the builder was given a monitor: ready-made or as data.
+enum MonitorSel {
+    Boxed(Box<dyn HazardMonitor>),
+    Spec(MonitorSpec),
+}
+
+/// A per-step observer callback (see [`SessionBuilder::observer`]).
+pub type Observer<'obs> = Box<dyn FnMut(&StepRecord) + 'obs>;
+
+/// Fluent assembly of a [`Session`]; see the [module docs](self).
+///
+/// The lifetime parameter bounds the optional observer callback; with
+/// no observer it is inferred as `'static`.
+pub struct SessionBuilder<'obs> {
+    platform: Platform,
+    patient_index: usize,
+    patient: Option<BoxedPatient>,
+    controller: Option<Box<dyn Controller>>,
+    monitors: Vec<MonitorSel>,
+    scenario: Option<FaultScenario>,
+    config: LoopConfig,
+    observer: Option<Observer<'obs>>,
+}
+
+impl<'obs> SessionBuilder<'obs> {
+    fn new(platform: Platform) -> SessionBuilder<'obs> {
+        SessionBuilder {
+            platform,
+            patient_index: 0,
+            patient: None,
+            controller: None,
+            monitors: Vec::new(),
+            scenario: None,
+            config: LoopConfig::default(),
+            observer: None,
+        }
+    }
+
+    /// Selects the cohort patient by index (default 0; validated by
+    /// [`build`](SessionBuilder::build)).
+    pub fn patient(mut self, index: usize) -> Self {
+        self.patient_index = index;
+        self.patient = None;
+        self
+    }
+
+    /// Supplies a custom patient simulator instead of a cohort member.
+    pub fn patient_sim(mut self, patient: BoxedPatient) -> Self {
+        self.patient = Some(patient);
+        self
+    }
+
+    /// Supplies a custom controller (default: the platform's controller
+    /// tuned to the patient's equilibrium basal).
+    pub fn controller(mut self, controller: Box<dyn Controller>) -> Self {
+        self.controller = Some(controller);
+        self
+    }
+
+    /// Attaches a monitor. Repeatable: every monitor added here joins
+    /// the session's [`MonitorBank`] and gets its own alert stream in
+    /// [`SimTrace::monitor_tracks`]; the *first* monitor is the primary
+    /// one whose alerts drive mitigation (when enabled) and fill the
+    /// classic [`StepRecord::alert`] column.
+    pub fn monitor(mut self, monitor: Box<dyn HazardMonitor>) -> Self {
+        self.monitors.push(MonitorSel::Boxed(monitor));
+        self
+    }
+
+    /// Attaches a monitor named as data (repeatable, same semantics as
+    /// [`monitor`](SessionBuilder::monitor)); resolved against the
+    /// platform/patient context at build time.
+    pub fn monitor_spec(mut self, spec: MonitorSpec) -> Self {
+        self.monitors.push(MonitorSel::Spec(spec));
+        self
+    }
+
+    /// Attaches every member of a pre-assembled [`MonitorBank`] (in
+    /// bank order, after any monitors already added).
+    pub fn monitor_bank(mut self, bank: MonitorBank) -> Self {
+        self.monitors
+            .extend(bank.into_monitors().into_iter().map(MonitorSel::Boxed));
+        self
+    }
+
+    /// Injects a fault scenario. The target variable is validated at
+    /// build time against the controller's injectable surface.
+    pub fn inject(mut self, scenario: FaultScenario) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// Sets the loop configuration (default: [`LoopConfig::default`]).
+    pub fn config(mut self, config: LoopConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Registers a per-step observer: called once per control cycle
+    /// with the freshly recorded [`StepRecord`], *before* post-hoc
+    /// hazard labeling (so `hazard` is always `None` in the callback).
+    /// This is the hook for live sinks — progress bars, streaming
+    /// writers, online dashboards.
+    pub fn observer(mut self, observer: impl FnMut(&StepRecord) + 'obs) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Validates the configuration and assembles the [`Session`].
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::PatientIndex`] for an out-of-range cohort index;
+    /// [`SessionError::UnknownFaultTarget`] when the fault scenario
+    /// names a variable the controller does not expose (the legacy
+    /// [`closed_loop::run`](crate::closed_loop::run) silently injected
+    /// with infinite bounds instead).
+    pub fn build(self) -> Result<Session<'obs>, SessionError> {
+        let platform = self.platform;
+        let patient = match self.patient {
+            Some(p) => p,
+            None => platform
+                .patient(self.patient_index)
+                .ok_or(SessionError::PatientIndex {
+                    index: self.patient_index,
+                    cohort: platform.cohort_size(),
+                })?,
+        };
+        let controller = self
+            .controller
+            .unwrap_or_else(|| platform.controller_for(patient.as_ref()));
+
+        if let Some(scenario) = &self.scenario {
+            let mut valid: Vec<String> = controller
+                .state_vars()
+                .iter()
+                .map(|v| v.name.to_owned())
+                .collect();
+            for builtin in ["rate", "glucose"] {
+                if !valid.iter().any(|v| v == builtin) {
+                    valid.push(builtin.to_owned());
+                }
+            }
+            if !valid.iter().any(|v| v == &scenario.target) {
+                return Err(SessionError::UnknownFaultTarget {
+                    target: scenario.target.clone(),
+                    valid,
+                });
+            }
+        }
+
+        let monitors = self
+            .monitors
+            .into_iter()
+            .map(|sel| match sel {
+                MonitorSel::Boxed(m) => m,
+                MonitorSel::Spec(s) => s.build(platform, patient.as_ref()),
+            })
+            .collect();
+
+        Ok(Session {
+            platform,
+            patient,
+            controller,
+            monitors: MonitorBank::from_monitors(monitors),
+            injector: self.scenario.map(FaultInjector::new),
+            config: self.config,
+            observer: self.observer,
+        })
+    }
+
+    /// [`build`](SessionBuilder::build) + [`Session::run`] in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`build`](SessionBuilder::build) errors.
+    pub fn run(self) -> Result<SimTrace, SessionError> {
+        Ok(self.build()?.run())
+    }
+}
+
+/// A fully assembled closed-loop run, ready to execute (repeatedly —
+/// every [`run`](Session::run) resets all components first, and runs
+/// are deterministic).
+pub struct Session<'obs> {
+    platform: Platform,
+    patient: BoxedPatient,
+    controller: Box<dyn Controller>,
+    monitors: MonitorBank,
+    injector: Option<FaultInjector>,
+    config: LoopConfig,
+    observer: Option<Observer<'obs>>,
+}
+
+impl Session<'static> {
+    /// Builds a session from its data description.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SessionBuilder::build`].
+    pub fn from_spec(spec: &SessionSpec) -> Result<Session<'static>, SessionError> {
+        let mut builder = Session::builder(spec.platform)
+            .patient(spec.patient)
+            .config(spec.config.clone());
+        for m in &spec.monitors {
+            builder = builder.monitor_spec(*m);
+        }
+        if let Some(fault) = &spec.fault {
+            builder = builder.inject(fault.clone());
+        }
+        builder.build()
+    }
+}
+
+impl<'obs> Session<'obs> {
+    /// Starts assembling a session on `platform`.
+    pub fn builder(platform: Platform) -> SessionBuilder<'obs> {
+        SessionBuilder::new(platform)
+    }
+
+    /// The platform this session runs on.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// The patient's qualified name.
+    pub fn patient_name(&self) -> &str {
+        self.patient.name()
+    }
+
+    /// Names of the attached monitors, primary first.
+    pub fn monitor_names(&self) -> Vec<String> {
+        self.monitors.names()
+    }
+
+    /// The loop configuration.
+    pub fn config(&self) -> &LoopConfig {
+        &self.config
+    }
+
+    /// Executes the closed loop once: a single physics pass, however
+    /// many monitors are attached. Produces the labeled trace, with one
+    /// [`AlertTrack`] per monitor in `monitor_tracks`.
+    pub fn run(&mut self) -> SimTrace {
+        let mut refs = self.monitors.as_dyn_mut();
+        run_engine(
+            self.patient.as_mut(),
+            self.controller.as_mut(),
+            &mut refs,
+            self.injector.as_mut(),
+            &self.config,
+            self.observer
+                .as_mut()
+                .map(|o| &mut **o as &mut dyn FnMut(&StepRecord)),
+        )
+    }
+}
+
+impl fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("platform", &self.platform.name())
+            .field("patient", &self.patient.name())
+            .field("monitors", &self.monitors.names())
+            .field(
+                "fault",
+                &self.injector.as_ref().map(|i| i.scenario().name()),
+            )
+            .field("steps", &self.config.steps)
+            .finish()
+    }
+}
+
+/// Where the scenario's target variable sits in the control loop.
+enum FaultRoute {
+    /// Actuator command, perturbed after the controller decision.
+    Rate,
+    /// CGM input, perturbed before the decision.
+    Glucose,
+    /// Controller-internal variable.
+    Internal,
+}
+
+/// The closed-loop engine every public entry point funnels into:
+/// [`Session::run`], the legacy positional
+/// [`closed_loop::run`](crate::closed_loop::run), and (through them)
+/// the campaign executors.
+///
+/// The monitors slice is ordered: index 0 is the primary monitor whose
+/// verdicts drive mitigation and fill [`StepRecord::alert`]; every
+/// monitor's full verdict stream is recorded as an [`AlertTrack`].
+/// With an empty slice the loop is monitor-free and `monitor_tracks`
+/// stays empty — bit-identical to the pre-bank harness.
+///
+/// An unknown fault-target name falls back to unbounded injection here
+/// (legacy behavior, kept for the positional API); [`SessionBuilder`]
+/// validates the target before the engine ever sees it.
+pub(crate) fn run_engine(
+    patient: &mut dyn PatientSim,
+    controller: &mut dyn Controller,
+    monitors: &mut [&mut dyn HazardMonitor],
+    mut injector: Option<&mut FaultInjector>,
+    config: &LoopConfig,
+    mut observer: Option<&mut dyn FnMut(&StepRecord)>,
+) -> SimTrace {
+    patient.reset(MgDl(config.initial_bg));
+    controller.reset();
+    for m in monitors.iter_mut() {
+        m.reset();
+    }
+    if let Some(inj) = injector.as_deref_mut() {
+        inj.reset();
+    }
+    // Configs are `Copy` scalars; constructing the per-run sensor and
+    // pump performs no heap allocation.
+    let mut cgm = Cgm::new(config.cgm);
+    let mut pump = Pump::new(config.pump);
+    let mut ctx_mitigator = config.context_mitigation.map(ContextMitigator::new);
+
+    let vars = controller.state_vars();
+    let var_bounds = |name: &str| -> (f64, f64) {
+        vars.iter()
+            .find(|v| v.name == name)
+            .map(|v| (v.min, v.max))
+            .unwrap_or((f64::NEG_INFINITY, f64::INFINITY))
+    };
+
+    // Resolve the fault target's route and legitimate bounds once per
+    // run; the step loop then performs no string comparison against
+    // the scenario and clones nothing.
+    let fault_plan = injector.as_deref().map(|inj| {
+        let target = &inj.scenario().target;
+        let route = match target.as_str() {
+            "rate" => FaultRoute::Rate,
+            "glucose" => FaultRoute::Glucose,
+            _ => FaultRoute::Internal,
+        };
+        (route, var_bounds(target), target.clone())
+    });
+
+    let mut meta = TraceMeta {
+        patient: patient.name().to_owned(),
+        initial_bg: config.initial_bg,
+        ..TraceMeta::default()
+    };
+    if let Some(inj) = injector.as_deref_mut() {
+        meta.fault_name = inj.scenario().name();
+        meta.fault_start = Some(inj.scenario().start);
+    }
+    // Preallocated records: the recording path never reallocates.
+    let mut trace = SimTrace::with_capacity(meta, config.steps as usize);
+    // One preallocated verdict stream per monitor.
+    let mut streams: Vec<Vec<Option<Hazard>>> = monitors
+        .iter()
+        .map(|_| Vec::with_capacity(config.steps as usize))
+        .collect();
+    // Action classification compares against the previous *commanded*
+    // rate (the paper's u1..u4 alphabet is over the controller's
+    // command stream). The seed compared against the previous
+    // *delivered* rate, so pump quantization (e.g. 4.29 commanded vs
+    // 4.30 delivered) misclassified a steady max-rate fault as
+    // `DecreaseInsulin` every cycle and no SCS rule could ever fire.
+    let mut prev_commanded = UnitsPerHour(controller.basal_rate().value());
+
+    for s in 0..config.steps {
+        let step = Step(s);
+        for meal in config.meals.iter().filter(|m| m.step == step) {
+            patient.ingest(meal.carbs_g);
+            if meal.announced {
+                controller.announce_meal(meal.carbs_g);
+            }
+        }
+        for bout in config.exercise.iter().filter(|b| b.step == step) {
+            patient.exert(bout.intensity, bout.duration_min);
+        }
+        let true_bg = patient.bg();
+        let reading = cgm.sample(true_bg);
+
+        // Fault injection on the controller's input/internal variables.
+        if let (Some(inj), Some((route, (lo, hi), target))) =
+            (injector.as_deref_mut(), fault_plan.as_ref())
+        {
+            match route {
+                // Output faults are applied after the decision below.
+                FaultRoute::Rate => {}
+                FaultRoute::Glucose => {
+                    let faulty = inj.perturb_target(step, reading.value(), *lo, *hi);
+                    if inj.is_active(step) {
+                        controller.set_state("glucose", faulty);
+                    }
+                }
+                FaultRoute::Internal if inj.is_active(step) => {
+                    // Internal variable: perturb last cycle's value (the
+                    // freshest observable) and force it for this decision.
+                    let base = controller.get_state(target).unwrap_or(0.5 * (lo + hi));
+                    let faulty = inj.perturb_target(step, base, *lo, *hi);
+                    controller.set_state(target, faulty);
+                }
+                FaultRoute::Internal => {
+                    // Keep the injector's Hold history fresh pre-activation.
+                    if let Some(base) = controller.get_state(target) {
+                        inj.perturb_target(step, base, *lo, *hi);
+                    }
+                }
+            }
+        }
+
+        let mut commanded = controller.decide(step, reading);
+
+        // Output (actuator-command) faults.
+        if let (Some(inj), Some((FaultRoute::Rate, (lo, hi), _))) =
+            (injector.as_deref_mut(), fault_plan.as_ref())
+        {
+            commanded = UnitsPerHour(inj.perturb_target(step, commanded.value(), *lo, *hi));
+        }
+
+        let action = ControlAction::classify(commanded, prev_commanded);
+
+        // Monitor bank check: every member sees the same input; the
+        // primary's verdict feeds mitigation and the alert column.
+        let input = MonitorInput {
+            step,
+            bg: reading,
+            commanded,
+            previous_rate: prev_commanded,
+        };
+        let mut alert = None;
+        for (i, m) in monitors.iter_mut().enumerate() {
+            let verdict = m.check(&input);
+            streams[i].push(verdict);
+            if i == 0 {
+                alert = verdict;
+            }
+        }
+
+        let mitigated = if let Some(cm) = ctx_mitigator.as_mut() {
+            let mit_ctx = cm.observe_bg(reading);
+            cm.mitigate(alert, &mit_ctx, commanded)
+        } else {
+            match (&config.mitigator, alert) {
+                (Some(mit), Some(_)) => mit.mitigate(alert, commanded),
+                _ => commanded,
+            }
+        };
+
+        let delivered = pump.deliver(mitigated, CONTROL_CYCLE_MINUTES);
+        controller.observe_delivery(delivered);
+        for m in monitors.iter_mut() {
+            m.observe_delivery(delivered);
+        }
+        if let Some(cm) = ctx_mitigator.as_mut() {
+            cm.observe_delivery(delivered);
+        }
+
+        let fault_active = injector
+            .as_deref()
+            .map(|i| i.is_active(step))
+            .unwrap_or(false);
+        trace.push(StepRecord {
+            step,
+            bg: reading,
+            bg_true: true_bg,
+            iob: controller.iob(),
+            commanded,
+            delivered,
+            action,
+            fault_active,
+            hazard: None,
+            alert,
+        });
+        if let Some(obs) = observer.as_mut() {
+            obs(trace.records.last().expect("just pushed"));
+        }
+
+        patient.step(delivered, CONTROL_CYCLE_MINUTES);
+        prev_commanded = commanded;
+    }
+
+    trace.monitor_tracks = monitors
+        .iter()
+        .zip(streams)
+        .map(|(m, alerts)| AlertTrack {
+            monitor: m.name().to_owned(),
+            alerts,
+        })
+        .collect();
+
+    aps_risk::label_trace(&mut trace, &config.labels);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_loop;
+    use aps_fault::FaultKind;
+
+    #[test]
+    fn builder_run_matches_legacy_monitorless_run() {
+        let platform = Platform::GlucosymOref0;
+        let scenario = FaultScenario::new("rate", FaultKind::Max, Step(20), 36);
+
+        let mut patient = platform.patients().remove(0);
+        let mut controller = platform.controller_for(patient.as_ref());
+        let mut injector = FaultInjector::new(scenario.clone());
+        let legacy = closed_loop::run(
+            patient.as_mut(),
+            controller.as_mut(),
+            None,
+            Some(&mut injector),
+            &LoopConfig::default(),
+        );
+
+        let session = Session::builder(platform)
+            .patient(0)
+            .inject(scenario)
+            .run()
+            .unwrap();
+        assert_eq!(session, legacy);
+    }
+
+    #[test]
+    fn bank_records_one_track_per_monitor() {
+        let platform = Platform::GlucosymOref0;
+        let trace = Session::builder(platform)
+            .monitor_spec(MonitorSpec::Guideline)
+            .monitor_spec(MonitorSpec::Cawot)
+            .monitor_spec(MonitorSpec::RiskIndex)
+            .inject(FaultScenario::new("rate", FaultKind::Max, Step(20), 36))
+            .run()
+            .unwrap();
+        assert_eq!(trace.monitor_tracks.len(), 3);
+        for track in &trace.monitor_tracks {
+            assert_eq!(track.alerts.len(), trace.len(), "{}", track.monitor);
+        }
+        // Primary stream mirrors the classic alert column.
+        let column: Vec<_> = trace.records.iter().map(|r| r.alert).collect();
+        assert_eq!(trace.monitor_tracks[0].alerts, column);
+        assert_eq!(trace.track("cawot").unwrap().alerts.len(), trace.len());
+    }
+
+    #[test]
+    fn unknown_fault_target_is_rejected_at_build_time() {
+        let platform = Platform::GlucosymOref0;
+        let err = Session::builder(platform)
+            .inject(FaultScenario::new("bogus_var", FaultKind::Max, Step(5), 5))
+            .build()
+            .unwrap_err();
+        match &err {
+            SessionError::UnknownFaultTarget { target, valid } => {
+                assert_eq!(target, "bogus_var");
+                assert!(valid.iter().any(|v| v == "glucose"));
+                assert!(valid.iter().any(|v| v == "rate"));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert!(err.to_string().contains("bogus_var"));
+    }
+
+    #[test]
+    fn patient_index_is_validated() {
+        let err = Session::builder(Platform::GlucosymOref0)
+            .patient(99)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::PatientIndex {
+                index: 99,
+                cohort: 10
+            }
+        );
+    }
+
+    #[test]
+    fn observer_sees_every_step_in_order() {
+        let mut seen: Vec<u32> = Vec::new();
+        let trace = Session::builder(Platform::GlucosymOref0)
+            .config(LoopConfig {
+                steps: 40,
+                ..LoopConfig::default()
+            })
+            .observer(|rec: &StepRecord| seen.push(rec.step.0))
+            .run()
+            .unwrap();
+        assert_eq!(trace.len(), 40);
+        assert_eq!(seen, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sessions_rerun_deterministically() {
+        let mut session = Session::builder(Platform::T1dsBasalBolus)
+            .patient(2)
+            .monitor_spec(MonitorSpec::Mpc)
+            .inject(FaultScenario::new("glucose", FaultKind::Min, Step(30), 24))
+            .build()
+            .unwrap();
+        let a = session.run();
+        let b = session.run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spec_roundtrips_and_builds() {
+        let spec = SessionSpec {
+            platform: Platform::GlucosymOref0,
+            patient: 1,
+            monitors: vec![MonitorSpec::Cawot, MonitorSpec::RiskIndex],
+            fault: Some(FaultScenario::new("iob", FaultKind::Hold, Step(10), 20)),
+            config: LoopConfig {
+                steps: 60,
+                ..LoopConfig::default()
+            },
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: SessionSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+
+        let trace = Session::from_spec(&back).unwrap().run();
+        assert_eq!(trace.len(), 60);
+        assert_eq!(trace.monitor_tracks.len(), 2);
+        assert_eq!(trace.meta.fault_name, "hold_iob@t10x20");
+    }
+
+    #[test]
+    fn minimal_spec_json_uses_defaults() {
+        let spec: SessionSpec = serde_json::from_str(r#"{ "platform": "GlucosymOref0" }"#).unwrap();
+        assert_eq!(spec, SessionSpec::new(Platform::GlucosymOref0));
+        assert_eq!(spec.config.steps, 150);
+    }
+}

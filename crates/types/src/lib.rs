@@ -34,5 +34,5 @@ mod units;
 pub use action::ControlAction;
 pub use hazard::Hazard;
 pub use time::{Minutes, Step, CONTROL_CYCLE_MINUTES};
-pub use trace::{SimTrace, StepRecord, TraceMeta};
+pub use trace::{AlertTrack, SimTrace, StepRecord, TraceMeta};
 pub use units::{MgDl, Units, UnitsPerHour};

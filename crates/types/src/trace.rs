@@ -76,6 +76,32 @@ pub struct TraceMeta {
     pub hazard_type: Option<Hazard>,
 }
 
+/// The alert stream one member of a monitor bank produced over a run.
+///
+/// When a simulation carries several monitors against a single physics
+/// pass, the *primary* (first) monitor's verdicts land in
+/// [`StepRecord::alert`] as before, and every monitor — primary
+/// included — gets its full per-step stream recorded here. A monitor
+/// that only observes (no mitigation) produces exactly the stream it
+/// would produce running solo, so one simulation scores a whole zoo.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AlertTrack {
+    /// Monitor identifier (e.g. `"cawot"`).
+    pub monitor: String,
+    /// One verdict per control cycle, indexed by step.
+    pub alerts: Vec<Option<Hazard>>,
+}
+
+impl AlertTrack {
+    /// First step with an alert raised, if any.
+    pub fn first_alert(&self) -> Option<Step> {
+        self.alerts
+            .iter()
+            .position(|a| a.is_some())
+            .map(|i| Step(i as u32))
+    }
+}
+
 /// A complete closed-loop simulation trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct SimTrace {
@@ -83,6 +109,11 @@ pub struct SimTrace {
     pub meta: TraceMeta,
     /// Per-cycle records, indexed by step.
     pub records: Vec<StepRecord>,
+    /// Per-monitor alert streams when the run carried a monitor bank
+    /// (empty for monitor-less runs and for traces recorded before this
+    /// field existed).
+    #[serde(default)]
+    pub monitor_tracks: Vec<AlertTrack>,
 }
 
 impl SimTrace {
@@ -91,6 +122,7 @@ impl SimTrace {
         SimTrace {
             meta,
             records: Vec::new(),
+            monitor_tracks: Vec::new(),
         }
     }
 
@@ -100,7 +132,14 @@ impl SimTrace {
         SimTrace {
             meta,
             records: Vec::with_capacity(steps),
+            monitor_tracks: Vec::new(),
         }
+    }
+
+    /// The alert stream of the monitor named `name`, when the run
+    /// carried a bank containing it.
+    pub fn track(&self, name: &str) -> Option<&AlertTrack> {
+        self.monitor_tracks.iter().find(|t| t.monitor == name)
     }
 
     /// Number of steps recorded.
@@ -179,6 +218,7 @@ impl FromIterator<StepRecord> for SimTrace {
         SimTrace {
             meta: TraceMeta::default(),
             records: iter.into_iter().collect(),
+            monitor_tracks: Vec::new(),
         }
     }
 }
@@ -264,6 +304,36 @@ mod tests {
         let t = trace_with_hazard_at(2, 4);
         let s = serde_json::to_string(&t).unwrap();
         let back: SimTrace = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn monitor_tracks_roundtrip_and_lookup() {
+        let mut t = trace_with_hazard_at(2, 4);
+        t.monitor_tracks.push(AlertTrack {
+            monitor: "cawot".to_owned(),
+            alerts: vec![None, Some(Hazard::H1), None, None],
+        });
+        t.monitor_tracks.push(AlertTrack {
+            monitor: "guideline".to_owned(),
+            alerts: vec![None; 4],
+        });
+        assert_eq!(t.track("cawot").unwrap().first_alert(), Some(Step(1)));
+        assert_eq!(t.track("guideline").unwrap().first_alert(), None);
+        assert!(t.track("missing").is_none());
+        let s = serde_json::to_string(&t).unwrap();
+        let back: SimTrace = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn traces_without_tracks_still_deserialize() {
+        // Pre-bank recordings carry no `monitor_tracks` key at all.
+        let t = trace_with_hazard_at(1, 3);
+        let s = serde_json::to_string(&t).unwrap();
+        let stripped = s.replace(",\"monitor_tracks\":[]", "");
+        assert_ne!(s, stripped, "field not serialized where expected");
+        let back: SimTrace = serde_json::from_str(&stripped).unwrap();
         assert_eq!(t, back);
     }
 }

@@ -1,6 +1,7 @@
-//! Quickstart: wrap an APS controller with a context-aware safety
-//! monitor, inject an insulin-overdose attack, and watch the monitor
-//! predict the hazard before it happens.
+//! Quickstart: compose a closed-loop session with `Session::builder`,
+//! inject an insulin-overdose attack, and watch a bank of monitors —
+//! the context-aware CAWOT and the online risk-index ground truth —
+//! score one shared physics pass.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -10,42 +11,39 @@ use aps_repro::prelude::*;
 
 fn main() {
     // 1. Pick a platform: OpenAPS-style controller on a Glucosym-style
-    //    virtual patient.
+    //    virtual patient. The builder resolves patient 0's controller
+    //    and monitor context (basal, target) itself.
     let platform = Platform::GlucosymOref0;
-    let mut patient = platform.patients().remove(0);
-    let mut controller = platform.controller_for(patient.as_ref());
-    println!("patient    : {}", patient.name());
-    println!("controller : {}", controller.name());
 
-    // 2. Build the context-aware monitor (guideline-default thresholds;
-    //    see the `patient_tuning` example for learned, patient-specific
-    //    thresholds).
-    let scs = Scs::with_default_thresholds(platform.target());
-    let basal = platform.basal_for(patient.as_ref());
-    let mut monitor = CawMonitor::new("cawot", scs, basal);
+    // 2. Compose the run: a "maximize insulin rate" attack on the
+    //    controller's output starting 100 minutes in and lasting
+    //    3 hours, watched by two monitors. `.monitor_spec` names the
+    //    untrained zoo members as data; `.monitor(..)` accepts any
+    //    hand-built `HazardMonitor` (see the `patient_tuning` example
+    //    for learned, patient-specific thresholds). Every monitor gets
+    //    its own alert stream; the physics runs once.
+    let mut live_steps = 0u32;
+    let trace = Session::builder(platform)
+        .patient(0)
+        .monitor_spec(MonitorSpec::Cawot)
+        .monitor_spec(MonitorSpec::RiskIndex)
+        .inject(FaultScenario::new("rate", FaultKind::Max, Step(20), 36))
+        .observer(|_rec: &StepRecord| live_steps += 1) // live per-step sink
+        .run()
+        .expect("valid session");
+    println!("patient    : {}", trace.meta.patient);
+    println!("cycles     : {live_steps} (observer saw every step live)");
 
-    // 3. Simulate a "maximize insulin rate" attack on the controller's
-    //    output, starting 100 minutes in and lasting 3 hours.
-    let mut injector = FaultInjector::new(FaultScenario::new("rate", FaultKind::Max, Step(20), 36));
-
-    let trace = closed_loop::run(
-        patient.as_mut(),
-        controller.as_mut(),
-        Some(&mut monitor),
-        Some(&mut injector),
-        &LoopConfig::default(),
-    );
-
-    // 4. Report what happened.
+    // 3. Report what happened.
     let onset = trace.meta.hazard_onset;
-    let alert = trace.first_alert();
+    let alert = trace.track("cawot").and_then(|t| t.first_alert());
     println!("fault      : {}", trace.meta.fault_name);
     println!(
         "hazard     : {:?} at {:?}",
         trace.meta.hazard_type,
         onset.map(|s| s.minutes())
     );
-    println!("first alert: {:?}", alert.map(|s| s.minutes()));
+    println!("first alert: {:?} (cawot)", alert.map(|s| s.minutes()));
     match (alert, onset) {
         (Some(a), Some(h)) if a < h => {
             let lead = (h - a) as f64 * 5.0;
@@ -55,8 +53,14 @@ fn main() {
         (None, Some(_)) => println!("=> hazard occurred without warning (missed)"),
         _ => println!("=> uneventful run"),
     }
+    if let Some(floor) = trace.track("risk-index").and_then(|t| t.first_alert()) {
+        println!(
+            "=> the risk-index detection floor confirmed it at {} min",
+            floor.minutes().value()
+        );
+    }
 
-    // 5. Print the glucose trajectory every hour.
+    // 4. Print the glucose trajectory every hour.
     println!("\n  time   BG(true)  IOB     rate  alert");
     for rec in trace.iter().step_by(12) {
         println!(

@@ -18,31 +18,51 @@
 //! | [`risk`] | BG risk index and hazard labeling |
 //! | [`metrics`] | tolerance-window metrics, TTH, reaction time, risk |
 //! | [`core`] | **the contribution**: SCS, threshold learning, monitors, mitigation |
-//! | [`sim`] | closed-loop harness, platforms, campaigns, datasets |
+//! | [`sim`] | sessions, closed-loop harness, platforms, campaigns, datasets |
 //!
 //! # Quickstart
+//!
+//! Runs are *composed*:
+//! [`Session::builder`](sim::session::Session::builder) assembles one
+//! closed-loop simulation fluently, and any number of `.monitor(..)` /
+//! `.monitor_spec(..)` calls attach hazard monitors that all score the
+//! **same single physics pass** (each gets its own alert stream in
+//! [`SimTrace::monitor_tracks`](types::SimTrace::monitor_tracks)):
 //!
 //! ```
 //! use aps_repro::prelude::*;
 //!
-//! // Run one faulty closed-loop simulation with the CAWOT monitor.
-//! let platform = Platform::GlucosymOref0;
-//! let mut patient = platform.patients().remove(0);
-//! let mut controller = platform.controller_for(patient.as_ref());
-//! let scs = Scs::with_default_thresholds(platform.target());
-//! let mut monitor = CawMonitor::new("cawot", scs, platform.basal_for(patient.as_ref()));
-//! let mut injector = FaultInjector::new(FaultScenario::new(
-//!     "rate", FaultKind::Max, Step(20), 36,
-//! ));
-//! let trace = closed_loop::run(
-//!     patient.as_mut(),
-//!     controller.as_mut(),
-//!     Some(&mut monitor),
-//!     Some(&mut injector),
-//!     &LoopConfig::default(),
-//! );
+//! // One insulin-overdose attack, scored by the context-aware monitor
+//! // and the online risk-index ground truth simultaneously.
+//! let trace = Session::builder(Platform::GlucosymOref0)
+//!     .patient(0)
+//!     .monitor_spec(MonitorSpec::Cawot)
+//!     .monitor_spec(MonitorSpec::RiskIndex)
+//!     .inject(FaultScenario::new("rate", FaultKind::Max, Step(20), 36))
+//!     .run()
+//!     .expect("valid session");
 //! assert_eq!(trace.len(), 150);
+//! assert_eq!(trace.monitor_tracks.len(), 2);
+//! assert!(trace.track("cawot").unwrap().first_alert().is_some());
 //! ```
+//!
+//! Sessions also exist *as data*: a serde
+//! [`SessionSpec`](sim::session::SessionSpec) (platform, patient,
+//! monitors, fault, loop config) builds the same run from JSON —
+//! `repro run --spec examples/session_spec.json` — and the builder
+//! validates the fault target against the controller's injectable
+//! surface at build time.
+//!
+//! ## Legacy entry point
+//!
+//! The original positional API,
+//! [`closed_loop::run`](sim::closed_loop::run)`(patient, controller,
+//! Option<monitor>, Option<injector>, &config)`, is retained as a
+//! documented thin wrapper over the same engine and produces
+//! bit-identical traces (pinned by `tests/session_equivalence.rs`).
+//! It is frozen, not deprecated: new capabilities — monitor banks,
+//! per-step observers, spec files, target validation — land only on
+//! [`Session`](sim::session::Session).
 //!
 //! # Performance
 //!
@@ -60,11 +80,22 @@
 //! * **O(1) IOB reads** — the insulin-on-board estimator caches its
 //!   window sum and memoizes the activity curve on the cycle grid
 //!   instead of re-evaluating ~100 `exp` calls per read.
-//! * **Lock-free campaign executor** —
-//!   [`sim::campaign::run_campaign`] claims jobs from an atomic
-//!   counter into worker-local buffers merged in deterministic job
-//!   order; output is defined to equal
-//!   [`sim::campaign::run_campaign_serial`]. No mutex anywhere.
+//! * **Lock-free streaming campaign executor** —
+//!   [`sim::campaign::run_campaign_with`] claims jobs from an atomic
+//!   counter and drains workers through an ordered reorder buffer
+//!   into a caller-supplied sink, so paper-scale sweeps run in
+//!   bounded memory; [`sim::campaign::run_campaign`] is the
+//!   collecting wrapper, defined to equal
+//!   [`sim::campaign::run_campaign_serial`], and
+//!   [`sim::campaign::CampaignStream`] is the pull-based lazy
+//!   counterpart. Offline monitor replay
+//!   ([`sim::replay::replay_campaign`]) parallelizes the same way.
+//! * **Monitor banks** — a [`core::monitors::MonitorBank`] steps N
+//!   monitors against one physics pass (alert streams recorded per
+//!   member in the trace), so scoring a zoo of M monitors live costs
+//!   1×physics + M×monitor instead of M×physics. The `repro zoo`
+//!   report asserts the step count and measures every monitor's
+//!   reaction time, including the `RiskIndexMonitor` latency floor.
 //! * **Streaming O(n) hazard labeling** — [`risk::label_series`] rides
 //!   the incremental [`risk::RiskTracker`] (O(1) rolling LBGI/HBGI per
 //!   sample) instead of recomputing every trailing window
@@ -118,6 +149,7 @@ pub mod prelude {
     pub use aps_core::hms::{ContextMitigator, ContextMitigatorConfig, Hms, TsLearnConfig};
     pub use aps_core::learning::{learn_thresholds, LearnConfig};
     pub use aps_core::mitigation::Mitigator;
+    pub use aps_core::monitors::MonitorBank;
     pub use aps_core::monitors::{
         CawMonitor, GuidelineMonitor, HazardMonitor, LstmMonitor, MlMonitor, MonitorInput,
         MpcMonitor, NullMonitor, RiskIndexMonitor, StlCawMonitor,
@@ -129,8 +161,15 @@ pub mod prelude {
     pub use aps_metrics::glycemic::GlycemicSummary;
     pub use aps_metrics::ConfusionCounts;
     pub use aps_risk::{LabelConfig, RiskSample, RiskTracker};
-    pub use aps_sim::campaign::{run_campaign, CampaignSpec, MonitorFactory, ScenarioCtx};
+    pub use aps_sim::campaign::{
+        campaign_jobs, run_campaign, run_campaign_with, CampaignJob, CampaignSpec, CampaignStream,
+        MonitorFactory, ScenarioCtx,
+    };
     pub use aps_sim::closed_loop::{self, ExerciseBout, LoopConfig, Meal};
     pub use aps_sim::platform::Platform;
-    pub use aps_types::{ControlAction, Hazard, MgDl, SimTrace, Step, Units, UnitsPerHour};
+    pub use aps_sim::replay::{replay_campaign, replay_campaign_with, replay_monitor};
+    pub use aps_sim::session::{MonitorSpec, Session, SessionBuilder, SessionError, SessionSpec};
+    pub use aps_types::{
+        AlertTrack, ControlAction, Hazard, MgDl, SimTrace, Step, StepRecord, Units, UnitsPerHour,
+    };
 }

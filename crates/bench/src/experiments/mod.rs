@@ -7,6 +7,7 @@ pub mod hms;
 pub mod mitigation;
 pub mod patient_specific;
 pub mod resilience;
+pub mod train;
 pub mod zoo_report;
 
 use crate::zoo::{MonitorKind, Zoo};

@@ -27,6 +27,11 @@ pub struct ExpOpts {
     pub lstm_hidden: Vec<usize>,
     /// Max training epochs for neural baselines.
     pub max_epochs: usize,
+    /// Max training epochs for the glucose forecasters (`repro
+    /// train`). Separate from `max_epochs`: the classifier presets are
+    /// sized for minutes-long fits, while forecaster fits run in
+    /// milliseconds and need more passes to beat persistence.
+    pub forecast_epochs: usize,
     /// Cap on flat training samples after balancing (0 = no cap).
     pub train_cap: usize,
     /// Cap on sequence training samples (0 = no cap).
@@ -47,6 +52,7 @@ impl Default for ExpOpts {
             mlp_hidden: vec![64, 32],
             lstm_hidden: vec![32],
             max_epochs: 20,
+            forecast_epochs: 120,
             train_cap: 6000,
             seq_train_cap: 1500,
             out_dir: Some("results".to_owned()),
@@ -114,7 +120,8 @@ impl ExpOpts {
     ///
     /// Supported: `--full`, `--quick`, `--patients 0,1,2`,
     /// `--bgs 100,140`, `--starts 20,60`, `--durations 12,30`,
-    /// `--folds N`, `--steps N`, `--epochs N`, `--out DIR`, `--no-out`.
+    /// `--folds N`, `--steps N`, `--epochs N`, `--forecast-epochs N`,
+    /// `--out DIR`, `--no-out`.
     ///
     /// # Errors
     ///
@@ -172,6 +179,12 @@ impl ExpOpts {
                     opts.max_epochs = take("--epochs")?
                         .parse()
                         .map_err(|e| format!("--epochs: {e}"))?;
+                    i += 2;
+                }
+                "--forecast-epochs" => {
+                    opts.forecast_epochs = take("--forecast-epochs")?
+                        .parse()
+                        .map_err(|e| format!("--forecast-epochs: {e}"))?;
                     i += 2;
                 }
                 "--out" => {

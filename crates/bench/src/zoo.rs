@@ -4,11 +4,12 @@
 use crate::opts::ExpOpts;
 use aps_core::learning::{learn_thresholds, traces_for_patient, LearnConfig};
 use aps_core::monitors::{
-    CawMonitor, GuidelineConfig, GuidelineMonitor, HazardMonitor, LstmMonitor, MlMonitor,
-    MonitorBank, MpcMonitor, RiskIndexMonitor,
+    CawMonitor, ForecastBand, ForecastMonitor, GuidelineConfig, GuidelineMonitor, HazardMonitor,
+    LstmMonitor, MlMonitor, MonitorBank, MpcMonitor, RiskIndexMonitor,
 };
 use aps_core::scs::Scs;
 use aps_ml::data::{Dataset, StandardScaler};
+use aps_ml::forecast::ForecastModel;
 use aps_ml::lstm::{Lstm, LstmConfig, SeqDataset};
 use aps_ml::mlp::{Mlp, MlpConfig};
 use aps_ml::tree::{DecisionTree, TreeConfig};
@@ -43,6 +44,10 @@ pub enum MonitorKind {
     /// Streaming BG-risk-index ground truth (alerts at hazard onset;
     /// the reaction-time floor every predictive monitor should beat).
     RiskIndex,
+    /// Learned predictive glucose forecaster (`repro train` artifact):
+    /// an incremental LSTM predicting BG at a fixed horizon, alerting
+    /// when the prediction crosses the risk-derived hazard band.
+    Forecast,
 }
 
 impl MonitorKind {
@@ -60,6 +65,7 @@ impl MonitorKind {
             MonitorKind::DtMulti => "DT-3c",
             MonitorKind::MlpMulti => "MLP-3c",
             MonitorKind::RiskIndex => "RiskIdx",
+            MonitorKind::Forecast => "Forecast",
         }
     }
 
@@ -83,6 +89,7 @@ pub struct Zoo {
     cawt_by_patient: HashMap<String, Scs>,
     cawt_population: Scs,
     ml: Option<MlArtifacts>,
+    forecast: Option<ForecastModel>,
 }
 
 /// Trained ML baselines (scaler + models), built on demand.
@@ -274,7 +281,15 @@ impl Zoo {
             cawt_by_patient,
             cawt_population,
             ml,
+            forecast: None,
         }
+    }
+
+    /// Attaches a trained forecast bundle (the `repro train` artifact),
+    /// enabling [`MonitorKind::Forecast`].
+    pub fn with_forecast(mut self, model: ForecastModel) -> Zoo {
+        self.forecast = Some(model);
+        self
     }
 
     /// The platform the zoo was trained for.
@@ -321,7 +336,8 @@ impl Zoo {
     ///
     /// Panics when an ML monitor is requested from a zoo trained with
     /// [`Zoo::train`] (thresholds only) instead of
-    /// [`Zoo::train_full`].
+    /// [`Zoo::train_full`], or [`MonitorKind::Forecast`] without a
+    /// [`Zoo::with_forecast`] model.
     pub fn make(&self, kind: MonitorKind, patient: &str) -> Box<dyn HazardMonitor> {
         let basal = self.basal(patient);
         let target = self.platform.target();
@@ -373,6 +389,12 @@ impl Zoo {
                 target,
             )),
             MonitorKind::RiskIndex => Box::new(RiskIndexMonitor::default()),
+            MonitorKind::Forecast => Box::new(ForecastMonitor::from_model(
+                self.forecast
+                    .as_ref()
+                    .expect("zoo has no forecast model attached (see Zoo::with_forecast)"),
+                ForecastBand::default(),
+            )),
             MonitorKind::Lstm => Box::new(LstmMonitor::binary(
                 "lstm",
                 Box::new(ml().lstm.clone()),
@@ -436,6 +458,42 @@ mod tests {
         );
         assert_eq!(bank.len(), 3);
         assert_eq!(bank.names(), vec!["guideline", "cawot", "risk-index"]);
+    }
+
+    #[test]
+    fn zoo_builds_forecast_monitor_when_attached() {
+        let platform = Platform::GlucosymOref0;
+        let opts = ExpOpts {
+            patients: vec![0],
+            steps: 40,
+            lstm_hidden: vec![6],
+            mlp_hidden: vec![6],
+            max_epochs: 1,
+            forecast_epochs: 1,
+            seq_train_cap: 20,
+            out_dir: None,
+            ..ExpOpts::quick()
+        };
+        let model = crate::experiments::train::train_model(&opts);
+        let zoo = Zoo::train(platform, &opts, &[]).with_forecast(model);
+        let mut m = zoo.make(MonitorKind::Forecast, "glucosym/patientA");
+        assert_eq!(m.name(), "forecast");
+        let spec = CampaignSpec {
+            patient_indices: vec![0],
+            initial_bgs: vec![140.0],
+            steps: 40,
+            ..CampaignSpec::quick(platform)
+        };
+        let trace = &run_campaign(&spec, None)[0];
+        let replayed = aps_sim::replay::replay_monitor(trace, m.as_mut());
+        assert_eq!(replayed.len(), trace.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "no forecast model")]
+    fn forecast_kind_without_model_panics() {
+        let zoo = Zoo::train(Platform::GlucosymOref0, &ExpOpts::quick(), &[]);
+        let _ = zoo.make(MonitorKind::Forecast, "glucosym/patientA");
     }
 
     #[test]

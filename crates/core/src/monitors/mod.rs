@@ -2,8 +2,9 @@
 //!
 //! All monitors — the proposed [`CawMonitor`] (CAWT/CAWOT), the
 //! baselines ([`GuidelineMonitor`], [`MpcMonitor`], [`MlMonitor`],
-//! [`LstmMonitor`]), and the streaming ground-truth
-//! [`RiskIndexMonitor`] — implement [`HazardMonitor`]: one `check` per
+//! [`LstmMonitor`]), the streaming ground-truth [`RiskIndexMonitor`],
+//! and the learned predictive [`ForecastMonitor`] (an incremental
+//! LSTM glucose forecaster) — implement [`HazardMonitor`]: one `check` per
 //! control cycle over the controller's I/O interface, plus an
 //! `observe_delivery` callback so the monitor's own context tracks what
 //! actually reached the pump. A [`MonitorBank`] steps any number of
@@ -12,6 +13,7 @@
 
 mod bank;
 pub(crate) mod caw;
+mod forecast;
 mod guideline;
 mod ml;
 mod mpc;
@@ -20,6 +22,7 @@ mod stl_caw;
 
 pub use bank::MonitorBank;
 pub use caw::{CawMonitor, SafeRegion};
+pub use forecast::{ForecastBand, ForecastMonitor};
 pub use guideline::{GuidelineConfig, GuidelineMonitor};
 pub use ml::{LstmMonitor, MlFeatures, MlMonitor};
 pub use mpc::{MpcConfig, MpcMonitor};

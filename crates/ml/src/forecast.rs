@@ -1,0 +1,971 @@
+//! Glucose forecasters: sequence-regression models predicting BG at a
+//! fixed horizon from a window of per-cycle observations.
+//!
+//! Two architectures share the [`ForecastConfig`] hyperparameters:
+//!
+//! * [`LstmForecaster`] — stacked LSTM cells (the same scratch-buffer
+//!   kernels as the classifier in [`crate::lstm`]) with a linear
+//!   scalar head, trained with MSE + Adam + gradient clipping. Its
+//!   [`LstmForecaster::step`] kernel advances a carried
+//!   [`LstmState`] by one sample in O(1) with **zero heap
+//!   allocations** — the online form the `ForecastMonitor` runs every
+//!   control cycle.
+//! * [`MlpForecaster`] — a ReLU MLP over the flattened window, the
+//!   non-recurrent baseline.
+//!
+//! Training is deterministic per seed, and a trained [`ForecastModel`]
+//! bundle (scaler + both networks + evaluation metadata) serializes
+//! via serde so `repro train` can persist weights that `repro zoo`
+//! (and any `SessionSpec`) reload.
+
+use crate::adam::Adam;
+use crate::data::{ForecastSet, StandardScaler};
+use crate::lstm::{BackScratch, Cell, CellCache};
+use crate::matrix::Matrix;
+use rand::RngCore;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Forecaster hyperparameters.
+///
+/// The container-level `#[serde(default)]` makes saved model files
+/// forward-compatible: a field added later deserializes to the value
+/// [`ForecastConfig::default`] assigns it, not to the type's zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ForecastConfig {
+    /// Hidden sizes of the stacked LSTM layers.
+    pub hidden: Vec<usize>,
+    /// Hidden widths of the MLP baseline.
+    pub mlp_hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Maximum training epochs.
+    pub max_epochs: usize,
+    /// Early-stopping patience (epochs without validation improvement).
+    pub patience: usize,
+    /// Validation fraction.
+    pub val_fraction: f64,
+    /// Global gradient-norm clip.
+    pub clip_norm: f64,
+    /// RNG seed (initialization, splits, shuffling).
+    pub seed: u64,
+}
+
+impl Default for ForecastConfig {
+    fn default() -> ForecastConfig {
+        ForecastConfig {
+            hidden: vec![32],
+            mlp_hidden: vec![32],
+            learning_rate: 1e-3,
+            batch_size: 32,
+            max_epochs: 30,
+            patience: 4,
+            val_fraction: 0.15,
+            clip_norm: 5.0,
+            seed: 42,
+        }
+    }
+}
+
+/// A trained stacked-LSTM glucose forecaster (linear scalar head).
+///
+/// The network regresses the *standardized* target; `y_mean`/`y_sd`
+/// (fit on the training targets) map predictions back to mg/dL, so the
+/// optimization is well-conditioned however large the BG scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmForecaster {
+    cells: Vec<Cell>,
+    /// Linear head over the top layer's last hidden state.
+    head_w: Vec<f64>,
+    head_b: f64,
+    y_mean: f64,
+    y_sd: f64,
+    epochs_trained: usize,
+}
+
+/// Carried recurrent state for O(1)-per-sample streaming inference:
+/// per-layer hidden/cell vectors plus fixed work buffers. One
+/// [`LstmForecaster::step`] per control cycle performs no heap
+/// allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmState {
+    h: Vec<Vec<f64>>,
+    c: Vec<Vec<f64>>,
+    z: Vec<f64>,
+    gates: Vec<f64>,
+    steps: usize,
+}
+
+impl LstmState {
+    /// Samples consumed since construction/reset.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Zeroes the recurrent state for a fresh stream.
+    pub fn reset(&mut self) {
+        for h in &mut self.h {
+            h.fill(0.0);
+        }
+        for c in &mut self.c {
+            c.fill(0.0);
+        }
+        self.steps = 0;
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl LstmForecaster {
+    fn init(dim: usize, config: &ForecastConfig, rng: &mut ChaCha8Rng) -> LstmForecaster {
+        let mut cells = Vec::new();
+        let mut in_dim = dim;
+        for &h in &config.hidden {
+            cells.push(Cell::new(in_dim, h, rng));
+            in_dim = h;
+        }
+        let head = Matrix::xavier_init(in_dim, 1, rng);
+        LstmForecaster {
+            cells,
+            head_w: head.data().to_vec(),
+            head_b: 0.0,
+            y_mean: 0.0,
+            y_sd: 1.0,
+            epochs_trained: 0,
+        }
+    }
+
+    /// Trains the forecaster on a (standardized) forecast set via the
+    /// allocation-free scratch path; deterministic per
+    /// `config.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset or empty windows.
+    pub fn fit(data: &ForecastSet, config: &ForecastConfig) -> LstmForecaster {
+        let mut trainer = ForecastTrainer::new(data, config);
+        let mut rng = trainer.split_rng();
+        let (train_idx, val_idx) =
+            crate::train_util::val_split(data.len(), config.val_fraction, &mut rng);
+        let plan = crate::train_util::EpochPlan {
+            max_epochs: config.max_epochs,
+            batch_size: config.batch_size,
+            patience: config.patience,
+            tol: 1e-9,
+            train_idx: &train_idx,
+            val_idx: &val_idx,
+        };
+        let initial = trainer.model().clone();
+        crate::train_util::train_epochs(
+            &mut trainer,
+            &plan,
+            &mut rng,
+            initial,
+            |t, chunk| t.train_batch(data, chunk),
+            |t, vset| t.mse(data, vset),
+            |t, epoch| {
+                let mut snap = t.model().clone();
+                snap.epochs_trained = epoch;
+                snap
+            },
+        )
+    }
+
+    /// Epochs actually run before early stopping.
+    pub fn epochs_trained(&self) -> usize {
+        self.epochs_trained
+    }
+
+    /// Per-step input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.cells.first().map(|c| c.input_dim).unwrap_or(0)
+    }
+
+    /// Fresh zeroed recurrent state sized for this network.
+    pub fn state(&self) -> LstmState {
+        let z_max = self
+            .cells
+            .iter()
+            .map(|c| c.input_dim + c.hidden)
+            .max()
+            .unwrap_or(0);
+        let g_max = self.cells.iter().map(|c| 4 * c.hidden).max().unwrap_or(0);
+        LstmState {
+            h: self.cells.iter().map(|c| vec![0.0; c.hidden]).collect(),
+            c: self.cells.iter().map(|c| vec![0.0; c.hidden]).collect(),
+            z: vec![0.0; z_max],
+            gates: vec![0.0; g_max],
+            steps: 0,
+        }
+    }
+
+    /// Advances the carried state by one (standardized) sample and
+    /// returns the horizon-BG prediction. O(1) per call, zero heap
+    /// allocations, and — because an LSTM is recurrent — feeding a
+    /// window sample-by-sample from a fresh state is bit-identical to
+    /// [`predict_seq`](LstmForecaster::predict_seq) over that window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` does not match the input dimension.
+    pub fn step(&self, state: &mut LstmState, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
+        for (li, cell) in self.cells.iter().enumerate() {
+            let d = cell.input_dim;
+            let h = cell.hidden;
+            if li == 0 {
+                state.z[..d].copy_from_slice(x);
+            } else {
+                // `h[li-1]` was updated by the previous loop iteration.
+                let (below, _) = state.h.split_at(li);
+                state.z[..d].copy_from_slice(&below[li - 1]);
+            }
+            state.z[d..d + h].copy_from_slice(&state.h[li]);
+            let gates = &mut state.gates[..4 * h];
+            gates.copy_from_slice(&cell.b);
+            cell.w.vecmat_acc_into(&state.z[..d + h], gates);
+            for v in &mut gates[0..h] {
+                *v = sigmoid(*v);
+            }
+            for v in &mut gates[h..2 * h] {
+                *v = sigmoid(*v);
+            }
+            for v in &mut gates[2 * h..3 * h] {
+                *v = sigmoid(*v);
+            }
+            for v in &mut gates[3 * h..4 * h] {
+                *v = v.tanh();
+            }
+            let c_row = &mut state.c[li];
+            for j in 0..h {
+                c_row[j] = gates[h + j] * c_row[j] + gates[j] * gates[3 * h + j];
+            }
+            let h_row = &mut state.h[li];
+            for j in 0..h {
+                h_row[j] = gates[2 * h + j] * c_row[j].tanh();
+            }
+        }
+        state.steps += 1;
+        let top = &state.h[self.cells.len() - 1];
+        let mut y = self.head_b;
+        for (w, hv) in self.head_w.iter().zip(top) {
+            y += w * hv;
+        }
+        self.y_mean + self.y_sd * y
+    }
+
+    /// Batch forward pass over a whole (standardized) window from a
+    /// zeroed initial state; returns mg/dL.
+    pub fn predict_seq(&self, xs: &[Vec<f64>]) -> f64 {
+        let mut state = self.state();
+        let mut y = self.y_mean + self.y_sd * self.head_b;
+        for x in xs {
+            y = self.step(&mut state, x);
+        }
+        y
+    }
+
+    /// Standard deviation of the training targets (the factor that
+    /// converts the trainer's standardized MSE back to mg/dL²).
+    pub fn target_sd(&self) -> f64 {
+        self.y_sd
+    }
+}
+
+/// Reusable LSTM-forecaster training state (scratch caches, gradient
+/// accumulators, Adam moments): the regression twin of
+/// [`crate::lstm::LstmTrainer`], with the same steady-state
+/// zero-allocation property for
+/// [`train_batch`](ForecastTrainer::train_batch).
+pub struct ForecastTrainer {
+    model: LstmForecaster,
+    config: ForecastConfig,
+    adam_w: Vec<Adam>,
+    adam_b: Vec<Adam>,
+    adam_hw: Adam,
+    adam_hb: Adam,
+    caches: Vec<CellCache>,
+    back: BackScratch,
+    stream_a: Vec<f64>,
+    stream_b: Vec<f64>,
+    dw: Vec<Matrix>,
+    db: Vec<Vec<f64>>,
+    dhw: Vec<f64>,
+    dhb: f64,
+    /// Widest per-layer stream row (fixed by the model shape; hoisted
+    /// out of the per-sample loop).
+    max_width: usize,
+    rng_cursor: u64,
+}
+
+impl ForecastTrainer {
+    /// Initializes a model for `data` and the buffers to train it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset or empty windows.
+    pub fn new(data: &ForecastSet, config: &ForecastConfig) -> ForecastTrainer {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        assert!(
+            data.window() > 0 && data.dim() > 0,
+            "windows must be non-empty"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut model = LstmForecaster::init(data.dim(), config, &mut rng);
+        // Target standardization: the network regresses z-scored BG.
+        let n = data.y.iter().map(|ys| ys.len()).sum::<usize>() as f64;
+        model.y_mean = data.y.iter().flatten().sum::<f64>() / n;
+        model.y_sd = (data
+            .y
+            .iter()
+            .flatten()
+            .map(|y| (y - model.y_mean).powi(2))
+            .sum::<f64>()
+            / n)
+            .sqrt()
+            .max(1e-9);
+        let adam_w = model
+            .cells
+            .iter()
+            .map(|c| Adam::new(c.w.data().len(), config.learning_rate))
+            .collect();
+        let adam_b = model
+            .cells
+            .iter()
+            .map(|c| Adam::new(c.b.len(), config.learning_rate))
+            .collect();
+        let adam_hw = Adam::new(model.head_w.len(), config.learning_rate);
+        let adam_hb = Adam::new(1, config.learning_rate);
+        ForecastTrainer {
+            caches: model.cells.iter().map(|_| CellCache::default()).collect(),
+            back: BackScratch::default(),
+            stream_a: Vec::new(),
+            stream_b: Vec::new(),
+            dw: model
+                .cells
+                .iter()
+                .map(|c| Matrix::zeros(c.w.rows(), c.w.cols()))
+                .collect(),
+            db: model.cells.iter().map(|c| vec![0.0; c.b.len()]).collect(),
+            dhw: vec![0.0; model.head_w.len()],
+            dhb: 0.0,
+            max_width: model
+                .cells
+                .iter()
+                .map(|c| c.hidden.max(c.input_dim))
+                .max()
+                .unwrap_or(0),
+            model,
+            config: config.clone(),
+            adam_w,
+            adam_b,
+            adam_hw,
+            adam_hb,
+            rng_cursor: rng.next_u64(),
+        }
+    }
+
+    /// A fresh RNG reseeded from a value the initialization stream
+    /// drew last — not a stream resume, but fully determined by
+    /// `config.seed` (used by [`LstmForecaster::fit`] for
+    /// splits/shuffles).
+    fn split_rng(&self) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(self.rng_cursor)
+    }
+
+    /// The model in its current training state.
+    pub fn model(&self) -> &LstmForecaster {
+        &self.model
+    }
+
+    /// Scratch forward pass over one window; fills the per-layer
+    /// caches (per-step predictions are then head products over the
+    /// top cache's hidden rows).
+    fn forward(&mut self, xs: &[Vec<f64>]) {
+        crate::lstm::forward_stack(&self.model.cells, xs, &mut self.caches);
+    }
+
+    /// One mini-batch MSE update, supervising **every** timestep's
+    /// horizon target. Allocation-free once the buffers have been
+    /// sized by a first call.
+    pub fn train_batch(&mut self, data: &ForecastSet, idx: &[usize]) {
+        let n_layers = self.model.cells.len();
+        for g in &mut self.dw {
+            g.data_mut().fill(0.0);
+        }
+        for g in &mut self.db {
+            g.fill(0.0);
+        }
+        self.dhw.fill(0.0);
+        self.dhb = 0.0;
+
+        for &i in idx {
+            let xs = &data.x[i];
+            let t_len = xs.len();
+            let scale = 1.0 / (idx.len().max(1) * t_len.max(1)) as f64;
+            self.forward(xs);
+            let top = n_layers - 1;
+            let top_h = self.model.cells[top].hidden;
+            self.stream_a.resize(t_len * self.max_width, 0.0);
+            self.stream_b.resize(t_len * self.max_width, 0.0);
+            // Per-step head pass + gradients; dhs row per timestep.
+            for t in 0..t_len {
+                let h_t = self.caches[top].h_row(t, top_h);
+                let mut yhat = self.model.head_b;
+                for (w, hv) in self.model.head_w.iter().zip(h_t) {
+                    yhat += w * hv;
+                }
+                let target = (data.y[i][t] - self.model.y_mean) / self.model.y_sd;
+                let dy = 2.0 * (yhat - target) * scale;
+                for (g, &hv) in self.dhw.iter_mut().zip(h_t) {
+                    *g += hv * dy;
+                }
+                self.dhb += dy;
+                for (dv, &w) in self.stream_a[t * top_h..(t + 1) * top_h]
+                    .iter_mut()
+                    .zip(&self.model.head_w)
+                {
+                    *dv = dy * w;
+                }
+            }
+            for li in (0..n_layers).rev() {
+                let cell = &self.model.cells[li];
+                cell.backward_scratch(
+                    &self.caches[li],
+                    &self.stream_a[..t_len * cell.hidden],
+                    &mut self.stream_b[..t_len * cell.input_dim],
+                    &mut self.dw[li],
+                    &mut self.db[li],
+                    &mut self.back,
+                );
+                if li > 0 {
+                    std::mem::swap(&mut self.stream_a, &mut self.stream_b);
+                }
+            }
+        }
+
+        // Global-norm clipping.
+        let mut norm_sq = 0.0;
+        for g in &self.dw {
+            norm_sq += g.data().iter().map(|v| v * v).sum::<f64>();
+        }
+        for g in &self.db {
+            norm_sq += g.iter().map(|v| v * v).sum::<f64>();
+        }
+        norm_sq += self.dhw.iter().map(|v| v * v).sum::<f64>();
+        norm_sq += self.dhb * self.dhb;
+        let clip = crate::train_util::clip_factor(norm_sq, self.config.clip_norm);
+        if clip < 1.0 {
+            for g in &mut self.dw {
+                for v in g.data_mut() {
+                    *v *= clip;
+                }
+            }
+            for g in &mut self.db {
+                for v in g.iter_mut() {
+                    *v *= clip;
+                }
+            }
+            for v in &mut self.dhw {
+                *v *= clip;
+            }
+            self.dhb *= clip;
+        }
+
+        for li in 0..n_layers {
+            self.adam_w[li].step(self.model.cells[li].w.data_mut(), self.dw[li].data());
+            self.adam_b[li].step(&mut self.model.cells[li].b, &self.db[li]);
+        }
+        self.adam_hw.step(&mut self.model.head_w, &self.dhw);
+        let mut hb = [self.model.head_b];
+        self.adam_hb.step(&mut hb, &[self.dhb]);
+        self.model.head_b = hb[0];
+    }
+
+    /// Mean squared error over every timestep of the samples at `idx`,
+    /// in standardized target units (multiply by `target_sd()²` for
+    /// mg/dL²); scratch forward, allocation-free in steady state.
+    pub fn mse(&mut self, data: &ForecastSet, idx: &[usize]) -> f64 {
+        if idx.is_empty() {
+            return 0.0;
+        }
+        let top = self.model.cells.len() - 1;
+        let top_h = self.model.cells[top].hidden;
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for &i in idx {
+            self.forward(&data.x[i]);
+            for (t, &target) in data.y[i].iter().enumerate() {
+                let h_t = self.caches[top].h_row(t, top_h);
+                let mut yhat = self.model.head_b;
+                for (w, hv) in self.model.head_w.iter().zip(h_t) {
+                    yhat += w * hv;
+                }
+                let e = yhat - (target - self.model.y_mean) / self.model.y_sd;
+                total += e * e;
+                count += 1;
+            }
+        }
+        total / count.max(1) as f64
+    }
+}
+
+/// One layer of the MLP baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RegLayer {
+    w: Matrix, // in × out
+    b: Vec<f64>,
+}
+
+/// A ReLU MLP regressor over the flattened forecast window
+/// (standardized-target regression like [`LstmForecaster`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpForecaster {
+    layers: Vec<RegLayer>,
+    window: usize,
+    dim: usize,
+    y_mean: f64,
+    y_sd: f64,
+    epochs_trained: usize,
+}
+
+impl MlpForecaster {
+    /// Trains the MLP baseline on a (standardized) forecast set;
+    /// deterministic per `config.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset or empty windows.
+    pub fn fit(data: &ForecastSet, config: &ForecastConfig) -> MlpForecaster {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let window = data.window();
+        let dim = data.dim();
+        let in_dim = window * dim;
+        assert!(in_dim > 0, "windows must be non-empty");
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        // The MLP predicts the horizon target of the window's *last*
+        // step (the non-recurrent framing).
+        let lasts: Vec<f64> = data.y.iter().map(|ys| *ys.last().expect("y")).collect();
+        let n = lasts.len() as f64;
+        let y_mean = lasts.iter().sum::<f64>() / n;
+        let y_sd = (lasts.iter().map(|y| (y - y_mean).powi(2)).sum::<f64>() / n)
+            .sqrt()
+            .max(1e-9);
+        let ys: Vec<f64> = lasts.iter().map(|y| (y - y_mean) / y_sd).collect();
+
+        let mut sizes = vec![in_dim];
+        sizes.extend(&config.mlp_hidden);
+        sizes.push(1);
+        let layers: Vec<RegLayer> = sizes
+            .windows(2)
+            .map(|w| RegLayer {
+                w: Matrix::he_init(w[0], w[1], &mut rng),
+                b: vec![0.0; w[1]],
+            })
+            .collect();
+
+        let (train_idx, val_idx) =
+            crate::train_util::val_split(data.len(), config.val_fraction, &mut rng);
+
+        let adam_w: Vec<Adam> = layers
+            .iter()
+            .map(|l| Adam::new(l.w.data().len(), config.learning_rate))
+            .collect();
+        let adam_b: Vec<Adam> = layers
+            .iter()
+            .map(|l| Adam::new(l.b.len(), config.learning_rate))
+            .collect();
+
+        let flat = vec![0.0; in_dim];
+        let flatten = |xs: &[Vec<f64>], out: &mut [f64]| {
+            for (t, row) in xs.iter().enumerate() {
+                out[t * dim..(t + 1) * dim].copy_from_slice(row);
+            }
+        };
+        let mse_of = |layers: &[RegLayer], idx: &[usize], flat: &mut [f64]| -> f64 {
+            if idx.is_empty() {
+                return 0.0;
+            }
+            let mut total = 0.0;
+            for &i in idx {
+                flatten(&data.x[i], flat);
+                let e = forward_reg(layers, flat) - ys[i];
+                total += e * e;
+            }
+            total / idx.len() as f64
+        };
+
+        let plan = crate::train_util::EpochPlan {
+            max_epochs: config.max_epochs,
+            batch_size: config.batch_size,
+            patience: config.patience,
+            tol: 1e-9,
+            train_idx: &train_idx,
+            val_idx: &val_idx,
+        };
+        // The context bundles everything the epoch hooks mutate; the
+        // snapshot carries the epoch that produced it, so the reported
+        // `epochs_trained` matches the restored weights.
+        let mut ctx = (layers, adam_w, adam_b, flat);
+        let initial = (ctx.0.clone(), 0usize);
+        let best = crate::train_util::train_epochs(
+            &mut ctx,
+            &plan,
+            &mut rng,
+            initial,
+            |(layers, adam_w, adam_b, _), chunk| {
+                train_reg_batch(layers, &data.x, &ys, chunk, &flatten, adam_w, adam_b)
+            },
+            |(layers, _, _, flat), vset| mse_of(layers, vset, flat),
+            |(layers, _, _, _), epoch| (layers.clone(), epoch),
+        );
+        MlpForecaster {
+            layers: best.0,
+            epochs_trained: best.1,
+            window,
+            dim,
+            y_mean,
+            y_sd,
+        }
+    }
+
+    /// Epochs actually run before early stopping.
+    pub fn epochs_trained(&self) -> usize {
+        self.epochs_trained
+    }
+
+    /// Predicts the horizon BG (mg/dL) for one (standardized) window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window shape disagrees with training.
+    pub fn predict_seq(&self, xs: &[Vec<f64>]) -> f64 {
+        assert_eq!(xs.len(), self.window, "window length mismatch");
+        let mut flat = vec![0.0; self.window * self.dim];
+        for (t, row) in xs.iter().enumerate() {
+            assert_eq!(row.len(), self.dim, "feature dimension mismatch");
+            flat[t * self.dim..(t + 1) * self.dim].copy_from_slice(row);
+        }
+        self.y_mean + self.y_sd * forward_reg(&self.layers, &flat)
+    }
+}
+
+/// Forward pass of the regression MLP (ReLU hidden, linear output).
+fn forward_reg(layers: &[RegLayer], x: &[f64]) -> f64 {
+    let widest = layers.iter().map(|l| l.b.len()).max().unwrap_or(0);
+    let mut a = x.to_vec();
+    let mut z = vec![0.0; widest];
+    let last = layers.len() - 1;
+    for (i, layer) in layers.iter().enumerate() {
+        let out = &mut z[..layer.b.len()];
+        layer.w.vecmat_bias_into(&a, &layer.b, out);
+        if i < last {
+            for v in out.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+        a.resize(out.len(), 0.0);
+        a.copy_from_slice(out);
+    }
+    a[0]
+}
+
+/// One MSE mini-batch update of the regression MLP (standardized
+/// targets in `ys`).
+fn train_reg_batch(
+    layers: &mut [RegLayer],
+    xs_all: &[Vec<Vec<f64>>],
+    ys: &[f64],
+    idx: &[usize],
+    flatten: &impl Fn(&[Vec<f64>], &mut [f64]),
+    adam_w: &mut [Adam],
+    adam_b: &mut [Adam],
+) {
+    let n_layers = layers.len();
+    let in_dim = layers[0].w.rows();
+    let mut dw: Vec<Matrix> = layers
+        .iter()
+        .map(|l| Matrix::zeros(l.w.rows(), l.w.cols()))
+        .collect();
+    let mut db: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+    let scale = 1.0 / idx.len().max(1) as f64;
+    let mut flat = vec![0.0; in_dim];
+
+    for &i in idx {
+        flatten(&xs_all[i], &mut flat);
+        // Forward, caching activations.
+        let mut acts: Vec<Vec<f64>> = vec![flat.clone()];
+        for (li, layer) in layers.iter().enumerate() {
+            let mut out = vec![0.0; layer.b.len()];
+            layer.w.vecmat_bias_into(&acts[li], &layer.b, &mut out);
+            if li < n_layers - 1 {
+                for v in &mut out {
+                    *v = v.max(0.0);
+                }
+            }
+            acts.push(out);
+        }
+        let yhat = acts[n_layers][0];
+        let dy = 2.0 * (yhat - ys[i]) * scale;
+        // Backward.
+        let mut da = vec![dy];
+        for li in (0..n_layers).rev() {
+            let a_prev = &acts[li];
+            for (k, &av) in a_prev.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let row_start = k * layers[li].w.cols();
+                let dw_data = dw[li].data_mut();
+                for (j, &d) in da.iter().enumerate() {
+                    dw_data[row_start + j] += av * d;
+                }
+            }
+            for (b, &d) in db[li].iter_mut().zip(&da) {
+                *b += d;
+            }
+            if li > 0 {
+                let mut prev = vec![0.0; layers[li].w.rows()];
+                for (k, pv) in prev.iter_mut().enumerate() {
+                    let row = layers[li].w.row(k);
+                    *pv = da.iter().zip(row).map(|(a, b)| a * b).sum();
+                }
+                // ReLU' gate of the layer below's output.
+                for (v, &act) in prev.iter_mut().zip(&acts[li]) {
+                    if act <= 0.0 {
+                        *v = 0.0;
+                    }
+                }
+                da = prev;
+            }
+        }
+    }
+
+    for li in 0..n_layers {
+        adam_w[li].step(layers[li].w.data_mut(), dw[li].data());
+        adam_b[li].step(&mut layers[li].b, &db[li]);
+    }
+}
+
+/// A complete trained forecasting artifact: everything an online
+/// monitor (or a later session) needs to reproduce predictions — the
+/// feature scaler, both networks, the window/horizon geometry, and
+/// held-out evaluation metadata. Produced by `repro train`, consumed
+/// by `repro zoo` and `MonitorSpec::Forecast`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForecastModel {
+    /// Window length in control cycles.
+    pub window: usize,
+    /// Forecast horizon in control cycles (5 min each).
+    pub horizon: usize,
+    /// Feature standardizer fit on the training campaign.
+    pub scaler: StandardScaler,
+    /// Hyperparameters both networks were trained with.
+    pub config: ForecastConfig,
+    /// The recurrent forecaster (the one that runs online).
+    pub lstm: LstmForecaster,
+    /// The non-recurrent baseline.
+    pub mlp: MlpForecaster,
+    /// Validation RMSE of the LSTM (mg/dL).
+    #[serde(default)]
+    pub lstm_val_rmse: f64,
+    /// Validation RMSE of the MLP baseline (mg/dL).
+    #[serde(default)]
+    pub mlp_val_rmse: f64,
+    /// Validation RMSE of the persistence baseline (predict BG stays
+    /// at the window's last reading).
+    #[serde(default)]
+    pub persistence_val_rmse: f64,
+    /// Training pairs the networks saw.
+    #[serde(default)]
+    pub trained_pairs: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Synthetic forecastable dynamics: BG follows a sine wave the
+    /// window fully determines; per-step targets 3 steps ahead.
+    fn wave_set(n: usize, window: usize, seed: u64) -> ForecastSet {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let amp: f64 = rng.gen_range(0.5..1.5);
+            let series: Vec<f64> = (0..window + 3)
+                .map(|t| amp * (phase + 0.4 * t as f64).sin())
+                .collect();
+            x.push(
+                series[..window]
+                    .iter()
+                    .map(|&bg| vec![bg, 0.5 * bg])
+                    .collect(),
+            );
+            y.push((0..window).map(|t| series[t + 3]).collect());
+        }
+        ForecastSet::new(x, y)
+    }
+
+    /// Mean of the last-step targets (the scalar baselines predict).
+    fn mean_last(data: &ForecastSet) -> f64 {
+        data.y.iter().map(|ys| ys.last().unwrap()).sum::<f64>() / data.len() as f64
+    }
+
+    fn quick_config() -> ForecastConfig {
+        ForecastConfig {
+            hidden: vec![10],
+            mlp_hidden: vec![12],
+            max_epochs: 30,
+            patience: 6,
+            ..ForecastConfig::default()
+        }
+    }
+
+    #[test]
+    fn lstm_forecaster_beats_mean_prediction() {
+        let data = wave_set(200, 6, 1);
+        let model = LstmForecaster::fit(&data, &quick_config());
+        let mean = mean_last(&data);
+        let (mut mse, mut base) = (0.0, 0.0);
+        for (xs, ys) in data.x.iter().zip(&data.y) {
+            let y = *ys.last().unwrap();
+            mse += (model.predict_seq(xs) - y).powi(2);
+            base += (mean - y).powi(2);
+        }
+        assert!(mse < 0.5 * base, "model {mse:.4} vs mean {base:.4}");
+    }
+
+    #[test]
+    fn mlp_forecaster_beats_mean_prediction() {
+        let data = wave_set(200, 6, 2);
+        let model = MlpForecaster::fit(&data, &quick_config());
+        let mean = mean_last(&data);
+        let (mut mse, mut base) = (0.0, 0.0);
+        for (xs, ys) in data.x.iter().zip(&data.y) {
+            let y = *ys.last().unwrap();
+            mse += (model.predict_seq(xs) - y).powi(2);
+            base += (mean - y).powi(2);
+        }
+        assert!(mse < 0.5 * base, "model {mse:.4} vs mean {base:.4}");
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let data = wave_set(60, 5, 3);
+        let cfg = ForecastConfig {
+            max_epochs: 4,
+            ..quick_config()
+        };
+        assert_eq!(
+            LstmForecaster::fit(&data, &cfg),
+            LstmForecaster::fit(&data, &cfg)
+        );
+        assert_eq!(
+            MlpForecaster::fit(&data, &cfg),
+            MlpForecaster::fit(&data, &cfg)
+        );
+    }
+
+    #[test]
+    fn incremental_stepping_matches_batch_forward() {
+        let data = wave_set(40, 6, 4);
+        let cfg = ForecastConfig {
+            hidden: vec![8, 5],
+            max_epochs: 3,
+            ..quick_config()
+        };
+        let model = LstmForecaster::fit(&data, &cfg);
+        // Stream a long concatenated sequence; at every step the
+        // carried-state prediction must equal a batch pass over the
+        // full prefix, bit for bit.
+        let stream: Vec<Vec<f64>> = data.x.iter().take(4).flatten().cloned().collect();
+        let mut state = model.state();
+        for (t, x) in stream.iter().enumerate() {
+            let incremental = model.step(&mut state, x);
+            let batch = model.predict_seq(&stream[..=t]);
+            assert_eq!(incremental, batch, "diverged at sample {t}");
+        }
+        assert_eq!(state.steps(), stream.len());
+        state.reset();
+        assert_eq!(state.steps(), 0);
+        assert_eq!(model.step(&mut state, &stream[0]), {
+            let mut fresh = model.state();
+            model.step(&mut fresh, &stream[0])
+        });
+    }
+
+    #[test]
+    fn trainer_descends_the_mse_loss() {
+        let data = wave_set(4, 3, 9);
+        let cfg = ForecastConfig {
+            hidden: vec![4],
+            max_epochs: 0,
+            ..quick_config()
+        };
+        let mut trainer = ForecastTrainer::new(&data, &cfg);
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let before = trainer.mse(&data, &idx);
+        for _ in 0..400 {
+            trainer.train_batch(&data, &idx);
+        }
+        let after = trainer.mse(&data, &idx);
+        assert!(
+            after < before * 0.5,
+            "training failed to descend: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn forecast_model_serde_roundtrip() {
+        let data = wave_set(30, 4, 6);
+        let cfg = ForecastConfig {
+            max_epochs: 2,
+            ..quick_config()
+        };
+        let scaler = StandardScaler::fit_sequences(&data.x);
+        let model = ForecastModel {
+            window: 4,
+            horizon: 3,
+            scaler,
+            config: cfg.clone(),
+            lstm: LstmForecaster::fit(&data, &cfg),
+            mlp: MlpForecaster::fit(&data, &cfg),
+            lstm_val_rmse: 1.25,
+            mlp_val_rmse: 2.5,
+            persistence_val_rmse: 3.75,
+            trained_pairs: data.len(),
+        };
+        let json = serde_json::to_string(&model).unwrap();
+        let back: ForecastModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(model, back);
+        // Predictions from the deserialized weights are bit-identical.
+        assert_eq!(
+            model.lstm.predict_seq(&data.x[0]),
+            back.lstm.predict_seq(&data.x[0])
+        );
+    }
+
+    #[test]
+    fn forecast_config_is_forward_compatible() {
+        // A config JSON missing newer fields deserializes to the
+        // defaults of ForecastConfig::default(), not to type zeros —
+        // the container-level #[serde(default)] semantics.
+        let partial: ForecastConfig =
+            serde_json::from_str(r#"{ "hidden": [9], "seed": 7 }"#).unwrap();
+        assert_eq!(partial.hidden, vec![9]);
+        assert_eq!(partial.seed, 7);
+        let defaults = ForecastConfig::default();
+        assert_eq!(partial.learning_rate, defaults.learning_rate);
+        assert_eq!(partial.batch_size, defaults.batch_size);
+        assert_eq!(partial.mlp_hidden, defaults.mlp_hidden);
+    }
+}

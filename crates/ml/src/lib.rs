@@ -11,20 +11,29 @@
 //! * [`mlp::Mlp`] — fully-connected ReLU network with softmax output,
 //!   Adam, inverted dropout, and early stopping;
 //! * [`lstm::Lstm`] — stacked LSTM with full BPTT and gradient
-//!   clipping;
-//! * [`data`] — standardization, splits, k-fold indices.
+//!   clipping (allocation-free scratch training; see
+//!   [`lstm::LstmTrainer`]);
+//! * [`forecast`] — glucose *forecasters* (sequence regression):
+//!   [`forecast::LstmForecaster`] with an O(1) streaming inference
+//!   state and the [`forecast::MlpForecaster`] baseline, bundled with
+//!   their scaler as a serializable [`forecast::ForecastModel`];
+//! * [`data`] — standardization, splits, k-fold indices, and the
+//!   streaming [`data::TraceDataset`] adapter from simulation traces
+//!   to forecast training pairs.
 //!
-//! All models implement [`Classifier`]. Training is deterministic per
-//! seed.
+//! All classifiers implement [`Classifier`]. Training is deterministic
+//! per seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adam;
 pub mod data;
+pub mod forecast;
 pub mod lstm;
 pub mod matrix;
 pub mod mlp;
+mod train_util;
 pub mod tree;
 
 /// A trained multi-class classifier over fixed-length feature vectors.

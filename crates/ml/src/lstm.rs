@@ -7,6 +7,18 @@
 //!
 //! Gate layout: for each cell, one weight matrix `W: (D+H) × 4H` maps
 //! the concatenated `[x_t, h_{t−1}]` to the `i, f, o, g` pre-activations.
+//!
+//! # Scratch-buffer training
+//!
+//! The training hot path is allocation-free in steady state: all
+//! per-timestep storage (gate activations, cell/hidden states, BPTT
+//! work vectors, gradient accumulators) lives in a reusable
+//! [`LstmTrainer`], mirroring the simulator's `Rk4Scratch` pattern.
+//! The original allocating implementation is retained as
+//! [`Lstm::fit_reference`] and the two are pinned bit-identical in
+//! `tests/lstm_equivalence.rs` (the workspace-level regression test),
+//! which also asserts the zero-allocation property with a counting
+//! allocator.
 
 use crate::adam::Adam;
 use crate::matrix::Matrix;
@@ -97,16 +109,17 @@ impl SeqDataset {
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct Cell {
+pub(crate) struct Cell {
     /// (input_dim + hidden) × 4*hidden, gate order [i | f | o | g].
-    w: Matrix,
-    b: Vec<f64>,
-    hidden: usize,
-    input_dim: usize,
+    pub(crate) w: Matrix,
+    pub(crate) b: Vec<f64>,
+    pub(crate) hidden: usize,
+    pub(crate) input_dim: usize,
 }
 
+/// Per-sequence forward cache of the *reference* (allocating) path.
 #[derive(Debug, Clone)]
-struct CellCache {
+pub(crate) struct RefCache {
     /// Per t: concatenated input [x_t, h_{t-1}].
     zs: Vec<Vec<f64>>,
     /// Per t: gate activations i, f, o, g.
@@ -114,15 +127,127 @@ struct CellCache {
     /// Per t: cell state c_t.
     cs: Vec<Vec<f64>>,
     /// Per t: hidden output h_t.
-    hs: Vec<Vec<f64>>,
+    pub(crate) hs: Vec<Vec<f64>>,
+}
+
+/// Flat per-sequence forward cache, reused across samples (scratch).
+///
+/// Rows are packed per timestep: `zs` holds `[x_t, h_{t-1}]` at stride
+/// `input_dim + hidden`, `gates` the activated `i|f|o|g` block at
+/// stride `4·hidden`, `cs`/`hs` the cell/hidden state at stride
+/// `hidden`. Buffers only grow; steady-state reuse never allocates.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CellCache {
+    zs: Vec<f64>,
+    gates: Vec<f64>,
+    cs: Vec<f64>,
+    hs: Vec<f64>,
+    t_len: usize,
+}
+
+impl CellCache {
+    fn reserve(&mut self, cell: &Cell, t_len: usize) {
+        let zw = cell.input_dim + cell.hidden;
+        self.zs.resize(t_len * zw, 0.0);
+        self.gates.resize(t_len * 4 * cell.hidden, 0.0);
+        self.cs.resize(t_len * cell.hidden, 0.0);
+        self.hs.resize(t_len * cell.hidden, 0.0);
+        self.t_len = t_len;
+    }
+
+    /// Hidden-state row at timestep `t` (width = the cell's hidden).
+    pub(crate) fn h_row(&self, t: usize, hidden: usize) -> &[f64] {
+        &self.hs[t * hidden..(t + 1) * hidden]
+    }
+
+    /// The first `len` entries of the flat hidden-state slab (the
+    /// layer-below input view for stacked forward passes).
+    pub(crate) fn h_slab(&self, len: usize) -> &[f64] {
+        &self.hs[..len]
+    }
+}
+
+/// BPTT work vectors shared across layers (sized to the widest).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BackScratch {
+    dpre: Vec<f64>,
+    dc: Vec<f64>,
+    dc_next: Vec<f64>,
+    dh_next: Vec<f64>,
+    dh: Vec<f64>,
+    dz: Vec<f64>,
+}
+
+impl BackScratch {
+    fn reserve(&mut self, cell: &Cell) {
+        let h = cell.hidden;
+        self.dpre.resize(4 * h, 0.0);
+        self.dc.resize(h, 0.0);
+        self.dc_next.resize(h, 0.0);
+        self.dh_next.resize(h, 0.0);
+        self.dh.resize(h, 0.0);
+        self.dz.resize(cell.input_dim + h, 0.0);
+    }
+}
+
+/// A borrowed sequence: either dataset rows or a flat cache from the
+/// layer below.
+pub(crate) enum SeqView<'a> {
+    Rows(&'a [Vec<f64>]),
+    Flat {
+        data: &'a [f64],
+        width: usize,
+        t_len: usize,
+    },
+}
+
+impl SeqView<'_> {
+    fn t_len(&self) -> usize {
+        match self {
+            SeqView::Rows(rows) => rows.len(),
+            SeqView::Flat { t_len, .. } => *t_len,
+        }
+    }
+
+    fn row(&self, t: usize) -> &[f64] {
+        match self {
+            SeqView::Rows(rows) => &rows[t],
+            SeqView::Flat { data, width, .. } => &data[t * width..(t + 1) * width],
+        }
+    }
 }
 
 fn sigmoid(x: f64) -> f64 {
     1.0 / (1.0 + (-x).exp())
 }
 
+/// Scratch forward pass of a whole cell stack: layer 0 reads the
+/// dataset rows, each deeper layer reads the flat hidden slab of the
+/// cache below. Shared by the classifier ([`Lstm`]) and the forecaster
+/// trainer so the stacked-forward logic exists once.
+pub(crate) fn forward_stack(cells: &[Cell], xs: &[Vec<f64>], caches: &mut [CellCache]) {
+    let t_len = xs.len();
+    for li in 0..cells.len() {
+        let (below, rest) = caches.split_at_mut(li);
+        let cache = &mut rest[0];
+        if li == 0 {
+            cells[li].forward_into(&SeqView::Rows(xs), cache);
+        } else {
+            let width = cells[li - 1].hidden;
+            cells[li].forward_into(
+                &SeqView::Flat {
+                    data: below[li - 1].h_slab(t_len * width),
+                    width,
+                    t_len,
+                },
+                cache,
+            );
+        }
+    }
+}
+
 impl Cell {
-    fn new(input_dim: usize, hidden: usize, rng: &mut ChaCha8Rng) -> Cell {
+    pub(crate) fn new(input_dim: usize, hidden: usize, rng: &mut ChaCha8Rng) -> Cell {
         let mut cell = Cell {
             w: Matrix::xavier_init(input_dim + hidden, 4 * hidden, rng),
             b: vec![0.0; 4 * hidden],
@@ -136,11 +261,143 @@ impl Cell {
         cell
     }
 
-    /// Runs the cell over a sequence, returning hidden outputs + cache.
-    fn forward(&self, xs: &[Vec<f64>]) -> CellCache {
+    /// Runs the cell over a sequence into a flat scratch cache without
+    /// allocating (after the cache has grown to shape). Arithmetic is
+    /// performed in exactly the reference order, so results are
+    /// bit-identical to [`Cell::forward_reference`].
+    pub(crate) fn forward_into(&self, xs: &SeqView<'_>, cache: &mut CellCache) {
+        let h = self.hidden;
+        let d = self.input_dim;
+        let zw = d + h;
+        let t_len = xs.t_len();
+        cache.reserve(self, t_len);
+        for t in 0..t_len {
+            // z = [x_t, h_{t-1}] (zeros before the first step).
+            let z_row = &mut cache.zs[t * zw..(t + 1) * zw];
+            z_row[..d].copy_from_slice(xs.row(t));
+            if t == 0 {
+                z_row[d..].fill(0.0);
+            } else {
+                z_row[d..].copy_from_slice(&cache.hs[(t - 1) * h..t * h]);
+            }
+            // Pre-activations: z · W + b, via the shared fused GEMV.
+            let gates = &mut cache.gates[t * 4 * h..(t + 1) * 4 * h];
+            gates.copy_from_slice(&self.b);
+            let z_row = &cache.zs[t * zw..(t + 1) * zw];
+            self.w.vecmat_acc_into(z_row, gates);
+            // Gate activations in the reference order i, f, o, g.
+            for v in &mut gates[0..h] {
+                *v = sigmoid(*v);
+            }
+            for v in &mut gates[h..2 * h] {
+                *v = sigmoid(*v);
+            }
+            for v in &mut gates[2 * h..3 * h] {
+                *v = sigmoid(*v);
+            }
+            for v in &mut gates[3 * h..4 * h] {
+                *v = v.tanh();
+            }
+            // c_t = f ⊙ c_{t-1} + i ⊙ g; h_t = o ⊙ tanh(c_t).
+            let (c_prev_part, c_rest) = cache.cs.split_at_mut(t * h);
+            let c_row = &mut c_rest[..h];
+            for j in 0..h {
+                let c_prev = if t == 0 {
+                    0.0
+                } else {
+                    c_prev_part[(t - 1) * h + j]
+                };
+                c_row[j] = gates[h + j] * c_prev + gates[j] * gates[3 * h + j];
+            }
+            let h_row = &mut cache.hs[t * h..(t + 1) * h];
+            for j in 0..h {
+                h_row[j] = gates[2 * h + j] * c_row[j].tanh();
+            }
+        }
+    }
+
+    /// BPTT through the cell using flat scratch buffers: `dhs` holds
+    /// the per-timestep gradient w.r.t. the hidden outputs (stride
+    /// `hidden`), `dxs` receives the gradient w.r.t. each input
+    /// (stride `input_dim`, fully overwritten), and parameter
+    /// gradients accumulate into `dw`/`db`. Bit-identical to
+    /// [`Cell::backward_reference`].
+    pub(crate) fn backward_scratch(
+        &self,
+        cache: &CellCache,
+        dhs: &[f64],
+        dxs: &mut [f64],
+        dw: &mut Matrix,
+        db: &mut [f64],
+        bs: &mut BackScratch,
+    ) {
+        let h = self.hidden;
+        let d = self.input_dim;
+        let zw = d + h;
+        let t_len = cache.t_len;
+        bs.reserve(self);
+        bs.dh_next[..h].fill(0.0);
+        bs.dc_next[..h].fill(0.0);
+        for t in (0..t_len).rev() {
+            let gates = &cache.gates[t * 4 * h..(t + 1) * 4 * h];
+            let c = &cache.cs[t * h..(t + 1) * h];
+            for j in 0..h {
+                bs.dh[j] = dhs[t * h + j] + bs.dh_next[j];
+            }
+            for j in 0..h {
+                let (i, f, o, g) = (gates[j], gates[h + j], gates[2 * h + j], gates[3 * h + j]);
+                let c_prev = if t == 0 {
+                    0.0
+                } else {
+                    cache.cs[(t - 1) * h + j]
+                };
+                let tc = c[j].tanh();
+                let do_ = bs.dh[j] * tc;
+                let dcj = bs.dh[j] * o * (1.0 - tc * tc) + bs.dc_next[j];
+                bs.dc[j] = dcj;
+                let di = dcj * g;
+                let df = dcj * c_prev;
+                let dg = dcj * i;
+                bs.dpre[j] = di * i * (1.0 - i);
+                bs.dpre[h + j] = df * f * (1.0 - f);
+                bs.dpre[2 * h + j] = do_ * o * (1.0 - o);
+                bs.dpre[3 * h + j] = dg * (1.0 - g * g);
+            }
+            // Parameter gradients: dW += z^T dpre; db += dpre.
+            let z = &cache.zs[t * zw..(t + 1) * zw];
+            for (k, &zv) in z.iter().enumerate() {
+                if zv == 0.0 {
+                    continue;
+                }
+                let row_start = k * 4 * h;
+                let dw_data = dw.data_mut();
+                for (j, &dp) in bs.dpre[..4 * h].iter().enumerate() {
+                    dw_data[row_start + j] += zv * dp;
+                }
+            }
+            for (dbv, &dp) in db.iter_mut().zip(&bs.dpre[..4 * h]) {
+                *dbv += dp;
+            }
+            // Input-side gradients: dz = dpre · W^T split into dx, dh_prev.
+            for (k, dzv) in bs.dz[..zw].iter_mut().enumerate() {
+                let row = self.w.row(k);
+                *dzv = bs.dpre[..4 * h].iter().zip(row).map(|(a, b)| a * b).sum();
+            }
+            dxs[t * d..(t + 1) * d].copy_from_slice(&bs.dz[..d]);
+            bs.dh_next[..h].copy_from_slice(&bs.dz[d..zw]);
+            // dc propagates through the forget gate.
+            for j in 0..h {
+                bs.dc_next[j] = bs.dc[j] * gates[h + j];
+            }
+        }
+    }
+
+    /// The retained allocating forward pass (the pre-scratch
+    /// implementation, verbatim): per-gate `Vec`s per timestep.
+    pub(crate) fn forward_reference(&self, xs: &[Vec<f64>]) -> RefCache {
         let h = self.hidden;
         let t_len = xs.len();
-        let mut cache = CellCache {
+        let mut cache = RefCache {
             zs: Vec::with_capacity(t_len),
             gates: Vec::with_capacity(t_len),
             cs: Vec::with_capacity(t_len),
@@ -171,12 +428,13 @@ impl Cell {
         cache
     }
 
-    /// BPTT through the cell. `dhs` holds the gradient w.r.t. each
-    /// hidden output; returns the gradient w.r.t. each input x_t and
-    /// accumulates into `dw`/`db`.
-    fn backward(
+    /// The retained allocating BPTT (the pre-scratch implementation,
+    /// verbatim). `dhs` holds the gradient w.r.t. each hidden output;
+    /// returns the gradient w.r.t. each input x_t and accumulates into
+    /// `dw`/`db`.
+    pub(crate) fn backward_reference(
         &self,
-        cache: &CellCache,
+        cache: &RefCache,
         dhs: &[Vec<f64>],
         dw: &mut Matrix,
         db: &mut [f64],
@@ -255,20 +513,296 @@ pub struct Lstm {
 }
 
 fn softmax(mut v: Vec<f64>) -> Vec<f64> {
-    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let mut sum = 0.0;
-    for x in &mut v {
-        *x = (*x - max).exp();
-        sum += *x;
-    }
-    for x in &mut v {
-        *x /= sum;
-    }
+    softmax_in_place(&mut v);
     v
 }
 
+fn softmax_in_place(v: &mut [f64]) {
+    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for x in v.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in v.iter_mut() {
+        *x /= sum;
+    }
+}
+
+/// All reusable buffers of the scratch training path: per-layer flat
+/// forward caches, the ping-pong BPTT gradient streams, gradient
+/// accumulators, and the BPTT work vectors. One `LstmScratch` serves
+/// any number of samples/batches of the same shape without touching
+/// the allocator.
+#[derive(Debug, Clone)]
+struct LstmScratch {
+    caches: Vec<CellCache>,
+    back: BackScratch,
+    /// Ping-pong flat gradient streams (t × max layer width each).
+    stream_a: Vec<f64>,
+    stream_b: Vec<f64>,
+    probs: Vec<f64>,
+    dlogits: Vec<f64>,
+    dw: Vec<Matrix>,
+    db: Vec<Vec<f64>>,
+    dhw: Matrix,
+    dhb: Vec<f64>,
+    /// Widest per-layer stream row (fixed by the model shape; hoisted
+    /// out of the per-sample loop).
+    max_width: usize,
+}
+
+impl LstmScratch {
+    fn for_model(model: &Lstm) -> LstmScratch {
+        LstmScratch {
+            caches: model.cells.iter().map(|_| CellCache::default()).collect(),
+            back: BackScratch::default(),
+            stream_a: Vec::new(),
+            stream_b: Vec::new(),
+            probs: Vec::with_capacity(model.n_classes),
+            dlogits: Vec::with_capacity(model.n_classes),
+            dw: model
+                .cells
+                .iter()
+                .map(|c| Matrix::zeros(c.w.rows(), c.w.cols()))
+                .collect(),
+            db: model.cells.iter().map(|c| vec![0.0; c.b.len()]).collect(),
+            dhw: Matrix::zeros(model.head_w.rows(), model.head_w.cols()),
+            dhb: vec![0.0; model.head_b.len()],
+            max_width: model
+                .cells
+                .iter()
+                .map(|c| c.hidden.max(c.input_dim))
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// Reusable LSTM training state: the model being trained, Adam moments
+/// for every tensor, and all scratch buffers.
+///
+/// After a first warm-up batch has sized the buffers, every further
+/// [`train_batch`](LstmTrainer::train_batch) /
+/// [`mean_ce`](LstmTrainer::mean_ce) call on same-shaped data performs
+/// **zero heap allocations** — the property `tests/lstm_equivalence.rs`
+/// asserts with a counting allocator. [`Lstm::fit`] is a thin
+/// epoch/early-stopping loop over this type.
+pub struct LstmTrainer {
+    model: Lstm,
+    config: LstmConfig,
+    adam_w: Vec<Adam>,
+    adam_b: Vec<Adam>,
+    adam_hw: Adam,
+    adam_hb: Adam,
+    scratch: LstmScratch,
+}
+
+impl LstmTrainer {
+    /// Builds a trainer around a freshly initialized model (weights
+    /// drawn from `rng` exactly as the reference initialization does).
+    fn for_new_model(data: &SeqDataset, config: &LstmConfig, rng: &mut ChaCha8Rng) -> LstmTrainer {
+        let model = Lstm::init(data, config, rng);
+        let adam_w = model
+            .cells
+            .iter()
+            .map(|c| Adam::new(c.w.data().len(), config.learning_rate))
+            .collect();
+        let adam_b = model
+            .cells
+            .iter()
+            .map(|c| Adam::new(c.b.len(), config.learning_rate))
+            .collect();
+        let adam_hw = Adam::new(model.head_w.data().len(), config.learning_rate);
+        let adam_hb = Adam::new(model.head_b.len(), config.learning_rate);
+        let scratch = LstmScratch::for_model(&model);
+        LstmTrainer {
+            model,
+            config: config.clone(),
+            adam_w,
+            adam_b,
+            adam_hw,
+            adam_hb,
+            scratch,
+        }
+    }
+
+    /// Builds a trainer for `data` with a self-seeded RNG (from
+    /// `config.seed`) — the entry point for external callers such as
+    /// the allocation regression test.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset or empty sequences.
+    pub fn new(data: &SeqDataset, config: &LstmConfig) -> LstmTrainer {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        assert!(
+            !data.x[0].is_empty() && !data.x[0][0].is_empty(),
+            "sequences must be non-empty"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        LstmTrainer::for_new_model(data, config, &mut rng)
+    }
+
+    /// The model in its current training state.
+    pub fn model(&self) -> &Lstm {
+        &self.model
+    }
+
+    /// One mini-batch update (forward + BPTT + clip + Adam) over the
+    /// samples at `idx`. Allocation-free once the scratch buffers have
+    /// been sized by a first call.
+    pub fn train_batch(&mut self, data: &SeqDataset, idx: &[usize]) {
+        let model = &mut self.model;
+        let s = &mut self.scratch;
+        let n_layers = model.cells.len();
+        for g in &mut s.dw {
+            g.data_mut().fill(0.0);
+        }
+        for g in &mut s.db {
+            g.fill(0.0);
+        }
+        s.dhw.data_mut().fill(0.0);
+        s.dhb.fill(0.0);
+        let scale = 1.0 / idx.len().max(1) as f64;
+
+        for &i in idx {
+            let xs = &data.x[i];
+            let t_len = xs.len();
+            model.forward_scratch(xs, &mut s.caches, &mut s.probs);
+            // dLogits = p - onehot.
+            s.dlogits.clear();
+            s.dlogits.extend_from_slice(&s.probs);
+            s.dlogits[data.y[i]] -= 1.0;
+            for v in &mut s.dlogits {
+                *v *= scale;
+            }
+            // Head gradients.
+            let top = n_layers - 1;
+            let top_h = model.cells[top].hidden;
+            let last_h = s.caches[top].h_row(t_len - 1, top_h);
+            for (k, &hv) in last_h.iter().enumerate() {
+                let row_start = k * s.dhw.cols();
+                let data_mut = s.dhw.data_mut();
+                for (j, &dl) in s.dlogits.iter().enumerate() {
+                    data_mut[row_start + j] += hv * dl;
+                }
+            }
+            for (b, &dl) in s.dhb.iter_mut().zip(&s.dlogits) {
+                *b += dl;
+            }
+            // dh of the top layer's last step.
+            s.stream_a.resize(t_len * s.max_width, 0.0);
+            s.stream_b.resize(t_len * s.max_width, 0.0);
+            s.stream_a[..t_len * top_h].fill(0.0);
+            let last_row = &mut s.stream_a[(t_len - 1) * top_h..t_len * top_h];
+            for (j, dv) in last_row.iter_mut().enumerate() {
+                let row = model.head_w.row(j);
+                *dv = s.dlogits.iter().zip(row).map(|(a, b)| a * b).sum();
+            }
+            // BPTT down the stack: `stream_a` carries dhs for the
+            // current layer, `stream_b` receives its dxs (which is the
+            // dhs of the layer below); swap per layer.
+            for li in (0..n_layers).rev() {
+                let cell = &model.cells[li];
+                cell.backward_scratch(
+                    &s.caches[li],
+                    &s.stream_a[..t_len * cell.hidden],
+                    &mut s.stream_b[..t_len * cell.input_dim],
+                    &mut s.dw[li],
+                    &mut s.db[li],
+                    &mut s.back,
+                );
+                if li > 0 {
+                    std::mem::swap(&mut s.stream_a, &mut s.stream_b);
+                }
+            }
+        }
+
+        // Global-norm clipping.
+        let mut norm_sq = 0.0;
+        for g in &s.dw {
+            norm_sq += g.data().iter().map(|v| v * v).sum::<f64>();
+        }
+        for g in &s.db {
+            norm_sq += g.iter().map(|v| v * v).sum::<f64>();
+        }
+        norm_sq += s.dhw.data().iter().map(|v| v * v).sum::<f64>();
+        norm_sq += s.dhb.iter().map(|v| v * v).sum::<f64>();
+        let clip = crate::train_util::clip_factor(norm_sq, self.config.clip_norm);
+        if clip < 1.0 {
+            for g in &mut s.dw {
+                for v in g.data_mut() {
+                    *v *= clip;
+                }
+            }
+            for g in &mut s.db {
+                for v in g.iter_mut() {
+                    *v *= clip;
+                }
+            }
+            for v in s.dhw.data_mut() {
+                *v *= clip;
+            }
+            for v in &mut s.dhb {
+                *v *= clip;
+            }
+        }
+
+        for li in 0..n_layers {
+            self.adam_w[li].step(model.cells[li].w.data_mut(), s.dw[li].data());
+            self.adam_b[li].step(&mut model.cells[li].b, &s.db[li]);
+        }
+        self.adam_hw.step(model.head_w.data_mut(), s.dhw.data());
+        self.adam_hb.step(&mut model.head_b, &s.dhb);
+    }
+
+    /// Mean cross-entropy over the samples at `idx`, via the scratch
+    /// forward pass (values bit-identical to the reference).
+    pub fn mean_ce(&mut self, data: &SeqDataset, idx: &[usize]) -> f64 {
+        if idx.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for &i in idx {
+            self.model.forward_scratch(
+                &data.x[i],
+                &mut self.scratch.caches,
+                &mut self.scratch.probs,
+            );
+            let p = &self.scratch.probs;
+            total -= p[data.y[i].min(p.len() - 1)].max(1e-12).ln();
+        }
+        total / idx.len() as f64
+    }
+}
+
 impl Lstm {
-    /// Trains the stacked LSTM on a sequence dataset.
+    /// Initializes an untrained model (weights drawn from `rng` in the
+    /// reference order: cells bottom-up, then the dense head).
+    fn init(data: &SeqDataset, config: &LstmConfig, rng: &mut ChaCha8Rng) -> Lstm {
+        let dim = data.x[0][0].len();
+        let n_classes = data.n_classes().max(2);
+        let mut cells = Vec::new();
+        let mut in_dim = dim;
+        for &h in &config.hidden {
+            cells.push(Cell::new(in_dim, h, rng));
+            in_dim = h;
+        }
+        let head_w = Matrix::xavier_init(in_dim, n_classes, rng);
+        let head_b = vec![0.0; n_classes];
+        Lstm {
+            cells,
+            head_w,
+            head_b,
+            n_classes,
+            epochs_trained: 0,
+        }
+    }
+
+    /// Trains the stacked LSTM on a sequence dataset via the
+    /// allocation-free scratch path (see [`LstmTrainer`]). Weights are
+    /// bit-identical to [`Lstm::fit_reference`].
     ///
     /// # Panics
     ///
@@ -280,24 +814,52 @@ impl Lstm {
             dim > 0 && !data.x[0].is_empty(),
             "sequences must be non-empty"
         );
-        let n_classes = data.n_classes().max(2);
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut trainer = LstmTrainer::for_new_model(data, config, &mut rng);
 
-        let mut cells = Vec::new();
-        let mut in_dim = dim;
-        for &h in &config.hidden {
-            cells.push(Cell::new(in_dim, h, &mut rng));
-            in_dim = h;
-        }
-        let head_w = Matrix::xavier_init(in_dim, n_classes, &mut rng);
-        let head_b = vec![0.0; n_classes];
-        let mut model = Lstm {
-            cells,
-            head_w,
-            head_b,
-            n_classes,
-            epochs_trained: 0,
+        let (train_idx, val_idx) =
+            crate::train_util::val_split(data.len(), config.val_fraction, &mut rng);
+        let plan = crate::train_util::EpochPlan {
+            max_epochs: config.max_epochs,
+            batch_size: config.batch_size,
+            patience: config.patience,
+            tol: 1e-6,
+            train_idx: &train_idx,
+            val_idx: &val_idx,
         };
+        let initial = trainer.model().clone();
+        crate::train_util::train_epochs(
+            &mut trainer,
+            &plan,
+            &mut rng,
+            initial,
+            |t, chunk| t.train_batch(data, chunk),
+            |t, vset| t.mean_ce(data, vset),
+            |t, epoch| {
+                let mut snap = t.model().clone();
+                snap.epochs_trained = epoch;
+                snap
+            },
+        )
+    }
+
+    /// The retained pre-scratch training path: identical math with
+    /// per-gate/per-timestep `Vec` allocations. Kept (not deprecated)
+    /// as the executable specification the scratch path is pinned
+    /// against in `tests/lstm_equivalence.rs`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Lstm::fit`].
+    pub fn fit_reference(data: &SeqDataset, config: &LstmConfig) -> Lstm {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let dim = data.x[0][0].len();
+        assert!(
+            dim > 0 && !data.x[0].is_empty(),
+            "sequences must be non-empty"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut model = Lstm::init(data, config, &mut rng);
 
         // Validation split.
         let mut idx: Vec<usize> = (0..data.len()).collect();
@@ -336,7 +898,7 @@ impl Lstm {
                 order.swap(i, j);
             }
             for chunk in order.chunks(config.batch_size.max(1)) {
-                model.train_batch(
+                model.train_batch_reference(
                     data,
                     chunk,
                     config,
@@ -372,11 +934,29 @@ impl Lstm {
         self.epochs_trained
     }
 
-    fn forward_caches(&self, xs: &[Vec<f64>]) -> (Vec<CellCache>, Vec<f64>) {
+    /// Scratch forward pass over the whole stack: fills the per-layer
+    /// flat caches and writes the class probabilities into `probs`.
+    fn forward_scratch(&self, xs: &[Vec<f64>], caches: &mut [CellCache], probs: &mut Vec<f64>) {
+        let t_len = xs.len();
+        forward_stack(&self.cells, xs, caches);
+        let top = self.cells.len() - 1;
+        let last_h = caches[top].h_row(t_len - 1, self.cells[top].hidden);
+        probs.clear();
+        probs.extend_from_slice(&self.head_b);
+        for (k, &hv) in last_h.iter().enumerate() {
+            let row = self.head_w.row(k);
+            for (l, &wv) in probs.iter_mut().zip(row) {
+                *l += hv * wv;
+            }
+        }
+        softmax_in_place(probs);
+    }
+
+    fn forward_caches(&self, xs: &[Vec<f64>]) -> (Vec<RefCache>, Vec<f64>) {
         let mut caches = Vec::with_capacity(self.cells.len());
         let mut seq: Vec<Vec<f64>> = xs.to_vec();
         for cell in &self.cells {
-            let cache = cell.forward(&seq);
+            let cache = cell.forward_reference(&seq);
             seq = cache.hs.clone();
             caches.push(cache);
         }
@@ -404,7 +984,7 @@ impl Lstm {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn train_batch(
+    fn train_batch_reference(
         &mut self,
         data: &SeqDataset,
         idx: &[usize],
@@ -456,7 +1036,8 @@ impl Lstm {
             }
             // BPTT down the stack.
             for li in (0..n_layers).rev() {
-                let dxs = self.cells[li].backward(&caches[li], &dhs, &mut dw[li], &mut db[li]);
+                let dxs =
+                    self.cells[li].backward_reference(&caches[li], &dhs, &mut dw[li], &mut db[li]);
                 if li > 0 {
                     dhs = dxs;
                 }
@@ -593,6 +1174,42 @@ mod tests {
     }
 
     #[test]
+    fn scratch_training_matches_reference_bitwise() {
+        // Multi-layer, multi-epoch, with clipping and early stopping in
+        // play: the scratch path must reproduce the reference weights
+        // exactly (the workspace-level test extends this to larger
+        // shapes).
+        let data = first_sign_task(48, 5, 11);
+        let cfg = LstmConfig {
+            hidden: vec![7, 5],
+            max_epochs: 6,
+            batch_size: 8,
+            ..small_config()
+        };
+        let scratch = Lstm::fit(&data, &cfg);
+        let reference = Lstm::fit_reference(&data, &cfg);
+        assert_eq!(scratch, reference);
+    }
+
+    #[test]
+    fn scratch_forward_matches_reference_forward() {
+        let data = first_sign_task(8, 4, 13);
+        let cfg = LstmConfig {
+            hidden: vec![5, 3],
+            max_epochs: 0,
+            ..small_config()
+        };
+        let model = Lstm::fit(&data, &cfg);
+        let mut caches: Vec<CellCache> = model.cells.iter().map(|_| CellCache::default()).collect();
+        let mut probs = Vec::new();
+        for xs in &data.x {
+            model.forward_scratch(xs, &mut caches, &mut probs);
+            let (_, reference) = model.forward_caches(xs);
+            assert_eq!(probs, reference);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "ragged sequence")]
     fn ragged_sequences_rejected() {
         let _ = SeqDataset::new(
@@ -650,7 +1267,7 @@ mod tests {
                 let row = m.head_w.row(j);
                 *dv = dlogits.iter().zip(row).map(|(a, b)| a * b).sum();
             }
-            m.cells[0].backward(&caches[0], &dhs, &mut dw[0], &mut db[0]);
+            m.cells[0].backward_reference(&caches[0], &dhs, &mut dw[0], &mut db[0]);
         }
 
         // Numerical check on a handful of weights.

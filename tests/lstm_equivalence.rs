@@ -1,0 +1,95 @@
+//! Equivalence and allocation guarantees behind the LSTM scratch-buffer
+//! training rework (the last open hot-path item from the ROADMAP).
+//!
+//! Mirrors `tests/perf_equivalence.rs`: the optimized path must be
+//! *behavior-preserving*, so the pre-scratch allocating implementation
+//! is retained verbatim ([`Lstm::fit_reference`]) and the scratch path
+//! ([`Lstm::fit`]) is pinned bit-identical to it — full training runs,
+//! including Xavier init, shuffling, BPTT, gradient clipping, Adam and
+//! early stopping, must produce byte-for-byte equal weights.
+
+use aps_repro::ml::lstm::{Lstm, LstmConfig, SeqDataset};
+use rand_chacha::rand_core::SeedableRng;
+
+/// Deterministic synthetic sequence task (sign of a decayed sum).
+fn task(n: usize, t: usize, d: usize, seed: u64) -> SeqDataset {
+    use rand::Rng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for _ in 0..n {
+        let seq: Vec<Vec<f64>> = (0..t)
+            .map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let score: f64 = seq
+            .iter()
+            .enumerate()
+            .map(|(i, row)| row[0] * 0.8f64.powi(i as i32))
+            .sum();
+        x.push(seq);
+        y.push(usize::from(score > 0.0));
+    }
+    SeqDataset::new(x, y)
+}
+
+#[test]
+fn scratch_fit_is_bit_identical_to_allocating_reference() {
+    // Several shapes: single layer, stacked, multi-feature, batch
+    // sizes that do and do not divide the training set, and enough
+    // epochs for clipping + early stopping + best-model restore to
+    // all participate.
+    let shapes: &[(usize, usize, usize, LstmConfig)] = &[
+        (
+            40,
+            5,
+            1,
+            LstmConfig {
+                hidden: vec![9],
+                max_epochs: 6,
+                batch_size: 8,
+                ..LstmConfig::default()
+            },
+        ),
+        (
+            36,
+            6,
+            3,
+            LstmConfig {
+                hidden: vec![8, 5],
+                max_epochs: 5,
+                batch_size: 7,
+                seed: 9,
+                ..LstmConfig::default()
+            },
+        ),
+        (
+            24,
+            4,
+            2,
+            LstmConfig {
+                hidden: vec![6, 4, 3],
+                max_epochs: 4,
+                batch_size: 24,
+                clip_norm: 0.5, // force the clipping branch
+                seed: 11,
+                ..LstmConfig::default()
+            },
+        ),
+    ];
+    for (i, (n, t, d, config)) in shapes.iter().enumerate() {
+        let data = task(*n, *t, *d, 100 + i as u64);
+        let scratch = Lstm::fit(&data, config);
+        let reference = Lstm::fit_reference(&data, config);
+        assert_eq!(
+            scratch, reference,
+            "scratch and reference training diverged on shape {i}"
+        );
+        // And the trained predictor behaves identically.
+        for xs in data.x.iter().take(5) {
+            assert_eq!(
+                aps_repro::ml::SequenceClassifier::predict_proba_seq(&scratch, xs),
+                aps_repro::ml::SequenceClassifier::predict_proba_seq(&reference, xs),
+            );
+        }
+    }
+}

@@ -140,8 +140,8 @@ fn bank_members_match_solo_runs_across_quick_campaign() {
         let mut builder = Session::builder(platform)
             .patient(job.patient_idx)
             .config(config.clone());
-        for m in members {
-            builder = builder.monitor_spec(m);
+        for m in &members {
+            builder = builder.monitor_spec(m.clone());
         }
         if let Some(s) = &job.scenario {
             builder = builder.inject(s.clone());
@@ -152,7 +152,7 @@ fn bank_members_match_solo_runs_across_quick_campaign() {
         for (i, member) in members.iter().enumerate() {
             let mut solo_builder = Session::builder(platform)
                 .patient(job.patient_idx)
-                .monitor_spec(*member)
+                .monitor_spec(member.clone())
                 .config(config.clone());
             if let Some(s) = &job.scenario {
                 solo_builder = solo_builder.inject(s.clone());

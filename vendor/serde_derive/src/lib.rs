@@ -5,7 +5,13 @@
 //! a string, then re-parsed. Supports the shapes used in this
 //! workspace:
 //!
-//! * named-field structs, with `#[serde(default)]` on fields;
+//! * named-field structs, with `#[serde(default)]` on fields (missing
+//!   field → the field type's `Default`);
+//! * container-level `#[serde(default)]` on named-field structs
+//!   (missing fields → the corresponding field of
+//!   `<Self as Default>::default()`, real serde's semantics — used by
+//!   forward-compatible hyperparameter/model files such as
+//!   `aps_ml::forecast::ForecastConfig`);
 //! * tuple structs (newtype structs serialize transparently);
 //! * unit structs;
 //! * enums with unit, newtype, tuple, and struct variants
@@ -38,7 +44,10 @@ struct Field {
 }
 
 enum Shape {
-    Named(Vec<Field>),
+    /// Named fields; the flag records a container-level
+    /// `#[serde(default)]` (missing fields fall back to the matching
+    /// field of `Self::default()`).
+    Named(Vec<Field>, bool),
     Tuple(usize),
     Unit,
     Enum(Vec<Variant>),
@@ -219,7 +228,7 @@ fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
 
 fn parse(input: TokenStream) -> Result<(String, Shape), String> {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
-    let (i, _) = take_attrs(&tokens, 0);
+    let (i, container_default) = take_attrs(&tokens, 0);
     let mut i = skip_vis(&tokens, i);
     let kind = match &tokens[i] {
         TokenTree::Ident(id) => id.to_string(),
@@ -245,9 +254,10 @@ fn parse(input: TokenStream) -> Result<(String, Shape), String> {
     }
     match kind.as_str() {
         "struct" => match tokens.get(i) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Ok((name, Shape::Named(parse_named_fields(g.stream())?)))
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok((
+                name,
+                Shape::Named(parse_named_fields(g.stream())?, container_default),
+            )),
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 let inner: Vec<TokenTree> = g.stream().into_iter().collect();
                 Ok((name, Shape::Tuple(count_tuple_fields(&inner))))
@@ -274,7 +284,7 @@ fn generate(name: &str, shape: &Shape, mode: Mode) -> String {
 
 fn gen_serialize(name: &str, shape: &Shape) -> String {
     let body = match shape {
-        Shape::Named(fields) => {
+        Shape::Named(fields, _) => {
             let mut s = String::from("let mut __m = ::serde::Map::new();\n");
             for f in fields {
                 s.push_str(&format!(
@@ -349,10 +359,16 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
     )
 }
 
-fn named_field_init(ty: &str, fields: &[Field], source: &str) -> String {
+/// Field initializers for a named-field body. With `container_default`
+/// the caller must have bound `__default` to `Self::default()`; missing
+/// fields then take their value from it (real serde's container-level
+/// `#[serde(default)]` semantics).
+fn named_field_init(ty: &str, fields: &[Field], source: &str, container_default: bool) -> String {
     let mut s = String::new();
     for f in fields {
-        let fallback = if f.has_default {
+        let fallback = if container_default {
+            format!("__default.{n}", n = f.name)
+        } else if f.has_default {
             "::core::default::Default::default()".to_owned()
         } else {
             format!("::serde::missing_field({ty:?}, {n:?})?", n = f.name)
@@ -369,12 +385,18 @@ fn named_field_init(ty: &str, fields: &[Field], source: &str) -> String {
 
 fn gen_deserialize(name: &str, shape: &Shape) -> String {
     let body = match shape {
-        Shape::Named(fields) => {
+        Shape::Named(fields, container_default) => {
+            let bind_default = if *container_default {
+                format!("let __default = <{name} as ::core::default::Default>::default();\n")
+            } else {
+                String::new()
+            };
             format!(
                 "let __obj = __v.as_object()\
                  .ok_or_else(|| ::serde::Error::ty({name:?}, \"object\", __v))?;\n\
+                 {bind_default}\
                  ::core::result::Result::Ok({name} {{\n{init}}})",
-                init = named_field_init(name, fields, "__obj")
+                init = named_field_init(name, fields, "__obj", *container_default)
             )
         }
         Shape::Tuple(1) => {
@@ -437,7 +459,7 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
                              .ok_or_else(|| ::serde::Error::ty({name:?}, \"object\", __inner))?;\n\
                              return ::core::result::Result::Ok({name}::{v} {{\n{init}}});\n}},\n",
                             v = v.name,
-                            init = named_field_init(name, fields, "__obj")
+                            init = named_field_init(name, fields, "__obj", false)
                         ));
                     }
                 }

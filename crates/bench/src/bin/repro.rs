@@ -43,6 +43,7 @@
 use aps_bench::experiments::{
     ablations, accuracy, fig3, hms, mitigation, patient_specific, resilience, train, zoo_report,
 };
+use aps_bench::ftrun::FtFlags;
 use aps_bench::opts::ExpOpts;
 use aps_sim::session::{Session, SessionSpec};
 use std::time::Instant;
@@ -145,6 +146,25 @@ fn main() {
         eprintln!("error: --guard only applies to bench-campaign");
         std::process::exit(2);
     }
+    // Fault-tolerance flags switch bench-campaign from throughput
+    // benchmarking to the hardened executor (ledger, chaos,
+    // checkpoint/resume). They are extracted before ExpOpts sees the
+    // argument list.
+    let ft_flags = match FtFlags::extract(&mut args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if ft_flags.is_some() && which != "bench-campaign" {
+        eprintln!("error: fault-tolerance flags only apply to bench-campaign");
+        std::process::exit(2);
+    }
+    if ft_flags.is_some() && guard_baseline.is_some() {
+        eprintln!("error: --guard measures the clean path; drop the fault-tolerance flags");
+        std::process::exit(2);
+    }
     let opts = match ExpOpts::parse(&args[1..]) {
         Ok(o) => o,
         Err(e) => {
@@ -178,11 +198,16 @@ fn main() {
             // Perf baseline, not a paper experiment: measures quick-
             // campaign throughput (seed-faithful hot path vs current)
             // and records BENCH_campaign.json for the perf trajectory.
-            match &guard_baseline {
-                Some(path) => {
+            // With fault-tolerance flags, runs the hardened executor
+            // instead (see `aps_bench::ftrun`).
+            match (&ft_flags, &guard_baseline) {
+                (Some(flags), _) => {
+                    std::process::exit(aps_bench::ftrun::run_ft_campaign(&opts, flags))
+                }
+                (None, Some(path)) => {
                     aps_bench::perf::bench_campaign_guarded(5, "BENCH_campaign.json", path)
                 }
-                None => {
+                (None, None) => {
                     aps_bench::perf::bench_campaign(5, "BENCH_campaign.json");
                 }
             }
@@ -249,6 +274,21 @@ perf:
                              BENCH_campaign.json (seed-faithful vs current)
   bench-campaign --guard F   also compare against the committed report F
                              and exit non-zero below 80% of its speedup
+
+fault tolerance (any of these switches bench-campaign to the hardened
+executor: isolated jobs, error ledger, partial results):
+  --chaos-seed N             deterministic chaos injection (panics,
+                             delays, poisoned specs); same seed =>
+                             byte-identical ledger
+  --retry N                  attempts per job (default 1)
+  --backoff-ms N             base backoff between attempts (doubles per
+                             retry, capped)
+  --deadline-ms N            per-job wall-clock budget
+  --checkpoint PATH          snapshot a resumable checkpoint here
+  --checkpoint-every N       snapshot cadence in jobs (default 10)
+  --resume PATH              skip jobs a checkpoint already completed;
+                             bit-identical to an uninterrupted run
+  --workers N                worker threads (also: APS_WORKERS env var)
 
 flags:
   --quick | --full           workload presets

@@ -145,7 +145,11 @@ fn fit_dataset(opts: &ExpOpts, dataset: TraceDataset) -> ForecastModel {
             pers_sq += (pers - y) * (pers - y);
             steps += 1;
         }
-        let y_end = *raw_val.y[i].last().expect("targets");
+        // Windows with no targets contribute nothing (rather than
+        // panicking on a malformed dataset).
+        let Some(&y_end) = raw_val.y[i].last() else {
+            continue;
+        };
         let e = mlp.predict_seq(&val_set.x[i]) - y_end;
         mlp_sq += e * e;
         ends += 1;

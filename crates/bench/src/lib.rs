@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod ftrun;
 pub mod opts;
 pub mod perf;
 pub mod report;

@@ -25,4 +25,4 @@ mod scenario;
 
 pub use campaign::{campaign_grid, CampaignConfig, InjectionTarget};
 pub use injector::FaultInjector;
-pub use scenario::{FaultKind, FaultScenario};
+pub use scenario::{FaultKind, FaultScenario, SpecError};

@@ -181,6 +181,37 @@ impl fmt::Display for FaultKind {
     }
 }
 
+/// A structurally invalid fault specification.
+///
+/// Scenarios arrive from JSON spec files, CLI flags, and (in tests)
+/// chaos injection; validation catches nonsense *before* it reaches a
+/// worker, so a bad spec becomes a ledger entry instead of a poisoned
+/// simulation or a panic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecError {
+    /// The field that failed validation.
+    pub field: String,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault spec: {}: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl SpecError {
+    fn new(field: &str, reason: impl Into<String>) -> SpecError {
+        SpecError {
+            field: field.to_owned(),
+            reason: reason.into(),
+        }
+    }
+}
+
 /// One injectable fault scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultScenario {
@@ -208,6 +239,67 @@ impl FaultScenario {
     /// `true` while the fault perturbs the system at `step`.
     pub fn is_active(&self, step: Step) -> bool {
         step >= self.start && step.saturating_since(self.start) < self.duration
+    }
+
+    /// Checks the scenario for structural validity: a non-empty
+    /// target, finite numeric parameters, and non-degenerate kind
+    /// parameters (a bit index < 64, intermittent `duty <= period`
+    /// with `period > 0`).
+    ///
+    /// A zero `duration` is *valid* (a never-active fault is the
+    /// fault-free control arm); the checks here reject only specs that
+    /// can never mean anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.target.trim().is_empty() {
+            return Err(SpecError::new("target", "must not be empty"));
+        }
+        let check_finite = |field: &str, v: f64| -> Result<(), SpecError> {
+            if v.is_finite() {
+                Ok(())
+            } else {
+                Err(SpecError::new(field, format!("must be finite, got {v}")))
+            }
+        };
+        match self.kind {
+            FaultKind::Truncate | FaultKind::Hold | FaultKind::Max | FaultKind::Min => {}
+            FaultKind::Add(d) => check_finite("kind.Add", d)?,
+            FaultKind::Sub(d) => check_finite("kind.Sub", d)?,
+            FaultKind::Scale(g) => check_finite("kind.Scale", g)?,
+            FaultKind::Drift { per_step } => check_finite("kind.Drift.per_step", per_step)?,
+            FaultKind::Noise { amplitude } => {
+                check_finite("kind.Noise.amplitude", amplitude)?;
+                if amplitude < 0.0 {
+                    return Err(SpecError::new(
+                        "kind.Noise.amplitude",
+                        "must be non-negative",
+                    ));
+                }
+            }
+            FaultKind::Intermittent { period, duty } => {
+                if period == 0 {
+                    return Err(SpecError::new("kind.Intermittent.period", "must be > 0"));
+                }
+                if duty > period {
+                    return Err(SpecError::new(
+                        "kind.Intermittent.duty",
+                        format!("duty {duty} exceeds period {period}"),
+                    ));
+                }
+            }
+            FaultKind::BitFlip(bit) => {
+                if bit >= 64 {
+                    return Err(SpecError::new(
+                        "kind.BitFlip",
+                        format!("bit index {bit} out of range for f64 (0..=63)"),
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Stable scenario identifier, e.g. `"max_rate@t30x12"`.
@@ -367,6 +459,67 @@ mod tests {
         }
         assert_eq!(FaultKind::from_label("bogus"), None);
         assert_eq!(FaultKind::from_label("int6"), None, "missing duty");
+    }
+
+    #[test]
+    fn validate_accepts_every_campaign_kind() {
+        for kind in [
+            FaultKind::Truncate,
+            FaultKind::Hold,
+            FaultKind::Max,
+            FaultKind::Min,
+            FaultKind::Add(30.0),
+            FaultKind::Sub(30.0),
+            FaultKind::Scale(0.5),
+            FaultKind::Drift { per_step: 0.25 },
+            FaultKind::Noise { amplitude: 18.0 },
+            FaultKind::Intermittent { period: 6, duty: 3 },
+            FaultKind::BitFlip(51),
+        ] {
+            let s = FaultScenario::new("rate", kind, Step(10), 12);
+            assert_eq!(s.validate(), Ok(()), "{}", s.name());
+        }
+        // Zero duration is the fault-free control arm, not an error.
+        assert_eq!(
+            FaultScenario::new("rate", FaultKind::Max, Step(0), 0).validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_specs() {
+        let bad = [
+            FaultScenario::new("", FaultKind::Max, Step(0), 5),
+            FaultScenario::new("rate", FaultKind::Scale(f64::NAN), Step(0), 5),
+            FaultScenario::new("rate", FaultKind::Add(f64::INFINITY), Step(0), 5),
+            FaultScenario::new(
+                "rate",
+                FaultKind::Drift {
+                    per_step: f64::NEG_INFINITY,
+                },
+                Step(0),
+                5,
+            ),
+            FaultScenario::new("rate", FaultKind::Noise { amplitude: -1.0 }, Step(0), 5),
+            FaultScenario::new(
+                "rate",
+                FaultKind::Intermittent { period: 0, duty: 0 },
+                Step(0),
+                5,
+            ),
+            FaultScenario::new(
+                "rate",
+                FaultKind::Intermittent { period: 2, duty: 3 },
+                Step(0),
+                5,
+            ),
+            FaultScenario::new("rate", FaultKind::BitFlip(64), Step(0), 5),
+        ];
+        for s in bad {
+            let err = s.validate().unwrap_err();
+            assert!(!err.field.is_empty(), "{err}");
+            assert!(err.to_string().contains("invalid fault spec"), "{err}");
+        }
     }
 
     #[test]

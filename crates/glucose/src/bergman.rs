@@ -190,16 +190,17 @@ impl PatientSim for BergmanPatient {
         };
         // Stack-only scratch: the simulation hot loop performs no heap
         // allocation per step.
-        Rk4Scratch::<NSTATE>::new().integrate(
-            &dynamics,
-            self.t_minutes,
-            &mut self.state,
-            minutes,
-            1.0,
-        );
-        // Glucose cannot go negative; extreme insulin faults can push
-        // the linear model below zero where the physiology saturates.
-        self.state[BG] = self.state[BG].max(10.0);
+        let finite = Rk4Scratch::<NSTATE>::new()
+            .try_integrate(&dynamics, self.t_minutes, &mut self.state, minutes, 1.0)
+            .is_ok();
+        if finite {
+            // Glucose cannot go negative; extreme insulin faults can
+            // push the linear model below zero where the physiology
+            // saturates. Applied only to finite states: f64::max(NaN,
+            // floor) is the floor, which would mask divergence from
+            // `state_is_finite`.
+            self.state[BG] = self.state[BG].max(10.0);
+        }
         self.t_minutes += minutes;
     }
 
@@ -230,6 +231,10 @@ impl PatientSim for BergmanPatient {
 
     fn equilibrium_basal(&self, target: MgDl) -> UnitsPerHour {
         self.params.equilibrium_basal(target)
+    }
+
+    fn state_is_finite(&self) -> bool {
+        self.state.iter().all(|v| v.is_finite())
     }
 }
 

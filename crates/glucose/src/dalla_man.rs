@@ -306,17 +306,18 @@ impl PatientSim for DallaManPatient {
         };
         // Stack-only scratch: the simulation hot loop performs no heap
         // allocation per step.
-        Rk4Scratch::<NSTATE>::new().integrate(
-            &dynamics,
-            self.t_minutes,
-            &mut self.state,
-            minutes,
-            1.0,
-        );
-        // Physiological floors: masses and the remote signal saturate.
-        self.state[GP] = self.state[GP].max(10.0 * self.params.vg);
-        self.state[GT] = self.state[GT].max(0.0);
-        self.state[GS] = self.state[GS].max(10.0);
+        let finite = Rk4Scratch::<NSTATE>::new()
+            .try_integrate(&dynamics, self.t_minutes, &mut self.state, minutes, 1.0)
+            .is_ok();
+        if finite {
+            // Physiological floors: masses and the remote signal
+            // saturate. Applied only to finite states — `f64::max(NaN,
+            // floor)` is the floor, which would hide divergence from
+            // `state_is_finite`.
+            self.state[GP] = self.state[GP].max(10.0 * self.params.vg);
+            self.state[GT] = self.state[GT].max(0.0);
+            self.state[GS] = self.state[GS].max(10.0);
+        }
         self.t_minutes += minutes;
     }
 
@@ -357,6 +358,10 @@ impl PatientSim for DallaManPatient {
 
     fn equilibrium_basal(&self, target: MgDl) -> UnitsPerHour {
         self.params.equilibrium_basal(target)
+    }
+
+    fn state_is_finite(&self) -> bool {
+        self.state.iter().all(|v| v.is_finite())
     }
 }
 

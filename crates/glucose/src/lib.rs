@@ -80,6 +80,19 @@ pub trait PatientSim: Send {
     /// in steady state (found numerically; used to initialize
     /// controllers and to parameterize the paper's MPC baseline).
     fn equilibrium_basal(&self, target: MgDl) -> UnitsPerHour;
+
+    /// Whether every internal state component is finite.
+    ///
+    /// Checking `bg()` alone is not enough: physiological floors and
+    /// clamps are `f64::max`-style, and `f64::max(NaN, floor)` returns
+    /// the floor — a diverged model can report a plausible glucose
+    /// while the rest of its state is poisoned. The simulation harness
+    /// calls this after every step and converts `false` into a typed
+    /// error instead of silently continuing. Models that cannot
+    /// diverge (pure table lookups, mocks) may keep the default.
+    fn state_is_finite(&self) -> bool {
+        true
+    }
 }
 
 /// Boxed patient, the form the simulation harness passes around.

@@ -13,6 +13,41 @@
 //!   allocates one scratch per *call* instead of five `Vec`s per
 //!   *step*, which was the dominant allocation cost of a campaign run.
 
+/// The state stopped being representable: some component became NaN or
+/// ±∞ during (or before) an RK4 step.
+///
+/// Divergence is not a property of the integrator — a fault campaign
+/// can legitimately push a model into a regime where the ODE blows up —
+/// but letting NaN propagate *silently* is: downstream physiological
+/// floors (`f64::max`) absorb NaN into their floor value and the poison
+/// becomes an innocuous-looking trajectory. The `try_*` entry points
+/// turn that into a typed error at the first non-finite substep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFiniteState {
+    /// Simulation time (minutes) at the start of the offending substep.
+    pub at_minutes: f64,
+    /// Index of the first non-finite state component.
+    pub component: usize,
+}
+
+impl std::fmt::Display for NonFiniteState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "non-finite ODE state (component {}) at t = {} min",
+            self.component, self.at_minutes
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteState {}
+
+/// Index of the first non-finite component, if any.
+#[inline]
+fn first_non_finite(x: &[f64]) -> Option<usize> {
+    x.iter().position(|v| !v.is_finite())
+}
+
 /// Continuous-time dynamics `dx/dt = f(t, x)` over a fixed-size state.
 pub trait Dynamics {
     /// Writes the derivative of `x` at time `t` (minutes) into `dxdt`.
@@ -145,6 +180,67 @@ impl<const N: usize> Rk4Scratch<N> {
             t += dt;
         }
     }
+
+    /// Like [`step`](Rk4Scratch::step), but fails if the state is
+    /// non-finite on entry or becomes non-finite during the step.
+    ///
+    /// Bit-identical to `step` on trajectories that stay finite (the
+    /// arithmetic is the same `rk4_core`; only a check is added).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonFiniteState`] naming the first offending component.
+    pub fn try_step<D: Dynamics + ?Sized>(
+        &mut self,
+        dyn_: &D,
+        t: f64,
+        x: &mut [f64; N],
+        dt: f64,
+    ) -> Result<(), NonFiniteState> {
+        if let Some(component) = first_non_finite(x) {
+            return Err(NonFiniteState {
+                at_minutes: t,
+                component,
+            });
+        }
+        self.step(dyn_, t, x, dt);
+        match first_non_finite(x) {
+            Some(component) => Err(NonFiniteState {
+                at_minutes: t,
+                component,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Like [`integrate`](Rk4Scratch::integrate), but stops at the
+    /// first substep that produces a non-finite state instead of
+    /// churning NaN through the remaining substeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonFiniteState`] for the offending substep; `x` holds
+    /// the (poisoned) state as of that substep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_dt` or `duration` is non-positive.
+    pub fn try_integrate<D: Dynamics + ?Sized>(
+        &mut self,
+        dyn_: &D,
+        t0: f64,
+        x: &mut [f64; N],
+        duration: f64,
+        max_dt: f64,
+    ) -> Result<(), NonFiniteState> {
+        let (steps, dt) = substeps(duration, max_dt);
+        let mut t = t0;
+        for _ in 0..steps {
+            self.try_step(dyn_, t, x, dt)?;
+            t += dt;
+        }
+        Ok(())
+    }
 }
 
 impl<const N: usize> Default for Rk4Scratch<N> {
@@ -200,6 +296,62 @@ impl Rk4ScratchDyn {
             self.step(dyn_, t, x, dt);
             t += dt;
         }
+    }
+
+    /// Checked variant of [`step`](Rk4ScratchDyn::step); see
+    /// [`Rk4Scratch::try_step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonFiniteState`] naming the first offending component.
+    pub fn try_step<D: Dynamics + ?Sized>(
+        &mut self,
+        dyn_: &D,
+        t: f64,
+        x: &mut [f64],
+        dt: f64,
+    ) -> Result<(), NonFiniteState> {
+        if let Some(component) = first_non_finite(x) {
+            return Err(NonFiniteState {
+                at_minutes: t,
+                component,
+            });
+        }
+        self.step(dyn_, t, x, dt);
+        match first_non_finite(x) {
+            Some(component) => Err(NonFiniteState {
+                at_minutes: t,
+                component,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Checked variant of [`integrate`](Rk4ScratchDyn::integrate); see
+    /// [`Rk4Scratch::try_integrate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonFiniteState`] for the offending substep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_dt` or `duration` is non-positive.
+    pub fn try_integrate<D: Dynamics + ?Sized>(
+        &mut self,
+        dyn_: &D,
+        t0: f64,
+        x: &mut [f64],
+        duration: f64,
+        max_dt: f64,
+    ) -> Result<(), NonFiniteState> {
+        let (steps, dt) = substeps(duration, max_dt);
+        let mut t = t0;
+        for _ in 0..steps {
+            self.try_step(dyn_, t, x, dt)?;
+            t += dt;
+        }
+        Ok(())
     }
 }
 
@@ -341,6 +493,63 @@ mod tests {
             assert_eq!(seed_x.to_vec(), fixed_x.to_vec(), "fixed scratch diverged");
             assert_eq!(seed_x.to_vec(), dyn_x, "dyn scratch diverged");
         }
+    }
+
+    #[test]
+    fn try_integrate_matches_integrate_on_finite_trajectories() {
+        let f = |t: f64, x: &[f64], d: &mut [f64]| {
+            d[0] = -0.07 * x[0] + 2.0 * (0.1 * x[1]).tanh() + 0.01 * t;
+            d[1] = 0.03 * x[0] - 0.2 * x[1];
+        };
+        let mut plain = [120.0, 3.0];
+        let mut checked = plain;
+        let mut a = Rk4Scratch::<2>::new();
+        let mut b = Rk4Scratch::<2>::new();
+        a.integrate(&f, 0.0, &mut plain, 17.0, 1.0);
+        b.try_integrate(&f, 0.0, &mut checked, 17.0, 1.0)
+            .expect("finite trajectory");
+        assert_eq!(plain, checked);
+    }
+
+    #[test]
+    fn try_step_rejects_non_finite_input() {
+        let f = |_t: f64, x: &[f64], d: &mut [f64]| d[0] = -x[0];
+        let mut x = [f64::NAN];
+        let err = Rk4Scratch::<1>::new()
+            .try_step(&f, 3.0, &mut x, 1.0)
+            .unwrap_err();
+        assert_eq!(err.component, 0);
+        assert_eq!(err.at_minutes, 3.0);
+    }
+
+    #[test]
+    fn try_integrate_catches_blowup_mid_window() {
+        // Super-exponential growth: x' = x^2 diverges in finite time
+        // from x(0) = 1 (pole at t = 1); the fixed-step integrator
+        // overflows to inf shortly after.
+        let f = |_t: f64, x: &[f64], d: &mut [f64]| d[0] = x[0] * x[0];
+        let mut x = [1.0];
+        let err = Rk4Scratch::<1>::new()
+            .try_integrate(&f, 0.0, &mut x, 500.0, 1.0)
+            .unwrap_err();
+        assert_eq!(err.component, 0);
+        assert!(err.at_minutes < 500.0);
+        // The dyn scratch reports the identical failure point.
+        let mut y = vec![1.0];
+        let err_dyn = Rk4ScratchDyn::new()
+            .try_integrate(&f, 0.0, &mut y, 500.0, 1.0)
+            .unwrap_err();
+        assert_eq!(err, err_dyn);
+    }
+
+    #[test]
+    fn non_finite_display_names_component_and_time() {
+        let e = NonFiniteState {
+            at_minutes: 35.0,
+            component: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("component 4") && msg.contains("35"), "{msg}");
     }
 
     #[test]

@@ -11,18 +11,45 @@
 //! [`run_campaign_serial`]), streamed into a sink with bounded memory
 //! ([`run_campaign_with`], parallel), or pulled lazily one trace at a
 //! time ([`CampaignStream`], serial).
+//!
+//! # Fault tolerance
+//!
+//! [`run_campaign_resumable`] (and its collecting wrapper
+//! [`run_campaign_ft`]) is the hardened execution path: every job runs
+//! behind `catch_unwind` with its spec validated first, failures retry
+//! under a [`RetryPolicy`] with bounded backoff, and whatever still
+//! fails becomes a [`JobOutcome::Failed`] entry in the campaign's
+//! [`ErrorLedger`] — the campaign degrades to partial results plus a
+//! machine-readable ledger instead of a torn-down executor. With a
+//! [`CheckpointPolicy`] the executor snapshots a versioned
+//! [`CampaignCheckpoint`] every N completed jobs, and a later run can
+//! resume from it, bit-identical to an uninterrupted run (pinned by
+//! the kill-at-every-checkpoint test in `tests/campaign_ft.rs`). A
+//! test-only [`ChaosConfig`] injects
+//! deterministic worker panics, delays, and poisoned specs to exercise
+//! all of the above.
 
-use crate::closed_loop::{run, LoopConfig};
+use crate::chaos::{ChaosConfig, ChaosPlan};
+use crate::checkpoint::{
+    spec_hash, to_hex, AggregatePartials, CampaignCheckpoint, CheckpointError, JobBitmap,
+    CHECKPOINT_VERSION,
+};
+use crate::closed_loop::{try_run, LoopConfig};
+use crate::outcome::{ErrorLedger, JobOutcome, LedgerEntry, RetryPolicy, SimError};
 use crate::platform::Platform;
 use aps_core::hms::ContextMitigatorConfig;
 use aps_core::mitigation::Mitigator;
 use aps_core::monitors::HazardMonitor;
-use aps_fault::{campaign_grid, CampaignConfig, FaultInjector, FaultScenario};
+use aps_fault::{campaign_grid, CampaignConfig, FaultInjector, FaultKind, FaultScenario};
 use aps_glucose::sensor::CgmConfig;
-use aps_types::{MgDl, SimTrace, UnitsPerHour};
+use aps_types::{MgDl, SimTrace, Step, UnitsPerHour};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Context handed to the monitor factory for each run.
 #[derive(Debug, Clone, PartialEq)]
@@ -195,11 +222,14 @@ pub fn campaign_size(spec: &CampaignSpec) -> usize {
     expand(spec).len()
 }
 
-fn run_job(
+/// Runs one job on the calling thread, surfacing mid-run failures as
+/// a typed error. [`run_job`] is the panicking wrapper the legacy
+/// executors use.
+fn try_run_job(
     spec: &CampaignSpec,
     job: &Job,
     monitor_factory: Option<&MonitorFactory<'_>>,
-) -> SimTrace {
+) -> Result<SimTrace, SimError> {
     let platform = spec.platform;
     let mut patient = platform.patients().remove(job.patient_idx);
     let mut controller = platform.controller_for(patient.as_ref());
@@ -221,14 +251,522 @@ fn run_job(
         cgm: spec.cgm,
         ..LoopConfig::default()
     };
-    let trace = run(
+    try_run(
         patient.as_mut(),
         controller.as_mut(),
         monitor.as_deref_mut(),
         injector.as_mut(),
         &config,
-    );
-    trace
+    )
+}
+
+fn run_job(
+    spec: &CampaignSpec,
+    job: &Job,
+    monitor_factory: Option<&MonitorFactory<'_>>,
+) -> SimTrace {
+    try_run_job(spec, job, monitor_factory).unwrap_or_else(|e| panic!("campaign job failed: {e}"))
+}
+
+/// Upper bound on the worker count, however it was requested. High
+/// enough for any machine this runs on, low enough that a typo'd
+/// `APS_WORKERS=2566` cannot fork-bomb the host.
+pub const MAX_WORKERS: usize = 256;
+
+/// Where the executor's worker count came from — surfaced in the
+/// [`CampaignReport`] so a silent fallback to one worker (the old
+/// `available_parallelism().unwrap_or(1)` behavior) is visible.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkerSource {
+    /// `std::thread::available_parallelism` succeeded.
+    Detected,
+    /// A valid `APS_WORKERS` environment override.
+    Env,
+    /// An explicit [`CampaignOptions::workers`] override (e.g. the
+    /// `repro campaign --workers` flag).
+    Override,
+    /// `APS_WORKERS` was set but unusable (non-numeric or zero); the
+    /// executor fell back to detection.
+    InvalidEnv {
+        /// The rejected raw value.
+        raw: String,
+    },
+    /// Parallelism detection failed; the executor fell back to one
+    /// worker.
+    DetectFailed {
+        /// The detection error.
+        detail: String,
+    },
+}
+
+/// Resolves the worker count from an explicit override, the raw
+/// `APS_WORKERS` value, and the detected parallelism — in that
+/// precedence order. Pure (no environment reads), so it is directly
+/// testable; [`worker_count`] is the environment-reading wrapper.
+/// Every source is clamped to `1..=`[`MAX_WORKERS`].
+pub fn worker_count_from(
+    explicit: Option<usize>,
+    env_raw: Option<&str>,
+    detected: Result<usize, String>,
+) -> (usize, WorkerSource) {
+    if let Some(w) = explicit {
+        return (w.clamp(1, MAX_WORKERS), WorkerSource::Override);
+    }
+    let invalid_env = match env_raw {
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(w) if w > 0 => return (w.clamp(1, MAX_WORKERS), WorkerSource::Env),
+            _ => Some(raw.to_owned()),
+        },
+        None => None,
+    };
+    match (detected, invalid_env) {
+        (Ok(n), None) => (n.clamp(1, MAX_WORKERS), WorkerSource::Detected),
+        (Ok(n), Some(raw)) => (n.clamp(1, MAX_WORKERS), WorkerSource::InvalidEnv { raw }),
+        (Err(detail), _) => (1, WorkerSource::DetectFailed { detail }),
+    }
+}
+
+/// [`worker_count_from`] fed from the live environment:
+/// `APS_WORKERS`, then `std::thread::available_parallelism`.
+pub fn worker_count(explicit: Option<usize>) -> (usize, WorkerSource) {
+    let env_raw = std::env::var("APS_WORKERS").ok();
+    let detected = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .map_err(|e| e.to_string());
+    worker_count_from(explicit, env_raw.as_deref(), detected)
+}
+
+/// When and where to snapshot a [`CampaignCheckpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file (written atomically, overwritten in place).
+    pub path: PathBuf,
+    /// Snapshot after every this-many completed jobs (≥ 1).
+    pub every_jobs: usize,
+}
+
+/// Execution options for the fault-tolerant campaign path.
+///
+/// The default is indistinguishable from the legacy executor on the
+/// clean path: one attempt, no deadline, no chaos, auto worker count,
+/// no checkpointing.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOptions {
+    /// Attempts per job and the backoff between them.
+    pub retry: RetryPolicy,
+    /// Per-job wall-clock budget. Checked *after* the attempt (jobs
+    /// are not preempted), so an overrun fails the attempt
+    /// deterministically in its effect but the *detection* depends on
+    /// host timing — leave `None` (the default) for bit-reproducible
+    /// campaigns.
+    pub deadline: Option<Duration>,
+    /// Deterministic executor-fault injection (tests/hardening only).
+    pub chaos: Option<ChaosConfig>,
+    /// Explicit worker-count override (`None` = `APS_WORKERS` env,
+    /// then detection).
+    pub workers: Option<usize>,
+    /// Periodic checkpointing (`None` = never snapshot).
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Cooperative cancellation: set the flag and workers stop
+    /// claiming new jobs; already-claimed jobs finish and emit, then
+    /// the executor returns with [`CampaignReport::cancelled`] set.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+/// What a fault-tolerant campaign run did, including the error
+/// ledger. Serializable for machine consumption (`repro campaign`
+/// prints it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Total jobs in the campaign grid.
+    pub total_jobs: usize,
+    /// Jobs skipped because a resume checkpoint already had them.
+    pub skipped_resumed: usize,
+    /// Jobs that produced a trace (cumulative across resume
+    /// segments).
+    pub completed_jobs: usize,
+    /// Jobs that exhausted their attempts (cumulative).
+    pub failed_jobs: usize,
+    /// Completed jobs whose trace contains a labeled hazard
+    /// (cumulative).
+    pub hazardous_jobs: usize,
+    /// Rolling digest over every outcome in job order (hex); equal
+    /// digests witness bit-identical campaigns.
+    pub digest: String,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Where that worker count came from.
+    pub worker_source: WorkerSource,
+    /// Whether the run was cancelled before finishing.
+    pub cancelled: bool,
+    /// Every failed job, in job order.
+    pub ledger: ErrorLedger,
+}
+
+/// Renders a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// The poisoned spec chaos substitutes for a job's scenario:
+/// structurally invalid on two axes (empty target, non-finite gain),
+/// so spec validation must catch it before the engine runs.
+fn poisoned_scenario() -> FaultScenario {
+    FaultScenario::new("", FaultKind::Scale(f64::NAN), Step(0), 1)
+}
+
+/// Validates a job before simulation: finite initial BG and a
+/// structurally valid scenario.
+fn validate_job(job: &Job) -> Result<(), SimError> {
+    if !job.initial_bg.is_finite() {
+        return Err(SimError::InvalidSpec {
+            detail: format!("initial_bg must be finite, got {}", job.initial_bg),
+        });
+    }
+    if let Some(s) = &job.scenario {
+        s.validate().map_err(|e| SimError::InvalidSpec {
+            detail: e.to_string(),
+        })?;
+    }
+    Ok(())
+}
+
+/// Runs one job with full isolation: spec validation, optional chaos
+/// injection, `catch_unwind`, an optional post-hoc deadline check,
+/// and retries under the options' [`RetryPolicy`].
+fn run_job_checked(
+    spec: &CampaignSpec,
+    job: &Job,
+    monitor_factory: Option<&MonitorFactory<'_>>,
+    options: &CampaignOptions,
+    job_index: usize,
+) -> JobOutcome {
+    let mut attempt: u32 = 1;
+    loop {
+        let plan = options
+            .chaos
+            .as_ref()
+            .map(|c| c.plan(job_index, attempt))
+            .unwrap_or(ChaosPlan::NONE);
+        if plan.delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(plan.delay_ms));
+        }
+        let effective_job;
+        let job_ref = if plan.poison {
+            effective_job = Job {
+                scenario: Some(poisoned_scenario()),
+                ..job.clone()
+            };
+            &effective_job
+        } else {
+            job
+        };
+        let started = options.deadline.map(|_| Instant::now());
+        let mut result = catch_unwind(AssertUnwindSafe(|| {
+            if plan.panic {
+                panic!(
+                    "{} worker panic (job {job_index}, attempt {attempt})",
+                    crate::chaos::INJECTED_PANIC_PREFIX
+                );
+            }
+            validate_job(job_ref)?;
+            try_run_job(spec, job_ref, monitor_factory)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(SimError::Panicked {
+                message: panic_message(payload),
+            })
+        });
+        if let (Ok(_), Some(t0), Some(budget)) = (&result, started, options.deadline) {
+            let elapsed = t0.elapsed();
+            if elapsed > budget {
+                result = Err(SimError::DeadlineExceeded {
+                    elapsed_ms: elapsed.as_millis() as u64,
+                    budget_ms: budget.as_millis() as u64,
+                });
+            }
+        }
+        match result {
+            Ok(trace) => return JobOutcome::Completed(trace),
+            Err(error) => {
+                if attempt >= options.retry.max_attempts.max(1) {
+                    return JobOutcome::Failed {
+                        error,
+                        attempts: attempt,
+                    };
+                }
+                let delay = options.retry.backoff.delay_ms(attempt);
+                if delay > 0 {
+                    std::thread::sleep(Duration::from_millis(delay));
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// Mutable in-order emission state of a resumable run: bitmap,
+/// ledger, partials, and periodic checkpointing.
+struct EmitState<'a> {
+    jobs: &'a [Job],
+    bitmap: JobBitmap,
+    ledger: ErrorLedger,
+    partials: AggregatePartials,
+    policy: Option<&'a CheckpointPolicy>,
+    spec_hash_hex: String,
+    chaos_seed: Option<u64>,
+    emitted_this_segment: usize,
+}
+
+impl EmitState<'_> {
+    fn snapshot(&self) -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            version: CHECKPOINT_VERSION,
+            spec_hash: self.spec_hash_hex.clone(),
+            chaos_seed: self.chaos_seed.map(to_hex),
+            total_jobs: self.jobs.len(),
+            completed: self.bitmap.clone(),
+            ledger: self.ledger.clone(),
+            partials: self.partials.clone(),
+        }
+    }
+
+    /// Records one outcome (bitmap + partials + ledger), hands it to
+    /// the sink, and checkpoints at the configured cadence.
+    fn emit(
+        &mut self,
+        job_index: usize,
+        outcome: JobOutcome,
+        sink: &mut dyn FnMut(usize, JobOutcome),
+    ) -> Result<(), CheckpointError> {
+        self.bitmap.set(job_index);
+        match &outcome {
+            JobOutcome::Completed(trace) => self.partials.fold_completed(trace),
+            JobOutcome::Failed { error, attempts } => {
+                self.partials.fold_failed(&error.to_string(), *attempts);
+                let job = &self.jobs[job_index];
+                self.ledger.push(LedgerEntry {
+                    job_index,
+                    patient_idx: job.patient_idx,
+                    initial_bg: job.initial_bg,
+                    fault_name: job.scenario.as_ref().map(|s| s.name()).unwrap_or_default(),
+                    error: error.clone(),
+                    attempts: *attempts,
+                });
+            }
+        }
+        sink(job_index, outcome);
+        self.emitted_this_segment += 1;
+        if let Some(policy) = self.policy {
+            if self
+                .emitted_this_segment
+                .is_multiple_of(policy.every_jobs.max(1))
+            {
+                self.snapshot().save(&policy.path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The fault-tolerant, resumable campaign executor.
+///
+/// Every job runs isolated (`catch_unwind` + spec validation +
+/// optional deadline) with retries under `options.retry`; outcomes —
+/// [`JobOutcome::Completed`] or [`JobOutcome::Failed`] — stream into
+/// `sink(job_index, outcome)` in **deterministic job order**, exactly
+/// like [`run_campaign_with`]. Failed jobs are final after their
+/// attempt budget: they are ledgered, marked done, and never re-run
+/// by a resume (failures under a fixed seed/spec are deterministic).
+///
+/// With `resume`, jobs already recorded in the checkpoint's bitmap
+/// are skipped and the ledger/partials continue from the snapshot;
+/// the concatenation of all segments' sink emissions, and the final
+/// report, are bit-identical to an uninterrupted run.
+///
+/// # Errors
+///
+/// [`CheckpointError::Mismatch`]/[`CheckpointError::Version`] when
+/// `resume` does not belong to this campaign, and
+/// [`CheckpointError::Io`] when a snapshot cannot be written. Job
+/// failures are *not* errors — they are ledger entries.
+pub fn run_campaign_resumable(
+    spec: &CampaignSpec,
+    monitor_factory: Option<&MonitorFactory<'_>>,
+    options: &CampaignOptions,
+    resume: Option<&CampaignCheckpoint>,
+    mut sink: impl FnMut(usize, JobOutcome),
+) -> Result<CampaignReport, CheckpointError> {
+    let jobs = expand(spec);
+    let n = jobs.len();
+    let hash_hex = to_hex(spec_hash(spec));
+    let chaos_seed = options.chaos.as_ref().map(|c| c.seed);
+
+    let (bitmap, ledger, partials) = match resume {
+        Some(ckpt) => {
+            ckpt.validate_for(&hash_hex, chaos_seed, n)?;
+            (
+                ckpt.completed.clone(),
+                ckpt.ledger.clone(),
+                ckpt.partials.clone(),
+            )
+        }
+        None => (
+            JobBitmap::new(n),
+            ErrorLedger::new(),
+            AggregatePartials::default(),
+        ),
+    };
+    let pending: Vec<usize> = (0..n).filter(|&i| !bitmap.get(i)).collect();
+    let skipped_resumed = n - pending.len();
+    let m = pending.len();
+
+    let (workers, worker_source) = worker_count(options.workers);
+    let workers = workers.min(m.max(1));
+    let cancel = options.cancel.as_deref();
+    let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Acquire));
+
+    let mut state = EmitState {
+        jobs: &jobs,
+        bitmap,
+        ledger,
+        partials,
+        policy: options.checkpoint.as_ref(),
+        spec_hash_hex: hash_hex,
+        chaos_seed,
+        emitted_this_segment: 0,
+    };
+
+    if workers <= 1 {
+        for &i in &pending {
+            if cancelled() {
+                break;
+            }
+            let outcome = run_job_checked(spec, &jobs[i], monitor_factory, options, i);
+            state.emit(i, outcome, &mut sink)?;
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let emitted = AtomicUsize::new(0);
+        // Same bounded-memory design as `run_campaign_with`: a bounded
+        // channel backpressures a slow sink, and `max_ahead` keeps
+        // workers from racing past the in-order emission frontier.
+        let max_ahead = 4 * workers;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, JobOutcome)>(2 * workers);
+        let mut emit_err: Option<CheckpointError> = None;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let emitted = &emitted;
+                let jobs = &jobs;
+                let pending = &pending;
+                scope.spawn(move || loop {
+                    if cancelled() {
+                        break;
+                    }
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= m {
+                        break;
+                    }
+                    // Claims are monotone in k, so the claimed set is
+                    // always a prefix of `pending` — cancellation can
+                    // therefore never leave a gap in the emission
+                    // order. Parked workers do not re-check the flag:
+                    // a claimed job must finish or the frontier jams.
+                    while k >= emitted.load(Ordering::Acquire) + max_ahead {
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                    }
+                    let i = pending[k];
+                    let outcome = run_job_checked(spec, &jobs[i], monitor_factory, options, i);
+                    if tx.send((k, outcome)).is_err() {
+                        break; // receiver gone: abandon quietly
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut buffer: BTreeMap<usize, JobOutcome> = BTreeMap::new();
+            let mut next_emit = 0usize;
+            'drain: for (k, outcome) in rx {
+                debug_assert!(!buffer.contains_key(&k), "job slot {k} executed twice");
+                buffer.insert(k, outcome);
+                while let Some(outcome) = buffer.remove(&next_emit) {
+                    if let Err(e) = state.emit(pending[next_emit], outcome, &mut sink) {
+                        emit_err = Some(e);
+                        break 'drain;
+                    }
+                    next_emit += 1;
+                    emitted.store(next_emit, Ordering::Release);
+                }
+            }
+            // On emit error the receiver is dropped here and workers'
+            // sends fail, unwinding the pool without running the rest.
+        });
+        if let Some(e) = emit_err {
+            return Err(e);
+        }
+    }
+
+    let was_cancelled = state.emitted_this_segment < m;
+    // A final snapshot so the on-disk checkpoint always reflects the
+    // end state (resuming a finished campaign is then a no-op).
+    if let Some(policy) = options.checkpoint.as_ref() {
+        if !state
+            .emitted_this_segment
+            .is_multiple_of(policy.every_jobs.max(1))
+        {
+            state.snapshot().save(&policy.path)?;
+        }
+    }
+
+    Ok(CampaignReport {
+        total_jobs: n,
+        skipped_resumed,
+        completed_jobs: state.partials.completed_jobs,
+        failed_jobs: state.partials.failed_jobs,
+        hazardous_jobs: state.partials.hazardous_jobs,
+        digest: state.partials.digest.clone(),
+        workers,
+        worker_source,
+        cancelled: was_cancelled,
+        ledger: state.ledger,
+    })
+}
+
+/// A completed fault-tolerant campaign: every job's outcome in job
+/// order, plus the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtCampaign {
+    /// One outcome per job, in the campaign's deterministic order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Aggregates, worker provenance, and the error ledger.
+    pub report: CampaignReport,
+}
+
+/// Collecting wrapper over [`run_campaign_resumable`] (no resume):
+/// materializes every [`JobOutcome`] in job order.
+///
+/// # Errors
+///
+/// Only checkpoint I/O can fail; job failures land in the ledger.
+pub fn run_campaign_ft(
+    spec: &CampaignSpec,
+    monitor_factory: Option<&MonitorFactory<'_>>,
+    options: &CampaignOptions,
+) -> Result<FtCampaign, CheckpointError> {
+    let mut outcomes = Vec::new();
+    let report = run_campaign_resumable(spec, monitor_factory, options, None, |i, outcome| {
+        debug_assert_eq!(i, outcomes.len(), "stream out of order");
+        outcomes.push(outcome);
+    })?;
+    Ok(FtCampaign { outcomes, report })
 }
 
 /// Runs the whole campaign serially on the calling thread. This is the
@@ -271,10 +809,10 @@ pub fn run_campaign_with(
 ) {
     let jobs = expand(spec);
     let n = jobs.len();
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
+    // `worker_count` (not raw `available_parallelism().unwrap_or(1)`)
+    // so the `APS_WORKERS` override applies to the legacy path too and
+    // detection failure is a deliberate, clamped fallback.
+    let workers = worker_count(None).0.min(n.max(1));
     if workers <= 1 {
         for (i, job) in jobs.iter().enumerate() {
             sink(i, run_job(spec, job, monitor_factory));
@@ -576,5 +1114,148 @@ mod tests {
         assert_eq!(jobs.len(), campaign_size(&spec));
         assert_eq!(jobs[0].scenario, None);
         assert!(jobs[1..].iter().all(|j| j.scenario.is_some()));
+    }
+
+    #[test]
+    fn worker_count_resolution_precedence() {
+        // Explicit override beats everything and is clamped.
+        assert_eq!(
+            worker_count_from(Some(4), Some("8"), Ok(2)),
+            (4, WorkerSource::Override)
+        );
+        assert_eq!(
+            worker_count_from(Some(0), None, Ok(2)),
+            (1, WorkerSource::Override)
+        );
+        assert_eq!(
+            worker_count_from(Some(100_000), None, Ok(2)),
+            (MAX_WORKERS, WorkerSource::Override)
+        );
+        // Valid env beats detection.
+        assert_eq!(
+            worker_count_from(None, Some("3"), Ok(8)),
+            (3, WorkerSource::Env)
+        );
+        assert_eq!(
+            worker_count_from(None, Some(" 5 "), Ok(8)),
+            (5, WorkerSource::Env)
+        );
+        // Invalid env (zero, junk) falls back to detection and says so.
+        assert_eq!(
+            worker_count_from(None, Some("0"), Ok(8)),
+            (8, WorkerSource::InvalidEnv { raw: "0".into() })
+        );
+        assert_eq!(
+            worker_count_from(None, Some("lots"), Ok(8)),
+            (8, WorkerSource::InvalidEnv { raw: "lots".into() })
+        );
+        // Plain detection, and the failure fallback to one worker.
+        assert_eq!(
+            worker_count_from(None, None, Ok(8)),
+            (8, WorkerSource::Detected)
+        );
+        assert_eq!(
+            worker_count_from(None, None, Err("nope".into())),
+            (
+                1,
+                WorkerSource::DetectFailed {
+                    detail: "nope".into()
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn ft_clean_path_matches_serial() {
+        let spec = CampaignSpec {
+            steps: 40,
+            ..tiny_spec()
+        };
+        let serial = run_campaign_serial(&spec, None);
+        let ft = run_campaign_ft(&spec, None, &CampaignOptions::default()).unwrap();
+        assert_eq!(ft.report.total_jobs, serial.len());
+        assert_eq!(ft.report.completed_jobs, serial.len());
+        assert_eq!(ft.report.failed_jobs, 0);
+        assert!(ft.report.ledger.is_empty());
+        assert!(!ft.report.cancelled);
+        let traces: Vec<&SimTrace> = ft.outcomes.iter().filter_map(|o| o.trace()).collect();
+        assert_eq!(traces.len(), serial.len());
+        for (got, want) in traces.iter().zip(&serial) {
+            assert_eq!(*got, want);
+        }
+        assert_eq!(
+            ft.report.hazardous_jobs,
+            serial.iter().filter(|t| t.is_hazardous()).count()
+        );
+    }
+
+    #[test]
+    fn invalid_jobs_are_ledgered_not_fatal() {
+        // A non-finite initial BG is caught by validation before the
+        // engine ever runs, and the rest of the campaign survives.
+        let spec = CampaignSpec {
+            steps: 40,
+            initial_bgs: vec![120.0, f64::NAN],
+            ..tiny_spec()
+        };
+        let ft = run_campaign_ft(&spec, None, &CampaignOptions::default()).unwrap();
+        let half = ft.report.total_jobs / 2;
+        assert_eq!(ft.report.failed_jobs, half);
+        assert_eq!(ft.report.completed_jobs, half);
+        assert_eq!(ft.report.ledger.len(), half);
+        for entry in &ft.report.ledger.entries {
+            assert!(matches!(entry.error, SimError::InvalidSpec { .. }));
+            assert_eq!(entry.attempts, 1);
+        }
+    }
+
+    #[test]
+    fn retry_policy_bounds_attempts_for_deterministic_failures() {
+        let spec = CampaignSpec {
+            steps: 10,
+            initial_bgs: vec![f64::INFINITY],
+            ..tiny_spec()
+        };
+        let options = CampaignOptions {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                ..RetryPolicy::default()
+            },
+            workers: Some(1),
+            ..CampaignOptions::default()
+        };
+        let ft = run_campaign_ft(&spec, None, &options).unwrap();
+        assert_eq!(ft.report.completed_jobs, 0);
+        assert!(ft
+            .report
+            .ledger
+            .entries
+            .iter()
+            .all(|e| e.attempts == 3 && matches!(e.error, SimError::InvalidSpec { .. })));
+    }
+
+    #[test]
+    fn cancellation_stops_claiming_and_reports_it() {
+        let spec = CampaignSpec {
+            steps: 40,
+            ..tiny_spec()
+        };
+        let cancel = Arc::new(AtomicBool::new(false));
+        let options = CampaignOptions {
+            cancel: Some(Arc::clone(&cancel)),
+            workers: Some(1),
+            ..CampaignOptions::default()
+        };
+        let mut seen = Vec::new();
+        let report = run_campaign_resumable(&spec, None, &options, None, |i, _| {
+            seen.push(i);
+            if seen.len() == 5 {
+                cancel.store(true, Ordering::Release);
+            }
+        })
+        .unwrap();
+        assert!(report.cancelled);
+        assert_eq!(seen, (0..5).collect::<Vec<_>>());
+        assert_eq!(report.completed_jobs, 5);
     }
 }

@@ -1,0 +1,205 @@
+//! Deterministic chaos injection for the campaign executor.
+//!
+//! A [`ChaosConfig`] makes the executor hostile on purpose: workers
+//! panic, jobs stall, specs arrive poisoned — under a *deterministic*
+//! schedule. Every decision is a pure function of `(seed, job_index,
+//! attempt)`, derived through a per-decision [`ChaCha8Rng`]; nothing
+//! depends on thread interleaving or wall-clock time, so the same
+//! chaos seed produces the same error ledger byte for byte, however
+//! many workers run and however the scheduler slices them.
+//!
+//! This is a test/hardening harness, not a production feature: the
+//! fault-tolerant executor accepts it as an `Option` that defaults to
+//! `None` and costs nothing when absent.
+
+use rand::RngCore;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Probabilities and magnitudes of injected executor faults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Seed of the chaos schedule.
+    pub seed: u64,
+    /// Per-attempt probability that the worker panics mid-job.
+    pub panic_probability: f64,
+    /// Per-attempt probability of an artificial delay before the job.
+    pub delay_probability: f64,
+    /// Upper bound on the artificial delay, milliseconds.
+    pub max_delay_ms: u64,
+    /// Per-attempt probability that the job's fault scenario is
+    /// replaced with a structurally invalid (poisoned) spec.
+    pub poison_probability: f64,
+}
+
+impl ChaosConfig {
+    /// A moderately hostile default schedule: with `p = 0.15` per
+    /// hazard class a 31-job campaign sees several of each, while
+    /// `max_attempts = 3` retries still let most jobs complete.
+    pub fn with_seed(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            panic_probability: 0.15,
+            delay_probability: 0.15,
+            max_delay_ms: 5,
+            poison_probability: 0.10,
+        }
+    }
+
+    /// The chaos decisions for one `(job, attempt)` pair.
+    ///
+    /// Decisions are drawn from a fresh [`ChaCha8Rng`] seeded from
+    /// `(seed, job_index, attempt)`, so they are identical on every
+    /// run and on every executor (serial or parallel, any worker
+    /// count) — and a retry of the same job sees a *different* draw,
+    /// which is what lets retries clear transient chaos.
+    pub fn plan(&self, job_index: usize, attempt: u32) -> ChaosPlan {
+        let mut rng = ChaCha8Rng::seed_from_u64(mix(self.seed, job_index as u64, attempt.into()));
+        // Draw order is part of the schedule contract: delay, panic,
+        // poison.
+        let delay_ms = if unit(&mut rng) < self.delay_probability && self.max_delay_ms > 0 {
+            1 + rng.next_u64() % self.max_delay_ms
+        } else {
+            0
+        };
+        let panic = unit(&mut rng) < self.panic_probability;
+        let poison = unit(&mut rng) < self.poison_probability;
+        ChaosPlan {
+            delay_ms,
+            panic,
+            poison,
+        }
+    }
+}
+
+/// What chaos does to one job attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Sleep this long before running the job (0 = no delay).
+    pub delay_ms: u64,
+    /// Panic instead of completing the job.
+    pub panic: bool,
+    /// Replace the job's fault scenario with a poisoned spec.
+    pub poison: bool,
+}
+
+impl ChaosPlan {
+    /// No chaos at all (what an absent config means).
+    pub const NONE: ChaosPlan = ChaosPlan {
+        delay_ms: 0,
+        panic: false,
+        poison: false,
+    };
+}
+
+/// SplitMix64-style mix of the seed with the job/attempt coordinates.
+fn mix(seed: u64, job: u64, attempt: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(job.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(attempt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from the top 53 bits of one `u64`.
+fn unit(rng: &mut ChaCha8Rng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The prefix every chaos-injected panic message carries, so tooling
+/// (and [`silence_injected_panics`]) can tell them from real bugs.
+pub const INJECTED_PANIC_PREFIX: &str = "chaos: injected";
+
+/// Installs a **process-global** panic hook that swallows the default
+/// "thread panicked" stderr report for chaos-injected panics (their
+/// message starts with [`INJECTED_PANIC_PREFIX`]) and delegates every
+/// other panic to the previously installed hook.
+///
+/// The executor catches injected panics either way — this only keeps
+/// chaos campaigns from spraying backtraces for faults that are part
+/// of the schedule. Because the hook is global, call it from binaries
+/// and examples only, never from library code or tests.
+pub fn silence_injected_panics() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.starts_with(INJECTED_PANIC_PREFIX))
+            .or_else(|| {
+                info.payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| s.starts_with(INJECTED_PANIC_PREFIX))
+            })
+            .unwrap_or(false);
+        if !injected {
+            previous(info);
+        }
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_coordinates() {
+        let cfg = ChaosConfig::with_seed(42);
+        for job in 0..64 {
+            for attempt in 1..4 {
+                assert_eq!(cfg.plan(job, attempt), cfg.plan(job, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = ChaosConfig::with_seed(1);
+        let b = ChaosConfig::with_seed(2);
+        let differs = (0..256).any(|j| a.plan(j, 1) != b.plan(j, 1));
+        assert!(differs, "seeds 1 and 2 produced identical schedules");
+    }
+
+    #[test]
+    fn retries_see_fresh_draws() {
+        let cfg = ChaosConfig::with_seed(7);
+        // Some job that panics on attempt 1 must not panic on every
+        // later attempt — otherwise retries could never clear chaos.
+        let cleared = (0..512).any(|j| cfg.plan(j, 1).panic && !cfg.plan(j, 2).panic);
+        assert!(cleared, "no panicking job ever cleared on retry");
+    }
+
+    #[test]
+    fn rates_are_roughly_calibrated() {
+        let cfg = ChaosConfig::with_seed(99);
+        let n = 2_000;
+        let panics = (0..n).filter(|&j| cfg.plan(j, 1).panic).count();
+        let delays = (0..n).filter(|&j| cfg.plan(j, 1).delay_ms > 0).count();
+        let poisons = (0..n).filter(|&j| cfg.plan(j, 1).poison).count();
+        let frac = |c: usize| c as f64 / n as f64;
+        assert!((0.10..0.20).contains(&frac(panics)), "{}", frac(panics));
+        assert!((0.10..0.20).contains(&frac(delays)), "{}", frac(delays));
+        assert!((0.05..0.15).contains(&frac(poisons)), "{}", frac(poisons));
+    }
+
+    #[test]
+    fn delays_respect_the_bound() {
+        let cfg = ChaosConfig {
+            max_delay_ms: 3,
+            delay_probability: 1.0,
+            ..ChaosConfig::with_seed(5)
+        };
+        for j in 0..128 {
+            let d = cfg.plan(j, 1).delay_ms;
+            assert!((1..=3).contains(&d), "delay {d} out of bounds");
+        }
+        let none = ChaosConfig {
+            max_delay_ms: 0,
+            delay_probability: 1.0,
+            ..ChaosConfig::with_seed(5)
+        };
+        assert_eq!(none.plan(0, 1).delay_ms, 0);
+    }
+}

@@ -1,0 +1,499 @@
+//! Versioned campaign checkpoints for kill/resume.
+//!
+//! A [`CampaignCheckpoint`] captures everything a campaign needs to
+//! continue after its process dies: which jobs are done (a bitmap),
+//! which failed (the [`ErrorLedger`]), and the aggregate partials —
+//! including a rolling digest of every emitted trace, which is what
+//! makes resume *provably* bit-identical to an uninterrupted run (the
+//! kill-at-every-checkpoint equivalence test compares final digests).
+//!
+//! The on-disk format is versioned serde JSON written atomically
+//! (temp file + rename), and the container carries
+//! `#[serde(default)]` so a checkpoint written by an older build that
+//! lacks newer fields still loads.
+//!
+//! Numeric caveat: the vendored serde shim routes all numbers through
+//! `f64`, which is exact only below 2^53 — so the 64-bit spec hash,
+//! trace digest, and chaos seed are stored as hex *strings*, and the
+//! completed-job bitmap as 32-bit words.
+
+use crate::outcome::ErrorLedger;
+use aps_types::SimTrace;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Why a checkpoint could not be written, read, or used.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// Filesystem or serialization failure.
+    Io {
+        /// The checkpoint path.
+        path: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The file's format version is newer than this build supports.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Highest version this build reads.
+        supported: u32,
+    },
+    /// The checkpoint does not belong to the campaign being resumed
+    /// (different spec, chaos seed, or job count).
+    Mismatch {
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, detail } => {
+                write!(f, "checkpoint I/O error at `{path}`: {detail}")
+            }
+            CheckpointError::Version { found, supported } => write!(
+                f,
+                "checkpoint format version {found} is newer than the supported version {supported}"
+            ),
+            CheckpointError::Mismatch { detail } => {
+                write!(f, "checkpoint does not match this campaign: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// FNV-1a over a byte slice, continuing from `acc`.
+fn fnv1a(mut acc: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        acc ^= u64::from(b);
+        acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    acc
+}
+
+/// FNV-1a offset basis — the seed for every rolling digest here.
+pub const DIGEST_SEED: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Folds one `u64` into a rolling FNV-1a accumulator.
+fn fold_u64(acc: u64, x: u64) -> u64 {
+    fnv1a(acc, &x.to_le_bytes())
+}
+
+/// Folds a string into a rolling FNV-1a accumulator.
+fn fold_str(acc: u64, s: &str) -> u64 {
+    fnv1a(fnv1a(acc, s.as_bytes()), &[0xFF])
+}
+
+/// `fmt::Write` adapter that feeds formatted output straight into the
+/// FNV accumulator — folding `Display` values costs no allocation,
+/// which keeps digest upkeep invisible next to the simulation itself
+/// (the bench guard holds the executor to ≥ 80% of its committed
+/// speedup).
+struct FnvWriter(u64);
+
+impl fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0 = fnv1a(self.0, s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Folds a `Display` value (plus a terminator byte) without
+/// allocating.
+fn fold_display(acc: u64, value: &dyn fmt::Display) -> u64 {
+    use fmt::Write as _;
+    let mut w = FnvWriter(acc);
+    let _ = write!(w, "{value}");
+    fnv1a(w.0, &[0xFF])
+}
+
+/// 64-bit content hash of anything serde-serializable (FNV-1a over
+/// its canonical JSON). Used to bind a checkpoint to its
+/// [`CampaignSpec`](crate::campaign::CampaignSpec).
+pub fn spec_hash<T: Serialize>(value: &T) -> u64 {
+    let json = serde_json::to_string(value).unwrap_or_default();
+    fnv1a(DIGEST_SEED, json.as_bytes())
+}
+
+/// Cheap per-trace content digest: folds every per-cycle numeric
+/// column (exact f64 bits), the action/alert/hazard columns, and the
+/// trace identity. Two traces with equal digests at every job index
+/// witness a bit-identical campaign.
+pub fn trace_digest(trace: &SimTrace) -> u64 {
+    let mut acc = DIGEST_SEED;
+    acc = fold_str(acc, &trace.meta.patient);
+    acc = fold_str(acc, &trace.meta.fault_name);
+    acc = fold_u64(acc, trace.meta.initial_bg.to_bits());
+    for r in trace.iter() {
+        acc = fold_u64(acc, u64::from(r.step.0));
+        acc = fold_u64(acc, r.bg.value().to_bits());
+        acc = fold_u64(acc, r.bg_true.value().to_bits());
+        acc = fold_u64(acc, r.iob.value().to_bits());
+        acc = fold_u64(acc, r.commanded.value().to_bits());
+        acc = fold_u64(acc, r.delivered.value().to_bits());
+        acc = fold_display(acc, &r.action);
+        acc = fold_u64(acc, u64::from(r.fault_active));
+        acc = match r.hazard {
+            Some(h) => fold_display(acc, &h),
+            None => fold_str(acc, ""),
+        };
+        acc = match r.alert {
+            Some(h) => fold_display(acc, &h),
+            None => fold_str(acc, ""),
+        };
+    }
+    for track in &trace.monitor_tracks {
+        acc = fold_str(acc, &track.monitor);
+        for a in &track.alerts {
+            acc = match a {
+                Some(h) => fold_display(acc, h),
+                None => fold_str(acc, ""),
+            };
+        }
+    }
+    acc
+}
+
+/// Renders a `u64` as fixed-width lowercase hex (shim-safe storage).
+pub fn to_hex(x: u64) -> String {
+    format!("{x:016x}")
+}
+
+/// Parses [`to_hex`] output back to a `u64`.
+pub fn from_hex(s: &str) -> Option<u64> {
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// Completed-job set as packed 32-bit words (32-bit, not 64-bit,
+/// because the vendored serde shim stores numbers as `f64`, exact
+/// only below 2^53).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct JobBitmap {
+    /// Packed bits, little-endian within each word.
+    pub words: Vec<u32>,
+    /// Number of addressable jobs.
+    pub len: usize,
+}
+
+impl JobBitmap {
+    /// An all-clear bitmap for `len` jobs.
+    pub fn new(len: usize) -> JobBitmap {
+        JobBitmap {
+            words: vec![0; len.div_ceil(32)],
+            len,
+        }
+    }
+
+    /// Marks job `i` completed.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "job index {i} out of range ({})", self.len);
+        self.words[i / 32] |= 1 << (i % 32);
+    }
+
+    /// Whether job `i` is completed.
+    pub fn get(&self, i: usize) -> bool {
+        i < self.len && (self.words[i / 32] >> (i % 32)) & 1 == 1
+    }
+
+    /// Number of completed jobs.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Aggregate statistics accumulated so far, continued on resume.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct AggregatePartials {
+    /// Jobs that produced a trace.
+    pub completed_jobs: usize,
+    /// Jobs that exhausted their attempts and failed.
+    pub failed_jobs: usize,
+    /// Completed jobs whose trace contains a labeled hazard.
+    pub hazardous_jobs: usize,
+    /// Rolling FNV-1a digest over every emitted outcome, in job
+    /// order, as hex (see [`trace_digest`]).
+    pub digest: String,
+}
+
+impl Default for AggregatePartials {
+    fn default() -> AggregatePartials {
+        AggregatePartials {
+            completed_jobs: 0,
+            failed_jobs: 0,
+            hazardous_jobs: 0,
+            digest: to_hex(DIGEST_SEED),
+        }
+    }
+}
+
+impl AggregatePartials {
+    /// Folds one completed trace into the partials.
+    pub fn fold_completed(&mut self, trace: &SimTrace) {
+        self.completed_jobs += 1;
+        if trace.is_hazardous() {
+            self.hazardous_jobs += 1;
+        }
+        let acc = from_hex(&self.digest).unwrap_or(DIGEST_SEED);
+        self.digest = to_hex(fold_u64(acc, trace_digest(trace)));
+    }
+
+    /// Folds one failed job into the partials (the error's rendered
+    /// message keeps the digest sensitive to failure causes).
+    pub fn fold_failed(&mut self, error_message: &str, attempts: u32) {
+        self.failed_jobs += 1;
+        let acc = from_hex(&self.digest).unwrap_or(DIGEST_SEED);
+        self.digest = to_hex(fold_u64(fold_str(acc, error_message), u64::from(attempts)));
+    }
+}
+
+/// Versioned snapshot of a campaign in flight.
+///
+/// The container carries `#[serde(default)]`: fields added in future
+/// versions deserialize to their defaults when absent, so old
+/// checkpoints keep loading (forward compatibility is pinned by
+/// `tests/checkpoint_roundtrip.rs`).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(default)]
+pub struct CampaignCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Hex [`spec_hash`] of the campaign spec this belongs to.
+    pub spec_hash: String,
+    /// Hex chaos seed, if the run had chaos injection (`None`
+    /// otherwise); a resume must use the same chaos schedule.
+    pub chaos_seed: Option<String>,
+    /// Total jobs in the campaign's deterministic order.
+    pub total_jobs: usize,
+    /// Which jobs are already done (completed *or* deterministically
+    /// failed — both are final).
+    pub completed: JobBitmap,
+    /// Failures so far, in job order.
+    pub ledger: ErrorLedger,
+    /// Aggregates so far.
+    pub partials: AggregatePartials,
+}
+
+impl CampaignCheckpoint {
+    /// A fresh checkpoint for a campaign of `total_jobs` jobs.
+    pub fn fresh(spec_hash_hex: String, chaos_seed: Option<u64>, total_jobs: usize) -> Self {
+        CampaignCheckpoint {
+            version: CHECKPOINT_VERSION,
+            spec_hash: spec_hash_hex,
+            chaos_seed: chaos_seed.map(to_hex),
+            total_jobs,
+            completed: JobBitmap::new(total_jobs),
+            ledger: ErrorLedger::new(),
+            partials: AggregatePartials::default(),
+        }
+    }
+
+    /// Writes the checkpoint atomically (temp file in the same
+    /// directory, then rename) so a crash mid-write never leaves a
+    /// torn checkpoint behind.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on any filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let io_err = |detail: String| CheckpointError::Io {
+            path: path.display().to_string(),
+            detail,
+        };
+        let json = serde_json::to_string(self).map_err(|e| io_err(format!("{e:?}")))?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, json.as_bytes()).map_err(|e| io_err(e.to_string()))?;
+        std::fs::rename(&tmp, path).map_err(|e| io_err(e.to_string()))
+    }
+
+    /// Loads and version-checks a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] for unreadable/unparsable files,
+    /// [`CheckpointError::Version`] for files written by a newer
+    /// format.
+    pub fn load(path: &Path) -> Result<CampaignCheckpoint, CheckpointError> {
+        let io_err = |detail: String| CheckpointError::Io {
+            path: path.display().to_string(),
+            detail,
+        };
+        let json = std::fs::read_to_string(path).map_err(|e| io_err(e.to_string()))?;
+        let ckpt: CampaignCheckpoint =
+            serde_json::from_str(&json).map_err(|e| io_err(format!("{e:?}")))?;
+        if ckpt.version > CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version {
+                found: ckpt.version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        Ok(ckpt)
+    }
+
+    /// Checks that this checkpoint belongs to the campaign described
+    /// by (`spec_hash_hex`, `chaos_seed`, `total_jobs`).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Mismatch`] naming the first disagreement.
+    pub fn validate_for(
+        &self,
+        spec_hash_hex: &str,
+        chaos_seed: Option<u64>,
+        total_jobs: usize,
+    ) -> Result<(), CheckpointError> {
+        if self.spec_hash != spec_hash_hex {
+            return Err(CheckpointError::Mismatch {
+                detail: format!(
+                    "spec hash {} in checkpoint, campaign has {}",
+                    self.spec_hash, spec_hash_hex
+                ),
+            });
+        }
+        let seed_hex = chaos_seed.map(to_hex);
+        if self.chaos_seed != seed_hex {
+            return Err(CheckpointError::Mismatch {
+                detail: format!(
+                    "chaos seed {:?} in checkpoint, campaign has {:?}",
+                    self.chaos_seed, seed_hex
+                ),
+            });
+        }
+        if self.total_jobs != total_jobs {
+            return Err(CheckpointError::Mismatch {
+                detail: format!(
+                    "{} total jobs in checkpoint, campaign has {}",
+                    self.total_jobs, total_jobs
+                ),
+            });
+        }
+        if self.completed.len != total_jobs {
+            return Err(CheckpointError::Mismatch {
+                detail: format!(
+                    "bitmap addresses {} jobs, campaign has {}",
+                    self.completed.len, total_jobs
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_set_get_count() {
+        let mut b = JobBitmap::new(70);
+        assert_eq!(b.words.len(), 3);
+        assert_eq!(b.count(), 0);
+        for i in [0, 31, 32, 63, 69] {
+            assert!(!b.get(i));
+            b.set(i);
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count(), 5);
+        assert!(!b.get(70), "out of range reads as not-completed");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bitmap_set_out_of_range_panics() {
+        JobBitmap::new(4).set(4);
+    }
+
+    #[test]
+    fn hex_roundtrip_preserves_all_64_bits() {
+        for x in [
+            0u64,
+            1,
+            u64::MAX,
+            0xCBF2_9CE4_8422_2325,
+            1 << 53,
+            (1 << 53) + 1,
+        ] {
+            assert_eq!(from_hex(&to_hex(x)), Some(x));
+        }
+        assert_eq!(from_hex("zz"), None);
+    }
+
+    #[test]
+    fn partials_digest_distinguishes_failure_causes() {
+        let mut a = AggregatePartials::default();
+        let mut b = AggregatePartials::default();
+        assert_eq!(a, b);
+        a.fold_failed("job panicked: chaos", 2);
+        b.fold_failed("non-finite ODE state at cycle 3", 2);
+        assert_ne!(a.digest, b.digest);
+        assert_eq!(a.failed_jobs, 1);
+    }
+
+    #[test]
+    fn checkpoint_save_load_roundtrip_and_validation() {
+        let dir = std::env::temp_dir().join("aps_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let mut ckpt = CampaignCheckpoint::fresh(to_hex(0xDEAD_BEEF), Some(u64::MAX), 31);
+        ckpt.completed.set(0);
+        ckpt.completed.set(30);
+        ckpt.partials.fold_failed("boom", 1);
+        ckpt.save(&path).unwrap();
+        let back = CampaignCheckpoint::load(&path).unwrap();
+        assert_eq!(ckpt, back);
+        assert!(back
+            .validate_for(&to_hex(0xDEAD_BEEF), Some(u64::MAX), 31)
+            .is_ok());
+        assert!(matches!(
+            back.validate_for(&to_hex(0xDEAD_BEEF), Some(7), 31),
+            Err(CheckpointError::Mismatch { .. })
+        ));
+        assert!(matches!(
+            back.validate_for(&to_hex(1), Some(u64::MAX), 31),
+            Err(CheckpointError::Mismatch { .. })
+        ));
+        assert!(matches!(
+            back.validate_for(&to_hex(0xDEAD_BEEF), Some(u64::MAX), 32),
+            Err(CheckpointError::Mismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn newer_version_is_rejected() {
+        let dir = std::env::temp_dir().join("aps_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("future.json");
+        let mut ckpt = CampaignCheckpoint::fresh(to_hex(1), None, 4);
+        ckpt.version = CHECKPOINT_VERSION + 1;
+        ckpt.save(&path).unwrap();
+        assert!(matches!(
+            CampaignCheckpoint::load(&path),
+            Err(CheckpointError::Version { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_tmp_file() {
+        let dir = std::env::temp_dir().join("aps_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.json");
+        CampaignCheckpoint::fresh(to_hex(2), None, 4)
+            .save(&path)
+            .unwrap();
+        assert!(path.exists());
+        assert!(!dir.join("atomic.json.tmp").exists());
+        std::fs::remove_file(&path).ok();
+    }
+}

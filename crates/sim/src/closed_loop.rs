@@ -143,6 +143,12 @@ impl Default for LoopConfig {
 /// model assumes sensor data is protected and faults target the
 /// controller. The injector perturbs the controller's named input /
 /// internal / output variables while its activation window is open.
+/// # Panics
+///
+/// Panics if the patient ODE state becomes non-finite mid-run (the
+/// session API offers [`Session::try_run`](crate::session::Session)
+/// for the typed error; this frozen positional signature stays
+/// infallible).
 pub fn run(
     patient: &mut dyn PatientSim,
     controller: &mut dyn Controller,
@@ -150,6 +156,21 @@ pub fn run(
     injector: Option<&mut FaultInjector>,
     config: &LoopConfig,
 ) -> SimTrace {
+    try_run(patient, controller, monitor, injector, config)
+        .unwrap_or_else(|e| panic!("closed-loop run failed: {e}"))
+}
+
+/// Checked variant of [`run`]: mid-run failures become a typed
+/// [`SimError`](crate::outcome::SimError). The fault-tolerant
+/// campaign executor runs jobs through this path so a diverging ODE
+/// lands in the error ledger instead of tearing a worker down.
+pub(crate) fn try_run(
+    patient: &mut dyn PatientSim,
+    controller: &mut dyn Controller,
+    monitor: Option<&mut (dyn HazardMonitor + 'static)>,
+    injector: Option<&mut FaultInjector>,
+    config: &LoopConfig,
+) -> Result<SimTrace, crate::outcome::SimError> {
     match monitor {
         Some(m) => {
             crate::session::run_engine(patient, controller, &mut [m], injector, config, None)

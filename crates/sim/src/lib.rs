@@ -16,9 +16,21 @@
 //!   Glucosym-style, Basal-Bolus + UVA-Padova-style);
 //! * [`campaign`] — the fault-injection campaign runner (grid of
 //!   patients × initial BG × scenarios, multi-threaded), with
-//!   streaming sinks ([`campaign::run_campaign_with`]) and a
-//!   pull-based [`campaign::CampaignStream`] for bounded-memory
-//!   sweeps;
+//!   streaming sinks ([`campaign::run_campaign_with`]), a pull-based
+//!   [`campaign::CampaignStream`] for bounded-memory sweeps, and the
+//!   fault-tolerant path ([`campaign::run_campaign_resumable`]):
+//!   panic-isolated workers, retry with bounded backoff, and
+//!   checkpoint/resume;
+//! * [`outcome`] — typed per-job errors ([`outcome::SimError`]), the
+//!   [`outcome::JobOutcome`] fate of each job, and the campaign
+//!   [`outcome::ErrorLedger`];
+//! * [`checkpoint`] — versioned serde
+//!   [`checkpoint::CampaignCheckpoint`] snapshots (completed-job
+//!   bitmap, ledger, rolling trace digest) written atomically for
+//!   kill/resume;
+//! * [`chaos`] — deterministic executor-fault injection
+//!   ([`chaos::ChaosConfig`]): seeded worker panics, delays, and
+//!   poisoned specs for hardening tests;
 //! * [`replay`] — offline (parallel) monitor replay over recorded
 //!   campaigns;
 //! * [`dataset`] — supervised dataset extraction for the ML baselines
@@ -30,9 +42,12 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod chaos;
+pub mod checkpoint;
 pub mod closed_loop;
 pub mod dataset;
 pub mod io;
+pub mod outcome;
 pub mod platform;
 pub mod replay;
 pub mod session;

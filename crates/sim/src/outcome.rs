@@ -1,0 +1,289 @@
+//! Typed job outcomes and the campaign error ledger.
+//!
+//! A fault-injection campaign is thousands of independent simulations;
+//! this module gives each one a machine-readable fate. A job that
+//! panics, diverges to a non-finite ODE state, overruns its deadline,
+//! or carries an invalid spec becomes a [`JobOutcome::Failed`] with a
+//! [`SimError`] and an attempt count — recorded in the campaign's
+//! [`ErrorLedger`] — instead of tearing down the executor. The ledger
+//! serializes, so a degraded campaign still leaves an auditable record
+//! of exactly which grid coordinates failed and why.
+
+use aps_types::SimTrace;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a single campaign job failed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimError {
+    /// The patient ODE state left the representable range (NaN/∞) at
+    /// the given control cycle. Caught by the RK4 stepper's finiteness
+    /// guard and the engine's per-cycle `state_is_finite` check.
+    NonFinite {
+        /// Control cycle at which the state became non-finite.
+        cycle: u32,
+    },
+    /// The job panicked; the payload message is preserved.
+    Panicked {
+        /// The panic payload, rendered to a string.
+        message: String,
+    },
+    /// The job ran longer than the per-job deadline.
+    DeadlineExceeded {
+        /// Observed wall-clock runtime, milliseconds.
+        elapsed_ms: u64,
+        /// Configured budget, milliseconds.
+        budget_ms: u64,
+    },
+    /// The job's fault scenario failed structural validation before
+    /// the simulation started.
+    InvalidSpec {
+        /// What the validator rejected.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NonFinite { cycle } => {
+                write!(f, "non-finite ODE state at cycle {cycle}")
+            }
+            SimError::Panicked { message } => write!(f, "job panicked: {message}"),
+            SimError::DeadlineExceeded {
+                elapsed_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "job deadline exceeded: ran {elapsed_ms} ms against a {budget_ms} ms budget"
+            ),
+            SimError::InvalidSpec { detail } => write!(f, "invalid job spec: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The fate of one campaign job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The simulation finished and produced a trace.
+    Completed(SimTrace),
+    /// Every attempt failed; the last error and the attempt count.
+    Failed {
+        /// The error from the final attempt.
+        error: SimError,
+        /// How many attempts were made (≥ 1).
+        attempts: u32,
+    },
+}
+
+impl JobOutcome {
+    /// The trace, if the job completed.
+    pub fn trace(&self) -> Option<&SimTrace> {
+        match self {
+            JobOutcome::Completed(t) => Some(t),
+            JobOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Consumes the outcome into its trace, if completed.
+    pub fn into_trace(self) -> Option<SimTrace> {
+        match self {
+            JobOutcome::Completed(t) => Some(t),
+            JobOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// `true` for [`JobOutcome::Failed`].
+    pub fn is_failed(&self) -> bool {
+        matches!(self, JobOutcome::Failed { .. })
+    }
+}
+
+/// One failed job, as recorded in the [`ErrorLedger`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerEntry {
+    /// Index of the job in the campaign's deterministic job order.
+    pub job_index: usize,
+    /// Cohort index of the patient.
+    pub patient_idx: usize,
+    /// Initial true glucose of the run (mg/dL).
+    pub initial_bg: f64,
+    /// Stable scenario name (`""` for the fault-free run).
+    pub fault_name: String,
+    /// The error from the final attempt.
+    pub error: SimError,
+    /// How many attempts were made.
+    pub attempts: u32,
+}
+
+/// Machine-readable record of every failed job in a campaign, in
+/// deterministic (job-order) sequence.
+///
+/// Serializes with serde; `same chaos seed ⇒ same ledger, byte for
+/// byte` is pinned by the chaos-determinism test.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ErrorLedger {
+    /// Failed jobs, ordered by `job_index`.
+    pub entries: Vec<LedgerEntry>,
+}
+
+impl ErrorLedger {
+    /// An empty ledger.
+    pub fn new() -> ErrorLedger {
+        ErrorLedger::default()
+    }
+
+    /// Appends a failure record.
+    pub fn push(&mut self, entry: LedgerEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Number of failed jobs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no job failed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Bounded exponential backoff between retry attempts.
+///
+/// The delay before attempt `k + 1` (after `k` failures) is
+/// `min(base_ms << (k - 1), cap_ms)` milliseconds; `base_ms = 0`
+/// retries immediately. Delays are wall-clock only — they never feed
+/// back into simulation results, so retried campaigns stay
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Backoff {
+    /// Delay before the first retry, milliseconds.
+    pub base_ms: u64,
+    /// Upper bound on any single delay, milliseconds.
+    pub cap_ms: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff {
+            base_ms: 0,
+            cap_ms: 1_000,
+        }
+    }
+}
+
+impl Backoff {
+    /// The delay after `failures` consecutive failures (≥ 1).
+    pub fn delay_ms(&self, failures: u32) -> u64 {
+        if self.base_ms == 0 || failures == 0 {
+            return 0;
+        }
+        let shift = (failures - 1).min(20);
+        self.base_ms.saturating_mul(1u64 << shift).min(self.cap_ms)
+    }
+}
+
+/// How many times to attempt a job, and how long to wait in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per job (≥ 1; 1 = no retry).
+    pub max_attempts: u32,
+    /// Delay schedule between attempts.
+    pub backoff: Backoff,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Backoff::default(),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// `max_attempts` attempts with the default (immediate) backoff.
+    pub fn attempts(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            backoff: Backoff::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_error_roundtrips_and_displays() {
+        let errors = [
+            SimError::NonFinite { cycle: 42 },
+            SimError::Panicked {
+                message: "boom".to_owned(),
+            },
+            SimError::DeadlineExceeded {
+                elapsed_ms: 900,
+                budget_ms: 100,
+            },
+            SimError::InvalidSpec {
+                detail: "target: must not be empty".to_owned(),
+            },
+        ];
+        for e in errors {
+            let j = serde_json::to_string(&e).unwrap();
+            let back: SimError = serde_json::from_str(&j).unwrap();
+            assert_eq!(e, back);
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(SimError::NonFinite { cycle: 42 }.to_string().contains("42"));
+    }
+
+    #[test]
+    fn ledger_roundtrips() {
+        let mut ledger = ErrorLedger::new();
+        assert!(ledger.is_empty());
+        ledger.push(LedgerEntry {
+            job_index: 7,
+            patient_idx: 1,
+            initial_bg: 120.0,
+            fault_name: "max_rate@t30x12".to_owned(),
+            error: SimError::Panicked {
+                message: "chaos".to_owned(),
+            },
+            attempts: 3,
+        });
+        let j = serde_json::to_string(&ledger).unwrap();
+        let back: ErrorLedger = serde_json::from_str(&j).unwrap();
+        assert_eq!(ledger, back);
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn backoff_is_bounded_exponential() {
+        let b = Backoff {
+            base_ms: 10,
+            cap_ms: 100,
+        };
+        assert_eq!(b.delay_ms(1), 10);
+        assert_eq!(b.delay_ms(2), 20);
+        assert_eq!(b.delay_ms(3), 40);
+        assert_eq!(b.delay_ms(4), 80);
+        assert_eq!(b.delay_ms(5), 100); // capped
+        assert_eq!(b.delay_ms(60), 100); // shift saturates, still capped
+        let zero = Backoff::default();
+        assert_eq!(zero.delay_ms(5), 0, "default backoff is immediate");
+    }
+
+    #[test]
+    fn retry_policy_floors_at_one_attempt() {
+        assert_eq!(RetryPolicy::attempts(0).max_attempts, 1);
+        assert_eq!(RetryPolicy::default().max_attempts, 1);
+        let j = serde_json::to_string(&RetryPolicy::attempts(3)).unwrap();
+        let back: RetryPolicy = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.max_attempts, 3);
+    }
+}

@@ -37,6 +37,7 @@
 //! [`closed_loop::run`]: crate::closed_loop::run
 
 use crate::closed_loop::LoopConfig;
+use crate::outcome::SimError;
 use crate::platform::Platform;
 use aps_controllers::Controller;
 use aps_core::hms::ContextMitigator;
@@ -470,7 +471,28 @@ impl<'obs> Session<'obs> {
     /// Executes the closed loop once: a single physics pass, however
     /// many monitors are attached. Produces the labeled trace, with one
     /// [`AlertTrack`] per monitor in `monitor_tracks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patient ODE state becomes non-finite (NaN/∞)
+    /// mid-run. Use [`try_run`](Session::try_run) to receive the
+    /// typed [`SimError`] instead; the fault-tolerant campaign
+    /// executor does, and ledgers it.
     pub fn run(&mut self) -> SimTrace {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("session failed: {e}"))
+    }
+
+    /// Executes the closed loop once, surfacing mid-run failures as a
+    /// typed [`SimError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NonFinite`] when the patient ODE state leaves the
+    /// representable range at some control cycle (caught by the RK4
+    /// finiteness guard plus the engine's per-cycle
+    /// [`PatientSim::state_is_finite`] check).
+    pub fn try_run(&mut self) -> Result<SimTrace, SimError> {
         let mut refs = self.monitors.as_dyn_mut();
         run_engine(
             self.patient.as_mut(),
@@ -524,6 +546,15 @@ enum FaultRoute {
 /// An unknown fault-target name falls back to unbounded injection here
 /// (legacy behavior, kept for the positional API); [`SessionBuilder`]
 /// validates the target before the engine ever sees it.
+///
+/// The engine is *checked*: after every patient step it verifies
+/// [`PatientSim::state_is_finite`] and returns
+/// [`SimError::NonFinite`] instead of letting NaN poison the rest of
+/// the trace (physiological floors are `f64::max`-style and would
+/// silently absorb it). The panicking wrappers ([`Session::run`],
+/// [`closed_loop::run`](crate::closed_loop::run)) keep their
+/// infallible signatures; the fault-tolerant campaign executor uses
+/// the checked path and ledgers the error.
 pub(crate) fn run_engine(
     patient: &mut dyn PatientSim,
     controller: &mut dyn Controller,
@@ -531,7 +562,7 @@ pub(crate) fn run_engine(
     mut injector: Option<&mut FaultInjector>,
     config: &LoopConfig,
     mut observer: Option<&mut dyn FnMut(&StepRecord)>,
-) -> SimTrace {
+) -> Result<SimTrace, SimError> {
     patient.reset(MgDl(config.initial_bg));
     controller.reset();
     for m in monitors.iter_mut() {
@@ -702,6 +733,9 @@ pub(crate) fn run_engine(
         }
 
         patient.step(delivered, CONTROL_CYCLE_MINUTES);
+        if !patient.state_is_finite() {
+            return Err(SimError::NonFinite { cycle: s });
+        }
         prev_commanded = commanded;
     }
 
@@ -715,7 +749,7 @@ pub(crate) fn run_engine(
         .collect();
 
     aps_risk::label_trace(&mut trace, &config.labels);
-    trace
+    Ok(trace)
 }
 
 #[cfg(test)]

@@ -126,6 +126,90 @@
 //! cargo bench -p aps-bench --bench campaign_throughput
 //! ```
 //!
+//! # Failure semantics
+//!
+//! Campaigns are expected to survive their own failures — the same
+//! philosophy the paper applies to the APS control loop, applied to
+//! the harness itself. The hardened executor
+//! ([`sim::campaign::run_campaign_resumable`] and its collecting
+//! wrapper [`sim::campaign::run_campaign_ft`]) guarantees:
+//!
+//! * **Isolation** — every job runs behind `catch_unwind` with its
+//!   fault spec validated first ([`fault::FaultScenario::validate`])
+//!   and its ODE state checked for finiteness after every control
+//!   cycle ([`glucose::PatientSim::state_is_finite`]; the RK4 stepper
+//!   itself rejects non-finite states via
+//!   [`glucose::ode::Rk4Scratch::try_integrate`]). A panic, a
+//!   diverging model, an invalid spec, or a per-job deadline overrun
+//!   becomes a typed [`sim::outcome::SimError`], never a torn-down
+//!   executor or a silently poisoned trace.
+//! * **Retry with bounded backoff** — failed jobs re-run up to
+//!   [`sim::outcome::RetryPolicy::max_attempts`] times with
+//!   exponential, capped [`sim::outcome::Backoff`]; deterministic
+//!   emission order is preserved throughout.
+//! * **Graceful degradation** — whatever still fails lands as a
+//!   [`sim::outcome::JobOutcome::Failed`] entry (error + attempt
+//!   count) in the machine-readable
+//!   [`sim::outcome::ErrorLedger`] of the final
+//!   [`sim::campaign::CampaignReport`]; every other job's trace is
+//!   delivered normally.
+//! * **Checkpoint/resume** — with a
+//!   [`sim::campaign::CheckpointPolicy`], a versioned
+//!   [`sim::checkpoint::CampaignCheckpoint`] (format version
+//!   [`sim::checkpoint::CHECKPOINT_VERSION`]: spec hash, chaos seed,
+//!   completed-job bitmap, ledger, aggregate partials with a rolling
+//!   trace digest) is written atomically every N completed jobs.
+//!   Resuming from a snapshot skips completed jobs and is
+//!   **bit-identical** to the uninterrupted run — same emissions,
+//!   same ledger, same digest — pinned by the kill-at-every-
+//!   checkpoint test in `tests/campaign_ft.rs`. A snapshot from a
+//!   different spec, chaos seed, or format version is rejected with a
+//!   typed [`sim::checkpoint::CheckpointError`].
+//! * **Deterministic chaos** — [`sim::chaos::ChaosConfig`] injects
+//!   seeded worker panics, delays, and poisoned specs *into the
+//!   executor only* (never the physics): same seed ⇒ byte-identical
+//!   ledger, regardless of thread interleaving.
+//!
+//! Worker counts resolve explicitly (`--workers` flag /
+//! [`sim::campaign::CampaignOptions::workers`], then the
+//! `APS_WORKERS` environment variable, then detected parallelism,
+//! clamped to [`sim::campaign::MAX_WORKERS`]) and the chosen source
+//! is surfaced in the report ([`sim::campaign::WorkerSource`]) so a
+//! silent fallback to one worker is visible.
+//!
+//! ```
+//! use aps_repro::prelude::*;
+//!
+//! let spec = CampaignSpec {
+//!     patient_indices: vec![0],
+//!     steps: 40,
+//!     ..CampaignSpec::quick(Platform::GlucosymOref0)
+//! };
+//! let dir = std::env::temp_dir();
+//! let options = CampaignOptions {
+//!     retry: RetryPolicy { max_attempts: 2, ..RetryPolicy::default() },
+//!     checkpoint: Some(CheckpointPolicy {
+//!         path: dir.join("campaign_ckpt.json"),
+//!         every_jobs: 10,
+//!     }),
+//!     ..CampaignOptions::default()
+//! };
+//! // First run: snapshots every 10 jobs (kill it at any point…)
+//! let ft = run_campaign_ft(&spec, None, &options).expect("checkpoint dir writable");
+//! assert!(ft.report.ledger.is_empty());
+//! // …later: resume from the snapshot; completed jobs are skipped and
+//! // the final report is bit-identical to an uninterrupted run.
+//! let snapshot = CampaignCheckpoint::load(&dir.join("campaign_ckpt.json")).unwrap();
+//! let resumed = run_campaign_resumable(&spec, None, &options, Some(&snapshot), |_i, _outcome| {})
+//!     .expect("snapshot matches this spec");
+//! assert_eq!(resumed.digest, ft.report.digest);
+//! assert_eq!(resumed.skipped_resumed, resumed.total_jobs);
+//! ```
+//!
+//! The same machinery drives `repro bench-campaign --chaos-seed N
+//! --retry 2 --checkpoint ck.json --resume ck.json` (see
+//! `examples/resumable_campaign.rs`).
+//!
 //! # Prediction
 //!
 //! The reproduction's *learned predictive* arm forecasts BG ahead of
@@ -210,10 +294,14 @@ pub mod prelude {
     };
     pub use aps_risk::{LabelConfig, RiskSample, RiskTracker};
     pub use aps_sim::campaign::{
-        campaign_jobs, run_campaign, run_campaign_with, CampaignJob, CampaignSpec, CampaignStream,
-        MonitorFactory, ScenarioCtx,
+        campaign_jobs, run_campaign, run_campaign_ft, run_campaign_resumable, run_campaign_with,
+        CampaignJob, CampaignOptions, CampaignReport, CampaignSpec, CampaignStream,
+        CheckpointPolicy, FtCampaign, MonitorFactory, ScenarioCtx, WorkerSource,
     };
+    pub use aps_sim::chaos::ChaosConfig;
+    pub use aps_sim::checkpoint::{CampaignCheckpoint, CheckpointError};
     pub use aps_sim::closed_loop::{self, ExerciseBout, LoopConfig, Meal};
+    pub use aps_sim::outcome::{Backoff, ErrorLedger, JobOutcome, RetryPolicy, SimError};
     pub use aps_sim::platform::Platform;
     pub use aps_sim::replay::{replay_campaign, replay_campaign_with, replay_monitor};
     pub use aps_sim::session::{MonitorSpec, Session, SessionBuilder, SessionError, SessionSpec};

@@ -1,0 +1,141 @@
+//! Checkpoint persistence properties.
+//!
+//! * `CampaignCheckpoint` round-trips through the vendored serde shim
+//!   for arbitrary contents (bitmaps, ledgers with every error kind,
+//!   64-bit hex hashes — including values above 2^53 that would not
+//!   survive as raw JSON numbers).
+//! * Forward compatibility: a checkpoint written before new fields
+//!   existed (missing `chaos_seed`, `partials`, …) still loads via the
+//!   container-level `#[serde(default)]`.
+//! * A checkpoint from a newer format version is rejected with
+//!   `CheckpointError::Version`, not misread.
+
+use aps_repro::sim::checkpoint::{
+    from_hex, to_hex, AggregatePartials, CampaignCheckpoint, CheckpointError, JobBitmap,
+    CHECKPOINT_VERSION,
+};
+use aps_repro::sim::outcome::{ErrorLedger, LedgerEntry, SimError};
+use proptest::prelude::*;
+
+fn error_from(pick: u8, detail: u64) -> SimError {
+    match pick % 4 {
+        0 => SimError::NonFinite {
+            cycle: detail as u32,
+        },
+        1 => SimError::Panicked {
+            message: format!("panic payload {detail}"),
+        },
+        2 => SimError::DeadlineExceeded {
+            elapsed_ms: detail,
+            budget_ms: detail / 2,
+        },
+        _ => SimError::InvalidSpec {
+            detail: format!("bad field {detail}"),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn checkpoint_roundtrips_through_the_shim(
+        total in 0usize..200,
+        done in prop::collection::vec(0usize..200, 0..64),
+        failures in prop::collection::vec(0u8..255, 0..8),
+        hash in 0u64..u64::MAX,
+        seed in 0u64..u64::MAX,
+        with_seed in 0u8..2,
+    ) {
+        let mut bitmap = JobBitmap::new(total);
+        for &i in done.iter().filter(|&&i| i < total) {
+            bitmap.set(i);
+        }
+        let mut ledger = ErrorLedger::new();
+        let mut partials = AggregatePartials::default();
+        for (k, &pick) in failures.iter().enumerate() {
+            let error = error_from(pick, u64::from(pick) * 977 + k as u64);
+            partials.fold_failed(&error.to_string(), u32::from(pick) % 5 + 1);
+            ledger.push(LedgerEntry {
+                job_index: k,
+                patient_idx: k % 10,
+                initial_bg: 80.0 + f64::from(pick),
+                fault_name: format!("fault_{pick}"),
+                error,
+                attempts: u32::from(pick) % 5 + 1,
+            });
+        }
+        let ckpt = CampaignCheckpoint {
+            version: CHECKPOINT_VERSION,
+            spec_hash: to_hex(hash),
+            chaos_seed: (with_seed == 1).then(|| to_hex(seed)),
+            total_jobs: total,
+            completed: bitmap,
+            ledger,
+            partials,
+        };
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let back: CampaignCheckpoint = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &ckpt);
+        // The 64-bit hashes survive exactly (stored as hex strings,
+        // immune to the shim's f64 number representation).
+        prop_assert_eq!(from_hex(&back.spec_hash), Some(hash));
+        if with_seed == 1 {
+            prop_assert_eq!(back.chaos_seed.as_deref().and_then(from_hex), Some(seed));
+        }
+    }
+}
+
+#[test]
+fn hex_hashes_survive_beyond_f64_precision() {
+    for x in [u64::MAX, (1u64 << 53) + 1, 0, 1] {
+        assert_eq!(from_hex(&to_hex(x)), Some(x));
+    }
+}
+
+#[test]
+fn old_checkpoint_missing_new_fields_still_loads() {
+    // A v1 snapshot from before `chaos_seed`/`partials`/`ledger`
+    // existed: the container-level `#[serde(default)]` fills them.
+    let old = r#"{
+        "version": 1,
+        "spec_hash": "00000000deadbeef",
+        "total_jobs": 4,
+        "completed": {"words": [5], "len": 4}
+    }"#;
+    let ckpt: CampaignCheckpoint = serde_json::from_str(old).unwrap();
+    assert_eq!(ckpt.version, 1);
+    assert_eq!(ckpt.spec_hash, "00000000deadbeef");
+    assert_eq!(ckpt.total_jobs, 4);
+    assert_eq!(ckpt.completed.count(), 2);
+    assert!(ckpt.chaos_seed.is_none());
+    assert!(ckpt.ledger.is_empty());
+    assert_eq!(ckpt.partials, AggregatePartials::default());
+}
+
+#[test]
+fn future_version_is_rejected_on_load() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("aps_ckpt_future_{}.json", std::process::id()));
+    let future = CampaignCheckpoint {
+        version: CHECKPOINT_VERSION + 1,
+        ..CampaignCheckpoint::fresh("abc".to_owned(), None, 3)
+    };
+    future.save(&path).unwrap();
+    match CampaignCheckpoint::load(&path) {
+        Err(CheckpointError::Version { found, supported }) => {
+            assert_eq!(found, CHECKPOINT_VERSION + 1);
+            assert_eq!(supported, CHECKPOINT_VERSION);
+        }
+        other => panic!("expected Version error, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn load_reports_missing_file_as_io_error() {
+    let err =
+        CampaignCheckpoint::load(std::path::Path::new("/nonexistent/definitely/missing.json"))
+            .unwrap_err();
+    assert!(matches!(err, CheckpointError::Io { .. }), "{err}");
+}

@@ -26,6 +26,7 @@
 //!   run --spec F          one session described by a JSON SessionSpec
 //!   summary               digest of all recorded results
 //!   bench-campaign        campaign-throughput baseline -> BENCH_campaign.json
+//!   lint                  aps-lint static analysis vs the committed baseline
 //!   all                   everything above, in order
 //!
 //! flags (workload scaling):
@@ -129,6 +130,11 @@ fn main() {
     }
     if which == "run" {
         run_spec(&args[1..]);
+    }
+    if which == "lint" {
+        // Static analysis has its own flag set (baseline paths, ratchet
+        // modes) — dispatch before the experiment flag parser.
+        std::process::exit(aps_bench::lintcmd::run_lint(&args[1..]));
     }
     // `--guard <baseline.json>` is a bench-campaign-only flag: compare
     // the fresh speedup against a committed report and fail the
@@ -274,6 +280,18 @@ perf:
                              BENCH_campaign.json (seed-faithful vs current)
   bench-campaign --guard F   also compare against the committed report F
                              and exit non-zero below 80% of its speedup
+
+static analysis:
+  lint                       scan the workspace with aps-lint (rule
+                             families: alloc, nan, det, serde, sound,
+                             unwrap; see lint.toml) and diff against the
+                             committed lint.baseline; writes
+                             results/lint.json
+  lint --deny-new            exit non-zero on any violation not in the
+                             baseline (the CI gate)
+  lint --write-baseline      regenerate lint.baseline; refuses to grow it
+  lint --root/--config/--baseline/--out/--no-out
+                             override the default paths
 
 fault tolerance (any of these switches bench-campaign to the hardened
 executor: isolated jobs, error ledger, partial results):

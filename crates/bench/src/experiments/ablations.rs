@@ -70,7 +70,9 @@ fn fault_free_thresholds(scs: &Scs, traces: &[SimTrace], basal: UnitsPerHour) ->
                 IobCond::BelowBeta | IobCond::Any => mu - margin,
                 IobCond::AboveBeta => mu + margin,
             };
-            out.rule_mut(rule.id).expect("rule exists").beta = beta;
+            if let Some(r) = out.rule_mut(rule.id) {
+                r.beta = beta;
+            }
         }
     }
     out

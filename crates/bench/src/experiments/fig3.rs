@@ -43,7 +43,7 @@ pub fn run(opts: &ExpOpts) {
     for (k, m) in &mins {
         println!("  {:<6} argmin r = {m:+.3}", k.name());
     }
-    let tmee_min = mins.iter().find(|(k, _)| *k == LossKind::Tmee).unwrap().1;
+    let tmee_min = argmin(LossKind::Tmee);
     println!(
         "\nshape checks (paper Fig. 3):\n  \
          MSE/MAE minimized at r=0 (can overshoot into violation): {}\n  \

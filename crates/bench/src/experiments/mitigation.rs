@@ -73,7 +73,9 @@ pub fn table7(opts: &ExpOpts) {
             })
             .collect();
         let risk = average_risk(&contributions);
-        let p = paper.iter().find(|(k, _, _, _)| *k == kind).unwrap();
+        let Some(p) = paper.iter().find(|(k, _, _, _)| *k == kind) else {
+            continue; // no paper reference row for this monitor
+        };
         table.row(&[
             kind.name().to_owned(),
             format!("{:.1}%", recovery * 100.0),

@@ -16,6 +16,7 @@
 
 pub mod experiments;
 pub mod ftrun;
+pub mod lintcmd;
 pub mod opts;
 pub mod perf;
 pub mod report;

@@ -1,0 +1,244 @@
+//! `repro lint` — run the [`aps_lint`] static analyzer over the
+//! workspace and diff the findings against the committed baseline.
+//!
+//! Exit codes follow the `ftrun` convention: `0` clean (or violations
+//! all baselined), `1` hard failure (new violations under
+//! `--deny-new`, ratchet refusal, bad config, I/O), `2` usage.
+
+use crate::report;
+use aps_lint::baseline::{diff_new, write_ratchet, Baseline, WriteOutcome};
+use aps_lint::config::LintConfig;
+use aps_lint::rules::RuleId;
+use serde_json::{json, Value};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Parsed `repro lint` flags.
+struct LintFlags {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    deny_new: bool,
+    write_baseline: bool,
+    out_dir: Option<String>,
+}
+
+impl LintFlags {
+    fn parse(args: &[String]) -> Result<LintFlags, String> {
+        let mut flags = LintFlags {
+            root: PathBuf::from("."),
+            config: None,
+            baseline: None,
+            deny_new: false,
+            write_baseline: false,
+            out_dir: Some("results".to_owned()),
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut path_value = |name: &str| -> Result<PathBuf, String> {
+                it.next()
+                    .map(PathBuf::from)
+                    .ok_or_else(|| format!("missing value for {name}"))
+            };
+            match arg.as_str() {
+                "--deny-new" => flags.deny_new = true,
+                "--write-baseline" => flags.write_baseline = true,
+                "--root" => flags.root = path_value("--root")?,
+                "--config" => flags.config = Some(path_value("--config")?),
+                "--baseline" => flags.baseline = Some(path_value("--baseline")?),
+                "--out" => {
+                    flags.out_dir = Some(path_value("--out")?.to_string_lossy().into_owned());
+                }
+                "--no-out" => flags.out_dir = None,
+                other => return Err(format!("unknown lint flag `{other}`")),
+            }
+        }
+        Ok(flags)
+    }
+}
+
+/// Runs the lint subcommand; returns the process exit code.
+pub fn run_lint(args: &[String]) -> i32 {
+    let flags = match LintFlags::parse(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: repro lint [--deny-new] [--write-baseline] [--root DIR] \
+                 [--config FILE] [--baseline FILE] [--out DIR | --no-out]"
+            );
+            return 2;
+        }
+    };
+    let config_path = flags
+        .config
+        .clone()
+        .unwrap_or_else(|| flags.root.join("lint.toml"));
+    let baseline_path = flags
+        .baseline
+        .clone()
+        .unwrap_or_else(|| flags.root.join("lint.baseline"));
+
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", config_path.display());
+            return 1;
+        }
+    };
+    let cfg = match LintConfig::parse(&config_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {}: {e}", config_path.display());
+            return 1;
+        }
+    };
+
+    let start = Instant::now();
+    let run = match aps_lint::lint_workspace(&flags.root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: lint walk failed: {e}");
+            return 1;
+        }
+    };
+    let elapsed = start.elapsed();
+
+    if flags.write_baseline {
+        return match write_ratchet(&baseline_path, &run.violations) {
+            Ok(Ok(WriteOutcome::Created { accepted })) => {
+                println!(
+                    "lint: created {} with {accepted} accepted instance(s)",
+                    baseline_path.display()
+                );
+                0
+            }
+            Ok(Ok(WriteOutcome::Ratcheted { removed })) => {
+                println!(
+                    "lint: rewrote {} (ratcheted down by {removed} instance(s))",
+                    baseline_path.display()
+                );
+                0
+            }
+            Ok(Err(grown)) => {
+                eprintln!(
+                    "lint: REFUSING to grow the baseline — fix these first \
+                     (or add the lines by hand in review):"
+                );
+                for key in grown {
+                    eprintln!("  + {}", key.replace('\t', "  "));
+                }
+                1
+            }
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", baseline_path.display());
+                1
+            }
+        };
+    }
+
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b.unwrap_or_default(),
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", baseline_path.display());
+            return 1;
+        }
+    };
+    let new = diff_new(&run.violations, &baseline);
+
+    // Per-rule summary.
+    println!(
+        "lint: {} file(s), {} violation(s) ({} baselined, {} new) in {:.0?}",
+        run.files_scanned,
+        run.violations.len(),
+        run.violations.len() - new.len(),
+        new.len(),
+        elapsed
+    );
+    for rule in RuleId::ALL {
+        let total = run.violations.iter().filter(|v| v.rule == rule).count();
+        let fresh = new.iter().filter(|v| v.rule == rule).count();
+        if total > 0 {
+            println!("  {:<6} {total:>4} ({fresh} new)", rule.as_str());
+        }
+    }
+    if !new.is_empty() {
+        println!("\nnew violations (not in {}):", baseline_path.display());
+        for v in &new {
+            println!(
+                "  {}:{}: [{}] {} in `{}`",
+                v.file,
+                v.line,
+                v.rule.as_str(),
+                v.what,
+                v.scope
+            );
+        }
+    }
+
+    // JSON artifact for CI.
+    let new_rows: Vec<Value> = new
+        .iter()
+        .map(|v| {
+            json!({
+                "rule": v.rule.as_str(),
+                "file": v.file.as_str(),
+                "line": v.line,
+                "scope": v.scope.as_str(),
+                "what": v.what.as_str(),
+            })
+        })
+        .collect();
+    let per_rule: Vec<Value> = RuleId::ALL
+        .iter()
+        .map(|r| {
+            json!({
+                "rule": r.as_str(),
+                "total": run.violations.iter().filter(|v| v.rule == *r).count(),
+                "new": new.iter().filter(|v| v.rule == *r).count(),
+            })
+        })
+        .collect();
+    let doc = json!({
+        "files_scanned": run.files_scanned,
+        "total": run.violations.len(),
+        "baselined": run.violations.len() - new_rows.len(),
+        "new": Value::Array(new_rows),
+        "per_rule": Value::Array(per_rule),
+        "deny_new": flags.deny_new,
+    });
+    report::write_json(&flags.out_dir, "lint", &doc);
+
+    if flags.deny_new && !new.is_empty() {
+        eprintln!(
+            "\nlint: {} new violation(s); fix them or (for accepted debt) add \
+             the lines to {} by hand",
+            new.len(),
+            baseline_path.display()
+        );
+        return 1;
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        let f = LintFlags::parse(&[
+            "--deny-new".to_owned(),
+            "--root".to_owned(),
+            "/tmp/x".to_owned(),
+            "--no-out".to_owned(),
+        ])
+        .unwrap();
+        assert!(f.deny_new);
+        assert!(!f.write_baseline);
+        assert_eq!(f.root, PathBuf::from("/tmp/x"));
+        assert!(f.out_dir.is_none());
+        assert!(LintFlags::parse(&["--bogus".to_owned()]).is_err());
+        assert!(LintFlags::parse(&["--config".to_owned()]).is_err());
+    }
+}

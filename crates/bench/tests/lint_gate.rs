@@ -1,0 +1,65 @@
+//! End-to-end exit-code gate for `repro lint`: the committed baseline
+//! must keep the real workspace green under `--deny-new`, and a
+//! synthetic new violation must flip the exit code to 1.
+
+use aps_bench::lintcmd::run_lint;
+use std::path::PathBuf;
+
+fn argv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| (*s).to_owned()).collect()
+}
+
+fn workspace_root() -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn deny_new_passes_on_committed_baseline() {
+    let root = workspace_root();
+    let code = run_lint(&argv(&["--deny-new", "--root", &root, "--no-out"]));
+    assert_eq!(code, 0, "repro lint --deny-new must be clean at HEAD");
+}
+
+#[test]
+fn deny_new_fails_then_baselining_clears_it() {
+    // A miniature workspace with one fresh violation and no baseline.
+    let dir = std::env::temp_dir().join(format!("aps-lint-gate-{}", std::process::id()));
+    let src = dir.join("src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    )
+    .expect("write lib.rs");
+    std::fs::write(
+        dir.join("lint.toml"),
+        "[unwrap_audit]\nmodules = [\"src\"]\n",
+    )
+    .expect("write lint.toml");
+
+    let root = dir.to_string_lossy().into_owned();
+    let deny = argv(&["--deny-new", "--root", &root, "--no-out"]);
+    assert_eq!(run_lint(&deny), 1, "un-baselined violation must fail");
+
+    // Accepting the debt (creating the baseline) turns the same tree
+    // green; the violation is still reported, just not new.
+    let write = argv(&["--write-baseline", "--root", &root, "--no-out"]);
+    assert_eq!(run_lint(&write), 0, "baseline creation must succeed");
+    assert_eq!(run_lint(&deny), 0, "baselined violation must pass");
+
+    // A second fresh violation trips the gate again and the ratchet
+    // refuses to absorb it.
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+         pub fn g(x: Option<u8>) -> u8 { x.expect(\"set\") }\n",
+    )
+    .expect("rewrite lib.rs");
+    assert_eq!(run_lint(&deny), 1, "second violation must fail");
+    assert_eq!(run_lint(&write), 1, "ratchet must refuse to grow");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,214 @@
+//! The committed violation baseline and its ratchet.
+//!
+//! The baseline is a plain sorted text file, one line per *accepted*
+//! violation instance:
+//!
+//! ```text
+//! rule<TAB>file<TAB>scope<TAB>what
+//! ```
+//!
+//! Duplicate lines are meaningful — they carry the instance count, so
+//! the comparison is a multiset diff. Line numbers are deliberately
+//! absent: moving a baselined site within its function must not churn
+//! the file.
+//!
+//! Two operations:
+//!
+//! - [`diff_new`]: violations whose count exceeds the baseline's (what
+//!   `--deny-new` fails on);
+//! - [`write_ratchet`]: regenerates the baseline, but *refuses* when
+//!   any count would grow — the baseline only ratchets down. New
+//!   violations must be fixed (or, for genuinely accepted debt, the
+//!   line added by hand in review, where the diff is visible).
+
+use crate::rules::Violation;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Header written at the top of every generated baseline file.
+const HEADER: &str = "\
+# aps-lint baseline: accepted violations, one line per instance
+# (rule<TAB>file<TAB>scope<TAB>what). Regenerate with
+# `repro lint --write-baseline`; it refuses to grow this file.
+";
+
+/// A loaded baseline: violation key → accepted instance count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parses baseline text (comments and blank lines ignored).
+    pub fn parse(text: &str) -> Baseline {
+        let mut counts = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            *counts.entry(line.to_owned()).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Loads a baseline file; `Ok(None)` when the file doesn't exist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any filesystem error other than not-found.
+    pub fn load(path: &Path) -> io::Result<Option<Baseline>> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(Some(Baseline::parse(&text))),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Builds the multiset for a violation list.
+    pub fn from_violations(violations: &[Violation]) -> Baseline {
+        let mut counts = BTreeMap::new();
+        for v in violations {
+            *counts.entry(v.key()).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Total accepted instances.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Accepted instance count for a key.
+    pub fn count(&self, key: &str) -> usize {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Renders the baseline file body (sorted, duplicates repeated).
+    pub fn render(&self) -> String {
+        let mut out = String::from(HEADER);
+        for (key, n) in &self.counts {
+            for _ in 0..*n {
+                out.push_str(key);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Violations not covered by the baseline: for each key, the instances
+/// beyond the accepted count (in input order — their line numbers make
+/// the report actionable).
+pub fn diff_new<'a>(violations: &'a [Violation], baseline: &Baseline) -> Vec<&'a Violation> {
+    let mut used: BTreeMap<String, usize> = BTreeMap::new();
+    let mut new = Vec::new();
+    for v in violations {
+        let key = v.key();
+        let seen = used.entry(key.clone()).or_insert(0);
+        *seen += 1;
+        if *seen > baseline.count(&key) {
+            new.push(v);
+        }
+    }
+    new
+}
+
+/// Outcome of a successful [`write_ratchet`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// No baseline existed; one was created with `accepted` instances.
+    Created {
+        /// Instances recorded.
+        accepted: usize,
+    },
+    /// Baseline rewritten; `removed` accepted instances were dropped.
+    Ratcheted {
+        /// Instances removed relative to the previous baseline.
+        removed: usize,
+    },
+}
+
+/// Regenerates the baseline from `violations`, enforcing the ratchet.
+///
+/// The inner `Result` is `Err(offending_keys)` when any violation
+/// count would *grow* relative to the existing baseline: the file is
+/// left untouched and the caller reports the keys instead.
+///
+/// # Errors
+///
+/// The outer `Result` carries filesystem errors.
+#[allow(clippy::type_complexity)]
+pub fn write_ratchet(
+    path: &Path,
+    violations: &[Violation],
+) -> io::Result<Result<WriteOutcome, Vec<String>>> {
+    let current = Baseline::from_violations(violations);
+    let old = Baseline::load(path)?;
+    let outcome = match old {
+        None => WriteOutcome::Created {
+            accepted: current.total(),
+        },
+        Some(old) => {
+            let grown: Vec<String> = current
+                .counts
+                .iter()
+                .filter(|(k, n)| **n > old.count(k))
+                .map(|(k, _)| k.clone())
+                .collect();
+            if !grown.is_empty() {
+                return Ok(Err(grown));
+            }
+            WriteOutcome::Ratcheted {
+                removed: old.total() - current.total(),
+            }
+        }
+    };
+    std::fs::write(path, current.render())?;
+    Ok(Ok(outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{RuleId, Violation};
+
+    fn v(rule: RuleId, file: &str, scope: &str, what: &str) -> Violation {
+        Violation {
+            rule,
+            file: file.to_owned(),
+            line: 1,
+            scope: scope.to_owned(),
+            what: what.to_owned(),
+        }
+    }
+
+    #[test]
+    fn multiset_diff() {
+        let vs = vec![
+            v(RuleId::UnwrapAudit, "a.rs", "f", ".unwrap()"),
+            v(RuleId::UnwrapAudit, "a.rs", "f", ".unwrap()"),
+            v(RuleId::Determinism, "b.rs", "g", "Instant::now"),
+        ];
+        let base = Baseline::parse("unwrap\ta.rs\tf\t.unwrap()\n");
+        let new: Vec<String> = diff_new(&vs, &base).iter().map(|v| v.key()).collect();
+        // One of the two unwraps is accepted; the second plus the det
+        // violation are new.
+        assert_eq!(
+            new,
+            ["unwrap\ta.rs\tf\t.unwrap()", "det\tb.rs\tg\tInstant::now"]
+        );
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let vs = vec![
+            v(RuleId::NanTrap, "a.rs", "f", ".clamp()"),
+            v(RuleId::NanTrap, "a.rs", "f", ".clamp()"),
+        ];
+        let b = Baseline::from_violations(&vs);
+        assert_eq!(Baseline::parse(&b.render()), b);
+        assert_eq!(b.total(), 2);
+    }
+}

@@ -1,0 +1,233 @@
+//! `lint.toml` parsing — a hand-rolled subset of TOML (no vendored
+//! dependency, matching the analyzer's zero-dependency rule).
+//!
+//! Supported grammar, which is all the lint config needs:
+//!
+//! ```toml
+//! # comment
+//! [section]
+//! key = ["a", "b",     # trailing comments allowed
+//!        "c"]          # arrays may span lines
+//! other = "scalar"
+//! ```
+//!
+//! Anything else (tables-in-arrays, numbers, booleans, dotted keys) is
+//! a parse error — loudly, so a typo in `lint.toml` can't silently
+//! disable a rule.
+
+use std::collections::BTreeMap;
+
+/// Lint configuration: which functions/modules/containers each rule
+/// family applies to. Empty lists disable the corresponding rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    /// `alloc`: qualified (`Type::method`) or bare function names whose
+    /// bodies must stay allocation-free.
+    pub deny_alloc_functions: Vec<String>,
+    /// `nan`: path prefixes (files or directories, repo-relative) where
+    /// NaN-masking float folds must sit in finite-guarded functions.
+    pub nan_trap_modules: Vec<String>,
+    /// `det`: path prefixes where wall-clock/OS-entropy/hash-order
+    /// nondeterminism is forbidden.
+    pub determinism_modules: Vec<String>,
+    /// `serde`: container type names that round-trip through
+    /// checkpoints/models/reports.
+    pub serde_containers: Vec<String>,
+    /// `sound`: path prefixes where every atomic `Ordering` use and
+    /// `unsafe` block needs an adjacent `// sound:` justification.
+    pub sound_audit_modules: Vec<String>,
+    /// `unwrap`: path prefixes where library-code `.unwrap()`/
+    /// `.expect()` are tracked (baselined, ratcheted down).
+    pub unwrap_audit_modules: Vec<String>,
+}
+
+impl LintConfig {
+    /// Parses a [`LintConfig`] from `lint.toml` text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message (with a line number) for any
+    /// construct outside the supported subset, and for unknown
+    /// sections or keys — unknown names are typos until proven
+    /// otherwise.
+    pub fn parse(src: &str) -> Result<LintConfig, String> {
+        let raw = parse_toml(src)?;
+        let mut cfg = LintConfig::default();
+        for (section, keys) in &raw {
+            for (key, values) in keys {
+                let slot = match (section.as_str(), key.as_str()) {
+                    ("deny_alloc", "functions") => &mut cfg.deny_alloc_functions,
+                    ("nan_trap", "modules") => &mut cfg.nan_trap_modules,
+                    ("determinism", "modules") => &mut cfg.determinism_modules,
+                    ("serde_compat", "containers") => &mut cfg.serde_containers,
+                    ("sound_audit", "modules") => &mut cfg.sound_audit_modules,
+                    ("unwrap_audit", "modules") => &mut cfg.unwrap_audit_modules,
+                    _ => return Err(format!("unknown config entry [{section}] {key}")),
+                };
+                slot.extend(values.iter().cloned());
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Raw parse: section → key → list of strings (a scalar string parses
+/// as a one-element list).
+fn parse_toml(src: &str) -> Result<BTreeMap<String, BTreeMap<String, Vec<String>>>, String> {
+    let mut out: BTreeMap<String, BTreeMap<String, Vec<String>>> = BTreeMap::new();
+    let mut section = String::new();
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((n, raw_line)) = lines.next() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[') {
+            let name = name
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {}: unterminated section header", n + 1))?
+                .trim();
+            if name.is_empty() || name.contains(['[', ']', '"']) {
+                return Err(format!("line {}: bad section name {name:?}", n + 1));
+            }
+            section = name.to_owned();
+            out.entry(section.clone()).or_default();
+            continue;
+        }
+        let (key, rest) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = value`", n + 1))?;
+        let key = key.trim();
+        if key.is_empty() || key.contains('"') {
+            return Err(format!("line {}: bad key {key:?}", n + 1));
+        }
+        if section.is_empty() {
+            return Err(format!("line {}: key {key:?} outside any [section]", n + 1));
+        }
+        // Accumulate the value, pulling more lines until the array
+        // closes (strings in this subset never contain `]`, `#`, or
+        // escapes, which keeps the line-wise scan honest).
+        let mut value = rest.trim().to_owned();
+        while value.starts_with('[') && !value.contains(']') {
+            let (_, more) = lines
+                .next()
+                .ok_or_else(|| format!("line {}: unterminated array for {key:?}", n + 1))?;
+            value.push(' ');
+            value.push_str(strip_comment(more).trim());
+        }
+        let items = parse_value(&value).map_err(|e| format!("line {}: {e}", n + 1))?;
+        out.entry(section.clone())
+            .or_default()
+            .entry(key.to_owned())
+            .or_default()
+            .extend(items);
+    }
+    Ok(out)
+}
+
+/// Drops a `#` comment, respecting (subset) string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `"scalar"` or `["a", "b"]` into a list of strings.
+fn parse_value(value: &str) -> Result<Vec<String>, String> {
+    if let Some(body) = value.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| "unterminated array".to_owned())?;
+        let mut items = Vec::new();
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            items.push(parse_string(part)?);
+        }
+        return Ok(items);
+    }
+    Ok(vec![parse_string(value)?])
+}
+
+/// Parses one double-quoted string (no escapes in this subset).
+fn parse_string(s: &str) -> Result<String, String> {
+    let body = s
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, got {s:?}"))?;
+    if body.contains(['"', '\\']) {
+        return Err(format!("escapes/quotes not supported in {s:?}"));
+    }
+    Ok(body.to_owned())
+}
+
+/// `true` when repo-relative path `rel` is covered by config `entry`
+/// (an exact file or a directory prefix).
+pub fn path_matches(rel: &str, entry: &str) -> bool {
+    let entry = entry.trim_end_matches('/');
+    rel == entry || rel.starts_with(entry) && rel.as_bytes().get(entry.len()) == Some(&b'/')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let cfg = LintConfig::parse(
+            "# top comment\n\
+             [deny_alloc]\n\
+             functions = [\"Rk4Scratch::integrate\", # inline\n\
+                 \"LstmTrainer::train_batch\",\n\
+             ]\n\
+             [determinism]\n\
+             modules = [\"crates/sim/src/campaign.rs\"]\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.deny_alloc_functions,
+            ["Rk4Scratch::integrate", "LstmTrainer::train_batch"]
+        );
+        assert_eq!(cfg.determinism_modules, ["crates/sim/src/campaign.rs"]);
+        assert!(cfg.serde_containers.is_empty());
+    }
+
+    #[test]
+    fn unknown_keys_are_errors() {
+        assert!(LintConfig::parse("[deny_alloc]\nfuncs = []\n").is_err());
+        assert!(LintConfig::parse("[typo_section]\nmodules = []\n").is_err());
+    }
+
+    #[test]
+    fn keys_outside_sections_are_errors() {
+        assert!(LintConfig::parse("functions = []\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_constructs_are_errors() {
+        assert!(LintConfig::parse("[x\n").is_err());
+        assert!(LintConfig::parse("[deny_alloc]\nfunctions = [\"a\"\n").is_err());
+    }
+
+    #[test]
+    fn path_matching_is_prefix_on_dir_boundaries() {
+        assert!(path_matches(
+            "crates/sim/src/campaign.rs",
+            "crates/sim/src/campaign.rs"
+        ));
+        assert!(path_matches("crates/risk/src/lib.rs", "crates/risk/src"));
+        assert!(!path_matches("crates/risky/src/lib.rs", "crates/risk/src"));
+        assert!(!path_matches(
+            "crates/sim/src/campaign_extra.rs",
+            "crates/sim/src/campaign.rs"
+        ));
+    }
+}

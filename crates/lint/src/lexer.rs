@@ -1,0 +1,385 @@
+//! A minimal Rust lexer: source text → a flat token stream with line
+//! numbers, plus a side list of comments.
+//!
+//! This is *not* a conforming Rust lexer — it is just enough to drive
+//! the token-pattern rules in [`crate::rules`]:
+//!
+//! - identifiers and keywords come out as [`TokKind::Ident`],
+//! - string/char/raw-string/byte-string literals are opaque
+//!   [`TokKind::Str`]/[`TokKind::Char`] tokens (their *contents* never
+//!   match an ident pattern, which is what keeps the analyzer from
+//!   flagging its own rule tables),
+//! - comments are captured with their starting line so rules can check
+//!   for adjacent `// sound:` / `// lint:` annotations,
+//! - lifetimes are distinguished from char literals.
+//!
+//! Multi-character punctuation (`::`, `->`, …) is emitted as
+//! single-character [`TokKind::Punct`] tokens; rules match the
+//! sequences they need.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `Vec`, `unwrap`, …).
+    Ident,
+    /// Single punctuation character (`:`, `.`, `{`, …).
+    Punct,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (lexed loosely; never inspected by rules).
+    Num,
+    /// Lifetime (`'a`) — distinguished from a char literal.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text. For [`TokKind::Str`]/[`TokKind::Char`] this is
+    /// the raw literal including quotes; rules never look inside it.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// `true` when the token is a punctuation char with this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// A comment captured during lexing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text *without* the `//` / `/*` markers, trimmed.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus all comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unexpected bytes
+/// are emitted as punctuation and the scan continues, so a file the
+/// lexer half-understands still gets linted rather than skipped.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advances past `chars[from..to]`, counting newlines.
+    let count_lines = |chars: &[char], from: usize, to: usize, line: &mut u32| {
+        for c in &chars[from..to] {
+            if *c == '\n' {
+                *line += 1;
+            }
+        }
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '\n' {
+                j += 1;
+            }
+            let text: String = chars[start..j].iter().collect();
+            out.comments.push(Comment {
+                line,
+                text: text.trim_start_matches(['/', '!']).trim().to_owned(),
+            });
+            i = j;
+            continue;
+        }
+        // Block comment, nestable.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start_line = line;
+            let start = i + 2;
+            let mut j = start;
+            let mut depth = 1usize;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            count_lines(&chars, i, j, &mut line);
+            let end = j.saturating_sub(2).max(start);
+            let text: String = chars[start..end].iter().collect();
+            out.comments.push(Comment {
+                line: start_line,
+                text: text.trim_matches(['*', '!', ' ', '\n']).to_owned(),
+            });
+            i = j;
+            continue;
+        }
+        // Identifier / keyword — possibly a raw/byte string prefix.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            let text: String = chars[start..j].iter().collect();
+            let next = chars.get(j).copied();
+            let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br")
+                && (next == Some('"') || (text != "b" && next == Some('#')));
+            if is_str_prefix {
+                let tok_line = line;
+                let (end, ok) =
+                    scan_raw_or_plain_string(&chars, j, text.starts_with('r') || text == "br");
+                if ok {
+                    count_lines(&chars, start, end, &mut line);
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: chars[start..end].iter().collect(),
+                        line: tok_line,
+                    });
+                    i = end;
+                    continue;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Plain string literal.
+        if c == '"' {
+            let tok_line = line;
+            let end = scan_string_body(&chars, i + 1);
+            count_lines(&chars, i, end, &mut line);
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: chars[i..end].iter().collect(),
+                line: tok_line,
+            });
+            i = end;
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let is_lifetime_start = next.map(|n| n.is_alphabetic() || n == '_').unwrap_or(false);
+            if is_lifetime_start {
+                let mut j = i + 2;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                // `'a'` is a char literal; `'a` (no closing quote) is
+                // a lifetime.
+                if chars.get(j) != Some(&'\'') {
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: chars[i..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            // Char literal with escapes: `'\''`, `'\n'`, `'x'`.
+            let mut j = i + 1;
+            if chars.get(j) == Some(&'\\') {
+                j += 2;
+            } else {
+                j += 1;
+            }
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            j = (j + 1).min(chars.len());
+            out.toks.push(Tok {
+                kind: TokKind::Char,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Numeric literal (loose: covers 0xFF, 1_000, 1.5, 1e-3's
+        // mantissa; the exponent sign splits off as punctuation, which
+        // is fine because rules never inspect numbers).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < chars.len()
+                && (chars[j].is_alphanumeric()
+                    || chars[j] == '_'
+                    || (chars[j] == '.'
+                        && chars
+                            .get(j + 1)
+                            .map(|n| n.is_ascii_digit())
+                            .unwrap_or(false)))
+            {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text: chars[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Everything else: single punctuation char.
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Scans a string body starting just after the opening `"`; returns
+/// the index one past the closing quote.
+fn scan_string_body(chars: &[char], mut j: usize) -> usize {
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Scans a raw (`r#*"…"#*`) or plain-after-prefix (`b"…"`) string
+/// starting at `j` (the first `#` or `"`). Returns `(end, ok)`.
+fn scan_raw_or_plain_string(chars: &[char], mut j: usize, raw: bool) -> (usize, bool) {
+    let mut hashes = 0usize;
+    while raw && chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return (j, false);
+    }
+    j += 1;
+    if !raw {
+        return (scan_string_body(chars, j), true);
+    }
+    // Raw string: no escapes; terminated by `"` followed by `hashes`
+    // `#` characters.
+    while j < chars.len() {
+        if chars[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return (j + 1 + hashes, true);
+            }
+        }
+        j += 1;
+    }
+    (j, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let l = lex("fn f() { Vec::new() }");
+        assert_eq!(idents("fn f() { Vec::new() }"), ["fn", "f", "Vec", "new"]);
+        assert!(l.toks.iter().any(|t| t.is_punct("{")));
+    }
+
+    #[test]
+    fn string_contents_do_not_leak_idents() {
+        assert_eq!(
+            idents(r#"let s = "Vec::new() Instant::now";"#),
+            ["let", "s"]
+        );
+        assert_eq!(idents(r##"let s = r#"thread_rng"#;"##), ["let", "s"]);
+        assert_eq!(idents(r#"let s = b"SystemTime";"#), ["let", "s"]);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let l = lex("// sound: Relaxed is enough\nlet x = 1; /* block\ncomment */ let y = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[0].text, "sound: Relaxed is enough");
+        assert_eq!(l.comments[1].line, 2);
+        // Line counting survives the multi-line block comment.
+        let y = l.toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(y.line, 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "'x'"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let l = lex(r"let q = '\''; let n = '\n';");
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+}

@@ -1,0 +1,145 @@
+//! `aps-lint` — an offline, dependency-free static analyzer for this
+//! workspace's hand-checked invariants.
+//!
+//! Every invariant the reproduction depends on is guarded dynamically
+//! somewhere (counting-allocator tests, proptests, bit-identity
+//! replays) — but dynamic guards only fire on the paths a test
+//! happens to drive. This crate makes five invariant classes
+//! *machine-checked on every push* by scanning source text directly:
+//!
+//! | id       | family        | invariant                                           |
+//! |----------|---------------|-----------------------------------------------------|
+//! | `alloc`  | deny-alloc    | registered hot functions never allocate             |
+//! | `nan`    | nan-trap      | NaN-masking float ops only in finite-guarded scopes |
+//! | `det`    | determinism   | no wall clock / OS entropy / hash order in          |
+//! |          |               | checkpointed or replayed modules                    |
+//! | `serde`  | serde-compat  | round-tripping containers carry `#[serde(default)]` |
+//! |          |               | or a version field; `u64` fields are hex-encoded    |
+//! | `sound`  | sound-audit   | every atomic `Ordering` / `unsafe` has a `// sound:`|
+//! |          |               | justification                                       |
+//! | `unwrap` | unwrap-audit  | library-code `.unwrap()`/`.expect()` only ratchets  |
+//! |          |               | down                                                |
+//!
+//! There is no `syn` (crates.io is unavailable), so the analyzer is a
+//! hand-rolled [`lexer`] plus an item-level [`scanner`] — precise
+//! enough for token-sequence rules, honest about what it is not (no
+//! type inference, no call graphs; deny-alloc checks the *bodies* of
+//! registered functions, so inner helpers must be registered too).
+//!
+//! Findings are diffed against a committed [`baseline`] so existing
+//! debt doesn't block CI, while `--deny-new` fails on anything not in
+//! the baseline and `--write-baseline` refuses to grow it.
+
+pub mod baseline;
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod scanner;
+
+use config::LintConfig;
+use rules::{SeenEntries, Violation};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Result of a workspace lint pass.
+#[derive(Debug)]
+pub struct LintRun {
+    /// All violations, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints a single source string (fixture tests use this entry point).
+pub fn lint_source(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Violation> {
+    let mut seen = SeenEntries::default();
+    let mut out = Vec::new();
+    rules::run_all(rel, &scanner::scan(src), cfg, &mut seen, &mut out);
+    out
+}
+
+/// Lints the whole workspace under `root`: `src/` plus every
+/// `crates/*/src/` tree. Test/bench/example/fixture directories and
+/// `vendor/` are never scanned; `#[cfg(test)]` regions inside scanned
+/// files are skipped by the rules themselves.
+///
+/// Also flags configured deny-alloc functions and serde containers
+/// that no longer exist anywhere (`registered-*-not-found`): a renamed
+/// hot function must not silently lose its protection.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the directory walk or file reads.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<LintRun> {
+    let mut files = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        collect_rs(&src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+
+    let mut seen = SeenEntries::default();
+    let mut violations = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(path)?;
+        rules::run_all(&rel, &scanner::scan(&src), cfg, &mut seen, &mut violations);
+    }
+    rules::check_dead_entries(cfg, &seen, &mut violations);
+    violations.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.what.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.what.as_str(),
+        ))
+    });
+    Ok(LintRun {
+        violations,
+        files_scanned: files.len(),
+    })
+}
+
+/// Recursively collects `.rs` files, skipping directories whose name
+/// marks non-library code.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    const SKIP_DIRS: [&str; 6] = [
+        "tests", "benches", "examples", "fixtures", "target", "vendor",
+    ];
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path.clone());
+        }
+    }
+    Ok(())
+}

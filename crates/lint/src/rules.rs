@@ -1,0 +1,679 @@
+//! The five rule families (plus the unwrap audit) over a scanned
+//! [`FileIndex`].
+//!
+//! Every rule reports [`Violation`]s with a stable identity
+//! (`rule · file · scope · what`) that deliberately excludes line
+//! numbers, so unrelated edits above a baselined site don't churn the
+//! baseline; line numbers are still carried for display.
+
+use crate::config::{path_matches, LintConfig};
+use crate::lexer::{Tok, TokKind};
+use crate::scanner::FileIndex;
+use std::collections::BTreeSet;
+
+/// Rule family identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Registered hot functions must not allocate.
+    DenyAlloc,
+    /// NaN-masking float ops outside finite-guarded scopes.
+    NanTrap,
+    /// Wall-clock / OS-entropy / hash-order nondeterminism in
+    /// checkpointed or replayed modules.
+    Determinism,
+    /// Serde containers without container-level `#[serde(default)]`
+    /// (or a version field), and raw `u64` fields that would lose
+    /// precision in the f64-backed JSON shim.
+    SerdeCompat,
+    /// Atomic `Ordering` uses / `unsafe` blocks without an adjacent
+    /// `// sound:` justification.
+    SoundAudit,
+    /// `.unwrap()` / `.expect()` in library (non-test) code.
+    UnwrapAudit,
+}
+
+impl RuleId {
+    /// Short stable id used in reports and the baseline file.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::DenyAlloc => "alloc",
+            RuleId::NanTrap => "nan",
+            RuleId::Determinism => "det",
+            RuleId::SerdeCompat => "serde",
+            RuleId::SoundAudit => "sound",
+            RuleId::UnwrapAudit => "unwrap",
+        }
+    }
+
+    /// All rule ids, in report order.
+    pub const ALL: [RuleId; 6] = [
+        RuleId::DenyAlloc,
+        RuleId::NanTrap,
+        RuleId::Determinism,
+        RuleId::SerdeCompat,
+        RuleId::SoundAudit,
+        RuleId::UnwrapAudit,
+    ];
+}
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Repo-relative file path (or `lint.toml` for config-level
+    /// violations).
+    pub file: String,
+    /// 1-based line for display (not part of the baseline identity).
+    pub line: u32,
+    /// Enclosing scope: qualified function or container name.
+    pub scope: String,
+    /// What was found (e.g. `Vec::new`, `Ordering::Release`).
+    pub what: String,
+}
+
+impl Violation {
+    /// Stable baseline identity (excludes the line number).
+    pub fn key(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}",
+            self.rule.as_str(),
+            self.file,
+            self.scope,
+            self.what
+        )
+    }
+}
+
+/// Cross-file bookkeeping: config entries that matched something,
+/// collected so the workspace driver can flag dead entries (renamed
+/// functions/containers silently un-protecting themselves).
+#[derive(Debug, Default)]
+pub struct SeenEntries {
+    /// `deny_alloc.functions` entries that matched a scanned fn.
+    pub fns: BTreeSet<String>,
+    /// `serde_compat.containers` entries that matched a scanned type.
+    pub containers: BTreeSet<String>,
+}
+
+/// Runs every rule family over one file.
+pub fn run_all(
+    rel: &str,
+    idx: &FileIndex,
+    cfg: &LintConfig,
+    seen: &mut SeenEntries,
+    out: &mut Vec<Violation>,
+) {
+    deny_alloc(rel, idx, cfg, seen, out);
+    nan_trap(rel, idx, cfg, out);
+    determinism(rel, idx, cfg, out);
+    serde_compat(rel, idx, cfg, seen, out);
+    sound_audit(rel, idx, cfg, out);
+    unwrap_audit(rel, idx, cfg, out);
+}
+
+/// Emits one violation per config entry that never matched any scanned
+/// item — a registered hot function or container that was renamed away
+/// is a *gap in coverage*, not a pass.
+pub fn check_dead_entries(cfg: &LintConfig, seen: &SeenEntries, out: &mut Vec<Violation>) {
+    for f in &cfg.deny_alloc_functions {
+        if !seen.fns.contains(f) {
+            out.push(Violation {
+                rule: RuleId::DenyAlloc,
+                file: "lint.toml".to_owned(),
+                line: 0,
+                scope: f.clone(),
+                what: "registered-fn-not-found".to_owned(),
+            });
+        }
+    }
+    for c in &cfg.serde_containers {
+        if !seen.containers.contains(c) {
+            out.push(Violation {
+                rule: RuleId::SerdeCompat,
+                file: "lint.toml".to_owned(),
+                line: 0,
+                scope: c.clone(),
+                what: "registered-container-not-found".to_owned(),
+            });
+        }
+    }
+}
+
+/// `true` when any configured module entry covers `rel`.
+fn in_modules(rel: &str, modules: &[String]) -> bool {
+    modules.iter().any(|m| path_matches(rel, m))
+}
+
+// ---------------------------------------------------------------- alloc
+
+/// Token sequences that allocate. Returns `(line, what)` per hit.
+fn scan_alloc_tokens(toks: &[Tok]) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let path_call = |ctor: &[&str]| -> Option<String> {
+            let a = toks.get(i + 1)?;
+            let b = toks.get(i + 2)?;
+            let m = toks.get(i + 3)?;
+            (a.is_punct(":")
+                && b.is_punct(":")
+                && m.kind == TokKind::Ident
+                && ctor.contains(&m.text.as_str()))
+            .then(|| format!("{}::{}", t.text, m.text))
+        };
+        match t.text.as_str() {
+            "Vec" => {
+                if let Some(w) = path_call(&["new", "with_capacity", "from"]) {
+                    hits.push((t.line, w));
+                }
+            }
+            "String" => {
+                if let Some(w) = path_call(&["new", "with_capacity", "from"]) {
+                    hits.push((t.line, w));
+                }
+            }
+            "Box" => {
+                if let Some(w) = path_call(&["new"]) {
+                    hits.push((t.line, w));
+                }
+            }
+            "vec" | "format" if toks.get(i + 1).map(|n| n.is_punct("!")).unwrap_or(false) => {
+                hits.push((t.line, format!("{}!", t.text)));
+            }
+            "clone" | "to_vec" | "to_owned" | "to_string" | "collect" | "push" => {
+                let method = i > 0
+                    && toks[i - 1].is_punct(".")
+                    && toks
+                        .get(i + 1)
+                        .map(|n| n.is_punct("(") || n.is_punct(":"))
+                        .unwrap_or(false);
+                if method {
+                    hits.push((t.line, format!(".{}()", t.text)));
+                }
+            }
+            _ => {}
+        }
+    }
+    hits
+}
+
+/// Rule 1: registered functions must not reach an allocating call.
+fn deny_alloc(
+    rel: &str,
+    idx: &FileIndex,
+    cfg: &LintConfig,
+    seen: &mut SeenEntries,
+    out: &mut Vec<Violation>,
+) {
+    for f in &idx.fns {
+        let Some(entry) = cfg
+            .deny_alloc_functions
+            .iter()
+            .find(|e| f.qualified == **e || f.name == **e)
+        else {
+            continue;
+        };
+        seen.fns.insert(entry.clone());
+        if f.in_test {
+            continue;
+        }
+        for (line, what) in scan_alloc_tokens(&idx.lexed.toks[f.body.clone()]) {
+            out.push(Violation {
+                rule: RuleId::DenyAlloc,
+                file: rel.to_owned(),
+                line,
+                scope: f.qualified.clone(),
+                what,
+            });
+        }
+    }
+}
+
+// ------------------------------------------------------------------ nan
+
+/// Idents whose presence in a function body marks it finite-guarded:
+/// either it checks finiteness itself or it delegates to the checked
+/// integrator entry points.
+const FINITE_GUARDS: [&str; 4] = ["is_finite", "state_is_finite", "try_step", "try_integrate"];
+
+/// Rule 2: NaN-masking float ops must sit in finite-guarded functions.
+///
+/// `f64::max(NaN, floor)` returns `floor` — it silently *masks* a
+/// diverged ODE state instead of propagating it (the PR 5 bug class).
+fn nan_trap(rel: &str, idx: &FileIndex, cfg: &LintConfig, out: &mut Vec<Violation>) {
+    if !in_modules(rel, &cfg.nan_trap_modules) {
+        return;
+    }
+    for f in &idx.fns {
+        if f.in_test || f.body.is_empty() {
+            continue;
+        }
+        let body = &idx.lexed.toks[f.body.clone()];
+        if body
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && FINITE_GUARDS.contains(&t.text.as_str()))
+        {
+            continue;
+        }
+        for (i, t) in body.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            // `f64::max` / `f64::min` / `f64::clamp`, including bare
+            // path form passed to `fold`.
+            if t.text == "f64"
+                && body.get(i + 1).map(|a| a.is_punct(":")).unwrap_or(false)
+                && body.get(i + 2).map(|a| a.is_punct(":")).unwrap_or(false)
+            {
+                if let Some(m) = body.get(i + 3) {
+                    if m.kind == TokKind::Ident
+                        && matches!(m.text.as_str(), "max" | "min" | "clamp")
+                    {
+                        out.push(Violation {
+                            rule: RuleId::NanTrap,
+                            file: rel.to_owned(),
+                            line: t.line,
+                            scope: f.qualified.clone(),
+                            what: format!("f64::{}", m.text),
+                        });
+                    }
+                }
+            }
+            // `.clamp(` method form (float clamping with a NaN input
+            // returns a bound — same masking trap).
+            if t.text == "clamp"
+                && i > 0
+                && body[i - 1].is_punct(".")
+                && body.get(i + 1).map(|n| n.is_punct("(")).unwrap_or(false)
+            {
+                out.push(Violation {
+                    rule: RuleId::NanTrap,
+                    file: rel.to_owned(),
+                    line: t.line,
+                    scope: f.qualified.clone(),
+                    what: ".clamp()".to_owned(),
+                });
+            }
+            // `partial_cmp(…).unwrap()` — panics on NaN at the
+            // latest possible moment; `unwrap_or` forms are fine.
+            if t.text == "partial_cmp" && i > 0 && body[i - 1].is_punct(".") {
+                let window = &body[i..body.len().min(i + 12)];
+                let unwraps = window
+                    .windows(2)
+                    .any(|w| w[0].is_punct(".") && w[1].is_ident("unwrap"));
+                if unwraps {
+                    out.push(Violation {
+                        rule: RuleId::NanTrap,
+                        file: rel.to_owned(),
+                        line: t.line,
+                        scope: f.qualified.clone(),
+                        what: "partial_cmp().unwrap()".to_owned(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ det
+
+/// Rule 3: forbidden nondeterminism sources in checkpointed modules.
+fn determinism(rel: &str, idx: &FileIndex, cfg: &LintConfig, out: &mut Vec<Violation>) {
+    if !in_modules(rel, &cfg.determinism_modules) {
+        return;
+    }
+    let toks = &idx.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || idx.in_test_region(i) {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            "Instant" => {
+                let now = toks.get(i + 1).map(|a| a.is_punct(":")).unwrap_or(false)
+                    && toks.get(i + 2).map(|a| a.is_punct(":")).unwrap_or(false)
+                    && toks.get(i + 3).map(|m| m.is_ident("now")).unwrap_or(false);
+                if !now {
+                    continue;
+                }
+                "Instant::now".to_owned()
+            }
+            // Any use: wall-clock reads and OS entropy have no
+            // deterministic call form.
+            "SystemTime" => "SystemTime".to_owned(),
+            "thread_rng" => "thread_rng".to_owned(),
+            // Any use: iteration order is seeded per-process, so a
+            // map that exists will eventually be iterated. BTreeMap /
+            // BTreeSet are the sanctioned replacements.
+            "HashMap" => "HashMap".to_owned(),
+            "HashSet" => "HashSet".to_owned(),
+            _ => continue,
+        };
+        out.push(Violation {
+            rule: RuleId::Determinism,
+            file: rel.to_owned(),
+            line: t.line,
+            scope: idx
+                .enclosing_fn(i)
+                .map(|f| f.qualified.clone())
+                .unwrap_or_else(|| "<module>".to_owned()),
+            what,
+        });
+    }
+}
+
+// ---------------------------------------------------------------- serde
+
+/// `true` when a `// lint: hex-exempt(reason)` comment sits within
+/// `span` lines above `line`.
+fn hex_exempt_near(idx: &FileIndex, line: u32, span: u32) -> bool {
+    idx.lexed
+        .comments
+        .iter()
+        .any(|c| c.line <= line && c.line + span >= line && c.text.contains("lint: hex-exempt"))
+}
+
+/// Rule 4: registered serde containers need container-level
+/// `#[serde(default)]` (or a `version` field), and raw `u64` fields
+/// must be hex-encoded (the f64-backed JSON shim is exact only below
+/// 2^53).
+fn serde_compat(
+    rel: &str,
+    idx: &FileIndex,
+    cfg: &LintConfig,
+    seen: &mut SeenEntries,
+    out: &mut Vec<Violation>,
+) {
+    for s in &idx.structs {
+        let Some(entry) = cfg.serde_containers.iter().find(|e| s.name == **e) else {
+            continue;
+        };
+        seen.containers.insert(entry.clone());
+        if s.in_test {
+            continue;
+        }
+        if s.is_enum {
+            // The vendored serde_derive shim has no enum-default
+            // support; enum compat is carried by their containing
+            // structs' defaults. Nothing checkable here.
+            continue;
+        }
+        let has_default = s
+            .attrs
+            .iter()
+            .any(|a| a.starts_with("serde") && a.contains("default"));
+        let has_version = s.fields.iter().any(|f| f.name == "version");
+        if !has_default && !has_version {
+            out.push(Violation {
+                rule: RuleId::SerdeCompat,
+                file: rel.to_owned(),
+                line: s.line,
+                scope: s.name.clone(),
+                what: "missing-container-default".to_owned(),
+            });
+        }
+        for f in &s.fields {
+            if f.ty.iter().any(|t| t == "u64") && !hex_exempt_near(idx, f.line, 3) {
+                out.push(Violation {
+                    rule: RuleId::SerdeCompat,
+                    file: rel.to_owned(),
+                    line: f.line,
+                    scope: s.name.clone(),
+                    what: format!("u64-field-{}", f.name),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- sound
+
+/// `true` when a `// sound:` comment justifies `line`: the comment
+/// sits on the line or within `span` lines above it, or anywhere in a
+/// contiguous comment block that reaches into that window (multi-line
+/// justifications wrap, so only continuation lines may be adjacent).
+fn sound_comment_near(idx: &FileIndex, line: u32, span: u32) -> bool {
+    let comments = &idx.lexed.comments;
+    let Some(mut lo) = comments
+        .iter()
+        .filter(|c| c.line <= line && c.line + span >= line)
+        .map(|c| c.line)
+        .min()
+    else {
+        return false;
+    };
+    while comments.iter().any(|c| c.line + 1 == lo) {
+        lo -= 1;
+    }
+    comments
+        .iter()
+        .any(|c| (lo..=line).contains(&c.line) && c.text.starts_with("sound:"))
+}
+
+/// Rule 5: every atomic `Ordering` use and `unsafe` block in the
+/// lock-free executor needs an adjacent `// sound:` justification.
+fn sound_audit(rel: &str, idx: &FileIndex, cfg: &LintConfig, out: &mut Vec<Violation>) {
+    if !in_modules(rel, &cfg.sound_audit_modules) {
+        return;
+    }
+    let toks = &idx.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || idx.in_test_region(i) {
+            continue;
+        }
+        let what = if t.text == "Ordering" {
+            let m = toks.get(i + 3);
+            let path = toks.get(i + 1).map(|a| a.is_punct(":")).unwrap_or(false)
+                && toks.get(i + 2).map(|a| a.is_punct(":")).unwrap_or(false);
+            match (path, m) {
+                (true, Some(m))
+                    if matches!(
+                        m.text.as_str(),
+                        "Relaxed" | "Acquire" | "Release" | "AcqRel" | "SeqCst"
+                    ) =>
+                {
+                    format!("Ordering::{}", m.text)
+                }
+                _ => continue,
+            }
+        } else if t.text == "unsafe" {
+            "unsafe".to_owned()
+        } else {
+            continue;
+        };
+        if sound_comment_near(idx, t.line, 3) {
+            continue;
+        }
+        out.push(Violation {
+            rule: RuleId::SoundAudit,
+            file: rel.to_owned(),
+            line: t.line,
+            scope: idx
+                .enclosing_fn(i)
+                .map(|f| f.qualified.clone())
+                .unwrap_or_else(|| "<module>".to_owned()),
+            what,
+        });
+    }
+}
+
+// --------------------------------------------------------------- unwrap
+
+/// Rule 6 (audit): `.unwrap()` / `.expect()` in library code. Fully
+/// baselined at introduction; the baseline only ratchets down.
+fn unwrap_audit(rel: &str, idx: &FileIndex, cfg: &LintConfig, out: &mut Vec<Violation>) {
+    if !in_modules(rel, &cfg.unwrap_audit_modules) {
+        return;
+    }
+    for f in &idx.fns {
+        if f.in_test || f.body.is_empty() {
+            continue;
+        }
+        let body = &idx.lexed.toks[f.body.clone()];
+        for (i, t) in body.iter().enumerate() {
+            if t.kind != TokKind::Ident || !matches!(t.text.as_str(), "unwrap" | "expect") {
+                continue;
+            }
+            let method = i > 0
+                && body[i - 1].is_punct(".")
+                && body.get(i + 1).map(|n| n.is_punct("(")).unwrap_or(false);
+            if method {
+                out.push(Violation {
+                    rule: RuleId::UnwrapAudit,
+                    file: rel.to_owned(),
+                    line: t.line,
+                    scope: f.qualified.clone(),
+                    what: format!(".{}()", t.text),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn cfg_all(rel: &str) -> LintConfig {
+        LintConfig {
+            deny_alloc_functions: vec!["Hot::step".to_owned()],
+            nan_trap_modules: vec![rel.to_owned()],
+            determinism_modules: vec![rel.to_owned()],
+            serde_containers: vec!["Ckpt".to_owned()],
+            sound_audit_modules: vec![rel.to_owned()],
+            unwrap_audit_modules: vec![rel.to_owned()],
+        }
+    }
+
+    fn run(src: &str) -> Vec<Violation> {
+        let idx = scan(src);
+        let mut seen = SeenEntries::default();
+        let mut out = Vec::new();
+        run_all("f.rs", &idx, &cfg_all("f.rs"), &mut seen, &mut out);
+        out
+    }
+
+    #[test]
+    fn alloc_in_registered_fn_fires() {
+        let v = run("impl Hot { fn step(&mut self) { let v = Vec::new(); v.push(1); } }");
+        let whats: Vec<&str> = v
+            .iter()
+            .filter(|v| v.rule == RuleId::DenyAlloc)
+            .map(|v| v.what.as_str())
+            .collect();
+        assert_eq!(whats, ["Vec::new", ".push()"]);
+    }
+
+    #[test]
+    fn alloc_in_unregistered_fn_is_quiet() {
+        let v = run("impl Cold { fn step(&mut self) { let v = Vec::new(); } }");
+        assert!(v.iter().all(|v| v.rule != RuleId::DenyAlloc));
+    }
+
+    #[test]
+    fn nan_trap_guarded_fn_is_quiet() {
+        let guarded =
+            run("fn f(x: f64) -> f64 { if !x.is_finite() { return 0.0; } x.clamp(0.0, 1.0) }");
+        assert!(guarded.iter().all(|v| v.rule != RuleId::NanTrap));
+        let bare = run("fn f(x: f64) -> f64 { x.clamp(0.0, 1.0) }");
+        assert_eq!(bare.iter().filter(|v| v.rule == RuleId::NanTrap).count(), 1);
+    }
+
+    #[test]
+    fn nan_trap_partial_cmp_unwrap_vs_unwrap_or() {
+        let bad = run("fn f(a: f64, b: f64) { let _ = a.partial_cmp(&b).unwrap(); }");
+        assert!(bad.iter().any(|v| v.what == "partial_cmp().unwrap()"));
+        let ok = run("fn f(a: f64, b: f64) { let _ = a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal); }");
+        assert!(ok.iter().all(|v| v.what != "partial_cmp().unwrap()"));
+    }
+
+    #[test]
+    fn determinism_sources_fire_outside_tests_only() {
+        let v = run("fn f() { let t = Instant::now(); }");
+        assert!(v
+            .iter()
+            .any(|v| v.rule == RuleId::Determinism && v.what == "Instant::now"));
+        let t = run("#[cfg(test)] mod tests { use std::collections::HashMap; fn f() { let t = Instant::now(); } }");
+        assert!(t.iter().all(|v| v.rule != RuleId::Determinism));
+    }
+
+    #[test]
+    fn serde_container_checks() {
+        let bad = run("#[derive(Deserialize)] struct Ckpt { seed: u64, n: usize }");
+        let whats: Vec<&str> = bad
+            .iter()
+            .filter(|v| v.rule == RuleId::SerdeCompat)
+            .map(|v| v.what.as_str())
+            .collect();
+        assert_eq!(whats, ["missing-container-default", "u64-field-seed"]);
+
+        let ok = run("#[derive(Deserialize)] #[serde(default)] struct Ckpt {\n\
+             // lint: hex-exempt(stored via to_hex at the call site)\n\
+             seed: u64, n: usize }");
+        assert!(ok.iter().all(|v| v.rule != RuleId::SerdeCompat));
+
+        let versioned = run("#[derive(Deserialize)] struct Ckpt { version: u32 }");
+        assert!(versioned
+            .iter()
+            .all(|v| v.what != "missing-container-default"));
+    }
+
+    #[test]
+    fn sound_audit_requires_adjacent_comment() {
+        let bad = run("fn f(a: &AtomicUsize) { a.load(Ordering::Acquire); }");
+        assert!(bad
+            .iter()
+            .any(|v| v.rule == RuleId::SoundAudit && v.what == "Ordering::Acquire"));
+        let ok = run("fn f(a: &AtomicUsize) {\n\
+             // sound: pairs with the Release store in g()\n\
+             a.load(Ordering::Acquire);\n}");
+        assert!(ok.iter().all(|v| v.rule != RuleId::SoundAudit));
+        let un = run("fn f() { unsafe { core() } }");
+        assert!(un
+            .iter()
+            .any(|v| v.rule == RuleId::SoundAudit && v.what == "unsafe"));
+        // A wrapped justification counts even when the `sound:` prefix
+        // line sits above the adjacency window, as long as the comment
+        // block is contiguous down to it.
+        let wrapped = run("fn f(a: &AtomicUsize) {\n\
+             // sound: Relaxed suffices for the claim counter because\n\
+             // fetch_add is an atomic read-modify-write, so every\n\
+             // worker still observes a unique value; ordering of the\n\
+             // surrounding data is published elsewhere.\n\
+             a.fetch_add(1, Ordering::Relaxed);\n}");
+        assert!(wrapped.iter().all(|v| v.rule != RuleId::SoundAudit));
+    }
+
+    #[test]
+    fn unwrap_audit_counts_library_code_only() {
+        let v = run("fn f(x: Option<u8>) { x.unwrap(); }\n#[cfg(test)] mod t { fn g(x: Option<u8>) { x.unwrap(); } }");
+        assert_eq!(
+            v.iter().filter(|v| v.rule == RuleId::UnwrapAudit).count(),
+            1
+        );
+        let or = run("fn f(x: Option<u8>) { x.unwrap_or(0); }");
+        assert!(or.iter().all(|v| v.rule != RuleId::UnwrapAudit));
+    }
+
+    #[test]
+    fn dead_config_entries_are_flagged() {
+        let cfg = cfg_all("f.rs");
+        let mut seen = SeenEntries::default();
+        let mut out = Vec::new();
+        run_all(
+            "f.rs",
+            &scan("fn unrelated() {}"),
+            &cfg,
+            &mut seen,
+            &mut out,
+        );
+        check_dead_entries(&cfg, &seen, &mut out);
+        assert!(out.iter().any(|v| v.what == "registered-fn-not-found"));
+        assert!(out
+            .iter()
+            .any(|v| v.what == "registered-container-not-found"));
+    }
+}

@@ -1,0 +1,575 @@
+//! Item-level scanner: turns a lexed token stream into an index of
+//! functions, structs/enums, attributes, and `#[cfg(test)]` regions.
+//!
+//! Like the lexer, this is deliberately *not* a full Rust parser. It
+//! tracks exactly what the rules need:
+//!
+//! - every `fn` with its qualified name (`Type::method` when inside an
+//!   `impl`/`trait` block), its body token range, and whether it lives
+//!   in test code;
+//! - every `struct`/`enum` with its outer attributes and (for structs
+//!   with named fields) each field's name, type tokens, and line;
+//! - token-index ranges covered by `#[cfg(test)] mod … { … }` so rules
+//!   can skip test code wholesale.
+//!
+//! Unrecognized constructs are skipped token-by-token; the scanner
+//! never fails.
+
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+
+/// A scanned function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// `Type::name` when declared inside `impl Type`/`impl Trait for
+    /// Type`/`trait Type` blocks, otherwise the bare name.
+    pub qualified: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body (exclusive of the braces). Empty
+    /// for bodyless trait-method declarations.
+    pub body: std::ops::Range<usize>,
+    /// `true` when the item sits inside a `#[cfg(test)]` region or
+    /// carries a test-ish attribute (`#[test]`, `#[cfg(test)]`).
+    pub in_test: bool,
+}
+
+/// One named field of a scanned struct.
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    /// Field name.
+    pub name: String,
+    /// Type token texts, in order (e.g. `["Option", "<", "u64", ">"]`).
+    pub ty: Vec<String>,
+    /// 1-based line of the field name.
+    pub line: u32,
+}
+
+/// A scanned `struct` or `enum` item.
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the `struct`/`enum` keyword.
+    pub line: u32,
+    /// Outer attribute texts, tokens joined with single spaces (e.g.
+    /// `"derive ( Debug , Serialize )"`, `"serde ( default )"`).
+    pub attrs: Vec<String>,
+    /// Named fields (empty for enums and tuple/unit structs).
+    pub fields: Vec<FieldItem>,
+    /// `true` for `enum` items.
+    pub is_enum: bool,
+    /// `true` when declared inside a test region.
+    pub in_test: bool,
+}
+
+/// Scanner output for one file.
+#[derive(Debug)]
+pub struct FileIndex {
+    /// The underlying token stream and comments.
+    pub lexed: Lexed,
+    /// All function items, in source order.
+    pub fns: Vec<FnItem>,
+    /// All struct/enum items, in source order.
+    pub structs: Vec<StructItem>,
+    /// Token-index ranges (start, end-exclusive) covered by
+    /// `#[cfg(test)]` modules.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl FileIndex {
+    /// Whether the token at `idx` lies inside a `#[cfg(test)]` region.
+    pub fn in_test_region(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| idx >= s && idx < e)
+    }
+
+    /// Qualified name of the function whose body contains token `idx`,
+    /// if any (innermost wins since nested fns appear later in order).
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnItem> {
+        self.fns.iter().rev().find(|f| f.body.contains(&idx))
+    }
+}
+
+/// Scans `src` into a [`FileIndex`].
+pub fn scan(src: &str) -> FileIndex {
+    let lexed = lex(src);
+    let close = match_braces(&lexed.toks);
+    let mut idx = FileIndex {
+        fns: Vec::new(),
+        structs: Vec::new(),
+        test_ranges: Vec::new(),
+        lexed,
+    };
+    let toks = &idx.lexed.toks;
+
+    // Stack of (impl/trait type name, token index where its block
+    // closes). Popped lazily as the cursor passes the close index.
+    let mut ctx: Vec<(String, usize)> = Vec::new();
+    // Close indexes of `#[cfg(test)]` mod bodies currently containing
+    // the cursor.
+    let mut test_stack: Vec<usize> = Vec::new();
+    let mut pending_attrs: Vec<String> = Vec::new();
+    let mut fns = Vec::new();
+    let mut structs = Vec::new();
+    let mut test_ranges = Vec::new();
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        while ctx.last().map(|&(_, c)| i > c).unwrap_or(false) {
+            ctx.pop();
+        }
+        while test_stack.last().map(|&c| i > c).unwrap_or(false) {
+            test_stack.pop();
+        }
+        let t = &toks[i];
+
+        // Outer attribute `#[…]` (inner `#![…]` is skipped without
+        // being recorded).
+        if t.is_punct("#") {
+            let inner = toks.get(i + 1).map(|t| t.is_punct("!")).unwrap_or(false);
+            let open = i + 1 + usize::from(inner);
+            if toks.get(open).map(|t| t.is_punct("[")).unwrap_or(false) {
+                let end = match_bracket(toks, open);
+                if !inner {
+                    pending_attrs.push(join(&toks[open + 1..end]));
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+
+        if t.is_ident("mod") {
+            let is_test_mod = pending_attrs.iter().any(|a| attr_is_test(a));
+            pending_attrs.clear();
+            // `mod name {` — find the brace (or `;` for out-of-line).
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct("{") {
+                if is_test_mod {
+                    let c = close[j].unwrap_or(toks.len());
+                    test_ranges.push((j, c));
+                    test_stack.push(c);
+                }
+                i = j + 1; // descend into the module body
+            } else {
+                i = j + 1;
+            }
+            continue;
+        }
+
+        if t.is_ident("impl") || t.is_ident("trait") {
+            pending_attrs.clear();
+            // Find the block brace; remember the last type-position
+            // ident seen at angle-depth 0 (after `for`, if present).
+            let mut name: Option<String> = None;
+            let mut angle = 0i32;
+            let mut j = i + 1;
+            while j < toks.len() {
+                let tj = &toks[j];
+                if tj.is_punct("{") && angle <= 0 {
+                    break;
+                }
+                if tj.is_punct(";") {
+                    break; // e.g. `trait Foo: Bar;` won't occur, but stay safe
+                }
+                if tj.is_punct("<") {
+                    angle += 1;
+                } else if tj.is_punct(">") {
+                    let arrow = j > 0 && toks[j - 1].is_punct("-");
+                    if !arrow {
+                        angle -= 1;
+                    }
+                } else if angle <= 0 && tj.kind == TokKind::Ident {
+                    if tj.text == "for" {
+                        name = None;
+                    } else if tj.text != "where" && tj.text != "dyn" && tj.text != "const" {
+                        name = Some(tj.text.clone());
+                    }
+                }
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct("{") {
+                let c = close[j].unwrap_or(toks.len());
+                ctx.push((name.unwrap_or_default(), c));
+                i = j + 1; // descend
+            } else {
+                i = j + 1;
+            }
+            continue;
+        }
+
+        if t.is_ident("fn") {
+            let attr_test = pending_attrs.iter().any(|a| attr_is_test(a));
+            pending_attrs.clear();
+            let Some(name_tok) = toks.get(i + 1) else {
+                break;
+            };
+            if name_tok.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let name = name_tok.text.clone();
+            let line = t.line;
+            // Scan the signature for the body `{` (or `;`), ignoring
+            // braces nested in parens/brackets (closure bodies in
+            // default-arg positions don't exist; const-generic braces
+            // hide inside brackets).
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            while j < toks.len() {
+                let tj = &toks[j];
+                if tj.is_punct("(") || tj.is_punct("[") {
+                    depth += 1;
+                } else if tj.is_punct(")") || tj.is_punct("]") {
+                    depth -= 1;
+                } else if depth == 0 && (tj.is_punct("{") || tj.is_punct(";")) {
+                    break;
+                }
+                j += 1;
+            }
+            let qualified = match ctx.last() {
+                Some((ty, _)) if !ty.is_empty() => format!("{ty}::{name}"),
+                _ => name.clone(),
+            };
+            let (body, next) = if j < toks.len() && toks[j].is_punct("{") {
+                let c = close[j].unwrap_or(toks.len());
+                ((j + 1)..c, j + 1)
+            } else {
+                (0..0, j + 1)
+            };
+            fns.push(FnItem {
+                name,
+                qualified,
+                line,
+                body,
+                in_test: attr_test || !test_stack.is_empty(),
+            });
+            // Descend into the body: nested fns/items still get
+            // scanned (with the enclosing impl context).
+            i = next;
+            continue;
+        }
+
+        if t.is_ident("struct") || t.is_ident("enum") {
+            let is_enum = t.is_ident("enum");
+            let attrs = std::mem::take(&mut pending_attrs);
+            let Some(name_tok) = toks.get(i + 1) else {
+                break;
+            };
+            if name_tok.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let mut item = StructItem {
+                name: name_tok.text.clone(),
+                line: t.line,
+                attrs,
+                fields: Vec::new(),
+                is_enum,
+                in_test: !test_stack.is_empty(),
+            };
+            // Skip generics to the body delimiter.
+            let mut angle = 0i32;
+            let mut j = i + 2;
+            while j < toks.len() {
+                let tj = &toks[j];
+                if angle <= 0 && (tj.is_punct("{") || tj.is_punct("(") || tj.is_punct(";")) {
+                    break;
+                }
+                if tj.is_punct("<") {
+                    angle += 1;
+                } else if tj.is_punct(">") && !(j > 0 && toks[j - 1].is_punct("-")) {
+                    angle -= 1;
+                }
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct("{") && !is_enum {
+                let body_close = close[j].unwrap_or(toks.len());
+                parse_fields(toks, j + 1, body_close, &mut item.fields);
+                i = body_close + 1;
+            } else if j < toks.len() && toks[j].is_punct("{") {
+                i = close[j].map(|c| c + 1).unwrap_or(toks.len());
+            } else if j < toks.len() && toks[j].is_punct("(") {
+                // Tuple struct: skip to the closing paren + `;`.
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    if toks[j].is_punct("(") {
+                        depth += 1;
+                    } else if toks[j].is_punct(")") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j + 1;
+            } else {
+                i = j + 1;
+            }
+            structs.push(item);
+            continue;
+        }
+
+        // Visibility and item qualifiers sit between attributes and
+        // the item keyword — keep pending attributes alive across
+        // them (`#[serde(default)] pub struct …`).
+        if t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "pub" | "unsafe" | "async" | "extern" | "default"
+            )
+        {
+            i += 1;
+            if t.is_ident("pub") && toks.get(i).map(|n| n.is_punct("(")).unwrap_or(false) {
+                let mut depth = 0i32;
+                while i < toks.len() {
+                    if toks[i].is_punct("(") {
+                        depth += 1;
+                    } else if toks[i].is_punct(")") {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Any other token: attributes pending on non-item constructs
+        // (statements, expressions) stay valid only until the next
+        // non-attribute token.
+        if t.kind == TokKind::Ident || t.kind == TokKind::Punct {
+            pending_attrs.clear();
+        }
+        i += 1;
+    }
+
+    idx.fns = fns;
+    idx.structs = structs;
+    idx.test_ranges = test_ranges;
+    idx
+}
+
+/// `true` when an attribute body marks test-only code. Matches
+/// `test`, `cfg ( test )`, `cfg ( any ( test , … ) )`, and the
+/// vendored `proptest !` wrappers.
+fn attr_is_test(attr: &str) -> bool {
+    // Joined attrs put single spaces around every token, so the bare
+    // `test` ident always appears as ` test ` inside a cfg body —
+    // while `feature = "test-utils"` stays inside its string literal
+    // and cannot match.
+    attr == "test"
+        || attr.starts_with("test ")
+        || (attr.starts_with("cfg") && attr.contains(" test "))
+}
+
+/// Parses named fields between token indexes `from..to` (the struct
+/// body, braces exclusive).
+fn parse_fields(toks: &[Tok], from: usize, to: usize, out: &mut Vec<FieldItem>) {
+    let mut i = from;
+    while i < to {
+        // Skip field attributes.
+        while i < to && toks[i].is_punct("#") {
+            if toks.get(i + 1).map(|t| t.is_punct("[")).unwrap_or(false) {
+                i = match_bracket(toks, i + 1) + 1;
+            } else {
+                i += 1;
+            }
+        }
+        // Skip visibility: `pub` or `pub ( crate )`.
+        if i < to && toks[i].is_ident("pub") {
+            i += 1;
+            if i < to && toks[i].is_punct("(") {
+                let mut depth = 0i32;
+                while i < to {
+                    if toks[i].is_punct("(") {
+                        depth += 1;
+                    } else if toks[i].is_punct(")") {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        if i >= to || toks[i].kind != TokKind::Ident {
+            break;
+        }
+        let name = toks[i].text.clone();
+        let line = toks[i].line;
+        i += 1;
+        if i >= to || !toks[i].is_punct(":") {
+            break;
+        }
+        i += 1;
+        // Capture type tokens up to the field-separating comma.
+        let mut ty = Vec::new();
+        let mut depth = 0i32;
+        while i < to {
+            let t = &toks[i];
+            if depth == 0 && t.is_punct(",") {
+                i += 1;
+                break;
+            }
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(")")
+                || t.is_punct("]")
+                // `>` closes an angle bracket unless it is the tail of
+                // a `->` return arrow inside an fn-pointer type.
+                || (t.is_punct(">") && !(i > 0 && toks[i - 1].is_punct("-")))
+            {
+                depth -= 1;
+            }
+            ty.push(t.text.clone());
+            i += 1;
+        }
+        out.push(FieldItem { name, ty, line });
+    }
+}
+
+/// For each `{` token, the index of its matching `}`.
+fn match_braces(toks: &[Tok]) -> Vec<Option<usize>> {
+    let mut close = vec![None; toks.len()];
+    let mut stack = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct("{") {
+            stack.push(i);
+        } else if t.is_punct("}") {
+            if let Some(open) = stack.pop() {
+                close[open] = Some(i);
+            }
+        }
+    }
+    close
+}
+
+/// Index of the `]` matching the `[` at `open` (or the last token).
+fn match_bracket(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Joins token texts with single spaces.
+fn join(toks: &[Tok]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualified_names_from_impl_blocks() {
+        let idx = scan(
+            "impl Rk4Scratch { pub fn integrate(&mut self) -> f64 { 1.0 } }\n\
+             impl Monitor for ForecastMonitor { fn check(&mut self) {} }\n\
+             fn free() {}",
+        );
+        let names: Vec<&str> = idx.fns.iter().map(|f| f.qualified.as_str()).collect();
+        assert_eq!(
+            names,
+            ["Rk4Scratch::integrate", "ForecastMonitor::check", "free"]
+        );
+    }
+
+    #[test]
+    fn generic_impl_names() {
+        let idx = scan("impl<T: Clone> Stack<T> { fn push_item(&mut self, t: T) {} }");
+        assert_eq!(idx.fns[0].qualified, "Stack::push_item");
+    }
+
+    #[test]
+    fn cfg_test_regions_mark_fns() {
+        let idx = scan(
+            "fn live() {}\n\
+             #[cfg(test)]\nmod tests {\n  fn helper() {}\n  #[test]\n  fn t() {}\n}",
+        );
+        assert!(!idx.fns[0].in_test);
+        assert!(idx.fns[1].in_test);
+        assert!(idx.fns[2].in_test);
+    }
+
+    #[test]
+    fn test_attr_alone_marks_fn() {
+        let idx = scan("#[test]\nfn t() {}");
+        assert!(idx.fns[0].in_test);
+    }
+
+    #[test]
+    fn struct_fields_and_attrs() {
+        let idx = scan(
+            "#[derive(Serialize, Deserialize)]\n#[serde(default)]\n\
+             pub struct Ckpt {\n  pub version: u32,\n  pub seed: Option<u64>,\n  words: Vec<u32>,\n}",
+        );
+        let s = &idx.structs[0];
+        assert_eq!(s.name, "Ckpt");
+        assert!(s
+            .attrs
+            .iter()
+            .any(|a| a.contains("serde") && a.contains("default")));
+        let fields: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(fields, ["version", "seed", "words"]);
+        assert_eq!(s.fields[1].ty, ["Option", "<", "u64", ">"]);
+    }
+
+    #[test]
+    fn enums_are_marked() {
+        let idx = scan("#[derive(Serialize)]\nenum E { A, B(u64) }");
+        assert!(idx.structs[0].is_enum);
+        assert!(idx.structs[0].fields.is_empty());
+    }
+
+    #[test]
+    fn fn_body_ranges_cover_their_tokens() {
+        let idx = scan("fn a() { inner_marker(); }\nfn b() { other(); }");
+        let a = &idx.fns[0];
+        let marker = idx
+            .lexed
+            .toks
+            .iter()
+            .position(|t| t.is_ident("inner_marker"))
+            .unwrap();
+        assert!(a.body.contains(&marker));
+        let b = &idx.fns[1];
+        assert!(!b.body.contains(&marker));
+    }
+
+    #[test]
+    fn enclosing_fn_lookup() {
+        let idx = scan("impl T { fn m(&self) { marker(); } }");
+        let marker = idx
+            .lexed
+            .toks
+            .iter()
+            .position(|t| t.is_ident("marker"))
+            .unwrap();
+        assert_eq!(idx.enclosing_fn(marker).unwrap().qualified, "T::m");
+    }
+}

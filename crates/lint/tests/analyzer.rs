@@ -1,0 +1,259 @@
+//! Fixture-driven gates for the analyzer: every rule family has a
+//! known-bad fixture (each marked line must fire) and a known-good
+//! rewrite (zero findings), plus baseline-ratchet round-trips and a
+//! whole-workspace gate against the committed `lint.toml` +
+//! `lint.baseline`.
+
+use aps_lint::baseline::{diff_new, write_ratchet, Baseline, WriteOutcome};
+use aps_lint::config::LintConfig;
+use aps_lint::rules::{RuleId, Violation};
+use aps_lint::{lint_source, lint_workspace};
+use std::path::{Path, PathBuf};
+
+/// `what` strings of all violations for one rule, in file order.
+fn whats(vs: &[Violation], rule: RuleId) -> Vec<String> {
+    vs.iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.what.clone())
+        .collect()
+}
+
+fn assert_clean(vs: &[Violation], rule: RuleId, fixture: &str) {
+    let leftover = whats(vs, rule);
+    assert!(
+        leftover.is_empty(),
+        "{fixture} must be clean for {rule:?}, found: {leftover:?}"
+    );
+}
+
+#[test]
+fn deny_alloc_fixtures() {
+    let cfg = LintConfig {
+        deny_alloc_functions: vec!["Scratch::step".to_owned()],
+        ..LintConfig::default()
+    };
+    let bad = lint_source("alloc_bad.rs", include_str!("fixtures/alloc_bad.rs"), &cfg);
+    let found = whats(&bad, RuleId::DenyAlloc);
+    for expected in [
+        "Vec::new",
+        ".push()",
+        ".clone()",
+        "format!",
+        "Box::new",
+        ".collect()",
+        ".to_string()",
+    ] {
+        assert!(
+            found.contains(&expected.to_owned()),
+            "missing {expected}: {found:?}"
+        );
+    }
+    assert!(bad.iter().all(|v| v.scope == "Scratch::step"));
+
+    let good = lint_source(
+        "alloc_good.rs",
+        include_str!("fixtures/alloc_good.rs"),
+        &cfg,
+    );
+    // `debug_dump` allocates but is not registered — only the hot
+    // function is held to the invariant.
+    assert_clean(&good, RuleId::DenyAlloc, "alloc_good.rs");
+}
+
+#[test]
+fn nan_trap_fixtures() {
+    let cfg = LintConfig {
+        nan_trap_modules: vec!["nan_bad.rs".to_owned(), "nan_good.rs".to_owned()],
+        ..LintConfig::default()
+    };
+    let bad = lint_source("nan_bad.rs", include_str!("fixtures/nan_bad.rs"), &cfg);
+    assert_eq!(
+        whats(&bad, RuleId::NanTrap),
+        ["f64::max", "f64::min", ".clamp()", "partial_cmp().unwrap()"]
+    );
+    let good = lint_source("nan_good.rs", include_str!("fixtures/nan_good.rs"), &cfg);
+    assert_clean(&good, RuleId::NanTrap, "nan_good.rs");
+}
+
+#[test]
+fn determinism_fixtures() {
+    let cfg = LintConfig {
+        determinism_modules: vec!["det_bad.rs".to_owned(), "det_good.rs".to_owned()],
+        ..LintConfig::default()
+    };
+    let bad = lint_source("det_bad.rs", include_str!("fixtures/det_bad.rs"), &cfg);
+    let found = whats(&bad, RuleId::Determinism);
+    assert_eq!(found.iter().filter(|w| *w == "Instant::now").count(), 1);
+    // Every HashMap mention fires: import, signature, constructor.
+    assert_eq!(found.iter().filter(|w| *w == "HashMap").count(), 3);
+
+    let good = lint_source("det_good.rs", include_str!("fixtures/det_good.rs"), &cfg);
+    // The good fixture reads the wall clock inside `#[cfg(test)]` —
+    // test regions are exempt, so it must still be clean.
+    assert_clean(&good, RuleId::Determinism, "det_good.rs");
+}
+
+#[test]
+fn serde_compat_fixtures() {
+    let cfg = LintConfig {
+        serde_containers: vec!["Checkpoint".to_owned()],
+        ..LintConfig::default()
+    };
+    let bad = lint_source("serde_bad.rs", include_str!("fixtures/serde_bad.rs"), &cfg);
+    assert_eq!(
+        whats(&bad, RuleId::SerdeCompat),
+        ["missing-container-default", "u64-field-seed"]
+    );
+    let good = lint_source(
+        "serde_good.rs",
+        include_str!("fixtures/serde_good.rs"),
+        &cfg,
+    );
+    assert_clean(&good, RuleId::SerdeCompat, "serde_good.rs");
+}
+
+#[test]
+fn sound_audit_fixtures() {
+    let cfg = LintConfig {
+        sound_audit_modules: vec!["sound_bad.rs".to_owned(), "sound_good.rs".to_owned()],
+        ..LintConfig::default()
+    };
+    let bad = lint_source("sound_bad.rs", include_str!("fixtures/sound_bad.rs"), &cfg);
+    assert_eq!(
+        whats(&bad, RuleId::SoundAudit),
+        ["Ordering::Relaxed", "Ordering::Acquire", "unsafe"]
+    );
+    // The good fixture includes a justification that wraps over
+    // several comment lines — the contiguous block must count.
+    let good = lint_source(
+        "sound_good.rs",
+        include_str!("fixtures/sound_good.rs"),
+        &cfg,
+    );
+    assert_clean(&good, RuleId::SoundAudit, "sound_good.rs");
+}
+
+#[test]
+fn unwrap_audit_fixtures() {
+    let cfg = LintConfig {
+        unwrap_audit_modules: vec!["unwrap_bad.rs".to_owned(), "unwrap_good.rs".to_owned()],
+        ..LintConfig::default()
+    };
+    let bad = lint_source(
+        "unwrap_bad.rs",
+        include_str!("fixtures/unwrap_bad.rs"),
+        &cfg,
+    );
+    // Two library sites; the test-module unwrap must not count.
+    assert_eq!(whats(&bad, RuleId::UnwrapAudit), [".unwrap()", ".expect()"]);
+    let good = lint_source(
+        "unwrap_good.rs",
+        include_str!("fixtures/unwrap_good.rs"),
+        &cfg,
+    );
+    assert_clean(&good, RuleId::UnwrapAudit, "unwrap_good.rs");
+}
+
+// ------------------------------------------------------------- ratchet
+
+fn viol(file: &str, scope: &str, what: &str) -> Violation {
+    Violation {
+        rule: RuleId::UnwrapAudit,
+        file: file.to_owned(),
+        line: 1,
+        scope: scope.to_owned(),
+        what: what.to_owned(),
+    }
+}
+
+/// Scratch directory for ratchet files; cleaned up on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("aps-lint-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn baseline_ratchets_down_and_refuses_growth() {
+    let tmp = TempDir::new("ratchet");
+    let path = tmp.0.join("lint.baseline");
+
+    let three = vec![
+        viol("a.rs", "f", ".unwrap()"),
+        viol("a.rs", "f", ".unwrap()"),
+        viol("b.rs", "g", ".expect()"),
+    ];
+    let created = write_ratchet(&path, &three)
+        .expect("io")
+        .expect("first write");
+    assert_eq!(created, WriteOutcome::Created { accepted: 3 });
+
+    // Fixing a site shrinks the baseline.
+    let two = &three[..2];
+    let shrunk = write_ratchet(&path, two).expect("io").expect("shrink");
+    assert_eq!(shrunk, WriteOutcome::Ratcheted { removed: 1 });
+    let after_shrink = std::fs::read_to_string(&path).expect("read baseline");
+    assert_eq!(Baseline::parse(&after_shrink).total(), 2);
+
+    // Reintroducing it (or adding anything) is refused and the file
+    // is left untouched.
+    let grown = write_ratchet(&path, &three).expect("io");
+    let offending = grown.expect_err("growth must be refused");
+    assert_eq!(offending, ["unwrap\tb.rs\tg\t.expect()"]);
+    assert_eq!(
+        std::fs::read_to_string(&path).expect("re-read"),
+        after_shrink
+    );
+
+    // The refused run still reports exactly the new instance.
+    let base = Baseline::load(&path).expect("io").expect("exists");
+    let new: Vec<_> = diff_new(&three, &base).iter().map(|v| v.key()).collect();
+    assert_eq!(new, ["unwrap\tb.rs\tg\t.expect()"]);
+}
+
+// ----------------------------------------------------------- workspace
+
+/// The real gate: the committed baseline covers the workspace exactly —
+/// zero new violations, and (two-sided) zero stale surplus entries.
+#[test]
+fn workspace_is_clean_against_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let cfg_text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml");
+    let cfg = LintConfig::parse(&cfg_text).expect("valid lint.toml");
+    let run = lint_workspace(&root, &cfg).expect("workspace scan");
+    assert!(
+        run.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        run.files_scanned
+    );
+
+    let base = Baseline::load(&root.join("lint.baseline"))
+        .expect("io")
+        .expect("committed baseline exists");
+    let new: Vec<_> = diff_new(&run.violations, &base)
+        .iter()
+        .map(|v| format!("{}:{} {}", v.file, v.line, v.key()))
+        .collect();
+    assert!(new.is_empty(), "new lint violations: {new:#?}");
+    assert!(
+        run.violations.len() >= base.total(),
+        "baseline has stale entries: {} accepted vs {} found — \
+         regenerate with `repro lint --write-baseline`",
+        base.total(),
+        run.violations.len()
+    );
+}

@@ -1,0 +1,19 @@
+//! Deny-alloc fixture: a registered hot function that allocates in
+//! every way the rule knows about. Each marked line must be flagged.
+
+pub struct Scratch {
+    k: [f64; 4],
+}
+
+impl Scratch {
+    pub fn step(&mut self, dt: f64) -> Vec<f64> {
+        let mut out = Vec::new(); // flagged: Vec::new
+        out.push(dt); // flagged: .push
+        let copy = out.clone(); // flagged: .clone
+        let label = format!("dt={dt}"); // flagged: format!
+        let boxed = Box::new(copy); // flagged: Box::new
+        let squares: Vec<f64> = boxed.iter().map(|x| x * x).collect(); // flagged: .collect
+        let _ = label.to_string(); // flagged: .to_string
+        squares
+    }
+}

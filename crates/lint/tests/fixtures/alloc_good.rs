@@ -1,0 +1,22 @@
+//! Deny-alloc fixture: the same registered hot function written the
+//! way the hot path actually works — preallocated scratch, in-place
+//! writes, no heap traffic. Must produce zero `alloc` violations.
+
+pub struct Scratch {
+    k: [f64; 4],
+    out: [f64; 4],
+}
+
+impl Scratch {
+    pub fn step(&mut self, dt: f64) -> f64 {
+        for (i, k) in self.k.iter().enumerate() {
+            self.out[i] = k * dt;
+        }
+        self.out.iter().sum()
+    }
+
+    /// Unregistered helper: allocation here is allowed.
+    pub fn debug_dump(&self) -> Vec<f64> {
+        self.out.to_vec()
+    }
+}

@@ -1,0 +1,15 @@
+//! Determinism fixture: wall clock, OS entropy, and hash-order
+//! iteration in a module that feeds checkpoints. Each marked use must
+//! be flagged.
+
+use std::collections::HashMap; // flagged: HashMap
+use std::time::Instant;
+
+pub fn stamp_jobs(ids: &[u64]) -> HashMap<u64, u128> {
+    let t0 = Instant::now(); // flagged: Instant::now
+    let mut out = HashMap::new();
+    for &id in ids {
+        out.insert(id, t0.elapsed().as_nanos());
+    }
+    out
+}

@@ -1,0 +1,23 @@
+//! Determinism fixture: ordered containers and an explicit seed
+//! instead of wall clock / OS entropy. Must produce zero `det`
+//! violations. The `#[cfg(test)]` module may use the wall clock —
+//! test regions are exempt.
+
+use std::collections::BTreeMap;
+
+pub fn stamp_jobs(ids: &[u64], seed: u64) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    for (k, &id) in ids.iter().enumerate() {
+        out.insert(id, seed.wrapping_add(k as u64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_is_fine_in_tests() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_nanos() < u128::MAX);
+    }
+}

@@ -1,0 +1,13 @@
+//! Nan-trap fixture: NaN-masking float ops in a scope with no finite
+//! guard in sight. Each marked line must be flagged.
+
+pub fn blend(a: f64, b: f64) -> f64 {
+    let hi = f64::max(a, b); // flagged: f64::max
+    let lo = f64::min(a, b); // flagged: f64::min
+    let mid = a.clamp(lo, hi); // flagged: .clamp
+    let ord = a.partial_cmp(&b).unwrap(); // flagged: partial_cmp unwrap
+    match ord {
+        std::cmp::Ordering::Less => lo,
+        _ => mid,
+    }
+}

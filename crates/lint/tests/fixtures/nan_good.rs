@@ -1,0 +1,12 @@
+//! Nan-trap fixture: the same masking ops inside a finite-guarded
+//! scope — the guard turns a silent NaN swallow into a checked
+//! precondition. Must produce zero `nan` violations.
+
+pub fn blend_checked(a: f64, b: f64) -> Option<f64> {
+    if !a.is_finite() || !b.is_finite() {
+        return None;
+    }
+    let hi = f64::max(a, b);
+    let lo = f64::min(a, b);
+    Some(a.clamp(lo, hi))
+}

@@ -1,0 +1,10 @@
+//! Serde-compat fixture: a registered round-tripping container with
+//! no container-level `#[serde(default)]` and no version field, plus a
+//! bare `u64` field (exact only below 2^53 through the f64-backed JSON
+//! shim). Both must be flagged.
+
+#[derive(Serialize, Deserialize)]
+pub struct Checkpoint {
+    pub seed: u64, // flagged: u64-field-seed
+    pub done: Vec<u32>,
+}

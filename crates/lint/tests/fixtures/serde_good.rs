@@ -1,0 +1,15 @@
+//! Serde-compat fixture: the same container made evolution-safe —
+//! container-level `#[serde(default)]` so old files load after fields
+//! are added, and the `u64` either hex-encoded at the boundary (here:
+//! exempted with a reason) or versioned. Must produce zero `serde`
+//! violations.
+
+#[derive(Serialize, Deserialize, Default)]
+#[serde(default)]
+pub struct Checkpoint {
+    pub version: u32,
+    // lint: hex-exempt(seed is a small human-chosen value, far below
+    // the f64 shim's 2^53 exactness bound)
+    pub seed: u64,
+    pub done: Vec<u32>,
+}

@@ -1,0 +1,17 @@
+//! Sound-audit fixture: atomic orderings and an `unsafe` block with
+//! no adjacent `// sound:` justification. Each marked line must be
+//! flagged.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn claim(next: &AtomicUsize) -> usize {
+    next.fetch_add(1, Ordering::Relaxed) // flagged: Ordering::Relaxed
+}
+
+pub fn frontier(emitted: &AtomicUsize) -> usize {
+    emitted.load(Ordering::Acquire) // flagged: Ordering::Acquire
+}
+
+pub fn reinterpret(bytes: &[u8; 8]) -> u64 {
+    unsafe { std::mem::transmute(*bytes) } // flagged: unsafe
+}

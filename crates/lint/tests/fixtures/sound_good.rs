@@ -1,0 +1,25 @@
+//! Sound-audit fixture: every atomic ordering and `unsafe` block
+//! carries an adjacent `// sound:` justification — including one that
+//! wraps over several comment lines, which must still count. Must
+//! produce zero `sound` violations.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn claim(next: &AtomicUsize) -> usize {
+    // sound: Relaxed suffices for the claim counter — fetch_add is an
+    // atomic read-modify-write, so every caller observes a unique
+    // value regardless of ordering; the data a claim guards is
+    // published through the channel send, not through this counter.
+    next.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn frontier(emitted: &AtomicUsize) -> usize {
+    // sound: Acquire pairs with the emitter's Release store.
+    emitted.load(Ordering::Acquire)
+}
+
+pub fn reinterpret(bytes: &[u8; 8]) -> u64 {
+    // sound: [u8; 8] and u64 have identical size and no invalid bit
+    // patterns; alignment is by-value.
+    unsafe { std::mem::transmute(*bytes) }
+}

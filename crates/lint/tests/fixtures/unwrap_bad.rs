@@ -1,0 +1,21 @@
+//! Unwrap-audit fixture: `.unwrap()` / `.expect()` in library code of
+//! an audited module. Both library sites must be flagged; the test
+//! module's unwrap must not.
+
+pub fn first_line(text: &str) -> &str {
+    text.lines().next().unwrap() // flagged: .unwrap()
+}
+
+pub fn parse_port(s: &str) -> u16 {
+    s.parse().expect("port must be numeric") // flagged: .expect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::first_line("a\nb"), "a");
+        let n: Option<u16> = Some(8080);
+        assert_eq!(n.unwrap(), 8080);
+    }
+}

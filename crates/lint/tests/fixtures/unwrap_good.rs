@@ -1,0 +1,14 @@
+//! Unwrap-audit fixture: the same library code with the panics
+//! designed out — combinators and let-else instead of `.unwrap()`.
+//! Must produce zero `unwrap` violations.
+
+pub fn first_line(text: &str) -> &str {
+    text.lines().next().unwrap_or("")
+}
+
+pub fn parse_port(s: &str) -> Option<u16> {
+    let Ok(port) = s.parse() else {
+        return None;
+    };
+    Some(port)
+}

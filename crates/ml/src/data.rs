@@ -72,7 +72,8 @@ impl Dataset {
 }
 
 /// Per-feature standardizer (zero mean, unit variance).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct StandardScaler {
     mean: Vec<f64>,
     sd: Vec<f64>,

@@ -52,6 +52,9 @@ pub struct ForecastConfig {
     /// Global gradient-norm clip.
     pub clip_norm: f64,
     /// RNG seed (initialization, splits, shuffling).
+    // lint: hex-exempt(config seeds are small human-chosen values far
+    // below the f64 shim's 2^53 exactness bound; the trained weights —
+    // not the seed — are what the bundle round-trips)
     pub seed: u64,
 }
 
@@ -76,7 +79,8 @@ impl Default for ForecastConfig {
 /// The network regresses the *standardized* target; `y_mean`/`y_sd`
 /// (fit on the training targets) map predictions back to mg/dL, so the
 /// optimization is well-conditioned however large the BG scale.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct LstmForecaster {
     cells: Vec<Cell>,
     /// Linear head over the top layer's last hidden state.
@@ -517,7 +521,8 @@ impl ForecastTrainer {
 }
 
 /// One layer of the MLP baseline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 struct RegLayer {
     w: Matrix, // in × out
     b: Vec<f64>,
@@ -525,7 +530,8 @@ struct RegLayer {
 
 /// A ReLU MLP regressor over the flattened forecast window
 /// (standardized-target regression like [`LstmForecaster`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct MlpForecaster {
     layers: Vec<RegLayer>,
     window: usize,
@@ -758,7 +764,8 @@ fn train_reg_batch(
 /// feature scaler, both networks, the window/horizon geometry, and
 /// held-out evaluation metadata. Produced by `repro train`, consumed
 /// by `repro zoo` and `MonitorSpec::Forecast`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct ForecastModel {
     /// Window length in control cycles.
     pub window: usize,
@@ -773,17 +780,13 @@ pub struct ForecastModel {
     /// The non-recurrent baseline.
     pub mlp: MlpForecaster,
     /// Validation RMSE of the LSTM (mg/dL).
-    #[serde(default)]
     pub lstm_val_rmse: f64,
     /// Validation RMSE of the MLP baseline (mg/dL).
-    #[serde(default)]
     pub mlp_val_rmse: f64,
     /// Validation RMSE of the persistence baseline (predict BG stays
     /// at the window's last reading).
-    #[serde(default)]
     pub persistence_val_rmse: f64,
     /// Training pairs the networks saw.
-    #[serde(default)]
     pub trained_pairs: usize,
 }
 

@@ -108,7 +108,8 @@ impl SeqDataset {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub(crate) struct Cell {
     /// (input_dim + hidden) × 4*hidden, gate order [i | f | o | g].
     pub(crate) w: Matrix,

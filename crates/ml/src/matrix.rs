@@ -6,7 +6,12 @@ use serde::{Deserialize, Serialize};
 use std::ops::{Index, IndexMut};
 
 /// A dense row-major `f64` matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serde round-trips through saved model bundles; container-level
+/// `#[serde(default)]` (the empty 0×0 matrix) keeps old bundles
+/// loading as fields are added.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

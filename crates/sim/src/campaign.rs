@@ -299,6 +299,15 @@ pub enum WorkerSource {
     },
 }
 
+impl Default for WorkerSource {
+    /// [`WorkerSource::Detected`] — the provenance every run has when
+    /// nothing overrides detection (and what a missing field in an
+    /// older recorded report deserializes to).
+    fn default() -> WorkerSource {
+        WorkerSource::Detected
+    }
+}
+
 /// Resolves the worker count from an explicit override, the raw
 /// `APS_WORKERS` value, and the detected parallelism — in that
 /// precedence order. Pure (no environment reads), so it is directly
@@ -376,7 +385,11 @@ pub struct CampaignOptions {
 /// What a fault-tolerant campaign run did, including the error
 /// ledger. Serializable for machine consumption (`repro campaign`
 /// prints it).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Container-level `#[serde(default)]` keeps recorded reports loading
+/// as fields are added.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(default)]
 pub struct CampaignReport {
     /// Total jobs in the campaign grid.
     pub total_jobs: usize,
@@ -630,6 +643,10 @@ pub fn run_campaign_resumable(
     let (workers, worker_source) = worker_count(options.workers);
     let workers = workers.min(m.max(1));
     let cancel = options.cancel.as_deref();
+    // sound: Acquire pairs with the canceller's Release store, so a
+    // worker that observes the flag also observes everything the
+    // canceller wrote before raising it; a stale read only delays the
+    // stop by one job and can never reorder emission.
     let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Acquire));
 
     let mut state = EmitState {
@@ -671,6 +688,10 @@ pub fn run_campaign_resumable(
                     if cancelled() {
                         break;
                     }
+                    // sound: Relaxed suffices for the claim counter —
+                    // fetch_add is an atomic RMW, so each worker gets a
+                    // unique k regardless of ordering; data written by
+                    // the job is published by the channel send below.
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     if k >= m {
                         break;
@@ -680,6 +701,10 @@ pub fn run_campaign_resumable(
                     // therefore never leave a gap in the emission
                     // order. Parked workers do not re-check the flag:
                     // a claimed job must finish or the frontier jams.
+                    //
+                    // sound: Acquire pairs with the frontier's Release
+                    // store; a stale (smaller) read only parks one
+                    // extra 100 µs poll, never admits k past the gate.
                     while k >= emitted.load(Ordering::Acquire) + max_ahead {
                         std::thread::sleep(std::time::Duration::from_micros(100));
                     }
@@ -703,6 +728,9 @@ pub fn run_campaign_resumable(
                         break 'drain;
                     }
                     next_emit += 1;
+                    // sound: Release publishes the advanced frontier —
+                    // a gated worker whose Acquire load sees the new
+                    // value also sees every emission before it.
                     emitted.store(next_emit, Ordering::Release);
                 }
             }
@@ -835,6 +863,10 @@ pub fn run_campaign_with(
             let emitted = &emitted;
             let jobs = &jobs;
             scope.spawn(move || loop {
+                // sound: Relaxed suffices — fetch_add is an atomic
+                // RMW, so claims are unique and monotone regardless of
+                // ordering; the trace itself is published by the
+                // channel send, not by this counter.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -843,6 +875,10 @@ pub fn run_campaign_with(
                 // (frontier ≤ i < frontier + max_ahead), so the
                 // frontier always progresses and every parked worker
                 // eventually wakes.
+                //
+                // sound: Acquire pairs with the frontier's Release
+                // store; a stale read under-estimates the frontier and
+                // parks one extra poll — it never admits i early.
                 while i >= emitted.load(Ordering::Acquire) + max_ahead {
                     std::thread::sleep(std::time::Duration::from_micros(100));
                 }
@@ -865,6 +901,9 @@ pub fn run_campaign_with(
             while let Some(trace) = pending.remove(&next_emit) {
                 sink(next_emit, trace);
                 next_emit += 1;
+                // sound: Release pairs with the gate's Acquire loads,
+                // so workers that observe the new frontier also
+                // observe the emissions that produced it.
                 emitted.store(next_emit, Ordering::Release);
             }
         }

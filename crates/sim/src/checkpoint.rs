@@ -176,6 +176,7 @@ pub fn from_hex(s: &str) -> Option<u64> {
 /// because the vendored serde shim stores numbers as `f64`, exact
 /// only below 2^53).
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(default)]
 pub struct JobBitmap {
     /// Packed bits, little-endian within each word.
     pub words: Vec<u32>,

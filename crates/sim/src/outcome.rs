@@ -43,6 +43,17 @@ pub enum SimError {
     },
 }
 
+impl Default for SimError {
+    /// An empty [`SimError::InvalidSpec`] — only ever materialized
+    /// when container-level `#[serde(default)]` fills a ledger entry
+    /// whose `error` field is missing from an older checkpoint.
+    fn default() -> SimError {
+        SimError::InvalidSpec {
+            detail: String::new(),
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -102,7 +113,11 @@ impl JobOutcome {
 }
 
 /// One failed job, as recorded in the [`ErrorLedger`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Container-level `#[serde(default)]`: entries written by older code
+/// keep loading when fields are added (checkpoint forward compat).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(default)]
 pub struct LedgerEntry {
     /// Index of the job in the campaign's deterministic job order.
     pub job_index: usize,
@@ -124,6 +139,7 @@ pub struct LedgerEntry {
 /// Serializes with serde; `same chaos seed ⇒ same ledger, byte for
 /// byte` is pinned by the chaos-determinism test.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(default)]
 pub struct ErrorLedger {
     /// Failed jobs, ordered by `job_index`.
     pub entries: Vec<LedgerEntry>,

@@ -106,10 +106,16 @@ pub fn replay_campaign_with<F>(
             let emitted = &emitted;
             let factory = &factory;
             scope.spawn(move || loop {
+                // sound: Relaxed suffices — the atomic RMW hands each
+                // worker a unique, monotone claim index; replayed data
+                // is published by the channel send, not this counter.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
+                // sound: Acquire pairs with the frontier's Release
+                // store below; a stale read only parks the worker one
+                // extra poll, it never lets i through the gate early.
                 while i >= emitted.load(Ordering::Acquire) + max_ahead {
                     std::thread::sleep(std::time::Duration::from_micros(100));
                 }
@@ -129,6 +135,9 @@ pub fn replay_campaign_with<F>(
             while let Some(trace) = pending.remove(&next_emit) {
                 sink(next_emit, trace);
                 next_emit += 1;
+                // sound: Release publishes the advanced frontier to
+                // the gate's Acquire loads, ordering all emissions
+                // before any worker that runs ahead on their strength.
                 emitted.store(next_emit, Ordering::Release);
             }
         }

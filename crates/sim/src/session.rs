@@ -728,8 +728,8 @@ pub(crate) fn run_engine(
             hazard: None,
             alert,
         });
-        if let Some(obs) = observer.as_mut() {
-            obs(trace.records.last().expect("just pushed"));
+        if let (Some(obs), Some(rec)) = (observer.as_mut(), trace.records.last()) {
+            obs(rec);
         }
 
         patient.step(delivered, CONTROL_CYCLE_MINUTES);

@@ -253,6 +253,40 @@
 //! behind the rule-based CAWOT/CAWT (+65 min, EDR 100%) whose
 //! context rules fire on the unsafe *action* rather than its
 //! consequence.
+//!
+//! # Static analysis
+//!
+//! The invariants above are guarded dynamically — counting-allocator
+//! tests, bit-identity replays, proptests — but dynamic guards only
+//! fire on the paths a test happens to drive. `repro lint` (crate
+//! `aps-lint`, zero dependencies, hand-rolled lexer + item scanner —
+//! no `syn`) re-checks five of them *statically* on every push, over
+//! the whole workspace, in well under a second:
+//!
+//! | id       | invariant                                                        |
+//! |----------|------------------------------------------------------------------|
+//! | `alloc`  | functions registered in `lint.toml` `[deny_alloc]` never allocate |
+//! | `nan`    | NaN-masking float ops (`f64::max/min`, `.clamp()`, `partial_cmp().unwrap()`) only in finite-guarded scopes |
+//! | `det`    | no wall clock / OS entropy / hash-order iteration in checkpointed modules |
+//! | `serde`  | round-tripping containers carry container-level `#[serde(default)]` or a version field; `u64` fields hex-encoded or `// lint: hex-exempt(reason)` |
+//! | `sound`  | every atomic `Ordering` / `unsafe` in the lock-free executor has an adjacent `// sound:` justification |
+//! | `unwrap` | library-code `.unwrap()`/`.expect()` in audited trees only ratchets down |
+//!
+//! Findings are diffed against the committed `lint.baseline`
+//! (a multiset keyed on rule/file/scope — line numbers excluded so
+//! moving code doesn't churn it). `repro lint --deny-new` fails
+//! exactly when a violation is *not* covered by the baseline; that is
+//! the CI gate. `repro lint --write-baseline` regenerates the file
+//! and **refuses to grow it** — new debt is either fixed or added by
+//! hand in review, where the diff is visible.
+//!
+//! Registering a new hot function is one line in `lint.toml`
+//! (`[deny_alloc] functions`); the analyzer has no call graph, so
+//! register the concrete inner functions, not their callers. Config
+//! entries that no longer match anything are themselves violations
+//! (`registered-*-not-found`) — a rename cannot silently drop
+//! protection. Known-good/known-bad fixtures for every rule family
+//! live in `crates/lint/tests/fixtures/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,79 @@
+//! Scalar vs batched RK4 stepping throughput.
+//!
+//! Measures raw physics steps/sec of the scalar [`Rk4Scratch`] against
+//! the lockstep [`BatchedRk4Scratch`] at lane widths 4 and 8, on
+//! dynamics shaped like the glucose models (per-state leak + bounded
+//! cross-coupling) at both patient-model dimensions (Bergman: 6
+//! states, Dalla Man: 13). Criterion reports per-iteration time; each
+//! batched iteration advances LANES states, so divide by the lane
+//! width when comparing against the scalar rows. The end-to-end
+//! campaign counterpart is `repro bench-campaign` / the
+//! `campaign_throughput` bench.
+
+use aps_glucose::ode::{BatchedRk4Scratch, Rk4Scratch};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Scalar model stand-in: leak plus saturated neighbor coupling — the
+/// structural shape of the glucose compartment models.
+fn scalar_dynamics<const D: usize>() -> impl Fn(f64, &[f64], &mut [f64]) {
+    move |_t: f64, x: &[f64], dxdt: &mut [f64]| {
+        for d in 0..D {
+            let neighbor = x[(d + 1) % D];
+            dxdt[d] = -0.1 * x[d] + (0.05 * neighbor).tanh();
+        }
+    }
+}
+
+/// The same dynamics widened across lanes: per-lane loops, no
+/// horizontal operations — exactly the contract the patient banks
+/// follow.
+fn batched_dynamics<const D: usize, const LANES: usize>(
+) -> impl Fn(f64, &[[f64; LANES]; D], &mut [[f64; LANES]; D]) {
+    move |_t: f64, x: &[[f64; LANES]; D], dxdt: &mut [[f64; LANES]; D]| {
+        for d in 0..D {
+            let n = (d + 1) % D;
+            for l in 0..LANES {
+                dxdt[d][l] = -0.1 * x[d][l] + (0.05 * x[n][l]).tanh();
+            }
+        }
+    }
+}
+
+fn bench_scalar<const D: usize>(c: &mut Criterion, name: &str) {
+    let f = scalar_dynamics::<D>();
+    let mut scratch = Rk4Scratch::<D>::new();
+    let mut x = [100.0f64; D];
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            scratch.step(&f, 0.0, black_box(&mut x), 1.0);
+            black_box(x[0])
+        })
+    });
+}
+
+fn bench_batched<const D: usize, const LANES: usize>(c: &mut Criterion, name: &str) {
+    let f = batched_dynamics::<D, LANES>();
+    let mut scratch = BatchedRk4Scratch::<D, LANES>::new();
+    let mut x = [[100.0f64; LANES]; D];
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            scratch.step(&f, 0.0, black_box(&mut x), 1.0);
+            black_box(x[0][0])
+        })
+    });
+}
+
+fn bench_steppers(c: &mut Criterion) {
+    // Bergman dimension (6 states).
+    bench_scalar::<6>(c, "rk4_step/scalar/d6");
+    bench_batched::<6, 4>(c, "rk4_step/batched/d6_lanes4");
+    bench_batched::<6, 8>(c, "rk4_step/batched/d6_lanes8");
+    // Dalla Man dimension (13 states).
+    bench_scalar::<13>(c, "rk4_step/scalar/d13");
+    bench_batched::<13, 4>(c, "rk4_step/batched/d13_lanes4");
+    bench_batched::<13, 8>(c, "rk4_step/batched/d13_lanes8");
+}
+
+criterion_group!(benches, bench_steppers);
+criterion_main!(benches);

@@ -26,6 +26,7 @@
 //!   run --spec F          one session described by a JSON SessionSpec
 //!   summary               digest of all recorded results
 //!   bench-campaign        campaign-throughput baseline -> BENCH_campaign.json
+//!                         (--sweep-workers adds the worker-scaling curve)
 //!   lint                  aps-lint static analysis vs the committed baseline
 //!   all                   everything above, in order
 //!
@@ -152,6 +153,20 @@ fn main() {
         eprintln!("error: --guard only applies to bench-campaign");
         std::process::exit(2);
     }
+    // `--sweep-workers` is likewise bench-campaign-only: re-times the
+    // campaign at 1/2/4/... pinned workers (scalar and batched) and
+    // records the scaling curve in BENCH_campaign.json.
+    let sweep_workers = match args.iter().position(|a| a == "--sweep-workers") {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    };
+    if sweep_workers && which != "bench-campaign" {
+        eprintln!("error: --sweep-workers only applies to bench-campaign");
+        std::process::exit(2);
+    }
     // Fault-tolerance flags switch bench-campaign from throughput
     // benchmarking to the hardened executor (ledger, chaos,
     // checkpoint/resume). They are extracted before ExpOpts sees the
@@ -169,6 +184,10 @@ fn main() {
     }
     if ft_flags.is_some() && guard_baseline.is_some() {
         eprintln!("error: --guard measures the clean path; drop the fault-tolerance flags");
+        std::process::exit(2);
+    }
+    if ft_flags.is_some() && sweep_workers {
+        eprintln!("error: --sweep-workers measures the clean path; drop the fault-tolerance flags");
         std::process::exit(2);
     }
     let opts = match ExpOpts::parse(&args[1..]) {
@@ -210,11 +229,14 @@ fn main() {
                 (Some(flags), _) => {
                     std::process::exit(aps_bench::ftrun::run_ft_campaign(&opts, flags))
                 }
-                (None, Some(path)) => {
-                    aps_bench::perf::bench_campaign_guarded(5, "BENCH_campaign.json", path)
-                }
+                (None, Some(path)) => aps_bench::perf::bench_campaign_guarded(
+                    5,
+                    "BENCH_campaign.json",
+                    path,
+                    sweep_workers,
+                ),
                 (None, None) => {
-                    aps_bench::perf::bench_campaign(5, "BENCH_campaign.json");
+                    aps_bench::perf::bench_campaign(5, "BENCH_campaign.json", sweep_workers);
                 }
             }
         }
@@ -277,9 +299,15 @@ sessions:
 
 perf:
   bench-campaign             quick-campaign throughput baseline; writes
-                             BENCH_campaign.json (seed-faithful vs current)
+                             BENCH_campaign.json (seed-faithful vs
+                             optimized scalar vs batched lockstep)
   bench-campaign --guard F   also compare against the committed report F
-                             and exit non-zero below 80% of its speedup
+                             and exit non-zero below 80% of its scalar
+                             or batched speedup
+  bench-campaign --sweep-workers
+                             additionally re-time the campaign at
+                             1/2/4/... pinned workers (scalar and
+                             batched) and record the scaling curve
 
 static analysis:
   lint                       scan the workspace with aps-lint (rule

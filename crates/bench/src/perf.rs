@@ -8,21 +8,32 @@
 //!   integrator and a per-step parameter clone, executed by the seed's
 //!   mutex-funneled worker loop (one global
 //!   `Mutex<Vec<Option<SimTrace>>>` behind an atomic job counter);
-//! * **optimized** — the current stack: stack-scratch RK4, clone-free
-//!   closed loop, and the lock-free executor of
-//!   [`aps_sim::campaign::run_campaign`].
+//! * **optimized** — the current scalar stack: stack-scratch RK4,
+//!   clone-free closed loop, and the lock-free executor of
+//!   [`aps_sim::campaign::run_campaign`];
+//! * **batched** — the lockstep executor of
+//!   [`aps_sim::batch::run_campaign_batched`]: blocks of
+//!   [`BATCH_LANES`](aps_sim::batch::BATCH_LANES) jobs share one
+//!   structure-of-arrays physics bank, bit-identical to the scalar
+//!   paths.
 //!
-//! Both run the identical job grid (2 patients × 1 initial BG ×
-//! {fault-free + quick fault grid} × 150 steps). The report is written
-//! to `BENCH_campaign.json` so later PRs can show a trajectory; see
-//! the "Performance" section of the `aps_repro` crate docs for how to
-//! regenerate it.
+//! All run the identical job grid (2 patients × 1 initial BG ×
+//! {fault-free + quick fault grid} × 150 steps). With `sweep_workers`
+//! the scalar and batched executors are additionally timed at pinned
+//! worker counts (1, 2, 4, …) to record the scaling curve. The report
+//! is written to `BENCH_campaign.json` so later PRs can show a
+//! trajectory; see the "Performance" section of the `aps_repro` crate
+//! docs for how to regenerate it.
 
 use crate::report::Table;
 use aps_glucose::ode::Dynamics;
 use aps_glucose::patients::glucosym_params;
 use aps_glucose::PatientSim;
-use aps_sim::campaign::{campaign_size, run_campaign, CampaignSpec};
+use aps_sim::batch::{run_campaign_batched, run_campaign_batched_with_workers};
+use aps_sim::campaign::{
+    campaign_size, run_campaign, run_campaign_with_workers, worker_count, worker_count_from,
+    CampaignSpec, WorkerSource,
+};
 use aps_sim::closed_loop::{run, LoopConfig};
 use aps_sim::platform::Platform;
 use aps_types::{MgDl, SimTrace, Units, UnitsPerHour};
@@ -30,6 +41,17 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Worker count and provenance every benchmark executor shares.
+///
+/// One resolution point (explicit override absent → `APS_WORKERS` env
+/// → detection, clamped) replaces the two hand-rolled
+/// `available_parallelism().unwrap_or(1)` fallbacks this file used to
+/// carry, so the report's `workers`/`worker_source` fields always
+/// describe what actually ran — including the seed-faithful executor.
+pub fn bench_workers() -> (usize, WorkerSource) {
+    worker_count(None)
+}
 
 /// One side's measurement.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -53,6 +75,19 @@ impl Throughput {
     }
 }
 
+/// One point of the workers-scaling sweep: the scalar and batched
+/// executors timed at the same pinned worker count.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct WorkerSweepPoint {
+    /// Pinned worker-thread count for both measurements.
+    pub workers: usize,
+    /// Scalar lock-free executor at this worker count.
+    pub scalar: Throughput,
+    /// Batched lockstep executor at this worker count.
+    pub batched: Throughput,
+}
+
 /// The `BENCH_campaign.json` document.
 ///
 /// Container-level `#[serde(default)]`: the committed report must keep
@@ -68,33 +103,54 @@ pub struct CampaignBenchReport {
     pub steps_per_run: u32,
     /// Worker threads each executor used.
     pub workers: usize,
+    /// Where that worker count came from.
+    pub worker_source: WorkerSource,
     /// Timing repetitions (best is reported).
     pub reps: usize,
     /// Seed-faithful pre-optimization measurement.
     pub baseline: Throughput,
-    /// Current implementation.
+    /// Current scalar implementation.
     pub optimized: Throughput,
+    /// Batched lockstep implementation.
+    pub batched: Throughput,
     /// `baseline.secs / optimized.secs`.
     pub speedup: f64,
+    /// `baseline.secs / batched.secs` — the headline speedup over the
+    /// seed, guarded by CI like `speedup`.
+    pub batched_speedup: f64,
+    /// `optimized.secs / batched.secs` — what lockstep batching buys
+    /// over the already-optimized scalar path.
+    pub batched_vs_optimized: f64,
+    /// Workers-scaling curve (empty unless the benchmark ran with
+    /// `sweep_workers`).
+    pub sweep: Vec<WorkerSweepPoint>,
 }
 
-/// Runs the benchmark and returns the report.
-pub fn run_campaign_bench(reps: usize) -> CampaignBenchReport {
+/// Runs the benchmark and returns the report. With `sweep_workers` the
+/// scalar and batched executors are additionally timed at pinned
+/// worker counts 1, 2, 4, … (doubling up to the detected ambient
+/// parallelism, minimum 2) to record the scaling curve.
+pub fn run_campaign_bench(reps: usize, sweep_workers: bool) -> CampaignBenchReport {
     let reps = reps.max(1);
     let spec = CampaignSpec::quick(Platform::GlucosymOref0);
     let runs = campaign_size(&spec);
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let (workers, worker_source) = bench_workers();
 
-    // Warm-up + correctness guard: both paths must produce the same
-    // number of traces with the same hazard labels.
+    // Warm-up + correctness guards: all paths must produce the same
+    // number of traces; the batched engine must agree with the scalar
+    // one bit for bit (that is its contract), the seed baseline on at
+    // least 90% of hazard labels.
     let opt_traces = run_campaign(&spec, None);
     let base_traces = seed_baseline::run_campaign(&spec);
     assert_eq!(
         opt_traces.len(),
         base_traces.len(),
         "executor grid mismatch"
+    );
+    let batched_traces = run_campaign_batched(&spec, None);
+    assert_eq!(
+        batched_traces, opt_traces,
+        "batched executor diverged from the scalar path"
     );
     let agree = opt_traces
         .iter()
@@ -121,23 +177,66 @@ pub fn run_campaign_bench(reps: usize) -> CampaignBenchReport {
 
     let base_secs = time_best(&|| seed_baseline::run_campaign(&spec).len());
     let opt_secs = time_best(&|| run_campaign(&spec, None).len());
+    let batched_secs = time_best(&|| run_campaign_batched(&spec, None).len());
+
+    let mut sweep = Vec::new();
+    if sweep_workers {
+        // The sweep ceiling comes from *detected* parallelism, not the
+        // resolved count: CI pins APS_WORKERS=1 to keep the headline
+        // single-core ratios machine-comparable, and that pin must not
+        // collapse the scaling curve. Each sweep point pins its own
+        // worker count explicitly (Override beats Env in
+        // `worker_count_from`), so the env var never distorts a row.
+        let detected = worker_count_from(
+            None,
+            None,
+            std::thread::available_parallelism()
+                .map(std::num::NonZero::get)
+                .map_err(|e| e.to_string()),
+        )
+        .0;
+        let mut w = 1;
+        while w <= detected.max(2) {
+            let scalar_secs = time_best(&|| {
+                let mut n = 0;
+                run_campaign_with_workers(&spec, None, Some(w), |_, _| n += 1);
+                n
+            });
+            let lane_secs = time_best(&|| {
+                let mut n = 0;
+                run_campaign_batched_with_workers(&spec, None, Some(w), |_, _| n += 1);
+                n
+            });
+            sweep.push(WorkerSweepPoint {
+                workers: w,
+                scalar: Throughput::from_secs(scalar_secs, runs, spec.steps),
+                batched: Throughput::from_secs(lane_secs, runs, spec.steps),
+            });
+            w *= 2;
+        }
+    }
 
     CampaignBenchReport {
         campaign: "quick".to_owned(),
         runs,
         steps_per_run: spec.steps,
         workers,
+        worker_source,
         reps,
         baseline: Throughput::from_secs(base_secs, runs, spec.steps),
         optimized: Throughput::from_secs(opt_secs, runs, spec.steps),
+        batched: Throughput::from_secs(batched_secs, runs, spec.steps),
         speedup: base_secs / opt_secs,
+        batched_speedup: base_secs / batched_secs,
+        batched_vs_optimized: opt_secs / batched_secs,
+        sweep,
     }
 }
 
 /// Runs the benchmark, prints a table, and writes
 /// `BENCH_campaign.json` to `out_path`.
-pub fn bench_campaign(reps: usize, out_path: &str) -> CampaignBenchReport {
-    let report = run_campaign_bench(reps);
+pub fn bench_campaign(reps: usize, out_path: &str, sweep_workers: bool) -> CampaignBenchReport {
+    let report = run_campaign_bench(reps, sweep_workers);
     let mut table = Table::new(&["path", "wall (s)", "runs/s", "steps/s"]);
     let fmt = |t: &Throughput| {
         vec![
@@ -148,16 +247,34 @@ pub fn bench_campaign(reps: usize, out_path: &str) -> CampaignBenchReport {
     };
     let mut base_row = vec!["baseline (seed-faithful)".to_owned()];
     base_row.extend(fmt(&report.baseline));
-    let mut opt_row = vec!["optimized".to_owned()];
+    let mut opt_row = vec!["optimized (scalar)".to_owned()];
     opt_row.extend(fmt(&report.optimized));
+    let mut lane_row = vec!["batched (lockstep)".to_owned()];
+    lane_row.extend(fmt(&report.batched));
     table.row(&base_row);
     table.row(&opt_row);
+    table.row(&lane_row);
     println!(
         "campaign throughput — {} runs x {} steps, {} worker(s), best of {}\n",
         report.runs, report.steps_per_run, report.workers, report.reps
     );
     println!("{}", table.render());
-    println!("speedup: {:.2}x", report.speedup);
+    println!("speedup (scalar):  {:.2}x", report.speedup);
+    println!(
+        "speedup (batched): {:.2}x vs seed, {:.2}x vs scalar",
+        report.batched_speedup, report.batched_vs_optimized
+    );
+    if !report.sweep.is_empty() {
+        let mut sweep_table = Table::new(&["workers", "scalar runs/s", "batched runs/s"]);
+        for point in &report.sweep {
+            sweep_table.row(&[
+                point.workers.to_string(),
+                format!("{:.1}", point.scalar.runs_per_sec),
+                format!("{:.1}", point.batched.runs_per_sec),
+            ]);
+        }
+        println!("\nworkers-scaling sweep\n\n{}", sweep_table.render());
+    }
     match serde_json::to_string_pretty(&report) {
         Ok(json) => {
             if let Err(e) = std::fs::write(out_path, json + "\n") {
@@ -198,13 +315,34 @@ pub fn check_speedup_guard(
             committed.speedup,
         ));
     }
+    // The batched guard only arms once a batched speedup has been
+    // committed (serde defaults the field to 0 for reports recorded
+    // before the lockstep executor existed).
+    if committed.batched_speedup > 0.0 {
+        let floor = committed.batched_speedup * min_fraction;
+        if !fresh.batched_speedup.is_finite() || fresh.batched_speedup < floor {
+            return Err(format!(
+                "batched campaign speedup regressed: fresh {:.2}x < {:.2}x \
+                 ({}% of the committed {:.2}x)",
+                fresh.batched_speedup,
+                floor,
+                (min_fraction * 100.0).round(),
+                committed.batched_speedup,
+            ));
+        }
+    }
     Ok(())
 }
 
 /// Runs [`bench_campaign`] and enforces [`check_speedup_guard`]
 /// against the report committed at `baseline_path`. Exits the process
 /// with a failure code on regression — this is the CI entry point.
-pub fn bench_campaign_guarded(reps: usize, out_path: &str, baseline_path: &str) {
+pub fn bench_campaign_guarded(
+    reps: usize,
+    out_path: &str,
+    baseline_path: &str,
+    sweep_workers: bool,
+) {
     let committed: CampaignBenchReport = match std::fs::read_to_string(baseline_path) {
         Ok(json) => match serde_json::from_str(&json) {
             Ok(report) => report,
@@ -218,13 +356,16 @@ pub fn bench_campaign_guarded(reps: usize, out_path: &str, baseline_path: &str) 
             std::process::exit(2);
         }
     };
-    let fresh = bench_campaign(reps, out_path);
+    let fresh = bench_campaign(reps, out_path, sweep_workers);
     match check_speedup_guard(&fresh, &committed, GUARD_MIN_FRACTION) {
         Ok(()) => println!(
-            "perf guard ok: {:.2}x >= {}% of committed {:.2}x",
+            "perf guard ok: scalar {:.2}x, batched {:.2}x >= {}% of committed \
+             (scalar {:.2}x, batched {:.2}x)",
             fresh.speedup,
+            fresh.batched_speedup,
             (GUARD_MIN_FRACTION * 100.0).round(),
-            committed.speedup
+            committed.speedup,
+            committed.batched_speedup
         ),
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -715,10 +856,11 @@ pub mod seed_baseline {
     pub fn run_campaign(spec: &CampaignSpec) -> Vec<SimTrace> {
         let jobs = expand(spec);
         let n = jobs.len();
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n.max(1));
+        // Worker resolution is shared with the modern executors (the
+        // seed's raw `available_parallelism().unwrap_or(1)` fallback
+        // lived here *and* at the report top — one helper now), so the
+        // reported provenance covers this executor too.
+        let workers = bench_workers().0.min(n.max(1));
         if workers <= 1 {
             return jobs.iter().map(|j| run_job(spec, j)).collect();
         }
@@ -780,7 +922,7 @@ mod tests {
     #[test]
     fn speedup_guard_thresholds() {
         let t = Throughput::from_secs(1.0, 62, 150);
-        let report = |speedup: f64| CampaignBenchReport {
+        let report = |speedup: f64, batched_speedup: f64| CampaignBenchReport {
             campaign: "quick".to_owned(),
             runs: 62,
             steps_per_run: 150,
@@ -789,25 +931,65 @@ mod tests {
             baseline: t.clone(),
             optimized: t.clone(),
             speedup,
+            batched_speedup,
+            ..CampaignBenchReport::default()
         };
-        let committed = report(3.4);
-        assert!(check_speedup_guard(&report(3.4), &committed, 0.8).is_ok());
-        assert!(check_speedup_guard(&report(2.8), &committed, 0.8).is_ok());
+        let committed = report(3.4, 6.0);
+        assert!(check_speedup_guard(&report(3.4, 6.0), &committed, 0.8).is_ok());
+        assert!(check_speedup_guard(&report(2.8, 4.9), &committed, 0.8).is_ok());
         // Below 80% of the committed value: regression.
-        assert!(check_speedup_guard(&report(2.6), &committed, 0.8).is_err());
-        assert!(check_speedup_guard(&report(f64::NAN), &committed, 0.8).is_err());
+        assert!(check_speedup_guard(&report(2.6, 6.0), &committed, 0.8).is_err());
+        assert!(check_speedup_guard(&report(f64::NAN, 6.0), &committed, 0.8).is_err());
+        // The batched speedup is guarded independently.
+        assert!(check_speedup_guard(&report(3.4, 4.7), &committed, 0.8).is_err());
+        assert!(check_speedup_guard(&report(3.4, f64::NAN), &committed, 0.8).is_err());
         // A faster run always passes.
-        assert!(check_speedup_guard(&report(5.0), &committed, 0.8).is_ok());
+        assert!(check_speedup_guard(&report(5.0, 9.0), &committed, 0.8).is_ok());
+        // Pre-batching committed reports (serde-default 0) leave the
+        // batched guard unarmed.
+        let legacy = report(3.4, 0.0);
+        assert!(check_speedup_guard(&report(3.4, 0.0), &legacy, 0.8).is_ok());
+        assert!(check_speedup_guard(&report(3.4, f64::NAN), &legacy, 0.8).is_ok());
     }
 
     #[test]
     fn bench_report_shape() {
-        let report = run_campaign_bench(1);
+        let report = run_campaign_bench(1, true);
         assert_eq!(report.runs, 62);
         assert!(report.baseline.secs > 0.0 && report.optimized.secs > 0.0);
+        assert!(report.batched.secs > 0.0);
         assert!(report.speedup > 0.0);
+        assert!(report.batched_speedup > 0.0);
+        assert!(report.batched_vs_optimized > 0.0);
+        // Sweep starts at one worker and doubles.
+        assert!(report.sweep.len() >= 2);
+        assert_eq!(report.sweep[0].workers, 1);
+        assert_eq!(report.sweep[1].workers, 2);
+        assert!(report
+            .sweep
+            .iter()
+            .all(|p| p.scalar.secs > 0.0 && p.batched.secs > 0.0));
         let json = serde_json::to_string(&report).unwrap();
         let back: CampaignBenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn legacy_bench_report_json_still_loads() {
+        // A pre-batching BENCH_campaign.json (no batched/sweep fields)
+        // must keep deserializing — the CI guard reads the committed
+        // file before overwriting it.
+        let legacy = r#"{
+            "campaign": "quick", "runs": 62, "steps_per_run": 150,
+            "workers": 1, "reps": 5,
+            "baseline": {"secs": 0.04, "runs_per_sec": 1550.0, "steps_per_sec": 232500.0},
+            "optimized": {"secs": 0.008, "runs_per_sec": 7750.0, "steps_per_sec": 1162500.0},
+            "speedup": 5.0
+        }"#;
+        let report: CampaignBenchReport = serde_json::from_str(legacy).unwrap();
+        assert_eq!(report.speedup, 5.0);
+        assert_eq!(report.batched_speedup, 0.0);
+        assert!(report.sweep.is_empty());
+        assert_eq!(report.worker_source, WorkerSource::Detected);
     }
 }

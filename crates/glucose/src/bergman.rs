@@ -20,8 +20,8 @@
 //! virtual patient a closed-form equilibrium basal rate — handy both
 //! for controller initialization and for validating the integrator.
 
-use crate::ode::Rk4Scratch;
-use crate::PatientSim;
+use crate::ode::{BatchedRk4Scratch, Rk4Scratch};
+use crate::{BatchedPatientSim, PatientSim};
 use aps_types::{MgDl, UnitsPerHour};
 use serde::{Deserialize, Serialize};
 
@@ -238,6 +238,175 @@ impl PatientSim for BergmanPatient {
     }
 }
 
+/// A lane-batched cohort of `LANES` Bergman patients stepped in
+/// lockstep.
+///
+/// State and parameters are structure-of-arrays: each ODE compartment
+/// and each identified parameter is one contiguous `[f64; LANES]` row,
+/// so the RK4 stage math and the dynamics below are plain per-lane
+/// loops the compiler autovectorizes. Per lane the arithmetic is
+/// expression-for-expression [`BergmanPatient::step`], which keeps every
+/// lane bit-identical to its scalar counterpart.
+///
+/// Lanes are loaded from already-constructed scalar patients with
+/// [`load_lane`](BatchedBergman::load_lane); all lanes must be loaded
+/// (padding lanes may duplicate a real one) before stepping.
+#[derive(Debug, Clone)]
+pub struct BatchedBergman<const LANES: usize> {
+    gezi: [f64; LANES],
+    egp: [f64; LANES],
+    si: [f64; LANES],
+    p2: [f64; LANES],
+    tau1: [f64; LANES],
+    tau2: [f64; LANES],
+    ci: [f64; LANES],
+    carb_gain: [f64; LANES],
+    tau_meal: [f64; LANES],
+    state: [[f64; LANES]; NSTATE],
+    /// Shared clock: lanes advance in lockstep, so one `t` serves all.
+    t_minutes: f64,
+    exercise_minutes_left: [f64; LANES],
+    exercise_intensity: [f64; LANES],
+    /// Reused across [`step_all`](BatchedPatientSim::step_all) calls so
+    /// the per-cycle step does not re-zero ~2 KB of stage buffers.
+    scratch: BatchedRk4Scratch<NSTATE, LANES>,
+}
+
+impl<const LANES: usize> BatchedBergman<LANES> {
+    /// Empty batch (all lanes zeroed); load every lane before stepping.
+    pub const fn new() -> BatchedBergman<LANES> {
+        BatchedBergman {
+            gezi: [0.0; LANES],
+            egp: [0.0; LANES],
+            si: [0.0; LANES],
+            p2: [0.0; LANES],
+            tau1: [0.0; LANES],
+            tau2: [0.0; LANES],
+            ci: [0.0; LANES],
+            carb_gain: [0.0; LANES],
+            tau_meal: [0.0; LANES],
+            state: [[0.0; LANES]; NSTATE],
+            t_minutes: 0.0,
+            exercise_minutes_left: [0.0; LANES],
+            exercise_intensity: [0.0; LANES],
+            scratch: BatchedRk4Scratch::new(),
+        }
+    }
+
+    /// Copies one scalar patient's parameters and full state into a
+    /// lane. Lanes advance on a shared clock, so every loaded patient
+    /// must be at the same elapsed time (freshly `reset` patients are).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= LANES` or the patient's clock disagrees with
+    /// lanes already loaded.
+    pub fn load_lane(&mut self, lane: usize, patient: &BergmanPatient) {
+        assert!(lane < LANES, "lane {lane} out of range (LANES = {LANES})");
+        assert!(
+            self.t_minutes == patient.t_minutes || self.t_minutes == 0.0,
+            "lockstep lanes must share one clock"
+        );
+        let p = &patient.params;
+        self.gezi[lane] = p.gezi;
+        self.egp[lane] = p.egp;
+        self.si[lane] = p.si;
+        self.p2[lane] = p.p2;
+        self.tau1[lane] = p.tau1;
+        self.tau2[lane] = p.tau2;
+        self.ci[lane] = p.ci;
+        self.carb_gain[lane] = p.carb_gain;
+        self.tau_meal[lane] = p.tau_meal;
+        for d in 0..NSTATE {
+            self.state[d][lane] = patient.state[d];
+        }
+        self.t_minutes = patient.t_minutes;
+        self.exercise_minutes_left[lane] = patient.exercise_minutes_left;
+        self.exercise_intensity[lane] = patient.exercise_intensity;
+    }
+}
+
+impl<const LANES: usize> Default for BatchedBergman<LANES> {
+    fn default() -> BatchedBergman<LANES> {
+        BatchedBergman::new()
+    }
+}
+
+impl<const LANES: usize> BatchedPatientSim<LANES> for BatchedBergman<LANES> {
+    fn bg(&self, lane: usize) -> MgDl {
+        MgDl(self.state[BG][lane]).clamp_physiological()
+    }
+
+    fn step_all(&mut self, rates: &[UnitsPerHour; LANES], minutes: f64) {
+        // Per-lane pre-step scalars, mirroring the scalar `step`
+        // preamble expression for expression.
+        let mut id_uu_per_min = [0.0; LANES];
+        let mut gezi = [0.0; LANES];
+        for l in 0..LANES {
+            let rate = rates[l].max_zero();
+            id_uu_per_min[l] = rate.value() * 1e6 / 60.0;
+            let active = self.exercise_minutes_left[l].min(minutes);
+            let intensity = if active > 0.0 {
+                self.exercise_intensity[l]
+            } else {
+                0.0
+            };
+            gezi[l] = self.gezi[l] * (1.0 + EXERCISE_GEZI_GAIN * intensity * (active / minutes));
+            self.exercise_minutes_left[l] = (self.exercise_minutes_left[l] - minutes).max(0.0);
+        }
+        // Borrow the parameter rows individually so the dynamics
+        // closure stays disjoint from the `&mut self.state` the
+        // integrator takes.
+        let (tau1, tau2, ci) = (&self.tau1, &self.tau2, &self.ci);
+        let (p2, si, egp) = (&self.p2, &self.si, &self.egp);
+        let (carb_gain, tau_meal) = (&self.carb_gain, &self.tau_meal);
+        let dynamics =
+            move |_t: f64, x: &[[f64; LANES]; NSTATE], d: &mut [[f64; LANES]; NSTATE]| {
+                for l in 0..LANES {
+                    let ra = carb_gain[l] * x[QGUT2][l] / tau_meal[l];
+                    d[ISC][l] = id_uu_per_min[l] / (tau1[l] * ci[l]) - x[ISC][l] / tau1[l];
+                    d[IP][l] = (x[ISC][l] - x[IP][l]) / tau2[l];
+                    d[IEFF][l] = -p2[l] * x[IEFF][l] + p2[l] * si[l] * x[IP][l];
+                    d[BG][l] = -(gezi[l] + x[IEFF][l]) * x[BG][l] + egp[l] + ra;
+                    d[QGUT1][l] = -x[QGUT1][l] / tau_meal[l];
+                    d[QGUT2][l] = (x[QGUT1][l] - x[QGUT2][l]) / tau_meal[l];
+                }
+            };
+        // Free-running lanes: a diverged lane churns NaN harmlessly
+        // (non-finite is absorbing under the RK4 update) instead of
+        // early-aborting the whole batch the way the scalar
+        // `try_integrate` does; `lane_is_finite` reports it afterward.
+        self.scratch
+            .integrate(&dynamics, self.t_minutes, &mut self.state, minutes, 1.0);
+        for l in 0..LANES {
+            // Same floor as the scalar path, applied only to finite
+            // lanes: f64::max(NaN, floor) is the floor, which would
+            // mask divergence from `lane_is_finite`.
+            let finite = self.state.iter().all(|row| row[l].is_finite());
+            if finite {
+                self.state[BG][l] = self.state[BG][l].max(10.0);
+            }
+        }
+        self.t_minutes += minutes;
+    }
+
+    fn ingest(&mut self, lane: usize, carbs_g: f64) {
+        self.state[QGUT1][lane] += carbs_g.max(0.0);
+    }
+
+    fn exert(&mut self, lane: usize, intensity: f64, duration_min: f64) {
+        // `clamp` would mask a non-finite intensity into the exercise
+        // state; scenario specs only carry finite values, assert so.
+        debug_assert!(intensity.is_finite() && duration_min.is_finite());
+        self.exercise_intensity[lane] = intensity.clamp(0.0, 1.0);
+        self.exercise_minutes_left[lane] = duration_min.max(0.0);
+    }
+
+    fn lane_is_finite(&self, lane: usize) -> bool {
+        self.state.iter().all(|row| row[lane].is_finite())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,6 +574,59 @@ mod tests {
         let p = BergmanParams::population_average();
         let max_bg = p.egp / p.gezi;
         assert_eq!(p.equilibrium_basal(MgDl(max_bg + 50.0)), UnitsPerHour(0.0));
+    }
+
+    #[test]
+    fn batched_lanes_bit_identical_to_scalar_patients() {
+        // Four parameter-varied patients driven through meals, exercise,
+        // and varied infusion rates: every lane of the batch must track
+        // its scalar twin bit-for-bit, including the BG floor.
+        const LANES: usize = 4;
+        let mut scalars: Vec<BergmanPatient> = (0..LANES)
+            .map(|l| {
+                let mut p = BergmanParams::population_average();
+                p.si *= 1.0 + 0.3 * l as f64;
+                p.gezi *= 1.0 + 0.1 * l as f64;
+                BergmanPatient::new(p)
+            })
+            .collect();
+        let mut batch = BatchedBergman::<LANES>::new();
+        for (l, pt) in scalars.iter_mut().enumerate() {
+            pt.reset(MgDl(100.0 + 20.0 * l as f64));
+            batch.load_lane(l, pt);
+        }
+        for cycle in 0..48 {
+            if cycle == 4 {
+                scalars[1].ingest(60.0);
+                batch.ingest(1, 60.0);
+            }
+            if cycle == 10 {
+                scalars[2].exert(0.8, 45.0);
+                batch.exert(2, 0.8, 45.0);
+            }
+            let mut rates = [UnitsPerHour(0.0); LANES];
+            for (l, r) in rates.iter_mut().enumerate() {
+                // Lane 3 gets an absurd overdose to exercise the floor.
+                *r = if l == 3 {
+                    UnitsPerHour(30.0)
+                } else {
+                    UnitsPerHour(0.5 + 0.2 * (l as f64) + 0.1 * (cycle % 5) as f64)
+                };
+            }
+            batch.step_all(&rates, 5.0);
+            for (l, pt) in scalars.iter_mut().enumerate() {
+                pt.step(rates[l], 5.0);
+                assert_eq!(
+                    BatchedPatientSim::bg(&batch, l).value(),
+                    pt.bg().value(),
+                    "lane {l} diverged at cycle {cycle}"
+                );
+                for d in 0..NSTATE {
+                    assert_eq!(batch.state[d][l], pt.state[d], "lane {l} comp {d}");
+                }
+                assert!(batch.lane_is_finite(l));
+            }
+        }
     }
 
     #[test]

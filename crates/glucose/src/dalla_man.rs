@@ -15,8 +15,8 @@
 //! `Ip, Il` in pmol/kg; concentrations `I, I1, Id, Ib` in pmol/L;
 //! infusion in pmol/kg/min (1 U/h = 100 pmol/min spread over `BW` kg).
 
-use crate::ode::Rk4Scratch;
-use crate::PatientSim;
+use crate::ode::{BatchedRk4Scratch, Rk4Scratch};
+use crate::{BatchedPatientSim, PatientSim};
 use aps_types::{MgDl, UnitsPerHour};
 use serde::{Deserialize, Serialize};
 
@@ -365,6 +365,266 @@ impl PatientSim for DallaManPatient {
     }
 }
 
+/// Structure-of-arrays parameter bank for a Dalla Man lane batch: one
+/// contiguous `[f64; LANES]` row per identified parameter, plus the
+/// per-lane basal insulin reference `ib`.
+#[derive(Debug, Clone)]
+struct DallaManParamLanes<const LANES: usize> {
+    bw: [f64; LANES],
+    vg: [f64; LANES],
+    k1: [f64; LANES],
+    k2: [f64; LANES],
+    kp1: [f64; LANES],
+    kp2: [f64; LANES],
+    kp3: [f64; LANES],
+    ki: [f64; LANES],
+    fsnc: [f64; LANES],
+    vm0: [f64; LANES],
+    vmx: [f64; LANES],
+    km0: [f64; LANES],
+    p2u: [f64; LANES],
+    ke1: [f64; LANES],
+    ke2: [f64; LANES],
+    kd: [f64; LANES],
+    ka1: [f64; LANES],
+    ka2: [f64; LANES],
+    m1: [f64; LANES],
+    m2: [f64; LANES],
+    m3: [f64; LANES],
+    m4: [f64; LANES],
+    vi: [f64; LANES],
+    kempt: [f64; LANES],
+    kabs: [f64; LANES],
+    f: [f64; LANES],
+    tau_cgm: [f64; LANES],
+    ib: [f64; LANES],
+}
+
+impl<const LANES: usize> DallaManParamLanes<LANES> {
+    const fn zeroed() -> DallaManParamLanes<LANES> {
+        DallaManParamLanes {
+            bw: [0.0; LANES],
+            vg: [0.0; LANES],
+            k1: [0.0; LANES],
+            k2: [0.0; LANES],
+            kp1: [0.0; LANES],
+            kp2: [0.0; LANES],
+            kp3: [0.0; LANES],
+            ki: [0.0; LANES],
+            fsnc: [0.0; LANES],
+            vm0: [0.0; LANES],
+            vmx: [0.0; LANES],
+            km0: [0.0; LANES],
+            p2u: [0.0; LANES],
+            ke1: [0.0; LANES],
+            ke2: [0.0; LANES],
+            kd: [0.0; LANES],
+            ka1: [0.0; LANES],
+            ka2: [0.0; LANES],
+            m1: [0.0; LANES],
+            m2: [0.0; LANES],
+            m3: [0.0; LANES],
+            m4: [0.0; LANES],
+            vi: [0.0; LANES],
+            kempt: [0.0; LANES],
+            kabs: [0.0; LANES],
+            f: [0.0; LANES],
+            tau_cgm: [0.0; LANES],
+            ib: [0.0; LANES],
+        }
+    }
+}
+
+/// A lane-batched cohort of `LANES` Dalla Man patients stepped in
+/// lockstep; the Dalla Man sibling of
+/// [`BatchedBergman`](crate::bergman::BatchedBergman).
+///
+/// Per lane the arithmetic is expression-for-expression
+/// [`DallaManPatient::step`] — including the clamped EGP and uptake
+/// terms and the physiological floors — which keeps every lane
+/// bit-identical to its scalar counterpart. Lanes are loaded from
+/// already-constructed scalar patients with
+/// [`load_lane`](BatchedDallaMan::load_lane).
+#[derive(Debug, Clone)]
+pub struct BatchedDallaMan<const LANES: usize> {
+    p: DallaManParamLanes<LANES>,
+    state: [[f64; LANES]; NSTATE],
+    /// Shared clock: lanes advance in lockstep, so one `t` serves all.
+    t_minutes: f64,
+    exercise_minutes_left: [f64; LANES],
+    exercise_intensity: [f64; LANES],
+    /// Reused across [`step_all`](BatchedPatientSim::step_all) calls so
+    /// the per-cycle step does not re-zero ~4 KB of stage buffers.
+    scratch: BatchedRk4Scratch<NSTATE, LANES>,
+}
+
+impl<const LANES: usize> BatchedDallaMan<LANES> {
+    /// Empty batch (all lanes zeroed); load every lane before stepping.
+    pub const fn new() -> BatchedDallaMan<LANES> {
+        BatchedDallaMan {
+            p: DallaManParamLanes::zeroed(),
+            state: [[0.0; LANES]; NSTATE],
+            t_minutes: 0.0,
+            exercise_minutes_left: [0.0; LANES],
+            exercise_intensity: [0.0; LANES],
+            scratch: BatchedRk4Scratch::new(),
+        }
+    }
+
+    /// Copies one scalar patient's parameters, basal reference, and
+    /// full state into a lane. Lanes advance on a shared clock, so
+    /// every loaded patient must be at the same elapsed time (freshly
+    /// `reset` patients are).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= LANES` or the patient's clock disagrees with
+    /// lanes already loaded.
+    pub fn load_lane(&mut self, lane: usize, patient: &DallaManPatient) {
+        assert!(lane < LANES, "lane {lane} out of range (LANES = {LANES})");
+        assert!(
+            self.t_minutes == patient.t_minutes || self.t_minutes == 0.0,
+            "lockstep lanes must share one clock"
+        );
+        let p = &patient.params;
+        self.p.bw[lane] = p.bw;
+        self.p.vg[lane] = p.vg;
+        self.p.k1[lane] = p.k1;
+        self.p.k2[lane] = p.k2;
+        self.p.kp1[lane] = p.kp1;
+        self.p.kp2[lane] = p.kp2;
+        self.p.kp3[lane] = p.kp3;
+        self.p.ki[lane] = p.ki;
+        self.p.fsnc[lane] = p.fsnc;
+        self.p.vm0[lane] = p.vm0;
+        self.p.vmx[lane] = p.vmx;
+        self.p.km0[lane] = p.km0;
+        self.p.p2u[lane] = p.p2u;
+        self.p.ke1[lane] = p.ke1;
+        self.p.ke2[lane] = p.ke2;
+        self.p.kd[lane] = p.kd;
+        self.p.ka1[lane] = p.ka1;
+        self.p.ka2[lane] = p.ka2;
+        self.p.m1[lane] = p.m1;
+        self.p.m2[lane] = p.m2;
+        self.p.m3[lane] = p.m3;
+        self.p.m4[lane] = p.m4;
+        self.p.vi[lane] = p.vi;
+        self.p.kempt[lane] = p.kempt;
+        self.p.kabs[lane] = p.kabs;
+        self.p.f[lane] = p.f;
+        self.p.tau_cgm[lane] = p.tau_cgm;
+        self.p.ib[lane] = patient.ib;
+        for d in 0..NSTATE {
+            self.state[d][lane] = patient.state[d];
+        }
+        self.t_minutes = patient.t_minutes;
+        self.exercise_minutes_left[lane] = patient.exercise_minutes_left;
+        self.exercise_intensity[lane] = patient.exercise_intensity;
+    }
+}
+
+impl<const LANES: usize> Default for BatchedDallaMan<LANES> {
+    fn default() -> BatchedDallaMan<LANES> {
+        BatchedDallaMan::new()
+    }
+}
+
+impl<const LANES: usize> BatchedPatientSim<LANES> for BatchedDallaMan<LANES> {
+    fn bg(&self, lane: usize) -> MgDl {
+        MgDl(self.state[GS][lane]).clamp_physiological()
+    }
+
+    fn step_all(&mut self, rates: &[UnitsPerHour; LANES], minutes: f64) {
+        // Per-lane pre-step scalars, mirroring the scalar `step`
+        // preamble expression for expression.
+        let mut iir = [0.0; LANES];
+        let mut uptake_scale = [0.0; LANES];
+        for l in 0..LANES {
+            let rate = rates[l].max_zero();
+            iir[l] = rate.value() * 6000.0 / 60.0 / self.p.bw[l];
+            let active = self.exercise_minutes_left[l].min(minutes);
+            let intensity = if active > 0.0 {
+                self.exercise_intensity[l]
+            } else {
+                0.0
+            };
+            uptake_scale[l] = 1.0 + EXERCISE_UPTAKE_GAIN * intensity * (active / minutes);
+            self.exercise_minutes_left[l] = (self.exercise_minutes_left[l] - minutes).max(0.0);
+        }
+        // Borrow the parameter bank as one disjoint field so the
+        // closure does not conflict with `&mut self.state`.
+        let p = &self.p;
+        let dynamics =
+            move |_t: f64, x: &[[f64; LANES]; NSTATE], d: &mut [[f64; LANES]; NSTATE]| {
+                for l in 0..LANES {
+                    let g = x[GP][l] / p.vg[l];
+                    let i_conc = x[IP][l] / p.vi[l];
+                    let egp = (p.kp1[l] - p.kp2[l] * x[GP][l] - p.kp3[l] * x[ID][l]).max(0.0);
+                    let ra = p.f[l] * p.kabs[l] * x[QGUT][l] / p.bw[l];
+                    let vm = (p.vm0[l] + p.vmx[l] * x[X][l]).max(0.0) * uptake_scale[l];
+                    let uid = vm * x[GT][l] / (p.km0[l] + x[GT][l]);
+                    let e = if x[GP][l] > p.ke2[l] {
+                        p.ke1[l] * (x[GP][l] - p.ke2[l])
+                    } else {
+                        0.0
+                    };
+
+                    d[GP][l] = egp + ra - p.fsnc[l] - e - p.k1[l] * x[GP][l] + p.k2[l] * x[GT][l];
+                    d[GT][l] = -uid + p.k1[l] * x[GP][l] - p.k2[l] * x[GT][l];
+                    d[IP][l] = -(p.m2[l] + p.m4[l]) * x[IP][l]
+                        + p.m1[l] * x[IL][l]
+                        + p.ka1[l] * x[ISC1][l]
+                        + p.ka2[l] * x[ISC2][l];
+                    d[IL][l] = -(p.m1[l] + p.m3[l]) * x[IL][l] + p.m2[l] * x[IP][l];
+                    d[I1][l] = -p.ki[l] * (x[I1][l] - i_conc);
+                    d[ID][l] = -p.ki[l] * (x[ID][l] - x[I1][l]);
+                    d[X][l] = -p.p2u[l] * x[X][l] + p.p2u[l] * (i_conc - p.ib[l]);
+                    d[ISC1][l] = -(p.kd[l] + p.ka1[l]) * x[ISC1][l] + iir[l];
+                    d[ISC2][l] = p.kd[l] * x[ISC1][l] - p.ka2[l] * x[ISC2][l];
+                    d[QSTO1][l] = -p.kempt[l] * x[QSTO1][l];
+                    d[QSTO2][l] = p.kempt[l] * x[QSTO1][l] - p.kempt[l] * x[QSTO2][l];
+                    d[QGUT][l] = p.kempt[l] * x[QSTO2][l] - p.kabs[l] * x[QGUT][l];
+                    d[GS][l] = (g - x[GS][l]) / p.tau_cgm[l];
+                }
+            };
+        // Free-running lanes: a diverged lane churns NaN harmlessly
+        // (non-finite is absorbing under the RK4 update) instead of
+        // early-aborting the whole batch the way the scalar
+        // `try_integrate` does; `lane_is_finite` reports it afterward.
+        self.scratch
+            .integrate(&dynamics, self.t_minutes, &mut self.state, minutes, 1.0);
+        for l in 0..LANES {
+            // Same floors as the scalar path, applied only to finite
+            // lanes: f64::max(NaN, floor) is the floor, which would
+            // mask divergence from `lane_is_finite`.
+            let finite = self.state.iter().all(|row| row[l].is_finite());
+            if finite {
+                self.state[GP][l] = self.state[GP][l].max(10.0 * self.p.vg[l]);
+                self.state[GT][l] = self.state[GT][l].max(0.0);
+                self.state[GS][l] = self.state[GS][l].max(10.0);
+            }
+        }
+        self.t_minutes += minutes;
+    }
+
+    fn ingest(&mut self, lane: usize, carbs_g: f64) {
+        self.state[QSTO1][lane] += (carbs_g * 1000.0).max(0.0); // grams -> mg
+    }
+
+    fn exert(&mut self, lane: usize, intensity: f64, duration_min: f64) {
+        // `clamp` would mask a non-finite intensity into the exercise
+        // state; scenario specs only carry finite values, assert so.
+        debug_assert!(intensity.is_finite() && duration_min.is_finite());
+        self.exercise_intensity[lane] = intensity.clamp(0.0, 1.0);
+        self.exercise_minutes_left[lane] = duration_min.max(0.0);
+    }
+
+    fn lane_is_finite(&self, lane: usize) -> bool {
+        self.state.iter().all(|row| row[lane].is_finite())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,6 +735,57 @@ mod tests {
         a.reset(MgDl(150.0));
         b.reset(MgDl(150.0));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_lanes_bit_identical_to_scalar_patients() {
+        // Parameter-varied patients through meals, exercise, suspension,
+        // and an overdose lane: every lane must track its scalar twin
+        // bit-for-bit, including the EGP/uptake clamps and floors.
+        const LANES: usize = 4;
+        let mut scalars: Vec<DallaManPatient> = (0..LANES)
+            .map(|l| {
+                let mut p = DallaManParams::average_adult();
+                p.vmx *= 1.0 + 0.2 * l as f64;
+                p.bw += 5.0 * l as f64;
+                DallaManPatient::new(p)
+            })
+            .collect();
+        let mut batch = BatchedDallaMan::<LANES>::new();
+        for (l, pt) in scalars.iter_mut().enumerate() {
+            pt.reset(MgDl(100.0 + 15.0 * l as f64));
+            batch.load_lane(l, pt);
+        }
+        for cycle in 0..48 {
+            if cycle == 3 {
+                scalars[0].ingest(75.0);
+                batch.ingest(0, 75.0);
+            }
+            if cycle == 8 {
+                scalars[1].exert(0.6, 30.0);
+                batch.exert(1, 0.6, 30.0);
+            }
+            let mut rates = [UnitsPerHour(0.0); LANES];
+            for (l, r) in rates.iter_mut().enumerate() {
+                *r = match l {
+                    2 => UnitsPerHour(0.0),  // suspension
+                    3 => UnitsPerHour(40.0), // overdose, exercises floors
+                    _ => UnitsPerHour(1.0 + 0.1 * (cycle % 7) as f64),
+                };
+            }
+            batch.step_all(&rates, 5.0);
+            for (l, pt) in scalars.iter_mut().enumerate() {
+                pt.step(rates[l], 5.0);
+                assert_eq!(
+                    BatchedPatientSim::bg(&batch, l).value(),
+                    pt.bg().value(),
+                    "lane {l} diverged at cycle {cycle}"
+                );
+                for d in 0..NSTATE {
+                    assert_eq!(batch.state[d][l], pt.state[d], "lane {l} comp {d}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -77,8 +77,20 @@ impl IobCurve {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IobEstimator {
     curve: IobCurve,
-    /// (age_minutes, amount) pairs, newest last.
-    deliveries: VecDeque<(f64, f64)>,
+    /// (birth_cycle, amount_units) pairs, newest last. Each entry
+    /// remembers the [`now`](#structfield.now) tick at which it was
+    /// recorded; its age in cycles is `now - birth_cycle`. Keeping ages
+    /// implicit makes [`record`](IobEstimator::record) O(1) outside the
+    /// window sum (no per-entry aging pass), and keeping them as
+    /// *integer cycle counts* means an integer index addresses the
+    /// memoized activity table directly — no per-entry float division
+    /// or grid-alignment check in the window sum, which runs once per
+    /// control cycle and used to dominate the campaign's non-physics
+    /// time.
+    deliveries: VecDeque<(u32, f64)>,
+    /// Monotone cycle counter; advanced once per
+    /// [`record`](IobEstimator::record).
+    now: u32,
     /// Basal-equilibrium IOB subtracted so that "IOB" means insulin
     /// *above* the steady basal background (0 disables).
     baseline: f64,
@@ -89,8 +101,7 @@ pub struct IobEstimator {
     /// age is an exact multiple of the cycle length, so the window sum
     /// never needs to re-evaluate the (expensive, `exp`-heavy) curve —
     /// the table value at index `k` is the identical `f64` the direct
-    /// call would produce. Rebuilt lazily; skipped entirely for
-    /// off-grid ages (which only arise in hand-driven tests).
+    /// call would produce.
     #[serde(default)]
     remaining_table: Vec<f64>,
 }
@@ -103,6 +114,7 @@ impl IobEstimator {
         let mut est = IobEstimator {
             curve,
             deliveries: VecDeque::new(),
+            now: 0,
             baseline: 0.0,
             last_iob: None,
             last_diob: 0.0,
@@ -122,34 +134,28 @@ impl IobEstimator {
             .collect();
     }
 
-    /// Remaining fraction at `age`, via the grid table when the age is
-    /// exactly on-grid (the steady-state case), else computed directly.
+    /// Remaining fraction at an age of `k` whole cycles: a direct table
+    /// index (the steady-state case), falling back to the curve for
+    /// ages past the table (only reachable with a hand-built table).
     #[inline]
-    fn remaining_at(&self, age: f64) -> f64 {
-        let k = age / self.cycle_minutes;
-        let idx = k as usize;
-        if k.fract() == 0.0 {
-            if let Some(&r) = self.remaining_table.get(idx) {
-                return r;
-            }
+    fn remaining_at_cycles(&self, k: u32) -> f64 {
+        match self.remaining_table.get(k as usize) {
+            Some(&r) => r,
+            None => self.curve.remaining(k as f64 * self.cycle_minutes),
         }
-        self.curve.remaining(age)
     }
 
     /// Sets the basal-equilibrium baseline to subtract: the IOB that a
     /// constant `basal` infusion sustains forever.
     pub fn set_basal_baseline(&mut self, basal: UnitsPerHour) {
         // Steady-state IOB of a constant rate = rate * integral of the
-        // remaining fraction; integrate numerically at 1-min resolution.
+        // remaining fraction (numerically at 1-min resolution). The
+        // integral depends only on the curve, and every controller
+        // construction used to pay the full ~500-term `exp` sum — a
+        // visible slice of campaign job setup — so it is computed once
+        // per distinct curve and cached process-wide.
         let per_min = basal.value() / 60.0;
-        let horizon = self.curve.horizon_minutes();
-        let mut sum = 0.0;
-        let mut t = 0.0;
-        while t < horizon {
-            sum += self.curve.remaining(t);
-            t += 1.0;
-        }
-        self.baseline = per_min * sum;
+        self.baseline = per_min * basal_remaining_integral(&self.curve);
         // Keep the cached estimate consistent with the new baseline.
         if self.last_iob.is_some() {
             self.last_iob = Some(self.raw_iob());
@@ -162,13 +168,11 @@ impl IobEstimator {
             .max_zero()
             .over_minutes(self.cycle_minutes)
             .value();
-        for entry in &mut self.deliveries {
-            entry.0 += self.cycle_minutes;
-        }
-        self.deliveries.push_back((0.0, amount));
+        self.now += 1;
+        self.deliveries.push_back((self.now, amount));
         let horizon = self.curve.horizon_minutes();
-        while let Some(&(age, _)) = self.deliveries.front() {
-            if age > horizon {
+        while let Some(&(birth, _)) = self.deliveries.front() {
+            if f64::from(self.now - birth) * self.cycle_minutes > horizon {
                 self.deliveries.pop_front();
             } else {
                 break;
@@ -185,7 +189,7 @@ impl IobEstimator {
         let total: f64 = self
             .deliveries
             .iter()
-            .map(|&(age, amount)| amount * self.remaining_at(age))
+            .map(|&(birth, amount)| amount * self.remaining_at_cycles(self.now - birth))
             .sum();
         total - self.baseline
     }
@@ -215,6 +219,7 @@ impl IobEstimator {
     /// Forgets all history (new simulation).
     pub fn reset(&mut self) {
         self.deliveries.clear();
+        self.now = 0;
         self.last_iob = None;
         self.last_diob = 0.0;
     }
@@ -224,15 +229,47 @@ impl IobEstimator {
     pub fn prefill_basal(&mut self, basal: UnitsPerHour) {
         self.reset();
         let horizon = self.curve.horizon_minutes();
-        let steps = (horizon / self.cycle_minutes).ceil() as usize;
+        let steps = (horizon / self.cycle_minutes).ceil() as u32;
         let amount = basal.max_zero().over_minutes(self.cycle_minutes).value();
+        // Oldest first: ages `steps * cycle` down to `1 * cycle`
+        // (expressed as birth ticks relative to `now = steps`).
+        self.now = steps;
         for k in (1..=steps).rev() {
-            self.deliveries
-                .push_back((k as f64 * self.cycle_minutes, amount));
+            self.deliveries.push_back((steps - k, amount));
         }
         self.last_iob = Some(self.raw_iob());
         self.last_diob = 0.0;
     }
+}
+
+/// Process-wide cache of `Σ curve.remaining(t)` over the 1-min grid
+/// `t = 0, 1, .. < horizon` — the basal-equilibrium integral used by
+/// [`IobEstimator::set_basal_baseline`]. A linear scan over a tiny Vec:
+/// real campaigns use one or two distinct curves, and `IobCurve` is
+/// `Copy + PartialEq`, so exact-match lookup is both cheap and — by
+/// reusing the identical cached `f64` — bit-identical to recomputing.
+fn basal_remaining_integral(curve: &IobCurve) -> f64 {
+    use std::sync::Mutex;
+    static CACHE: Mutex<Vec<(IobCurve, f64)>> = Mutex::new(Vec::new());
+    let mut cache = match CACHE.lock() {
+        Ok(guard) => guard,
+        // sound: a poisoned lock only means another thread panicked
+        // mid-push; the Vec is append-only and every stored pair is
+        // complete, so the data is still valid.
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(&(_, sum)) = cache.iter().find(|(c, _)| c == curve) {
+        return sum;
+    }
+    let horizon = curve.horizon_minutes();
+    let mut sum = 0.0;
+    let mut t = 0.0;
+    while t < horizon {
+        sum += curve.remaining(t);
+        t += 1.0;
+    }
+    cache.push((*curve, sum));
+    sum
 }
 
 #[cfg(test)]

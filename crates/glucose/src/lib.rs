@@ -97,3 +97,39 @@ pub trait PatientSim: Send {
 
 /// Boxed patient, the form the simulation harness passes around.
 pub type BoxedPatient = Box<dyn PatientSim>;
+
+/// A lane-batched cohort of `LANES` virtual patients of one model,
+/// advanced in lockstep through a single instruction stream.
+///
+/// Implementations keep state as structure-of-arrays (`[f64; LANES]`
+/// per compartment) and step all lanes with one
+/// [`ode::BatchedRk4Scratch`] pass. Lanes are arithmetically
+/// independent — no horizontal reductions — so each lane's trajectory
+/// is bit-identical to stepping the corresponding scalar [`PatientSim`]
+/// alone. Per-lane mutators (`ingest`, `exert`) mirror the scalar trait
+/// so the closed-loop harness can drive individual lanes between
+/// lockstep physics steps.
+///
+/// A lane that diverges (NaN/±∞) keeps free-running — non-finite values
+/// are absorbing under the RK4 update, so divergence is detected with
+/// [`lane_is_finite`](BatchedPatientSim::lane_is_finite) after each
+/// step without coupling lanes.
+pub trait BatchedPatientSim<const LANES: usize>: Send {
+    /// Current blood glucose of one lane, as observable by a CGM.
+    fn bg(&self, lane: usize) -> MgDl;
+
+    /// Advances every lane by `minutes`, lane `l` infusing at
+    /// `rates[l]`.
+    fn step_all(&mut self, rates: &[UnitsPerHour; LANES], minutes: f64);
+
+    /// Adds a meal to one lane's gut absorption model.
+    fn ingest(&mut self, lane: usize, carbs_g: f64);
+
+    /// Starts an exercise bout on one lane (see [`PatientSim::exert`]).
+    fn exert(&mut self, lane: usize, intensity: f64, duration_min: f64);
+
+    /// Whether every state component of one lane is finite (see
+    /// [`PatientSim::state_is_finite`] for why `bg` alone is not
+    /// enough).
+    fn lane_is_finite(&self, lane: usize) -> bool;
+}

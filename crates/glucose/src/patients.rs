@@ -12,7 +12,7 @@
 
 use crate::bergman::{BergmanParams, BergmanPatient};
 use crate::dalla_man::{DallaManParams, DallaManPatient};
-use crate::BoxedPatient;
+use crate::{BoxedPatient, PatientSim};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -75,7 +75,7 @@ pub fn t1ds_params() -> Vec<DallaManParams> {
         .collect()
 }
 
-/// The Glucosym cohort as boxed [`PatientSim`](crate::PatientSim)s.
+/// The Glucosym cohort as boxed [`PatientSim`]s.
 pub fn glucosym_cohort() -> Vec<BoxedPatient> {
     glucosym_params()
         .into_iter()
@@ -88,6 +88,60 @@ pub fn t1ds_cohort() -> Vec<BoxedPatient> {
     t1ds_params()
         .into_iter()
         .map(|p| Box::new(DallaManPatient::new(p)) as BoxedPatient)
+        .collect()
+}
+
+/// A concretely typed cohort member.
+///
+/// `dyn PatientSim` deliberately erases the model, but the batched
+/// lockstep engine needs the concrete type to load a patient into the
+/// matching structure-of-arrays bank
+/// ([`BatchedBergman`](crate::bergman::BatchedBergman) /
+/// [`BatchedDallaMan`](crate::dalla_man::BatchedDallaMan)). This enum is
+/// the non-erased form of the same cohort members.
+// Not boxing the larger variant: a campaign materializes one of these
+// per job and steps it in place; the size skew is a few hundred stack
+// bytes, while a Box would put a pointer-chase in the scalar hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum CohortPatient {
+    /// A Glucosym-style Bergman/GIM patient.
+    Bergman(BergmanPatient),
+    /// A UVA-Padova-style Dalla Man patient.
+    DallaMan(DallaManPatient),
+}
+
+impl CohortPatient {
+    /// The patient as the erased trait object the scalar harness uses.
+    pub fn as_dyn(&self) -> &dyn PatientSim {
+        match self {
+            CohortPatient::Bergman(p) => p,
+            CohortPatient::DallaMan(p) => p,
+        }
+    }
+
+    /// Mutable erased form (reset, scalar stepping).
+    pub fn as_dyn_mut(&mut self) -> &mut dyn PatientSim {
+        match self {
+            CohortPatient::Bergman(p) => p,
+            CohortPatient::DallaMan(p) => p,
+        }
+    }
+}
+
+/// [`glucosym_cohort`] without type erasure.
+pub fn glucosym_cohort_concrete() -> Vec<CohortPatient> {
+    glucosym_params()
+        .into_iter()
+        .map(|p| CohortPatient::Bergman(BergmanPatient::new(p)))
+        .collect()
+}
+
+/// [`t1ds_cohort`] without type erasure.
+pub fn t1ds_cohort_concrete() -> Vec<CohortPatient> {
+    t1ds_params()
+        .into_iter()
+        .map(|p| CohortPatient::DallaMan(DallaManPatient::new(p)))
         .collect()
 }
 

@@ -833,6 +833,20 @@ pub fn run_campaign_serial(
 pub fn run_campaign_with(
     spec: &CampaignSpec,
     monitor_factory: Option<&MonitorFactory<'_>>,
+    sink: impl FnMut(usize, SimTrace),
+) {
+    run_campaign_with_workers(spec, monitor_factory, None, sink);
+}
+
+/// [`run_campaign_with`] with an explicit worker-count override
+/// (`None` = `APS_WORKERS` env, then detection — the default
+/// resolution). The workers-scaling sweep of `repro bench-campaign
+/// --sweep-workers` drives this directly so each sweep point runs at a
+/// pinned worker count.
+pub fn run_campaign_with_workers(
+    spec: &CampaignSpec,
+    monitor_factory: Option<&MonitorFactory<'_>>,
+    workers: Option<usize>,
     mut sink: impl FnMut(usize, SimTrace),
 ) {
     let jobs = expand(spec);
@@ -840,7 +854,7 @@ pub fn run_campaign_with(
     // `worker_count` (not raw `available_parallelism().unwrap_or(1)`)
     // so the `APS_WORKERS` override applies to the legacy path too and
     // detection failure is a deliberate, clamped fallback.
-    let workers = worker_count(None).0.min(n.max(1));
+    let workers = worker_count(workers).0.min(n.max(1));
     if workers <= 1 {
         for (i, job) in jobs.iter().enumerate() {
             sink(i, run_job(spec, job, monitor_factory));

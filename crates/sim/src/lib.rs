@@ -14,6 +14,11 @@
 //!   same engine, one optional monitor;
 //! * [`platform::Platform`] — the two evaluation platforms (OpenAPS +
 //!   Glucosym-style, Basal-Bolus + UVA-Padova-style);
+//! * [`batch`] — the batched lockstep campaign engine: blocks of
+//!   [`batch::BATCH_LANES`] jobs share one structure-of-arrays
+//!   physics bank ([`batch::run_block`]) and workers claim whole
+//!   blocks ([`batch::run_campaign_batched_with`]), bit-identical to
+//!   the scalar executors;
 //! * [`campaign`] — the fault-injection campaign runner (grid of
 //!   patients × initial BG × scenarios, multi-threaded), with
 //!   streaming sinks ([`campaign::run_campaign_with`]), a pull-based
@@ -41,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod campaign;
 pub mod chaos;
 pub mod checkpoint;

@@ -45,6 +45,19 @@ impl Platform {
         (index < cohort.len()).then(|| cohort.swap_remove(index))
     }
 
+    /// One cohort member by index without type erasure — the form the
+    /// batched lockstep engine needs to load a lane into the matching
+    /// structure-of-arrays bank. Indexing matches
+    /// [`patients`](Platform::patients) order (the order campaign jobs
+    /// reference by `patient_idx`).
+    pub fn concrete_patient(&self, index: usize) -> Option<patients::CohortPatient> {
+        let mut cohort = match self {
+            Platform::GlucosymOref0 => patients::glucosym_cohort_concrete(),
+            Platform::T1dsBasalBolus => patients::t1ds_cohort_concrete(),
+        };
+        (index < cohort.len()).then(|| cohort.swap_remove(index))
+    }
+
     /// Cohort size (every platform ships ten virtual patients).
     pub fn cohort_size(&self) -> usize {
         self.patients().len()

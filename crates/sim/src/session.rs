@@ -523,7 +523,9 @@ impl fmt::Debug for Session<'_> {
 }
 
 /// Where the scenario's target variable sits in the control loop.
-enum FaultRoute {
+/// Shared with the batched lockstep engine ([`crate::batch`]), which
+/// resolves each lane's route exactly like the scalar engine does.
+pub(crate) enum FaultRoute {
     /// Actuator command, perturbed after the controller decision.
     Rate,
     /// CGM input, perturbed before the decision.

@@ -71,15 +71,49 @@
 //! patient ODE and a monitor 150 times. The campaign hot path is
 //! engineered accordingly:
 //!
+//! * **Batched lockstep stepping (SoA lanes)** — the campaign inner
+//!   loop ([`sim::batch::run_campaign_batched`]) claims *blocks* of
+//!   [`sim::batch::BATCH_LANES`] = 8 scenario jobs and steps them in
+//!   lockstep through structure-of-arrays compartment banks
+//!   (`BatchedBergman` / `BatchedDallaMan`: one `[f64; LANES]` row per
+//!   ODE compartment) integrated by a single
+//!   [`glucose::ode::BatchedRk4Scratch`] pass whose stage math is
+//!   per-lane loops over flat arrays. Three properties make the lanes
+//!   autovectorize *and* stay bit-identical to the scalar engine:
+//!   (1) lanes are arithmetically independent — no horizontal
+//!   reductions, so lane `l` of a batch op is exactly the scalar op on
+//!   lane `l`'s data; (2) every per-lane expression mirrors its scalar
+//!   counterpart expression for expression, and IEEE-754 `f64`
+//!   arithmetic is deterministic per operation (rustc neither
+//!   reassociates nor contracts `a * b + c` into FMA, even with AVX2
+//!   enabled via `.cargo/config.toml`'s `target-cpu=x86-64-v3`); (3)
+//!   sensor, pump, and controller per-cycle updates have batched
+//!   bank variants that loop the identical scalar update per lane.
+//!   8 lanes = two AVX2 (or one AVX-512) f64 vectors per compartment
+//!   row — wide enough to saturate 256-bit units, small enough that a
+//!   ragged final block wastes at most 7 lanes. Bit-identity against
+//!   [`sim::campaign::run_campaign_serial`] across both patient
+//!   models, the full fault alphabet, and ragged tails is pinned by
+//!   `tests/batched_equivalence.rs`; a lane that diverges to NaN
+//!   free-runs harmlessly (non-finite is absorbing under RK4) and
+//!   surfaces as that job's typed `NonFinite` error without poisoning
+//!   its lane-mates.
 //! * **Allocation-free integration** — the patient models integrate
 //!   with a const-generic stack scratch
 //!   ([`glucose::ode::Rk4Scratch`]); no heap allocation occurs inside
-//!   the per-step RK4 loop. The slice-based `rk4_step`/`integrate`
-//!   API survives as thin wrappers with bit-identical results (see
-//!   `tests/perf_equivalence.rs`).
-//! * **O(1) IOB reads** — the insulin-on-board estimator caches its
-//!   window sum and memoizes the activity curve on the cycle grid
-//!   instead of re-evaluating ~100 `exp` calls per read.
+//!   the per-step RK4 loop, and the batched banks reuse one
+//!   [`glucose::ode::BatchedRk4Scratch`] across steps. The slice-based
+//!   `rk4_step`/`integrate` API survives as thin wrappers with
+//!   bit-identical results (see `tests/perf_equivalence.rs`).
+//! * **O(1) IOB reads, O(window) only on record** — the
+//!   insulin-on-board estimator stores deliveries as (birth-cycle,
+//!   amount) pairs: ages are integer cycle counts that index a
+//!   memoized activity table directly (no per-entry float division or
+//!   `exp`), aging is a counter bump instead of a per-entry pass, and
+//!   the basal-equilibrium integral behind
+//!   [`glucose::iob::IobEstimator::set_basal_baseline`] is cached
+//!   process-wide per curve (it used to dominate controller
+//!   construction at ~500 `exp` calls per job).
 //! * **Lock-free streaming campaign executor** —
 //!   [`sim::campaign::run_campaign_with`] claims jobs from an atomic
 //!   counter and drains workers through an ordered reorder buffer
@@ -110,20 +144,26 @@
 //!   `decide`.
 //!
 //! The measured baseline lives in `BENCH_campaign.json` (quick
-//! campaign: 62 runs × 150 steps; seed-faithful hot path vs current —
-//! ≈3.4× on one core at PR 1, ≈4.8× at PR 2 after the risk-labeling
-//! and basal–bolus rework). Regenerate it with:
+//! campaign: 62 runs × 150 steps, one core; seed-faithful hot path vs
+//! current — ≈3.4× at PR 1, ≈4.8× at PR 2, and at PR 8 ≈10× for the
+//! scalar path and ≈15.3× for the batched engine, i.e. batched ≈1.55×
+//! over the optimized scalar path). The report also records a
+//! workers-scaling sweep (scalar and batched throughput at 1/2/4/…
+//! pinned workers). Regenerate it with:
 //!
 //! ```text
-//! cargo run --release -p aps-bench --bin repro -- bench-campaign
+//! cargo run --release -p aps-bench --bin repro -- \
+//!     bench-campaign --sweep-workers
 //! ```
 //!
 //! CI re-measures this every run and **fails below 80% of the
-//! committed speedup** (`bench-campaign --guard <committed.json>`).
-//! Compare executors microscopically with:
+//! committed scalar *or* batched speedup** (`bench-campaign
+//! --sweep-workers --guard <committed.json>`). Compare executors and
+//! steppers microscopically with:
 //!
 //! ```text
 //! cargo bench -p aps-bench --bench campaign_throughput
+//! cargo bench -p aps-bench --bench batched_stepper
 //! ```
 //!
 //! # Failure semantics
@@ -327,6 +367,9 @@ pub mod prelude {
         ForecastConfig, ForecastModel, LstmForecaster, LstmState, MlpForecaster,
     };
     pub use aps_risk::{LabelConfig, RiskSample, RiskTracker};
+    pub use aps_sim::batch::{
+        run_block, run_campaign_batched, run_campaign_batched_with, BATCH_LANES,
+    };
     pub use aps_sim::campaign::{
         campaign_jobs, run_campaign, run_campaign_ft, run_campaign_resumable, run_campaign_with,
         CampaignJob, CampaignOptions, CampaignReport, CampaignSpec, CampaignStream,

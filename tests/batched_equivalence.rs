@@ -1,0 +1,217 @@
+//! Equivalence guarantees behind the batched lockstep campaign engine.
+//!
+//! The structure-of-arrays physics banks ([`BatchedBergman`],
+//! [`BatchedDallaMan`] behind [`run_block`]) are required to be
+//! *behavior-preserving*: a campaign stepped in lockstep blocks of
+//! [`BATCH_LANES`] must emit exactly the traces the scalar serial
+//! executor emits, bit for bit. These tests pin that down:
+//!
+//! * full quick-campaign corpora on **both** platforms (Bergman and
+//!   Dalla Man), with and without a monitor factory;
+//! * the **extended fault alphabet** (every injectable target ×
+//!   fault kind the campaign generator knows);
+//! * **ragged tails** — corpus sizes that are not a multiple of the
+//!   lane width, so the final block runs with padding lanes;
+//! * randomized campaign shapes under proptest;
+//! * a **non-finite lane** fails with the same typed
+//!   [`SimError::NonFinite`] (same cycle index) as the scalar
+//!   executor, without perturbing its lane-mates.
+
+use aps_repro::prelude::*;
+use aps_repro::sim::campaign::run_campaign_serial;
+use proptest::prelude::*;
+
+/// A monitor factory mirroring the one used by the parallel-executor
+/// equivalence suite: per-scenario CAW monitors carry basal context,
+/// so any cross-lane state leak would show up in the alert streams.
+fn caw_factory() -> Box<MonitorFactory<'static>> {
+    Box::new(|ctx: &ScenarioCtx| {
+        Box::new(CawMonitor::new(
+            "cawot",
+            Scs::with_default_thresholds(MgDl(110.0)),
+            ctx.basal,
+        )) as Box<dyn HazardMonitor>
+    })
+}
+
+/// Quick corpus, both platforms, with and without monitors: the
+/// batched engine's output equals the serial executor's exactly. The
+/// quick corpus (62 jobs) is deliberately ragged at `BATCH_LANES = 8`
+/// (62 = 7×8 + 6), so the padded tail block is always exercised.
+#[test]
+fn batched_campaign_equals_serial_on_both_platforms() {
+    for platform in Platform::ALL {
+        let spec = CampaignSpec {
+            steps: 60,
+            ..CampaignSpec::quick(platform)
+        };
+        let jobs = campaign_jobs(&spec);
+        assert_ne!(
+            jobs.len() % BATCH_LANES,
+            0,
+            "corpus must have a ragged tail to exercise padding"
+        );
+
+        let serial = run_campaign_serial(&spec, None);
+        let batched = run_campaign_batched(&spec, None);
+        assert_eq!(serial, batched, "batched engine diverged on {platform:?}");
+
+        let factory = caw_factory();
+        let serial_m = run_campaign_serial(&spec, Some(factory.as_ref()));
+        let batched_m = run_campaign_batched(&spec, Some(factory.as_ref()));
+        assert_eq!(serial_m, batched_m, "monitored engines diverged");
+    }
+}
+
+/// The extended fault alphabet (every injectable target × fault kind)
+/// through both platforms: per-lane fault injection in the lockstep
+/// engine follows the scalar route/bounds logic exactly.
+#[test]
+fn batched_campaign_equals_serial_on_extended_fault_alphabet() {
+    for platform in Platform::ALL {
+        let spec = CampaignSpec {
+            patient_indices: vec![0],
+            steps: 40,
+            ..CampaignSpec::extended(platform)
+        };
+        let serial = run_campaign_serial(&spec, None);
+        let batched = run_campaign_batched(&spec, None);
+        assert_eq!(
+            serial, batched,
+            "extended-fault batched engine diverged on {platform:?}"
+        );
+    }
+}
+
+/// The streaming entry point emits every trace in job order (the same
+/// contract the scalar streaming executor has), independent of block
+/// boundaries.
+#[test]
+fn batched_streaming_sink_preserves_job_order() {
+    let spec = CampaignSpec {
+        patient_indices: vec![0],
+        steps: 30,
+        ..CampaignSpec::quick(Platform::GlucosymOref0)
+    };
+    let serial = run_campaign_serial(&spec, None);
+    let mut indices = Vec::new();
+    let mut traces = Vec::new();
+    run_campaign_batched_with(&spec, None, |i, trace| {
+        indices.push(i);
+        traces.push(trace);
+    });
+    assert_eq!(indices, (0..serial.len()).collect::<Vec<_>>());
+    assert_eq!(traces, serial);
+}
+
+/// One lane going non-finite must surface as that job's typed
+/// [`SimError::NonFinite`] at the same cycle the scalar executor
+/// reports, and every lane-mate in the block must stay bit-identical
+/// to its serial twin — a dead lane is isolated, not contagious.
+#[test]
+fn nonfinite_lane_is_isolated_and_matches_scalar_error() {
+    // An initial BG of 1e308 overflows the Dalla Man plasma-glucose
+    // compartment (Gp = BG × Vg) at reset, so those jobs diverge on
+    // the very first finiteness check. It is finite, so job validation
+    // accepts it and the engine (not the spec check) must catch it.
+    let spec = CampaignSpec {
+        patient_indices: vec![0],
+        initial_bgs: vec![120.0, 1e308, 140.0],
+        steps: 30,
+        ..CampaignSpec::quick(Platform::T1dsBasalBolus)
+    };
+    let jobs = campaign_jobs(&spec);
+    assert!(jobs.iter().any(|j| j.initial_bg == 1e308));
+
+    // Scalar reference: the fault-tolerant executor reports per-job
+    // outcomes (trace or typed error) without tearing down.
+    let options = CampaignOptions::default();
+    let mut scalar: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+    run_campaign_resumable(&spec, None, &options, None, |i, outcome| {
+        scalar[i] = Some(outcome);
+    })
+    .expect("no checkpointing configured");
+
+    // Batched: run the same corpus block by block through run_block,
+    // which exposes per-lane Results.
+    let mut batched = Vec::with_capacity(jobs.len());
+    for block in jobs.chunks(BATCH_LANES) {
+        batched.extend(run_block::<BATCH_LANES>(&spec, block, None));
+    }
+
+    let mut nonfinite_seen = 0;
+    for (i, (s, b)) in scalar.iter().zip(&batched).enumerate() {
+        match (s.as_ref().expect("sink covered every job"), b) {
+            (JobOutcome::Completed(st), Ok(bt)) => {
+                assert_eq!(st, bt, "lane-mate {i} diverged from serial");
+            }
+            (JobOutcome::Failed { error, .. }, Err(be)) => {
+                assert_eq!(error, be, "job {i} failed differently");
+                assert!(
+                    matches!(be, SimError::NonFinite { .. }),
+                    "job {i}: expected NonFinite, got {be:?}"
+                );
+                nonfinite_seen += 1;
+            }
+            (s, b) => panic!("job {i}: scalar {s:?} vs batched {b:?}"),
+        }
+    }
+    assert!(nonfinite_seen > 0, "the poison BG produced no failures");
+    assert!(
+        nonfinite_seen < jobs.len(),
+        "healthy lane-mates must survive"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized campaign shapes (patient subset, BG grid, step
+    /// count) on both platforms: batched == serial, bit for bit.
+    #[test]
+    fn batched_equals_serial_on_random_campaign_shapes(
+        patient_a in 0usize..10,
+        patient_b in 0usize..10,
+        bg in 90.0f64..200.0,
+        steps in 10u32..45,
+    ) {
+        for platform in Platform::ALL {
+            let spec = CampaignSpec {
+                patient_indices: if patient_a == patient_b {
+                    vec![patient_a]
+                } else {
+                    vec![patient_a, patient_b]
+                },
+                initial_bgs: vec![bg],
+                steps,
+                ..CampaignSpec::quick(platform)
+            };
+            let serial = run_campaign_serial(&spec, None);
+            let batched = run_campaign_batched(&spec, None);
+            prop_assert_eq!(&serial, &batched, "diverged on {:?}", platform);
+        }
+    }
+
+    /// Every block occupancy from one lane to a full block: direct
+    /// `run_block` calls over corpus prefixes equal the serial traces
+    /// regardless of how many padding lanes ride along.
+    #[test]
+    fn every_ragged_block_size_matches_serial(occupancy in 1usize..BATCH_LANES + 1) {
+        let spec = CampaignSpec {
+            patient_indices: vec![0, 1],
+            steps: 25,
+            ..CampaignSpec::quick(Platform::GlucosymOref0)
+        };
+        let jobs = campaign_jobs(&spec);
+        prop_assert!(jobs.len() >= BATCH_LANES);
+        let serial = run_campaign_serial(&spec, None);
+        let block = run_block::<BATCH_LANES>(&spec, &jobs[..occupancy], None);
+        prop_assert_eq!(block.len(), occupancy);
+        for (i, r) in block.into_iter().enumerate() {
+            match r {
+                Ok(trace) => prop_assert_eq!(&trace, &serial[i], "lane {} diverged", i),
+                Err(e) => prop_assert!(false, "lane {} failed: {:?}", i, e),
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Trace-store read throughput: JSONL full-text deserialization vs
+//! the columnar binary store, on the same quick-campaign corpus.
+//!
+//! Three store variants bracket the cost: full materialization
+//! (drop-in replacement for the JSONL path), record iteration without
+//! owning the traces (replay-shaped access), and raw column copies
+//! (dataset-shaped access). `repro convert --gen-quick --verify` runs
+//! the same comparison as a one-shot and records the numbers in
+//! results/convert_verify.json.
+
+use aps_sim::campaign::{run_campaign, CampaignSpec};
+use aps_sim::io::{read_jsonl, write_jsonl};
+use aps_sim::platform::Platform;
+use aps_tracestore::{write_store, F64Column, TraceStoreReader};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_trace_store(c: &mut Criterion) {
+    let spec = CampaignSpec {
+        patient_indices: vec![0],
+        initial_bgs: vec![120.0],
+        ..CampaignSpec::quick(Platform::GlucosymOref0)
+    };
+    let traces = run_campaign(&spec, None);
+    let mut jsonl = Vec::new();
+    write_jsonl(&traces, &mut jsonl).expect("JSONL encode");
+    let store = write_store(&traces, 0).expect("store encode");
+    let reader = TraceStoreReader::from_bytes(store.clone()).expect("store open");
+
+    let mut group = c.benchmark_group("trace_store_read");
+    group.sample_size(10);
+    group.bench_function("jsonl_read_all", |b| {
+        b.iter(|| black_box(read_jsonl(black_box(&jsonl[..])).expect("decode").len()))
+    });
+    group.bench_function("store_open_and_read_all", |b| {
+        b.iter(|| {
+            let r = TraceStoreReader::from_bytes(black_box(store.clone())).expect("open");
+            black_box(r.read_all().len())
+        })
+    });
+    group.bench_function("store_iter_records", |b| {
+        b.iter(|| {
+            let mut steps = 0usize;
+            for view in reader.iter() {
+                steps += view.records().count();
+            }
+            black_box(steps)
+        })
+    });
+    group.bench_function("store_copy_columns", |b| {
+        let mut bg = Vec::new();
+        let mut commanded = Vec::new();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for view in reader.iter() {
+                view.copy_f64_column(F64Column::Bg, &mut bg);
+                view.copy_f64_column(F64Column::Commanded, &mut commanded);
+                acc += bg.last().copied().unwrap_or(0.0);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_store);
+criterion_main!(benches);

@@ -26,7 +26,11 @@
 //!   run --spec F          one session described by a JSON SessionSpec
 //!   summary               digest of all recorded results
 //!   bench-campaign        campaign-throughput baseline -> BENCH_campaign.json
-//!                         (--sweep-workers adds the worker-scaling curve)
+//!                         (--sweep-workers adds the worker-scaling curve;
+//!                         --store PATH also streams the quick campaign into
+//!                         a binary trace store)
+//!   convert               JSONL <-> binary trace store (--to-store /
+//!                         --to-jsonl / --verify / --gen-quick)
 //!   lint                  aps-lint static analysis vs the committed baseline
 //!   all                   everything above, in order
 //!
@@ -137,6 +141,11 @@ fn main() {
         // modes) — dispatch before the experiment flag parser.
         std::process::exit(aps_bench::lintcmd::run_lint(&args[1..]));
     }
+    if which == "convert" {
+        // Corpus conversion likewise has its own flag set (input
+        // sniffing, output formats, verification).
+        std::process::exit(aps_bench::convert::run_convert(&args[1..]));
+    }
     // `--guard <baseline.json>` is a bench-campaign-only flag: compare
     // the fresh speedup against a committed report and fail the
     // process below 80% of it (the CI perf-regression guard).
@@ -151,6 +160,22 @@ fn main() {
     });
     if guard_baseline.is_some() && which != "bench-campaign" {
         eprintln!("error: --guard only applies to bench-campaign");
+        std::process::exit(2);
+    }
+    // `--store <path>` is bench-campaign-only: additionally stream the
+    // quick campaign into a binary trace store at that path (the
+    // direct campaign→store emission path).
+    let store_path = args.iter().position(|a| a == "--store").map(|pos| {
+        if pos + 1 >= args.len() {
+            eprintln!("error: missing value for --store");
+            std::process::exit(2);
+        }
+        let path = args.remove(pos + 1);
+        args.remove(pos);
+        path
+    });
+    if store_path.is_some() && which != "bench-campaign" {
+        eprintln!("error: --store only applies to bench-campaign");
         std::process::exit(2);
     }
     // `--sweep-workers` is likewise bench-campaign-only: re-times the
@@ -225,6 +250,18 @@ fn main() {
             // and records BENCH_campaign.json for the perf trajectory.
             // With fault-tolerance flags, runs the hardened executor
             // instead (see `aps_bench::ftrun`).
+            if let Some(path) = &store_path {
+                match aps_bench::convert::emit_quick_store(std::path::Path::new(path)) {
+                    Ok(stats) => println!(
+                        "store: wrote {path}: {} traces, {} records, {} B",
+                        stats.traces, stats.records, stats.bytes
+                    ),
+                    Err(e) => {
+                        eprintln!("error: --store {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             match (&ft_flags, &guard_baseline) {
                 (Some(flags), _) => {
                     std::process::exit(aps_bench::ftrun::run_ft_campaign(&opts, flags))
@@ -308,6 +345,22 @@ perf:
                              additionally re-time the campaign at
                              1/2/4/... pinned workers (scalar and
                              batched) and record the scaling curve
+  bench-campaign --store F   additionally stream the quick campaign
+                             into a binary trace store at F
+
+trace storage:
+  convert <input>            move a trace corpus between formats; the
+                             input format is sniffed (APSTRACE magic =
+                             store, else JSONL)
+  convert --gen-quick        use a freshly run quick campaign as the
+                             corpus instead of reading a file
+  convert ... --to-store F   write the corpus as a binary trace store
+  convert ... --to-jsonl F   write the corpus as JSON Lines
+  convert ... --verify       round-trip in memory, check the store read
+                             path is bit-identical, measure read
+                             throughput + size vs JSONL, and record
+                             results/convert_verify.json (exit 1 on any
+                             mismatch)
 
 static analysis:
   lint                       scan the workspace with aps-lint (rule

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod convert;
 pub mod experiments;
 pub mod ftrun;
 pub mod lintcmd;

@@ -1,0 +1,141 @@
+//! End-to-end exit-code gate for `repro convert`: round trips succeed
+//! with exit 0, usage errors exit 2, and malformed inputs surface the
+//! store's typed errors with exit 1.
+
+use aps_bench::convert::run_convert;
+use aps_tracestore::{StoreError, TraceStoreReader};
+use std::path::{Path, PathBuf};
+
+fn argv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| (*s).to_owned()).collect()
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aps-convert-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir scratch");
+    dir.join(name)
+}
+
+/// A tiny JSONL corpus written through the sim io path.
+fn write_corpus_jsonl(path: &Path) {
+    use aps_types::{SimTrace, Step, StepRecord, TraceMeta};
+    let mut t = SimTrace::new(TraceMeta {
+        patient: "adult#000".to_owned(),
+        initial_bg: 120.0,
+        ..TraceMeta::default()
+    });
+    for i in 0..20u32 {
+        t.push(StepRecord::blank(Step(i)));
+    }
+    aps_sim::io::save_jsonl(&[t], path).expect("write corpus");
+}
+
+#[test]
+fn jsonl_to_store_and_back_verifies() {
+    let jsonl = scratch("corpus.jsonl");
+    let store = scratch("corpus.apst");
+    let back = scratch("corpus_back.jsonl");
+    write_corpus_jsonl(&jsonl);
+
+    let code = run_convert(&argv(&[
+        jsonl.to_str().unwrap(),
+        "--to-store",
+        store.to_str().unwrap(),
+        "--verify",
+        "--no-out",
+    ]));
+    assert_eq!(code, 0, "jsonl -> store --verify must pass");
+    assert!(store.exists());
+
+    let code = run_convert(&argv(&[
+        store.to_str().unwrap(),
+        "--to-jsonl",
+        back.to_str().unwrap(),
+        "--verify",
+        "--no-out",
+    ]));
+    assert_eq!(code, 0, "store -> jsonl --verify must pass");
+    let a = aps_sim::io::load_jsonl(&jsonl).unwrap();
+    let b = aps_sim::io::load_jsonl(&back).unwrap();
+    assert_eq!(a, b, "full round trip must be lossless");
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    // No input at all.
+    assert_eq!(run_convert(&argv(&["--to-store", "x.apst"])), 2);
+    // Input but nothing to do.
+    assert_eq!(run_convert(&argv(&["corpus.jsonl"])), 2);
+    // Unknown flag.
+    assert_eq!(run_convert(&argv(&["corpus.jsonl", "--frobnicate"])), 2);
+    // --gen-quick and a file input are mutually exclusive.
+    assert_eq!(
+        run_convert(&argv(&["corpus.jsonl", "--gen-quick", "--verify"])),
+        2
+    );
+}
+
+#[test]
+fn missing_input_file_exits_1() {
+    let out = scratch("never.apst");
+    let code = run_convert(&argv(&[
+        "/nonexistent/corpus.jsonl",
+        "--to-store",
+        out.to_str().unwrap(),
+    ]));
+    assert_eq!(code, 1);
+    assert!(!out.exists(), "no output on a failed read");
+}
+
+#[test]
+fn malformed_store_is_a_typed_error_and_exits_1() {
+    // A file that *claims* to be a store (magic) but is torn mid-file
+    // must surface the reader's typed error, not a JSONL parse error.
+    let torn = scratch("torn.apst");
+    let mut bytes = b"APSTRACE".to_vec();
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.extend_from_slice(&[0u8; 4]); // flags
+    std::fs::write(&torn, &bytes).expect("write torn store");
+
+    // The library surface reports the typed variant...
+    let err = TraceStoreReader::open(&torn).expect_err("torn file must not open");
+    assert!(
+        matches!(err, StoreError::Truncated { .. }),
+        "expected Truncated, got {err:?}"
+    );
+
+    // ...and the CLI maps it to exit 1.
+    let out = scratch("torn_out.jsonl");
+    let code = run_convert(&argv(&[
+        torn.to_str().unwrap(),
+        "--to-jsonl",
+        out.to_str().unwrap(),
+    ]));
+    assert_eq!(code, 1);
+}
+
+#[test]
+fn future_version_store_is_rejected_with_exit_1() {
+    use aps_types::{SimTrace, TraceMeta};
+    let future = scratch("future.apst");
+    let mut bytes =
+        aps_tracestore::write_store(&[SimTrace::new(TraceMeta::default())], 0).expect("encode");
+    // Bump the header's format version past what this build supports.
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    std::fs::write(&future, &bytes).expect("write future store");
+
+    let err = TraceStoreReader::open(&future).expect_err("future version must not open");
+    assert!(
+        matches!(
+            err,
+            StoreError::Version {
+                found: 99,
+                supported: aps_tracestore::FORMAT_VERSION
+            }
+        ),
+        "expected Version, got {err:?}"
+    );
+
+    let code = run_convert(&argv(&[future.to_str().unwrap(), "--verify", "--no-out"]));
+    assert_eq!(code, 1);
+}

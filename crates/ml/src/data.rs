@@ -403,8 +403,44 @@ impl TraceDataset {
     /// run_campaign_with(&spec, None, |_, trace| dataset.push_trace(&trace));
     /// ```
     pub fn push_trace(&mut self, trace: &SimTrace) {
+        self.push_windows(
+            trace.len(),
+            |t| trace.records[t].bg.value(),
+            |t| trace.records[t].commanded.value(),
+        );
+    }
+
+    /// Consumes one trace's series as two parallel columns — the
+    /// CGM BG and commanded-rate values per control cycle. This is the
+    /// columnar-store path: a store reader copies its `bg`/`commanded`
+    /// columns into reusable buffers and streams windows off them
+    /// without materializing `SimTrace`s. Window, target, and
+    /// reservoir decisions are shared with [`push_trace`], so the two
+    /// paths are bit-identical on equal series.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the columns have different lengths.
+    ///
+    /// [`push_trace`]: TraceDataset::push_trace
+    pub fn push_series(&mut self, bg: &[f64], commanded: &[f64]) {
+        assert_eq!(bg.len(), commanded.len(), "bg/commanded length mismatch");
+        self.push_windows(bg.len(), |t| bg[t], |t| commanded[t]);
+    }
+
+    /// The shared windowing + reservoir core behind [`push_trace`] and
+    /// [`push_series`]: per-step values come through accessors so both
+    /// row-oriented and columnar callers drive identical sampling.
+    ///
+    /// [`push_trace`]: TraceDataset::push_trace
+    /// [`push_series`]: TraceDataset::push_series
+    fn push_windows(
+        &mut self,
+        n: usize,
+        bg_at: impl Fn(usize) -> f64,
+        commanded_at: impl Fn(usize) -> f64,
+    ) {
         self.traces += 1;
-        let n = trace.len();
         if n < self.window + self.horizon {
             return;
         }
@@ -420,14 +456,11 @@ impl TraceDataset {
                 }
                 j // replace
             };
-            let pair_x: Vec<Vec<f64>> = trace.records[start..start + self.window]
-                .iter()
-                .map(|r| vec![r.bg.value(), r.commanded.value()])
+            let pair_x: Vec<Vec<f64>> = (start..start + self.window)
+                .map(|t| vec![bg_at(t), commanded_at(t)])
                 .collect();
-            let pair_y: Vec<f64> = trace.records
-                [start + self.horizon..start + self.window + self.horizon]
-                .iter()
-                .map(|r| r.bg.value())
+            let pair_y: Vec<f64> = (start + self.horizon..start + self.window + self.horizon)
+                .map(&bg_at)
                 .collect();
             if slot == self.x.len() {
                 self.x.push(pair_x);
@@ -582,6 +615,30 @@ mod tests {
         );
         // Uncapped keeps everything.
         assert_eq!(build(0, 7).len(), a.seen());
+    }
+
+    #[test]
+    fn push_series_matches_push_trace_exactly() {
+        let traces: Vec<SimTrace> = [40u32, 13, 60, 5, 80]
+            .iter()
+            .map(|&n| ramp_trace(n))
+            .collect();
+        let mut rows = TraceDataset::with_cap(4, 2, 50, 7);
+        let mut cols = TraceDataset::with_cap(4, 2, 50, 7);
+        for t in &traces {
+            rows.push_trace(t);
+            let bg: Vec<f64> = t.records.iter().map(|r| r.bg.value()).collect();
+            let cmd: Vec<f64> = t.records.iter().map(|r| r.commanded.value()).collect();
+            cols.push_series(&bg, &cmd);
+        }
+        assert_eq!(rows, cols, "columnar path must drive identical sampling");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn push_series_rejects_ragged_columns() {
+        let mut ds = TraceDataset::new(2, 1);
+        ds.push_series(&[1.0, 2.0], &[1.0]);
     }
 
     #[test]

@@ -9,7 +9,6 @@
 //! back losslessly.
 
 use aps_types::SimTrace;
-use std::fmt::Write as _;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -28,9 +27,10 @@ pub fn write_csv<W: Write>(traces: &[SimTrace], writer: W) -> io::Result<()> {
     for trace in traces {
         let meta = &trace.meta;
         for rec in trace.iter() {
-            let mut line = String::with_capacity(96);
-            let _ = write!(
-                line,
+            // Rows stream straight into the BufWriter: no per-row
+            // String, no unbounded intermediate on cohort-scale dumps.
+            writeln!(
+                w,
                 "{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 meta.patient,
                 if meta.fault_name.is_empty() {
@@ -49,8 +49,7 @@ pub fn write_csv<W: Write>(traces: &[SimTrace], writer: W) -> io::Result<()> {
                 rec.fault_active,
                 rec.hazard.map(|h| h.to_string()).unwrap_or_default(),
                 rec.alert.map(|h| h.to_string()).unwrap_or_default(),
-            );
-            writeln!(w, "{line}")?;
+            )?;
         }
     }
     w.flush()

@@ -37,11 +37,14 @@
 //!   ([`chaos::ChaosConfig`]): seeded worker panics, delays, and
 //!   poisoned specs for hardening tests;
 //! * [`replay`] — offline (parallel) monitor replay over recorded
-//!   campaigns;
+//!   campaigns, either in memory or streamed from an open binary
+//!   trace store ([`replay::replay_store_with`]);
 //! * [`dataset`] — supervised dataset extraction for the ML baselines
-//!   and threshold learning;
+//!   and threshold learning, plus the columnar store→forecast-dataset
+//!   path ([`dataset::push_store_traces`]);
 //! * [`io`] — CSV / JSON-Lines persistence of traces for external
-//!   analysis tooling.
+//!   analysis tooling (bulk corpora belong in `aps_tracestore`'s
+//!   binary format instead).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -12,10 +12,15 @@
 //! Campaign-scale replay is parallel ([`replay_campaign`]) and can
 //! stream results through a bounded-memory ordered sink
 //! ([`replay_campaign_with`]), mirroring the live campaign executor's
-//! API.
+//! API. Recorded corpora in the binary trace store replay without
+//! loading the whole campaign as owned traces: [`replay_store_with`]
+//! materializes each trace from the store's columns only while it is
+//! in flight.
 
 use aps_core::monitors::{HazardMonitor, MonitorInput};
+use aps_tracestore::TraceStoreReader;
 use aps_types::{AlertTrack, SimTrace, UnitsPerHour};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -72,22 +77,59 @@ pub fn replay_monitor(trace: &SimTrace, monitor: &mut dyn HazardMonitor) -> SimT
 /// stays bounded however large the recorded campaign is.
 ///
 /// [`run_campaign_with`]: crate::campaign::run_campaign_with
-pub fn replay_campaign_with<F>(
-    traces: &[SimTrace],
-    factory: F,
-    mut sink: impl FnMut(usize, SimTrace),
-) where
+pub fn replay_campaign_with<F>(traces: &[SimTrace], factory: F, sink: impl FnMut(usize, SimTrace))
+where
     F: Fn(&SimTrace) -> Box<dyn HazardMonitor> + Sync,
 {
-    let n = traces.len();
+    replay_source_with(traces.len(), |i| Cow::Borrowed(&traces[i]), factory, sink);
+}
+
+/// Replays a recorded campaign straight out of an open binary trace
+/// store, streaming each replayed trace — in store order — into
+/// `sink(index, trace)`. Workers materialize traces from the store's
+/// columns on demand, so only the traces currently in flight are ever
+/// held as owned `SimTrace`s; the corpus itself stays in its single
+/// mapped buffer. Same executor, ordering, and backpressure as
+/// [`replay_campaign_with`].
+pub fn replay_store_with<F>(store: &TraceStoreReader, factory: F, sink: impl FnMut(usize, SimTrace))
+where
+    F: Fn(&SimTrace) -> Box<dyn HazardMonitor> + Sync,
+{
+    replay_source_with(store.len(), |i| Cow::Owned(store.get(i)), factory, sink);
+}
+
+/// Replays a whole stored campaign; results come back in store order.
+/// Thin wrapper over [`replay_store_with`].
+pub fn replay_store<F>(store: &TraceStoreReader, factory: F) -> Vec<SimTrace>
+where
+    F: Fn(&SimTrace) -> Box<dyn HazardMonitor> + Sync,
+{
+    let mut out = Vec::with_capacity(store.len());
+    replay_store_with(store, factory, |i, trace| {
+        debug_assert_eq!(i, out.len(), "replay stream out of order");
+        out.push(trace);
+    });
+    out
+}
+
+/// The executor shared by the in-memory and store replay paths:
+/// `get(i)` supplies trace `i` (borrowed from a slice, or materialized
+/// from store columns), workers claim indices lock-free, and the
+/// calling thread drains an ordered reorder buffer.
+fn replay_source_with<'a, G, F>(n: usize, get: G, factory: F, mut sink: impl FnMut(usize, SimTrace))
+where
+    G: Fn(usize) -> Cow<'a, SimTrace> + Sync,
+    F: Fn(&SimTrace) -> Box<dyn HazardMonitor> + Sync,
+{
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(n.max(1));
     if workers <= 1 {
-        for (i, t) in traces.iter().enumerate() {
-            let mut monitor = factory(t);
-            sink(i, replay_monitor(t, monitor.as_mut()));
+        for i in 0..n {
+            let t = get(i);
+            let mut monitor = factory(&t);
+            sink(i, replay_monitor(&t, monitor.as_mut()));
         }
         return;
     }
@@ -105,6 +147,7 @@ pub fn replay_campaign_with<F>(
             let next = &next;
             let emitted = &emitted;
             let factory = &factory;
+            let get = &get;
             scope.spawn(move || loop {
                 // sound: Relaxed suffices — the atomic RMW hands each
                 // worker a unique, monotone claim index; replayed data
@@ -119,8 +162,9 @@ pub fn replay_campaign_with<F>(
                 while i >= emitted.load(Ordering::Acquire) + max_ahead {
                     std::thread::sleep(std::time::Duration::from_micros(100));
                 }
-                let mut monitor = factory(&traces[i]);
-                let replayed = replay_monitor(&traces[i], monitor.as_mut());
+                let t = get(i);
+                let mut monitor = factory(&t);
+                let replayed = replay_monitor(&t, monitor.as_mut());
                 if tx.send((i, replayed)).is_err() {
                     break;
                 }

@@ -1,0 +1,331 @@
+//! On-disk format primitives: magic numbers, varints, enum byte codes.
+//!
+//! Everything in the store is **little-endian**. The file is
+//!
+//! ```text
+//! [header | trace block 0 | trace block 1 | ... | footer]
+//! ```
+//!
+//! See the crate docs for the full layout. This module holds the
+//! pieces both the writer and the reader agree on: the 32-byte header,
+//! the 24-byte footer tail, LEB128 varints with zigzag for signed
+//! deltas, and the one-byte encodings of [`Hazard`] and
+//! [`ControlAction`].
+
+use aps_types::{ControlAction, Hazard};
+use std::fmt;
+
+/// File magic, first 8 bytes of every store.
+pub const MAGIC: [u8; 8] = *b"APSTRACE";
+
+/// Trailing magic, last 8 bytes of every store (detects truncation).
+pub const END_MAGIC: [u8; 8] = *b"APSTREND";
+
+/// Current format version written by [`TraceWriter`](crate::TraceWriter).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header length: magic (8) + version (4) + flags (4) +
+/// code-version hash (8) + spec hash (8).
+pub const HEADER_LEN: usize = 32;
+
+/// Fixed footer tail length: index offset (8) + trace count (8) +
+/// [`END_MAGIC`] (8). The per-trace offset index sits immediately
+/// before it.
+pub const FOOTER_TAIL_LEN: usize = 24;
+
+/// Why a store could not be written, opened, or decoded.
+///
+/// Every failure mode is a distinct variant so callers (and CLI exit
+/// paths) can react without string matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Filesystem failure while reading or writing.
+    Io {
+        /// The file involved.
+        path: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The file does not start with [`MAGIC`] (not a trace store).
+    BadMagic,
+    /// The file's format version is newer than this build supports.
+    Version {
+        /// Version found in the header.
+        found: u32,
+        /// Highest version this build reads.
+        supported: u32,
+    },
+    /// The file ends before the structure it promises (torn write,
+    /// truncated download, missing footer).
+    Truncated {
+        /// What was being read when the file ran out.
+        detail: String,
+    },
+    /// A structurally complete region decodes to impossible values
+    /// (out-of-range offsets, invalid enum bytes, non-UTF-8 strings).
+    Corrupt {
+        /// Byte offset of the bad region.
+        offset: usize,
+        /// What failed to decode.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, detail } => {
+                write!(f, "trace-store I/O error at `{path}`: {detail}")
+            }
+            StoreError::BadMagic => f.write_str("not a trace store (bad magic)"),
+            StoreError::Version { found, supported } => write!(
+                f,
+                "trace-store format version {found} is newer than the supported version {supported}"
+            ),
+            StoreError::Truncated { detail } => {
+                write!(f, "trace store is truncated: {detail}")
+            }
+            StoreError::Corrupt { offset, detail } => {
+                write!(f, "trace store is corrupt at byte {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Zigzag-encodes a signed delta so small magnitudes stay small.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends `v` as an LEB128 varint (7 bits per byte, high bit =
+/// continuation). At most 10 bytes; encodes via a stack scratch so the
+/// only touch on `out` is one `extend_from_slice`.
+#[inline]
+pub fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    let mut scratch = [0u8; 10];
+    let mut n = 0;
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        scratch[n] = if v == 0 { byte } else { byte | 0x80 };
+        n += 1;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&scratch[..n]);
+}
+
+/// Reads one LEB128 varint at `*pos`, advancing it. `None` when the
+/// buffer ends mid-varint or the value overflows 64 bits.
+#[inline]
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // would overflow u64
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Reads a `f64` stored as little-endian bits at `pos` (bit-exact).
+#[inline]
+pub fn read_f64(buf: &[u8], pos: usize) -> f64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[pos..pos + 8]);
+    f64::from_bits(u64::from_le_bytes(b))
+}
+
+/// Reads a little-endian `u32` at `pos`.
+#[inline]
+pub fn read_u32(buf: &[u8], pos: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[pos..pos + 4]);
+    u32::from_le_bytes(b)
+}
+
+/// Reads a little-endian `u64` at `pos`.
+#[inline]
+pub fn read_u64(buf: &[u8], pos: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[pos..pos + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// One-byte encoding of an optional hazard (0 = none, 1 = H1, 2 = H2).
+#[inline]
+pub fn hazard_to_byte(h: Option<Hazard>) -> u8 {
+    match h {
+        None => 0,
+        Some(Hazard::H1) => 1,
+        Some(Hazard::H2) => 2,
+    }
+}
+
+/// Inverse of [`hazard_to_byte`]; `None` for invalid bytes.
+#[inline]
+pub fn byte_to_hazard(b: u8) -> Option<Option<Hazard>> {
+    match b {
+        0 => Some(None),
+        1 => Some(Some(Hazard::H1)),
+        2 => Some(Some(Hazard::H2)),
+        _ => None,
+    }
+}
+
+/// One-byte encoding of a control action (the paper's 1-based `u1..u4`
+/// index, so the byte matches [`ControlAction::paper_index`]).
+#[inline]
+pub fn action_to_byte(a: ControlAction) -> u8 {
+    a.paper_index()
+}
+
+/// Inverse of [`action_to_byte`]; `None` for invalid bytes.
+#[inline]
+pub fn byte_to_action(b: u8) -> Option<ControlAction> {
+    match b {
+        1 => Some(ControlAction::DecreaseInsulin),
+        2 => Some(ControlAction::IncreaseInsulin),
+        3 => Some(ControlAction::StopInsulin),
+        4 => Some(ControlAction::KeepInsulin),
+        _ => None,
+    }
+}
+
+/// FNV-1a over a byte slice, continuing from `acc` (the store's own
+/// copy — the checkpoint module's digest lives above this crate in the
+/// dependency graph).
+pub fn fnv1a(mut acc: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        acc ^= u64::from(b);
+        acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    acc
+}
+
+/// FNV-1a offset basis.
+pub const FNV_SEED: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// 64-bit hash identifying the code that wrote a store: crate version
+/// plus format version. Stored in the header so replay-heavy tooling
+/// can tell which build produced a corpus.
+pub fn code_version_hash() -> u64 {
+    let acc = fnv1a(FNV_SEED, env!("CARGO_PKG_VERSION").as_bytes());
+    fnv1a(acc, &FORMAT_VERSION.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            (1 << 53) - 1,
+            1 << 53,
+            (1 << 53) + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for v in cases {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v), "value {v}");
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut buf = Vec::new();
+        push_varint(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf[..buf.len() - 1], &mut pos), None);
+        // 11 continuation bytes can never be a valid u64.
+        let over = [0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(read_varint(&over, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 1 << 40, -(1 << 40)] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes encode small.
+        assert!(zigzag(-1) < 4);
+        assert!(zigzag(1) < 4);
+    }
+
+    #[test]
+    fn enum_bytes_roundtrip() {
+        for h in [None, Some(Hazard::H1), Some(Hazard::H2)] {
+            assert_eq!(byte_to_hazard(hazard_to_byte(h)), Some(h));
+        }
+        assert_eq!(byte_to_hazard(3), None);
+        for a in ControlAction::ALL {
+            assert_eq!(byte_to_action(action_to_byte(a)), Some(a));
+        }
+        assert_eq!(byte_to_action(0), None);
+        assert_eq!(byte_to_action(5), None);
+    }
+
+    #[test]
+    fn f64_bits_are_exact() {
+        let mut buf = Vec::new();
+        for v in [0.0f64, -0.0, 1.5, f64::MIN_POSITIVE, f64::MAX, -f64::MAX] {
+            buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        assert_eq!(read_f64(&buf, 0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(read_f64(&buf, 8).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(read_f64(&buf, 16), 1.5);
+        assert_eq!(read_f64(&buf, 24), f64::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn code_version_hash_is_stable_within_a_build() {
+        assert_eq!(code_version_hash(), code_version_hash());
+        assert_ne!(code_version_hash(), 0);
+    }
+
+    #[test]
+    fn errors_display_their_variant() {
+        let e = StoreError::Version {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+        assert!(StoreError::BadMagic.to_string().contains("magic"));
+        let t = StoreError::Truncated {
+            detail: "footer".into(),
+        };
+        assert!(t.to_string().contains("truncated"));
+    }
+}

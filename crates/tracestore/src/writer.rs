@@ -1,0 +1,426 @@
+//! Streaming store writer: encode traces one at a time, finalize with
+//! an atomic rename.
+//!
+//! [`TraceWriter`] is generic over any [`Write`] sink and is the
+//! campaign-sink building block — wrap one in a closure and hand it to
+//! `run_campaign_with` to stream a campaign straight to disk without
+//! ever holding the corpus in memory. [`FileTraceWriter`] adds the
+//! file-backed convenience: it writes to `<path>.tmp` and renames into
+//! place on [`finalize`](FileTraceWriter::finalize), so a crashed or
+//! killed campaign never leaves a half-written store at the final
+//! path (the same atomicity idiom as the campaign checkpoints).
+
+use crate::format::{
+    action_to_byte, code_version_hash, hazard_to_byte, push_varint, zigzag, StoreError, END_MAGIC,
+    FORMAT_VERSION, MAGIC,
+};
+use aps_types::{AlertTrack, SimTrace, StepRecord, TraceMeta};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Encodes the delta+varint step column: each step is stored as the
+/// zigzag varint of its difference from the previous step (first delta
+/// is from 0). Monotone step sequences — the normal case — pack to
+/// one byte per record; arbitrary sequences still round-trip exactly.
+pub fn encode_steps(records: &[StepRecord], out: &mut Vec<u8>) {
+    let mut prev: i64 = 0;
+    for rec in records {
+        let cur = i64::from(rec.step.0);
+        push_varint(out, zigzag(cur - prev));
+        prev = cur;
+    }
+}
+
+/// Encodes the fixed-width columns: five contiguous `f64`-bits columns
+/// (`bg`, `bg_true`, `iob`, `commanded`, `delivered`), the one-byte
+/// action column, the `fault_active` bitset (LSB-first, one bit per
+/// record), and the one-byte `hazard` and `alert` columns.
+pub fn encode_columns(records: &[StepRecord], out: &mut Vec<u8>) {
+    let n = records.len();
+    out.reserve(n * 43 + n.div_ceil(8));
+    for rec in records {
+        out.extend_from_slice(&rec.bg.value().to_bits().to_le_bytes());
+    }
+    for rec in records {
+        out.extend_from_slice(&rec.bg_true.value().to_bits().to_le_bytes());
+    }
+    for rec in records {
+        out.extend_from_slice(&rec.iob.value().to_bits().to_le_bytes());
+    }
+    for rec in records {
+        out.extend_from_slice(&rec.commanded.value().to_bits().to_le_bytes());
+    }
+    for rec in records {
+        out.extend_from_slice(&rec.delivered.value().to_bits().to_le_bytes());
+    }
+    for rec in records {
+        out.extend_from_slice(&[action_to_byte(rec.action)]);
+    }
+    for chunk in records.chunks(8) {
+        let mut byte = 0u8;
+        for (bit, rec) in chunk.iter().enumerate() {
+            if rec.fault_active {
+                byte |= 1 << bit;
+            }
+        }
+        out.extend_from_slice(&[byte]);
+    }
+    for rec in records {
+        out.extend_from_slice(&[hazard_to_byte(rec.hazard)]);
+    }
+    for rec in records {
+        out.extend_from_slice(&[hazard_to_byte(rec.alert)]);
+    }
+}
+
+/// Encodes the `TraceMeta` side table: varint-length-prefixed UTF-8
+/// strings, `initial_bg` as `f64` bits, optional steps as `0 = None`
+/// else `step + 1`, hazard type as one byte. A v1 reader defaults any
+/// fields a shorter (older) region omits and ignores trailing bytes a
+/// longer (newer) region appends.
+pub fn encode_meta(meta: &TraceMeta, out: &mut Vec<u8>) {
+    push_varint(out, meta.patient.len() as u64);
+    out.extend_from_slice(meta.patient.as_bytes());
+    push_varint(out, meta.fault_name.len() as u64);
+    out.extend_from_slice(meta.fault_name.as_bytes());
+    out.extend_from_slice(&meta.initial_bg.to_bits().to_le_bytes());
+    push_varint(out, meta.fault_start.map_or(0, |s| u64::from(s.0) + 1));
+    push_varint(out, meta.hazard_onset.map_or(0, |s| u64::from(s.0) + 1));
+    out.extend_from_slice(&[hazard_to_byte(meta.hazard_type)]);
+}
+
+/// Encodes the monitor side table: varint track count, then per track
+/// a varint-length-prefixed monitor name and a varint-length-prefixed
+/// run of one-byte alerts.
+pub fn encode_tracks(tracks: &[AlertTrack], out: &mut Vec<u8>) {
+    push_varint(out, tracks.len() as u64);
+    for track in tracks {
+        push_varint(out, track.monitor.len() as u64);
+        out.extend_from_slice(track.monitor.as_bytes());
+        push_varint(out, track.alerts.len() as u64);
+        for &alert in &track.alerts {
+            out.extend_from_slice(&[hazard_to_byte(alert)]);
+        }
+    }
+}
+
+/// Summary of a finished store, returned by the finalizing calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of traces written.
+    pub traces: usize,
+    /// Total step records across all traces.
+    pub records: u64,
+    /// Total file size in bytes, header and footer included.
+    pub bytes: u64,
+}
+
+/// Streaming encoder over any [`Write`] sink.
+///
+/// The header goes out at construction; each [`push`](Self::push)
+/// appends one self-contained trace block; [`finish`](Self::finish)
+/// appends the offset index and footer tail. Scratch buffers are
+/// reused across pushes, so steady-state writing allocates only when
+/// a trace is larger than every previous one.
+pub struct TraceWriter<W: Write> {
+    out: W,
+    /// Label used in I/O error messages (a path for file sinks).
+    label: String,
+    pos: u64,
+    records: u64,
+    offsets: Vec<u64>,
+    block: Vec<u8>,
+    side: Vec<u8>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a store on `out`, writing the 32-byte header. `label`
+    /// names the sink in error messages; `spec_hash` is the campaign
+    /// spec fingerprint recorded in the header (0 if unknown).
+    pub fn new(out: W, label: &str, spec_hash: u64) -> Result<TraceWriter<W>, StoreError> {
+        let mut w = TraceWriter {
+            out,
+            label: String::from(label),
+            pos: 0,
+            records: 0,
+            offsets: Vec::new(),
+            block: Vec::new(),
+            side: Vec::new(),
+        };
+        w.block.extend_from_slice(&MAGIC);
+        w.block.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        w.block.extend_from_slice(&0u32.to_le_bytes()); // flags, reserved
+        w.block
+            .extend_from_slice(&code_version_hash().to_le_bytes());
+        w.block.extend_from_slice(&spec_hash.to_le_bytes());
+        w.flush_block()?;
+        Ok(w)
+    }
+
+    /// Appends one trace as a self-contained block.
+    pub fn push(&mut self, trace: &SimTrace) -> Result<(), StoreError> {
+        self.offsets.extend_from_slice(&[self.pos]);
+        self.records += trace.records.len() as u64;
+        self.block.clear();
+        self.block
+            .extend_from_slice(&(trace.records.len() as u32).to_le_bytes());
+
+        self.side.clear();
+        encode_steps(&trace.records, &mut self.side);
+        self.block
+            .extend_from_slice(&(self.side.len() as u32).to_le_bytes());
+        let side = std::mem::take(&mut self.side);
+        self.block.extend_from_slice(&side);
+        self.side = side;
+
+        encode_columns(&trace.records, &mut self.block);
+
+        self.side.clear();
+        encode_meta(&trace.meta, &mut self.side);
+        self.block
+            .extend_from_slice(&(self.side.len() as u32).to_le_bytes());
+        let side = std::mem::take(&mut self.side);
+        self.block.extend_from_slice(&side);
+        self.side = side;
+
+        self.side.clear();
+        encode_tracks(&trace.monitor_tracks, &mut self.side);
+        self.block
+            .extend_from_slice(&(self.side.len() as u32).to_le_bytes());
+        let side = std::mem::take(&mut self.side);
+        self.block.extend_from_slice(&side);
+        self.side = side;
+
+        self.flush_block()
+    }
+
+    /// Number of traces pushed so far.
+    pub fn trace_count(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Bytes written so far (header included).
+    pub fn bytes_written(&self) -> u64 {
+        self.pos
+    }
+
+    /// Writes the offset index and footer tail, flushes, and returns
+    /// the sink together with the store summary.
+    pub fn finish(mut self) -> Result<(W, StoreStats), StoreError> {
+        let index_offset = self.pos;
+        self.block.clear();
+        let offsets = std::mem::take(&mut self.offsets);
+        for &off in &offsets {
+            self.block.extend_from_slice(&off.to_le_bytes());
+        }
+        self.block.extend_from_slice(&index_offset.to_le_bytes());
+        self.block
+            .extend_from_slice(&(offsets.len() as u64).to_le_bytes());
+        self.block.extend_from_slice(&END_MAGIC);
+        self.offsets = offsets;
+        self.flush_block()?;
+        let stats = StoreStats {
+            traces: self.offsets.len(),
+            records: self.records,
+            bytes: self.pos,
+        };
+        if let Err(e) = self.out.flush() {
+            return Err(StoreError::Io {
+                path: self.label,
+                detail: e.to_string(),
+            });
+        }
+        Ok((self.out, stats))
+    }
+
+    fn flush_block(&mut self) -> Result<(), StoreError> {
+        if let Err(e) = self.out.write_all(&self.block) {
+            return Err(StoreError::Io {
+                path: self.label.clone(),
+                detail: e.to_string(),
+            });
+        }
+        self.pos += self.block.len() as u64;
+        self.block.clear();
+        Ok(())
+    }
+}
+
+/// File-backed writer with atomic finalize.
+///
+/// Writes to `<path>.tmp` and renames to `path` only in
+/// [`finalize`](Self::finalize); dropping the writer without
+/// finalizing removes the temp file, so the destination path is either
+/// absent or a complete store — never a torn one.
+pub struct FileTraceWriter {
+    inner: Option<TraceWriter<std::io::BufWriter<std::fs::File>>>,
+    tmp: PathBuf,
+    dst: PathBuf,
+}
+
+impl FileTraceWriter {
+    /// Creates `<path>.tmp` and writes the store header to it.
+    pub fn create(path: &Path, spec_hash: u64) -> Result<FileTraceWriter, StoreError> {
+        let dst = path.to_path_buf();
+        let mut tmp = dst.clone().into_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let file = std::fs::File::create(&tmp).map_err(|e| StoreError::Io {
+            path: tmp.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        let inner = TraceWriter::new(
+            std::io::BufWriter::new(file),
+            &dst.display().to_string(),
+            spec_hash,
+        )?;
+        Ok(FileTraceWriter {
+            inner: Some(inner),
+            tmp,
+            dst,
+        })
+    }
+
+    /// Appends one trace. See [`TraceWriter::push`].
+    pub fn push(&mut self, trace: &SimTrace) -> Result<(), StoreError> {
+        match self.inner.as_mut() {
+            Some(w) => w.push(trace),
+            None => Err(StoreError::Io {
+                path: self.dst.display().to_string(),
+                detail: String::from("writer already finalized"),
+            }),
+        }
+    }
+
+    /// Number of traces pushed so far.
+    pub fn trace_count(&self) -> usize {
+        self.inner.as_ref().map_or(0, TraceWriter::trace_count)
+    }
+
+    /// Writes the footer, flushes, and atomically renames the temp
+    /// file into place.
+    pub fn finalize(mut self) -> Result<StoreStats, StoreError> {
+        let inner = self.inner.take().ok_or_else(|| StoreError::Io {
+            path: self.dst.display().to_string(),
+            detail: String::from("writer already finalized"),
+        })?;
+        let (buf, stats) = inner.finish()?;
+        drop(buf);
+        std::fs::rename(&self.tmp, &self.dst).map_err(|e| StoreError::Io {
+            path: self.dst.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        Ok(stats)
+    }
+}
+
+impl Drop for FileTraceWriter {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            // Abandoned mid-write: drop the handle, then best-effort
+            // remove the temp file so nothing torn lingers on disk.
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{FOOTER_TAIL_LEN, HEADER_LEN};
+    use aps_types::{Hazard, MgDl, Step, Units, UnitsPerHour};
+
+    fn rec(step: u32, bg: f64) -> StepRecord {
+        StepRecord {
+            step: Step(step),
+            bg: MgDl(bg),
+            bg_true: MgDl(bg + 1.0),
+            iob: Units(0.5),
+            commanded: UnitsPerHour(1.0),
+            delivered: UnitsPerHour(1.0),
+            action: aps_types::ControlAction::KeepInsulin,
+            fault_active: step.is_multiple_of(2),
+            hazard: None,
+            alert: Some(Hazard::H1),
+        }
+    }
+
+    fn trace(n: u32) -> SimTrace {
+        let meta = TraceMeta {
+            patient: String::from("adult#001"),
+            initial_bg: 120.0,
+            fault_name: String::from("none"),
+            fault_start: None,
+            hazard_onset: Some(Step(3)),
+            hazard_type: Some(Hazard::H2),
+        };
+        let mut t = SimTrace::new(meta);
+        for i in 0..n {
+            t.push(rec(i, 100.0 + f64::from(i)));
+        }
+        t
+    }
+
+    #[test]
+    fn empty_store_is_header_plus_tail() {
+        let (buf, stats) = TraceWriter::new(Vec::new(), "<mem>", 7)
+            .unwrap()
+            .finish()
+            .unwrap();
+        assert_eq!(buf.len(), HEADER_LEN + FOOTER_TAIL_LEN);
+        assert_eq!(stats.traces, 0);
+        assert_eq!(stats.records, 0);
+        assert_eq!(stats.bytes, buf.len() as u64);
+        assert_eq!(&buf[..8], b"APSTRACE");
+        assert_eq!(&buf[buf.len() - 8..], b"APSTREND");
+    }
+
+    #[test]
+    fn monotone_steps_pack_to_one_byte_each() {
+        let t = trace(100);
+        let mut out = Vec::new();
+        encode_steps(&t.records, &mut out);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn stats_count_traces_and_records() {
+        let mut w = TraceWriter::new(Vec::new(), "<mem>", 0).unwrap();
+        w.push(&trace(5)).unwrap();
+        w.push(&trace(0)).unwrap();
+        w.push(&trace(3)).unwrap();
+        assert_eq!(w.trace_count(), 3);
+        let (_, stats) = w.finish().unwrap();
+        assert_eq!(stats.traces, 3);
+        assert_eq!(stats.records, 8);
+    }
+
+    #[test]
+    fn file_writer_is_atomic() {
+        let dir = std::env::temp_dir().join("aps_tracestore_writer_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.apst");
+        let _ = std::fs::remove_file(&path);
+
+        // Abandoned writer leaves nothing at the destination.
+        {
+            let mut w = FileTraceWriter::create(&path, 0).unwrap();
+            w.push(&trace(4)).unwrap();
+        }
+        assert!(!path.exists(), "abandoned writer must not leave a store");
+        assert!(!path.with_extension("apst.tmp").exists());
+
+        // Finalized writer leaves exactly one complete store.
+        let mut w = FileTraceWriter::create(&path, 0).unwrap();
+        w.push(&trace(4)).unwrap();
+        let stats = w.finalize().unwrap();
+        assert!(path.exists());
+        assert_eq!(stats.traces, 1);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            stats.bytes,
+            "stats.bytes matches the on-disk size"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`risk`] | BG risk index and hazard labeling |
 //! | [`metrics`] | tolerance-window metrics, TTH, reaction time, risk |
 //! | [`core`] | **the contribution**: SCS, threshold learning, monitors, mitigation |
+//! | [`tracestore`] | versioned columnar binary trace store (streaming writer, zero-copy reader) |
 //! | [`sim`] | sessions, closed-loop harness, platforms, campaigns, datasets |
 //!
 //! # Quickstart
@@ -294,6 +295,74 @@
 //! context rules fire on the unsafe *action* rather than its
 //! consequence.
 //!
+//! # Trace storage
+//!
+//! Specs and reports round-trip through JSON; bulk trace corpora do
+//! not. A cohort-scale campaign (~10⁸ step records) pays full-text
+//! deserialization and per-record allocation on every replay or
+//! training pass if it lives in JSONL. The
+//! [`tracestore`] crate stores a corpus in a
+//! versioned little-endian **columnar** binary file instead:
+//!
+//! ```text
+//! header (32 B):  "APSTRACE" | version | flags | code hash | spec hash
+//! per trace:      n_records | step deltas (zigzag varint)
+//!                 | bg | bg_true | iob | commanded | delivered  (f64 cols)
+//!                 | action u8 | fault bitset | hazard u8 | alert u8
+//!                 | TraceMeta side table | AlertTrack side table
+//! footer:         per-trace offsets | index offset | count | "APSTREND"
+//! ```
+//!
+//! * **Writing is streaming** — [`tracestore::FileTraceWriter`]
+//!   is a `run_campaign_with`
+//!   sink (`repro bench-campaign --store F` emits the store directly);
+//!   finalize is an atomic temp-file rename, so the destination is
+//!   never torn.
+//! * **Reading is zero-copy** — [`tracestore::TraceStoreReader`]
+//!   validates the whole file
+//!   once at open; after that, record iteration and column reads
+//!   decode straight off the single mapped buffer with no per-record
+//!   allocation. Owned [`SimTrace`](types::SimTrace)s materialize only
+//!   on demand, and are **bit-identical** to the JSONL path (exact
+//!   `f64` bits; pinned by proptest in
+//!   `tests/tracestore_roundtrip.rs`).
+//! * **Wired through the stack** —
+//!   [`sim::replay::replay_store_with`] replays monitors straight out
+//!   of a store, [`sim::dataset::push_store_traces`] streams forecast
+//!   windows off the `bg`/`commanded` columns into a
+//!   [`ml::data::TraceDataset`] (bit-identical to the JSONL path), and
+//!   `repro convert` moves corpora between formats with a measured
+//!   `--verify` round trip (size ratio, read speedup, bit-identity →
+//!   `results/convert_verify.json`).
+//! * **Versioned both ways** — a file from a *newer* format is
+//!   rejected with the typed [`tracestore::StoreError::Version`];
+//!   side tables are
+//!   length-prefixed, so a v1 reader defaults fields an older writer
+//!   omitted and ignores additions from a newer one.
+//!
+//! ```
+//! use aps_repro::prelude::*;
+//! use aps_repro::tracestore::{write_store, TraceStoreReader};
+//!
+//! // Record a tiny campaign, store it, and read it back bit-identical.
+//! let spec = CampaignSpec {
+//!     patient_indices: vec![0],
+//!     initial_bgs: vec![120.0],
+//!     steps: 30,
+//!     ..CampaignSpec::quick(Platform::GlucosymOref0)
+//! };
+//! let traces = run_campaign(&spec, None);
+//! let bytes = write_store(&traces, 0).expect("encode");
+//! let reader = TraceStoreReader::from_bytes(bytes).expect("validate");
+//! assert_eq!(reader.len(), traces.len());
+//! assert_eq!(reader.read_all(), traces);
+//!
+//! // Columns stream without materializing traces.
+//! let mut bg = Vec::new();
+//! reader.view(0).copy_f64_column(aps_repro::tracestore::F64Column::Bg, &mut bg);
+//! assert_eq!(bg.len(), traces[0].len());
+//! ```
+//!
 //! # Static analysis
 //!
 //! The invariants above are guarded dynamically — counting-allocator
@@ -342,6 +411,7 @@ pub use aps_optim as optim;
 pub use aps_risk as risk;
 pub use aps_sim as sim;
 pub use aps_stl as stl;
+pub use aps_tracestore as tracestore;
 pub use aps_types as types;
 
 /// The most commonly used items, for `use aps_repro::prelude::*`.
@@ -378,10 +448,17 @@ pub mod prelude {
     pub use aps_sim::chaos::ChaosConfig;
     pub use aps_sim::checkpoint::{CampaignCheckpoint, CheckpointError};
     pub use aps_sim::closed_loop::{self, ExerciseBout, LoopConfig, Meal};
+    pub use aps_sim::dataset::push_store_traces;
     pub use aps_sim::outcome::{Backoff, ErrorLedger, JobOutcome, RetryPolicy, SimError};
     pub use aps_sim::platform::Platform;
-    pub use aps_sim::replay::{replay_campaign, replay_campaign_with, replay_monitor};
+    pub use aps_sim::replay::{
+        replay_campaign, replay_campaign_with, replay_monitor, replay_store, replay_store_with,
+    };
     pub use aps_sim::session::{MonitorSpec, Session, SessionBuilder, SessionError, SessionSpec};
+    pub use aps_tracestore::{
+        read_store, write_store, FileTraceWriter, StoreError, StoreInfo, TraceStoreReader,
+        TraceWriter,
+    };
     pub use aps_types::{
         AlertTrack, ControlAction, Hazard, MgDl, SimTrace, Step, StepRecord, Units, UnitsPerHour,
     };

@@ -32,6 +32,10 @@
 //!   convert               JSONL <-> binary trace store (--to-store /
 //!                         --to-jsonl / --verify / --gen-quick)
 //!   lint                  aps-lint static analysis vs the committed baseline
+//!   serve                 campaign-service daemon on a Unix socket
+//!   submit/status/fetch/cancel/shutdown
+//!                         campaign-service client commands
+//!   sweep-gate            multi-core scaling gate over a --sweep-workers report
 //!   all                   everything above, in order
 //!
 //! flags (workload scaling):
@@ -145,6 +149,14 @@ fn main() {
         // Corpus conversion likewise has its own flag set (input
         // sniffing, output formats, verification).
         std::process::exit(aps_bench::convert::run_convert(&args[1..]));
+    }
+    if matches!(
+        which.as_str(),
+        "serve" | "submit" | "status" | "fetch" | "cancel" | "shutdown" | "sweep-gate"
+    ) {
+        // Campaign-service daemon/client commands and the CI scaling
+        // gate: own flag sets, dispatched before the experiment parser.
+        std::process::exit(aps_bench::servicecmd::run_service(&which, &args[1..]));
     }
     // `--guard <baseline.json>` is a bench-campaign-only flag: compare
     // the fresh speedup against a committed report and fail the
@@ -373,6 +385,29 @@ static analysis:
   lint --write-baseline      regenerate lint.baseline; refuses to grow it
   lint --root/--config/--baseline/--out/--no-out
                              override the default paths
+
+campaign service (daemon + client over a length-prefixed JSON wire
+protocol on a Unix socket; shard-resumable, content-addressed cache):
+  serve --socket P --data D  run the daemon in the foreground
+        [--workers N] [--checkpoint-every N] [--throttle-ms N]
+  submit --socket P (--quick | --spec F)
+        [--steps N] [--bgs 120,160] [--shards N] [--priority N]
+        [--seed S] [--wait] [--verify-serial] [--expect-cached]
+                             submit a campaign; --verify-serial waits
+                             and requires the service digest to be
+                             bit-identical to an in-process serial run;
+                             --expect-cached fails unless the result
+                             was served from the content-addressed
+                             cache with zero executor work
+  status --socket P [--job ID] [--wait [--timeout-s N]]
+                             job manifests; --wait polls to terminal
+  fetch --socket P --job ID [--out F] [--verify-serial]
+                             locate/copy a finished job's trace store
+  cancel --socket P --job ID / shutdown --socket P
+  sweep-gate <report.json> [--min-ratio X]
+                             fail unless the recorded 2-worker scalar
+                             throughput is >= X times the 1-worker one
+                             (default 1.3; the CI scaling gate)
 
 fault tolerance (any of these switches bench-campaign to the hardened
 executor: isolated jobs, error ledger, partial results):

@@ -21,5 +21,6 @@ pub mod lintcmd;
 pub mod opts;
 pub mod perf;
 pub mod report;
+pub mod servicecmd;
 pub mod summary;
 pub mod zoo;

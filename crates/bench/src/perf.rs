@@ -374,6 +374,50 @@ pub fn bench_campaign_guarded(
     }
 }
 
+/// Multi-core scaling gate over a recorded workers sweep: the
+/// 2-worker scalar throughput must be at least `min_ratio` times the
+/// 1-worker throughput. Like the speedup guard, the *ratio* is
+/// machine-portable — both points come from the same host and process
+/// — so the gate is meaningful on arbitrary CI hardware. Returns a
+/// human-readable summary on success.
+pub fn check_sweep_gate(report: &CampaignBenchReport, min_ratio: f64) -> Result<String, String> {
+    let point = |workers: usize| {
+        report
+            .sweep
+            .iter()
+            .find(|p| p.workers == workers)
+            .ok_or_else(|| {
+                format!(
+                    "sweep gate needs a {workers}-worker point; report has {:?} \
+                     (run bench-campaign with --sweep-workers)",
+                    report.sweep.iter().map(|p| p.workers).collect::<Vec<_>>()
+                )
+            })
+    };
+    let one = point(1)?;
+    let two = point(2)?;
+    let ratio = two.scalar.runs_per_sec / one.scalar.runs_per_sec;
+    if !ratio.is_finite() {
+        return Err(format!(
+            "sweep gate: non-finite scalar ratio ({} / {} runs/s)",
+            two.scalar.runs_per_sec, one.scalar.runs_per_sec
+        ));
+    }
+    if ratio < min_ratio {
+        return Err(format!(
+            "multi-core scaling regressed: 2-worker scalar throughput is \
+             {ratio:.2}x the 1-worker throughput (< required {min_ratio:.2}x; \
+             {:.1} vs {:.1} runs/s)",
+            two.scalar.runs_per_sec, one.scalar.runs_per_sec
+        ));
+    }
+    let batched_ratio = two.batched.runs_per_sec / one.batched.runs_per_sec;
+    Ok(format!(
+        "sweep gate ok: scalar 2-worker/1-worker = {ratio:.2}x (>= {min_ratio:.2}x); \
+         batched = {batched_ratio:.2}x (informative)"
+    ))
+}
+
 /// Faithful reconstruction of the seed's simulation hot path, kept as
 /// the pre-optimization baseline. Everything here intentionally
 /// mirrors the seed commit: do not "fix" it.
@@ -950,6 +994,44 @@ mod tests {
         let legacy = report(3.4, 0.0);
         assert!(check_speedup_guard(&report(3.4, 0.0), &legacy, 0.8).is_ok());
         assert!(check_speedup_guard(&report(3.4, f64::NAN), &legacy, 0.8).is_ok());
+    }
+
+    #[test]
+    fn sweep_gate_enforces_two_worker_ratio() {
+        let point = |workers: usize, scalar_rps: f64, batched_rps: f64| WorkerSweepPoint {
+            workers,
+            scalar: Throughput {
+                secs: 1.0,
+                runs_per_sec: scalar_rps,
+                steps_per_sec: scalar_rps * 150.0,
+            },
+            batched: Throughput {
+                secs: 1.0,
+                runs_per_sec: batched_rps,
+                steps_per_sec: batched_rps * 150.0,
+            },
+        };
+        let report = |two_rps: f64| CampaignBenchReport {
+            sweep: vec![point(1, 1000.0, 4000.0), point(2, two_rps, 6000.0)],
+            ..CampaignBenchReport::default()
+        };
+        // 1.8x scaling clears the 1.3x bar.
+        assert!(check_sweep_gate(&report(1800.0), 1.3).is_ok());
+        // 1.1x does not.
+        let err = check_sweep_gate(&report(1100.0), 1.3).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        // Missing sweep points and degenerate throughputs are typed
+        // failures, not panics.
+        let empty = CampaignBenchReport::default();
+        assert!(check_sweep_gate(&empty, 1.3)
+            .unwrap_err()
+            .contains("--sweep-workers"));
+        assert!(check_sweep_gate(&report(f64::NAN), 1.3).is_err());
+        let zero_base = CampaignBenchReport {
+            sweep: vec![point(1, 0.0, 0.0), point(2, 1000.0, 1000.0)],
+            ..CampaignBenchReport::default()
+        };
+        assert!(check_sweep_gate(&zero_base, 1.3).is_err());
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! Length-prefixed JSON wire protocol for the campaign service.
+//!
+//! Frame layout: a 4-byte little-endian payload length followed by
+//! exactly that many bytes of UTF-8 JSON. The JSON payload is a
+//! versioned envelope — `{"version": 1, "request": {...}}` (and
+//! `response`/`event` for the other directions) — so a reader first
+//! probes the `version` field and rejects frames from a newer
+//! protocol with a typed [`WireError::Version`] instead of a parse
+//! error. The campaign specs inside `SubmitCampaign` are the existing
+//! `aps_sim` serde types; the protocol adds no second schema.
+//!
+//! Every decode failure is a typed [`WireError`] — malformed JSON,
+//! truncated frames, oversized lengths, and unknown future versions
+//! all return errors, never panic (pinned by proptests).
+
+use aps_sim::campaign::CampaignSpec;
+use aps_tracestore::StoreInfo;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Highest protocol version this build understands.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard ceiling on one frame's payload, to keep a malicious or
+/// corrupt length prefix from ballooning memory.
+pub const MAX_FRAME: usize = 8 * 1024 * 1024;
+
+/// Client-to-daemon request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit a campaign: shard it, run it (or serve it from cache).
+    SubmitCampaign {
+        /// The campaign to run — the existing serde spec, verbatim
+        /// (boxed only to keep the request enum small on the stack;
+        /// the JSON encoding is unchanged).
+        spec: Box<CampaignSpec>,
+        /// Requested shard count (the planner may use fewer).
+        shards: usize,
+        /// Higher runs first among queued jobs.
+        priority: u32,
+        /// Campaign seed lane folded into the cache key (hex u64;
+        /// "0" for the default deterministic campaign).
+        #[serde(default)]
+        seed: String,
+    },
+    /// Report one job (`job` = its id) or all jobs (`job` empty).
+    Status {
+        /// Job id, or empty for every known job.
+        #[serde(default)]
+        job: String,
+    },
+    /// Stream progress events for a job until it reaches a terminal
+    /// state; this is the connection's final request.
+    Subscribe {
+        /// Job id to follow.
+        job: String,
+    },
+    /// Cancel a queued or running job.
+    Cancel {
+        /// Job id to cancel.
+        job: String,
+    },
+    /// Locate a finished job's result store on disk.
+    Fetch {
+        /// Job id to fetch.
+        job: String,
+    },
+    /// Stop the daemon: the scheduler halts after persisting state,
+    /// every subscriber is drained with [`Event::Closing`].
+    Shutdown,
+}
+
+/// Daemon-to-client reply (one per request).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Submission accepted (or recognized as already present).
+    Submitted {
+        /// Job id: the hex content-address of (spec, seed, code).
+        job: String,
+        /// Job state right after submission.
+        state: String,
+        /// Total jobs in the campaign grid.
+        total_jobs: usize,
+        /// `true` when no executor work is needed: the result was
+        /// already complete (content-addressed cache hit).
+        cached: bool,
+    },
+    /// Job manifests, most useful with [`Request::Status`].
+    Status {
+        /// One manifest per known job (one entry for a named job).
+        jobs: Vec<crate::job::JobManifest>,
+    },
+    /// Result store location for [`Request::Fetch`].
+    Fetched {
+        /// Absolute path of the cached `aps_tracestore` file.
+        path: String,
+        /// Store summary (hashes, trace/record counts).
+        info: StoreInfo,
+    },
+    /// Request acknowledged, nothing further to report.
+    Done,
+    /// Request failed; `code` is stable, `detail` human-readable.
+    Error {
+        /// Stable machine-readable error class.
+        code: String,
+        /// Human-readable explanation.
+        detail: String,
+    },
+}
+
+/// Daemon-to-subscriber progress stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// Executor progress: `executed` of `total` jobs emitted.
+    Progress {
+        /// Job id.
+        job: String,
+        /// Jobs executed so far in this daemon lifetime.
+        executed: usize,
+        /// Total jobs in the campaign.
+        total: usize,
+    },
+    /// One shard finished (checkpoint complete).
+    ShardDone {
+        /// Job id.
+        job: String,
+        /// Shard index (0-based).
+        shard: usize,
+        /// Total planned shards.
+        shards: usize,
+    },
+    /// The job reached a terminal state.
+    JobDone {
+        /// Job id.
+        job: String,
+        /// Terminal state: `done`, `failed`, or `cancelled`.
+        state: String,
+        /// Campaign digest (hex), empty unless `done`.
+        digest: String,
+    },
+    /// The daemon is shutting down; no further events will arrive.
+    Closing,
+}
+
+/// Versioned request envelope (the JSON payload of a frame).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct RequestFrame {
+    /// Protocol version of the sender.
+    pub version: u32,
+    /// The request; `None` marks a malformed envelope.
+    pub request: Option<Request>,
+}
+
+/// Versioned response envelope.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ResponseFrame {
+    /// Protocol version of the sender.
+    pub version: u32,
+    /// The response; `None` marks a malformed envelope.
+    pub response: Option<Response>,
+}
+
+/// Versioned event envelope.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct EventFrame {
+    /// Protocol version of the sender.
+    pub version: u32,
+    /// The event; `None` marks a malformed envelope.
+    pub event: Option<Event>,
+}
+
+/// Typed wire failure. Every protocol-level problem maps here;
+/// nothing in the codec panics on attacker-controlled bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Underlying socket/file I/O failed.
+    Io {
+        /// Rendered `std::io::Error`.
+        detail: String,
+    },
+    /// Peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// Stream ended mid-frame (inside the prefix or the payload).
+    Truncated,
+    /// Length prefix exceeds [`MAX_FRAME`].
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+        /// The enforced ceiling ([`MAX_FRAME`]).
+        max: usize,
+    },
+    /// Payload is not valid UTF-8 JSON of the expected shape.
+    Malformed {
+        /// What failed to parse.
+        detail: String,
+    },
+    /// Envelope is from a newer protocol than this build supports.
+    Version {
+        /// Version advertised by the peer.
+        found: u32,
+        /// Highest version this build understands.
+        supported: u32,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io { detail } => write!(f, "wire i/o error: {detail}"),
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Truncated => write!(f, "frame truncated mid-stream"),
+            WireError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds maximum {max}")
+            }
+            WireError::Malformed { detail } => write!(f, "malformed frame: {detail}"),
+            WireError::Version { found, supported } => {
+                write!(
+                    f,
+                    "protocol version {found} newer than supported {supported}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Reads one frame payload. A clean EOF before any prefix byte is
+/// [`WireError::Closed`]; EOF anywhere inside a frame is
+/// [`WireError::Truncated`].
+pub fn read_frame(from: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < prefix.len() {
+        match from.read(&mut prefix[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    WireError::Closed
+                } else {
+                    WireError::Truncated
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                return Err(WireError::Io {
+                    detail: e.to_string(),
+                })
+            }
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match from.read(&mut payload[got..]) {
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                return Err(WireError::Io {
+                    detail: e.to_string(),
+                })
+            }
+        }
+    }
+    Ok(payload)
+}
+
+/// Writes one frame (prefix + payload) and flushes.
+pub fn write_frame(to: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME {
+        return Err(WireError::Oversized {
+            len: payload.len(),
+            max: MAX_FRAME,
+        });
+    }
+    let io = |e: std::io::Error| WireError::Io {
+        detail: e.to_string(),
+    };
+    to.write_all(&(payload.len() as u32).to_le_bytes())
+        .map_err(io)?;
+    to.write_all(payload).map_err(io)?;
+    to.flush().map_err(io)
+}
+
+/// Probes the envelope version, then decodes the payload with `get`.
+/// The version check runs first so a frame from a future protocol —
+/// which may contain variants this build cannot parse — reports
+/// [`WireError::Version`], not a confusing parse error.
+fn decode_envelope<T>(
+    payload: &[u8],
+    get: impl FnOnce(&serde::Value) -> Result<T, WireError>,
+) -> Result<T, WireError> {
+    let text = std::str::from_utf8(payload).map_err(|e| WireError::Malformed {
+        detail: format!("payload is not UTF-8: {e}"),
+    })?;
+    let value: serde::Value = serde_json::from_str(text).map_err(|e| WireError::Malformed {
+        detail: e.to_string(),
+    })?;
+    let version = value
+        .get("version")
+        .and_then(serde::Value::as_u64)
+        .ok_or_else(|| WireError::Malformed {
+            detail: String::from("envelope has no numeric `version`"),
+        })?;
+    if version > u64::from(PROTOCOL_VERSION) {
+        return Err(WireError::Version {
+            found: u32::try_from(version).unwrap_or(u32::MAX),
+            supported: PROTOCOL_VERSION,
+        });
+    }
+    get(&value)
+}
+
+fn decode_slot<E: serde::Deserialize, T>(
+    value: &serde::Value,
+    slot: &str,
+    pick: impl FnOnce(E) -> Option<T>,
+) -> Result<T, WireError> {
+    let envelope = E::from_value(value).map_err(|e| WireError::Malformed {
+        detail: e.to_string(),
+    })?;
+    pick(envelope).ok_or_else(|| WireError::Malformed {
+        detail: format!("envelope has no `{slot}`"),
+    })
+}
+
+/// Encodes a request into a frame payload.
+pub fn encode_request(request: &Request) -> Result<Vec<u8>, WireError> {
+    encode(&RequestFrame {
+        version: PROTOCOL_VERSION,
+        request: Some(request.clone()),
+    })
+}
+
+/// Decodes a frame payload into a request.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    decode_envelope(payload, |v| {
+        decode_slot(v, "request", |e: RequestFrame| e.request)
+    })
+}
+
+/// Encodes a response into a frame payload.
+pub fn encode_response(response: &Response) -> Result<Vec<u8>, WireError> {
+    encode(&ResponseFrame {
+        version: PROTOCOL_VERSION,
+        response: Some(response.clone()),
+    })
+}
+
+/// Decodes a frame payload into a response.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    decode_envelope(payload, |v| {
+        decode_slot(v, "response", |e: ResponseFrame| e.response)
+    })
+}
+
+/// Encodes an event into a frame payload.
+pub fn encode_event(event: &Event) -> Result<Vec<u8>, WireError> {
+    encode(&EventFrame {
+        version: PROTOCOL_VERSION,
+        event: Some(event.clone()),
+    })
+}
+
+/// Decodes a frame payload into an event.
+pub fn decode_event(payload: &[u8]) -> Result<Event, WireError> {
+    decode_envelope(payload, |v| {
+        decode_slot(v, "event", |e: EventFrame| e.event)
+    })
+}
+
+fn encode<T: Serialize>(envelope: &T) -> Result<Vec<u8>, WireError> {
+    serde_json::to_string(envelope)
+        .map(String::into_bytes)
+        .map_err(|e| WireError::Malformed {
+            detail: e.to_string(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_sim::platform::Platform;
+
+    #[test]
+    fn request_round_trips_through_a_frame() {
+        let req = Request::SubmitCampaign {
+            spec: Box::new(CampaignSpec::quick(Platform::GlucosymOref0)),
+            shards: 4,
+            priority: 2,
+            seed: String::from("0"),
+        };
+        let payload = encode_request(&req).unwrap();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = &buf[..];
+        let back = read_frame(&mut cursor).unwrap();
+        assert_eq!(decode_request(&back).unwrap(), req);
+        assert_eq!(read_frame(&mut cursor), Err(WireError::Closed));
+    }
+
+    #[test]
+    fn future_version_is_a_typed_error_even_with_unknown_variants() {
+        let payload = br#"{"version": 99, "request": {"WarpCore": {"dilithium": 7}}}"#;
+        assert_eq!(
+            decode_request(payload),
+            Err(WireError::Version {
+                found: 99,
+                supported: PROTOCOL_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(b"xx");
+        let mut cursor = &buf[..];
+        assert_eq!(
+            read_frame(&mut cursor),
+            Err(WireError::Oversized {
+                len: u32::MAX as usize,
+                max: MAX_FRAME
+            })
+        );
+    }
+
+    #[test]
+    fn truncation_inside_prefix_or_payload_is_typed() {
+        let mut cursor: &[u8] = &[1, 0];
+        assert_eq!(read_frame(&mut cursor), Err(WireError::Truncated));
+        let mut cursor: &[u8] = &[5, 0, 0, 0, b'h', b'i'];
+        assert_eq!(read_frame(&mut cursor), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn events_and_responses_round_trip() {
+        let ev = Event::ShardDone {
+            job: String::from("abc"),
+            shard: 1,
+            shards: 3,
+        };
+        assert_eq!(decode_event(&encode_event(&ev).unwrap()).unwrap(), ev);
+        let resp = Response::Error {
+            code: String::from("unknown-job"),
+            detail: String::from("no job xyz"),
+        };
+        assert_eq!(
+            decode_response(&encode_response(&resp).unwrap()).unwrap(),
+            resp
+        );
+    }
+}

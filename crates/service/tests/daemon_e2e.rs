@@ -1,0 +1,230 @@
+//! End-to-end daemon tests over a real Unix socket: kill/resume
+//! bit-identity, the content-addressed cache hit path, cancellation,
+//! and shutdown draining subscribers.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use aps_service::daemon::{run_daemon, ServiceConfig};
+use aps_service::{CacheStats, Client, ServiceError};
+use aps_sim::campaign::{run_campaign_ft, CampaignOptions, CampaignSpec};
+use aps_sim::platform::Platform;
+use aps_tracestore::{read_store, TraceStoreReader};
+
+/// Short-lived unique scratch dir (sockets have a ~107-byte path
+/// limit, so everything stays under /tmp with terse names).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("apssvc-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn small_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::quick(Platform::GlucosymOref0);
+    spec.initial_bgs = vec![120.0, 160.0];
+    spec.steps = 20;
+    spec
+}
+
+/// Connects with retries while the daemon binds its socket.
+fn connect(socket: &Path) -> Client {
+    for _ in 0..500 {
+        if let Ok(client) = Client::connect(socket) {
+            return client;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("daemon never came up on {}", socket.display());
+}
+
+/// Polls status until the job is terminal (for restarts where a
+/// subscription from the old daemon is gone).
+fn wait_done(socket: &Path, job: &str) -> aps_service::JobManifest {
+    for _ in 0..3000 {
+        let mut client = connect(socket);
+        if let Ok(jobs) = client.status(job) {
+            if let Some(m) = jobs.first() {
+                if m.is_terminal() {
+                    return m.clone();
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("job {job} never finished");
+}
+
+#[test]
+fn kill_resume_is_bit_identical_and_resubmit_hits_cache() {
+    let dir = scratch("resume");
+    let socket = dir.join("s1.sock");
+    let data = dir.join("data");
+    let spec = small_spec();
+
+    // Uninterrupted reference: the serial fault-tolerant run.
+    let reference = run_campaign_ft(&spec, None, &CampaignOptions::default()).expect("reference");
+    let total = reference.report.total_jobs;
+    assert!(total > 60, "spec should be non-trivial, got {total}");
+
+    // Daemon #1: configured to behave as if SIGKILLed after 40
+    // executed jobs, mid-shard.
+    let mut config = ServiceConfig::new(&socket, &data);
+    config.checkpoint_every = 3;
+    config.interrupt_after = Some(40);
+    let daemon = std::thread::spawn(move || run_daemon(config));
+
+    let mut client = connect(&socket);
+    let submitted = client.submit(spec.clone(), 4, 0, "0").expect("submit");
+    assert!(!submitted.cached, "first submission cannot be cached");
+    assert_eq!(submitted.total_jobs, total);
+    let job = submitted.job.clone();
+
+    daemon.join().expect("daemon thread").expect("daemon run");
+
+    // The kill left the job incomplete on disk.
+    let manifest = aps_service::JobManifest::load(&data.join("jobs").join(&job))
+        .expect("manifest survives the kill");
+    assert!(
+        !manifest.is_terminal(),
+        "job must not be terminal after kill"
+    );
+    assert!(manifest.executed_jobs < total);
+
+    // Daemon #2: same data dir, no interrupt — the rescan re-queues
+    // and resumes every incomplete shard.
+    let socket2 = dir.join("s2.sock");
+    let config2 = ServiceConfig::new(&socket2, &data);
+    let daemon2 = std::thread::spawn(move || run_daemon(config2));
+
+    let manifest = wait_done(&socket2, &job);
+    assert_eq!(manifest.state, "done");
+    assert_eq!(
+        manifest.digest, reference.report.digest,
+        "resumed digest must be bit-identical to the uninterrupted run"
+    );
+    assert_eq!(manifest.completed_jobs, total);
+    assert_eq!(manifest.failed_jobs, 0);
+
+    // Trace-level bit-identity through fetch.
+    let mut client = connect(&socket2);
+    let (path, info) = client.fetch(&job).expect("fetch");
+    assert_eq!(info.traces as usize, total);
+    let reader = TraceStoreReader::open(Path::new(&path)).expect("open store");
+    let merged = read_store(&reader);
+    let serial: Vec<_> = reference
+        .outcomes
+        .iter()
+        .filter_map(|o| o.trace().cloned())
+        .collect();
+    assert_eq!(merged, serial, "merged traces != uninterrupted serial run");
+
+    // Resubmitting the identical spec is served entirely from cache:
+    // zero newly executed jobs.
+    let executed_before = manifest.executed_jobs;
+    let resubmit = client.submit(spec.clone(), 4, 0, "0").expect("resubmit");
+    assert!(resubmit.cached, "identical resubmission must hit");
+    assert_eq!(resubmit.job, job);
+    let manifest = wait_done(&socket2, &job);
+    assert_eq!(
+        manifest.executed_jobs, executed_before,
+        "cache hit must not execute jobs"
+    );
+
+    // A different seed lane misses (new job id, queued not cached).
+    let other = client
+        .submit(spec.clone(), 4, 0, "7")
+        .expect("seeded submit");
+    assert_ne!(other.job, job, "seed must change the content address");
+    assert!(!other.cached);
+    let _ = client.cancel(&other.job);
+
+    let mut client = connect(&socket2);
+    client.shutdown().expect("shutdown");
+    daemon2
+        .join()
+        .expect("daemon2 thread")
+        .expect("daemon2 run");
+
+    // Cross-daemon hit: wipe the job registry but keep the cache; a
+    // fresh daemon must serve the submission from the cache file.
+    std::fs::remove_dir_all(data.join("jobs")).expect("wipe jobs");
+    let socket3 = dir.join("s3.sock");
+    let config3 = ServiceConfig::new(&socket3, &data);
+    let daemon3 = std::thread::spawn(move || run_daemon(config3));
+    let mut client = connect(&socket3);
+    let cold = client.submit(spec, 4, 0, "0").expect("cold submit");
+    assert!(cold.cached, "cache file alone must serve the hit");
+    assert_eq!(cold.job, job);
+    let manifest = wait_done(&socket3, &job);
+    assert_eq!(manifest.digest, reference.report.digest);
+    assert_eq!(manifest.executed_jobs, 0, "no executor work on a cache hit");
+
+    let stats: CacheStats = serde_json::from_str(
+        &std::fs::read_to_string(data.join("cache").join("stats.json")).expect("stats"),
+    )
+    .expect("parse stats");
+    assert!(stats.hits >= 2, "expected at least two hits, got {stats:?}");
+    assert!(stats.writes >= 1);
+
+    client.shutdown().expect("shutdown 3");
+    daemon3
+        .join()
+        .expect("daemon3 thread")
+        .expect("daemon3 run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_is_terminal_and_shutdown_drains_subscribers() {
+    let dir = scratch("cancel");
+    let socket = dir.join("s.sock");
+    let data = dir.join("data");
+
+    let mut config = ServiceConfig::new(&socket, &data);
+    // Slow the executor down so cancellation lands mid-run.
+    config.throttle_ms = 5;
+    let daemon = std::thread::spawn(move || run_daemon(config));
+
+    let mut client = connect(&socket);
+    let submitted = client.submit(small_spec(), 2, 0, "0").expect("submit");
+    let job = submitted.job.clone();
+
+    // Cancel while running (or still queued — both are legal).
+    let waiter = {
+        let socket = socket.clone();
+        let job = job.clone();
+        std::thread::spawn(move || connect(&socket).wait(&job))
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    client.cancel(&job).expect("cancel");
+    let (state, _) = waiter
+        .join()
+        .expect("waiter thread")
+        .expect("subscription delivers the terminal event");
+    assert_eq!(state, "cancelled");
+    let manifest = wait_done(&socket, &job);
+    assert_eq!(manifest.state, "cancelled");
+
+    // A subscriber to a job that never finishes must be drained with
+    // Closing on shutdown, not left hanging.
+    let mut spec = small_spec();
+    spec.steps = 25; // different spec → different job
+    let submitted = client.submit(spec, 2, 0, "0").expect("submit 2");
+    let waiter = {
+        let socket = socket.clone();
+        let job = submitted.job.clone();
+        std::thread::spawn(move || connect(&socket).wait(&job))
+    };
+    std::thread::sleep(Duration::from_millis(30));
+    connect(&socket).shutdown().expect("shutdown");
+    match waiter.join().expect("waiter thread") {
+        // Daemon closed before the job finished: drained via Closing.
+        Err(ServiceError::Remote { code, .. }) => assert_eq!(code, "closing"),
+        // Or the tiny campaign actually finished first — also fine.
+        Ok((state, _)) => assert_eq!(state, "done"),
+        Err(other) => panic!("subscriber saw unexpected error: {other}"),
+    }
+    daemon.join().expect("daemon thread").expect("daemon run");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,90 @@
+//! Property tests for the wire protocol: arbitrary, truncated,
+//! oversized, and future-version frames must produce typed
+//! [`WireError`]s — never a panic, and never a hang (every decode
+//! consumes a finite buffer).
+
+use aps_service::wire::{
+    decode_event, decode_request, decode_response, encode_request, read_frame, write_frame,
+    Request, WireError, MAX_FRAME, PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn arbitrary_payloads_decode_to_typed_errors(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // None of the decoders may panic on attacker-controlled bytes.
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+        let _ = decode_event(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_streams_read_to_typed_errors(
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut cursor = &bytes[..];
+        match read_frame(&mut cursor) {
+            Ok(payload) => prop_assert!(payload.len() <= bytes.len()),
+            Err(
+                WireError::Closed
+                | WireError::Truncated
+                | WireError::Oversized { .. }
+                | WireError::Io { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncating_a_valid_frame_is_closed_or_truncated(cut in 0usize..40) {
+        let payload = encode_request(&Request::Status {
+            job: String::from("abc"),
+        })
+        .expect("encode");
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &payload).expect("frame");
+        let cut = cut.min(frame.len());
+        let mut cursor = &frame[..cut];
+        let got = read_frame(&mut cursor);
+        if cut == 0 {
+            prop_assert_eq!(got, Err(WireError::Closed));
+        } else if cut < frame.len() {
+            prop_assert_eq!(got, Err(WireError::Truncated));
+        } else {
+            prop_assert!(got.is_ok());
+        }
+    }
+
+    #[test]
+    fn future_versions_are_typed_version_errors(version in 2u64..4_000_000_000) {
+        let payload = format!(
+            "{{\"version\": {version}, \"request\": {{\"SomeFutureThing\": 1}}}}"
+        );
+        let got = decode_request(payload.as_bytes());
+        prop_assert_eq!(
+            got,
+            Err(WireError::Version {
+                found: u32::try_from(version).unwrap_or(u32::MAX),
+                supported: PROTOCOL_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_prefixes_are_rejected_without_reading_payload(
+        extra in 1usize..4096,
+    ) {
+        let len = MAX_FRAME + extra;
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(len as u32).to_le_bytes());
+        // Deliberately provide no payload at all: the length check
+        // must fire before any payload read or allocation.
+        let mut cursor = &frame[..];
+        prop_assert_eq!(
+            read_frame(&mut cursor),
+            Err(WireError::Oversized { len, max: MAX_FRAME })
+        );
+    }
+}

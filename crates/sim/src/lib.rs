@@ -42,6 +42,10 @@
 //! * [`dataset`] — supervised dataset extraction for the ML baselines
 //!   and threshold learning, plus the columnar store→forecast-dataset
 //!   path ([`dataset::push_store_traces`]);
+//! * [`shard`] — shard planning for campaign-as-a-service: splits a
+//!   campaign into standalone sub-specs whose expansions concatenate
+//!   to exactly the parent job list, so per-shard
+//!   checkpoint/resume and result merging stay bit-identical;
 //! * [`io`] — CSV / JSON-Lines persistence of traces for external
 //!   analysis tooling (bulk corpora belong in `aps_tracestore`'s
 //!   binary format instead).
@@ -60,3 +64,4 @@ pub mod outcome;
 pub mod platform;
 pub mod replay;
 pub mod session;
+pub mod shard;

@@ -1,0 +1,234 @@
+//! Shard planning for campaign-as-a-service execution.
+//!
+//! A shard is a contiguous slice of the expanded campaign job list,
+//! expressed as a standalone [`CampaignSpec`] so every existing
+//! executor — including [`run_campaign_resumable`] with its versioned
+//! `CampaignCheckpoint` — runs a shard unchanged. The split exploits
+//! the expansion order pinned by [`campaign_jobs`]: patients are the
+//! outermost loop and initial BGs the next, while the per-(patient,
+//! BG) scenario list depends only on fields a shard never modifies
+//! (platform, fault grid, targets, extended alphabet). Restricting
+//! `patient_indices` (or, when more shards than patients are
+//! requested, `initial_bgs` per patient) therefore yields sub-specs
+//! whose expansions concatenate — in shard order — to exactly the
+//! parent expansion. That property is what makes the shard the unit
+//! of resume for the campaign service: per-shard checkpoints and
+//! per-shard result logs merge back into a bit-identical campaign.
+//!
+//! [`run_campaign_resumable`]: crate::campaign::run_campaign_resumable
+//! [`campaign_jobs`]: crate::campaign::campaign_jobs
+
+use crate::campaign::{campaign_size, CampaignSpec};
+
+/// One planned shard: a standalone sub-spec plus its position in the
+/// parent campaign's job order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    /// Shard position (0-based, in parent job order).
+    pub index: usize,
+    /// Standalone spec whose expansion is this shard's job slice.
+    pub spec: CampaignSpec,
+    /// Index of this shard's first job in the parent expansion.
+    pub job_offset: usize,
+    /// Number of jobs in this shard (`campaign_size(&spec)`).
+    pub job_count: usize,
+}
+
+/// Splits `slice` into `k` contiguous chunks of near-equal size (the
+/// first `len % k` chunks get one extra element). `k` must be in
+/// `1..=slice.len()`.
+fn chunk_bounds(len: usize, k: usize) -> Vec<(usize, usize)> {
+    let base = len / k;
+    let extra = len % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let size = base + usize::from(i < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+/// Plans up to `requested` shards over `spec`.
+///
+/// Guarantees:
+///
+/// - concatenating `campaign_jobs(&shard.spec)` over shards in
+///   `index` order equals `campaign_jobs(spec)` exactly, so
+///   per-shard results merge bit-identically (pinned by tests);
+/// - `job_offset`/`job_count` partition `0..campaign_size(spec)`;
+/// - every shard is non-empty.
+///
+/// The planner may return fewer shards than requested: a campaign
+/// with `p` patients and `b` initial BGs splits into at most `p * b`
+/// shards (the scenario list within one (patient, BG) cell is never
+/// split — a cell is the smallest slice a standalone spec can
+/// express while `include_fault_free` stays per-cell). Degenerate
+/// specs (no patients or no BGs) plan as a single shard.
+pub fn plan_shards(spec: &CampaignSpec, requested: usize) -> Vec<ShardPlan> {
+    let requested = requested.max(1);
+    let patients = spec.patient_indices.len();
+    let bgs = spec.initial_bgs.len();
+
+    let mut specs: Vec<CampaignSpec> = Vec::new();
+    if patients == 0 || bgs == 0 || requested == 1 {
+        specs.push(spec.clone());
+    } else if requested <= patients {
+        // Split the patient axis alone: each shard keeps the full BG
+        // list, so expansion order within a shard matches the parent.
+        for (lo, hi) in chunk_bounds(patients, requested) {
+            let mut sub = spec.clone();
+            sub.patient_indices = spec.patient_indices[lo..hi].to_vec();
+            specs.push(sub);
+        }
+    } else {
+        // More shards than patients: one shard group per patient,
+        // then split that patient's BG list into contiguous chunks.
+        let per_patient = requested.div_ceil(patients).min(bgs);
+        for &pi in &spec.patient_indices {
+            for (lo, hi) in chunk_bounds(bgs, per_patient) {
+                let mut sub = spec.clone();
+                sub.patient_indices = vec![pi];
+                sub.initial_bgs = spec.initial_bgs[lo..hi].to_vec();
+                specs.push(sub);
+            }
+        }
+    }
+
+    let mut plans = Vec::with_capacity(specs.len());
+    let mut offset = 0;
+    for (index, sub) in specs.into_iter().enumerate() {
+        let job_count = campaign_size(&sub);
+        plans.push(ShardPlan {
+            index,
+            spec: sub,
+            job_offset: offset,
+            job_count,
+        });
+        offset += job_count;
+    }
+    debug_assert_eq!(offset, campaign_size(spec), "shards must partition");
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{campaign_jobs, run_campaign_serial, CampaignSpec};
+    use crate::platform::Platform;
+
+    fn spec() -> CampaignSpec {
+        let mut s = CampaignSpec::quick(Platform::GlucosymOref0);
+        s.patient_indices = vec![0, 1, 2];
+        s.initial_bgs = vec![120.0, 160.0];
+        s.steps = 20;
+        s
+    }
+
+    fn assert_partition(spec: &CampaignSpec, requested: usize) {
+        let plans = plan_shards(spec, requested);
+        assert!(!plans.is_empty());
+        let parent = campaign_jobs(spec);
+        let mut offset = 0;
+        let mut merged = Vec::new();
+        for (k, plan) in plans.iter().enumerate() {
+            assert_eq!(plan.index, k);
+            assert_eq!(plan.job_offset, offset);
+            let jobs = campaign_jobs(&plan.spec);
+            assert_eq!(jobs.len(), plan.job_count);
+            assert!(plan.job_count > 0, "empty shard");
+            offset += plan.job_count;
+            merged.extend(jobs);
+        }
+        assert_eq!(offset, parent.len());
+        assert_eq!(merged, parent, "shard concat != parent expansion");
+    }
+
+    #[test]
+    fn shards_partition_the_parent_job_list() {
+        let s = spec();
+        for requested in [1, 2, 3, 4, 5, 6, 7, 100] {
+            assert_partition(&s, requested);
+        }
+    }
+
+    #[test]
+    fn planned_count_is_a_fixed_point() {
+        // The service stores the *planned* shard count in the job
+        // manifest and re-plans from it on resume; that is only sound
+        // if re-planning with the planned count reproduces the plan.
+        let mut specs = vec![spec()];
+        let mut wide = spec();
+        wide.initial_bgs = vec![100.0, 120.0, 160.0, 200.0];
+        specs.push(wide);
+        let mut narrow = spec();
+        narrow.patient_indices = vec![0];
+        specs.push(narrow);
+        for s in &specs {
+            for requested in 1..=12 {
+                let plans = plan_shards(s, requested);
+                let replanned = plan_shards(s, plans.len());
+                assert_eq!(
+                    plans.len(),
+                    replanned.len(),
+                    "plan count not a fixed point for requested={requested}"
+                );
+                for (a, b) in plans.iter().zip(&replanned) {
+                    assert_eq!(a.spec, b.spec);
+                    assert_eq!(a.job_offset, b.job_offset);
+                    assert_eq!(a.job_count, b.job_count);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn requested_zero_clamps_to_one_shard() {
+        let s = spec();
+        let plans = plan_shards(&s, 0);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].spec, s);
+        assert_eq!(plans[0].job_count, campaign_jobs(&s).len());
+    }
+
+    #[test]
+    fn degenerate_specs_plan_one_shard() {
+        let mut s = spec();
+        s.patient_indices.clear();
+        let plans = plan_shards(&s, 8);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].job_count, 0);
+
+        let mut s = spec();
+        s.initial_bgs.clear();
+        assert_eq!(plan_shards(&s, 8).len(), 1);
+    }
+
+    #[test]
+    fn sharded_serial_runs_concat_to_parent_serial_run() {
+        let s = spec();
+        let reference = run_campaign_serial(&s, None);
+        for requested in [2, 4] {
+            let mut merged = Vec::new();
+            for plan in plan_shards(&s, requested) {
+                merged.extend(run_campaign_serial(&plan.spec, None));
+            }
+            assert_eq!(merged.len(), reference.len());
+            // SimTrace is PartialEq over every sample — bit-identity.
+            assert_eq!(merged, reference, "requested={requested}");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_patients_splits_bgs() {
+        let s = spec();
+        let plans = plan_shards(&s, 6);
+        assert_eq!(plans.len(), 6);
+        for plan in &plans {
+            assert_eq!(plan.spec.patient_indices.len(), 1);
+            assert_eq!(plan.spec.initial_bgs.len(), 1);
+        }
+        assert_partition(&s, 6);
+    }
+}

@@ -314,6 +314,81 @@ impl FileTraceWriter {
     }
 }
 
+/// Monotone per-process tag for [`FileTraceWriter::create_unique`]
+/// temp names (combined with the pid so concurrent processes cannot
+/// collide either; deliberately not time- or randomness-based).
+static UNIQUE_TMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl FileTraceWriter {
+    /// Like [`create`](Self::create), but with a writer-unique temp
+    /// name (`<path>.<pid>.<n>.tmp`) so any number of concurrent
+    /// writers can race toward the same destination without clobbering
+    /// each other's in-progress bytes. Pair with
+    /// [`finalize_if_absent`](Self::finalize_if_absent): the campaign
+    /// service's content-addressed cache uses this pair, where the
+    /// destination name is derived from the content key and every
+    /// racer is writing identical bytes.
+    pub fn create_unique(path: &Path, spec_hash: u64) -> Result<FileTraceWriter, StoreError> {
+        let dst = path.to_path_buf();
+        let tag = UNIQUE_TMP.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut tmp = dst.clone().into_os_string();
+        tmp.push(format!(".{}.{}.tmp", std::process::id(), tag));
+        let tmp = PathBuf::from(tmp);
+        let file = std::fs::File::create(&tmp).map_err(|e| StoreError::Io {
+            path: tmp.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        let inner = TraceWriter::new(
+            std::io::BufWriter::new(file),
+            &dst.display().to_string(),
+            spec_hash,
+        )?;
+        Ok(FileTraceWriter {
+            inner: Some(inner),
+            tmp,
+            dst,
+        })
+    }
+
+    /// Finalizes only if the destination does not exist yet: the
+    /// first writer to finish links its complete temp file into
+    /// place and returns `Some(stats)`; every later writer removes
+    /// its temp file untouched and returns `None`. Unlike
+    /// [`finalize`](Self::finalize) (whose rename silently replaces),
+    /// this never overwrites an existing store, which is exactly the
+    /// semantics a content-addressed cache needs — same key, same
+    /// bytes, first writer wins, losers are free no-ops.
+    pub fn finalize_if_absent(mut self) -> Result<Option<StoreStats>, StoreError> {
+        let inner = self.inner.take().ok_or_else(|| StoreError::Io {
+            path: self.dst.display().to_string(),
+            detail: String::from("writer already finalized"),
+        })?;
+        let (buf, stats) = inner.finish()?;
+        drop(buf);
+        // `hard_link` (not `rename`) is the atomic publish: it fails
+        // with `AlreadyExists` instead of replacing, so exactly one
+        // racer's bytes become the store.
+        let linked = std::fs::hard_link(&self.tmp, &self.dst);
+        let _ = std::fs::remove_file(&self.tmp);
+        match linked {
+            Ok(()) => Ok(Some(stats)),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(None),
+            Err(e) => {
+                if self.dst.exists() {
+                    // Filesystems without precise error mapping: the
+                    // destination is there, so some writer won.
+                    Ok(None)
+                } else {
+                    Err(StoreError::Io {
+                        path: self.dst.display().to_string(),
+                        detail: e.to_string(),
+                    })
+                }
+            }
+        }
+    }
+}
+
 impl Drop for FileTraceWriter {
     fn drop(&mut self) {
         if self.inner.take().is_some() {
@@ -421,6 +496,62 @@ mod tests {
             stats.bytes,
             "stats.bytes matches the on-disk size"
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_writers_first_finalize_wins() {
+        let dir = std::env::temp_dir().join("aps_tracestore_unique_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache-entry.apst");
+        let _ = std::fs::remove_file(&path);
+
+        // Two writers race toward the same content-addressed name.
+        let mut a = FileTraceWriter::create_unique(&path, 42).unwrap();
+        let mut b = FileTraceWriter::create_unique(&path, 42).unwrap();
+        a.push(&trace(4)).unwrap();
+        b.push(&trace(4)).unwrap();
+
+        let won = a.finalize_if_absent().unwrap();
+        assert!(won.is_some(), "first finalize publishes the store");
+        let lost = b.finalize_if_absent().unwrap();
+        assert!(lost.is_none(), "second finalize is a skip, not an error");
+
+        // The published store is complete and valid.
+        let reader = crate::TraceStoreReader::open(&path).unwrap();
+        assert_eq!(reader.len(), 1);
+        assert_eq!(reader.header().spec_hash, 42);
+
+        // No temp files linger in the directory.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must be cleaned up");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn finalize_if_absent_skips_existing_store() {
+        let dir = std::env::temp_dir().join("aps_tracestore_unique_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("existing.apst");
+        let _ = std::fs::remove_file(&path);
+
+        let mut w = FileTraceWriter::create_unique(&path, 7).unwrap();
+        w.push(&trace(2)).unwrap();
+        assert!(w.finalize_if_absent().unwrap().is_some());
+        let before = std::fs::metadata(&path).unwrap().len();
+
+        // A later writer with different content for the same name
+        // (cannot happen for a content-addressed key, but the API must
+        // still never clobber) leaves the original bytes in place.
+        let mut w = FileTraceWriter::create_unique(&path, 7).unwrap();
+        w.push(&trace(9)).unwrap();
+        w.push(&trace(9)).unwrap();
+        assert!(w.finalize_if_absent().unwrap().is_none());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), before);
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -20,6 +20,7 @@
 //! | [`core`] | **the contribution**: SCS, threshold learning, monitors, mitigation |
 //! | [`tracestore`] | versioned columnar binary trace store (streaming writer, zero-copy reader) |
 //! | [`sim`] | sessions, closed-loop harness, platforms, campaigns, datasets |
+//! | [`service`] | campaign-as-a-service daemon: sharded resumable jobs, content-addressed result cache |
 //!
 //! # Quickstart
 //!
@@ -396,6 +397,81 @@
 //! (`registered-*-not-found`) — a rename cannot silently drop
 //! protection. Known-good/known-bad fixtures for every rule family
 //! live in `crates/lint/tests/fixtures/`.
+//!
+//! # Campaign service
+//!
+//! Everything above runs a campaign *inside one process*. The
+//! [`service`] crate turns that into a single-node service: a daemon
+//! (`repro serve`) owns a job queue, an executor, and a result cache,
+//! and clients (`repro submit` / `status` / `fetch` / `cancel`, or
+//! [`service::Client`] in-process) talk to it over a Unix socket.
+//! The existing serde specs are the currency — a submission is a
+//! [`CampaignSpec`](sim::campaign::CampaignSpec), a result is a
+//! [`tracestore`] file — no new schema.
+//!
+//! **Wire protocol.** Frames are 4-byte little-endian length prefix +
+//! UTF-8 JSON, capped at [`service::MAX_FRAME`] (the length check
+//! fires before any allocation). The JSON is a versioned envelope,
+//! `{"version": 1, "request": {...}}`; the version is probed before
+//! the payload is decoded, so a frame from a newer protocol yields
+//! the typed [`service::WireError::Version`] — never a parse error,
+//! never a panic, never a hang (pinned by proptest over arbitrary,
+//! truncated, oversized, and future-version frames in
+//! `crates/service/tests/wire_proptest.rs`).
+//!
+//! **Shards and resume.** The scheduler splits each submission's
+//! scenario grid into contiguous shards with
+//! [`sim::shard::plan_shards`] — splits land on patient (or
+//! per-patient BG) boundaries, so the shard job lists concatenate to
+//! the parent campaign's exactly. Each shard runs through the same
+//! [`run_campaign_resumable`](sim::campaign::run_campaign_resumable)
+//! used by `--checkpoint`/`--resume`, persisting the versioned
+//! [`CampaignCheckpoint`](sim::checkpoint::CampaignCheckpoint) plus an
+//! append-only shard log (the sink fires *before* the checkpoint is
+//! saved, so the log can only run ahead of the bitmap — on restart the
+//! log is truncated back to the checkpoint, never the reverse). The
+//! shard is the unit of resume: a SIGKILLed daemon restarts, re-queues
+//! every incomplete job, resumes each shard from its checkpoint, and
+//! the merged result set — traces *and* the order-sensitive campaign
+//! digest — is bit-identical to an uninterrupted serial run (pinned
+//! end-to-end in `crates/service/tests/daemon_e2e.rs` and by the CI
+//! `service-smoke` job, which kills a live daemon with SIGKILL).
+//!
+//! **Content-addressed cache.** A finished job's merged traces are
+//! published to `cache/<key>.apst` where
+//! `key = `[`service::cache_key`]`(spec_hash, seed, code_version_hash)`
+//! — the same three hashes the tracestore header already carries.
+//! Identical resubmissions (same spec, same seed lane, same code
+//! version) are served with **zero** executor work, even by a fresh
+//! daemon that never ran the job; changing any of the three misses.
+//! Publication is concurrency-safe: writers finalize to a unique temp
+//! name and skip if the destination already exists (first writer
+//! wins; the content address makes both writers' bytes equivalent).
+//!
+//! ```
+//! use aps_repro::prelude::*;
+//! use aps_repro::service::cache_key;
+//! use aps_repro::service::wire::{decode_request, encode_request, Request};
+//!
+//! // Shards partition the campaign grid exactly.
+//! let spec = CampaignSpec::quick(Platform::GlucosymOref0);
+//! let shards = plan_shards(&spec, 3);
+//! assert_eq!(
+//!     shards.iter().map(|s| s.job_count).sum::<usize>(),
+//!     campaign_size(&spec),
+//! );
+//!
+//! // Requests round-trip through the versioned wire envelope.
+//! let request = Request::Status { job: String::new() };
+//! let payload = encode_request(&request).expect("encode");
+//! assert_eq!(decode_request(&payload).expect("decode"), request);
+//!
+//! // The content address is sensitive to each of its three inputs.
+//! let key = cache_key(1, 2, 3);
+//! assert_ne!(key, cache_key(9, 2, 3));
+//! assert_ne!(key, cache_key(1, 9, 3));
+//! assert_ne!(key, cache_key(1, 2, 9));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -409,6 +485,7 @@ pub use aps_metrics as metrics;
 pub use aps_ml as ml;
 pub use aps_optim as optim;
 pub use aps_risk as risk;
+pub use aps_service as service;
 pub use aps_sim as sim;
 pub use aps_stl as stl;
 pub use aps_tracestore as tracestore;
@@ -437,13 +514,14 @@ pub mod prelude {
         ForecastConfig, ForecastModel, LstmForecaster, LstmState, MlpForecaster,
     };
     pub use aps_risk::{LabelConfig, RiskSample, RiskTracker};
+    pub use aps_service::{Client, JobManifest, ServiceConfig};
     pub use aps_sim::batch::{
         run_block, run_campaign_batched, run_campaign_batched_with, BATCH_LANES,
     };
     pub use aps_sim::campaign::{
-        campaign_jobs, run_campaign, run_campaign_ft, run_campaign_resumable, run_campaign_with,
-        CampaignJob, CampaignOptions, CampaignReport, CampaignSpec, CampaignStream,
-        CheckpointPolicy, FtCampaign, MonitorFactory, ScenarioCtx, WorkerSource,
+        campaign_jobs, campaign_size, run_campaign, run_campaign_ft, run_campaign_resumable,
+        run_campaign_with, CampaignJob, CampaignOptions, CampaignReport, CampaignSpec,
+        CampaignStream, CheckpointPolicy, FtCampaign, MonitorFactory, ScenarioCtx, WorkerSource,
     };
     pub use aps_sim::chaos::ChaosConfig;
     pub use aps_sim::checkpoint::{CampaignCheckpoint, CheckpointError};
@@ -455,6 +533,7 @@ pub mod prelude {
         replay_campaign, replay_campaign_with, replay_monitor, replay_store, replay_store_with,
     };
     pub use aps_sim::session::{MonitorSpec, Session, SessionBuilder, SessionError, SessionSpec};
+    pub use aps_sim::shard::{plan_shards, ShardPlan};
     pub use aps_tracestore::{
         read_store, write_store, FileTraceWriter, StoreError, StoreInfo, TraceStoreReader,
         TraceWriter,
